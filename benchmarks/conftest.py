@@ -1,0 +1,15 @@
+"""Benchmark-harness configuration.
+
+The regenerated tables/figures are printed by each benchmark; capture is
+disabled so the rows appear in the console (and in ``bench_output.txt``)
+even when every check passes.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _show_regenerated_tables(capsys):
+    """Let the printed paper-vs-measured tables through pytest's capture."""
+    with capsys.disabled():
+        yield

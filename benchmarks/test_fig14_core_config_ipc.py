@@ -1,0 +1,42 @@
+"""Figure 14: IPC of the core design-space configurations (single core).
+
+The paper sweeps five warp/thread configurations over sgemm, vecadd,
+sfilter, saxpy and nearn and reports thread-instructions per cycle.
+"""
+
+import pytest
+
+from benchmarks.harness import print_table, run_kernel
+from repro.common.config import CORE_DESIGN_POINTS
+
+FIG14_KERNELS = ("sgemm", "vecadd", "sfilter", "saxpy", "nearn")
+
+
+def _collect():
+    results = {}
+    for label, (warps, threads) in CORE_DESIGN_POINTS.items():
+        for kernel in FIG14_KERNELS:
+            report = run_kernel(kernel, num_warps=warps, num_threads=threads)
+            results[(label, kernel)] = report.ipc
+    return results
+
+
+def test_fig14_core_config_ipc(benchmark):
+    results = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    rows = []
+    for label in CORE_DESIGN_POINTS:
+        rows.append([label] + [results[(label, kernel)] for kernel in FIG14_KERNELS])
+    print_table("Figure 14 — IPC per core configuration", ["Config"] + list(FIG14_KERNELS), rows)
+
+    # Shape checks from section 6.2.1:
+    #  - 2W-8T (more threads) beats 4W-4T on sgemm,
+    #  - 8W-2T (fewer threads) loses IPC relative to 4W-4T on sgemm,
+    #  - 8-thread configurations have the highest peak IPC overall.
+    assert results[("2W-8T", "sgemm")] > results[("4W-4T", "sgemm")]
+    assert results[("8W-2T", "sgemm")] < results[("4W-4T", "sgemm")]
+    best_config = max(CORE_DESIGN_POINTS, key=lambda label: max(results[(label, k)] for k in FIG14_KERNELS))
+    assert CORE_DESIGN_POINTS[best_config][1] == 8
+    # IPC never exceeds the thread count of the configuration.
+    for (label, kernel), ipc in results.items():
+        assert 0 < ipc <= CORE_DESIGN_POINTS[label][1]

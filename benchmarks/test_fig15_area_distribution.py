@@ -1,0 +1,21 @@
+"""Figure 15: area distribution across the processor's components."""
+
+from benchmarks.harness import print_table
+from repro.synthesis.components import COMPONENT_FRACTIONS, area_breakdown, dominant_components
+
+
+def test_fig15_area_distribution(benchmark):
+    breakdown = benchmark.pedantic(lambda: area_breakdown(num_cores=8), rounds=1, iterations=1)
+
+    total = sum(breakdown.values())
+    rows = [
+        [component, f"{alms:,.0f}", f"{100 * alms / total:.0f}%"]
+        for component, alms in sorted(breakdown.items(), key=lambda item: -item[1])
+    ]
+    print_table("Figure 15 — area distribution (8-core Arria 10)", ["Component", "ALMs", "Share"], rows)
+
+    # Shape: the paper reports the area is occupied primarily by the texture
+    # units and caches, with the FPU small thanks to the hard DSP blocks.
+    assert set(dominant_components(8, top=2)) == {"caches", "texture_units"}
+    assert breakdown["fpu"] < 0.5 * breakdown["caches"]
+    assert abs(sum(COMPONENT_FRACTIONS.values()) - 1.0) < 1e-9

@@ -1,0 +1,35 @@
+"""Figures 16/17: ASIC design-flow summary (layout area score and power
+density distribution).
+
+The GDS layout itself cannot be regenerated in Python; the model reproduces
+the published headline number (46.8 mW at 300 MHz for an 8W-4T core on the
+15-nm educational library) and the per-component power distribution.
+"""
+
+from benchmarks.harness import print_table
+from repro.synthesis.asic import PUBLISHED_CONFIG, estimate_asic
+
+
+def test_fig16_17_asic_summary(benchmark):
+    summary = benchmark.pedantic(
+        lambda: estimate_asic(8, 4, 300.0), rounds=1, iterations=1
+    )
+
+    rows = [
+        ["power (mW)", f"{summary.power_mw:.1f}", PUBLISHED_CONFIG["power_mw"]],
+        ["frequency (MHz)", f"{summary.frequency_mhz:.0f}", PUBLISHED_CONFIG["frequency_mhz"]],
+        ["configuration", f"{summary.num_warps}W-{summary.num_threads}T", "8W-4T"],
+    ]
+    print_table("Figures 16/17 — ASIC summary (model / paper)", ["Metric", "Model", "Paper"], rows)
+
+    breakdown = summary.breakdown()
+    print_table(
+        "Figure 17 — power distribution",
+        ["Component", "mW"],
+        [[component, f"{mw:.1f}"] for component, mw in sorted(breakdown.items(), key=lambda i: -i[1])],
+    )
+
+    assert abs(summary.power_mw - PUBLISHED_CONFIG["power_mw"]) < 0.1
+    assert abs(sum(breakdown.values()) - summary.power_mw) < 1e-6
+    # Lower frequency scales power down.
+    assert estimate_asic(8, 4, 150.0).power_mw < summary.power_mw

@@ -1,0 +1,32 @@
+"""Table 1: taxonomy of mainstream GPU ISAs vs the Vortex ISA."""
+
+from benchmarks.harness import print_table
+from repro.isa import taxonomy
+from repro.isa.instructions import VORTEX_EXTENSION
+
+
+def test_table1_isa_taxonomy(benchmark):
+    coverage = benchmark.pedantic(taxonomy.category_coverage, rounds=1, iterations=1)
+
+    rows = []
+    for profile in taxonomy.TABLE1:
+        entry = coverage[profile.name]
+        rows.append(
+            [
+                profile.name,
+                ", ".join(profile.threading_model),
+                ", ".join(profile.synchronization),
+                ", ".join(profile.flow_control),
+                "yes" if entry["texture"] else "no",
+            ]
+        )
+    print_table(
+        "Table 1 — GPU ISA taxonomy (threading / synchronization / flow control / texture)",
+        ["ISA", "Threading", "Synchronization", "Flow control", "Texture"],
+        rows,
+    )
+
+    # Shape: every surveyed ISA covers the SIMT essentials, and Vortex covers
+    # them too while adding only six instructions.
+    assert all(all(entry.values()) for entry in coverage.values())
+    assert len(VORTEX_EXTENSION) == 6

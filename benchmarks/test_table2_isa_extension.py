@@ -1,0 +1,42 @@
+"""Table 2: the proposed RISC-V Vortex ISA extension (six instructions)."""
+
+from benchmarks.harness import print_table
+from repro.isa import taxonomy
+from repro.isa.builder import ProgramBuilder
+from repro.isa.decoder import decode
+from repro.isa.encoding import Opcode
+from repro.isa.instructions import SPEC_BY_MNEMONIC, VORTEX_EXTENSION
+from repro.isa.registers import Reg
+
+
+def _roundtrip_extension():
+    """Encode and decode every extension instruction; return the decoded list."""
+    asm = ProgramBuilder(base=0)
+    asm.wspawn(Reg.t0, Reg.t1)
+    asm.tmc(Reg.t0)
+    asm.split(Reg.t2)
+    asm.join()
+    asm.bar(Reg.t3, Reg.t4)
+    asm.tex(Reg.a0, "fa0", "fa1", "fa2")
+    return [decode(word) for word in asm.assemble().words]
+
+
+def test_table2_isa_extension(benchmark):
+    decoded = benchmark.pedantic(_roundtrip_extension, rounds=1, iterations=1)
+
+    rows = []
+    for (syntax, description), instr in zip(taxonomy.TABLE2.items(), decoded):
+        spec = SPEC_BY_MNEMONIC[instr.mnemonic]
+        rows.append([syntax, description, spec.fmt.value, hex(spec.opcode)])
+    print_table(
+        "Table 2 — Vortex ISA extension",
+        ["Instruction", "Description", "Format", "Opcode"],
+        rows,
+    )
+
+    # Shape: exactly six instructions, all R/R4-type, the five SIMT-control
+    # ones sharing a single opcode as the paper requires.
+    assert {instr.mnemonic for instr in decoded} == set(VORTEX_EXTENSION)
+    control = [SPEC_BY_MNEMONIC[m].opcode for m in ("wspawn", "tmc", "split", "join", "bar")]
+    assert set(control) == {Opcode.VX_EXT}
+    assert all(SPEC_BY_MNEMONIC[m].fmt.value in ("R", "R4") for m in VORTEX_EXTENSION)

@@ -1,0 +1,36 @@
+"""Table 3: synthesis results for the core design-space configurations."""
+
+from benchmarks.harness import print_table
+from repro.synthesis.area_model import CoreSynthesisModel, TABLE3_POINTS
+
+
+def test_table3_core_config_synthesis(benchmark):
+    model = CoreSynthesisModel()
+    table = benchmark.pedantic(model.table3, rounds=1, iterations=1)
+
+    rows = []
+    for label, estimate in table.items():
+        published = CoreSynthesisModel.published(label)
+        rows.append(
+            [
+                label,
+                f"{estimate['lut']:.0f} / {published['lut']}",
+                f"{estimate['regs']:.0f} / {published['regs']}",
+                f"{estimate['bram']:.0f} / {published['bram']}",
+                f"{estimate['fmax']:.0f} / {published['fmax']}",
+            ]
+        )
+    print_table(
+        "Table 3 — core configurations (model / paper)",
+        ["Config", "LUT", "Regs", "BRAM", "fmax (MHz)"],
+        rows,
+    )
+
+    # Shape checks from section 6.2.1: maximizing threads (2W-8T) costs ~69%
+    # more LUTs than 4W-4T, maximizing wavefronts (8W-2T) is ~27% cheaper.
+    base = table["4W-4T"]["lut"]
+    assert 1.5 < table["2W-8T"]["lut"] / base < 1.9
+    assert 0.65 < table["8W-2T"]["lut"] / base < 0.9
+    for label in TABLE3_POINTS:
+        published = CoreSynthesisModel.published(label)
+        assert abs(table[label]["lut"] - published["lut"]) / published["lut"] < 0.05

@@ -1,0 +1,40 @@
+"""Table 4: hardware synthesis for all core configurations (1-32 cores)."""
+
+from benchmarks.harness import print_table
+from repro.synthesis.area_model import ARRIA10, STRATIX10, MulticoreSynthesisModel
+
+
+def test_table4_multicore_synthesis(benchmark):
+    model = MulticoreSynthesisModel()
+    table = benchmark.pedantic(model.table4, rounds=1, iterations=1)
+
+    rows = []
+    for cores, estimate in sorted(table.items()):
+        published = MulticoreSynthesisModel.published(cores)
+        rows.append(
+            [
+                cores,
+                f"{estimate['alm_pct']:.0f} / {published['alm_pct']}",
+                f"{estimate['regs'] / 1000:.0f}K / {published['regs'] / 1000:.0f}K",
+                f"{estimate['bram_pct']:.0f} / {published['bram_pct']}",
+                f"{estimate['dsp_pct']:.0f} / {published['dsp_pct']}",
+                f"{estimate['fmax']:.0f} / {published['fmax']}",
+                estimate["device"],
+            ]
+        )
+    print_table(
+        "Table 4 — multi-core synthesis (model / paper)",
+        ["Cores", "ALM %", "Regs", "BRAM %", "DSP %", "fmax", "Device"],
+        rows,
+    )
+
+    # Shape: 16 cores fit on the Arria 10, 32 need the Stratix 10, and fmax
+    # stays at or above ~200 MHz at 32 cores.
+    assert model.fits(16, ARRIA10)
+    assert not model.fits(32, ARRIA10)
+    assert model.fits(32, STRATIX10)
+    assert table[32]["fmax"] >= 190
+    # Utilization grows monotonically with the core count on the A10.
+    a10_cores = [c for c in sorted(table) if table[c]["device"] == "Arria 10"]
+    alm = [table[c]["alm_pct"] for c in a10_cores]
+    assert alm == sorted(alm)

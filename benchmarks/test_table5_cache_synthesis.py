@@ -1,0 +1,38 @@
+"""Table 5: synthesis of the virtually multi-ported 4-bank data cache."""
+
+from benchmarks.harness import print_table
+from repro.synthesis.area_model import CacheSynthesisModel, TABLE5_POINTS
+
+
+def test_table5_cache_synthesis(benchmark):
+    model = CacheSynthesisModel()
+    table = benchmark.pedantic(model.table5, rounds=1, iterations=1)
+
+    rows = []
+    for ports, estimate in sorted(table.items()):
+        published = CacheSynthesisModel.published(ports)
+        rows.append(
+            [
+                f"{ports}-port",
+                f"{estimate['lut']:.0f} / {published['lut']}",
+                f"{estimate['regs']:.0f} / {published['regs']}",
+                f"{estimate['bram']:.0f} / {published['bram']}",
+                f"{estimate['fmax']:.0f} / {published['fmax']}",
+            ]
+        )
+    print_table(
+        "Table 5 — virtual multi-ported 4-bank cache (model / paper)",
+        ["Ports", "LUT", "Regs", "BRAM", "fmax"],
+        rows,
+    )
+
+    # Shape: the port increase from 1 to 2 adds ~9% logic, 1 to 4 ~25%,
+    # BRAM stays constant, frequency degrades slightly.
+    base = table[1]["lut"]
+    assert 1.05 < table[2]["lut"] / base < 1.13
+    assert 1.2 < table[4]["lut"] / base < 1.3
+    assert table[1]["bram"] == table[4]["bram"]
+    assert table[4]["fmax"] < table[1]["fmax"]
+    for ports in TABLE5_POINTS:
+        published = CacheSynthesisModel.published(ports)
+        assert abs(table[ports]["lut"] - published["lut"]) / published["lut"] < 0.05

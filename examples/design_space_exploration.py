@@ -1,0 +1,62 @@
+"""Design-space exploration: IPC vs area across core configurations.
+
+Section 6.5 of the paper positions Vortex as a platform for architecture
+research: the SIMX cycle-level simulator explores configurations that do not
+fit on the FPGA while the synthesis model prices them.  This example sweeps
+the Table 3 warp/thread design points plus two memory configurations, runs
+``sgemm`` on each, and reports performance alongside the modeled FPGA cost —
+the performance-per-area trade-off the paper uses to pick 4W-4T.
+
+Run with::
+
+    python examples/design_space_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro import VortexConfig, VortexDevice
+from repro.common.config import CORE_DESIGN_POINTS, MemoryConfig
+from repro.kernels import SgemmKernel
+from repro.synthesis import CoreSynthesisModel
+
+
+def evaluate(num_warps: int, num_threads: int, latency: int) -> dict:
+    """Run sgemm on one configuration and return performance + area."""
+    config = VortexConfig(memory=MemoryConfig(latency=latency, bandwidth=1)).with_warps_threads(
+        num_warps, num_threads
+    )
+    device = VortexDevice(config, driver="simx")
+    run = SgemmKernel().run(device, size=12 * 12)
+    assert run.passed
+    area = CoreSynthesisModel().estimate(num_warps, num_threads)
+    return {
+        "ipc": run.report.ipc,
+        "cycles": run.report.cycles,
+        "lut": area["lut"],
+        "fmax": area["fmax"],
+        "ipc_per_klut": run.report.ipc / (area["lut"] / 1000.0),
+    }
+
+
+def main() -> None:
+    print(f"{'config':8s} {'mem lat':>8s} {'cycles':>8s} {'IPC':>6s} {'LUT':>8s} "
+          f"{'fmax':>6s} {'IPC/kLUT':>9s}")
+    best = None
+    for label, (warps, threads) in CORE_DESIGN_POINTS.items():
+        for latency in (50, 200):
+            result = evaluate(warps, threads, latency)
+            print(
+                f"{label:8s} {latency:8d} {result['cycles']:8d} {result['ipc']:6.2f} "
+                f"{result['lut']:8.0f} {result['fmax']:6.0f} {result['ipc_per_klut']:9.3f}"
+            )
+            key = (label, latency)
+            if best is None or result["ipc_per_klut"] > best[1]["ipc_per_klut"]:
+                best = (key, result)
+    label, latency = best[0]
+    print()
+    print(f"best performance per area: {label} at memory latency {latency} "
+          f"({best[1]['ipc_per_klut']:.3f} IPC per kLUT)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim so editable installs work on environments without the
+``wheel`` package (``pip install -e . --no-use-pep517``).  All project
+metadata lives in ``pyproject.toml``."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,14 @@
+"""Functional execution semantics for the Vortex ISA.
+
+This package holds the *pure* parts of instruction execution: integer ALU
+operations, IEEE-754 binary32 floating-point operations, and the CSR file
+(including the texture-state CSRs).  The SIMT behaviour — thread masks,
+IPDOM stacks, barriers, wavefront spawning — lives in :mod:`repro.core`,
+which composes these primitives per warp.
+"""
+
+from repro.arch.alu import alu_op, mul_op, div_op
+from repro.arch.fpu import fpu_op
+from repro.arch.csr import CsrFile
+
+__all__ = ["alu_op", "mul_op", "div_op", "fpu_op", "CsrFile"]

@@ -1,0 +1,109 @@
+"""Integer ALU semantics (RV32I and RV32M).
+
+All helpers take and return unsigned 32-bit integers (Python ints in
+``[0, 2**32)``); signedness is applied internally per instruction exactly as
+the RISC-V specification requires (e.g. ``div`` rounds toward zero, divide
+by zero returns all-ones, ``INT_MIN / -1`` returns ``INT_MIN``).
+"""
+
+from __future__ import annotations
+
+from repro.common.bitutils import to_int32, to_uint32
+
+_INT_MIN = -(1 << 31)
+
+
+def _shamt(value: int) -> int:
+    return value & 0x1F
+
+
+def alu_op(mnemonic: str, lhs: int, rhs: int) -> int:
+    """Execute a base-ISA register/immediate ALU operation."""
+    lhs = to_uint32(lhs)
+    rhs = to_uint32(rhs)
+    if mnemonic in ("add", "addi"):
+        return to_uint32(lhs + rhs)
+    if mnemonic == "sub":
+        return to_uint32(lhs - rhs)
+    if mnemonic in ("sll", "slli"):
+        return to_uint32(lhs << _shamt(rhs))
+    if mnemonic in ("slt", "slti"):
+        return 1 if to_int32(lhs) < to_int32(rhs) else 0
+    if mnemonic in ("sltu", "sltiu"):
+        return 1 if lhs < rhs else 0
+    if mnemonic in ("xor", "xori"):
+        return lhs ^ rhs
+    if mnemonic in ("srl", "srli"):
+        return lhs >> _shamt(rhs)
+    if mnemonic in ("sra", "srai"):
+        return to_uint32(to_int32(lhs) >> _shamt(rhs))
+    if mnemonic in ("or", "ori"):
+        return lhs | rhs
+    if mnemonic in ("and", "andi"):
+        return lhs & rhs
+    raise ValueError(f"not an ALU operation: {mnemonic}")
+
+
+def mul_op(mnemonic: str, lhs: int, rhs: int) -> int:
+    """Execute an RV32M multiply operation."""
+    lhs_u = to_uint32(lhs)
+    rhs_u = to_uint32(rhs)
+    lhs_s = to_int32(lhs_u)
+    rhs_s = to_int32(rhs_u)
+    if mnemonic == "mul":
+        return to_uint32(lhs_s * rhs_s)
+    if mnemonic == "mulh":
+        return to_uint32((lhs_s * rhs_s) >> 32)
+    if mnemonic == "mulhsu":
+        return to_uint32((lhs_s * rhs_u) >> 32)
+    if mnemonic == "mulhu":
+        return to_uint32((lhs_u * rhs_u) >> 32)
+    raise ValueError(f"not a multiply operation: {mnemonic}")
+
+
+def div_op(mnemonic: str, lhs: int, rhs: int) -> int:
+    """Execute an RV32M divide/remainder operation (RISC-V corner cases)."""
+    lhs_u = to_uint32(lhs)
+    rhs_u = to_uint32(rhs)
+    lhs_s = to_int32(lhs_u)
+    rhs_s = to_int32(rhs_u)
+    if mnemonic == "div":
+        if rhs_s == 0:
+            return to_uint32(-1)
+        if lhs_s == _INT_MIN and rhs_s == -1:
+            return to_uint32(_INT_MIN)
+        return to_uint32(int(lhs_s / rhs_s))  # truncate toward zero
+    if mnemonic == "divu":
+        if rhs_u == 0:
+            return to_uint32(-1)
+        return lhs_u // rhs_u
+    if mnemonic == "rem":
+        if rhs_s == 0:
+            return to_uint32(lhs_s)
+        if lhs_s == _INT_MIN and rhs_s == -1:
+            return 0
+        return to_uint32(lhs_s - int(lhs_s / rhs_s) * rhs_s)
+    if mnemonic == "remu":
+        if rhs_u == 0:
+            return lhs_u
+        return lhs_u % rhs_u
+    raise ValueError(f"not a divide operation: {mnemonic}")
+
+
+def branch_taken(mnemonic: str, lhs: int, rhs: int) -> bool:
+    """Evaluate a conditional-branch comparison."""
+    lhs_u = to_uint32(lhs)
+    rhs_u = to_uint32(rhs)
+    if mnemonic == "beq":
+        return lhs_u == rhs_u
+    if mnemonic == "bne":
+        return lhs_u != rhs_u
+    if mnemonic == "blt":
+        return to_int32(lhs_u) < to_int32(rhs_u)
+    if mnemonic == "bge":
+        return to_int32(lhs_u) >= to_int32(rhs_u)
+    if mnemonic == "bltu":
+        return lhs_u < rhs_u
+    if mnemonic == "bgeu":
+        return lhs_u >= rhs_u
+    raise ValueError(f"not a branch: {mnemonic}")

@@ -1,0 +1,129 @@
+"""Single-precision floating-point semantics (the RV32F subset Vortex uses).
+
+Register values are stored as raw binary32 bit patterns (unsigned 32-bit
+ints); every operation unpacks, computes in Python floats with a final
+round-trip through binary32, and repacks.  This matches the behaviour of
+the FPGA's DSP blocks closely enough for the paper's kernels, which only
+rely on basic arithmetic, comparisons, conversions and fused multiply-add.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.bitutils import bits_to_float, float_to_bits, to_int32, to_uint32
+
+_F32_MAX_INT = (1 << 31) - 1
+_F32_MIN_INT = -(1 << 31)
+
+
+def _round32(value: float) -> int:
+    """Round a Python float to the nearest binary32 and return its bits."""
+    return float_to_bits(value)
+
+
+def _is_nan_bits(word: int) -> bool:
+    exponent = (word >> 23) & 0xFF
+    mantissa = word & 0x7FFFFF
+    return exponent == 0xFF and mantissa != 0
+
+
+def _canonical_nan() -> int:
+    return 0x7FC00000
+
+
+def fpu_op(mnemonic: str, rs1: int, rs2: int = 0, rs3: int = 0) -> int:
+    """Execute a floating-point operation on raw binary32 operands.
+
+    Comparison and conversion results are returned as integer register
+    values; everything else is returned as binary32 bits.
+    """
+    a = bits_to_float(rs1)
+    b = bits_to_float(rs2)
+    c = bits_to_float(rs3)
+
+    if mnemonic == "fadd.s":
+        return _round32(a + b)
+    if mnemonic == "fsub.s":
+        return _round32(a - b)
+    if mnemonic == "fmul.s":
+        return _round32(a * b)
+    if mnemonic == "fdiv.s":
+        if b == 0.0:
+            if a == 0.0 or math.isnan(a):
+                return _canonical_nan()
+            return _round32(math.copysign(math.inf, a) * math.copysign(1.0, b))
+        return _round32(a / b)
+    if mnemonic == "fsqrt.s":
+        if a < 0.0:
+            return _canonical_nan()
+        return _round32(math.sqrt(a))
+    if mnemonic == "fmin.s":
+        if math.isnan(a):
+            return rs2 if not math.isnan(b) else _canonical_nan()
+        if math.isnan(b):
+            return rs1
+        return _round32(min(a, b))
+    if mnemonic == "fmax.s":
+        if math.isnan(a):
+            return rs2 if not math.isnan(b) else _canonical_nan()
+        if math.isnan(b):
+            return rs1
+        return _round32(max(a, b))
+    if mnemonic == "fsgnj.s":
+        return (rs1 & 0x7FFFFFFF) | (rs2 & 0x80000000)
+    if mnemonic == "fsgnjn.s":
+        return (rs1 & 0x7FFFFFFF) | ((rs2 ^ 0x80000000) & 0x80000000)
+    if mnemonic == "fsgnjx.s":
+        return rs1 ^ (rs2 & 0x80000000)
+    if mnemonic == "feq.s":
+        if _is_nan_bits(rs1) or _is_nan_bits(rs2):
+            return 0
+        return 1 if a == b else 0
+    if mnemonic == "flt.s":
+        if _is_nan_bits(rs1) or _is_nan_bits(rs2):
+            return 0
+        return 1 if a < b else 0
+    if mnemonic == "fle.s":
+        if _is_nan_bits(rs1) or _is_nan_bits(rs2):
+            return 0
+        return 1 if a <= b else 0
+    if mnemonic == "fcvt.w.s":
+        return to_uint32(_float_to_int(a, signed=True))
+    if mnemonic == "fcvt.wu.s":
+        return to_uint32(_float_to_int(a, signed=False))
+    if mnemonic == "fcvt.s.w":
+        return _round32(float(to_int32(rs1)))
+    if mnemonic == "fcvt.s.wu":
+        return _round32(float(to_uint32(rs1)))
+    if mnemonic == "fmv.x.w":
+        return to_uint32(rs1)
+    if mnemonic == "fmv.w.x":
+        return to_uint32(rs1)
+    if mnemonic == "fmadd.s":
+        return _round32(a * b + c)
+    if mnemonic == "fmsub.s":
+        return _round32(a * b - c)
+    if mnemonic == "fnmsub.s":
+        return _round32(-(a * b) + c)
+    if mnemonic == "fnmadd.s":
+        return _round32(-(a * b) - c)
+    raise ValueError(f"not a floating-point operation: {mnemonic}")
+
+
+def _float_to_int(value: float, signed: bool) -> int:
+    """Convert to integer with RISC-V saturation semantics (round toward zero)."""
+    if math.isnan(value):
+        return _F32_MAX_INT if signed else 0xFFFFFFFF
+    truncated = math.trunc(value) if math.isfinite(value) else math.copysign(math.inf, value)
+    if signed:
+        if truncated >= _F32_MAX_INT:
+            return _F32_MAX_INT
+        if truncated <= _F32_MIN_INT:
+            return _F32_MIN_INT
+        return int(truncated)
+    if truncated <= 0:
+        return 0 if truncated > -1 else 0
+    if truncated >= 0xFFFFFFFF:
+        return 0xFFFFFFFF
+    return int(truncated)

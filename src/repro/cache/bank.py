@@ -1,0 +1,131 @@
+"""One cache bank: tag store, data-store timing, MSHR and response scheduling.
+
+A bank is single-ported in hardware; the enclosing cache's bank selector
+guarantees that at most one cache line is accessed per bank per cycle (the
+virtual multi-porting optimization lets several *requests* share that one
+line access).  The bank therefore only needs to model tag lookups, LRU
+replacement, its MSHR, and the hit-latency delay between acceptance and
+response.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cache.mshr import Mshr
+from repro.common.config import CacheConfig
+from repro.common.perf import PerfCounters
+
+
+@dataclass
+class BankRequest:
+    """A request accepted by a bank."""
+
+    address: int
+    is_write: bool
+    tag: Any
+    accept_cycle: int = 0
+
+
+@dataclass
+class _ScheduledResponse:
+    ready_cycle: int
+    request: BankRequest
+    hit: bool
+
+
+class CacheBank:
+    """Tag/data arrays plus MSHR for one bank."""
+
+    def __init__(self, bank_id: int, config: CacheConfig):
+        self.bank_id = bank_id
+        self.config = config
+        self.num_sets = config.num_sets
+        self.num_ways = config.num_ways
+        # tags[set] maps tag -> last-use counter (LRU bookkeeping).
+        self._tags: List[Dict[int, int]] = [dict() for _ in range(self.num_sets)]
+        self._use_counter = 0
+        self.mshr = Mshr(config.mshr_size)
+        self._pending: List[_ScheduledResponse] = []
+        self.perf = PerfCounters(f"bank{bank_id}")
+
+    # -- address helpers -----------------------------------------------------------
+
+    def _set_index(self, line_address: int) -> int:
+        return (line_address // self.config.num_banks) % self.num_sets
+
+    def _tag_of(self, line_address: int) -> int:
+        return line_address // (self.num_sets * self.config.num_banks)
+
+    # -- tag store ------------------------------------------------------------------
+
+    def probe(self, line_address: int) -> bool:
+        """Tag lookup without side effects."""
+        set_index = self._set_index(line_address)
+        return self._tag_of(line_address) in self._tags[set_index]
+
+    def touch(self, line_address: int) -> None:
+        """Update LRU state for a hit."""
+        set_index = self._set_index(line_address)
+        tag = self._tag_of(line_address)
+        self._use_counter += 1
+        self._tags[set_index][tag] = self._use_counter
+
+    def install(self, line_address: int) -> Optional[int]:
+        """Install a line, evicting the LRU way if the set is full.
+
+        Returns the evicted line address, or ``None`` when no eviction
+        happened.
+        """
+        set_index = self._set_index(line_address)
+        tag = self._tag_of(line_address)
+        ways = self._tags[set_index]
+        self._use_counter += 1
+        evicted = None
+        if tag not in ways and len(ways) >= self.num_ways:
+            victim_tag = min(ways, key=ways.get)
+            del ways[victim_tag]
+            evicted = (
+                victim_tag * self.num_sets * self.config.num_banks
+                + (set_index * self.config.num_banks)
+                + self.bank_id
+            )
+            self.perf.incr("evictions")
+        ways[tag] = self._use_counter
+        return evicted
+
+    # -- request handling ------------------------------------------------------------
+
+    def schedule_response(self, request: BankRequest, cycle: int, hit: bool) -> None:
+        """Queue a response ``hit_latency`` cycles in the future."""
+        self._pending.append(
+            _ScheduledResponse(ready_cycle=cycle + self.config.hit_latency, request=request, hit=hit)
+        )
+
+    def collect_responses(self, cycle: int) -> List[Tuple[BankRequest, bool]]:
+        """Return (request, hit) pairs whose responses complete at ``cycle``."""
+        ready = [entry for entry in self._pending if entry.ready_cycle <= cycle]
+        if ready:
+            self._pending = [entry for entry in self._pending if entry.ready_cycle > cycle]
+        return [(entry.request, entry.hit) for entry in ready]
+
+    def fill(self, line_address: int, cycle: int) -> List[BankRequest]:
+        """Handle a returning memory fill: install the line, replay the MSHR.
+
+        Returns the replayed requests (their responses are scheduled by the
+        caller so that replay shares the normal response path).
+        """
+        self.install(line_address)
+        waiting = self.mshr.release(line_address)
+        self.perf.incr("fills")
+        return waiting
+
+    @property
+    def pending_responses(self) -> int:
+        return len(self._pending)
+
+    @property
+    def busy(self) -> bool:
+        """True while the bank still owes responses or has outstanding misses."""
+        return bool(self._pending) or len(self.mshr) > 0

@@ -1,0 +1,223 @@
+"""The non-blocking multi-banked cache (Figure 6).
+
+``NonBlockingCache`` implements the front-end bank selector (including the
+virtual multi-porting coalescing of same-line requests), the per-bank MSHRs
+and response scheduling, and the back-end merger that hands completed
+responses back to the requester.  Misses are forwarded through a *lower
+port* — either the DRAM model or the next cache level — supplied by the
+memory subsystem.
+
+The deadlock-avoidance rules from the paper are honoured at the acceptance
+point: a request is refused (and retried by the requester next cycle) when
+its bank's MSHR signals early-full or when the lower level cannot accept a
+new fill, so neither the MSHR nor the memory request queue can be
+overcommitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.cache.bank import BankRequest, CacheBank
+from repro.common.config import CacheConfig
+from repro.common.perf import PerfCounters
+
+
+@dataclass
+class CacheRequest:
+    """A core-side request presented to the cache."""
+
+    address: int
+    is_write: bool = False
+    tag: Any = None
+
+
+@dataclass
+class CacheResponse:
+    """A completed core-side request."""
+
+    address: int
+    is_write: bool
+    tag: Any
+    hit: bool
+    cycle: int
+
+
+class LowerPort:
+    """Interface to the next memory level.
+
+    ``request_fill`` asks for a full line (read); ``request_write`` forwards
+    a write-through store.  Both return False when the lower level cannot
+    accept more traffic this cycle.
+    """
+
+    def request_fill(self, cache: "NonBlockingCache", line_address: int) -> bool:
+        raise NotImplementedError
+
+    def request_write(self, cache: "NonBlockingCache", address: int) -> bool:
+        raise NotImplementedError
+
+
+class NonBlockingCache:
+    """Multi-banked, non-blocking, virtually multi-ported cache."""
+
+    def __init__(self, name: str, config: CacheConfig, lower: Optional[LowerPort] = None):
+        self.name = name
+        self.config = config
+        self.lower = lower
+        self.banks = [CacheBank(bank_id, config) for bank_id in range(config.num_banks)]
+        self.perf = PerfCounters(name)
+        self._cycle = 0
+        # Per-cycle bank selector state: bank -> (first line address, accept count).
+        self._accepts_this_cycle: Dict[int, Tuple[int, int]] = {}
+        self._responses: List[CacheResponse] = []
+
+    # -- address helpers ----------------------------------------------------------------
+
+    def line_address(self, address: int) -> int:
+        return address // self.config.line_size
+
+    def bank_index(self, address: int) -> int:
+        return self.line_address(address) % self.config.num_banks
+
+    # -- front-end: bank selector ----------------------------------------------------------
+
+    def can_accept(self, request: CacheRequest) -> bool:
+        """Check whether ``send`` would succeed this cycle (no side effects)."""
+        bank_id = self.bank_index(request.address)
+        line = self.line_address(request.address)
+        accepted = self._accepts_this_cycle.get(bank_id)
+        if accepted is not None:
+            first_line, count = accepted
+            if count >= self.config.num_ports or first_line != line:
+                return False
+        bank = self.banks[bank_id]
+        if bank.mshr.almost_full and not request.is_write:
+            return False
+        return True
+
+    def send(self, request: CacheRequest) -> bool:
+        """Present one request to the bank selector.
+
+        Returns True when the request is accepted this cycle; the response
+        arrives later through :meth:`tick`.  A False return means the
+        requester must retry next cycle (bank conflict, MSHR early-full, or
+        lower-level backpressure).
+        """
+        self.perf.incr("attempts")
+        bank_id = self.bank_index(request.address)
+        line = self.line_address(request.address)
+        bank = self.banks[bank_id]
+
+        accepted = self._accepts_this_cycle.get(bank_id)
+        if accepted is not None:
+            first_line, count = accepted
+            if count >= self.config.num_ports or first_line != line:
+                self.perf.incr("bank_conflicts")
+                return False
+
+        if bank.mshr.almost_full and not request.is_write:
+            self.perf.incr("mshr_stalls")
+            return False
+
+        hit = bank.probe(line)
+        bank_request = BankRequest(
+            address=request.address, is_write=request.is_write, tag=request.tag,
+            accept_cycle=self._cycle,
+        )
+
+        if request.is_write:
+            # Write-through, no-allocate: the store is forwarded to the lower
+            # level; a write hit also updates the cached line's LRU state.
+            if self.lower is not None and not self.lower.request_write(self, request.address):
+                self.perf.incr("memq_stalls")
+                return False
+            if hit:
+                bank.touch(line)
+                self.perf.incr("write_hits")
+            else:
+                self.perf.incr("write_misses")
+            bank.schedule_response(bank_request, self._cycle, hit)
+        elif hit:
+            bank.touch(line)
+            bank.schedule_response(bank_request, self._cycle, True)
+            self.perf.incr("read_hits")
+        else:
+            existing = bank.mshr.lookup(line)
+            if existing is None and self.lower is not None:
+                if not self.lower.request_fill(self, line):
+                    self.perf.incr("memq_stalls")
+                    return False
+            entry = bank.mshr.allocate(line, bank_request)
+            if entry is None:
+                self.perf.incr("mshr_stalls")
+                return False
+            self.perf.incr("read_misses")
+
+        count = 0 if accepted is None else accepted[1]
+        self._accepts_this_cycle[bank_id] = (line, count + 1)
+        self.perf.incr("accepted")
+        return True
+
+    # -- back-end: fills and responses -------------------------------------------------------
+
+    def fill(self, line_address: int) -> None:
+        """A fill for ``line_address`` returned from the lower level."""
+        bank = self.banks[line_address % self.config.num_banks]
+        replayed = bank.fill(line_address, self._cycle)
+        for request in replayed:
+            bank.schedule_response(request, self._cycle, False)
+        self.perf.incr("fills")
+
+    def tick(self) -> List[CacheResponse]:
+        """Advance one cycle; returns the responses completing this cycle."""
+        self._cycle += 1
+        self._accepts_this_cycle.clear()
+        responses: List[CacheResponse] = []
+        for bank in self.banks:
+            for bank_request, hit in bank.collect_responses(self._cycle):
+                responses.append(
+                    CacheResponse(
+                        address=bank_request.address,
+                        is_write=bank_request.is_write,
+                        tag=bank_request.tag,
+                        hit=hit,
+                        cycle=self._cycle,
+                    )
+                )
+        self.perf.incr("cycles")
+        return responses
+
+    # -- statistics -------------------------------------------------------------------------
+
+    @property
+    def bank_utilization(self) -> float:
+        """Fraction of issued requests that did not experience a bank conflict.
+
+        This matches the paper's Figure 19 definition: 100% means every
+        request was accepted without a direct bank conflict, with remaining
+        stalls attributable to input queues being full.
+        """
+        accepted = self.perf.get("accepted")
+        conflicts = self.perf.get("bank_conflicts")
+        if accepted + conflicts == 0:
+            return 1.0
+        return accepted / (accepted + conflicts)
+
+    @property
+    def hit_rate(self) -> float:
+        hits = self.perf.get("read_hits") + self.perf.get("write_hits")
+        misses = self.perf.get("read_misses") + self.perf.get("write_misses")
+        if hits + misses == 0:
+            return 0.0
+        return hits / (hits + misses)
+
+    @property
+    def busy(self) -> bool:
+        """True while any bank still has outstanding work."""
+        return any(bank.busy for bank in self.banks)
+
+    def counters(self) -> Dict[str, int]:
+        """Flat snapshot of the cache's performance counters."""
+        return self.perf.as_dict()

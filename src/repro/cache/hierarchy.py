@@ -1,0 +1,172 @@
+"""The memory hierarchy connecting cores to off-chip memory.
+
+Each core owns an instruction cache and a data cache; cores in a cluster
+may share an optional L2, clusters may share an optional L3, and everything
+ultimately reaches the DRAM timing model (paper section 4.1.4 and
+Figure 4).  ``MemorySubsystem`` wires the levels together, forwards fills
+and write-through traffic downward, routes completed fills back upward, and
+hands per-core responses to the timing cores every cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.cache import CacheRequest, CacheResponse, LowerPort, NonBlockingCache
+from repro.common.config import VortexConfig
+from repro.common.perf import PerfCounters
+from repro.mem.dram import DramModel, MemRequest
+
+
+class _DramPort(LowerPort):
+    """Lower port adapter that forwards cache traffic to the DRAM model."""
+
+    def __init__(self, dram: DramModel):
+        self.dram = dram
+
+    def request_fill(self, cache: NonBlockingCache, line_address: int) -> bool:
+        return self.dram.send(
+            MemRequest(address=line_address, is_write=False, tag=(cache, line_address))
+        )
+
+    def request_write(self, cache: NonBlockingCache, address: int) -> bool:
+        return self.dram.send(MemRequest(address=address, is_write=True, tag=None))
+
+
+class _CachePort(LowerPort):
+    """Lower port adapter that forwards traffic into another cache level."""
+
+    def __init__(self, lower_cache: NonBlockingCache, line_size: int):
+        self.lower_cache = lower_cache
+        self.line_size = line_size
+
+    def request_fill(self, cache: NonBlockingCache, line_address: int) -> bool:
+        # ``line_address`` is expressed in the *upper* cache's line units.
+        byte_address = line_address * cache.config.line_size
+        return self.lower_cache.send(
+            CacheRequest(address=byte_address, is_write=False, tag=("fill", cache, line_address))
+        )
+
+    def request_write(self, cache: NonBlockingCache, address: int) -> bool:
+        return self.lower_cache.send(
+            CacheRequest(address=address, is_write=True, tag=("wt", cache, address))
+        )
+
+
+class MemorySubsystem:
+    """All caches plus the DRAM model for one Vortex processor."""
+
+    def __init__(self, config: VortexConfig):
+        self.config = config
+        self.dram = DramModel(config.memory)
+        self.perf = PerfCounters("memsys")
+        dram_port = _DramPort(self.dram)
+
+        # Optional L3 shared by all clusters.
+        self.l3: Optional[NonBlockingCache] = None
+        if config.enable_l3:
+            self.l3 = NonBlockingCache("l3", config.l3cache, lower=dram_port)
+        below_l2_port = (
+            _CachePort(self.l3, config.l3cache.line_size) if self.l3 is not None else dram_port
+        )
+
+        # Optional L2 per cluster.
+        self.l2: List[Optional[NonBlockingCache]] = []
+        for cluster in range(config.num_clusters):
+            if config.enable_l2:
+                self.l2.append(
+                    NonBlockingCache(f"l2_{cluster}", config.l2cache, lower=below_l2_port)
+                )
+            else:
+                self.l2.append(None)
+
+        # Per-core L1 instruction and data caches.
+        self.icaches: List[NonBlockingCache] = []
+        self.dcaches: List[NonBlockingCache] = []
+        for core_id in range(config.num_cores):
+            cluster = core_id // config.cores_per_cluster
+            if self.l2[cluster] is not None:
+                l1_lower: LowerPort = _CachePort(self.l2[cluster], config.l2cache.line_size)
+            else:
+                l1_lower = below_l2_port
+            self.icaches.append(
+                NonBlockingCache(f"icache{core_id}", config.icache, lower=l1_lower)
+            )
+            self.dcaches.append(
+                NonBlockingCache(f"dcache{core_id}", config.dcache, lower=l1_lower)
+            )
+
+    # -- per-cycle operation ---------------------------------------------------------
+
+    def tick(self) -> Dict[Tuple[str, int], List[CacheResponse]]:
+        """Advance every level one cycle.
+
+        Returns the L1 responses grouped by ``("i" | "d", core_id)`` so the
+        timing cores can complete their outstanding operations.
+        """
+        # DRAM completes first so its fills can propagate upward this cycle.
+        for response in self.dram.tick():
+            if response.is_write or response.tag is None:
+                continue
+            cache, line_address = response.tag
+            cache.fill(line_address)
+
+        # Lower cache levels tick before upper levels so responses flow upward.
+        if self.l3 is not None:
+            self._route_internal(self.l3.tick(), self.l3)
+        for l2cache in self.l2:
+            if l2cache is not None:
+                self._route_internal(l2cache.tick(), l2cache)
+
+        results: Dict[Tuple[str, int], List[CacheResponse]] = {}
+        for core_id in range(self.config.num_cores):
+            icache_responses = self.icaches[core_id].tick()
+            dcache_responses = self.dcaches[core_id].tick()
+            if icache_responses:
+                results[("i", core_id)] = icache_responses
+            if dcache_responses:
+                results[("d", core_id)] = dcache_responses
+        return results
+
+    def _route_internal(self, responses: List[CacheResponse], level: NonBlockingCache) -> None:
+        """Route L2/L3 responses back to the caches that requested them."""
+        for response in responses:
+            tag = response.tag
+            if not isinstance(tag, tuple):
+                continue
+            kind = tag[0]
+            if kind == "fill":
+                _, upper_cache, line_address = tag
+                upper_cache.fill(line_address)
+            # Write-through acknowledgements need no routing.
+
+    # -- inspection -------------------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        """True while any cache level or the DRAM still has outstanding work."""
+        if self.dram.pending:
+            return True
+        levels: List[NonBlockingCache] = list(self.icaches) + list(self.dcaches)
+        levels += [cache for cache in self.l2 if cache is not None]
+        if self.l3 is not None:
+            levels.append(self.l3)
+        return any(cache.busy for cache in levels)
+
+    def dcache(self, core_id: int) -> NonBlockingCache:
+        return self.dcaches[core_id]
+
+    def icache(self, core_id: int) -> NonBlockingCache:
+        return self.icaches[core_id]
+
+    def counters(self) -> Dict[str, Dict[str, int]]:
+        """Per-component counter snapshot for reports."""
+        summary: Dict[str, Dict[str, int]] = {"dram": self.dram.perf.as_dict()}
+        for cache in self.icaches + self.dcaches:
+            summary[cache.name] = cache.counters()
+        for cache in self.l2:
+            if cache is not None:
+                summary[cache.name] = cache.counters()
+        if self.l3 is not None:
+            summary[self.l3.name] = self.l3.counters()
+        return summary

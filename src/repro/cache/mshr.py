@@ -1,0 +1,85 @@
+"""Miss status holding registers (MSHR).
+
+Each cache bank owns its own MSHR (the design point the paper adapts from
+Asiatici & Ienne): a bounded table of outstanding missed lines, each
+holding the list of core requests waiting for that line.  Only the first
+miss to a line issues a fill to the next memory level; subsequent misses to
+the same line merge into the existing entry, and all of them replay when
+the fill returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class MshrEntry:
+    """Outstanding miss state for one cache line."""
+
+    line_address: int
+    fill_issued: bool = False
+    waiting: List = field(default_factory=list)
+
+
+class Mshr:
+    """A bounded table of :class:`MshrEntry` keyed by line address."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("MSHR capacity must be at least 1")
+        self.capacity = capacity
+        self._entries: Dict[int, MshrEntry] = {}
+        self.peak_occupancy = 0
+        self.merged = 0
+        self.allocations = 0
+
+    # -- capacity ------------------------------------------------------------------
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def almost_full(self) -> bool:
+        """The early-full signal used to avoid the deadlock described in 4.3."""
+        return len(self._entries) >= self.capacity - 1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- allocation ----------------------------------------------------------------
+
+    def lookup(self, line_address: int) -> Optional[MshrEntry]:
+        return self._entries.get(line_address)
+
+    def allocate(self, line_address: int, request) -> Optional[MshrEntry]:
+        """Add ``request`` to the entry for ``line_address``.
+
+        Returns the entry, or ``None`` when a new entry is needed but the
+        table is full.  The caller checks ``fill_issued`` to know whether a
+        fill request must be sent to the lower level.
+        """
+        entry = self._entries.get(line_address)
+        if entry is not None:
+            entry.waiting.append(request)
+            self.merged += 1
+            return entry
+        if self.full:
+            return None
+        entry = MshrEntry(line_address=line_address, waiting=[request])
+        self._entries[line_address] = entry
+        self.allocations += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+        return entry
+
+    def release(self, line_address: int) -> List:
+        """Remove the entry for ``line_address`` and return its waiting requests."""
+        entry = self._entries.pop(line_address, None)
+        if entry is None:
+            return []
+        return entry.waiting
+
+    def pending_lines(self) -> List[int]:
+        return list(self._entries)

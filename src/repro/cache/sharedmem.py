@@ -1,0 +1,95 @@
+"""Per-core shared (scratchpad) memory.
+
+The paper's memory system offers an optional shared memory per core that
+acts as a software-managed scratchpad (section 4.1.4).  It is banked like
+the data cache but always hits; the only timing behaviour is bank-conflict
+serialization.  Functionally it is carved out of the global address space
+(one window per core) so kernels address it with ordinary loads and stores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from repro.common.perf import PerfCounters
+
+#: Base of the shared-memory window; core ``i`` owns one window of
+#: ``SHARED_MEM_STRIDE`` bytes starting at ``SHARED_MEM_BASE + i * stride``.
+SHARED_MEM_BASE = 0xFF00_0000
+SHARED_MEM_STRIDE = 0x0001_0000
+
+
+def shared_mem_window(core_id: int) -> Tuple[int, int]:
+    """Return the (base, limit) of core ``core_id``'s shared-memory window."""
+    base = SHARED_MEM_BASE + core_id * SHARED_MEM_STRIDE
+    return base, base + SHARED_MEM_STRIDE
+
+
+def is_shared_address(address: int) -> bool:
+    """True when ``address`` falls inside any shared-memory window."""
+    return address >= SHARED_MEM_BASE
+
+
+@dataclass
+class SharedResponse:
+    """A completed scratchpad access."""
+
+    address: int
+    is_write: bool
+    tag: Any
+    cycle: int
+
+
+class SharedMemory:
+    """Banked scratchpad with single-cycle access and bank-conflict serialization."""
+
+    def __init__(self, core_id: int, size: int, num_banks: int = 4, latency: int = 1):
+        self.core_id = core_id
+        self.size = size
+        self.num_banks = num_banks
+        self.latency = latency
+        self.base, self.limit = shared_mem_window(core_id)
+        self.perf = PerfCounters(f"smem{core_id}")
+        self._cycle = 0
+        self._accepts_this_cycle: Dict[int, int] = {}
+        self._pending: List[Tuple[int, SharedResponse]] = []
+
+    def contains(self, address: int) -> bool:
+        """True when ``address`` belongs to this core's window."""
+        return self.base <= address < self.base + self.size
+
+    def bank_index(self, address: int) -> int:
+        return (address // 4) % self.num_banks
+
+    def send(self, address: int, is_write: bool, tag: Any) -> bool:
+        """Present one access; False means a bank conflict (retry next cycle)."""
+        self.perf.incr("attempts")
+        bank = self.bank_index(address)
+        if self._accepts_this_cycle.get(bank, 0) >= 1:
+            self.perf.incr("bank_conflicts")
+            return False
+        self._accepts_this_cycle[bank] = 1
+        response = SharedResponse(address=address, is_write=is_write, tag=tag, cycle=0)
+        self._pending.append((self._cycle + self.latency, response))
+        self.perf.incr("writes" if is_write else "reads")
+        return True
+
+    def tick(self) -> List[SharedResponse]:
+        """Advance one cycle; return completed accesses."""
+        self._cycle += 1
+        self._accepts_this_cycle.clear()
+        ready = [resp for ready_cycle, resp in self._pending if ready_cycle <= self._cycle]
+        if ready:
+            self._pending = [
+                (ready_cycle, resp)
+                for ready_cycle, resp in self._pending
+                if ready_cycle > self._cycle
+            ]
+            for resp in ready:
+                resp.cycle = self._cycle
+        return ready
+
+    @property
+    def busy(self) -> bool:
+        return bool(self._pending)

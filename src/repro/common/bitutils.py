@@ -1,0 +1,96 @@
+"""Bit-manipulation helpers shared by the ISA, ALU and cache models.
+
+Everything in the simulator that touches architectural state works on
+32-bit two's-complement integers stored as Python ints in the unsigned
+range ``[0, 2**32)``.  These helpers centralize the conversions so that the
+rest of the code never has to worry about Python's unbounded integers.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+WORD_BITS = 32
+WORD_MASK = (1 << WORD_BITS) - 1
+
+
+def mask(nbits: int) -> int:
+    """Return an integer with the low ``nbits`` bits set."""
+    if nbits < 0:
+        raise ValueError(f"negative bit count: {nbits}")
+    return (1 << nbits) - 1
+
+
+def bit(value: int, index: int) -> int:
+    """Return bit ``index`` of ``value`` (0 or 1)."""
+    return (value >> index) & 1
+
+
+def bits(value: int, hi: int, lo: int) -> int:
+    """Return the inclusive bit-field ``value[hi:lo]``."""
+    if hi < lo:
+        raise ValueError(f"invalid bit range [{hi}:{lo}]")
+    return (value >> lo) & mask(hi - lo + 1)
+
+
+def to_uint32(value: int) -> int:
+    """Truncate an integer into the unsigned 32-bit range."""
+    return value & WORD_MASK
+
+
+def to_int32(value: int) -> int:
+    """Interpret the low 32 bits of ``value`` as a signed integer."""
+    value &= WORD_MASK
+    if value & (1 << (WORD_BITS - 1)):
+        return value - (1 << WORD_BITS)
+    return value
+
+
+def sext(value: int, from_bits: int) -> int:
+    """Sign-extend the low ``from_bits`` bits of ``value`` to a Python int."""
+    value &= mask(from_bits)
+    if value & (1 << (from_bits - 1)):
+        return value - (1 << from_bits)
+    return value
+
+
+def popcount(value: int) -> int:
+    """Count set bits."""
+    return bin(value & ((1 << 1024) - 1)).count("1") if value >= 0 else bin(value & WORD_MASK).count("1")
+
+
+def float_to_bits(value: float) -> int:
+    """Pack a Python float into IEEE-754 binary32 bits (round-to-nearest)."""
+    try:
+        packed = struct.pack("<f", value)
+    except OverflowError:
+        packed = struct.pack("<f", math.inf if value > 0 else -math.inf)
+    return struct.unpack("<I", packed)[0]
+
+
+def bits_to_float(word: int) -> float:
+    """Unpack IEEE-754 binary32 bits into a Python float."""
+    return struct.unpack("<f", struct.pack("<I", word & WORD_MASK))[0]
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to a multiple of ``alignment`` (a power of two)."""
+    return value & ~(alignment - 1)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to a multiple of ``alignment`` (a power of two)."""
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def is_aligned(value: int, alignment: int) -> bool:
+    """Return True when ``value`` is a multiple of ``alignment``."""
+    return (value & (alignment - 1)) == 0
+
+
+def log2ceil(value: int) -> int:
+    """Return ceil(log2(value)); 0 for value <= 1."""
+    if value <= 1:
+        return 0
+    return (value - 1).bit_length()

@@ -1,0 +1,131 @@
+"""Elastic-pipeline primitives (paper section 4.4).
+
+The RTL design threads every producer/consumer boundary through a
+ready/valid handshake so that backpressure composes across the whole
+processor and every in-flight request carries a tag (PC + wavefront id)
+that identifies it for tracing.  The timing models in this repository use
+the same discipline: stages exchange :class:`ElasticPacket` objects through
+:class:`ElasticChannel` queues, a stage only pops a channel when it can
+accept the packet, and a bounded channel that is full exerts backpressure
+by refusing pushes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Iterator, Optional
+
+
+@dataclass
+class ElasticPacket:
+    """A tagged payload travelling through an elastic channel.
+
+    The ``tag`` mirrors the RTL's trace tag: by convention it is a tuple of
+    ``(pc, warp_id)`` for instruction-derived requests, but any hashable
+    value is accepted — cache fills, for example, are tagged with their MSHR
+    entry id.
+    """
+
+    payload: Any
+    tag: Any = None
+    cycle: int = 0
+
+
+class ElasticChannel:
+    """A bounded ready/valid FIFO connecting two pipeline stages.
+
+    ``capacity=None`` models a combinational connection with unlimited
+    skid-buffering (used where the RTL would instantiate a deep FIFO);
+    bounded capacities model the single- or double-entry skid buffers used
+    between most stages.
+    """
+
+    def __init__(self, name: str, capacity: Optional[int] = 1):
+        if capacity is not None and capacity < 1:
+            raise ValueError("channel capacity must be at least 1")
+        self.name = name
+        self.capacity = capacity
+        self._queue: Deque[ElasticPacket] = deque()
+        self.pushed = 0
+        self.popped = 0
+        self.stalls = 0
+
+    # -- producer side ---------------------------------------------------------
+
+    @property
+    def ready(self) -> bool:
+        """True when a producer may push this cycle."""
+        return self.capacity is None or len(self._queue) < self.capacity
+
+    def push(self, payload: Any, tag: Any = None, cycle: int = 0) -> bool:
+        """Push a packet if the channel is ready; returns False on backpressure."""
+        if not self.ready:
+            self.stalls += 1
+            return False
+        self._queue.append(ElasticPacket(payload=payload, tag=tag, cycle=cycle))
+        self.pushed += 1
+        return True
+
+    # -- consumer side ---------------------------------------------------------
+
+    @property
+    def valid(self) -> bool:
+        """True when a consumer may pop this cycle."""
+        return bool(self._queue)
+
+    def peek(self) -> ElasticPacket:
+        """Return the head packet without consuming it."""
+        if not self._queue:
+            raise IndexError(f"peek on empty channel {self.name!r}")
+        return self._queue[0]
+
+    def pop(self) -> ElasticPacket:
+        """Consume and return the head packet."""
+        if not self._queue:
+            raise IndexError(f"pop on empty channel {self.name!r}")
+        self.popped += 1
+        return self._queue.popleft()
+
+    # -- inspection ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __iter__(self) -> Iterator[ElasticPacket]:
+        return iter(self._queue)
+
+    def clear(self) -> None:
+        self._queue.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ElasticChannel({self.name!r}, depth={len(self._queue)}/{self.capacity})"
+
+
+@dataclass
+class ElasticStage:
+    """Bookkeeping helper for a named pipeline stage.
+
+    Timing models register the stages they implement so traces and
+    utilization reports can be produced uniformly.  ``busy_cycles`` counts
+    cycles in which the stage processed at least one packet.
+    """
+
+    name: str
+    busy_cycles: int = 0
+    total_cycles: int = 0
+    processed: int = 0
+
+    def tick(self, did_work: bool, count: int = 1) -> None:
+        """Record one cycle of activity."""
+        self.total_cycles += 1
+        if did_work:
+            self.busy_cycles += 1
+            self.processed += count
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of cycles the stage did useful work."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.busy_cycles / self.total_cycles

@@ -1,0 +1,66 @@
+"""Performance counters shared by the timing models.
+
+Every timing component (core, cache, texture unit, memory controller)
+owns a :class:`PerfCounters` instance.  Counters are plain named integers
+plus a few derived metrics; the benchmark harness merges them into the
+per-experiment reports.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Mapping
+
+
+class PerfCounters:
+    """A dictionary of monotonically increasing counters with derived ratios."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._counters: Dict[str, int] = defaultdict(int)
+
+    def incr(self, counter: str, amount: int = 1) -> None:
+        """Increment ``counter`` by ``amount``."""
+        self._counters[counter] += amount
+
+    def set(self, counter: str, value: int) -> None:
+        """Set ``counter`` to an absolute value."""
+        self._counters[counter] = value
+
+    def get(self, counter: str) -> int:
+        """Read ``counter`` (0 if never touched)."""
+        return self._counters.get(counter, 0)
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """Return ``numerator / denominator`` guarding against division by zero."""
+        denom = self.get(denominator)
+        if denom == 0:
+            return 0.0
+        return self.get(numerator) / denom
+
+    def merge(self, other: "PerfCounters", prefix: str = "") -> None:
+        """Accumulate another counter set into this one."""
+        for key, value in other.items():
+            self._counters[prefix + key] += value
+
+    def items(self) -> Iterable:
+        return self._counters.items()
+
+    def as_dict(self) -> Dict[str, int]:
+        """Return a plain-dict snapshot."""
+        return dict(self._counters)
+
+    def update_from(self, mapping: Mapping[str, int]) -> None:
+        """Accumulate counters from a plain mapping."""
+        for key, value in mapping.items():
+            self._counters[key] += value
+
+    def reset(self) -> None:
+        self._counters.clear()
+
+    def __contains__(self, counter: str) -> bool:
+        return counter in self._counters
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counters.items()))
+        return f"PerfCounters({self.name!r}, {inner})"

@@ -1,0 +1,83 @@
+"""Wavefront barriers (paper section 4.1.3).
+
+A barrier table keeps, per barrier id, the number of wavefronts still
+expected and the mask of wavefronts currently stalled on it.  When the
+expected count is reached the stalled wavefronts are released.  The same
+structure is used for the per-core (local) barriers and — with warp ids
+replaced by (core, warp) pairs — for the global barriers selected by the
+MSB of the barrier id in multi-core configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+#: Barrier ids with this bit set have global (inter-core) scope.
+GLOBAL_BARRIER_FLAG = 1 << 31
+
+
+def is_global_barrier(barrier_id: int) -> bool:
+    """Return True when ``barrier_id`` selects a global barrier."""
+    return bool(barrier_id & GLOBAL_BARRIER_FLAG)
+
+
+def local_barrier_index(barrier_id: int) -> int:
+    """Strip the scope flag, leaving the table index."""
+    return barrier_id & ~GLOBAL_BARRIER_FLAG
+
+
+@dataclass
+class _BarrierEntry:
+    """State of one in-progress barrier."""
+
+    expected: int = 0
+    waiting: Set = field(default_factory=set)
+
+
+class BarrierTable:
+    """Barrier bookkeeping for one scope (a core, or the whole processor)."""
+
+    def __init__(self, num_barriers: int = 16):
+        self.num_barriers = num_barriers
+        self._entries: Dict[int, _BarrierEntry] = {}
+        self.arrivals = 0
+        self.releases = 0
+
+    def arrive(self, barrier_id: int, expected: int, participant) -> List:
+        """Register ``participant`` at ``barrier_id`` expecting ``expected`` arrivals.
+
+        Returns the list of participants to release (empty while the barrier
+        is still filling; all of them — including the current participant —
+        once the expected count is reached).  A barrier with ``expected <= 1``
+        releases immediately.
+        """
+        index = local_barrier_index(barrier_id) % max(self.num_barriers, 1)
+        self.arrivals += 1
+        if expected <= 1:
+            self.releases += 1
+            return [participant]
+        entry = self._entries.setdefault(index, _BarrierEntry(expected=expected))
+        entry.expected = expected
+        entry.waiting.add(participant)
+        if len(entry.waiting) >= entry.expected:
+            released = list(entry.waiting)
+            del self._entries[index]
+            self.releases += len(released)
+            return released
+        return []
+
+    def waiting_on(self, barrier_id: int) -> List:
+        """Participants currently stalled on ``barrier_id``."""
+        index = local_barrier_index(barrier_id) % max(self.num_barriers, 1)
+        entry = self._entries.get(index)
+        return list(entry.waiting) if entry else []
+
+    @property
+    def any_waiting(self) -> bool:
+        """True when at least one participant is stalled at any barrier."""
+        return any(entry.waiting for entry in self._entries.values())
+
+    def pending_barriers(self) -> List[int]:
+        """Barrier indices currently holding stalled participants."""
+        return sorted(index for index, entry in self._entries.items() if entry.waiting)

@@ -1,0 +1,386 @@
+"""Warp-level instruction emulation.
+
+``WarpEmulator`` executes one instruction for one warp, updating the warp's
+architectural state (registers, PC, thread mask, IPDOM stack) and the
+device memory, and returning a :class:`StepResult` describing what happened
+— which execution unit the instruction belongs to, the per-thread memory
+addresses it touched, whether a branch was taken, whether the warp stalled
+on a barrier.  The functional driver uses only the architectural effects;
+the cycle-level driver (SIMX) replays the same emulation inside its
+pipeline model and uses the :class:`StepResult` to charge latencies, cache
+accesses and structural hazards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.alu import alu_op, branch_taken, div_op, mul_op
+from repro.arch.fpu import fpu_op
+from repro.common.bitutils import sext, to_uint32
+from repro.isa.decoder import DecodedInstruction, decode
+from repro.isa.instructions import ExecUnit
+from repro.texture.unit import TexWarpResult
+
+
+class EmulationError(Exception):
+    """Raised when a warp executes something the model cannot handle."""
+
+
+@dataclass
+class MemAccess:
+    """One per-thread memory access performed by an instruction."""
+
+    thread: int
+    address: int
+    size: int
+    is_write: bool
+
+
+@dataclass
+class StepResult:
+    """Everything the timing model needs to know about one executed instruction."""
+
+    warp_id: int
+    pc: int
+    next_pc: int
+    instr: DecodedInstruction
+    tmask: int
+    unit: str
+    mem_accesses: List[MemAccess] = field(default_factory=list)
+    tex_result: Optional[TexWarpResult] = None
+    taken_branch: bool = False
+    warp_halted: bool = False
+    stalled_at_barrier: bool = False
+    spawned_warps: int = 0
+    divergent_branch: bool = False
+
+    @property
+    def active_thread_count(self) -> int:
+        return bin(self.tmask).count("1")
+
+    @property
+    def mnemonic(self) -> str:
+        return self.instr.mnemonic
+
+
+class WarpEmulator:
+    """Executes instructions for the warps of one core."""
+
+    def __init__(self, core):
+        """``core`` supplies memory, the CSR file, the texture unit, the warp
+        list, and the wspawn/barrier callbacks (see :class:`repro.core.core.SimtCore`)."""
+        self.core = core
+        self._decode_cache: Dict[int, DecodedInstruction] = {}
+
+    # -- fetch / decode -------------------------------------------------------------
+
+    def fetch(self, pc: int) -> DecodedInstruction:
+        """Fetch and decode the instruction at ``pc`` (decode results are cached)."""
+        cached = self._decode_cache.get(pc)
+        if cached is not None:
+            return cached
+        word = self.core.memory.read_word(pc)
+        try:
+            instr = decode(word)
+        except Exception as exc:
+            raise EmulationError(f"cannot decode word {word:#010x} at pc {pc:#x}: {exc}") from exc
+        self._decode_cache[pc] = instr
+        return instr
+
+    def invalidate_decode_cache(self) -> None:
+        """Drop cached decodes (needed if a new program image is loaded)."""
+        self._decode_cache.clear()
+
+    # -- execution --------------------------------------------------------------------
+
+    def step(self, warp) -> StepResult:
+        """Execute the next instruction of ``warp``."""
+        if not warp.schedulable:
+            raise EmulationError(f"warp {warp.warp_id} is not schedulable")
+        pc = warp.pc
+        instr = self.fetch(pc)
+        result = StepResult(
+            warp_id=warp.warp_id,
+            pc=pc,
+            next_pc=pc + 4,
+            instr=instr,
+            tmask=warp.tmask,
+            unit=instr.spec.unit,
+        )
+        handler = self._HANDLERS.get(instr.spec.unit, WarpEmulator._exec_alu)
+        handler(self, warp, instr, result)
+        warp.pc = result.next_pc
+        warp.instructions += 1
+        return result
+
+    # -- operand helpers ----------------------------------------------------------------
+
+    @staticmethod
+    def _read(warp, thread: int, index: int, floating: bool) -> int:
+        if floating:
+            return warp.regs.read_float(thread, index)
+        return warp.regs.read_int(thread, index)
+
+    @staticmethod
+    def _write(warp, thread: int, index: int, value: int, floating: bool) -> None:
+        if floating:
+            warp.regs.write_float(thread, index, value)
+        else:
+            warp.regs.write_int(thread, index, value)
+
+    def _write_rd(self, warp, instr: DecodedInstruction, thread: int, value: int) -> None:
+        self._write(warp, thread, instr.rd, value, instr.spec.rd_float)
+
+    def _first_active_thread(self, warp) -> int:
+        active = warp.active_threads()
+        if not active:
+            raise EmulationError(f"warp {warp.warp_id} has no active threads")
+        return active[0]
+
+    # -- per-unit handlers ----------------------------------------------------------------
+
+    def _exec_alu(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+        mnemonic = instr.mnemonic
+        spec = instr.spec
+
+        if spec.is_branch:
+            self._exec_branch(warp, instr, result)
+            return
+        if spec.is_jump:
+            self._exec_jump(warp, instr, result)
+            return
+
+        for thread in warp.active_threads():
+            if mnemonic == "lui":
+                value = to_uint32(instr.imm)
+            elif mnemonic == "auipc":
+                value = to_uint32(result.pc + instr.imm)
+            elif spec.fmt.value == "I":
+                lhs = warp.regs.read_int(thread, instr.rs1)
+                value = alu_op(mnemonic, lhs, to_uint32(instr.imm))
+            elif spec.unit == ExecUnit.MUL:
+                lhs = warp.regs.read_int(thread, instr.rs1)
+                rhs = warp.regs.read_int(thread, instr.rs2)
+                value = mul_op(mnemonic, lhs, rhs)
+            elif spec.unit == ExecUnit.DIV:
+                lhs = warp.regs.read_int(thread, instr.rs1)
+                rhs = warp.regs.read_int(thread, instr.rs2)
+                value = div_op(mnemonic, lhs, rhs)
+            else:
+                lhs = warp.regs.read_int(thread, instr.rs1)
+                rhs = warp.regs.read_int(thread, instr.rs2)
+                value = alu_op(mnemonic, lhs, rhs)
+            self._write_rd(warp, instr, thread, value)
+
+    def _exec_branch(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+        decisions = []
+        for thread in warp.active_threads():
+            lhs = warp.regs.read_int(thread, instr.rs1)
+            rhs = warp.regs.read_int(thread, instr.rs2)
+            decisions.append(branch_taken(instr.mnemonic, lhs, rhs))
+        taken = decisions[0]
+        if any(decision != taken for decision in decisions):
+            result.divergent_branch = True
+            self.core.perf.incr("divergent_branches")
+        if taken:
+            result.next_pc = to_uint32(result.pc + instr.imm)
+            result.taken_branch = True
+
+    def _exec_jump(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+        return_address = to_uint32(result.pc + 4)
+        if instr.mnemonic == "jal":
+            result.next_pc = to_uint32(result.pc + instr.imm)
+        else:  # jalr
+            thread = self._first_active_thread(warp)
+            base = warp.regs.read_int(thread, instr.rs1)
+            result.next_pc = to_uint32(base + instr.imm) & ~1
+        result.taken_branch = True
+        if instr.rd != 0:
+            for thread in warp.active_threads():
+                self._write_rd(warp, instr, thread, return_address)
+
+    def _exec_fpu(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+        for thread in warp.active_threads():
+            rs1 = self._read(warp, thread, instr.rs1, instr.spec.rs1_float)
+            rs2 = self._read(warp, thread, instr.rs2, instr.spec.rs2_float)
+            rs3 = self._read(warp, thread, instr.rs3, instr.spec.rs3_float)
+            value = fpu_op(instr.mnemonic, rs1, rs2, rs3)
+            self._write_rd(warp, instr, thread, value)
+
+    def _exec_lsu(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+        memory = self.core.memory
+        mnemonic = instr.mnemonic
+        for thread in warp.active_threads():
+            base = warp.regs.read_int(thread, instr.rs1)
+            address = to_uint32(base + instr.imm)
+            if instr.spec.is_load:
+                if mnemonic in ("lw", "flw"):
+                    value = memory.read_word(address)
+                    size = 4
+                elif mnemonic == "lh":
+                    value = to_uint32(sext(memory.read_half(address), 16))
+                    size = 2
+                elif mnemonic == "lhu":
+                    value = memory.read_half(address)
+                    size = 2
+                elif mnemonic == "lb":
+                    value = to_uint32(sext(memory.read_byte(address), 8))
+                    size = 1
+                elif mnemonic == "lbu":
+                    value = memory.read_byte(address)
+                    size = 1
+                else:
+                    raise EmulationError(f"unhandled load {mnemonic}")
+                self._write_rd(warp, instr, thread, value)
+                result.mem_accesses.append(
+                    MemAccess(thread=thread, address=address, size=size, is_write=False)
+                )
+            else:
+                value = self._read(warp, thread, instr.rs2, instr.spec.rs2_float)
+                if mnemonic in ("sw", "fsw"):
+                    memory.write_word(address, value)
+                    size = 4
+                elif mnemonic == "sh":
+                    memory.write_half(address, value)
+                    size = 2
+                elif mnemonic == "sb":
+                    memory.write_byte(address, value)
+                    size = 1
+                else:
+                    raise EmulationError(f"unhandled store {mnemonic}")
+                result.mem_accesses.append(
+                    MemAccess(thread=thread, address=address, size=size, is_write=True)
+                )
+
+    def _exec_sfu(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+        mnemonic = instr.mnemonic
+        if mnemonic in ("csrrw", "csrrs", "csrrc", "csrrwi", "csrrsi", "csrrci"):
+            self._exec_csr(warp, instr, result)
+        elif mnemonic == "tmc":
+            thread = self._first_active_thread(warp)
+            count = warp.regs.read_int(thread, instr.rs1)
+            warp.set_thread_count(count)
+            if not warp.active:
+                result.warp_halted = True
+        elif mnemonic == "wspawn":
+            thread = self._first_active_thread(warp)
+            count = warp.regs.read_int(thread, instr.rs1)
+            target_pc = warp.regs.read_int(thread, instr.rs2)
+            result.spawned_warps = self.core.handle_wspawn(count, target_pc)
+        elif mnemonic == "split":
+            self._exec_split(warp, instr, result)
+        elif mnemonic == "join":
+            self._exec_join(warp, instr, result)
+        elif mnemonic == "bar":
+            thread = self._first_active_thread(warp)
+            barrier_id = warp.regs.read_int(thread, instr.rs1)
+            count = warp.regs.read_int(thread, instr.rs2)
+            stalled = self.core.handle_barrier(warp, barrier_id, count)
+            result.stalled_at_barrier = stalled
+        elif mnemonic == "fence":
+            self.core.handle_fence()
+        elif mnemonic == "ecall":
+            warp.halt()
+            result.warp_halted = True
+        else:
+            raise EmulationError(f"unhandled SFU instruction {mnemonic}")
+
+    def _exec_csr(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+        csr_file = self.core.csr
+        mnemonic = instr.mnemonic
+        immediate_form = mnemonic.endswith("i")
+        warp_mask = self.core.active_warp_mask() if hasattr(self.core, "active_warp_mask") else 0
+        first_thread = self._first_active_thread(warp)
+
+        def operand(thread: int) -> int:
+            if immediate_form:
+                return instr.imm & 0x1F
+            return warp.regs.read_int(thread, instr.rs1)
+
+        old_values = {}
+        for thread in warp.active_threads():
+            old_values[thread] = csr_file.read(
+                instr.csr,
+                thread_id=thread,
+                warp_id=warp.warp_id,
+                thread_mask=warp.tmask,
+                warp_mask=warp_mask,
+            )
+
+        write_value = operand(first_thread)
+        base = old_values[first_thread]
+        if mnemonic in ("csrrw", "csrrwi"):
+            csr_file.write(instr.csr, write_value)
+        elif mnemonic in ("csrrs", "csrrsi"):
+            if write_value:
+                csr_file.write(instr.csr, base | write_value)
+        elif mnemonic in ("csrrc", "csrrci"):
+            if write_value:
+                csr_file.write(instr.csr, base & ~write_value)
+
+        if instr.rd != 0:
+            for thread in warp.active_threads():
+                self._write(warp, thread, instr.rd, old_values[thread], False)
+
+    def _exec_split(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+        original = warp.tmask
+        taken_mask = 0
+        for thread in warp.active_threads():
+            predicate = warp.regs.read_int(thread, instr.rs1)
+            if predicate:
+                taken_mask |= 1 << thread
+        not_taken_mask = original & ~taken_mask
+        warp.ipdom.push(original, pc=None)
+        if taken_mask and not_taken_mask:
+            warp.ipdom.push(not_taken_mask, pc=result.pc + 4)
+            warp.set_tmask(taken_mask)
+            self.core.perf.incr("divergent_splits")
+        else:
+            self.core.perf.incr("uniform_splits")
+
+    def _exec_join(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+        entry = warp.ipdom.pop()
+        warp.set_tmask(entry.tmask)
+        if not entry.is_fallthrough:
+            result.next_pc = entry.pc
+            result.taken_branch = True
+
+    def _exec_tex(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+        tex_unit = self.core.tex_unit
+        if tex_unit is None:
+            raise EmulationError("tex executed but the core has no texture unit")
+        operands: List[Optional[Tuple[int, int, int]]] = []
+        for thread in range(warp.num_threads):
+            if (warp.tmask >> thread) & 1:
+                operands.append(
+                    (
+                        warp.regs.read_float(thread, instr.rs1),
+                        warp.regs.read_float(thread, instr.rs2),
+                        warp.regs.read_float(thread, instr.rs3),
+                    )
+                )
+            else:
+                operands.append(None)
+        tex_result = tex_unit.sample_warp(self.core.csr, instr.tex_stage, operands)
+        color_index = 0
+        for thread in range(warp.num_threads):
+            if (warp.tmask >> thread) & 1:
+                warp.regs.write_int(thread, instr.rd, tex_result.colors[thread])
+        result.tex_result = tex_result
+        for address in tex_result.unique_addresses:
+            result.mem_accesses.append(
+                MemAccess(thread=0, address=address, size=4, is_write=False)
+            )
+
+    _HANDLERS = {
+        ExecUnit.ALU: _exec_alu,
+        ExecUnit.MUL: _exec_alu,
+        ExecUnit.DIV: _exec_alu,
+        ExecUnit.FPU: _exec_fpu,
+        ExecUnit.FDIV: _exec_fpu,
+        ExecUnit.LSU: _exec_lsu,
+        ExecUnit.SFU: _exec_sfu,
+        ExecUnit.TEX: _exec_tex,
+    }

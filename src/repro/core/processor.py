@@ -1,0 +1,181 @@
+"""Multi-core Vortex processors.
+
+``Processor`` is the functional (instruction-granular) multi-core model
+used by the FUNCSIM driver; ``TimingProcessor`` is the cycle-level model
+used by the SIMX driver.  Both share the same device memory, support the
+global (inter-core) barriers selected by the MSB of the barrier id, and
+expose the performance counters the benchmark harness reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cache.hierarchy import MemorySubsystem
+from repro.common.config import VortexConfig
+from repro.common.perf import PerfCounters
+from repro.core.barrier import BarrierTable
+from repro.core.core import SimtCore
+from repro.core.emulator import EmulationError
+from repro.core.timing import TimingCore
+from repro.mem.memory import MainMemory
+
+
+class _GlobalBarrierMixin:
+    """Global-barrier bookkeeping shared by both processor models."""
+
+    def _init_global_barriers(self, num_barriers: int = 16) -> None:
+        self._global_barriers = BarrierTable(num_barriers)
+
+    def global_barrier_arrive(self, core, warp, barrier_id: int, count: int) -> bool:
+        """Register ``warp`` of ``core`` at a global barrier.
+
+        Returns True when the warp must stall.  ``count`` is the total number
+        of wavefronts (across all cores) expected at the barrier.
+        """
+        participant = (core.core_id, warp.warp_id, warp)
+        released = self._global_barriers.arrive(barrier_id, count, participant)
+        if any(entry[2] is warp for entry in released):
+            for _, _, released_warp in released:
+                released_warp.at_barrier = False
+            return False
+        warp.at_barrier = True
+        return True
+
+
+class Processor(_GlobalBarrierMixin):
+    """Functional multi-core processor (the FUNCSIM driver's engine)."""
+
+    def __init__(self, config: Optional[VortexConfig] = None, memory: Optional[MainMemory] = None):
+        self.config = config or VortexConfig()
+        self.memory = memory or MainMemory()
+        self.cores: List[SimtCore] = [
+            SimtCore(core_id, self.config, self.memory, processor=self)
+            for core_id in range(self.config.num_cores)
+        ]
+        self.perf = PerfCounters("processor")
+        self._init_global_barriers()
+
+    def reset(self, entry_pc: int) -> None:
+        """Reset every core; each starts warp 0 / thread 0 at ``entry_pc``."""
+        for core in self.cores:
+            core.reset(entry_pc)
+
+    @property
+    def done(self) -> bool:
+        return all(core.done for core in self.cores)
+
+    def run(self, entry_pc: Optional[int] = None, max_instructions: int = 50_000_000) -> int:
+        """Run to completion; returns total instructions executed.
+
+        Cores and wavefronts are interleaved at instruction granularity so
+        that inter-core (global) barriers make forward progress.
+        """
+        if entry_pc is not None:
+            self.reset(entry_pc)
+        executed = 0
+        while not self.done:
+            progressed = False
+            for core in self.cores:
+                for warp in core.warps:
+                    if not warp.schedulable:
+                        continue
+                    core.step_warp(warp)
+                    executed += 1
+                    progressed = True
+                    if executed >= max_instructions:
+                        raise EmulationError(
+                            f"processor exceeded the instruction limit ({max_instructions})"
+                        )
+            if not progressed:
+                raise EmulationError(
+                    "processor deadlocked: active wavefronts exist but none can execute"
+                )
+        self.perf.incr("instructions", executed)
+        return executed
+
+    def counters(self) -> Dict[str, Dict[str, int]]:
+        """Per-core counter snapshot."""
+        return {f"core{core.core_id}": core.perf.as_dict() for core in self.cores}
+
+
+class TimingProcessor(_GlobalBarrierMixin):
+    """Cycle-level multi-core processor (the SIMX driver's engine)."""
+
+    def __init__(self, config: Optional[VortexConfig] = None, memory: Optional[MainMemory] = None):
+        self.config = config or VortexConfig()
+        self.memory = memory or MainMemory()
+        self.memsys = MemorySubsystem(self.config)
+        self.cores: List[TimingCore] = [
+            TimingCore(core_id, self.config, self.memory, self.memsys, processor=self)
+            for core_id in range(self.config.num_cores)
+        ]
+        self.perf = PerfCounters("timing_processor")
+        self.cycle = 0
+        self._init_global_barriers()
+
+    def reset(self, entry_pc: int) -> None:
+        """Reset every core and the cycle counter."""
+        for core in self.cores:
+            core.reset(entry_pc)
+        self.cycle = 0
+
+    @property
+    def done(self) -> bool:
+        return all(core.done for core in self.cores) and not self.memsys.busy
+
+    def tick(self) -> None:
+        """Advance the whole processor by one cycle."""
+        self.cycle += 1
+        responses = self.memsys.tick()
+        for core in self.cores:
+            core.tick(
+                icache_responses=responses.get(("i", core.core_id)),
+                dcache_responses=responses.get(("d", core.core_id)),
+            )
+
+    def run(self, entry_pc: Optional[int] = None, max_cycles: int = 20_000_000) -> int:
+        """Run to completion; returns the elapsed cycle count."""
+        if entry_pc is not None:
+            self.reset(entry_pc)
+        idle_cycles = 0
+        while not self.done:
+            instructions_before = self.total_instructions
+            self.tick()
+            if self.cycle >= max_cycles:
+                raise EmulationError(f"timing simulation exceeded {max_cycles} cycles")
+            # Deadlock watchdog: no instruction retired for a long stretch while
+            # cores still have active wavefronts and no memory traffic is pending.
+            if self.total_instructions == instructions_before and not self.memsys.busy:
+                idle_cycles += 1
+                if idle_cycles > 200_000:
+                    raise EmulationError("timing simulation made no progress for 200000 cycles")
+            else:
+                idle_cycles = 0
+        self.perf.set("cycles", self.cycle)
+        return self.cycle
+
+    # -- metrics -------------------------------------------------------------------------
+
+    @property
+    def total_instructions(self) -> int:
+        """Warp-instructions retired across all cores."""
+        return sum(core.perf.get("instructions") for core in self.cores)
+
+    @property
+    def total_thread_instructions(self) -> int:
+        """Thread-instructions retired across all cores."""
+        return sum(core.perf.get("thread_instructions") for core in self.cores)
+
+    @property
+    def ipc(self) -> float:
+        """Aggregate thread-instructions per cycle (the paper's IPC metric)."""
+        if self.cycle == 0:
+            return 0.0
+        return self.total_thread_instructions / self.cycle
+
+    def counters(self) -> Dict[str, Dict[str, int]]:
+        """Per-core and per-cache counter snapshot."""
+        summary = {f"core{core.core_id}": core.perf.as_dict() for core in self.cores}
+        summary.update(self.memsys.counters())
+        return summary

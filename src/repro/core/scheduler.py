@@ -1,0 +1,105 @@
+"""The wavefront scheduler (paper section 4.1.1).
+
+The scheduler keeps four wavefront masks:
+
+* ``active``  — wavefronts that exist (spawned and not yet terminated),
+* ``stalled`` — wavefronts that must not be scheduled temporarily (waiting
+  on a long-latency operation or on backpressure),
+* ``barrier`` — wavefronts waiting at a barrier,
+* ``visible`` — the working set of the hierarchical (two-level) scheduling
+  policy: each cycle one wavefront is picked from the visible mask and
+  removed; when the visible mask empties it is refilled from the active
+  wavefronts that are neither stalled nor at a barrier.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.bitutils import mask
+from repro.common.perf import PerfCounters
+
+
+class WavefrontScheduler:
+    """Hierarchical wavefront scheduler for one core."""
+
+    def __init__(self, num_warps: int):
+        self.num_warps = num_warps
+        self.active_mask = 0
+        self.stalled_mask = 0
+        self.barrier_mask = 0
+        self.visible_mask = 0
+        self.perf = PerfCounters("scheduler")
+        self._last_selected: Optional[int] = None
+
+    # -- mask maintenance -----------------------------------------------------------
+
+    def set_active(self, warp_id: int, active: bool) -> None:
+        """Mark a wavefront as existing / terminated."""
+        bit = 1 << warp_id
+        if active:
+            self.active_mask |= bit
+        else:
+            self.active_mask &= ~bit
+            self.visible_mask &= ~bit
+
+    def set_stalled(self, warp_id: int, stalled: bool) -> None:
+        """Stall / release a wavefront (long-latency operation outstanding)."""
+        bit = 1 << warp_id
+        if stalled:
+            self.stalled_mask |= bit
+            self.visible_mask &= ~bit
+        else:
+            self.stalled_mask &= ~bit
+
+    def set_at_barrier(self, warp_id: int, waiting: bool) -> None:
+        """Mark / clear a wavefront as waiting at a barrier."""
+        bit = 1 << warp_id
+        if waiting:
+            self.barrier_mask |= bit
+            self.visible_mask &= ~bit
+        else:
+            self.barrier_mask &= ~bit
+
+    # -- selection -------------------------------------------------------------------
+
+    def _schedulable_mask(self) -> int:
+        return self.active_mask & ~self.stalled_mask & ~self.barrier_mask & mask(self.num_warps)
+
+    def select(self) -> Optional[int]:
+        """Pick the wavefront to fetch this cycle, or ``None`` if none is ready.
+
+        Implements the two-level policy: wavefronts are drained from the
+        visible mask one per cycle; when it is empty it is refilled from the
+        schedulable wavefronts.
+        """
+        if self.visible_mask & ~self._schedulable_mask():
+            # Wavefronts that became unschedulable leave the working set.
+            self.visible_mask &= self._schedulable_mask()
+        if not self.visible_mask:
+            self.visible_mask = self._schedulable_mask()
+            if not self.visible_mask:
+                self.perf.incr("idle_cycles")
+                return None
+            self.perf.incr("refills")
+        # Round-robin starting after the last selected wavefront.
+        start = 0 if self._last_selected is None else (self._last_selected + 1) % self.num_warps
+        for offset in range(self.num_warps):
+            warp_id = (start + offset) % self.num_warps
+            if (self.visible_mask >> warp_id) & 1:
+                self.visible_mask &= ~(1 << warp_id)
+                self._last_selected = warp_id
+                self.perf.incr("selections")
+                return warp_id
+        return None  # pragma: no cover - unreachable, mask was non-zero
+
+    # -- inspection -------------------------------------------------------------------
+
+    @property
+    def any_active(self) -> bool:
+        return self.active_mask != 0
+
+    @property
+    def all_stalled(self) -> bool:
+        """True when wavefronts exist but none can be scheduled."""
+        return self.active_mask != 0 and self._schedulable_mask() == 0

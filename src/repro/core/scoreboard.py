@@ -1,0 +1,63 @@
+"""Register scoreboard.
+
+The in-order pipeline issues at most one instruction per warp per cycle and
+must not issue an instruction whose source or destination registers are
+still owned by an older in-flight instruction of the same warp.  The
+scoreboard tracks busy registers per (warp, register file) and is also the
+structure whose size the synthesis area model charges per wavefront
+(section 6.2.1 lists it among the per-wavefront costs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set, Tuple
+
+from repro.common.perf import PerfCounters
+
+#: Register-file selectors.
+INT_REGS = "x"
+FP_REGS = "f"
+
+
+class Scoreboard:
+    """Tracks in-flight destination registers per warp."""
+
+    def __init__(self, num_warps: int):
+        self.num_warps = num_warps
+        self._busy: Dict[int, Set[Tuple[str, int]]] = {warp: set() for warp in range(num_warps)}
+        self.perf = PerfCounters("scoreboard")
+
+    @staticmethod
+    def _key(register: int, floating: bool) -> Tuple[str, int]:
+        return (FP_REGS if floating else INT_REGS, register)
+
+    def is_busy(self, warp_id: int, register: int, floating: bool = False) -> bool:
+        """True when ``register`` has a pending writeback for ``warp_id``."""
+        if register == 0 and not floating:
+            return False
+        return self._key(register, floating) in self._busy[warp_id]
+
+    def any_busy(self, warp_id: int, registers: Iterable[Tuple[int, bool]]) -> bool:
+        """True when any of the (register, floating) pairs is busy."""
+        return any(self.is_busy(warp_id, register, floating) for register, floating in registers)
+
+    def reserve(self, warp_id: int, register: int, floating: bool = False) -> None:
+        """Mark a destination register as having a pending writeback."""
+        if register == 0 and not floating:
+            return
+        self._busy[warp_id].add(self._key(register, floating))
+        self.perf.incr("reservations")
+
+    def release(self, warp_id: int, register: int, floating: bool = False) -> None:
+        """Clear a pending writeback."""
+        if register == 0 and not floating:
+            return
+        self._busy[warp_id].discard(self._key(register, floating))
+
+    def busy_count(self, warp_id: int) -> int:
+        """Number of registers with pending writebacks for ``warp_id``."""
+        return len(self._busy[warp_id])
+
+    def clear(self) -> None:
+        for warp_id in self._busy:
+            self._busy[warp_id].clear()

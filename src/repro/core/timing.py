@@ -1,0 +1,383 @@
+"""The cycle-level (SIMX) core model.
+
+``TimingCore`` wraps the functional :class:`~repro.core.core.SimtCore` —
+which provides the architectural state and the instruction semantics — with
+the timing behaviour of the Vortex microarchitecture:
+
+* the wavefront scheduler picks one warp per cycle (two-level policy),
+* the core is in-order and single-issue; register dependencies are enforced
+  by the scoreboard,
+* execution units have per-class latencies (ALU, MUL, DIV, FPU, FDIV/FSQRT,
+  SFU),
+* loads, stores and texture fetches travel through the non-blocking
+  multi-banked data cache (or the shared-memory scratchpad), with the
+  per-thread parallelism, bank conflicts and MSHR behaviour of section 4.3,
+* instruction fetches warm the instruction cache at line granularity,
+* taken branches pay a front-end redirect penalty.
+
+This is intentionally an *instruction-granular* timing model in the style
+of the paper's own SIMX driver rather than an RTL-faithful pipeline; the
+design-space trends the paper reports (Figures 14, 18, 19, 20, 21) emerge
+from the scheduler, scoreboard, latencies and the cache/memory system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.cache import CacheRequest, CacheResponse, NonBlockingCache
+from repro.cache.sharedmem import SharedMemory, is_shared_address
+from repro.common.config import VortexConfig
+from repro.common.perf import PerfCounters
+from repro.core.core import SimtCore
+from repro.core.emulator import StepResult
+from repro.core.scheduler import WavefrontScheduler
+from repro.core.scoreboard import Scoreboard
+from repro.isa.instructions import ExecUnit
+
+#: Extra cycles a warp waits after a taken branch (front-end redirect).
+BRANCH_PENALTY = 2
+
+
+@dataclass
+class _PendingMemOp:
+    """A memory (or texture) instruction waiting for its cache responses."""
+
+    op_id: int
+    warp_id: int
+    rd: int
+    rd_float: bool
+    writes_rd: bool
+    kind: str  # "load" | "tex"
+    to_send: List[Tuple[int, bool]] = field(default_factory=list)
+    outstanding: int = 0
+    extra_latency: int = 0
+
+
+class TimingCore:
+    """Cycle-level model of one Vortex core."""
+
+    def __init__(self, core_id: int, config: VortexConfig, memory, memsys, processor=None):
+        self.core_id = core_id
+        self.config = config
+        self.func = SimtCore(core_id, config, memory, processor=processor)
+        self.scheduler = WavefrontScheduler(config.core.num_warps)
+        self.scoreboard = Scoreboard(config.core.num_warps)
+        self.icache: NonBlockingCache = memsys.icache(core_id)
+        self.dcache: NonBlockingCache = memsys.dcache(core_id)
+        self.smem = SharedMemory(core_id, config.core.shared_mem_size)
+        self.perf = PerfCounters(f"timing_core{core_id}")
+        self.cycle = 0
+
+        core_cfg = config.core
+        self._unit_latency = {
+            ExecUnit.ALU: 1,
+            ExecUnit.SFU: 1,
+            ExecUnit.MUL: core_cfg.imul_latency,
+            ExecUnit.DIV: core_cfg.idiv_latency,
+            ExecUnit.FPU: core_cfg.fpu_latency,
+            ExecUnit.FDIV: core_cfg.fdiv_latency,
+        }
+
+        # Timing state.
+        self._warp_ready_cycle: Dict[int, int] = {w: 0 for w in range(core_cfg.num_warps)}
+        self._writebacks: List[Tuple[int, int, int, bool]] = []  # (cycle, warp, rd, float)
+        self._pending_ops: Dict[int, _PendingMemOp] = {}
+        self._store_queue: List[Tuple[int, bool]] = []  # fire-and-forget stores
+        self._next_op_id = 0
+        self._warm_ilines: set = set()
+        self._pending_ifetch: Dict[int, int] = {}  # warp_id -> line address awaited
+        self._ifetch_to_send: List[Tuple[int, int]] = []  # (warp_id, line byte address)
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def reset(self, entry_pc: int) -> None:
+        """Reset architectural and timing state; warp 0 starts at ``entry_pc``."""
+        self.func.reset(entry_pc)
+        self.cycle = 0
+        self.scoreboard.clear()
+        self._writebacks.clear()
+        self._pending_ops.clear()
+        self._store_queue.clear()
+        self._warm_ilines.clear()
+        self._pending_ifetch.clear()
+        self._ifetch_to_send.clear()
+        for warp_id in self._warp_ready_cycle:
+            self._warp_ready_cycle[warp_id] = 0
+
+    # -- helpers -------------------------------------------------------------------------
+
+    @property
+    def warps(self):
+        return self.func.warps
+
+    @property
+    def done(self) -> bool:
+        """True when every warp terminated and all outstanding work drained."""
+        return (
+            self.func.done
+            and not self._pending_ops
+            and not self._writebacks
+            and not self._store_queue
+            and not self._ifetch_to_send
+            and not self._pending_ifetch
+        )
+
+    def _sync_scheduler_masks(self) -> None:
+        for warp in self.func.warps:
+            self.scheduler.set_active(warp.warp_id, warp.active)
+            self.scheduler.set_at_barrier(warp.warp_id, warp.at_barrier)
+            stalled = (
+                self._warp_ready_cycle[warp.warp_id] > self.cycle
+                or warp.warp_id in self._pending_ifetch
+            )
+            self.scheduler.set_stalled(warp.warp_id, stalled)
+
+    def _instruction_registers(self, warp) -> Optional[List[Tuple[int, bool]]]:
+        """Registers read/written by the warp's next instruction (for hazard checks)."""
+        try:
+            instr = self.func.emulator.fetch(warp.pc)
+        except Exception:
+            return None
+        spec = instr.spec
+        registers: List[Tuple[int, bool]] = []
+        if "rs1" in spec.syntax or spec.syntax and spec.syntax[-1] == "mem":
+            registers.append((instr.rs1, spec.rs1_float))
+        if "rs2" in spec.syntax:
+            registers.append((instr.rs2, spec.rs2_float))
+        if "rs3" in spec.syntax:
+            registers.append((instr.rs3, spec.rs3_float))
+        if spec.writes_rd:
+            registers.append((instr.rd, spec.rd_float))
+        return registers
+
+    # -- per-cycle operation ----------------------------------------------------------------
+
+    def tick(
+        self,
+        icache_responses: Optional[List[CacheResponse]] = None,
+        dcache_responses: Optional[List[CacheResponse]] = None,
+    ) -> None:
+        """Advance the core by one cycle."""
+        self.cycle += 1
+        self.func.csr.tick()
+        self.perf.incr("cycles")
+
+        self._process_writebacks()
+        self._process_icache_responses(icache_responses or [])
+        self._process_dcache_responses(dcache_responses or [])
+        self._process_smem_responses()
+        self._drain_requests()
+
+        self._sync_scheduler_masks()
+        warp_id = self.scheduler.select()
+        if warp_id is None:
+            self.perf.incr("idle_cycles")
+            return
+        warp = self.func.warps[warp_id]
+        if not warp.schedulable:
+            return
+        self._issue(warp)
+
+    # -- completion paths --------------------------------------------------------------------
+
+    def _process_writebacks(self) -> None:
+        if not self._writebacks:
+            return
+        remaining = []
+        for ready_cycle, warp_id, rd, rd_float in self._writebacks:
+            if ready_cycle <= self.cycle:
+                self.scoreboard.release(warp_id, rd, rd_float)
+            else:
+                remaining.append((ready_cycle, warp_id, rd, rd_float))
+        self._writebacks = remaining
+
+    def _process_icache_responses(self, responses: List[CacheResponse]) -> None:
+        for response in responses:
+            tag = response.tag
+            if not (isinstance(tag, tuple) and tag and tag[0] == "ifetch"):
+                continue
+            _, warp_id, line_address = tag
+            self._warm_ilines.add(line_address)
+            if self._pending_ifetch.get(warp_id) == line_address:
+                del self._pending_ifetch[warp_id]
+
+    def _process_dcache_responses(self, responses: List[CacheResponse]) -> None:
+        for response in responses:
+            tag = response.tag
+            if not (isinstance(tag, tuple) and tag and tag[0] == "op"):
+                continue
+            op = self._pending_ops.get(tag[1])
+            if op is None:
+                continue
+            op.outstanding -= 1
+            self._maybe_complete_op(op)
+
+    def _process_smem_responses(self) -> None:
+        for response in self.smem.tick():
+            tag = response.tag
+            if not (isinstance(tag, tuple) and tag and tag[0] == "op"):
+                continue
+            op = self._pending_ops.get(tag[1])
+            if op is None:
+                continue
+            op.outstanding -= 1
+            self._maybe_complete_op(op)
+
+    def _maybe_complete_op(self, op: _PendingMemOp) -> None:
+        if op.outstanding > 0 or op.to_send:
+            return
+        ready = self.cycle + 1 + op.extra_latency
+        if op.writes_rd:
+            self._writebacks.append((ready, op.warp_id, op.rd, op.rd_float))
+        del self._pending_ops[op.op_id]
+        self.perf.incr("mem_ops_completed")
+
+    # -- request draining ----------------------------------------------------------------------
+
+    def _drain_requests(self) -> None:
+        """Send as many queued cache/scratchpad requests as accepted this cycle."""
+        # Instruction-cache fills first (front end priority).
+        still_waiting: List[Tuple[int, int]] = []
+        for warp_id, line_byte_address in self._ifetch_to_send:
+            request = CacheRequest(
+                address=line_byte_address,
+                is_write=False,
+                tag=("ifetch", warp_id, line_byte_address // self.config.icache.line_size),
+            )
+            if not self.icache.send(request):
+                still_waiting.append((warp_id, line_byte_address))
+        self._ifetch_to_send = still_waiting
+
+        # Data-side requests: at most ``num_threads`` sends per cycle (the LSU's
+        # per-thread ports), oldest operation first.
+        budget = self.config.core.num_threads
+        for op in sorted(self._pending_ops.values(), key=lambda op: op.op_id):
+            if budget <= 0:
+                break
+            budget = self._send_for_op(op, budget)
+        if budget > 0 and self._store_queue:
+            remaining_stores: List[Tuple[int, bool]] = []
+            for address, to_smem in self._store_queue:
+                if budget <= 0:
+                    remaining_stores.append((address, to_smem))
+                    continue
+                accepted = self._send_data_request(address, True, None, to_smem)
+                if accepted:
+                    budget -= 1
+                else:
+                    remaining_stores.append((address, to_smem))
+            self._store_queue = remaining_stores
+
+    def _send_for_op(self, op: _PendingMemOp, budget: int) -> int:
+        remaining: List[Tuple[int, bool]] = []
+        for index, (address, to_smem) in enumerate(op.to_send):
+            if budget <= 0:
+                remaining.extend(op.to_send[index:])
+                break
+            accepted = self._send_data_request(address, False, ("op", op.op_id), to_smem)
+            if accepted:
+                op.outstanding += 1
+                budget -= 1
+            else:
+                remaining.append((address, to_smem))
+        op.to_send = remaining
+        self._maybe_complete_op(op)
+        return budget
+
+    def _send_data_request(self, address: int, is_write: bool, tag, to_smem: bool) -> bool:
+        if to_smem:
+            return self.smem.send(address, is_write, tag)
+        return self.dcache.send(CacheRequest(address=address, is_write=is_write, tag=tag))
+
+    # -- issue ----------------------------------------------------------------------------------
+
+    def _issue(self, warp) -> None:
+        # Instruction fetch: cold lines go through the instruction cache.
+        line_size = self.config.icache.line_size
+        iline = warp.pc // line_size
+        if iline not in self._warm_ilines:
+            if warp.warp_id not in self._pending_ifetch:
+                self._pending_ifetch[warp.warp_id] = iline
+                self._ifetch_to_send.append((warp.warp_id, iline * line_size))
+                self.perf.incr("ifetch_misses")
+            return
+
+        # Scoreboard hazard check on the registers the instruction touches.
+        registers = self._instruction_registers(warp)
+        if registers is not None and self.scoreboard.any_busy(warp.warp_id, registers):
+            self.perf.incr("scoreboard_stalls")
+            return
+
+        result = self.func.step_warp(warp)
+        self.perf.incr("instructions")
+        self.perf.incr("thread_instructions", result.active_thread_count)
+        self._warp_ready_cycle[warp.warp_id] = self.cycle + 1
+        self._charge_timing(warp, result)
+
+    def _charge_timing(self, warp, result: StepResult) -> None:
+        spec = result.instr.spec
+        unit = spec.unit
+
+        if result.taken_branch:
+            self._warp_ready_cycle[warp.warp_id] = self.cycle + 1 + BRANCH_PENALTY
+            self.perf.incr("taken_branches")
+
+        if unit in (ExecUnit.LSU, ExecUnit.TEX):
+            self._charge_memory(warp, result)
+            return
+
+        latency = self._unit_latency.get(unit, 1)
+        if spec.writes_rd and latency > 1:
+            self.scoreboard.reserve(warp.warp_id, result.instr.rd, spec.rd_float)
+            self._writebacks.append(
+                (self.cycle + latency, warp.warp_id, result.instr.rd, spec.rd_float)
+            )
+
+    def _charge_memory(self, warp, result: StepResult) -> None:
+        spec = result.instr.spec
+        is_store = spec.is_store
+        accesses = result.mem_accesses
+        if is_store:
+            for access in accesses:
+                self._store_queue.append((access.address, is_shared_address(access.address)))
+            self.perf.incr("stores", len(accesses))
+            return
+
+        op = _PendingMemOp(
+            op_id=self._next_op_id,
+            warp_id=warp.warp_id,
+            rd=result.instr.rd,
+            rd_float=spec.rd_float,
+            writes_rd=spec.writes_rd,
+            kind="tex" if spec.unit == ExecUnit.TEX else "load",
+        )
+        self._next_op_id += 1
+        for access in accesses:
+            op.to_send.append((access.address, is_shared_address(access.address)))
+        if spec.unit == ExecUnit.TEX and self.func.tex_unit is not None:
+            op.extra_latency = self.func.tex_unit.issue_latency(len(accesses))
+            self.perf.incr("tex_ops")
+        else:
+            self.perf.incr("loads", len(accesses))
+        if not op.to_send:
+            # A load with no active threads (fully masked) completes immediately.
+            if op.writes_rd:
+                self._writebacks.append((self.cycle + 1, op.warp_id, op.rd, op.rd_float))
+            return
+        if op.writes_rd:
+            self.scoreboard.reserve(op.warp_id, op.rd, op.rd_float)
+        self._pending_ops[op.op_id] = op
+
+    # -- metrics -----------------------------------------------------------------------------------
+
+    @property
+    def ipc(self) -> float:
+        """Thread-instructions committed per cycle (the paper's IPC metric)."""
+        return self.perf.ratio("thread_instructions", "cycles")
+
+    @property
+    def warp_ipc(self) -> float:
+        """Warp-instructions committed per cycle."""
+        return self.perf.ratio("instructions", "cycles")

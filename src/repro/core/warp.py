@@ -1,0 +1,120 @@
+"""Warp (wavefront) state: per-thread register files, PC, thread mask.
+
+A warp is the unit the scheduler picks every cycle; all of its active
+threads execute the same instruction.  Vortex keeps scalar 32-bit register
+files per thread (Table 1), banked per warp in hardware; here each warp
+simply owns ``num_threads`` integer and floating-point register arrays.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.common.bitutils import mask, to_uint32
+from repro.core.ipdom import IpdomStack
+
+NUM_REGISTERS = 32
+
+
+class RegisterFile:
+    """Integer + floating-point registers for every thread of one warp."""
+
+    def __init__(self, num_threads: int):
+        self.num_threads = num_threads
+        self._int_regs: List[List[int]] = [[0] * NUM_REGISTERS for _ in range(num_threads)]
+        self._fp_regs: List[List[int]] = [[0] * NUM_REGISTERS for _ in range(num_threads)]
+
+    def read_int(self, thread: int, index: int) -> int:
+        """Read integer register ``index`` of ``thread`` (x0 reads as zero)."""
+        if index == 0:
+            return 0
+        return self._int_regs[thread][index]
+
+    def write_int(self, thread: int, index: int, value: int) -> None:
+        """Write integer register ``index`` of ``thread`` (writes to x0 are dropped)."""
+        if index == 0:
+            return
+        self._int_regs[thread][index] = to_uint32(value)
+
+    def read_float(self, thread: int, index: int) -> int:
+        """Read floating-point register ``index`` (raw binary32 bits)."""
+        return self._fp_regs[thread][index]
+
+    def write_float(self, thread: int, index: int, value: int) -> None:
+        """Write floating-point register ``index`` (raw binary32 bits)."""
+        self._fp_regs[thread][index] = to_uint32(value)
+
+    def broadcast_int(self, index: int, value: int) -> None:
+        """Write the same value to one integer register of every thread."""
+        for thread in range(self.num_threads):
+            self.write_int(thread, index, value)
+
+
+class Warp:
+    """One wavefront: PC, thread mask, activity state and register files."""
+
+    def __init__(self, warp_id: int, num_threads: int, ipdom_depth: int = 32):
+        self.warp_id = warp_id
+        self.num_threads = num_threads
+        self.pc = 0
+        self.tmask = 0
+        self.active = False
+        self.regs = RegisterFile(num_threads)
+        self.ipdom = IpdomStack(depth=ipdom_depth)
+        #: set while the warp waits at a barrier; cleared by the barrier table.
+        self.at_barrier = False
+        #: cumulative retired instruction count (warp-level).
+        self.instructions = 0
+
+    # -- thread mask helpers -----------------------------------------------------
+
+    @property
+    def full_mask(self) -> int:
+        """Mask with every hardware thread of the warp enabled."""
+        return mask(self.num_threads)
+
+    def active_threads(self) -> List[int]:
+        """Indices of the currently active threads."""
+        return [t for t in range(self.num_threads) if (self.tmask >> t) & 1]
+
+    def num_active_threads(self) -> int:
+        return bin(self.tmask & self.full_mask).count("1")
+
+    def set_thread_count(self, count: int) -> None:
+        """Implement ``tmc count``: activate the ``count`` lowest threads."""
+        count = max(0, min(count, self.num_threads))
+        self.tmask = mask(count)
+        if count == 0:
+            self.active = False
+
+    def set_tmask(self, tmask: int) -> None:
+        """Set an explicit thread mask (used by split/join)."""
+        self.tmask = tmask & self.full_mask
+        if self.tmask == 0:
+            self.active = False
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def spawn(self, pc: int, tmask: Optional[int] = None) -> None:
+        """Activate the warp at ``pc`` (used at reset and by ``wspawn``)."""
+        self.pc = pc
+        self.tmask = self.full_mask if tmask is None else (tmask & self.full_mask)
+        self.active = True
+        self.at_barrier = False
+        self.ipdom.clear()
+
+    def halt(self) -> None:
+        """Deactivate the warp."""
+        self.active = False
+        self.tmask = 0
+
+    @property
+    def schedulable(self) -> bool:
+        """True when the warp can be picked by the scheduler."""
+        return self.active and not self.at_barrier and self.tmask != 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Warp(id={self.warp_id}, pc={self.pc:#x}, tmask={self.tmask:#x}, "
+            f"active={self.active}, at_barrier={self.at_barrier})"
+        )

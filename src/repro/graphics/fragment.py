@@ -1,0 +1,155 @@
+"""Fragment processing: depth, stencil, alpha and fog tests plus blending.
+
+This is the per-fragment tail of the pipeline (paper section 5.5: "fragment
+processing including depth, stencil, fog, and alpha tests"), applied after
+the optional texture stage has produced the fragment's color.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Tuple
+
+from repro.graphics.framebuffer import Framebuffer, pack_color, unpack_color
+from repro.graphics.raster import Fragment
+
+
+class CompareFunc(Enum):
+    """Comparison functions shared by the depth, alpha and stencil tests."""
+
+    NEVER = "never"
+    LESS = "less"
+    LEQUAL = "lequal"
+    EQUAL = "equal"
+    GREATER = "greater"
+    GEQUAL = "gequal"
+    NOTEQUAL = "notequal"
+    ALWAYS = "always"
+
+    def apply(self, value: float, reference: float) -> bool:
+        if self is CompareFunc.NEVER:
+            return False
+        if self is CompareFunc.LESS:
+            return value < reference
+        if self is CompareFunc.LEQUAL:
+            return value <= reference
+        if self is CompareFunc.EQUAL:
+            return value == reference
+        if self is CompareFunc.GREATER:
+            return value > reference
+        if self is CompareFunc.GEQUAL:
+            return value >= reference
+        if self is CompareFunc.NOTEQUAL:
+            return value != reference
+        return True
+
+
+class BlendMode(Enum):
+    """Framebuffer blend modes."""
+
+    REPLACE = "replace"
+    ALPHA = "alpha"  # src*alpha + dst*(1-alpha)
+    ADDITIVE = "additive"
+
+
+@dataclass
+class FogState:
+    """Linear fog: the fragment color fades to ``color`` with depth."""
+
+    enabled: bool = False
+    color: Tuple[float, float, float] = (0.5, 0.5, 0.5)
+    start: float = 0.0
+    end: float = 1.0
+
+    def factor(self, depth: float) -> float:
+        """Blend factor toward the fog color (0 = no fog, 1 = full fog)."""
+        if not self.enabled or self.end <= self.start:
+            return 0.0
+        return min(max((depth - self.start) / (self.end - self.start), 0.0), 1.0)
+
+
+@dataclass
+class FragmentOps:
+    """Configurable per-fragment pipeline applied to a framebuffer."""
+
+    depth_test: bool = True
+    depth_func: CompareFunc = CompareFunc.LESS
+    depth_write: bool = True
+    alpha_test: bool = False
+    alpha_func: CompareFunc = CompareFunc.GREATER
+    alpha_ref: float = 0.0
+    stencil_test: bool = False
+    stencil_func: CompareFunc = CompareFunc.ALWAYS
+    stencil_ref: int = 0
+    blend: BlendMode = BlendMode.REPLACE
+    fog: FogState = field(default_factory=FogState)
+
+    # Statistics (useful in tests and the example renderer).
+    fragments_in: int = 0
+    fragments_written: int = 0
+    depth_kills: int = 0
+    alpha_kills: int = 0
+    stencil_kills: int = 0
+
+    def process(self, framebuffer: Framebuffer, fragment: Fragment,
+                color: Optional[Tuple[float, float, float, float]] = None) -> bool:
+        """Apply the fragment pipeline; returns True when the pixel was written."""
+        self.fragments_in += 1
+        x, y = fragment.x, fragment.y
+        if not framebuffer.contains(x, y):
+            return False
+        color = color if color is not None else fragment.color
+
+        if self.alpha_test and not self.alpha_func.apply(color[3], self.alpha_ref):
+            self.alpha_kills += 1
+            return False
+
+        if self.stencil_test and not self.stencil_func.apply(
+            float(framebuffer.stencil[y, x]), float(self.stencil_ref)
+        ):
+            self.stencil_kills += 1
+            return False
+
+        if self.depth_test and not self.depth_func.apply(
+            fragment.depth, float(framebuffer.depth[y, x])
+        ):
+            self.depth_kills += 1
+            return False
+
+        shaded = self._apply_fog(color, fragment.depth)
+        final = self._blend(framebuffer, x, y, shaded)
+        framebuffer.write_pixel(x, y, final)
+        if self.depth_test and self.depth_write:
+            framebuffer.depth[y, x] = fragment.depth
+        if self.stencil_test:
+            framebuffer.stencil[y, x] = self.stencil_ref & 0xFF
+        self.fragments_written += 1
+        return True
+
+    # -- helpers ------------------------------------------------------------------------
+
+    def _apply_fog(self, color, depth: float):
+        factor = self.fog.factor(depth)
+        if factor == 0.0:
+            return color
+        return (
+            color[0] * (1 - factor) + self.fog.color[0] * factor,
+            color[1] * (1 - factor) + self.fog.color[1] * factor,
+            color[2] * (1 - factor) + self.fog.color[2] * factor,
+            color[3],
+        )
+
+    def _blend(self, framebuffer: Framebuffer, x: int, y: int, color):
+        src = tuple(min(max(channel, 0.0), 1.0) for channel in color)
+        if self.blend is BlendMode.REPLACE:
+            blended = src
+        else:
+            dst_bytes = unpack_color(int(framebuffer.color[y, x]))
+            dst = tuple(channel / 255.0 for channel in dst_bytes)
+            if self.blend is BlendMode.ALPHA:
+                alpha = src[3]
+                blended = tuple(src[c] * alpha + dst[c] * (1 - alpha) for c in range(3)) + (src[3],)
+            else:  # ADDITIVE
+                blended = tuple(min(src[c] + dst[c], 1.0) for c in range(3)) + (src[3],)
+        return tuple(int(round(channel * 255)) for channel in blended)

@@ -1,0 +1,150 @@
+"""The OpenGL-ES-style rendering context.
+
+``GraphicsContext`` ties the stages together the way the Vortex graphics
+API does (paper section 5.5): geometry processing on the host, tile
+binning, per-tile rasterization, an optional texture stage routed through
+the same :class:`~repro.texture.sampler.TextureSampler` model the hardware
+texture unit uses, and the fragment pipeline writing into a
+:class:`~repro.graphics.framebuffer.Framebuffer`.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graphics.fragment import FragmentOps
+from repro.graphics.framebuffer import Framebuffer
+from repro.graphics.geometry import GeometryStage, Matrix4, Vertex
+from repro.graphics.raster import Rasterizer
+from repro.graphics.tiles import TileGrid
+from repro.mem.memory import MainMemory
+from repro.texture.formats import TexFilter, TexFormat, TexWrap
+from repro.texture.sampler import TextureSampler, TextureState
+
+
+class PrimitiveType(Enum):
+    """Primitive topologies supported by the rasterizer."""
+
+    POINTS = "points"
+    LINES = "lines"
+    TRIANGLES = "triangles"
+
+
+class TextureBinding:
+    """A bound 2D texture, stored through the same memory + sampler path the
+    hardware texture unit uses so host rendering and device rendering share
+    one filtering implementation."""
+
+    def __init__(self, image: np.ndarray, filter_mode: TexFilter = TexFilter.BILINEAR,
+                 wrap: TexWrap = TexWrap.REPEAT):
+        if image.ndim != 3 or image.shape[2] != 4 or image.dtype != np.uint8:
+            raise ValueError("textures must be (H, W, 4) uint8 arrays")
+        height, width = image.shape[:2]
+        if width & (width - 1) or height & (height - 1):
+            raise ValueError("texture dimensions must be powers of two")
+        self._memory = MainMemory()
+        self._memory.write_bytes(0, image.tobytes())
+        self.state = TextureState(
+            address=0,
+            width_log2=width.bit_length() - 1,
+            height_log2=height.bit_length() - 1,
+            fmt=TexFormat.RGBA8,
+            wrap=wrap,
+            filter_mode=filter_mode,
+            mip_offsets=[0] * 12,
+        )
+        self._sampler = TextureSampler(self._memory)
+
+    def sample(self, u: float, v: float) -> Tuple[float, float, float, float]:
+        """Sample the texture; returns a normalized RGBA tuple."""
+        word = self._sampler.sample(self.state, u, v, 0)
+        return (
+            (word & 0xFF) / 255.0,
+            ((word >> 8) & 0xFF) / 255.0,
+            ((word >> 16) & 0xFF) / 255.0,
+            ((word >> 24) & 0xFF) / 255.0,
+        )
+
+
+class GraphicsContext:
+    """A minimal OpenGL-ES-style immediate-mode context."""
+
+    def __init__(self, width: int, height: int, tile_size: int = 16):
+        self.framebuffer = Framebuffer(width, height)
+        self.geometry = GeometryStage(width, height)
+        self.tiles = TileGrid(width, height, tile_size)
+        self.rasterizer = Rasterizer(width, height)
+        self.fragment_ops = FragmentOps()
+        self.texture: Optional[TextureBinding] = None
+        self.draw_calls = 0
+
+    # -- state -----------------------------------------------------------------------
+
+    def set_mvp(self, matrix: np.ndarray) -> None:
+        """Set the model-view-projection matrix used by the vertex stage."""
+        self.geometry.set_mvp(matrix)
+
+    def bind_texture(self, image: Optional[np.ndarray],
+                     filter_mode: TexFilter = TexFilter.BILINEAR,
+                     wrap: TexWrap = TexWrap.REPEAT) -> None:
+        """Bind (or unbind with ``None``) the fragment texture."""
+        self.texture = None if image is None else TextureBinding(image, filter_mode, wrap)
+
+    def clear(self, color=(0, 0, 0, 255), depth: float = 1.0) -> None:
+        self.framebuffer.clear(color=color, depth=depth)
+
+    # -- drawing ------------------------------------------------------------------------
+
+    def draw(self, vertices: Sequence[Vertex],
+             primitive: PrimitiveType = PrimitiveType.TRIANGLES) -> int:
+        """Draw a vertex stream; returns the number of fragments written."""
+        self.draw_calls += 1
+        written_before = self.fragment_ops.fragments_written
+        if primitive is PrimitiveType.TRIANGLES:
+            self._draw_triangles(vertices)
+        elif primitive is PrimitiveType.LINES:
+            self._draw_lines(vertices)
+        else:
+            self._draw_points(vertices)
+        return self.fragment_ops.fragments_written - written_before
+
+    def _shade(self, fragment) -> Tuple[float, float, float, float]:
+        """Run the (fixed-function) fragment shader: vertex color x texture."""
+        color = fragment.color
+        if self.texture is not None:
+            texel = self.texture.sample(fragment.uv[0], fragment.uv[1])
+            color = tuple(color[c] * texel[c] for c in range(4))
+        return color
+
+    def _draw_triangles(self, vertices: Sequence[Vertex]) -> None:
+        triangles = self.geometry.assemble_triangles(vertices)
+        # Tile binning (tile-based rendering, Larrabee-style).
+        self.tiles.clear()
+        for triangle_id, tri in enumerate(triangles):
+            bbox = self.rasterizer.triangle_bbox(tri)
+            self.tiles.bin_bbox(triangle_id, *bbox)
+        for tile in self.tiles.occupied_tiles():
+            for triangle_id in self.tiles.triangles_in(tile):
+                v0, v1, v2 = triangles[triangle_id]
+                for fragment in self.rasterizer.rasterize_triangle(v0, v1, v2, tile=tile):
+                    self.fragment_ops.process(self.framebuffer, fragment, self._shade(fragment))
+
+    def _draw_lines(self, vertices: Sequence[Vertex]) -> None:
+        screen = [self.geometry.process_vertex(vertex) for vertex in vertices]
+        for index in range(0, len(screen) - 1, 2):
+            v0, v1 = screen[index], screen[index + 1]
+            if v0 is None or v1 is None:
+                continue
+            for fragment in self.rasterizer.rasterize_line(v0, v1):
+                self.fragment_ops.process(self.framebuffer, fragment, self._shade(fragment))
+
+    def _draw_points(self, vertices: Sequence[Vertex]) -> None:
+        for vertex in vertices:
+            screen = self.geometry.process_vertex(vertex)
+            if screen is None:
+                continue
+            for fragment in self.rasterizer.rasterize_point(screen):
+                self.fragment_ops.process(self.framebuffer, fragment, self._shade(fragment))

@@ -1,0 +1,129 @@
+"""Rasterization: point, line and triangle primitives.
+
+Triangles use the standard edge-function formulation with
+perspective-correct barycentric interpolation of depth, color and texture
+coordinates; lines use a DDA walk; points write single fragments.  The
+rasterizer produces :class:`Fragment` records that the fragment-processing
+stage (depth/stencil/alpha/fog/blend) consumes — the same split as the
+paper's software rendering pipeline, where fragments are the unit of
+data-parallel work handed to the compute kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.graphics.geometry import ScreenVertex
+from repro.graphics.tiles import Tile
+
+
+@dataclass
+class Fragment:
+    """One candidate pixel produced by rasterization."""
+
+    x: int
+    y: int
+    depth: float
+    color: Tuple[float, float, float, float]
+    uv: Tuple[float, float]
+
+
+def _edge(ax: float, ay: float, bx: float, by: float, px: float, py: float) -> float:
+    """Signed area of the (a, b, p) triangle (the edge function)."""
+    return (bx - ax) * (py - ay) - (by - ay) * (px - ax)
+
+
+class Rasterizer:
+    """Generates fragments for screen-space primitives."""
+
+    def __init__(self, width: int, height: int):
+        self.width = width
+        self.height = height
+        self.fragments_generated = 0
+        self.triangles_culled = 0
+
+    # -- triangles ----------------------------------------------------------------------
+
+    def triangle_bbox(self, tri: Tuple[ScreenVertex, ...]) -> Tuple[float, float, float, float]:
+        xs = [vertex.x for vertex in tri]
+        ys = [vertex.y for vertex in tri]
+        return min(xs), min(ys), max(xs), max(ys)
+
+    def rasterize_triangle(
+        self,
+        v0: ScreenVertex,
+        v1: ScreenVertex,
+        v2: ScreenVertex,
+        tile: Optional[Tile] = None,
+    ) -> Iterator[Fragment]:
+        """Yield the fragments a triangle covers (optionally limited to a tile)."""
+        area = _edge(v0.x, v0.y, v1.x, v1.y, v2.x, v2.y)
+        if abs(area) < 1e-9:
+            self.triangles_culled += 1
+            return
+        # Consistent winding: flip so the area is positive.
+        if area < 0:
+            v1, v2 = v2, v1
+            area = -area
+
+        min_x = max(int(min(v0.x, v1.x, v2.x)), tile.x0 if tile else 0)
+        max_x = min(int(max(v0.x, v1.x, v2.x)) + 1, (tile.x1 if tile else self.width) - 1)
+        min_y = max(int(min(v0.y, v1.y, v2.y)), tile.y0 if tile else 0)
+        max_y = min(int(max(v0.y, v1.y, v2.y)) + 1, (tile.y1 if tile else self.height) - 1)
+        if min_x > max_x or min_y > max_y:
+            return
+
+        inv_w = (1.0 / v0.w, 1.0 / v1.w, 1.0 / v2.w)
+        for y in range(min_y, max_y + 1):
+            for x in range(min_x, max_x + 1):
+                px, py = x + 0.5, y + 0.5
+                w0 = _edge(v1.x, v1.y, v2.x, v2.y, px, py)
+                w1 = _edge(v2.x, v2.y, v0.x, v0.y, px, py)
+                w2 = _edge(v0.x, v0.y, v1.x, v1.y, px, py)
+                if w0 < 0 or w1 < 0 or w2 < 0:
+                    continue
+                b0, b1, b2 = w0 / area, w1 / area, w2 / area
+                # Perspective-correct interpolation via 1/w weighting.
+                denom = b0 * inv_w[0] + b1 * inv_w[1] + b2 * inv_w[2]
+                if denom <= 0:
+                    continue
+                p0 = b0 * inv_w[0] / denom
+                p1 = b1 * inv_w[1] / denom
+                p2 = b2 * inv_w[2] / denom
+                depth = b0 * v0.z + b1 * v1.z + b2 * v2.z
+                color = tuple(
+                    p0 * v0.color[c] + p1 * v1.color[c] + p2 * v2.color[c] for c in range(4)
+                )
+                uv = (
+                    p0 * v0.uv[0] + p1 * v1.uv[0] + p2 * v2.uv[0],
+                    p0 * v0.uv[1] + p1 * v1.uv[1] + p2 * v2.uv[1],
+                )
+                self.fragments_generated += 1
+                yield Fragment(x=x, y=y, depth=depth, color=color, uv=uv)
+
+    # -- lines and points -----------------------------------------------------------------
+
+    def rasterize_line(self, v0: ScreenVertex, v1: ScreenVertex) -> Iterator[Fragment]:
+        """Yield fragments along a line using a DDA walk."""
+        dx = v1.x - v0.x
+        dy = v1.y - v0.y
+        steps = int(max(abs(dx), abs(dy))) + 1
+        for step in range(steps + 1):
+            t = step / steps if steps else 0.0
+            x = int(round(v0.x + dx * t))
+            y = int(round(v0.y + dy * t))
+            if not (0 <= x < self.width and 0 <= y < self.height):
+                continue
+            depth = v0.z + (v1.z - v0.z) * t
+            color = tuple(v0.color[c] + (v1.color[c] - v0.color[c]) * t for c in range(4))
+            uv = (v0.uv[0] + (v1.uv[0] - v0.uv[0]) * t, v0.uv[1] + (v1.uv[1] - v0.uv[1]) * t)
+            self.fragments_generated += 1
+            yield Fragment(x=x, y=y, depth=depth, color=color, uv=uv)
+
+    def rasterize_point(self, v0: ScreenVertex) -> Iterator[Fragment]:
+        """Yield the single fragment of a point primitive."""
+        x, y = int(round(v0.x)), int(round(v0.y))
+        if 0 <= x < self.width and 0 <= y < self.height:
+            self.fragments_generated += 1
+            yield Fragment(x=x, y=y, depth=v0.z, color=v0.color, uv=v0.uv)

@@ -1,0 +1,104 @@
+"""Tile binning for tile-based rendering (paper section 2 and 5.5).
+
+The rasterizer follows Larrabee's tile-rendering algorithm: the screen is
+divided into fixed-size tiles, the host bins each screen-space triangle
+into the tiles its bounding box overlaps, and rasterization then proceeds
+tile by tile — on real Vortex each tile becomes a task for ``spawn_tasks``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One screen tile."""
+
+    index: int
+    x0: int
+    y0: int
+    x1: int  # exclusive
+    y1: int  # exclusive
+
+    @property
+    def width(self) -> int:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> int:
+        return self.y1 - self.y0
+
+
+class TileGrid:
+    """Screen subdivision plus the per-tile triangle bins."""
+
+    def __init__(self, width: int, height: int, tile_size: int = 16):
+        if tile_size < 1:
+            raise ValueError("tile size must be positive")
+        self.width = width
+        self.height = height
+        self.tile_size = tile_size
+        self.tiles_x = (width + tile_size - 1) // tile_size
+        self.tiles_y = (height + tile_size - 1) // tile_size
+        self.tiles: List[Tile] = []
+        for ty in range(self.tiles_y):
+            for tx in range(self.tiles_x):
+                index = ty * self.tiles_x + tx
+                self.tiles.append(
+                    Tile(
+                        index=index,
+                        x0=tx * tile_size,
+                        y0=ty * tile_size,
+                        x1=min((tx + 1) * tile_size, width),
+                        y1=min((ty + 1) * tile_size, height),
+                    )
+                )
+        self._bins: Dict[int, List[int]] = {tile.index: [] for tile in self.tiles}
+
+    def __len__(self) -> int:
+        return len(self.tiles)
+
+    # -- binning -----------------------------------------------------------------------
+
+    def clear(self) -> None:
+        for bin_list in self._bins.values():
+            bin_list.clear()
+
+    def bin_bbox(self, triangle_id: int, min_x: float, min_y: float, max_x: float, max_y: float) -> int:
+        """Assign ``triangle_id`` to every tile its bounding box overlaps.
+
+        Returns the number of tiles the triangle was binned into.
+        """
+        if max_x < 0 or max_y < 0 or min_x > self.width - 1 or min_y > self.height - 1:
+            return 0
+        first_tx = max(int(min_x) // self.tile_size, 0)
+        first_ty = max(int(min_y) // self.tile_size, 0)
+        last_tx = min(int(max_x) // self.tile_size, self.tiles_x - 1)
+        last_ty = min(int(max_y) // self.tile_size, self.tiles_y - 1)
+        count = 0
+        for ty in range(first_ty, last_ty + 1):
+            for tx in range(first_tx, last_tx + 1):
+                self._bins[ty * self.tiles_x + tx].append(triangle_id)
+                count += 1
+        return count
+
+    def triangles_in(self, tile: Tile) -> List[int]:
+        """Triangle ids binned into ``tile``."""
+        return list(self._bins[tile.index])
+
+    def occupied_tiles(self) -> List[Tile]:
+        """Tiles with at least one binned triangle (the tiles worth rasterizing)."""
+        return [tile for tile in self.tiles if self._bins[tile.index]]
+
+    def bin_statistics(self) -> Dict[str, float]:
+        """Summary statistics used by tests and the rendering example."""
+        sizes = [len(self._bins[tile.index]) for tile in self.tiles]
+        occupied = [size for size in sizes if size]
+        return {
+            "tiles": float(len(self.tiles)),
+            "occupied": float(len(occupied)),
+            "max_bin": float(max(sizes) if sizes else 0),
+            "mean_bin": float(sum(sizes) / len(sizes)) if sizes else 0.0,
+        }

@@ -1,0 +1,49 @@
+"""The Vortex instruction set: RV32IM, an F subset, and the six-instruction
+SIMT extension proposed by the paper (``wspawn``, ``tmc``, ``split``,
+``join``, ``bar``, ``tex``).
+
+The package provides everything needed to produce and consume Vortex
+binaries without an external toolchain:
+
+* :mod:`repro.isa.registers` / :mod:`repro.isa.csr` — architectural names.
+* :mod:`repro.isa.encoding` — the RISC-V instruction formats (R/I/S/B/U/J
+  plus the R4 format reused by ``tex``).
+* :mod:`repro.isa.instructions` — the instruction specification table.
+* :mod:`repro.isa.decoder` — binary → :class:`DecodedInstruction`.
+* :mod:`repro.isa.assembler` — a two-pass text assembler.
+* :mod:`repro.isa.builder` — a Python-embedded assembler DSL (the
+  replacement for the paper's POCL/LLVM backend) used to write kernels.
+* :mod:`repro.isa.disassembler` — binary → text, used by traces.
+* :mod:`repro.isa.taxonomy` — the Table 1 ISA-taxonomy data.
+"""
+
+from repro.isa.registers import Reg, FReg, reg_name, freg_name, parse_register
+from repro.isa.csr import CSR, tex_csr
+from repro.isa.instructions import InstrSpec, SPEC_BY_MNEMONIC, VORTEX_EXTENSION
+from repro.isa.decoder import DecodedInstruction, decode
+from repro.isa.encoding import encode, InstrFormat
+from repro.isa.assembler import Assembler, AssemblerError
+from repro.isa.builder import ProgramBuilder, Label
+from repro.isa.disassembler import disassemble
+
+__all__ = [
+    "Reg",
+    "FReg",
+    "reg_name",
+    "freg_name",
+    "parse_register",
+    "CSR",
+    "tex_csr",
+    "InstrSpec",
+    "SPEC_BY_MNEMONIC",
+    "VORTEX_EXTENSION",
+    "DecodedInstruction",
+    "decode",
+    "encode",
+    "InstrFormat",
+    "Assembler",
+    "AssemblerError",
+    "ProgramBuilder",
+    "Label",
+    "disassemble",
+]

@@ -1,0 +1,212 @@
+"""Two-pass text assembler for the Vortex ISA.
+
+The assembler accepts the conventional RISC-V assembly syntax, including
+labels, comments (``#`` and ``;``), the ``.word`` / ``.space`` / ``.entry``
+directives, the pseudo-instructions implemented by the builder DSL, and the
+six Vortex extension instructions.  It is implemented on top of
+:class:`~repro.isa.builder.ProgramBuilder`, so both paths share a single
+encoder.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence
+
+from repro.isa.builder import BuildError, Program, ProgramBuilder
+from repro.isa.instructions import SPEC_BY_MNEMONIC
+from repro.isa.registers import parse_fregister, parse_register
+
+
+class AssemblerError(Exception):
+    """Raised with the offending line number when source cannot be assembled."""
+
+    def __init__(self, message: str, line_number: Optional[int] = None):
+        self.line_number = line_number
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+
+
+_MEM_OPERAND = re.compile(r"^(?P<offset>[^()]*)\((?P<base>[^()]+)\)$")
+_LABEL_DEF = re.compile(r"^(?P<label>[A-Za-z_.][\w.$]*):(?P<rest>.*)$")
+
+#: Pseudo-instructions handled by delegating to the builder's helpers.
+_PSEUDOS = {
+    "nop": 0,
+    "mv": 2,
+    "neg": 2,
+    "not": 2,
+    "seqz": 2,
+    "snez": 2,
+    "li": 2,
+    "la": 2,
+    "j": 1,
+    "jr": 1,
+    "call": 1,
+    "ret": 0,
+    "beqz": 2,
+    "bnez": 2,
+    "blez": 2,
+    "bgtz": 2,
+    "bgt": 3,
+    "ble": 3,
+    "fmv.s": 2,
+    "fneg.s": 2,
+    "fabs.s": 2,
+}
+
+
+def _parse_int(token: str) -> int:
+    token = token.strip()
+    negative = token.startswith("-")
+    if negative:
+        token = token[1:]
+    value = int(token, 0)
+    return -value if negative else value
+
+
+class Assembler:
+    """Assembles Vortex assembly text into a :class:`Program` image."""
+
+    def __init__(self, base: int = 0x8000_0000):
+        self.base = base
+
+    def assemble(self, source: str) -> Program:
+        """Assemble ``source`` and return the program image."""
+        builder = ProgramBuilder(base=self.base)
+        for line_number, raw_line in enumerate(source.splitlines(), start=1):
+            try:
+                self._assemble_line(builder, raw_line)
+            except (BuildError, ValueError, KeyError) as exc:
+                raise AssemblerError(str(exc), line_number) from exc
+        try:
+            return builder.assemble()
+        except BuildError as exc:
+            raise AssemblerError(str(exc)) from exc
+
+    # -- line handling ------------------------------------------------------------
+
+    def _assemble_line(self, builder: ProgramBuilder, raw_line: str) -> None:
+        line = raw_line.split("#", 1)[0].split(";", 1)[0].strip()
+        if not line:
+            return
+        match = _LABEL_DEF.match(line)
+        if match:
+            builder.label(match.group("label"))
+            line = match.group("rest").strip()
+            if not line:
+                return
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operand_text = parts[1] if len(parts) > 1 else ""
+        operands = self._split_operands(operand_text)
+
+        if mnemonic.startswith("."):
+            self._directive(builder, mnemonic, operands)
+            return
+        if mnemonic in _PSEUDOS:
+            self._pseudo(builder, mnemonic, operands)
+            return
+        spec = SPEC_BY_MNEMONIC.get(mnemonic)
+        if spec is None:
+            raise BuildError(f"unknown instruction {mnemonic!r}")
+        args = self._convert_operands(spec.syntax, operands, spec)
+        builder.emit(mnemonic, *args)
+
+    @staticmethod
+    def _split_operands(text: str) -> List[str]:
+        text = text.strip()
+        if not text:
+            return []
+        return [token.strip() for token in text.split(",")]
+
+    # -- directives -----------------------------------------------------------------
+
+    def _directive(self, builder: ProgramBuilder, name: str, operands: Sequence[str]) -> None:
+        if name == ".word":
+            for token in operands:
+                builder.word(_parse_int(token))
+        elif name == ".float":
+            for token in operands:
+                builder.float_word(float(token))
+        elif name == ".space":
+            builder.space(_parse_int(operands[0]))
+        elif name == ".entry":
+            builder.set_entry(operands[0])
+        elif name in (".text", ".data", ".globl", ".global", ".align"):
+            return  # accepted for compatibility; layout is linear
+        else:
+            raise BuildError(f"unknown directive {name!r}")
+
+    # -- pseudo-instructions ----------------------------------------------------------
+
+    def _pseudo(self, builder: ProgramBuilder, mnemonic: str, operands: Sequence[str]) -> None:
+        expected = _PSEUDOS[mnemonic]
+        if len(operands) != expected:
+            raise BuildError(f"{mnemonic}: expected {expected} operands, got {len(operands)}")
+        method = {
+            "nop": builder.nop,
+            "mv": lambda rd, rs: builder.mv(parse_register(rd), parse_register(rs)),
+            "neg": lambda rd, rs: builder.neg(parse_register(rd), parse_register(rs)),
+            "not": lambda rd, rs: builder.not_(parse_register(rd), parse_register(rs)),
+            "seqz": lambda rd, rs: builder.seqz(parse_register(rd), parse_register(rs)),
+            "snez": lambda rd, rs: builder.snez(parse_register(rd), parse_register(rs)),
+            "li": lambda rd, imm: builder.li(parse_register(rd), _parse_int(imm)),
+            "la": lambda rd, sym: builder.la(parse_register(rd), sym),
+            "j": lambda target: builder.j(self._target(target)),
+            "jr": lambda rs: builder.jr(parse_register(rs)),
+            "call": lambda target: builder.call(self._target(target)),
+            "ret": builder.ret,
+            "beqz": lambda rs, target: builder.beqz(parse_register(rs), self._target(target)),
+            "bnez": lambda rs, target: builder.bnez(parse_register(rs), self._target(target)),
+            "blez": lambda rs, target: builder.blez(parse_register(rs), self._target(target)),
+            "bgtz": lambda rs, target: builder.bgtz(parse_register(rs), self._target(target)),
+            "bgt": lambda a, b, target: builder.bgt(
+                parse_register(a), parse_register(b), self._target(target)
+            ),
+            "ble": lambda a, b, target: builder.ble(
+                parse_register(a), parse_register(b), self._target(target)
+            ),
+            "fmv.s": lambda fd, fs: builder.fmv_s(parse_fregister(fd), parse_fregister(fs)),
+            "fneg.s": lambda fd, fs: builder.fneg_s(parse_fregister(fd), parse_fregister(fs)),
+            "fabs.s": lambda fd, fs: builder.fabs_s(parse_fregister(fd), parse_fregister(fs)),
+        }[mnemonic]
+        method(*operands)
+
+    @staticmethod
+    def _target(token: str):
+        token = token.strip()
+        try:
+            return _parse_int(token)
+        except ValueError:
+            return token
+
+    # -- operand conversion ------------------------------------------------------------
+
+    def _convert_operands(self, syntax: Sequence[str], operands: Sequence[str], spec) -> List:
+        expected = len(syntax)
+        if len(operands) != expected:
+            raise BuildError(
+                f"{spec.mnemonic}: expected {expected} operands ({', '.join(syntax)}), "
+                f"got {len(operands)}"
+            )
+        args: List = []
+        for role, token in zip(syntax, operands):
+            if role == "mem":
+                match = _MEM_OPERAND.match(token.replace(" ", ""))
+                if not match:
+                    raise BuildError(f"{spec.mnemonic}: malformed memory operand {token!r}")
+                offset_text = match.group("offset") or "0"
+                args.append(_parse_int(offset_text))
+                args.append(parse_register(match.group("base")))
+            elif role in ("rd", "rs1", "rs2", "rs3"):
+                floating = getattr(spec, f"{role}_float")
+                args.append(parse_fregister(token) if floating else parse_register(token))
+            elif role in ("imm", "shamt", "zimm", "csr"):
+                args.append(_parse_int(token))
+            elif role == "target":
+                args.append(self._target(token))
+            else:  # pragma: no cover - roles are exhaustively listed above
+                raise BuildError(f"{spec.mnemonic}: unhandled operand role {role!r}")
+        return args

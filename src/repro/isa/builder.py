@@ -1,0 +1,430 @@
+"""Python-embedded assembler DSL.
+
+This module replaces the paper's POCL/LLVM compiler backend (section 5.4)
+for the purposes of the reproduction: device kernels are written as Python
+functions that emit Vortex instructions through a :class:`ProgramBuilder`.
+The builder supports labels, forward references, data words, and a set of
+standard RISC-V pseudo-instructions (``li``, ``la``, ``mv``, ``j``,
+``call``, ``ret`` …), and produces a relocatable :class:`Program` image the
+runtime loads into device memory.
+
+Every real instruction mnemonic in the specification table is exposed as a
+method whose positional arguments follow the standard assembly operand
+order; mnemonics containing ``.`` use ``_`` instead (``fadd.s`` →
+``fadd_s``) and mnemonics that collide with Python keywords get a trailing
+underscore (``and_``, ``or_``).
+"""
+
+from __future__ import annotations
+
+import keyword
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.common.bitutils import bits, float_to_bits, to_uint32
+from repro.isa.encoding import InstrFormat, encode, imm_fits
+from repro.isa.instructions import SPEC_BY_MNEMONIC, InstrSpec
+from repro.isa.registers import Reg, reg_index
+
+
+class BuildError(Exception):
+    """Raised when a program cannot be assembled."""
+
+
+def _split_hi_lo(value: int) -> "tuple":
+    """Split a 32-bit constant into ``lui``/``addi`` parts.
+
+    Returns ``(upper, lower)`` where ``upper`` is the (unsigned, pre-shifted)
+    ``lui`` immediate and ``lower`` the sign-extended 12-bit ``addi``
+    immediate, such that ``upper + lower`` reproduces the constant modulo
+    2**32.
+    """
+    unsigned = to_uint32(value)
+    lower = ((unsigned & 0xFFF) ^ 0x800) - 0x800
+    upper = to_uint32(unsigned - lower) & 0xFFFFF000
+    return upper, lower
+
+
+@dataclass(frozen=True)
+class Label:
+    """A symbolic position in the program."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+TargetLike = Union[Label, str, int]
+
+
+@dataclass
+class Program:
+    """An assembled program image.
+
+    ``words`` holds the little-endian 32-bit words of the image starting at
+    ``base``; ``symbols`` maps label names to absolute addresses; ``entry``
+    is the address execution starts at.
+    """
+
+    base: int
+    words: List[int]
+    symbols: Dict[str, int] = field(default_factory=dict)
+    entry: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.entry is None:
+            self.entry = self.base
+
+    @property
+    def size(self) -> int:
+        """Image size in bytes."""
+        return len(self.words) * 4
+
+    def to_bytes(self) -> bytes:
+        """Return the image as little-endian bytes."""
+        return struct.pack(f"<{len(self.words)}I", *self.words)
+
+    def address_of(self, label: Union[Label, str]) -> int:
+        """Return the absolute address of ``label``."""
+        name = label.name if isinstance(label, Label) else label
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise KeyError(f"undefined symbol {name!r}") from None
+
+
+@dataclass
+class _Item:
+    """One emitted item: an instruction awaiting relocation, or raw data."""
+
+    kind: str  # "instr" | "word"
+    mnemonic: str = ""
+    operands: dict = field(default_factory=dict)
+    value: int = 0
+    size: int = 4
+
+
+class ProgramBuilder:
+    """Incrementally builds a Vortex program image."""
+
+    def __init__(self, base: int = 0x8000_0000):
+        self.base = base
+        self._items: List[_Item] = []
+        self._labels: Dict[str, int] = {}  # label name -> item index
+        self._label_counter = 0
+        self._entry_label: Optional[str] = None
+
+    # -- position and labels ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def new_label(self, hint: str = "L") -> Label:
+        """Create a fresh, not-yet-placed label."""
+        self._label_counter += 1
+        return Label(f".{hint}_{self._label_counter}")
+
+    def label(self, label: Union[Label, str, None] = None) -> Label:
+        """Place ``label`` (or a fresh one) at the current position."""
+        if label is None:
+            label = self.new_label()
+        name = label.name if isinstance(label, Label) else label
+        if name in self._labels:
+            raise BuildError(f"label {name!r} defined twice")
+        self._labels[name] = len(self._items)
+        return Label(name)
+
+    def set_entry(self, label: Union[Label, str]) -> None:
+        """Mark ``label`` as the program entry point."""
+        self._entry_label = label.name if isinstance(label, Label) else label
+
+    # -- data -------------------------------------------------------------------
+
+    def word(self, value: int) -> None:
+        """Emit a raw 32-bit data word."""
+        self._items.append(_Item(kind="word", value=to_uint32(value)))
+
+    def float_word(self, value: float) -> None:
+        """Emit a 32-bit float constant."""
+        self.word(float_to_bits(value))
+
+    def space(self, num_words: int) -> None:
+        """Reserve ``num_words`` zeroed words."""
+        for _ in range(num_words):
+            self.word(0)
+
+    # -- generic instruction emission --------------------------------------------
+
+    def emit(self, mnemonic: str, *args, **kwargs) -> None:
+        """Emit instruction ``mnemonic`` with operands in assembly order."""
+        spec = SPEC_BY_MNEMONIC.get(mnemonic)
+        if spec is None:
+            raise BuildError(f"unknown mnemonic {mnemonic!r}")
+        operands = self._bind_operands(spec, args, kwargs)
+        self._items.append(_Item(kind="instr", mnemonic=mnemonic, operands=operands))
+
+    def _bind_operands(self, spec: InstrSpec, args: Sequence, kwargs: dict) -> dict:
+        names = list(spec.syntax)
+        if spec.syntax and spec.syntax[-1] == "mem":
+            # Memory operands take two positional arguments: offset and base.
+            names = names[:-1] + ["offset", "base"]
+        if len(args) > len(names):
+            raise BuildError(
+                f"{spec.mnemonic}: expected at most {len(names)} operands "
+                f"({', '.join(names)}), got {len(args)}"
+            )
+        operands = dict(zip(names, args))
+        for key, value in kwargs.items():
+            if key == "stage" and spec.mnemonic == "tex":
+                operands["stage"] = value
+                continue
+            if key not in names:
+                raise BuildError(f"{spec.mnemonic}: unexpected operand {key!r}")
+            if key in operands:
+                raise BuildError(f"{spec.mnemonic}: duplicate operand {key!r}")
+            operands[key] = value
+        missing = [name for name in names if name not in operands]
+        if missing:
+            raise BuildError(f"{spec.mnemonic}: missing operands {missing}")
+        return operands
+
+    # -- pseudo-instructions ------------------------------------------------------
+
+    def nop(self) -> None:
+        self.emit("addi", Reg.zero, Reg.zero, 0)
+
+    def mv(self, rd, rs) -> None:
+        self.emit("addi", rd, rs, 0)
+
+    def neg(self, rd, rs) -> None:
+        self.emit("sub", rd, Reg.zero, rs)
+
+    def not_(self, rd, rs) -> None:
+        self.emit("xori", rd, rs, -1)
+
+    def seqz(self, rd, rs) -> None:
+        self.emit("sltiu", rd, rs, 1)
+
+    def snez(self, rd, rs) -> None:
+        self.emit("sltu", rd, Reg.zero, rs)
+
+    def li(self, rd, value: int) -> None:
+        """Load a 32-bit integer constant."""
+        value = int(value)
+        if -2048 <= value < 2048:
+            self.emit("addi", rd, Reg.zero, value)
+            return
+        upper, lower = _split_hi_lo(value)
+        # ``lui`` takes the pre-shifted upper 20 bits via a full immediate.
+        self.emit("lui", rd, upper)
+        if lower:
+            self.emit("addi", rd, rd, lower)
+
+    def li_float(self, fd, value: float, scratch=Reg.t6) -> None:
+        """Load a binary32 constant into an FP register via a scratch register."""
+        self.li(scratch, float_to_bits(value))
+        self.emit("fmv.w.x", fd, scratch)
+
+    def la(self, rd, label: TargetLike) -> None:
+        """Load the absolute address of ``label``."""
+        self._items.append(
+            _Item(kind="instr", mnemonic="_la", operands={"rd": rd, "target": label})
+        )
+
+    def j(self, target: TargetLike) -> None:
+        self.emit("jal", Reg.zero, target)
+
+    def jr(self, rs) -> None:
+        self.emit("jalr", Reg.zero, rs, 0)
+
+    def call(self, target: TargetLike) -> None:
+        self.emit("jal", Reg.ra, target)
+
+    def ret(self) -> None:
+        self.emit("jalr", Reg.zero, Reg.ra, 0)
+
+    def beqz(self, rs, target: TargetLike) -> None:
+        self.emit("beq", rs, Reg.zero, target)
+
+    def bnez(self, rs, target: TargetLike) -> None:
+        self.emit("bne", rs, Reg.zero, target)
+
+    def blez(self, rs, target: TargetLike) -> None:
+        self.emit("bge", Reg.zero, rs, target)
+
+    def bgtz(self, rs, target: TargetLike) -> None:
+        self.emit("blt", Reg.zero, rs, target)
+
+    def bgt(self, rs1, rs2, target: TargetLike) -> None:
+        self.emit("blt", rs2, rs1, target)
+
+    def ble(self, rs1, rs2, target: TargetLike) -> None:
+        self.emit("bge", rs2, rs1, target)
+
+    def fmv_s(self, fd, fs) -> None:
+        self.emit("fsgnj.s", fd, fs, fs)
+
+    def fneg_s(self, fd, fs) -> None:
+        self.emit("fsgnjn.s", fd, fs, fs)
+
+    def fabs_s(self, fd, fs) -> None:
+        self.emit("fsgnjx.s", fd, fs, fs)
+
+    def csr_read(self, rd, csr: int) -> None:
+        """Read a CSR (``csrrs rd, csr, x0``)."""
+        self.emit("csrrs", rd, int(csr), Reg.zero)
+
+    def csr_write(self, csr: int, rs) -> None:
+        """Write a CSR (``csrrw x0, csr, rs``)."""
+        self.emit("csrrw", Reg.zero, int(csr), rs)
+
+    # -- assembly -----------------------------------------------------------------
+
+    def assemble(self) -> Program:
+        """Resolve labels and produce the final :class:`Program` image."""
+        # First pass: lay out addresses.  ``la`` expands to two words.
+        addresses: List[int] = []
+        sizes: List[int] = []
+        offset = 0
+        for item in self._items:
+            addresses.append(self.base + offset)
+            size = 8 if item.mnemonic == "_la" else item.size
+            sizes.append(size)
+            offset += size
+
+        symbols = {}
+        for name, index in self._labels.items():
+            symbols[name] = addresses[index] if index < len(addresses) else self.base + offset
+
+        words: List[int] = []
+        for item, address in zip(self._items, addresses):
+            if item.kind == "word":
+                words.append(item.value)
+            elif item.mnemonic == "_la":
+                words.extend(self._encode_la(item, address, symbols))
+            else:
+                words.append(self._encode_instruction(item, address, symbols))
+
+        entry = symbols.get(self._entry_label, self.base) if self._entry_label else self.base
+        return Program(base=self.base, words=words, symbols=symbols, entry=entry)
+
+    def _resolve_target(self, target: TargetLike, symbols: Dict[str, int]) -> int:
+        if isinstance(target, Label):
+            target = target.name
+        if isinstance(target, str):
+            if target not in symbols:
+                raise BuildError(f"undefined label {target!r}")
+            return symbols[target]
+        return int(target)
+
+    def _encode_la(self, item: _Item, address: int, symbols: Dict[str, int]) -> List[int]:
+        rd = reg_index(item.operands["rd"])
+        value = self._resolve_target(item.operands["target"], symbols)
+        upper, lower = _split_hi_lo(value)
+        lui_spec = SPEC_BY_MNEMONIC["lui"]
+        addi_spec = SPEC_BY_MNEMONIC["addi"]
+        lui_word = encode(lui_spec.fmt, lui_spec.opcode, rd=rd, imm=upper)
+        addi_word = encode(
+            addi_spec.fmt,
+            addi_spec.opcode,
+            rd=rd,
+            rs1=rd,
+            funct3=addi_spec.funct3,
+            imm=lower,
+        )
+        return [lui_word, addi_word]
+
+    def _encode_instruction(self, item: _Item, address: int, symbols: Dict[str, int]) -> int:
+        spec = SPEC_BY_MNEMONIC[item.mnemonic]
+        ops = item.operands
+        rd = rs1 = rs2 = rs3 = 0
+        imm = 0
+        funct3 = spec.funct3
+        funct7 = spec.funct7
+
+        for role in ("rd", "rs1", "rs2", "rs3"):
+            if role in ops:
+                floating = getattr(spec, f"{role}_float")
+                value = ops[role]
+                index = reg_index(value, floating=floating)
+                if role == "rd":
+                    rd = index
+                elif role == "rs1":
+                    rs1 = index
+                elif role == "rs2":
+                    rs2 = index
+                else:
+                    rs3 = index
+
+        if "imm" in ops:
+            imm = int(ops["imm"])
+        if "shamt" in ops:
+            imm = int(ops["shamt"]) & 0x1F
+            if spec.mnemonic == "srai":
+                imm |= 0x400
+        if "offset" in ops:
+            imm = int(ops["offset"])
+            rs1 = reg_index(ops["base"])
+        is_csr_access = "csr" in ops
+        if is_csr_access:
+            csr_address = int(ops["csr"])
+            if not 0 <= csr_address < (1 << 12):
+                raise BuildError(f"{spec.mnemonic}: CSR address {csr_address:#x} out of range")
+            imm = csr_address
+            if "zimm" in ops:
+                rs1 = int(ops["zimm"]) & 0x1F
+        elif "zimm" in ops:
+            rs1 = int(ops["zimm"]) & 0x1F
+        if "target" in ops:
+            target = self._resolve_target(ops["target"], symbols)
+            imm = target - address
+            if imm % 2:
+                raise BuildError(f"{spec.mnemonic}: misaligned branch target {target:#x}")
+        if "stage" in ops:
+            funct3 = int(ops["stage"]) & 0x7
+
+        # The unsigned-conversion variants are distinguished by the rs2 field.
+        if spec.mnemonic in ("fcvt.wu.s", "fcvt.s.wu"):
+            rs2 = 1
+
+        if not is_csr_access and not imm_fits(imm, spec.fmt):
+            raise BuildError(
+                f"{spec.mnemonic}: immediate {imm} does not fit format {spec.fmt.value}"
+            )
+
+        return encode(
+            spec.fmt,
+            spec.opcode,
+            rd=rd,
+            rs1=rs1,
+            rs2=rs2,
+            rs3=rs3,
+            funct3=funct3,
+            funct7=funct7,
+            imm=imm,
+        )
+
+
+def _method_name(mnemonic: str) -> str:
+    name = mnemonic.replace(".", "_")
+    if keyword.iskeyword(name):
+        name += "_"
+    return name
+
+
+def _make_emitter(mnemonic: str):
+    def emitter(self: ProgramBuilder, *args, **kwargs) -> None:
+        self.emit(mnemonic, *args, **kwargs)
+
+    emitter.__name__ = _method_name(mnemonic)
+    emitter.__doc__ = f"Emit the ``{mnemonic}`` instruction."
+    return emitter
+
+
+# Expose one method per real instruction (``add``, ``lw``, ``fadd_s``, ``tex`` …).
+for _mnemonic in SPEC_BY_MNEMONIC:
+    _name = _method_name(_mnemonic)
+    if not hasattr(ProgramBuilder, _name):
+        setattr(ProgramBuilder, _name, _make_emitter(_mnemonic))

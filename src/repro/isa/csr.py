@@ -1,0 +1,92 @@
+"""Control and status registers (CSRs) defined by the Vortex ISA.
+
+Besides the handful of machine CSRs kernels read to discover the machine
+geometry (thread id, warp id, core id, and the corresponding counts), the
+texture units are configured entirely through CSRs (paper section 4.2.2):
+per texture stage there is a block holding the base address, the log2
+dimensions, the texel format, the wrap mode, the filter mode, and one
+mipmap offset per level of detail.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+#: Number of texture stages addressable through CSRs.
+NUM_TEX_STATES = 2
+#: Number of mipmap levels each texture stage can describe.
+NUM_TEX_LODS = 12
+#: Size of a per-stage texture CSR block.
+TEX_STATE_STRIDE = 0x20
+
+
+class CSR(IntEnum):
+    """CSR addresses.  Values follow the Vortex convention of using the
+    user-read-only (0xCC0) and machine-read-only (0xFC0) ranges."""
+
+    # SIMT identification registers (per thread / warp / core).
+    THREAD_ID = 0xCC0
+    WARP_ID = 0xCC1
+    CORE_ID = 0xCC2
+    THREAD_MASK = 0xCC3
+    WARP_MASK = 0xCC4
+
+    # Machine configuration registers.
+    NUM_THREADS = 0xFC0
+    NUM_WARPS = 0xFC1
+    NUM_CORES = 0xFC2
+
+    # Performance counters exposed to kernels.
+    CYCLE = 0xC00
+    INSTRET = 0xC02
+
+    # Base of the texture state blocks (stage 0).  Stage ``s`` lives at
+    # ``TEX_STATE_BASE + s * TEX_STATE_STRIDE``.
+    TEX_STATE_BASE = 0x7C0
+
+
+class TexCSR(IntEnum):
+    """Offsets within one texture-stage CSR block."""
+
+    ADDR = 0
+    WIDTH = 1
+    HEIGHT = 2
+    FORMAT = 3
+    WRAP = 4
+    FILTER = 5
+    MIPOFF = 6  # MIPOFF + lod, for lod in [0, NUM_TEX_LODS)
+
+
+def tex_csr(stage: int, field: TexCSR, lod: int = 0) -> int:
+    """Return the CSR address of ``field`` for texture ``stage``.
+
+    ``lod`` is only meaningful for :attr:`TexCSR.MIPOFF`.
+    """
+    if not 0 <= stage < NUM_TEX_STATES:
+        raise ValueError(f"texture stage out of range: {stage}")
+    if field is TexCSR.MIPOFF:
+        if not 0 <= lod < NUM_TEX_LODS:
+            raise ValueError(f"texture lod out of range: {lod}")
+        offset = int(TexCSR.MIPOFF) + lod
+    else:
+        if lod != 0:
+            raise ValueError("lod is only valid for MIPOFF")
+        offset = int(field)
+    return int(CSR.TEX_STATE_BASE) + stage * TEX_STATE_STRIDE + offset
+
+
+def is_tex_csr(address: int) -> bool:
+    """Return True when ``address`` falls inside a texture-stage CSR block."""
+    base = int(CSR.TEX_STATE_BASE)
+    return base <= address < base + NUM_TEX_STATES * TEX_STATE_STRIDE
+
+
+def split_tex_csr(address: int):
+    """Split a texture CSR address into ``(stage, field, lod)``."""
+    if not is_tex_csr(address):
+        raise ValueError(f"not a texture CSR: {address:#x}")
+    offset = address - int(CSR.TEX_STATE_BASE)
+    stage, field_offset = divmod(offset, TEX_STATE_STRIDE)
+    if field_offset >= int(TexCSR.MIPOFF):
+        return stage, TexCSR.MIPOFF, field_offset - int(TexCSR.MIPOFF)
+    return stage, TexCSR(field_offset), 0

@@ -1,0 +1,222 @@
+"""Binary instruction decoder.
+
+``decode`` turns a 32-bit word into a :class:`DecodedInstruction` carrying
+the matched :class:`~repro.isa.instructions.InstrSpec`, the register
+indices, and the sign-extended immediate.  Both simulator drivers and the
+disassembler are built on top of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.bitutils import bits
+from repro.isa.encoding import InstrFormat, Opcode, unpack
+from repro.isa.instructions import InstrSpec, SPEC_BY_MNEMONIC
+
+
+class DecodeError(Exception):
+    """Raised when a word does not correspond to a supported instruction."""
+
+
+@dataclass(frozen=True)
+class DecodedInstruction:
+    """A fully decoded instruction."""
+
+    word: int
+    spec: InstrSpec
+    rd: int
+    rs1: int
+    rs2: int
+    rs3: int
+    imm: int
+    csr: int = 0
+    tex_stage: int = 0
+
+    @property
+    def mnemonic(self) -> str:
+        return self.spec.mnemonic
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        from repro.isa.disassembler import format_instruction
+
+        return format_instruction(self)
+
+
+def _decode_op_imm(word: int, funct3: int) -> Optional[str]:
+    if funct3 == 0:
+        return "addi"
+    if funct3 == 1:
+        return "slli"
+    if funct3 == 2:
+        return "slti"
+    if funct3 == 3:
+        return "sltiu"
+    if funct3 == 4:
+        return "xori"
+    if funct3 == 5:
+        return "srai" if bits(word, 31, 25) == 0x20 else "srli"
+    if funct3 == 6:
+        return "ori"
+    if funct3 == 7:
+        return "andi"
+    return None
+
+
+def _decode_op(funct3: int, funct7: int) -> Optional[str]:
+    if funct7 == 0x01:
+        return {
+            0: "mul",
+            1: "mulh",
+            2: "mulhsu",
+            3: "mulhu",
+            4: "div",
+            5: "divu",
+            6: "rem",
+            7: "remu",
+        }.get(funct3)
+    key = (funct3, funct7)
+    return {
+        (0, 0x00): "add",
+        (0, 0x20): "sub",
+        (1, 0x00): "sll",
+        (2, 0x00): "slt",
+        (3, 0x00): "sltu",
+        (4, 0x00): "xor",
+        (5, 0x00): "srl",
+        (5, 0x20): "sra",
+        (6, 0x00): "or",
+        (7, 0x00): "and",
+    }.get(key)
+
+
+def _decode_branch(funct3: int) -> Optional[str]:
+    return {0: "beq", 1: "bne", 4: "blt", 5: "bge", 6: "bltu", 7: "bgeu"}.get(funct3)
+
+
+def _decode_load(funct3: int) -> Optional[str]:
+    return {0: "lb", 1: "lh", 2: "lw", 4: "lbu", 5: "lhu"}.get(funct3)
+
+
+def _decode_store(funct3: int) -> Optional[str]:
+    return {0: "sb", 1: "sh", 2: "sw"}.get(funct3)
+
+
+def _decode_system(funct3: int) -> Optional[str]:
+    return {
+        0: "ecall",
+        1: "csrrw",
+        2: "csrrs",
+        3: "csrrc",
+        5: "csrrwi",
+        6: "csrrsi",
+        7: "csrrci",
+    }.get(funct3)
+
+
+def _decode_op_fp(word: int, funct3: int, funct7: int, rs2: int) -> Optional[str]:
+    if funct7 == 0x00:
+        return "fadd.s"
+    if funct7 == 0x04:
+        return "fsub.s"
+    if funct7 == 0x08:
+        return "fmul.s"
+    if funct7 == 0x0C:
+        return "fdiv.s"
+    if funct7 == 0x2C:
+        return "fsqrt.s"
+    if funct7 == 0x10:
+        return {0: "fsgnj.s", 1: "fsgnjn.s", 2: "fsgnjx.s"}.get(funct3)
+    if funct7 == 0x14:
+        return {0: "fmin.s", 1: "fmax.s"}.get(funct3)
+    if funct7 == 0x50:
+        return {0: "fle.s", 1: "flt.s", 2: "feq.s"}.get(funct3)
+    if funct7 == 0x60:
+        return "fcvt.wu.s" if rs2 == 1 else "fcvt.w.s"
+    if funct7 == 0x68:
+        return "fcvt.s.wu" if rs2 == 1 else "fcvt.s.w"
+    if funct7 == 0x70:
+        return "fmv.x.w"
+    if funct7 == 0x78:
+        return "fmv.w.x"
+    return None
+
+
+def _decode_vx(funct3: int) -> Optional[str]:
+    return {0: "tmc", 1: "wspawn", 2: "split", 3: "join", 4: "bar"}.get(funct3)
+
+
+def decode(word: int) -> DecodedInstruction:
+    """Decode a 32-bit instruction word."""
+    opcode = bits(word, 6, 0)
+    funct3 = bits(word, 14, 12)
+    funct7 = bits(word, 31, 25)
+    rs2_field = bits(word, 24, 20)
+
+    mnemonic: Optional[str] = None
+    if opcode == Opcode.LUI:
+        mnemonic = "lui"
+    elif opcode == Opcode.AUIPC:
+        mnemonic = "auipc"
+    elif opcode == Opcode.JAL:
+        mnemonic = "jal"
+    elif opcode == Opcode.JALR:
+        mnemonic = "jalr"
+    elif opcode == Opcode.BRANCH:
+        mnemonic = _decode_branch(funct3)
+    elif opcode == Opcode.LOAD:
+        mnemonic = _decode_load(funct3)
+    elif opcode == Opcode.STORE:
+        mnemonic = _decode_store(funct3)
+    elif opcode == Opcode.OP_IMM:
+        mnemonic = _decode_op_imm(word, funct3)
+    elif opcode == Opcode.OP:
+        mnemonic = _decode_op(funct3, funct7)
+    elif opcode == Opcode.MISC_MEM:
+        mnemonic = "fence"
+    elif opcode == Opcode.SYSTEM:
+        mnemonic = _decode_system(funct3)
+    elif opcode == Opcode.LOAD_FP:
+        mnemonic = "flw" if funct3 == 2 else None
+    elif opcode == Opcode.STORE_FP:
+        mnemonic = "fsw" if funct3 == 2 else None
+    elif opcode == Opcode.OP_FP:
+        mnemonic = _decode_op_fp(word, funct3, funct7, rs2_field)
+    elif opcode == Opcode.FMADD:
+        mnemonic = "fmadd.s"
+    elif opcode == Opcode.FMSUB:
+        mnemonic = "fmsub.s"
+    elif opcode == Opcode.FNMSUB:
+        mnemonic = "fnmsub.s"
+    elif opcode == Opcode.FNMADD:
+        mnemonic = "fnmadd.s"
+    elif opcode == Opcode.VX_EXT:
+        mnemonic = _decode_vx(funct3)
+    elif opcode == Opcode.VX_TEX:
+        mnemonic = "tex"
+
+    if mnemonic is None:
+        raise DecodeError(f"cannot decode instruction word {word:#010x}")
+
+    spec = SPEC_BY_MNEMONIC[mnemonic]
+    fields = unpack(word, spec.fmt)
+    csr = 0
+    imm = fields.imm
+    if spec.group == "Zicsr":
+        csr = bits(word, 31, 20)
+        # For immediate CSR forms the rs1 field holds the 5-bit zero-extended
+        # immediate; keep it in ``imm`` so the executor has a single source.
+        imm = fields.rs1
+    tex_stage = funct3 if mnemonic == "tex" else 0
+    return DecodedInstruction(
+        word=word,
+        spec=spec,
+        rd=fields.rd,
+        rs1=fields.rs1,
+        rs2=fields.rs2,
+        rs3=fields.rs3,
+        imm=imm,
+        csr=csr,
+        tex_stage=tex_stage,
+    )

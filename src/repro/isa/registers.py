@@ -1,0 +1,142 @@
+"""Architectural register names for the Vortex ISA.
+
+Vortex keeps the standard RV32 integer register file (``x0``–``x31``) and
+the single-precision floating-point register file (``f0``–``f31``).  The
+standard RISC-V ABI names are accepted everywhere a register can be named
+(assembler source, the builder DSL, disassembly output).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Union
+
+NUM_REGS = 32
+
+
+class Reg(IntEnum):
+    """Integer registers with their ABI aliases as the canonical names."""
+
+    zero = 0
+    ra = 1
+    sp = 2
+    gp = 3
+    tp = 4
+    t0 = 5
+    t1 = 6
+    t2 = 7
+    s0 = 8
+    s1 = 9
+    a0 = 10
+    a1 = 11
+    a2 = 12
+    a3 = 13
+    a4 = 14
+    a5 = 15
+    a6 = 16
+    a7 = 17
+    s2 = 18
+    s3 = 19
+    s4 = 20
+    s5 = 21
+    s6 = 22
+    s7 = 23
+    s8 = 24
+    s9 = 25
+    s10 = 26
+    s11 = 27
+    t3 = 28
+    t4 = 29
+    t5 = 30
+    t6 = 31
+
+
+class FReg(IntEnum):
+    """Floating-point registers with their ABI aliases."""
+
+    ft0 = 0
+    ft1 = 1
+    ft2 = 2
+    ft3 = 3
+    ft4 = 4
+    ft5 = 5
+    ft6 = 6
+    ft7 = 7
+    fs0 = 8
+    fs1 = 9
+    fa0 = 10
+    fa1 = 11
+    fa2 = 12
+    fa3 = 13
+    fa4 = 14
+    fa5 = 15
+    fa6 = 16
+    fa7 = 17
+    fs2 = 18
+    fs3 = 19
+    fs4 = 20
+    fs5 = 21
+    fs6 = 22
+    fs7 = 23
+    fs8 = 24
+    fs9 = 25
+    fs10 = 26
+    fs11 = 27
+    ft8 = 28
+    ft9 = 29
+    ft10 = 30
+    ft11 = 31
+
+
+#: Alternate spellings accepted by the parsers.
+_INT_ALIASES = {"fp": Reg.s0}
+_INT_ALIASES.update({f"x{i}": Reg(i) for i in range(NUM_REGS)})
+_FP_ALIASES = {f"f{i}": FReg(i) for i in range(NUM_REGS)}
+
+
+def reg_name(index: int) -> str:
+    """Return the ABI name of integer register ``index``."""
+    return Reg(index).name
+
+
+def freg_name(index: int) -> str:
+    """Return the ABI name of floating-point register ``index``."""
+    return FReg(index).name
+
+
+def parse_register(token: str) -> int:
+    """Parse an integer-register token (``x5``, ``t0``, ``fp`` …) to its index."""
+    token = token.strip().lower()
+    if token in _INT_ALIASES:
+        return int(_INT_ALIASES[token])
+    try:
+        return int(Reg[token])
+    except KeyError:
+        raise ValueError(f"unknown integer register {token!r}") from None
+
+
+def parse_fregister(token: str) -> int:
+    """Parse a floating-point register token (``f3``, ``fa0`` …) to its index."""
+    token = token.strip().lower()
+    if token in _FP_ALIASES:
+        return int(_FP_ALIASES[token])
+    try:
+        return int(FReg[token])
+    except KeyError:
+        raise ValueError(f"unknown floating-point register {token!r}") from None
+
+
+RegisterLike = Union[int, str, Reg, FReg]
+
+
+def reg_index(value: RegisterLike, floating: bool = False) -> int:
+    """Normalize any register designator (enum, int, or name) to an index."""
+    if isinstance(value, (Reg, FReg)):
+        return int(value)
+    if isinstance(value, int):
+        if not 0 <= value < NUM_REGS:
+            raise ValueError(f"register index out of range: {value}")
+        return value
+    if isinstance(value, str):
+        return parse_fregister(value) if floating else parse_register(value)
+    raise TypeError(f"cannot interpret {value!r} as a register")

@@ -1,0 +1,61 @@
+"""Device kernels used by the evaluation (paper section 6.1).
+
+The Rodinia-derived OpenCL kernels are re-implemented against the assembler
+DSL: the compute-bounded group (``sgemm``, ``vecadd``, ``sfilter``), the
+memory-bounded group (``saxpy``, ``nearn``, ``gaussian``, ``bfs``), and the
+synthetic texture benchmarks (point / bilinear / trilinear, each in a
+hardware-accelerated and a pure-software variant) used by Figure 20.
+"""
+
+from repro.kernels.base import Kernel, KernelRun
+from repro.kernels.runtime import build_kernel_program, DEFAULT_KERNEL_BASE
+from repro.kernels.vecadd import VecAddKernel
+from repro.kernels.saxpy import SaxpyKernel
+from repro.kernels.sgemm import SgemmKernel
+from repro.kernels.sfilter import SfilterKernel
+from repro.kernels.nearn import NearnKernel
+from repro.kernels.gaussian import GaussianKernel
+from repro.kernels.bfs import BfsKernel
+from repro.kernels.texture import (
+    TextureKernel,
+    hardware_texture_kernel,
+    software_texture_kernel,
+)
+
+#: Registry of the Rodinia-style kernels keyed by their paper name.
+KERNELS = {
+    kernel_cls.name: kernel_cls
+    for kernel_cls in (
+        VecAddKernel,
+        SaxpyKernel,
+        SgemmKernel,
+        SfilterKernel,
+        NearnKernel,
+        GaussianKernel,
+        BfsKernel,
+    )
+}
+
+#: The benchmark grouping used throughout section 6.
+COMPUTE_BOUND = ("sgemm", "vecadd", "sfilter")
+MEMORY_BOUND = ("saxpy", "nearn", "gaussian", "bfs")
+
+__all__ = [
+    "Kernel",
+    "KernelRun",
+    "build_kernel_program",
+    "DEFAULT_KERNEL_BASE",
+    "VecAddKernel",
+    "SaxpyKernel",
+    "SgemmKernel",
+    "SfilterKernel",
+    "NearnKernel",
+    "GaussianKernel",
+    "BfsKernel",
+    "TextureKernel",
+    "hardware_texture_kernel",
+    "software_texture_kernel",
+    "KERNELS",
+    "COMPUTE_BOUND",
+    "MEMORY_BOUND",
+]

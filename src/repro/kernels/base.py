@@ -1,0 +1,118 @@
+"""Common scaffolding for the benchmark kernels.
+
+Each kernel used in the evaluation (the Rodinia-derived set of section 6.1
+plus the synthetic texture benchmarks) is a :class:`Kernel` subclass that
+knows how to
+
+* emit its device-side body through the assembler DSL,
+* stage its input buffers and argument block onto a :class:`VortexDevice`,
+* verify the device results against a numpy reference, and
+* report whether the paper classifies it as compute- or memory-bounded.
+
+``Kernel.run`` performs the full upload → launch → verify flow and returns
+the :class:`ExecutionReport` together with the verification outcome, which
+is what the benchmark harness consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.isa.builder import Program, ProgramBuilder
+from repro.kernels.runtime import DEFAULT_KERNEL_BASE, build_kernel_program
+from repro.runtime.device import VortexDevice
+from repro.runtime.report import ExecutionReport
+
+
+@dataclass
+class KernelRun:
+    """The outcome of one kernel execution."""
+
+    report: ExecutionReport
+    passed: bool
+    context: Dict = field(default_factory=dict)
+
+
+class Kernel:
+    """Base class for device kernels."""
+
+    #: Registry key and display name.
+    name: str = "kernel"
+    #: "compute" or "memory" (the paper's benchmark classification) or "texture".
+    category: str = "compute"
+
+    def __init__(self, **parameters):
+        self.parameters = parameters
+        self._program: Optional[Program] = None
+
+    # -- device code ---------------------------------------------------------------
+
+    def emit_body(self, asm: ProgramBuilder) -> None:
+        """Emit the kernel body (``a0`` = task id, ``a1`` = argument block)."""
+        raise NotImplementedError
+
+    def emit_prologue(self, asm: ProgramBuilder) -> None:
+        """Emit optional per-core setup code (default: nothing).
+
+        Runs on warp 0 / thread 0 of every core before wavefronts spawn;
+        texture kernels use it to program the texture CSRs.
+        """
+
+    def build_program(self, base: int = DEFAULT_KERNEL_BASE) -> Program:
+        """Assemble (and cache) the kernel image."""
+        if self._program is None or self._program.base != base:
+            self._program = build_kernel_program(
+                self.emit_body, base=base, emit_prologue=self.emit_prologue
+            )
+        return self._program
+
+    # -- host-side staging --------------------------------------------------------------
+
+    def default_size(self) -> int:
+        """Problem size used when the caller does not specify one."""
+        return 256
+
+    def setup(self, device: VortexDevice, size: int) -> Dict:
+        """Allocate/initialize device buffers and the argument block.
+
+        Returns a context dictionary handed back to :meth:`verify`.
+        Subclasses must call :meth:`write_args` with the argument words
+        (starting with ``num_tasks``).
+        """
+        raise NotImplementedError
+
+    def verify(self, device: VortexDevice, context: Dict) -> bool:
+        """Check device results against the host reference."""
+        raise NotImplementedError
+
+    @staticmethod
+    def write_args(device: VortexDevice, words) -> int:
+        """Write the argument block and publish its pointer to the device."""
+        return device.write_kernel_args(words)
+
+    # -- end-to-end flow -----------------------------------------------------------------------
+
+    def run(
+        self,
+        device: VortexDevice,
+        size: Optional[int] = None,
+        verify: bool = True,
+    ) -> KernelRun:
+        """Upload, launch and (optionally) verify this kernel on ``device``."""
+        size = size if size is not None else self.default_size()
+        program = self.build_program()
+        device.upload_program(program)
+        context = self.setup(device, size)
+        report = device.launch(program.entry)
+        passed = self.verify(device, context) if verify else True
+        return KernelRun(report=report, passed=passed, context=context)
+
+    # -- numpy helpers ----------------------------------------------------------------------------
+
+    @staticmethod
+    def rng(seed: int = 7) -> np.random.Generator:
+        """Deterministic RNG so kernel inputs are reproducible across runs."""
+        return np.random.default_rng(seed)

@@ -1,0 +1,183 @@
+"""``bfs`` — one breadth-first-search level expansion (memory-bounded group).
+
+The graph is stored in ELLPACK (padded adjacency) form so the per-node edge
+loop has a uniform trip count; threads whose node is not on the current
+frontier, and edge slots that are padding or lead to visited nodes, are
+masked off with ``split``/``join``.  One kernel launch expands one BFS
+level.  Argument block layout::
+
+    word 0: num_tasks (= number of nodes)
+    word 1: max_degree (padded adjacency width)
+    word 2: address of the adjacency table (num_nodes * max_degree int32, -1 padding)
+    word 3: address of the level array (int32, -1 = unvisited)
+    word 4: current level
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.registers import Reg
+from repro.kernels.base import Kernel
+from repro.runtime.device import VortexDevice
+
+
+def build_ellpack(num_nodes: int, edges, max_degree: int) -> np.ndarray:
+    """Convert an edge list into a padded (ELLPACK) adjacency table."""
+    table = -np.ones((num_nodes, max_degree), dtype=np.int32)
+    fill = np.zeros(num_nodes, dtype=np.int64)
+    for src, dst in edges:
+        if fill[src] < max_degree:
+            table[src, fill[src]] = dst
+            fill[src] += 1
+        if fill[dst] < max_degree:
+            table[dst, fill[dst]] = src
+            fill[dst] += 1
+    return table
+
+
+def bfs_reference(adjacency: np.ndarray, source: int) -> np.ndarray:
+    """Host BFS over a padded adjacency table (reference for verification)."""
+    num_nodes = adjacency.shape[0]
+    levels = -np.ones(num_nodes, dtype=np.int32)
+    levels[source] = 0
+    frontier = [source]
+    level = 0
+    while frontier:
+        next_frontier = []
+        for node in frontier:
+            for neighbor in adjacency[node]:
+                if neighbor >= 0 and levels[neighbor] < 0:
+                    levels[neighbor] = level + 1
+                    next_frontier.append(int(neighbor))
+        frontier = next_frontier
+        level += 1
+    return levels
+
+
+class BfsKernel(Kernel):
+    """Expand one BFS level over a padded-adjacency graph."""
+
+    name = "bfs"
+    category = "memory"
+
+    def __init__(self, max_degree: int = 4, **parameters):
+        super().__init__(**parameters)
+        self.max_degree = max_degree
+
+    def default_size(self) -> int:
+        # Number of graph nodes.
+        return 128
+
+    def emit_body(self, asm: ProgramBuilder) -> None:
+        eloop = asm.new_label("bfs_edge")
+        eskip = asm.new_label("bfs_eskip")
+        eend = asm.new_label("bfs_eend")
+        skip = asm.new_label("bfs_skip")
+        end = asm.new_label("bfs_end")
+
+        # levels pointer (t0) and this node's level (t2).
+        asm.lw(Reg.t0, 12, Reg.a1)
+        asm.slli(Reg.t1, Reg.a0, 2)
+        asm.add(Reg.t1, Reg.t0, Reg.t1)
+        asm.lw(Reg.t2, 0, Reg.t1)
+        asm.lw(Reg.t3, 16, Reg.a1)
+        # Frontier predicate: level == current_level.
+        asm.xor(Reg.t4, Reg.t2, Reg.t3)
+        asm.seqz(Reg.t4, Reg.t4)
+        asm.split(Reg.t4)
+        asm.beqz(Reg.t4, skip)
+
+        # Edge loop setup: max_degree (t5), edge pointer (a2), next level (a6).
+        asm.lw(Reg.t5, 4, Reg.a1)
+        asm.lw(Reg.t6, 8, Reg.a1)
+        asm.mul(Reg.a2, Reg.a0, Reg.t5)
+        asm.slli(Reg.a2, Reg.a2, 2)
+        asm.add(Reg.a2, Reg.t6, Reg.a2)
+        asm.lw(Reg.a6, 16, Reg.a1)
+        asm.addi(Reg.a6, Reg.a6, 1)
+        asm.li(Reg.a3, 0)
+
+        asm.label(eloop)
+        asm.lw(Reg.a4, 0, Reg.a2)
+        # valid = neighbor >= 0
+        asm.slt(Reg.a5, Reg.a4, Reg.zero)
+        asm.xori(Reg.a5, Reg.a5, 1)
+        # Clamp padding entries to index 0 so the level load stays in bounds.
+        asm.srai(Reg.a7, Reg.a4, 31)
+        asm.xori(Reg.a7, Reg.a7, -1)
+        asm.and_(Reg.a7, Reg.a4, Reg.a7)
+        asm.slli(Reg.a7, Reg.a7, 2)
+        asm.add(Reg.a7, Reg.t0, Reg.a7)
+        asm.lw(Reg.t1, 0, Reg.a7)
+        # unvisited = (level == -1); update = valid & unvisited.
+        asm.addi(Reg.t2, Reg.t1, 1)
+        asm.seqz(Reg.t2, Reg.t2)
+        asm.and_(Reg.t2, Reg.t2, Reg.a5)
+        asm.split(Reg.t2)
+        asm.beqz(Reg.t2, eskip)
+        asm.sw(Reg.a6, 0, Reg.a7)
+        asm.join()
+        asm.j(eend)
+        asm.label(eskip)
+        asm.join()
+        asm.label(eend)
+        asm.addi(Reg.a2, Reg.a2, 4)
+        asm.addi(Reg.a3, Reg.a3, 1)
+        asm.blt(Reg.a3, Reg.t5, eloop)
+
+        asm.join()
+        asm.j(end)
+        asm.label(skip)
+        asm.join()
+        asm.label(end)
+        asm.ret()
+
+    # -- host side ---------------------------------------------------------------------
+
+    def _build_graph(self, num_nodes: int) -> np.ndarray:
+        """A deterministic sparse graph: a ring plus random chords."""
+        rng = self.rng()
+        edges = [(i, (i + 1) % num_nodes) for i in range(num_nodes)]
+        num_chords = num_nodes // 2
+        for _ in range(num_chords):
+            a, b = rng.integers(0, num_nodes, size=2)
+            if a != b:
+                edges.append((int(a), int(b)))
+        return build_ellpack(num_nodes, edges, self.max_degree)
+
+    def setup(self, device: VortexDevice, size: int) -> Dict:
+        adjacency = self._build_graph(size)
+        levels = -np.ones(size, dtype=np.int32)
+        levels[0] = 0
+        buf_adj = device.alloc_array(adjacency)
+        buf_levels = device.alloc_array(levels)
+        current_level = 0
+        self.write_args(
+            device,
+            [size, self.max_degree, buf_adj.address, buf_levels.address, current_level],
+        )
+        return {
+            "adjacency": adjacency,
+            "levels": levels,
+            "buf_levels": buf_levels,
+            "size": size,
+            "current_level": current_level,
+        }
+
+    def verify(self, device: VortexDevice, context: Dict) -> bool:
+        adjacency = context["adjacency"]
+        levels = context["levels"].copy()
+        current = context["current_level"]
+        # Host reference for a single level expansion.
+        for node in range(context["size"]):
+            if levels[node] != current:
+                continue
+            for neighbor in adjacency[node]:
+                if neighbor >= 0 and levels[neighbor] < 0:
+                    levels[neighbor] = current + 1
+        result = context["buf_levels"].read(np.int32, context["size"])
+        return bool(np.array_equal(result, levels))

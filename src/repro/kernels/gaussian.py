@@ -1,0 +1,114 @@
+"""``gaussian`` — one elimination step of Gaussian elimination
+(memory-bounded group).
+
+The kernel performs the row-update step for pivot ``k``: every task owns
+one row ``i > k`` and computes ``A[i, j] -= (A[i, k] / A[k, k]) * A[k, j]``
+for ``j in [k, n)`` plus the matching right-hand-side update.  Argument
+block layout::
+
+    word 0: num_tasks (= n - k - 1)
+    word 1: n
+    word 2: k
+    word 3: address of A (row-major float32)
+    word 4: address of b (float32)
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.registers import FReg, Reg
+from repro.kernels.base import Kernel
+from repro.runtime.device import VortexDevice
+
+
+class GaussianKernel(Kernel):
+    """Row update of the elimination step for one pivot."""
+
+    name = "gaussian"
+    category = "memory"
+
+    def __init__(self, pivot: int = 0, **parameters):
+        super().__init__(**parameters)
+        self.pivot = pivot
+
+    def default_size(self) -> int:
+        # Interpreted as the matrix dimension n; tasks = n - pivot - 1.
+        return 24
+
+    def emit_body(self, asm: ProgramBuilder) -> None:
+        jloop = asm.new_label("gaussian_j")
+        # n (t0), k (t1), A (t2), b (t3), row i = k + 1 + task (t4).
+        asm.lw(Reg.t0, 4, Reg.a1)
+        asm.lw(Reg.t1, 8, Reg.a1)
+        asm.lw(Reg.t2, 12, Reg.a1)
+        asm.lw(Reg.t3, 16, Reg.a1)
+        asm.addi(Reg.t4, Reg.t1, 1)
+        asm.add(Reg.t4, Reg.t4, Reg.a0)
+        # &A[i][k] (t5) and &A[k][k] (t6).
+        asm.mul(Reg.t5, Reg.t4, Reg.t0)
+        asm.add(Reg.t5, Reg.t5, Reg.t1)
+        asm.slli(Reg.t5, Reg.t5, 2)
+        asm.add(Reg.t5, Reg.t2, Reg.t5)
+        asm.mul(Reg.t6, Reg.t1, Reg.t0)
+        asm.add(Reg.t6, Reg.t6, Reg.t1)
+        asm.slli(Reg.t6, Reg.t6, 2)
+        asm.add(Reg.t6, Reg.t2, Reg.t6)
+        # m = A[i][k] / A[k][k]
+        asm.flw(FReg.fa0, 0, Reg.t5)
+        asm.flw(FReg.fa1, 0, Reg.t6)
+        asm.fdiv_s(FReg.fa0, FReg.fa0, FReg.fa1)
+        # j loop from k to n - 1 (uniform bounds across all threads).
+        asm.mv(Reg.a2, Reg.t1)
+        asm.label(jloop)
+        asm.flw(FReg.fa2, 0, Reg.t6)
+        asm.flw(FReg.fa3, 0, Reg.t5)
+        asm.fnmsub_s(FReg.fa3, FReg.fa0, FReg.fa2, FReg.fa3)
+        asm.fsw(FReg.fa3, 0, Reg.t5)
+        asm.addi(Reg.t5, Reg.t5, 4)
+        asm.addi(Reg.t6, Reg.t6, 4)
+        asm.addi(Reg.a2, Reg.a2, 1)
+        asm.blt(Reg.a2, Reg.t0, jloop)
+        # b[i] -= m * b[k]
+        asm.slli(Reg.a2, Reg.t4, 2)
+        asm.add(Reg.a2, Reg.t3, Reg.a2)
+        asm.flw(FReg.fa2, 0, Reg.a2)
+        asm.slli(Reg.a3, Reg.t1, 2)
+        asm.add(Reg.a3, Reg.t3, Reg.a3)
+        asm.flw(FReg.fa3, 0, Reg.a3)
+        asm.fnmsub_s(FReg.fa2, FReg.fa0, FReg.fa3, FReg.fa2)
+        asm.fsw(FReg.fa2, 0, Reg.a2)
+        asm.ret()
+
+    def setup(self, device: VortexDevice, size: int) -> Dict:
+        n = max(size, self.pivot + 2)
+        rng = self.rng()
+        matrix = (rng.random((n, n), dtype=np.float32) + np.eye(n, dtype=np.float32) * n).astype(
+            np.float32
+        )
+        rhs = rng.random(n, dtype=np.float32)
+        buf_a = device.alloc_array(matrix)
+        buf_b = device.alloc_array(rhs)
+        num_tasks = n - self.pivot - 1
+        self.write_args(
+            device, [num_tasks, n, self.pivot, buf_a.address, buf_b.address]
+        )
+        return {"a": matrix, "b": rhs, "buf_a": buf_a, "buf_b": buf_b, "n": n}
+
+    def verify(self, device: VortexDevice, context: Dict) -> bool:
+        n = context["n"]
+        k = self.pivot
+        a = context["a"].astype(np.float64).copy()
+        b = context["b"].astype(np.float64).copy()
+        multipliers = a[k + 1 :, k] / a[k, k]
+        a[k + 1 :, k:] -= np.outer(multipliers, a[k, k:])
+        b[k + 1 :] -= multipliers * b[k]
+        result_a = context["buf_a"].read(np.float32, n * n).reshape(n, n)
+        result_b = context["buf_b"].read(np.float32, n)
+        return bool(
+            np.allclose(result_a, a, rtol=1e-3, atol=1e-4)
+            and np.allclose(result_b, b, rtol=1e-3, atol=1e-4)
+        )

@@ -1,0 +1,94 @@
+"""``nearn`` — nearest-neighbour distance computation (memory-bounded group,
+but with an expensive square-root per task, which is why the paper notes it
+also behaves compute-bound).
+
+One task computes the Euclidean distance of one record to the query point.
+Argument block layout::
+
+    word 0: num_tasks
+    word 1: address of latitudes  (float32)
+    word 2: address of longitudes (float32)
+    word 3: address of distances  (float32, output)
+    word 4: query latitude  (binary32 bits)
+    word 5: query longitude (binary32 bits)
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.common.bitutils import float_to_bits
+from repro.isa.builder import ProgramBuilder
+from repro.isa.registers import FReg, Reg
+from repro.kernels.base import Kernel
+from repro.runtime.device import VortexDevice
+
+
+class NearnKernel(Kernel):
+    """dist[i] = sqrt((lat[i] - lat0)^2 + (lng[i] - lng0)^2)."""
+
+    name = "nearn"
+    category = "memory"
+
+    def __init__(self, query=(30.0, 120.0), **parameters):
+        super().__init__(**parameters)
+        self.query = query
+
+    def default_size(self) -> int:
+        return 256
+
+    def emit_body(self, asm: ProgramBuilder) -> None:
+        asm.slli(Reg.t0, Reg.a0, 2)
+        # lat[i], lng[i].
+        asm.lw(Reg.t1, 4, Reg.a1)
+        asm.add(Reg.t1, Reg.t1, Reg.t0)
+        asm.flw(FReg.fa1, 0, Reg.t1)
+        asm.lw(Reg.t2, 8, Reg.a1)
+        asm.add(Reg.t2, Reg.t2, Reg.t0)
+        asm.flw(FReg.fa2, 0, Reg.t2)
+        # Query point.
+        asm.lw(Reg.t3, 16, Reg.a1)
+        asm.fmv_w_x(FReg.fa3, Reg.t3)
+        asm.lw(Reg.t4, 20, Reg.a1)
+        asm.fmv_w_x(FReg.fa4, Reg.t4)
+        # Squared distance and square root.
+        asm.fsub_s(FReg.fa1, FReg.fa1, FReg.fa3)
+        asm.fsub_s(FReg.fa2, FReg.fa2, FReg.fa4)
+        asm.fmul_s(FReg.fa1, FReg.fa1, FReg.fa1)
+        asm.fmadd_s(FReg.fa1, FReg.fa2, FReg.fa2, FReg.fa1)
+        asm.fsqrt_s(FReg.fa1, FReg.fa1)
+        # dist[i].
+        asm.lw(Reg.t5, 12, Reg.a1)
+        asm.add(Reg.t5, Reg.t5, Reg.t0)
+        asm.fsw(FReg.fa1, 0, Reg.t5)
+        asm.ret()
+
+    def setup(self, device: VortexDevice, size: int) -> Dict:
+        rng = self.rng()
+        lat = (rng.random(size, dtype=np.float32) * 180.0 - 90.0).astype(np.float32)
+        lng = (rng.random(size, dtype=np.float32) * 360.0 - 180.0).astype(np.float32)
+        buf_lat = device.alloc_array(lat)
+        buf_lng = device.alloc_array(lng)
+        buf_out = device.alloc(size * 4)
+        self.write_args(
+            device,
+            [
+                size,
+                buf_lat.address,
+                buf_lng.address,
+                buf_out.address,
+                float_to_bits(self.query[0]),
+                float_to_bits(self.query[1]),
+            ],
+        )
+        return {"lat": lat, "lng": lng, "out": buf_out, "size": size}
+
+    def verify(self, device: VortexDevice, context: Dict) -> bool:
+        lat0, lng0 = np.float32(self.query[0]), np.float32(self.query[1])
+        expected = np.sqrt(
+            (context["lat"] - lat0) ** 2 + (context["lng"] - lng0) ** 2
+        )
+        result = context["out"].read(np.float32, context["size"])
+        return bool(np.allclose(result, expected, rtol=1e-4, atol=1e-4))

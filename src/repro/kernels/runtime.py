@@ -1,0 +1,143 @@
+"""Device-side runtime (the Vortex native runtime of section 5.3).
+
+Every kernel binary starts with the startup code emitted here.  It mirrors
+what the paper's ``pocl_spawn`` runtime does on real Vortex hardware:
+
+1. warp 0 / thread 0 boots, reads the machine geometry CSRs and uses
+   ``wspawn`` to activate the remaining wavefronts of the core,
+2. every wavefront enables all of its threads with ``tmc``,
+3. each hardware thread computes its global thread id and iterates over the
+   kernel's task range with a uniform trip count, using ``split``/``join``
+   to mask off threads whose task id falls beyond ``num_tasks``,
+4. each in-range task calls the kernel body with ``a0 = task id`` and
+   ``a1 = argument-block address``,
+5. when the loop finishes the wavefront halts itself with ``tmc 0``.
+
+Kernel bodies are leaf routines: they may clobber ``t``/``a``/``ft``/``fa``
+registers but must leave the ``s`` registers untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.isa.builder import Label, Program, ProgramBuilder
+from repro.isa.csr import CSR
+from repro.isa.registers import Reg
+from repro.runtime.device import KERNEL_ARG_PTR_ADDR
+
+#: Device address kernels are linked at.
+DEFAULT_KERNEL_BASE = 0x8000_0000
+
+#: Offset of ``num_tasks`` inside the kernel argument block.
+ARG_NUM_TASKS_OFFSET = 0
+
+
+def emit_load_arg_pointer(asm: ProgramBuilder, dest: Reg, scratch: Reg = Reg.t6) -> None:
+    """Load the kernel argument-block address into ``dest``."""
+    asm.li(scratch, KERNEL_ARG_PTR_ADDR)
+    asm.lw(dest, 0, scratch)
+
+
+def emit_spawn_runtime(
+    asm: ProgramBuilder,
+    body_label: Label,
+    emit_prologue: Optional[Callable[[ProgramBuilder], None]] = None,
+) -> None:
+    """Emit the startup + task-distribution loop calling ``body_label``.
+
+    ``emit_prologue``, when given, runs on warp 0 / thread 0 of every core
+    before any wavefront is spawned — this is where kernels program texture
+    CSRs, mirroring the kernel ``main`` of the paper's Figure 13.
+    """
+    worker = asm.new_label("worker")
+    loop = asm.new_label("loop")
+    skip = asm.new_label("skip")
+    endif = asm.new_label("endif")
+    done = asm.new_label("done")
+
+    # -- warp 0 / thread 0 boot code ------------------------------------------------
+    asm.label("entry")
+    if emit_prologue is not None:
+        emit_prologue(asm)
+    asm.csr_read(Reg.t0, CSR.NUM_WARPS)
+    asm.la(Reg.t1, worker)
+    asm.wspawn(Reg.t0, Reg.t1)
+    asm.j(worker)
+
+    # -- per-wavefront worker --------------------------------------------------------
+    asm.label(worker)
+    asm.csr_read(Reg.t0, CSR.NUM_THREADS)
+    asm.tmc(Reg.t0)
+
+    # Global thread id: ((core_id * NW) + warp_id) * NT + thread_id.
+    asm.csr_read(Reg.t1, CSR.CORE_ID)
+    asm.csr_read(Reg.t2, CSR.WARP_ID)
+    asm.csr_read(Reg.t3, CSR.THREAD_ID)
+    asm.csr_read(Reg.t4, CSR.NUM_WARPS)
+    asm.csr_read(Reg.t5, CSR.NUM_THREADS)
+    asm.csr_read(Reg.t6, CSR.NUM_CORES)
+    asm.mul(Reg.s0, Reg.t1, Reg.t4)
+    asm.add(Reg.s0, Reg.s0, Reg.t2)
+    asm.mul(Reg.s0, Reg.s0, Reg.t5)
+    asm.add(Reg.s0, Reg.s0, Reg.t3)
+    # Stride: total hardware threads in the machine.
+    asm.mul(Reg.s1, Reg.t6, Reg.t4)
+    asm.mul(Reg.s1, Reg.s1, Reg.t5)
+
+    # Argument block pointer and task count.
+    asm.li(Reg.t0, KERNEL_ARG_PTR_ADDR)
+    asm.lw(Reg.s2, 0, Reg.t0)
+    asm.lw(Reg.s3, ARG_NUM_TASKS_OFFSET, Reg.s2)
+
+    # Uniform trip count: ceil(num_tasks / stride).
+    asm.add(Reg.t0, Reg.s3, Reg.s1)
+    asm.addi(Reg.t0, Reg.t0, -1)
+    asm.divu(Reg.s4, Reg.t0, Reg.s1)
+    asm.li(Reg.s5, 0)
+    asm.beqz(Reg.s4, done)
+
+    # -- task loop ----------------------------------------------------------------------
+    asm.label(loop)
+    asm.mul(Reg.t0, Reg.s5, Reg.s1)
+    asm.add(Reg.s6, Reg.s0, Reg.t0)
+    asm.slt(Reg.t1, Reg.s6, Reg.s3)
+    asm.split(Reg.t1)
+    asm.beqz(Reg.t1, skip)
+    asm.mv(Reg.a0, Reg.s6)
+    asm.mv(Reg.a1, Reg.s2)
+    asm.call(body_label)
+    asm.join()
+    asm.j(endif)
+    asm.label(skip)
+    asm.join()
+    asm.label(endif)
+    asm.addi(Reg.s5, Reg.s5, 1)
+    asm.blt(Reg.s5, Reg.s4, loop)
+
+    # -- shutdown --------------------------------------------------------------------------
+    asm.label(done)
+    asm.li(Reg.t0, 0)
+    asm.tmc(Reg.t0)
+
+
+def build_kernel_program(
+    emit_body: Callable[[ProgramBuilder], None],
+    base: int = DEFAULT_KERNEL_BASE,
+    emit_prologue: Optional[Callable[[ProgramBuilder], None]] = None,
+) -> Program:
+    """Assemble a complete kernel image: runtime prologue plus the body.
+
+    ``emit_body`` receives the builder positioned at the body's first
+    instruction (``a0`` = task id, ``a1`` = argument-block address) and must
+    end the body with ``ret``.  ``emit_prologue`` optionally emits per-core
+    setup code (e.g. texture CSR programming) that runs before wavefronts
+    are spawned.
+    """
+    asm = ProgramBuilder(base=base)
+    body_label = asm.new_label("kernel_body")
+    emit_spawn_runtime(asm, body_label, emit_prologue=emit_prologue)
+    asm.label(body_label)
+    emit_body(asm)
+    asm.set_entry("entry")
+    return asm.assemble()

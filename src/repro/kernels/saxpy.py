@@ -1,0 +1,71 @@
+"""``saxpy`` — single-precision A*X plus Y (memory-bounded group).
+
+Argument block layout::
+
+    word 0: num_tasks
+    word 1: a (binary32 bits)
+    word 2: address of X
+    word 3: address of Y (updated in place)
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.registers import FReg, Reg
+from repro.kernels.base import Kernel
+from repro.runtime.device import VortexDevice
+
+
+class SaxpyKernel(Kernel):
+    """Y[i] = a * X[i] + Y[i] over binary32 floats."""
+
+    name = "saxpy"
+    category = "memory"
+
+    def __init__(self, scale: float = 2.5, **parameters):
+        super().__init__(**parameters)
+        self.scale = scale
+
+    def default_size(self) -> int:
+        return 256
+
+    def emit_body(self, asm: ProgramBuilder) -> None:
+        asm.slli(Reg.t0, Reg.a0, 2)
+        # Scalar a.
+        asm.lw(Reg.t1, 4, Reg.a1)
+        asm.fmv_w_x(FReg.fa1, Reg.t1)
+        # X[i].
+        asm.lw(Reg.t2, 8, Reg.a1)
+        asm.add(Reg.t2, Reg.t2, Reg.t0)
+        asm.flw(FReg.fa2, 0, Reg.t2)
+        # Y[i].
+        asm.lw(Reg.t3, 12, Reg.a1)
+        asm.add(Reg.t3, Reg.t3, Reg.t0)
+        asm.flw(FReg.fa3, 0, Reg.t3)
+        # Y[i] = a * X[i] + Y[i].
+        asm.fmadd_s(FReg.fa4, FReg.fa1, FReg.fa2, FReg.fa3)
+        asm.fsw(FReg.fa4, 0, Reg.t3)
+        asm.ret()
+
+    def setup(self, device: VortexDevice, size: int) -> Dict:
+        rng = self.rng()
+        x = rng.random(size, dtype=np.float32)
+        y = rng.random(size, dtype=np.float32)
+        buf_x = device.alloc_array(x)
+        buf_y = device.alloc_array(y)
+        from repro.common.bitutils import float_to_bits
+
+        self.write_args(
+            device, [size, float_to_bits(self.scale), buf_x.address, buf_y.address]
+        )
+        return {"x": x, "y": y, "out": buf_y, "size": size}
+
+    def verify(self, device: VortexDevice, context: Dict) -> bool:
+        scale = np.float32(self.scale)
+        expected = scale * context["x"] + context["y"]
+        result = context["out"].read(np.float32, context["size"])
+        return bool(np.allclose(result, expected, rtol=1e-5, atol=1e-6))

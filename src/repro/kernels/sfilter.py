@@ -1,0 +1,118 @@
+"""``sfilter`` — 3x3 box filter over a float image (compute-bounded group).
+
+One task filters one pixel; image borders are handled with branch-free
+clamping so the kernel contains no divergent control flow.  Argument block
+layout::
+
+    word 0: num_tasks (= width * height)
+    word 1: width
+    word 2: height
+    word 3: address of the source image (float32, row-major)
+    word 4: address of the destination image (float32, row-major)
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.registers import FReg, Reg
+from repro.kernels.base import Kernel
+from repro.runtime.device import VortexDevice
+
+
+class SfilterKernel(Kernel):
+    """dst[y, x] = mean of the 3x3 neighbourhood of src (clamped borders)."""
+
+    name = "sfilter"
+    category = "compute"
+
+    def default_size(self) -> int:
+        return 16 * 16
+
+    def emit_body(self, asm: ProgramBuilder) -> None:
+        dy_loop = asm.new_label("sfilter_dy")
+        dx_loop = asm.new_label("sfilter_dx")
+        # Geometry: width (t0), height (t1), row (t2), col (t3), src (t4).
+        asm.lw(Reg.t0, 4, Reg.a1)
+        asm.lw(Reg.t1, 8, Reg.a1)
+        asm.divu(Reg.t2, Reg.a0, Reg.t0)
+        asm.remu(Reg.t3, Reg.a0, Reg.t0)
+        asm.lw(Reg.t4, 12, Reg.a1)
+        # Accumulator.
+        asm.fmv_w_x(FReg.fa0, Reg.zero)
+        # dy in [-1, 1] (uniform loop bounds => uniform branches).
+        asm.li(Reg.t5, -1)
+        asm.label(dy_loop)
+        asm.li(Reg.t6, -1)
+        asm.label(dx_loop)
+        # r = clamp(row + dy, 0, height - 1)
+        asm.add(Reg.a2, Reg.t2, Reg.t5)
+        self._emit_clamp_index(asm, Reg.a2, Reg.t1, Reg.a4)
+        # c = clamp(col + dx, 0, width - 1)
+        asm.add(Reg.a3, Reg.t3, Reg.t6)
+        self._emit_clamp_index(asm, Reg.a3, Reg.t0, Reg.a4)
+        # acc += src[r * width + c]
+        asm.mul(Reg.a4, Reg.a2, Reg.t0)
+        asm.add(Reg.a4, Reg.a4, Reg.a3)
+        asm.slli(Reg.a4, Reg.a4, 2)
+        asm.add(Reg.a4, Reg.t4, Reg.a4)
+        asm.flw(FReg.fa1, 0, Reg.a4)
+        asm.fadd_s(FReg.fa0, FReg.fa0, FReg.fa1)
+        # Next dx / dy.
+        asm.addi(Reg.t6, Reg.t6, 1)
+        asm.li(Reg.a5, 2)
+        asm.blt(Reg.t6, Reg.a5, dx_loop)
+        asm.addi(Reg.t5, Reg.t5, 1)
+        asm.blt(Reg.t5, Reg.a5, dy_loop)
+        # dst[task] = acc / 9
+        asm.li_float(FReg.fa2, 1.0 / 9.0, scratch=Reg.a5)
+        asm.fmul_s(FReg.fa0, FReg.fa0, FReg.fa2)
+        asm.lw(Reg.a5, 16, Reg.a1)
+        asm.slli(Reg.a6, Reg.a0, 2)
+        asm.add(Reg.a5, Reg.a5, Reg.a6)
+        asm.fsw(FReg.fa0, 0, Reg.a5)
+        asm.ret()
+
+    @staticmethod
+    def _emit_clamp_index(asm: ProgramBuilder, value: Reg, limit: Reg, scratch: Reg) -> None:
+        """Branch-free clamp of ``value`` into ``[0, limit - 1]``."""
+        # value = max(value, 0)
+        asm.srai(scratch, value, 31)
+        asm.xori(scratch, scratch, -1)
+        asm.and_(value, value, scratch)
+        # d = value - (limit - 1); if d > 0 (sign bit clear and d != 0) subtract d.
+        asm.addi(scratch, limit, -1)
+        asm.sub(scratch, value, scratch)
+        # mask = d > 0 ? -1 : 0  computed as  ~(d >> 31) when d > 0 else 0.
+        # Using: positive = (d > 0) -> sltz trick: take max(d, 0) then subtract.
+        asm.srai(Reg.a7, scratch, 31)
+        asm.xori(Reg.a7, Reg.a7, -1)
+        asm.and_(scratch, scratch, Reg.a7)  # scratch = max(d, 0)
+        asm.sub(value, value, scratch)
+
+    def setup(self, device: VortexDevice, size: int) -> Dict:
+        width = max(int(round(size ** 0.5)), 4)
+        height = width
+        rng = self.rng()
+        src = rng.random((height, width), dtype=np.float32)
+        buf_src = device.alloc_array(src)
+        buf_dst = device.alloc(width * height * 4)
+        self.write_args(
+            device, [width * height, width, height, buf_src.address, buf_dst.address]
+        )
+        return {"src": src, "out": buf_dst, "width": width, "height": height}
+
+    def verify(self, device: VortexDevice, context: Dict) -> bool:
+        src = context["src"]
+        height, width = src.shape
+        padded = np.pad(src, 1, mode="edge").astype(np.float64)
+        expected = np.zeros_like(src, dtype=np.float64)
+        for dy in range(3):
+            for dx in range(3):
+                expected += padded[dy : dy + height, dx : dx + width]
+        expected /= 9.0
+        result = context["out"].read(np.float32, width * height).reshape(height, width)
+        return bool(np.allclose(result, expected, rtol=1e-4, atol=1e-5))

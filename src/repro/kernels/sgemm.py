@@ -1,0 +1,88 @@
+"""``sgemm`` — single-precision matrix multiply (compute-bounded group).
+
+One task computes one output element of ``C = A @ B`` for square ``N x N``
+matrices.  Argument block layout::
+
+    word 0: num_tasks (= N * N)
+    word 1: N
+    word 2: address of A (row-major)
+    word 3: address of B (row-major)
+    word 4: address of C (row-major, output)
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.registers import FReg, Reg
+from repro.kernels.base import Kernel
+from repro.runtime.device import VortexDevice
+
+
+class SgemmKernel(Kernel):
+    """C[r, c] = sum_k A[r, k] * B[k, c] over binary32 floats."""
+
+    name = "sgemm"
+    category = "compute"
+
+    def default_size(self) -> int:
+        # Interpreted as N*N tasks for N = 16.
+        return 16 * 16
+
+    def emit_body(self, asm: ProgramBuilder) -> None:
+        loop = asm.new_label("sgemm_k")
+        # N, row, col.
+        asm.lw(Reg.t0, 4, Reg.a1)
+        asm.divu(Reg.t1, Reg.a0, Reg.t0)
+        asm.remu(Reg.t2, Reg.a0, Reg.t0)
+        # &A[row][0] and &B[0][col].
+        asm.lw(Reg.t3, 8, Reg.a1)
+        asm.lw(Reg.t4, 12, Reg.a1)
+        asm.mul(Reg.t5, Reg.t1, Reg.t0)
+        asm.slli(Reg.t5, Reg.t5, 2)
+        asm.add(Reg.t3, Reg.t3, Reg.t5)
+        asm.slli(Reg.t5, Reg.t2, 2)
+        asm.add(Reg.t4, Reg.t4, Reg.t5)
+        # Accumulator and k counter.
+        asm.fmv_w_x(FReg.fa0, Reg.zero)
+        asm.li(Reg.t6, 0)
+        # Row stride of B in bytes.
+        asm.slli(Reg.a2, Reg.t0, 2)
+        asm.label(loop)
+        asm.flw(FReg.fa1, 0, Reg.t3)
+        asm.flw(FReg.fa2, 0, Reg.t4)
+        asm.fmadd_s(FReg.fa0, FReg.fa1, FReg.fa2, FReg.fa0)
+        asm.addi(Reg.t3, Reg.t3, 4)
+        asm.add(Reg.t4, Reg.t4, Reg.a2)
+        asm.addi(Reg.t6, Reg.t6, 1)
+        asm.blt(Reg.t6, Reg.t0, loop)
+        # C[row][col] = accumulator.
+        asm.lw(Reg.t3, 16, Reg.a1)
+        asm.mul(Reg.t5, Reg.t1, Reg.t0)
+        asm.add(Reg.t5, Reg.t5, Reg.t2)
+        asm.slli(Reg.t5, Reg.t5, 2)
+        asm.add(Reg.t3, Reg.t3, Reg.t5)
+        asm.fsw(FReg.fa0, 0, Reg.t3)
+        asm.ret()
+
+    def setup(self, device: VortexDevice, size: int) -> Dict:
+        n = max(int(round(size ** 0.5)), 2)
+        rng = self.rng()
+        a = rng.random((n, n), dtype=np.float32)
+        b = rng.random((n, n), dtype=np.float32)
+        buf_a = device.alloc_array(a)
+        buf_b = device.alloc_array(b)
+        buf_c = device.alloc(n * n * 4)
+        self.write_args(
+            device, [n * n, n, buf_a.address, buf_b.address, buf_c.address]
+        )
+        return {"a": a, "b": b, "out": buf_c, "n": n}
+
+    def verify(self, device: VortexDevice, context: Dict) -> bool:
+        n = context["n"]
+        expected = context["a"].astype(np.float64) @ context["b"].astype(np.float64)
+        result = context["out"].read(np.float32, n * n).reshape(n, n)
+        return bool(np.allclose(result, expected, rtol=1e-3, atol=1e-4))

@@ -1,0 +1,399 @@
+"""Synthetic texture benchmarks (paper section 6.4, Figure 20).
+
+Each kernel renders a source texture into a destination image of the same
+size, one task per destination pixel, exercising one of the three filtering
+modes — point, bilinear, trilinear — either through the hardware ``tex``
+instruction (HW variants) or through an equivalent software sampling
+routine built from ordinary loads and integer/float arithmetic (SW
+variants), exactly the comparison Figure 20 makes.
+
+Argument block layout (shared by all variants)::
+
+    word 0: num_tasks (= dstW * dstH)
+    word 1: dstW
+    word 2: dstH
+    word 3: address of the destination image (RGBA8)
+    word 4: address of the source texture (RGBA8, mip 0)
+    word 5: log2(srcW)
+    word 6: log2(srcH)
+    word 7: hardware filter mode (0 = point, 1 = bilinear)
+    word 8: byte offset of mip level 1 (trilinear only)
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.csr import TexCSR, tex_csr
+from repro.isa.registers import FReg, Reg
+from repro.kernels.base import Kernel
+from repro.kernels.runtime import emit_load_arg_pointer
+from repro.runtime.device import VortexDevice
+from repro.texture.formats import TexFilter, TexFormat, TexWrap
+from repro.texture.sampler import TextureSampler, TextureState
+
+#: Filtering modes accepted by the kernel factories.
+MODES = ("point", "bilinear", "trilinear")
+
+
+def _log2(value: int) -> int:
+    if value & (value - 1):
+        raise ValueError(f"texture dimension must be a power of two, got {value}")
+    return value.bit_length() - 1
+
+
+class TextureKernel(Kernel):
+    """One texture benchmark configuration (mode x HW/SW)."""
+
+    category = "texture"
+
+    def __init__(self, mode: str = "bilinear", use_hw: bool = True, **parameters):
+        super().__init__(**parameters)
+        if mode not in MODES:
+            raise ValueError(f"unknown filtering mode {mode!r}")
+        self.mode = mode
+        self.use_hw = use_hw
+        self.name = f"tex_{mode}_{'hw' if use_hw else 'sw'}"
+
+    def default_size(self) -> int:
+        # Number of destination pixels (32 x 32 render target).
+        return 32 * 32
+
+    # ------------------------------------------------------------------ device code
+
+    def emit_prologue(self, asm: ProgramBuilder) -> None:
+        """Program the stage-0 texture CSRs from the argument block (HW only)."""
+        if not self.use_hw:
+            return
+        emit_load_arg_pointer(asm, Reg.a1)
+        asm.lw(Reg.t0, 16, Reg.a1)
+        asm.csr_write(tex_csr(0, TexCSR.ADDR), Reg.t0)
+        asm.lw(Reg.t0, 20, Reg.a1)
+        asm.csr_write(tex_csr(0, TexCSR.WIDTH), Reg.t0)
+        asm.lw(Reg.t0, 24, Reg.a1)
+        asm.csr_write(tex_csr(0, TexCSR.HEIGHT), Reg.t0)
+        asm.li(Reg.t0, int(TexFormat.RGBA8))
+        asm.csr_write(tex_csr(0, TexCSR.FORMAT), Reg.t0)
+        asm.li(Reg.t0, int(TexWrap.CLAMP))
+        asm.csr_write(tex_csr(0, TexCSR.WRAP), Reg.t0)
+        asm.lw(Reg.t0, 28, Reg.a1)
+        asm.csr_write(tex_csr(0, TexCSR.FILTER), Reg.t0)
+        asm.li(Reg.t0, 0)
+        asm.csr_write(tex_csr(0, TexCSR.MIPOFF, 0), Reg.t0)
+        asm.lw(Reg.t0, 32, Reg.a1)
+        asm.csr_write(tex_csr(0, TexCSR.MIPOFF, 1), Reg.t0)
+
+    def emit_body(self, asm: ProgramBuilder) -> None:
+        self._emit_uv(asm)
+        if self.use_hw:
+            self._emit_hw_sample(asm)
+        else:
+            self._emit_sw_sample(asm)
+        # Store the color held in t2 to dst[task].
+        asm.lw(Reg.t3, 12, Reg.a1)
+        asm.slli(Reg.t4, Reg.a0, 2)
+        asm.add(Reg.t3, Reg.t3, Reg.t4)
+        asm.sw(Reg.t2, 0, Reg.t3)
+        asm.ret()
+
+    # -- shared preamble: u (fa0) and v (fa1) at the pixel centre -------------------
+
+    @staticmethod
+    def _emit_uv(asm: ProgramBuilder) -> None:
+        asm.lw(Reg.t0, 4, Reg.a1)
+        asm.lw(Reg.t1, 8, Reg.a1)
+        asm.divu(Reg.t2, Reg.a0, Reg.t0)
+        asm.remu(Reg.t3, Reg.a0, Reg.t0)
+        asm.fcvt_s_wu(FReg.fa0, Reg.t3)
+        asm.li_float(FReg.fa2, 0.5, scratch=Reg.t4)
+        asm.fadd_s(FReg.fa0, FReg.fa0, FReg.fa2)
+        asm.fcvt_s_wu(FReg.fa3, Reg.t0)
+        asm.fdiv_s(FReg.fa0, FReg.fa0, FReg.fa3)
+        asm.fcvt_s_wu(FReg.fa4, Reg.t2)
+        asm.fadd_s(FReg.fa4, FReg.fa4, FReg.fa2)
+        asm.fcvt_s_wu(FReg.fa5, Reg.t1)
+        asm.fdiv_s(FReg.fa1, FReg.fa4, FReg.fa5)
+
+    # -- hardware path -----------------------------------------------------------------
+
+    def _emit_hw_sample(self, asm: ProgramBuilder) -> None:
+        asm.fmv_w_x(FReg.fa5, Reg.zero)
+        asm.tex(Reg.t2, FReg.fa0, FReg.fa1, FReg.fa5, stage=0)
+        if self.mode == "trilinear":
+            # Second sample from mip level 1 and a 50/50 blend (Algorithm 1
+            # with FRAC(lod) = 0.5).
+            asm.li_float(FReg.fa6, 1.0, scratch=Reg.t5)
+            asm.tex(Reg.t5, FReg.fa0, FReg.fa1, FReg.fa6, stage=0)
+            self._emit_average(asm, Reg.t2, Reg.t5, Reg.t6)
+
+    @staticmethod
+    def _emit_average(asm: ProgramBuilder, dst: Reg, other: Reg, scratch: Reg) -> None:
+        """dst = per-channel average of two packed RGBA8 colors."""
+        asm.li(scratch, 0xFEFEFEFE - (1 << 32))  # sign-extended constant fits li
+        asm.and_(dst, dst, scratch)
+        asm.srli(dst, dst, 1)
+        asm.and_(other, other, scratch)
+        asm.srli(other, other, 1)
+        asm.add(dst, dst, other)
+
+    # -- software path ------------------------------------------------------------------
+
+    def _emit_sw_sample(self, asm: ProgramBuilder) -> None:
+        if self.mode == "point":
+            self._emit_sw_point(asm)
+        elif self.mode == "bilinear":
+            self._emit_sw_bilinear(asm, lod=0)
+        else:
+            # Trilinear: bilinear at mip 0 and mip 1, then a 50/50 blend.
+            self._emit_sw_bilinear(asm, lod=0)
+            asm.fmv_w_x(FReg.fa7, Reg.t2)
+            self._emit_sw_bilinear(asm, lod=1)
+            asm.fmv_x_w(Reg.t5, FReg.fa7)
+            self._emit_average(asm, Reg.t2, Reg.t5, Reg.t6)
+
+    @staticmethod
+    def _emit_clamp(asm: ProgramBuilder, value: Reg, limit: Reg, s1: Reg, s2: Reg) -> None:
+        """Branch-free clamp of ``value`` into ``[0, limit - 1]``."""
+        asm.srai(s1, value, 31)
+        asm.xori(s1, s1, -1)
+        asm.and_(value, value, s1)
+        asm.addi(s1, limit, -1)
+        asm.sub(s1, value, s1)
+        asm.srai(s2, s1, 31)
+        asm.xori(s2, s2, -1)
+        asm.and_(s1, s1, s2)
+        asm.sub(value, value, s1)
+
+    def _emit_src_dimensions(self, asm: ProgramBuilder, lod: int) -> None:
+        """Load srcW into t4 and srcH into t5 for mip ``lod``."""
+        asm.lw(Reg.t4, 20, Reg.a1)
+        asm.addi(Reg.t4, Reg.t4, -lod)
+        asm.li(Reg.t2, 1)
+        asm.sll(Reg.t4, Reg.t2, Reg.t4)
+        asm.lw(Reg.t5, 24, Reg.a1)
+        asm.addi(Reg.t5, Reg.t5, -lod)
+        asm.sll(Reg.t5, Reg.t2, Reg.t5)
+
+    def _emit_src_base(self, asm: ProgramBuilder, dest: Reg, lod: int) -> None:
+        """Load the byte address of mip ``lod`` into ``dest``."""
+        asm.lw(dest, 16, Reg.a1)
+        if lod > 0:
+            asm.lw(Reg.t2, 32, Reg.a1)
+            asm.add(dest, dest, Reg.t2)
+
+    def _emit_sw_point(self, asm: ProgramBuilder) -> None:
+        self._emit_src_dimensions(asm, lod=0)
+        # xi = trunc(u * srcW), yi = trunc(v * srcH), clamped.
+        asm.fcvt_s_wu(FReg.fa5, Reg.t4)
+        asm.fmul_s(FReg.fa6, FReg.fa0, FReg.fa5)
+        asm.fcvt_w_s(Reg.a2, FReg.fa6)
+        asm.fcvt_s_wu(FReg.fa5, Reg.t5)
+        asm.fmul_s(FReg.fa6, FReg.fa1, FReg.fa5)
+        asm.fcvt_w_s(Reg.a3, FReg.fa6)
+        self._emit_clamp(asm, Reg.a2, Reg.t4, Reg.a4, Reg.a5)
+        self._emit_clamp(asm, Reg.a3, Reg.t5, Reg.a4, Reg.a5)
+        # color = src[yi * srcW + xi]
+        self._emit_src_base(asm, Reg.a5, lod=0)
+        asm.mul(Reg.a4, Reg.a3, Reg.t4)
+        asm.add(Reg.a4, Reg.a4, Reg.a2)
+        asm.slli(Reg.a4, Reg.a4, 2)
+        asm.add(Reg.a4, Reg.a4, Reg.a5)
+        asm.lw(Reg.t2, 0, Reg.a4)
+
+    def _emit_sw_bilinear(self, asm: ProgramBuilder, lod: int) -> None:
+        """Software bilinear sample of mip ``lod``; result color in t2."""
+        self._emit_src_dimensions(asm, lod=lod)
+        # fx = u * srcW - 0.5, fy = v * srcH - 0.5.
+        asm.fcvt_s_wu(FReg.fa5, Reg.t4)
+        asm.fmul_s(FReg.fa5, FReg.fa0, FReg.fa5)
+        asm.li_float(FReg.fa6, 0.5, scratch=Reg.t2)
+        asm.fsub_s(FReg.fa5, FReg.fa5, FReg.fa6)
+        asm.fcvt_s_wu(FReg.fa4, Reg.t5)
+        asm.fmul_s(FReg.fa4, FReg.fa1, FReg.fa4)
+        asm.fsub_s(FReg.fa4, FReg.fa4, FReg.fa6)
+        # Clamp fx/fy at zero: negative values only occur in the half-texel
+        # border where both bilinear taps resolve to the same clamped texel,
+        # so flooring at zero matches the hardware result exactly.
+        asm.fmv_w_x(FReg.ft4, Reg.zero)
+        asm.fmax_s(FReg.fa5, FReg.fa5, FReg.ft4)
+        asm.fmax_s(FReg.fa4, FReg.fa4, FReg.ft4)
+        # x0 (t6), y0 (a2) and the 8-bit blend fractions (a3, a4).
+        asm.fcvt_w_s(Reg.t6, FReg.fa5)
+        asm.fcvt_w_s(Reg.a2, FReg.fa4)
+        asm.fcvt_s_w(FReg.fa6, Reg.t6)
+        asm.fsub_s(FReg.fa6, FReg.fa5, FReg.fa6)
+        asm.li_float(FReg.fa3, 256.0, scratch=Reg.t2)
+        asm.fmul_s(FReg.fa6, FReg.fa6, FReg.fa3)
+        asm.fcvt_w_s(Reg.a3, FReg.fa6)
+        asm.fcvt_s_w(FReg.fa6, Reg.a2)
+        asm.fsub_s(FReg.fa6, FReg.fa4, FReg.fa6)
+        asm.fmul_s(FReg.fa6, FReg.fa6, FReg.fa3)
+        asm.fcvt_w_s(Reg.a4, FReg.fa6)
+        # x1 = x0 + 1, y1 = y0 + 1, all clamped to the mip dimensions.
+        asm.addi(Reg.a5, Reg.t6, 1)
+        asm.addi(Reg.a6, Reg.a2, 1)
+        self._emit_clamp(asm, Reg.t6, Reg.t4, Reg.a7, Reg.t2)
+        self._emit_clamp(asm, Reg.a2, Reg.t5, Reg.a7, Reg.t2)
+        self._emit_clamp(asm, Reg.a5, Reg.t4, Reg.a7, Reg.t2)
+        self._emit_clamp(asm, Reg.a6, Reg.t5, Reg.a7, Reg.t2)
+        # Base address of the mip level.
+        self._emit_src_base(asm, Reg.a7, lod=lod)
+        # Row 0 texels -> ft0 (x0) and ft1 (x1).
+        asm.mul(Reg.t2, Reg.a2, Reg.t4)
+        asm.add(Reg.t3, Reg.t2, Reg.t6)
+        asm.slli(Reg.t3, Reg.t3, 2)
+        asm.add(Reg.t3, Reg.t3, Reg.a7)
+        asm.lw(Reg.t3, 0, Reg.t3)
+        asm.fmv_w_x(FReg.ft0, Reg.t3)
+        asm.add(Reg.t3, Reg.t2, Reg.a5)
+        asm.slli(Reg.t3, Reg.t3, 2)
+        asm.add(Reg.t3, Reg.t3, Reg.a7)
+        asm.lw(Reg.t3, 0, Reg.t3)
+        asm.fmv_w_x(FReg.ft1, Reg.t3)
+        # Row 1 texels -> ft2 (x0) and ft3 (x1).
+        asm.mul(Reg.t2, Reg.a6, Reg.t4)
+        asm.add(Reg.t3, Reg.t2, Reg.t6)
+        asm.slli(Reg.t3, Reg.t3, 2)
+        asm.add(Reg.t3, Reg.t3, Reg.a7)
+        asm.lw(Reg.t3, 0, Reg.t3)
+        asm.fmv_w_x(FReg.ft2, Reg.t3)
+        asm.add(Reg.t3, Reg.t2, Reg.a5)
+        asm.slli(Reg.t3, Reg.t3, 2)
+        asm.add(Reg.t3, Reg.t3, Reg.a7)
+        asm.lw(Reg.t3, 0, Reg.t3)
+        asm.fmv_w_x(FReg.ft3, Reg.t3)
+        # Horizontal blends, then the vertical blend.
+        asm.fmv_x_w(Reg.t2, FReg.ft0)
+        asm.fmv_x_w(Reg.t3, FReg.ft1)
+        self._emit_blend(asm, Reg.t2, Reg.t3, Reg.a3)
+        asm.fmv_w_x(FReg.ft0, Reg.t2)
+        asm.fmv_x_w(Reg.t2, FReg.ft2)
+        asm.fmv_x_w(Reg.t3, FReg.ft3)
+        self._emit_blend(asm, Reg.t2, Reg.t3, Reg.a3)
+        asm.fmv_w_x(FReg.ft1, Reg.t2)
+        asm.fmv_x_w(Reg.t2, FReg.ft0)
+        asm.fmv_x_w(Reg.t3, FReg.ft1)
+        self._emit_blend(asm, Reg.t2, Reg.t3, Reg.a4)
+
+    @staticmethod
+    def _emit_blend(asm: ProgramBuilder, color_a: Reg, color_b: Reg, weight: Reg) -> None:
+        """color_a = blend(color_a, color_b, weight/256) on packed RGBA8.
+
+        Uses the two-lanes-at-a-time fixed-point trick the hardware sampler
+        also relies on.  Clobbers t6, a5, a6, a7 and a2.
+        """
+        t1, t2, t3, t4, t5 = Reg.t6, Reg.a5, Reg.a6, Reg.a7, Reg.a2
+        asm.li(t1, 256)
+        asm.sub(t1, t1, weight)
+        asm.li(t2, 0x00FF00FF)
+        # Low byte lanes.
+        asm.and_(t3, color_a, t2)
+        asm.mul(t3, t3, t1)
+        asm.and_(t4, color_b, t2)
+        asm.mul(t4, t4, weight)
+        asm.add(t3, t3, t4)
+        asm.srli(t3, t3, 8)
+        asm.and_(t3, t3, t2)
+        # High byte lanes.
+        asm.srli(t4, color_a, 8)
+        asm.and_(t4, t4, t2)
+        asm.mul(t4, t4, t1)
+        asm.srli(t5, color_b, 8)
+        asm.and_(t5, t5, t2)
+        asm.mul(t5, t5, weight)
+        asm.add(t4, t4, t5)
+        asm.srli(t4, t4, 8)
+        asm.and_(t4, t4, t2)
+        asm.slli(t4, t4, 8)
+        asm.or_(color_a, t3, t4)
+
+    # ------------------------------------------------------------------ host side
+
+    def setup(self, device: VortexDevice, size: int) -> Dict:
+        width = max(int(round(size ** 0.5)), 8)
+        # Round down to a power of two so mip dimensions stay exact.
+        width = 1 << _log2(1 << (width.bit_length() - 1))
+        height = width
+        num_tasks = width * height
+        rng = self.rng()
+        texture = rng.integers(0, 256, size=(height, width, 4), dtype=np.uint8)
+        mip1 = texture.reshape(height // 2, 2, width // 2, 2, 4).mean(axis=(1, 3)).astype(np.uint8)
+
+        mip0_bytes = texture.tobytes()
+        mip1_offset = len(mip0_bytes)
+        buf_src = device.alloc(mip1_offset + mip1.nbytes)
+        device.memory.write_bytes(buf_src.address, mip0_bytes + mip1.tobytes())
+        buf_dst = device.alloc(num_tasks * 4)
+
+        hw_filter = TexFilter.POINT if self.mode == "point" else TexFilter.BILINEAR
+        self.write_args(
+            device,
+            [
+                num_tasks,
+                width,
+                height,
+                buf_dst.address,
+                buf_src.address,
+                _log2(width),
+                _log2(height),
+                int(hw_filter),
+                mip1_offset,
+            ],
+        )
+        return {
+            "texture": texture,
+            "mip1": mip1,
+            "width": width,
+            "height": height,
+            "src_address": buf_src.address,
+            "mip1_offset": mip1_offset,
+            "dst": buf_dst,
+            "filter": hw_filter,
+        }
+
+    def _reference_image(self, device: VortexDevice, context: Dict) -> np.ndarray:
+        """Compute the expected output with the functional texture sampler."""
+        width, height = context["width"], context["height"]
+        state = TextureState(
+            address=context["src_address"],
+            width_log2=_log2(width),
+            height_log2=_log2(height),
+            fmt=TexFormat.RGBA8,
+            wrap=TexWrap.CLAMP,
+            filter_mode=context["filter"],
+            mip_offsets=[0, context["mip1_offset"]] + [0] * 10,
+        )
+        sampler = TextureSampler(device.memory)
+        expected = np.zeros(width * height, dtype=np.uint32)
+        for y in range(height):
+            for x in range(width):
+                u = (x + 0.5) / width
+                v = (y + 0.5) / height
+                color0 = sampler.sample(state, u, v, 0)
+                if self.mode == "trilinear":
+                    color1 = sampler.sample(state, u, v, 1)
+                    color0 = (
+                        ((color0 & 0xFEFEFEFE) >> 1) + ((color1 & 0xFEFEFEFE) >> 1)
+                    ) & 0xFFFFFFFF
+                expected[y * width + x] = color0
+        return expected
+
+    def verify(self, device: VortexDevice, context: Dict) -> bool:
+        expected = self._reference_image(device, context)
+        result = context["dst"].read(np.uint32, context["width"] * context["height"])
+        expected_bytes = expected.view(np.uint8).reshape(-1, 4).astype(np.int32)
+        result_bytes = result.view(np.uint8).reshape(-1, 4).astype(np.int32)
+        return bool(np.max(np.abs(expected_bytes - result_bytes)) <= 1)
+
+
+def hardware_texture_kernel(mode: str) -> TextureKernel:
+    """The HW (``tex``-accelerated) variant used by Figure 20."""
+    return TextureKernel(mode=mode, use_hw=True)
+
+
+def software_texture_kernel(mode: str) -> TextureKernel:
+    """The all-software variant used by Figure 20."""
+    return TextureKernel(mode=mode, use_hw=False)

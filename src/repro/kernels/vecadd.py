@@ -1,0 +1,64 @@
+"""``vecadd`` — element-wise integer vector addition (compute-bounded group).
+
+The simplest Rodinia-style kernel of the evaluation: one task adds one pair
+of elements.  Argument block layout::
+
+    word 0: num_tasks
+    word 1: address of A
+    word 2: address of B
+    word 3: address of C (output)
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.registers import Reg
+from repro.kernels.base import Kernel
+from repro.runtime.device import VortexDevice
+
+
+class VecAddKernel(Kernel):
+    """C[i] = A[i] + B[i] over 32-bit integers."""
+
+    name = "vecadd"
+    category = "compute"
+
+    def default_size(self) -> int:
+        return 256
+
+    def emit_body(self, asm: ProgramBuilder) -> None:
+        # t0 = byte offset of this task's element.
+        asm.slli(Reg.t0, Reg.a0, 2)
+        # Load A[i].
+        asm.lw(Reg.t1, 4, Reg.a1)
+        asm.add(Reg.t1, Reg.t1, Reg.t0)
+        asm.lw(Reg.t2, 0, Reg.t1)
+        # Load B[i].
+        asm.lw(Reg.t3, 8, Reg.a1)
+        asm.add(Reg.t3, Reg.t3, Reg.t0)
+        asm.lw(Reg.t4, 0, Reg.t3)
+        # C[i] = A[i] + B[i].
+        asm.add(Reg.t5, Reg.t2, Reg.t4)
+        asm.lw(Reg.t6, 12, Reg.a1)
+        asm.add(Reg.t6, Reg.t6, Reg.t0)
+        asm.sw(Reg.t5, 0, Reg.t6)
+        asm.ret()
+
+    def setup(self, device: VortexDevice, size: int) -> Dict:
+        rng = self.rng()
+        a = rng.integers(0, 1 << 20, size=size, dtype=np.uint32)
+        b = rng.integers(0, 1 << 20, size=size, dtype=np.uint32)
+        buf_a = device.alloc_array(a)
+        buf_b = device.alloc_array(b)
+        buf_c = device.alloc(size * 4)
+        self.write_args(device, [size, buf_a.address, buf_b.address, buf_c.address])
+        return {"a": a, "b": b, "out": buf_c, "size": size}
+
+    def verify(self, device: VortexDevice, context: Dict) -> bool:
+        expected = context["a"] + context["b"]
+        result = context["out"].read(np.uint32, context["size"])
+        return bool(np.array_equal(result, expected))

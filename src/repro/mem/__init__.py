@@ -1,0 +1,12 @@
+"""Memory system: the device's global memory and its timing model.
+
+``MainMemory`` is the functional backing store shared by every simulator
+driver (sparse, byte-addressable).  ``DramModel`` adds the latency and
+bandwidth behaviour the cycle-level driver needs, and is the component the
+Figure 21 memory-scaling experiment sweeps.
+"""
+
+from repro.mem.memory import MainMemory, MemoryAccessError
+from repro.mem.dram import DramModel, MemRequest, MemResponse
+
+__all__ = ["MainMemory", "MemoryAccessError", "DramModel", "MemRequest", "MemResponse"]

@@ -1,0 +1,117 @@
+"""Off-chip memory timing model.
+
+The cycle-level driver routes every cache miss through a :class:`DramModel`
+configured with a fixed access ``latency`` and a ``bandwidth`` expressed as
+the number of line-sized responses the device can return per cycle — the
+two knobs Figure 21 sweeps.  Requests enter a bounded queue (deadlock rule
+from section 4.3: the cache never lets this queue fill up), wait out the
+latency, and are released in order subject to the bandwidth limit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, List, Optional
+
+from repro.common.config import MemoryConfig
+from repro.common.perf import PerfCounters
+
+
+@dataclass
+class MemRequest:
+    """A line-sized request sent to off-chip memory."""
+
+    address: int
+    is_write: bool = False
+    tag: Any = None
+    issue_cycle: int = 0
+
+
+@dataclass
+class MemResponse:
+    """A completed memory request."""
+
+    address: int
+    is_write: bool
+    tag: Any
+    complete_cycle: int
+
+
+@dataclass
+class _InFlight:
+    request: MemRequest
+    ready_cycle: int
+
+
+class DramModel:
+    """Fixed-latency, bandwidth-limited memory device."""
+
+    def __init__(self, config: Optional[MemoryConfig] = None):
+        self.config = config or MemoryConfig()
+        self._queue: Deque[_InFlight] = deque()
+        self._cycle = 0
+        self.perf = PerfCounters("dram")
+
+    # -- request side -----------------------------------------------------------------
+
+    @property
+    def can_accept(self) -> bool:
+        """True when the request queue has room this cycle."""
+        return len(self._queue) < self.config.request_queue_size
+
+    def send(self, request: MemRequest) -> bool:
+        """Queue a request; returns False when the queue is full."""
+        if not self.can_accept:
+            self.perf.incr("rejected")
+            return False
+        request.issue_cycle = self._cycle
+        self._queue.append(_InFlight(request=request, ready_cycle=self._cycle + self.config.latency))
+        self.perf.incr("writes" if request.is_write else "reads")
+        return True
+
+    # -- clocking --------------------------------------------------------------------
+
+    def tick(self) -> List[MemResponse]:
+        """Advance one cycle and return the responses completing this cycle."""
+        self._cycle += 1
+        responses: List[MemResponse] = []
+        budget = self.config.bandwidth
+        while budget > 0 and self._queue and self._queue[0].ready_cycle <= self._cycle:
+            in_flight = self._queue.popleft()
+            responses.append(
+                MemResponse(
+                    address=in_flight.request.address,
+                    is_write=in_flight.request.is_write,
+                    tag=in_flight.request.tag,
+                    complete_cycle=self._cycle,
+                )
+            )
+            latency = self._cycle - in_flight.request.issue_cycle
+            self.perf.incr("total_latency", latency)
+            self.perf.incr("responses")
+            budget -= 1
+        if self._queue and self._queue[0].ready_cycle <= self._cycle and budget == 0:
+            self.perf.incr("bandwidth_stalls")
+        self.perf.incr("cycles")
+        return responses
+
+    # -- inspection -------------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Number of requests currently in flight."""
+        return len(self._queue)
+
+    @property
+    def average_latency(self) -> float:
+        """Observed average request latency including queueing delay."""
+        return self.perf.ratio("total_latency", "responses")
+
+    def drain_cycles(self) -> int:
+        """Cycles needed to drain the current queue (used by tests)."""
+        if not self._queue:
+            return 0
+        last_ready = self._queue[-1].ready_cycle
+        backlog = (len(self._queue) + self.config.bandwidth - 1) // self.config.bandwidth
+        return max(last_ready - self._cycle, backlog)

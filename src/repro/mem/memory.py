@@ -1,0 +1,124 @@
+"""Sparse byte-addressable device memory.
+
+Device memory is modeled as a dictionary of fixed-size pages allocated on
+first touch, so a 4 GB address space costs nothing until used.  All
+simulator drivers, the texture units and the command-processor driver
+share one instance per device, exactly as the FPGA board's local memory is
+shared between the AFU and the cores.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterable
+
+from repro.common.bitutils import to_uint32
+
+PAGE_SIZE = 4096
+PAGE_MASK = PAGE_SIZE - 1
+
+
+class MemoryAccessError(Exception):
+    """Raised on malformed accesses (misaligned words, negative sizes …)."""
+
+
+class MainMemory:
+    """Byte-addressable sparse memory with word/halfword/byte accessors."""
+
+    def __init__(self):
+        self._pages: Dict[int, bytearray] = {}
+        self.reads = 0
+        self.writes = 0
+
+    # -- page helpers ---------------------------------------------------------------
+
+    def _page(self, address: int) -> bytearray:
+        page_index = address >> 12
+        page = self._pages.get(page_index)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[page_index] = page
+        return page
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Total bytes of backing storage currently allocated."""
+        return len(self._pages) * PAGE_SIZE
+
+    # -- raw byte access --------------------------------------------------------------
+
+    def read_bytes(self, address: int, size: int) -> bytes:
+        """Read ``size`` bytes starting at ``address``."""
+        if size < 0:
+            raise MemoryAccessError(f"negative read size: {size}")
+        address = to_uint32(address)
+        result = bytearray()
+        remaining = size
+        while remaining > 0:
+            page = self._page(address)
+            offset = address & PAGE_MASK
+            chunk = min(remaining, PAGE_SIZE - offset)
+            result += page[offset : offset + chunk]
+            address = to_uint32(address + chunk)
+            remaining -= chunk
+        self.reads += 1
+        return bytes(result)
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        """Write ``data`` starting at ``address``."""
+        address = to_uint32(address)
+        view = memoryview(data)
+        while view:
+            page = self._page(address)
+            offset = address & PAGE_MASK
+            chunk = min(len(view), PAGE_SIZE - offset)
+            page[offset : offset + chunk] = view[:chunk]
+            address = to_uint32(address + chunk)
+            view = view[chunk:]
+        self.writes += 1
+
+    # -- typed accessors ---------------------------------------------------------------
+
+    def read_word(self, address: int) -> int:
+        """Read a little-endian 32-bit word (must be 4-byte aligned)."""
+        if address & 3:
+            raise MemoryAccessError(f"misaligned word read at {address:#x}")
+        return struct.unpack("<I", self.read_bytes(address, 4))[0]
+
+    def write_word(self, address: int, value: int) -> None:
+        """Write a little-endian 32-bit word (must be 4-byte aligned)."""
+        if address & 3:
+            raise MemoryAccessError(f"misaligned word write at {address:#x}")
+        self.write_bytes(address, struct.pack("<I", to_uint32(value)))
+
+    def read_half(self, address: int) -> int:
+        if address & 1:
+            raise MemoryAccessError(f"misaligned halfword read at {address:#x}")
+        return struct.unpack("<H", self.read_bytes(address, 2))[0]
+
+    def write_half(self, address: int, value: int) -> None:
+        if address & 1:
+            raise MemoryAccessError(f"misaligned halfword write at {address:#x}")
+        self.write_bytes(address, struct.pack("<H", value & 0xFFFF))
+
+    def read_byte(self, address: int) -> int:
+        return self.read_bytes(address, 1)[0]
+
+    def write_byte(self, address: int, value: int) -> None:
+        self.write_bytes(address, bytes([value & 0xFF]))
+
+    # -- bulk helpers -------------------------------------------------------------------
+
+    def load_words(self, address: int, words: Iterable[int]) -> None:
+        """Write a sequence of 32-bit words starting at ``address``."""
+        words = list(words)
+        self.write_bytes(address, struct.pack(f"<{len(words)}I", *(to_uint32(w) for w in words)))
+
+    def read_words(self, address: int, count: int) -> list:
+        """Read ``count`` consecutive 32-bit words."""
+        data = self.read_bytes(address, count * 4)
+        return list(struct.unpack(f"<{count}I", data))
+
+    def fill(self, address: int, size: int, value: int = 0) -> None:
+        """Fill ``size`` bytes with a byte value."""
+        self.write_bytes(address, bytes([value & 0xFF]) * size)

@@ -1,0 +1,35 @@
+"""Host-side runtime: the driver stack of Figure 9 and the simulation stack
+of Figure 8.
+
+* :mod:`repro.runtime.driver` — the command processor (AFU) model: MMIO
+  registers, DMA transfers between host and device memory, kernel launch.
+* :mod:`repro.runtime.buffer` — device memory allocation and typed buffers.
+* :mod:`repro.runtime.simx` / :mod:`repro.runtime.funcsim` — the two
+  simulation drivers (cycle-level and functional) behind a common API,
+  mirroring the paper's SIMX and RTLSIM/ASE drivers.
+* :mod:`repro.runtime.device` — ``VortexDevice``, the public facade
+  applications use (upload a program, allocate buffers, launch, read back).
+* :mod:`repro.runtime.opencl` — a minimal OpenCL-style host API layered on
+  top of ``VortexDevice`` (the POCL runtime substitution).
+"""
+
+from repro.runtime.buffer import BufferAllocator, DeviceBuffer
+from repro.runtime.device import VortexDevice, ExecutionReport
+from repro.runtime.driver import CommandProcessor, DriverError
+from repro.runtime.funcsim import FuncSimDriver
+from repro.runtime.simx import SimxDriver
+from repro.runtime.opencl import Context, Program as ClProgram, KernelLauncher
+
+__all__ = [
+    "BufferAllocator",
+    "DeviceBuffer",
+    "VortexDevice",
+    "ExecutionReport",
+    "CommandProcessor",
+    "DriverError",
+    "FuncSimDriver",
+    "SimxDriver",
+    "Context",
+    "ClProgram",
+    "KernelLauncher",
+]

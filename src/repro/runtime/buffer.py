@@ -1,0 +1,87 @@
+"""Device-memory allocation and typed device buffers.
+
+The command processor exposes the FPGA's local memory to the host; the
+runtime carves it up with a simple bump allocator (allocation is never
+freed individually, matching how the OpenCL runtime stages whole kernels).
+``DeviceBuffer`` adds numpy-typed read/write convenience on top of raw
+device addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.common.bitutils import align_up
+
+#: Default base address of the device heap (above the kernel image region).
+DEFAULT_HEAP_BASE = 0x1000_0000
+#: Default heap size (256 MB of the board's local memory).
+DEFAULT_HEAP_SIZE = 0x1000_0000
+
+
+class AllocationError(Exception):
+    """Raised when the device heap is exhausted."""
+
+
+class BufferAllocator:
+    """Bump allocator over the device heap."""
+
+    def __init__(self, base: int = DEFAULT_HEAP_BASE, size: int = DEFAULT_HEAP_SIZE):
+        self.base = base
+        self.size = size
+        self._next = base
+
+    def allocate(self, size: int, alignment: int = 64) -> int:
+        """Reserve ``size`` bytes and return the device address."""
+        if size < 0:
+            raise AllocationError(f"negative allocation size: {size}")
+        address = align_up(self._next, alignment)
+        if address + size > self.base + self.size:
+            raise AllocationError(
+                f"device heap exhausted: requested {size} bytes, "
+                f"{self.base + self.size - self._next} available"
+            )
+        self._next = address + size
+        return address
+
+    @property
+    def used(self) -> int:
+        """Bytes currently allocated (including alignment padding)."""
+        return self._next - self.base
+
+    def reset(self) -> None:
+        """Release everything (used between benchmark runs)."""
+        self._next = self.base
+
+
+@dataclass
+class DeviceBuffer:
+    """A typed window into device memory."""
+
+    device: "object"  # VortexDevice; kept loose to avoid an import cycle
+    address: int
+    size: int
+
+    def write(self, data) -> None:
+        """Write bytes or a numpy array into the buffer."""
+        raw = data.tobytes() if isinstance(data, np.ndarray) else bytes(data)
+        if len(raw) > self.size:
+            raise AllocationError(
+                f"write of {len(raw)} bytes exceeds buffer size {self.size}"
+            )
+        self.device.memory.write_bytes(self.address, raw)
+
+    def read(self, dtype=np.uint8, count: Optional[int] = None) -> np.ndarray:
+        """Read the buffer back as a numpy array of ``dtype``."""
+        itemsize = np.dtype(dtype).itemsize
+        if count is None:
+            count = self.size // itemsize
+        raw = self.device.memory.read_bytes(self.address, count * itemsize)
+        return np.frombuffer(raw, dtype=dtype).copy()
+
+    def write_words(self, words) -> None:
+        """Write a sequence of 32-bit words."""
+        self.device.memory.load_words(self.address, list(words))

@@ -1,0 +1,116 @@
+"""``VortexDevice`` — the public host-side API.
+
+A device bundles device memory, the command processor (AFU), a buffer
+allocator and one of the two simulation drivers behind the single facade
+application code and the benchmark harness use:
+
+.. code-block:: python
+
+    device = VortexDevice(config, driver="simx")
+    device.upload_program(program)
+    buffer = device.alloc(1024)
+    buffer.write(np.arange(256, dtype=np.uint32))
+    report = device.launch(program.entry)
+    result = buffer.read(np.uint32)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.common.config import VortexConfig
+from repro.isa.builder import Program
+from repro.mem.memory import MainMemory
+from repro.runtime.buffer import BufferAllocator, DeviceBuffer
+from repro.runtime.driver import CommandProcessor
+from repro.runtime.funcsim import FuncSimDriver
+from repro.runtime.report import ExecutionReport
+from repro.runtime.simx import SimxDriver
+
+#: Fixed device address holding the pointer to the kernel argument block.
+KERNEL_ARG_PTR_ADDR = 0x0FFF_F000
+
+_DRIVERS = {
+    "simx": SimxDriver,
+    "funcsim": FuncSimDriver,
+}
+
+
+class VortexDevice:
+    """One Vortex device instance (memory + AFU + simulator driver)."""
+
+    def __init__(
+        self,
+        config: Optional[VortexConfig] = None,
+        driver: Union[str, object] = "simx",
+    ):
+        self.config = config or VortexConfig()
+        self.memory = MainMemory()
+        if isinstance(driver, str):
+            try:
+                driver_cls = _DRIVERS[driver]
+            except KeyError:
+                raise ValueError(
+                    f"unknown driver {driver!r}; available: {sorted(_DRIVERS)}"
+                ) from None
+            self.driver = driver_cls(self.config, self.memory)
+        else:
+            self.driver = driver
+        self.afu = CommandProcessor(self.memory)
+        self.allocator = BufferAllocator()
+        self.program: Optional[Program] = None
+
+    # -- program management ----------------------------------------------------------
+
+    def upload_program(self, program: Program) -> None:
+        """Copy a kernel image into device memory through the AFU."""
+        self.afu.dma_host_to_device(program.base, program.to_bytes())
+        self.program = program
+
+    # -- buffers -----------------------------------------------------------------------
+
+    def alloc(self, size: int, alignment: int = 64) -> DeviceBuffer:
+        """Allocate a device buffer."""
+        address = self.allocator.allocate(size, alignment)
+        return DeviceBuffer(device=self, address=address, size=size)
+
+    def alloc_array(self, array: np.ndarray) -> DeviceBuffer:
+        """Allocate a buffer sized for ``array`` and copy it in."""
+        buffer = self.alloc(array.nbytes)
+        buffer.write(array)
+        return buffer
+
+    def write_kernel_args(self, words) -> int:
+        """Write the kernel argument block and publish its address.
+
+        The argument block is placed in a dedicated buffer; its device
+        address is stored at :data:`KERNEL_ARG_PTR_ADDR`, where the
+        device-side runtime's startup code reads it.
+        """
+        words = list(words)
+        block = self.alloc(max(len(words), 1) * 4)
+        block.write_words(words)
+        self.memory.write_word(KERNEL_ARG_PTR_ADDR, block.address)
+        return block.address
+
+    # -- execution ------------------------------------------------------------------------
+
+    def launch(self, entry_pc: Optional[int] = None, arg_address: Optional[int] = None) -> ExecutionReport:
+        """Launch the uploaded kernel and wait for completion."""
+        if entry_pc is None:
+            if self.program is None:
+                raise ValueError("no program uploaded and no entry PC given")
+            entry_pc = self.program.entry
+        return self.afu.launch(self.driver, entry_pc, arg_address)
+
+    # -- convenience ------------------------------------------------------------------------
+
+    def read_words(self, address: int, count: int):
+        """Read raw words from device memory (host-side debugging)."""
+        return self.memory.read_words(address, count)
+
+    @property
+    def driver_name(self) -> str:
+        return getattr(self.driver, "name", type(self.driver).__name__)

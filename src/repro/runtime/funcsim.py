@@ -1,0 +1,40 @@
+"""The functional simulation driver (instruction-level, no timing).
+
+Mirrors the role of the paper's RTLSIM/ASE functional paths: fast
+execution used to validate kernels and produce reference outputs that the
+cycle-level SIMX driver is checked against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.config import VortexConfig
+from repro.core.processor import Processor
+from repro.mem.memory import MainMemory
+from repro.runtime.report import ExecutionReport
+
+
+class FuncSimDriver:
+    """Runs kernels on the functional multi-core processor."""
+
+    name = "funcsim"
+
+    def __init__(self, config: Optional[VortexConfig] = None, memory: Optional[MainMemory] = None):
+        self.config = config or VortexConfig()
+        self.memory = memory if memory is not None else MainMemory()
+        self.processor = Processor(self.config, self.memory)
+
+    def run(self, entry_pc: int, max_instructions: int = 50_000_000) -> ExecutionReport:
+        """Execute the kernel at ``entry_pc`` to completion."""
+        instructions = self.processor.run(entry_pc, max_instructions=max_instructions)
+        thread_instructions = sum(
+            core.perf.get("thread_instructions") for core in self.processor.cores
+        )
+        return ExecutionReport(
+            driver=self.name,
+            cycles=0,
+            instructions=instructions,
+            thread_instructions=thread_instructions,
+            counters=self.processor.counters(),
+        )

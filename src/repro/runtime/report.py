@@ -1,0 +1,49 @@
+"""Execution reports returned by the simulation drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class ExecutionReport:
+    """Summary of one kernel execution.
+
+    ``cycles`` is zero for the functional driver (it does not model time);
+    ``counters`` carries the per-component performance counters of the
+    driver that produced the report.
+    """
+
+    driver: str
+    cycles: int
+    instructions: int
+    thread_instructions: int
+    counters: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        """Thread-instructions per cycle (the paper's IPC metric)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.thread_instructions / self.cycles
+
+    @property
+    def warp_ipc(self) -> float:
+        """Warp-instructions per cycle."""
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    def counter(self, component: str, name: str) -> int:
+        """Read one counter, defaulting to 0."""
+        return self.counters.get(component, {}).get(name, 0)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        if self.cycles:
+            return (
+                f"[{self.driver}] cycles={self.cycles} instrs={self.instructions} "
+                f"IPC={self.ipc:.3f}"
+            )
+        return f"[{self.driver}] instrs={self.instructions}"

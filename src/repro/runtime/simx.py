@@ -1,0 +1,38 @@
+"""The SIMX driver: cycle-level simulation (paper section 4.5).
+
+SIMX is the driver the paper uses for design-space exploration beyond what
+fits on the FPGA (e.g. the Figure 21 memory-scaling study); in this
+reproduction it is also the driver behind every timing result (IPC,
+bank-utilization and texture-acceleration experiments).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.config import VortexConfig
+from repro.core.processor import TimingProcessor
+from repro.mem.memory import MainMemory
+from repro.runtime.report import ExecutionReport
+
+
+class SimxDriver:
+    """Runs kernels on the cycle-level multi-core processor."""
+
+    name = "simx"
+
+    def __init__(self, config: Optional[VortexConfig] = None, memory: Optional[MainMemory] = None):
+        self.config = config or VortexConfig()
+        self.memory = memory if memory is not None else MainMemory()
+        self.processor = TimingProcessor(self.config, self.memory)
+
+    def run(self, entry_pc: int, max_cycles: int = 20_000_000) -> ExecutionReport:
+        """Execute the kernel at ``entry_pc`` to completion."""
+        cycles = self.processor.run(entry_pc, max_cycles=max_cycles)
+        return ExecutionReport(
+            driver=self.name,
+            cycles=cycles,
+            instructions=self.processor.total_instructions,
+            thread_instructions=self.processor.total_thread_instructions,
+            counters=self.processor.counters(),
+        )

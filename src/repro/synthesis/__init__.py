@@ -1,0 +1,38 @@
+"""FPGA synthesis area/frequency model and ASIC summary (paper section 6.2
+and 6.6).
+
+The RTL synthesis results of the paper (Tables 3, 4, 5 and Figures 15-17)
+cannot be regenerated without Quartus and the RTL itself; this package
+substitutes a *calibrated structural model*: resource usage is expressed as
+a regression over the structural terms that drive it (threads, wavefronts,
+threads x wavefronts, cores, cache banks and virtual ports), with the
+coefficients derived from the published tables themselves.  The value of
+the model is (a) it documents which structural parameters drive which
+resource, and (b) it lets the benchmark harness price arbitrary
+configurations (e.g. the ones the IPC experiments sweep) consistently with
+the paper's published design points.
+"""
+
+from repro.synthesis.area_model import (
+    CoreSynthesisModel,
+    CacheSynthesisModel,
+    MulticoreSynthesisModel,
+    FpgaDevice,
+    ARRIA10,
+    STRATIX10,
+)
+from repro.synthesis.components import area_breakdown, COMPONENT_FRACTIONS
+from repro.synthesis.asic import AsicSummary, asic_power_breakdown
+
+__all__ = [
+    "CoreSynthesisModel",
+    "CacheSynthesisModel",
+    "MulticoreSynthesisModel",
+    "FpgaDevice",
+    "ARRIA10",
+    "STRATIX10",
+    "area_breakdown",
+    "COMPONENT_FRACTIONS",
+    "AsicSummary",
+    "asic_power_breakdown",
+]

@@ -1,0 +1,242 @@
+"""Calibrated structural area/frequency models.
+
+Three models cover the paper's synthesis results:
+
+* :class:`CoreSynthesisModel` — one core as a function of wavefronts and
+  threads (Table 3).  Structural terms: ``1``, ``T`` (per-thread datapath:
+  ALUs, GPR width, cache arbitration), ``W`` (per-wavefront control:
+  scheduler entries, scoreboards, IPDOM stacks) and ``W*T`` (per-wavefront
+  register/IPDOM storage whose width scales with the thread count) —
+  exactly the cost structure section 6.2.1 describes.
+* :class:`CacheSynthesisModel` — a 4-bank data cache as a function of the
+  virtual-port count (Table 5).
+* :class:`MulticoreSynthesisModel` — the full processor as a function of
+  the core count, reported against a target FPGA device (Table 4).
+
+Each model is calibrated by least squares against the published table and
+records its calibration points so tests can check the fit quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+# --------------------------------------------------------------------------- devices
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Capacity of a target FPGA (used to express usage as a percentage)."""
+
+    name: str
+    alms: int
+    registers: int
+    brams: int
+    dsps: int
+
+
+#: Intel Arria 10 GX 1150 (the paper's A10 board).
+ARRIA10 = FpgaDevice(name="Arria 10", alms=427_200, registers=1_708_800, brams=2_713, dsps=1_518)
+#: Intel Stratix 10 GX 2800 (the paper's S10 board), sized so the published
+#: 32-core utilization matches.
+STRATIX10 = FpgaDevice(name="Stratix 10", alms=1_030_000, registers=3_732_480, brams=11_721, dsps=5_760)
+
+
+# --------------------------------------------------------------------------- Table 3
+
+
+#: Published Table 3 design points: label -> (warps, threads, LUT, Regs, BRAM, fmax).
+TABLE3_POINTS: Dict[str, Tuple[int, int, int, int, int, int]] = {
+    "4W-4T": (4, 4, 21502, 32661, 131, 233),
+    "2W-8T": (2, 8, 36361, 54438, 238, 224),
+    "8W-2T": (8, 2, 16981, 24343, 77, 225),
+    "4W-8T": (4, 8, 37857, 57614, 247, 224),
+    "8W-4T": (8, 4, 24485, 34854, 139, 228),
+}
+
+
+def _fit(features: np.ndarray, values: Sequence[float]) -> np.ndarray:
+    coefficients, *_ = np.linalg.lstsq(features, np.asarray(values, dtype=float), rcond=None)
+    return coefficients
+
+
+class CoreSynthesisModel:
+    """Single-core resource model over (wavefronts, threads)."""
+
+    def __init__(self):
+        rows = list(TABLE3_POINTS.values())
+        features = np.array([[1.0, t, w, w * t] for w, t, *_ in rows])
+        self._lut = _fit(features, [row[2] for row in rows])
+        self._regs = _fit(features, [row[3] for row in rows])
+        self._bram = _fit(features, [row[4] for row in rows])
+        self._fmax = _fit(features, [row[5] for row in rows])
+
+    @staticmethod
+    def _terms(num_warps: int, num_threads: int) -> np.ndarray:
+        return np.array([1.0, num_threads, num_warps, num_warps * num_threads])
+
+    def estimate(self, num_warps: int, num_threads: int) -> Dict[str, float]:
+        """Estimate one core's LUTs, registers, BRAMs and fmax (MHz)."""
+        if num_warps < 1 or num_threads < 1:
+            raise ValueError("warp and thread counts must be positive")
+        terms = self._terms(num_warps, num_threads)
+        return {
+            "lut": float(terms @ self._lut),
+            "regs": float(terms @ self._regs),
+            "bram": float(terms @ self._bram),
+            "fmax": float(terms @ self._fmax),
+        }
+
+    def table3(self) -> Dict[str, Dict[str, float]]:
+        """Regenerate Table 3 (model estimates for the published design points)."""
+        return {
+            label: self.estimate(warps, threads)
+            for label, (warps, threads, *_rest) in TABLE3_POINTS.items()
+        }
+
+    @staticmethod
+    def published(label: str) -> Dict[str, int]:
+        warps, threads, lut, regs, bram, fmax = TABLE3_POINTS[label]
+        return {"warps": warps, "threads": threads, "lut": lut, "regs": regs, "bram": bram, "fmax": fmax}
+
+
+# --------------------------------------------------------------------------- Table 5
+
+
+#: Published Table 5 points: virtual ports -> (LUT, Regs, BRAM, fmax) for a 4-bank D$.
+TABLE5_POINTS: Dict[int, Tuple[int, int, int, int]] = {
+    1: (10747, 13238, 72, 253),
+    2: (11722, 13650, 72, 250),
+    4: (13516, 14928, 72, 244),
+}
+
+
+class CacheSynthesisModel:
+    """Data-cache resource model over the virtual-port count (4-bank cache)."""
+
+    def __init__(self, num_banks: int = 4):
+        self.num_banks = num_banks
+        ports = np.array([[1.0, p] for p in TABLE5_POINTS])
+        self._lut = _fit(ports, [v[0] for v in TABLE5_POINTS.values()])
+        self._regs = _fit(ports, [v[1] for v in TABLE5_POINTS.values()])
+        self._bram = float(next(iter(TABLE5_POINTS.values()))[2])
+        self._fmax = _fit(ports, [v[3] for v in TABLE5_POINTS.values()])
+
+    def estimate(self, num_ports: int, num_banks: int = None) -> Dict[str, float]:
+        """Estimate a multi-banked cache's resources for ``num_ports`` virtual ports."""
+        if num_ports < 1:
+            raise ValueError("port count must be positive")
+        num_banks = num_banks or self.num_banks
+        scale = num_banks / self.num_banks
+        terms = np.array([1.0, num_ports])
+        return {
+            "lut": float(terms @ self._lut) * scale,
+            "regs": float(terms @ self._regs) * scale,
+            "bram": self._bram * scale,
+            "fmax": float(terms @ self._fmax),
+        }
+
+    def table5(self) -> Dict[int, Dict[str, float]]:
+        """Regenerate Table 5."""
+        return {ports: self.estimate(ports) for ports in TABLE5_POINTS}
+
+    @staticmethod
+    def published(num_ports: int) -> Dict[str, int]:
+        lut, regs, bram, fmax = TABLE5_POINTS[num_ports]
+        return {"lut": lut, "regs": regs, "bram": bram, "fmax": fmax}
+
+
+# --------------------------------------------------------------------------- Table 4
+
+
+#: Published Table 4 rows: cores -> (ALM %, Regs, BRAM %, DSP %, fmax, device name).
+TABLE4_POINTS: Dict[int, Tuple[float, int, float, float, int, str]] = {
+    1: (13, 78_000, 10, 2, 234, "A10"),
+    2: (19, 111_000, 15, 5, 225, "A10"),
+    4: (30, 176_000, 25, 9, 223, "A10"),
+    8: (53, 305_000, 45, 19, 210, "A10"),
+    16: (85, 525_000, 83, 38, 203, "A10"),
+    32: (70, 1_057_000, 23, 20, 200, "S10"),
+}
+
+
+class MulticoreSynthesisModel:
+    """Whole-processor resource model over the core count."""
+
+    def __init__(self, device: FpgaDevice = ARRIA10):
+        self.device = device
+        a10_rows = [(cores, row) for cores, row in TABLE4_POINTS.items() if row[5] == "A10"]
+        cores = np.array([[1.0, float(c)] for c, _ in a10_rows])
+        # Convert published percentages to absolute resources on the A10 so the
+        # fit is device independent.
+        self._alms = _fit(cores, [row[0] / 100.0 * ARRIA10.alms for _, row in a10_rows])
+        self._regs = _fit(cores, [row[1] for _, row in a10_rows])
+        self._brams = _fit(cores, [row[2] / 100.0 * ARRIA10.brams for _, row in a10_rows])
+        self._dsps = _fit(cores, [row[3] / 100.0 * ARRIA10.dsps for _, row in a10_rows])
+        # Frequency degrades roughly with log2(cores) as the interconnect deepens.
+        log_features = np.array([[1.0, float(np.log2(c))] for c, _ in a10_rows])
+        self._fmax = _fit(log_features, [row[4] for _, row in a10_rows])
+
+    def estimate(self, num_cores: int, device: FpgaDevice = None) -> Dict[str, float]:
+        """Estimate the full-processor resources for ``num_cores`` cores."""
+        if num_cores < 1:
+            raise ValueError("core count must be positive")
+        device = device or self.device
+        terms = np.array([1.0, float(num_cores)])
+        log_terms = np.array([1.0, float(np.log2(num_cores)) if num_cores > 1 else 0.0])
+        alms = float(terms @ self._alms)
+        brams = float(terms @ self._brams)
+        dsps = float(terms @ self._dsps)
+        return {
+            "alms": alms,
+            "alm_pct": 100.0 * alms / device.alms,
+            "regs": float(terms @ self._regs),
+            "brams": brams,
+            "bram_pct": 100.0 * brams / device.brams,
+            "dsps": dsps,
+            "dsp_pct": 100.0 * dsps / device.dsps,
+            "fmax": float(log_terms @ self._fmax),
+            "device": device.name,
+        }
+
+    def fits(self, num_cores: int, device: FpgaDevice = None) -> bool:
+        """Whether ``num_cores`` cores fit on ``device`` (< 100% of every resource)."""
+        estimate = self.estimate(num_cores, device)
+        return (
+            estimate["alm_pct"] <= 100.0
+            and estimate["bram_pct"] <= 100.0
+            and estimate["dsp_pct"] <= 100.0
+        )
+
+    def max_cores(self, device: FpgaDevice = None) -> int:
+        """Largest power-of-two core count fitting on ``device``."""
+        cores = 1
+        while self.fits(cores * 2, device):
+            cores *= 2
+            if cores >= 256:
+                break
+        return cores
+
+    def table4(self) -> Dict[int, Dict[str, float]]:
+        """Regenerate Table 4 (A10 rows plus the 32-core S10 row)."""
+        rows = {}
+        for cores, row in TABLE4_POINTS.items():
+            device = STRATIX10 if row[5] == "S10" else ARRIA10
+            rows[cores] = self.estimate(cores, device)
+        return rows
+
+    @staticmethod
+    def published(num_cores: int) -> Dict[str, float]:
+        alm_pct, regs, bram_pct, dsp_pct, fmax, device = TABLE4_POINTS[num_cores]
+        return {
+            "alm_pct": alm_pct,
+            "regs": regs,
+            "bram_pct": bram_pct,
+            "dsp_pct": dsp_pct,
+            "fmax": fmax,
+            "device": device,
+        }

@@ -1,0 +1,39 @@
+"""Per-component area breakdown (Figure 15).
+
+The paper reports that at eight cores the FPGA logic is occupied primarily
+by the texture units and the caches, with the FPU area kept low because FMA
+computation maps onto the device's hard DSP blocks.  The breakdown below
+captures that distribution; combined with the calibrated totals of
+:mod:`repro.synthesis.area_model` it regenerates the Figure 15 pie chart
+for any core count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.synthesis.area_model import ARRIA10, FpgaDevice, MulticoreSynthesisModel
+
+#: Fraction of the processor's logic area attributed to each component
+#: (normalized; derived from the Figure 15 distribution).
+COMPONENT_FRACTIONS: Dict[str, float] = {
+    "caches": 0.30,
+    "texture_units": 0.22,
+    "pipeline": 0.18,
+    "register_file": 0.12,
+    "wavefront_scheduler": 0.08,
+    "fpu": 0.05,
+    "afu_interconnect": 0.05,
+}
+
+
+def area_breakdown(num_cores: int = 8, device: FpgaDevice = ARRIA10) -> Dict[str, float]:
+    """Return the per-component ALM estimate for a ``num_cores`` processor."""
+    total = MulticoreSynthesisModel(device).estimate(num_cores, device)["alms"]
+    return {component: fraction * total for component, fraction in COMPONENT_FRACTIONS.items()}
+
+
+def dominant_components(num_cores: int = 8, top: int = 2) -> list:
+    """The ``top`` largest area consumers (the paper calls out texture + caches)."""
+    breakdown = area_breakdown(num_cores)
+    return sorted(breakdown, key=breakdown.get, reverse=True)[:top]

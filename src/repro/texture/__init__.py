@@ -1,0 +1,29 @@
+"""Texture sampling: formats, address generation, filtering and the texture
+unit microarchitecture (paper section 4.2).
+
+The functional layer (:mod:`repro.texture.sampler`) computes what a ``tex``
+instruction returns; the timing layer (:mod:`repro.texture.unit`) models the
+three-stage texture unit of Figure 5 — address generation, the de-duplicating
+texel memory scheduler in front of the data cache, and the two-cycle bilinear
+sampler — and is what the Figure 20 experiment exercises.
+"""
+
+from repro.texture.formats import TexFormat, TexWrap, TexFilter, texel_size, decode_texel, encode_texel
+from repro.texture.address import TexelQuad, generate_addresses, mip_dimensions
+from repro.texture.sampler import TextureSampler, TextureState
+from repro.texture.unit import TextureUnit
+
+__all__ = [
+    "TexFormat",
+    "TexWrap",
+    "TexFilter",
+    "texel_size",
+    "decode_texel",
+    "encode_texel",
+    "TexelQuad",
+    "generate_addresses",
+    "mip_dimensions",
+    "TextureSampler",
+    "TextureState",
+    "TextureUnit",
+]

@@ -1,0 +1,113 @@
+"""Texture address generation (stage 1 of the texture unit, Figure 5).
+
+Given normalized ``(u, v)`` coordinates, the mipmap dimensions and the wrap
+mode, the address generator produces the texel address(es) needed by the
+selected filter — one for point sampling, a 2x2 quad plus the horizontal and
+vertical blend factors for bilinear filtering.  Blend factors are quantized
+to 8 bits exactly as the fixed-point hardware does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.texture.formats import TexFilter, TexFormat, TexWrap, texel_size
+
+#: Number of fractional bits the hardware keeps for blend factors.
+BLEND_FRAC_BITS = 8
+BLEND_ONE = 1 << BLEND_FRAC_BITS
+
+
+@dataclass(frozen=True)
+class TexelQuad:
+    """The addresses and blend factors for one filtered sample."""
+
+    addresses: Tuple[int, ...]
+    blend_u: int
+    blend_v: int
+
+    @property
+    def unique_addresses(self) -> List[int]:
+        """Addresses with duplicates removed (what the dedup stage forwards)."""
+        seen = []
+        for address in self.addresses:
+            if address not in seen:
+                seen.append(address)
+        return seen
+
+
+def mip_dimensions(width_log2: int, height_log2: int, lod: int) -> Tuple[int, int]:
+    """Return the (width, height) of mip level ``lod``, clamping at 1x1."""
+    width = 1 << max(width_log2 - lod, 0)
+    height = 1 << max(height_log2 - lod, 0)
+    return width, height
+
+
+def wrap_coordinate(coord: int, size: int, wrap: TexWrap) -> int:
+    """Apply the wrap mode to an integer texel coordinate."""
+    if wrap == TexWrap.CLAMP:
+        return min(max(coord, 0), size - 1)
+    if wrap == TexWrap.REPEAT:
+        return coord & (size - 1) if size & (size - 1) == 0 else coord % size
+    if wrap == TexWrap.MIRROR:
+        period = 2 * size
+        coord = coord % period
+        if coord < 0:
+            coord += period
+        return coord if coord < size else period - 1 - coord
+    raise ValueError(f"unknown wrap mode {wrap}")
+
+
+def _texel_address(
+    base: int, x: int, y: int, width: int, fmt: TexFormat
+) -> int:
+    return base + (y * width + x) * texel_size(fmt)
+
+
+def generate_addresses(
+    u: float,
+    v: float,
+    base: int,
+    width_log2: int,
+    height_log2: int,
+    fmt: TexFormat,
+    wrap: TexWrap,
+    filter_mode: TexFilter,
+    lod: int = 0,
+) -> TexelQuad:
+    """Generate texel addresses for one sample.
+
+    ``base`` is the byte address of mip level ``lod`` (the caller adds the
+    MIPOFF CSR value); ``u``/``v`` are the normalized coordinates.
+    """
+    width, height = mip_dimensions(width_log2, height_log2, lod)
+    if not (math.isfinite(u) and math.isfinite(v)):
+        u, v = 0.0, 0.0
+
+    if filter_mode == TexFilter.POINT:
+        x = wrap_coordinate(int(math.floor(u * width)), width, wrap)
+        y = wrap_coordinate(int(math.floor(v * height)), height, wrap)
+        address = _texel_address(base, x, y, width, fmt)
+        return TexelQuad(addresses=(address,) * 4, blend_u=0, blend_v=0)
+
+    if filter_mode == TexFilter.BILINEAR:
+        # Texel centers sit at half-integer coordinates.
+        fx = u * width - 0.5
+        fy = v * height - 0.5
+        x0 = int(math.floor(fx))
+        y0 = int(math.floor(fy))
+        blend_u = int((fx - x0) * BLEND_ONE) & (BLEND_ONE - 1)
+        blend_v = int((fy - y0) * BLEND_ONE) & (BLEND_ONE - 1)
+        xs = (wrap_coordinate(x0, width, wrap), wrap_coordinate(x0 + 1, width, wrap))
+        ys = (wrap_coordinate(y0, height, wrap), wrap_coordinate(y0 + 1, height, wrap))
+        addresses = (
+            _texel_address(base, xs[0], ys[0], width, fmt),
+            _texel_address(base, xs[1], ys[0], width, fmt),
+            _texel_address(base, xs[0], ys[1], width, fmt),
+            _texel_address(base, xs[1], ys[1], width, fmt),
+        )
+        return TexelQuad(addresses=addresses, blend_u=blend_u, blend_v=blend_v)
+
+    raise ValueError(f"unknown filter mode {filter_mode}")

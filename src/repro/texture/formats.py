@@ -1,0 +1,112 @@
+"""Texture formats, wrap modes and filter modes.
+
+The hardware sampler always produces an RGBA8888 color (one 32-bit word per
+thread); source textures may be stored in any of the formats below and are
+converted during sampling, which is the "format conversion" step of the
+texel sampler in Figure 5.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Tuple
+
+RGBA = Tuple[int, int, int, int]
+
+
+class TexFormat(IntEnum):
+    """Source texel storage formats (a subset of the OpenGL-ES formats)."""
+
+    RGBA8 = 0  # 4 bytes/texel, R in the low byte
+    R8 = 1  # single channel replicated to RGB, alpha = 255
+    RGB565 = 2  # 2 bytes/texel
+    RGBA4 = 3  # 2 bytes/texel
+    L8A8 = 4  # 2 bytes/texel, luminance + alpha
+
+
+class TexWrap(IntEnum):
+    """Texture coordinate wrap modes."""
+
+    CLAMP = 0
+    REPEAT = 1
+    MIRROR = 2
+
+
+class TexFilter(IntEnum):
+    """Filtering modes selectable through the TEX_FILTER CSR."""
+
+    POINT = 0
+    BILINEAR = 1
+
+
+def texel_size(fmt: TexFormat) -> int:
+    """Bytes per texel for ``fmt``."""
+    if fmt == TexFormat.RGBA8:
+        return 4
+    if fmt == TexFormat.R8:
+        return 1
+    return 2
+
+
+def _expand4(value: int) -> int:
+    return (value << 4) | value
+
+
+def _expand5(value: int) -> int:
+    return (value << 3) | (value >> 2)
+
+
+def _expand6(value: int) -> int:
+    return (value << 2) | (value >> 4)
+
+
+def decode_texel(fmt: TexFormat, raw: int) -> RGBA:
+    """Convert a raw texel of format ``fmt`` to an (r, g, b, a) byte tuple."""
+    if fmt == TexFormat.RGBA8:
+        return (raw & 0xFF, (raw >> 8) & 0xFF, (raw >> 16) & 0xFF, (raw >> 24) & 0xFF)
+    if fmt == TexFormat.R8:
+        channel = raw & 0xFF
+        return (channel, channel, channel, 0xFF)
+    if fmt == TexFormat.RGB565:
+        r = _expand5(raw & 0x1F)
+        g = _expand6((raw >> 5) & 0x3F)
+        b = _expand5((raw >> 11) & 0x1F)
+        return (r, g, b, 0xFF)
+    if fmt == TexFormat.RGBA4:
+        return (
+            _expand4(raw & 0xF),
+            _expand4((raw >> 4) & 0xF),
+            _expand4((raw >> 8) & 0xF),
+            _expand4((raw >> 12) & 0xF),
+        )
+    if fmt == TexFormat.L8A8:
+        luminance = raw & 0xFF
+        alpha = (raw >> 8) & 0xFF
+        return (luminance, luminance, luminance, alpha)
+    raise ValueError(f"unknown texture format {fmt}")
+
+
+def encode_texel(fmt: TexFormat, color: RGBA) -> int:
+    """Convert an (r, g, b, a) byte tuple to the raw storage of ``fmt``."""
+    r, g, b, a = (channel & 0xFF for channel in color)
+    if fmt == TexFormat.RGBA8:
+        return r | (g << 8) | (b << 16) | (a << 24)
+    if fmt == TexFormat.R8:
+        return r
+    if fmt == TexFormat.RGB565:
+        return (r >> 3) | ((g >> 2) << 5) | ((b >> 3) << 11)
+    if fmt == TexFormat.RGBA4:
+        return (r >> 4) | ((g >> 4) << 4) | ((b >> 4) << 8) | ((a >> 4) << 12)
+    if fmt == TexFormat.L8A8:
+        return r | (a << 8)
+    raise ValueError(f"unknown texture format {fmt}")
+
+
+def pack_rgba8(color: RGBA) -> int:
+    """Pack an (r, g, b, a) tuple into the 32-bit RGBA8 word the sampler returns."""
+    return encode_texel(TexFormat.RGBA8, color)
+
+
+def unpack_rgba8(word: int) -> RGBA:
+    """Unpack a 32-bit RGBA8 word."""
+    return decode_texel(TexFormat.RGBA8, word)

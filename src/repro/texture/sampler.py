@@ -1,0 +1,117 @@
+"""The texel sampler (stage 5 of Figure 5) and the texture state block.
+
+The sampler performs the format conversion and the bilinear interpolation
+of the four fetched texels.  Point sampling is executed through the same
+bilinear datapath with zero blend factors, exactly as the paper describes
+(section 4.2.2) — the hardware saves the mux and variable-latency handling
+a dedicated single-cycle point path would need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.texture.address import BLEND_ONE, TexelQuad, generate_addresses
+from repro.texture.formats import (
+    RGBA,
+    TexFilter,
+    TexFormat,
+    TexWrap,
+    decode_texel,
+    pack_rgba8,
+    texel_size,
+)
+from repro.isa.csr import NUM_TEX_LODS, TexCSR, tex_csr
+
+
+@dataclass
+class TextureState:
+    """The CSR-programmed state of one texture stage."""
+
+    address: int = 0
+    width_log2: int = 0
+    height_log2: int = 0
+    fmt: TexFormat = TexFormat.RGBA8
+    wrap: TexWrap = TexWrap.CLAMP
+    filter_mode: TexFilter = TexFilter.BILINEAR
+    mip_offsets: Sequence[int] = ()
+
+    @classmethod
+    def from_csrs(cls, csr_file, stage: int) -> "TextureState":
+        """Build the state block for ``stage`` from a :class:`CsrFile`."""
+        mip_offsets = [
+            csr_file.raw(tex_csr(stage, TexCSR.MIPOFF, lod)) for lod in range(NUM_TEX_LODS)
+        ]
+        return cls(
+            address=csr_file.raw(tex_csr(stage, TexCSR.ADDR)),
+            width_log2=csr_file.raw(tex_csr(stage, TexCSR.WIDTH)),
+            height_log2=csr_file.raw(tex_csr(stage, TexCSR.HEIGHT)),
+            fmt=TexFormat(csr_file.raw(tex_csr(stage, TexCSR.FORMAT))),
+            wrap=TexWrap(csr_file.raw(tex_csr(stage, TexCSR.WRAP))),
+            filter_mode=TexFilter(csr_file.raw(tex_csr(stage, TexCSR.FILTER))),
+            mip_offsets=mip_offsets,
+        )
+
+    def mip_base(self, lod: int) -> int:
+        """Byte address of mip level ``lod``."""
+        if 0 <= lod < len(self.mip_offsets):
+            return self.address + self.mip_offsets[lod]
+        return self.address
+
+    @property
+    def max_lod(self) -> int:
+        """The coarsest addressable mip level."""
+        return max(self.width_log2, self.height_log2)
+
+
+def _lerp(a: int, b: int, frac: int) -> int:
+    """Fixed-point linear interpolation on one 8-bit channel."""
+    return (a * (BLEND_ONE - frac) + b * frac) >> 8
+
+
+def blend_quad(texels: Sequence[RGBA], blend_u: int, blend_v: int) -> RGBA:
+    """Bilinearly blend a 2x2 quad of RGBA texels."""
+    top = tuple(_lerp(texels[0][c], texels[1][c], blend_u) for c in range(4))
+    bottom = tuple(_lerp(texels[2][c], texels[3][c], blend_u) for c in range(4))
+    return tuple(_lerp(top[c], bottom[c], blend_v) for c in range(4))
+
+
+class TextureSampler:
+    """Functional model of the texel sampler."""
+
+    def __init__(self, memory):
+        self.memory = memory
+
+    def read_texel(self, state: TextureState, address: int) -> RGBA:
+        """Fetch and format-convert one texel."""
+        size = texel_size(state.fmt)
+        raw_bytes = self.memory.read_bytes(address, size)
+        raw = int.from_bytes(raw_bytes, "little")
+        return decode_texel(state.fmt, raw)
+
+    def sample(self, state: TextureState, u: float, v: float, lod: int) -> int:
+        """Sample the texture at normalized ``(u, v)`` from mip level ``lod``.
+
+        Returns the packed RGBA8 word the ``tex`` instruction writes to its
+        destination register.
+        """
+        lod = min(max(int(lod), 0), state.max_lod)
+        quad = self.quad_for(state, u, v, lod)
+        texels = [self.read_texel(state, address) for address in quad.addresses]
+        color = blend_quad(texels, quad.blend_u, quad.blend_v)
+        return pack_rgba8(color)
+
+    def quad_for(self, state: TextureState, u: float, v: float, lod: int) -> TexelQuad:
+        """Generate the texel quad for one sample (shared with the timing unit)."""
+        return generate_addresses(
+            u=u,
+            v=v,
+            base=state.mip_base(lod),
+            width_log2=state.width_log2,
+            height_log2=state.height_log2,
+            fmt=state.fmt,
+            wrap=state.wrap,
+            filter_mode=state.filter_mode,
+            lod=lod,
+        )

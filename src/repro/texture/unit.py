@@ -1,0 +1,112 @@
+"""The texture unit (Figure 5).
+
+One texture unit serves a whole core.  For every ``tex`` instruction the
+unit receives the per-thread ``(u, v, lod)`` operands, runs the address
+generator for each active thread, de-duplicates the texel addresses across
+the wavefront (stage 2 of the figure), fetches the unique texels, and runs
+the two-cycle bilinear sampler to produce one RGBA8 color per thread.
+
+The functional result and the memory-access trace are computed together so
+the cycle-level driver can charge the de-duplicated cache traffic and the
+sampler latency to the same instruction the functional driver executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.bitutils import bits_to_float
+from repro.common.config import TextureConfig
+from repro.common.perf import PerfCounters
+from repro.texture.formats import pack_rgba8
+from repro.texture.sampler import TextureSampler, TextureState, blend_quad
+
+
+@dataclass
+class TexWarpResult:
+    """The outcome of one warp-level ``tex`` operation."""
+
+    colors: List[int]
+    unique_addresses: List[int]
+    total_addresses: int
+
+    @property
+    def dedup_savings(self) -> int:
+        """Memory accesses avoided by the de-duplication stage."""
+        return self.total_addresses - len(self.unique_addresses)
+
+
+class TextureUnit:
+    """Per-core texture unit: address generation, dedup, sampling."""
+
+    def __init__(self, memory, config: Optional[TextureConfig] = None):
+        self.config = config or TextureConfig()
+        self.sampler = TextureSampler(memory)
+        self.perf = PerfCounters("tex_unit")
+
+    def state_for(self, csr_file, stage: int) -> TextureState:
+        """Snapshot the CSR-programmed state of ``stage``."""
+        return TextureState.from_csrs(csr_file, stage)
+
+    def sample_warp(
+        self,
+        csr_file,
+        stage: int,
+        operands: Sequence[Optional[Tuple[int, int, int]]],
+    ) -> TexWarpResult:
+        """Execute one warp-level ``tex`` instruction.
+
+        ``operands`` holds, per thread, either ``None`` (inactive thread) or
+        the raw register bits of ``(u, v, lod)``.
+        """
+        state = self.state_for(csr_file, stage)
+        colors: List[int] = []
+        unique: Dict[int, None] = {}
+        total = 0
+        for thread_operands in operands:
+            if thread_operands is None:
+                colors.append(0)
+                continue
+            u_bits, v_bits, lod_bits = thread_operands
+            u = bits_to_float(u_bits)
+            v = bits_to_float(v_bits)
+            lod = _lod_from_bits(lod_bits, state.max_lod)
+            quad = self.sampler.quad_for(state, u, v, lod)
+            for address in quad.addresses:
+                total += 1
+                unique.setdefault(address, None)
+            texels = [self.sampler.read_texel(state, address) for address in quad.addresses]
+            colors.append(pack_rgba8(blend_quad(texels, quad.blend_u, quad.blend_v)))
+        self.perf.incr("requests")
+        self.perf.incr("texel_fetches", total)
+        self.perf.incr("unique_fetches", len(unique))
+        return TexWarpResult(
+            colors=colors, unique_addresses=list(unique), total_addresses=total
+        )
+
+    def issue_latency(self, num_unique_addresses: int) -> int:
+        """Fixed (non-cache) latency charged to one ``tex`` instruction.
+
+        The cycle-level core adds the data-cache access time of the unique
+        texel addresses on top of this value.
+        """
+        return self.config.address_latency + self.config.sampler_latency
+
+
+def _lod_from_bits(lod_bits: int, max_lod: int) -> int:
+    """Interpret the ``lod`` operand register.
+
+    The operand is a float in register bits (the graphics kernels pass the
+    level of detail as a float); integer levels are also tolerated for
+    robustness since the kernel ABI stores small integers for mip levels.
+    """
+    value = bits_to_float(lod_bits)
+    if not (value == value):  # NaN
+        return 0
+    if 0.0 <= value <= max_lod + 1 and (lod_bits >> 23) != 0:
+        lod = int(value)
+    else:
+        # The bits do not look like a sensible float; treat them as an integer.
+        lod = lod_bits if lod_bits <= max_lod else 0
+    return min(max(lod, 0), max_lod)

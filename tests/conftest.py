@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import CacheConfig, MemoryConfig, VortexConfig
+from repro.mem.memory import MainMemory
+from repro.runtime.device import VortexDevice
+
+
+@pytest.fixture
+def small_config() -> VortexConfig:
+    """A small 4W-4T single-core configuration used across timing tests."""
+    return VortexConfig(
+        num_cores=1,
+        dcache=CacheConfig(size=8 * 1024, num_banks=4, mshr_size=8),
+        icache=CacheConfig(size=4 * 1024, num_banks=1),
+        memory=MemoryConfig(latency=40, bandwidth=1),
+    )
+
+
+@pytest.fixture
+def memory() -> MainMemory:
+    return MainMemory()
+
+
+@pytest.fixture
+def funcsim_device(small_config) -> VortexDevice:
+    """A device backed by the functional driver (fast, no timing)."""
+    return VortexDevice(small_config, driver="funcsim")
+
+
+@pytest.fixture
+def simx_device(small_config) -> VortexDevice:
+    """A device backed by the cycle-level driver."""
+    return VortexDevice(small_config, driver="simx")

@@ -1,0 +1,113 @@
+"""Tests for the integer ALU semantics (RV32I/M corner cases included)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.alu import alu_op, branch_taken, div_op, mul_op
+from repro.common.bitutils import to_int32, to_uint32
+
+u32 = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@given(u32, u32)
+def test_add_sub_wraparound(a, b):
+    assert alu_op("add", a, b) == (a + b) % 2**32
+    assert alu_op("sub", a, b) == (a - b) % 2**32
+
+
+@given(u32, st.integers(min_value=0, max_value=31))
+def test_shifts(a, shamt):
+    assert alu_op("sll", a, shamt) == (a << shamt) % 2**32
+    assert alu_op("srl", a, shamt) == a >> shamt
+    assert alu_op("sra", a, shamt) == to_uint32(to_int32(a) >> shamt)
+
+
+def test_shift_amount_masked_to_five_bits():
+    assert alu_op("sll", 1, 33) == 2
+    assert alu_op("srl", 4, 0x21) == 2
+
+
+@given(u32, u32)
+def test_comparisons(a, b):
+    assert alu_op("slt", a, b) == (1 if to_int32(a) < to_int32(b) else 0)
+    assert alu_op("sltu", a, b) == (1 if a < b else 0)
+
+
+@given(u32, u32)
+def test_bitwise(a, b):
+    assert alu_op("xor", a, b) == a ^ b
+    assert alu_op("or", a, b) == a | b
+    assert alu_op("and", a, b) == a & b
+
+
+def test_unknown_op_rejected():
+    with pytest.raises(ValueError):
+        alu_op("nand", 1, 2)
+
+
+# -- RV32M ----------------------------------------------------------------------------
+
+
+@given(u32, u32)
+def test_mul_low_half(a, b):
+    assert mul_op("mul", a, b) == (to_int32(a) * to_int32(b)) % 2**32
+
+
+@given(u32, u32)
+def test_mulh_variants(a, b):
+    assert mul_op("mulh", a, b) == to_uint32((to_int32(a) * to_int32(b)) >> 32)
+    assert mul_op("mulhu", a, b) == to_uint32((a * b) >> 32)
+    assert mul_op("mulhsu", a, b) == to_uint32((to_int32(a) * b) >> 32)
+
+
+def test_divide_by_zero_semantics():
+    assert div_op("div", 17, 0) == 0xFFFFFFFF
+    assert div_op("divu", 17, 0) == 0xFFFFFFFF
+    assert div_op("rem", 17, 0) == 17
+    assert div_op("remu", 17, 0) == 17
+
+
+def test_div_overflow_case():
+    int_min = 0x80000000
+    assert div_op("div", int_min, to_uint32(-1)) == int_min
+    assert div_op("rem", int_min, to_uint32(-1)) == 0
+
+
+@given(
+    st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    st.integers(min_value=-(2**31), max_value=2**31 - 1).filter(lambda v: v != 0),
+)
+def test_signed_division_truncates_toward_zero(a, b):
+    if a == -(2**31) and b == -1:
+        return
+    quotient = to_int32(div_op("div", to_uint32(a), to_uint32(b)))
+    remainder = to_int32(div_op("rem", to_uint32(a), to_uint32(b)))
+    assert quotient == int(a / b)
+    assert quotient * b + remainder == a
+
+
+@given(u32, u32)
+def test_unsigned_division_identity(a, b):
+    if b == 0:
+        return
+    quotient = div_op("divu", a, b)
+    remainder = div_op("remu", a, b)
+    assert quotient * b + remainder == a
+
+
+# -- branches -------------------------------------------------------------------------
+
+
+@given(u32, u32)
+def test_branch_comparisons(a, b):
+    assert branch_taken("beq", a, b) == (a == b)
+    assert branch_taken("bne", a, b) == (a != b)
+    assert branch_taken("blt", a, b) == (to_int32(a) < to_int32(b))
+    assert branch_taken("bge", a, b) == (to_int32(a) >= to_int32(b))
+    assert branch_taken("bltu", a, b) == (a < b)
+    assert branch_taken("bgeu", a, b) == (a >= b)
+
+
+def test_branch_unknown_rejected():
+    with pytest.raises(ValueError):
+        branch_taken("bz", 0, 0)

@@ -1,0 +1,111 @@
+"""Tests for the binary32 floating-point semantics."""
+
+import math
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.fpu import fpu_op
+from repro.common.bitutils import bits_to_float, float_to_bits, to_int32
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False, width=32)
+
+
+def f2b(value: float) -> int:
+    return float_to_bits(value)
+
+
+@given(finite_floats, finite_floats)
+def test_add_matches_numpy_float32(a, b):
+    result = bits_to_float(fpu_op("fadd.s", f2b(a), f2b(b)))
+    expected = np.float32(np.float32(a) + np.float32(b))
+    if math.isnan(expected):
+        assert math.isnan(result)
+    else:
+        assert result == pytest.approx(float(expected), rel=1e-6) or result == float(expected)
+
+
+@given(finite_floats, finite_floats)
+def test_mul_matches_numpy_float32(a, b):
+    result = bits_to_float(fpu_op("fmul.s", f2b(a), f2b(b)))
+    with np.errstate(over="ignore"):
+        expected = np.float32(np.float32(a) * np.float32(b))
+    if math.isnan(expected) or math.isinf(expected):
+        assert math.isnan(result) or math.isinf(result)
+    else:
+        assert result == pytest.approx(float(expected), rel=1e-6) or result == float(expected)
+
+
+def test_division_and_by_zero():
+    assert bits_to_float(fpu_op("fdiv.s", f2b(6.0), f2b(3.0))) == 2.0
+    assert math.isinf(bits_to_float(fpu_op("fdiv.s", f2b(1.0), f2b(0.0))))
+    assert math.isnan(bits_to_float(fpu_op("fdiv.s", f2b(0.0), f2b(0.0))))
+
+
+def test_sqrt():
+    assert bits_to_float(fpu_op("fsqrt.s", f2b(9.0))) == 3.0
+    assert math.isnan(bits_to_float(fpu_op("fsqrt.s", f2b(-1.0))))
+
+
+def test_min_max_with_nan_prefers_number():
+    nan = 0x7FC00000
+    assert fpu_op("fmin.s", nan, f2b(2.0)) == f2b(2.0)
+    assert fpu_op("fmax.s", f2b(2.0), nan) == f2b(2.0)
+
+
+def test_sign_injection():
+    assert fpu_op("fsgnj.s", f2b(1.5), f2b(-2.0)) == f2b(-1.5)
+    assert fpu_op("fsgnjn.s", f2b(1.5), f2b(-2.0)) == f2b(1.5)
+    assert fpu_op("fsgnjx.s", f2b(-1.5), f2b(-2.0)) == f2b(1.5)
+
+
+def test_comparisons_with_nan_return_false():
+    nan = 0x7FC00000
+    assert fpu_op("feq.s", nan, nan) == 0
+    assert fpu_op("flt.s", nan, f2b(1.0)) == 0
+    assert fpu_op("fle.s", f2b(1.0), nan) == 0
+    assert fpu_op("feq.s", f2b(3.0), f2b(3.0)) == 1
+    assert fpu_op("flt.s", f2b(1.0), f2b(2.0)) == 1
+    assert fpu_op("fle.s", f2b(2.0), f2b(2.0)) == 1
+
+
+def test_int_conversions_truncate_and_saturate():
+    assert to_int32(fpu_op("fcvt.w.s", f2b(-2.75))) == -2
+    assert to_int32(fpu_op("fcvt.w.s", f2b(2.75))) == 2
+    assert to_int32(fpu_op("fcvt.w.s", f2b(1e20))) == 2**31 - 1
+    assert to_int32(fpu_op("fcvt.w.s", f2b(-1e20))) == -(2**31)
+    assert fpu_op("fcvt.wu.s", f2b(-3.0)) == 0
+    assert fpu_op("fcvt.wu.s", f2b(3.9)) == 3
+
+
+@given(st.integers(min_value=-(2**24), max_value=2**24))
+def test_int_to_float_roundtrip_exact_in_24_bits(value):
+    bits = fpu_op("fcvt.s.w", value % 2**32)
+    assert bits_to_float(bits) == float(value)
+
+
+def test_moves_preserve_bit_patterns():
+    pattern = 0xDEADBEEF
+    assert fpu_op("fmv.w.x", pattern) == pattern
+    assert fpu_op("fmv.x.w", pattern) == pattern
+
+
+@given(finite_floats, finite_floats, finite_floats)
+def test_fused_multiply_add_family(a, b, c):
+    fa, fb, fc = f2b(a), f2b(b), f2b(c)
+    product = float(np.float32(a)) * float(np.float32(b))
+    if not math.isfinite(product) or abs(product) > 1e30:
+        return
+    assert bits_to_float(fpu_op("fmadd.s", fa, fb, fc)) == pytest.approx(
+        float(np.float32(product + np.float32(c))), rel=1e-5, abs=1e-30
+    )
+    assert bits_to_float(fpu_op("fnmsub.s", fa, fb, fc)) == pytest.approx(
+        float(np.float32(-product + np.float32(c))), rel=1e-5, abs=1e-30
+    )
+
+
+def test_unknown_operation_rejected():
+    with pytest.raises(ValueError):
+        fpu_op("fdot.s", 0, 0)

@@ -1,0 +1,107 @@
+"""Unit and property tests for the bit-manipulation helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.bitutils import (
+    align_down,
+    align_up,
+    bit,
+    bits,
+    bits_to_float,
+    float_to_bits,
+    is_aligned,
+    log2ceil,
+    mask,
+    popcount,
+    sext,
+    to_int32,
+    to_uint32,
+)
+
+u32 = st.integers(min_value=0, max_value=2**32 - 1)
+i64 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+
+
+def test_mask_values():
+    assert mask(0) == 0
+    assert mask(1) == 1
+    assert mask(12) == 0xFFF
+    assert mask(32) == 0xFFFFFFFF
+
+
+def test_mask_rejects_negative():
+    with pytest.raises(ValueError):
+        mask(-1)
+
+
+def test_bit_and_bits_extraction():
+    value = 0b1011_0010
+    assert bit(value, 1) == 1
+    assert bit(value, 2) == 0
+    assert bits(value, 7, 4) == 0b1011
+    assert bits(value, 3, 0) == 0b0010
+
+
+def test_bits_rejects_inverted_range():
+    with pytest.raises(ValueError):
+        bits(0xFF, 0, 4)
+
+
+@given(i64)
+def test_to_uint32_range(value):
+    result = to_uint32(value)
+    assert 0 <= result < 2**32
+
+
+@given(u32)
+def test_int32_uint32_roundtrip(value):
+    assert to_uint32(to_int32(value)) == value
+
+
+def test_to_int32_sign():
+    assert to_int32(0xFFFFFFFF) == -1
+    assert to_int32(0x80000000) == -(2**31)
+    assert to_int32(0x7FFFFFFF) == 2**31 - 1
+
+
+@given(st.integers(min_value=0, max_value=0xFFF))
+def test_sext_12bit(value):
+    result = sext(value, 12)
+    assert -2048 <= result <= 2047
+    assert (result & 0xFFF) == value
+
+
+def test_popcount():
+    assert popcount(0) == 0
+    assert popcount(0xFF) == 8
+    assert popcount(0x80000001) == 2
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+def test_float_bits_roundtrip(value):
+    assert bits_to_float(float_to_bits(value)) == pytest.approx(value, rel=0, abs=0)
+
+
+def test_float_bits_known_values():
+    assert float_to_bits(1.0) == 0x3F800000
+    assert float_to_bits(-2.0) == 0xC0000000
+    assert bits_to_float(0x3F800000) == 1.0
+    assert math.isinf(bits_to_float(0x7F800000))
+
+
+def test_alignment_helpers():
+    assert align_down(0x1037, 16) == 0x1030
+    assert align_up(0x1031, 16) == 0x1040
+    assert align_up(0x1040, 16) == 0x1040
+    assert is_aligned(0x1000, 64)
+    assert not is_aligned(0x1004, 64)
+
+
+def test_log2ceil():
+    assert log2ceil(1) == 0
+    assert log2ceil(2) == 1
+    assert log2ceil(3) == 2
+    assert log2ceil(1024) == 10

@@ -1,0 +1,217 @@
+"""Tests for the non-blocking multi-banked cache subsystem."""
+
+import pytest
+
+from repro.cache.bank import CacheBank
+from repro.cache.cache import CacheRequest, NonBlockingCache
+from repro.cache.mshr import Mshr
+from repro.cache.sharedmem import SharedMemory, is_shared_address, shared_mem_window
+from repro.common.config import CacheConfig
+
+
+# -- MSHR --------------------------------------------------------------------------------
+
+
+def test_mshr_allocate_and_merge():
+    mshr = Mshr(capacity=2)
+    entry = mshr.allocate(0x10, "a")
+    assert entry is not None and not entry.fill_issued
+    merged = mshr.allocate(0x10, "b")
+    assert merged is entry
+    assert mshr.merged == 1
+    assert mshr.release(0x10) == ["a", "b"]
+    assert len(mshr) == 0
+
+
+def test_mshr_capacity_and_early_full():
+    mshr = Mshr(capacity=2)
+    assert not mshr.almost_full
+    mshr.allocate(1, "a")
+    assert mshr.almost_full
+    mshr.allocate(2, "b")
+    assert mshr.full
+    assert mshr.allocate(3, "c") is None
+
+
+def test_mshr_release_unknown_line_is_empty():
+    assert Mshr(4).release(0x99) == []
+
+
+# -- CacheBank ---------------------------------------------------------------------------
+
+
+def test_bank_install_probe_and_lru_eviction():
+    config = CacheConfig(size=1024, line_size=64, num_banks=1, num_ways=2)
+    bank = CacheBank(0, config)
+    lines = [0, config.num_sets, 2 * config.num_sets]  # all map to set 0
+    assert not bank.probe(lines[0])
+    bank.install(lines[0])
+    bank.install(lines[1])
+    bank.touch(lines[0])  # make line 0 most recently used
+    evicted = bank.install(lines[2])
+    assert evicted == lines[1]
+    assert bank.probe(lines[0]) and bank.probe(lines[2]) and not bank.probe(lines[1])
+
+
+def test_bank_response_scheduling_honors_hit_latency():
+    config = CacheConfig(size=1024, line_size=64, num_banks=1, hit_latency=3)
+    bank = CacheBank(0, config)
+    from repro.cache.bank import BankRequest
+
+    bank.schedule_response(BankRequest(address=0, is_write=False, tag="t"), cycle=10, hit=True)
+    assert bank.collect_responses(12) == []
+    responses = bank.collect_responses(13)
+    assert len(responses) == 1 and responses[0][0].tag == "t"
+
+
+# -- NonBlockingCache ----------------------------------------------------------------------
+
+
+class _AlwaysReadyLower:
+    """Lower level that accepts everything and records fills."""
+
+    def __init__(self):
+        self.fills = []
+        self.writes = []
+
+    def request_fill(self, cache, line_address):
+        self.fills.append(line_address)
+        return True
+
+    def request_write(self, cache, address):
+        self.writes.append(address)
+        return True
+
+
+def _make_cache(num_ports=1, num_banks=4, mshr_size=4):
+    config = CacheConfig(
+        size=4 * 1024, line_size=64, num_banks=num_banks, num_ports=num_ports,
+        mshr_size=mshr_size, hit_latency=2,
+    )
+    lower = _AlwaysReadyLower()
+    return NonBlockingCache("dcache", config, lower=lower), lower
+
+
+def test_read_miss_then_fill_then_hit():
+    cache, lower = _make_cache()
+    assert cache.send(CacheRequest(address=0x100, tag="r0"))
+    assert lower.fills == [cache.line_address(0x100)]
+    # No response until the fill returns.
+    for _ in range(5):
+        assert cache.tick() == []
+    cache.fill(cache.line_address(0x100))
+    responses = []
+    for _ in range(3):
+        responses.extend(cache.tick())
+    assert [resp.tag for resp in responses] == ["r0"]
+    # Second access to the same line hits.
+    assert cache.send(CacheRequest(address=0x104, tag="r1"))
+    responses = []
+    for _ in range(3):
+        responses.extend(cache.tick())
+    assert responses and responses[0].hit
+    assert cache.hit_rate > 0
+
+
+def test_miss_to_same_line_merges_in_mshr():
+    cache, lower = _make_cache()
+    assert cache.send(CacheRequest(address=0x200, tag="a"))
+    cache.tick()
+    assert cache.send(CacheRequest(address=0x204, tag="b"))
+    assert len(lower.fills) == 1  # second miss merged
+    cache.fill(cache.line_address(0x200))
+    tags = []
+    for _ in range(4):
+        tags.extend(resp.tag for resp in cache.tick())
+    assert set(tags) == {"a", "b"}
+
+
+def test_bank_conflict_with_single_port():
+    cache, _ = _make_cache(num_ports=1)
+    line = 64 * cache.config.num_banks  # two addresses on different lines, same bank
+    assert cache.send(CacheRequest(address=0, tag="a"))
+    assert not cache.send(CacheRequest(address=line, tag="b"))
+    assert cache.perf.get("bank_conflicts") == 1
+    assert cache.bank_utilization < 1.0
+
+
+def test_virtual_ports_coalesce_same_line_only():
+    cache, _ = _make_cache(num_ports=2)
+    # Same line: both accepted in one cycle.
+    assert cache.send(CacheRequest(address=0x0, tag="a"))
+    assert cache.send(CacheRequest(address=0x4, tag="b"))
+    # Third same-line request exceeds the two virtual ports.
+    assert not cache.send(CacheRequest(address=0x8, tag="c"))
+    # Different line in the same bank still conflicts.
+    other_line = 64 * cache.config.num_banks
+    assert not cache.send(CacheRequest(address=other_line, tag="d"))
+
+
+def test_requests_to_distinct_banks_proceed_in_parallel():
+    cache, _ = _make_cache(num_ports=1, num_banks=4)
+    for bank in range(4):
+        assert cache.send(CacheRequest(address=bank * 64, tag=bank))
+    assert cache.perf.get("bank_conflicts") == 0
+    assert cache.bank_utilization == 1.0
+
+
+def test_write_through_forwards_to_lower_level():
+    cache, lower = _make_cache()
+    assert cache.send(CacheRequest(address=0x40, is_write=True, tag="w"))
+    assert lower.writes == [0x40]
+    responses = []
+    for _ in range(3):
+        responses.extend(cache.tick())
+    assert [resp.tag for resp in responses] == ["w"]
+
+
+def test_mshr_early_full_backpressures_reads():
+    cache, _ = _make_cache(mshr_size=2, num_banks=1)
+    assert cache.send(CacheRequest(address=0 * 64, tag=0))
+    cache.tick()
+    # The MSHR is now almost full (capacity 2, one used): next miss refused.
+    assert not cache.send(CacheRequest(address=1 * 64, tag=1))
+    assert cache.perf.get("mshr_stalls") >= 1
+
+
+class _RejectingLower:
+    def request_fill(self, cache, line_address):
+        return False
+
+    def request_write(self, cache, address):
+        return False
+
+
+def test_lower_level_backpressure_rejects_request():
+    config = CacheConfig(size=4 * 1024, num_banks=4)
+    cache = NonBlockingCache("dcache", config, lower=_RejectingLower())
+    assert not cache.send(CacheRequest(address=0x300, tag="x"))
+    assert cache.perf.get("memq_stalls") == 1
+
+
+def test_busy_reflects_outstanding_work():
+    cache, _ = _make_cache()
+    assert not cache.busy
+    cache.send(CacheRequest(address=0x500, tag="x"))
+    assert cache.busy
+
+
+# -- SharedMemory ----------------------------------------------------------------------------
+
+
+def test_shared_memory_window_and_membership():
+    base, limit = shared_mem_window(core_id=1)
+    assert is_shared_address(base)
+    assert not is_shared_address(0x1000_0000)
+    assert limit - base == 0x1_0000
+
+
+def test_shared_memory_bank_conflicts_serialize():
+    smem = SharedMemory(core_id=0, size=8 * 1024, num_banks=4, latency=1)
+    base = smem.base
+    assert smem.send(base + 0, False, "a")
+    assert smem.send(base + 4, False, "b")  # different bank
+    assert not smem.send(base + 16, False, "c")  # bank 0 again -> conflict
+    done = smem.tick()
+    assert {resp.tag for resp in done} == {"a", "b"}
+    assert smem.perf.get("bank_conflicts") == 1

@@ -1,0 +1,83 @@
+"""Tests for the configuration dataclasses."""
+
+import pytest
+
+from repro.common.config import (
+    CORE_DESIGN_POINTS,
+    CacheConfig,
+    CoreConfig,
+    MemoryConfig,
+    VortexConfig,
+    baseline_config,
+)
+
+
+def test_baseline_matches_paper_defaults():
+    config = baseline_config()
+    assert config.core.num_warps == 4
+    assert config.core.num_threads == 4
+    assert config.dcache.num_banks == 4
+    assert config.num_cores == 1
+
+
+def test_cache_geometry_validation():
+    with pytest.raises(ValueError):
+        CacheConfig(line_size=48)
+    with pytest.raises(ValueError):
+        CacheConfig(num_banks=3)
+    with pytest.raises(ValueError):
+        CacheConfig(num_ports=0)
+
+
+def test_cache_num_sets():
+    cache = CacheConfig(size=16 * 1024, line_size=64, num_banks=4, num_ways=2)
+    assert cache.num_sets * cache.num_ways * cache.num_banks * cache.line_size == cache.size
+
+
+def test_core_config_limits():
+    with pytest.raises(ValueError):
+        CoreConfig(num_threads=0)
+    with pytest.raises(ValueError):
+        CoreConfig(num_threads=64)
+    with pytest.raises(ValueError):
+        CoreConfig(num_warps=33)
+
+
+def test_memory_config_validation():
+    with pytest.raises(ValueError):
+        MemoryConfig(latency=0)
+    with pytest.raises(ValueError):
+        MemoryConfig(bandwidth=0)
+
+
+def test_with_helpers_return_new_configs():
+    base = baseline_config()
+    scaled = base.with_cores(8)
+    assert scaled.num_cores == 8 and base.num_cores == 1
+    retuned = base.with_warps_threads(8, 2)
+    assert (retuned.core.num_warps, retuned.core.num_threads) == (8, 2)
+    ported = base.with_dcache_ports(4)
+    assert ported.dcache.num_ports == 4
+    memory = base.with_memory(latency=200, bandwidth=2)
+    assert memory.memory.latency == 200 and memory.memory.bandwidth == 2
+
+
+def test_total_threads():
+    config = baseline_config().with_cores(4).with_warps_threads(8, 4)
+    assert config.total_threads == 4 * 8 * 4
+
+
+def test_clusters_must_divide_cores():
+    with pytest.raises(ValueError):
+        VortexConfig(num_cores=4, num_clusters=3)
+
+
+def test_design_points_cover_table3():
+    assert set(CORE_DESIGN_POINTS) == {"4W-4T", "2W-8T", "8W-2T", "4W-8T", "8W-4T"}
+    assert CORE_DESIGN_POINTS["4W-4T"] == (4, 4)
+
+
+def test_describe_is_flat_dict():
+    summary = baseline_config().describe()
+    assert summary["warps"] == 4
+    assert summary["dcache_banks"] == 4

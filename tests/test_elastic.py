@@ -1,0 +1,65 @@
+"""Tests for the elastic-pipeline primitives (ready/valid channels)."""
+
+import pytest
+
+from repro.common.elastic import ElasticChannel, ElasticStage
+
+
+def test_push_pop_preserves_order_and_tags():
+    channel = ElasticChannel("fetch", capacity=4)
+    for index in range(3):
+        assert channel.push(payload=index, tag=("pc", index))
+    assert channel.valid
+    assert [channel.pop().payload for _ in range(3)] == [0, 1, 2]
+    assert not channel.valid
+
+
+def test_backpressure_when_full():
+    channel = ElasticChannel("issue", capacity=1)
+    assert channel.push("first")
+    assert not channel.ready
+    assert not channel.push("second")
+    assert channel.stalls == 1
+    channel.pop()
+    assert channel.push("second")
+
+
+def test_unbounded_channel_never_backpressures():
+    channel = ElasticChannel("deep", capacity=None)
+    for index in range(1000):
+        assert channel.push(index)
+    assert len(channel) == 1000
+
+
+def test_peek_does_not_consume():
+    channel = ElasticChannel("x")
+    channel.push("payload", tag=(0x80000000, 2))
+    assert channel.peek().tag == (0x80000000, 2)
+    assert channel.valid
+    assert channel.pop().payload == "payload"
+
+
+def test_pop_empty_raises():
+    channel = ElasticChannel("empty")
+    with pytest.raises(IndexError):
+        channel.pop()
+    with pytest.raises(IndexError):
+        channel.peek()
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        ElasticChannel("bad", capacity=0)
+
+
+def test_stage_utilization():
+    stage = ElasticStage("execute")
+    for cycle in range(10):
+        stage.tick(did_work=cycle % 2 == 0)
+    assert stage.total_cycles == 10
+    assert stage.busy_cycles == 5
+    assert stage.utilization == pytest.approx(0.5)
+
+
+def test_stage_utilization_zero_cycles():
+    assert ElasticStage("idle").utilization == 0.0

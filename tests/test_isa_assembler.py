@@ -1,0 +1,121 @@
+"""Tests for the two-pass text assembler and the disassembler."""
+
+import pytest
+
+from repro.isa.assembler import Assembler, AssemblerError
+from repro.isa.decoder import decode
+from repro.isa.disassembler import disassemble, disassemble_program
+from repro.isa.registers import Reg
+
+
+def test_assemble_simple_program():
+    program = Assembler(base=0).assemble(
+        """
+        # counts down from 10
+        li t0, 10
+        loop:
+            addi t0, t0, -1
+            bnez t0, loop
+            ret
+        """
+    )
+    mnemonics = [decode(word).mnemonic for word in program.words]
+    assert mnemonics == ["addi", "addi", "bne", "jalr"]
+    assert program.symbols["loop"] == 4
+
+
+def test_memory_operands_and_directives():
+    program = Assembler(base=0x100).assemble(
+        """
+        .entry start
+        start:
+            lw   t1, 8(sp)
+            sw   t1, -4(a0)
+            flw  fa0, 0(t2)
+            fsw  fa0, 12(t2)
+        data:
+            .word 1, 2, 3
+            .float 1.5
+            .space 2
+        """
+    )
+    assert program.entry == 0x100
+    assert decode(program.words[0]).imm == 8
+    assert decode(program.words[1]).imm == -4
+    assert program.symbols["data"] == 0x100 + 4 * 4
+    assert len(program.words) == 4 + 3 + 1 + 2
+
+
+def test_vortex_extension_assembly():
+    program = Assembler(base=0).assemble(
+        """
+        tmc t0
+        wspawn t0, t1
+        split t2
+        join
+        bar t3, t4
+        tex a0, fa0, fa1, fa2
+        """
+    )
+    mnemonics = [decode(word).mnemonic for word in program.words]
+    assert mnemonics == ["tmc", "wspawn", "split", "join", "bar", "tex"]
+
+
+def test_csr_instructions():
+    program = Assembler(base=0).assemble("csrrs t0, 0xCC0, zero\ncsrrwi zero, 0x7C0, 5")
+    first = decode(program.words[0])
+    assert first.csr == 0xCC0
+    second = decode(program.words[1])
+    assert second.csr == 0x7C0
+    assert second.imm == 5
+
+
+def test_error_reports_line_number():
+    with pytest.raises(AssemblerError) as excinfo:
+        Assembler().assemble("nop\nbogus t0, t1\n")
+    assert excinfo.value.line_number == 2
+
+
+def test_wrong_operand_count_rejected():
+    with pytest.raises(AssemblerError):
+        Assembler().assemble("add t0, t1")
+
+
+def test_unknown_directive_rejected():
+    with pytest.raises(AssemblerError):
+        Assembler().assemble(".section .text")
+
+
+# -- disassembler -------------------------------------------------------------------
+
+
+def test_disassemble_matches_source():
+    program = Assembler(base=0).assemble("add t0, t1, t2")
+    assert disassemble(program.words[0]) == "add t0, t1, t2"
+
+
+def test_disassemble_memory_and_float():
+    program = Assembler(base=0).assemble("lw a0, 16(sp)\nfadd.s fa0, fa1, fa2")
+    assert disassemble(program.words[0]) == "lw a0, 16(sp)"
+    assert disassemble(program.words[1]) == "fadd.s fa0, fa1, fa2"
+
+
+def test_disassemble_branch_with_pc():
+    program = Assembler(base=0x1000).assemble("loop:\n  beq t0, t1, loop")
+    text = disassemble(program.words[0], pc=0x1000)
+    assert "0x1000" in text
+
+
+def test_disassemble_program_handles_data_words():
+    lines = disassemble_program([0x00000013, 0xFFFFFFFF], base=0)
+    assert len(lines) == 2
+    assert "addi" in lines[0]
+    assert ".word" in lines[1]
+
+
+def test_assembler_roundtrip_through_disassembler():
+    source = ["add t0, t1, t2", "xori a0, a1, -1", "lui t3, 73728", "jalr zero, ra, 0"]
+    program = Assembler(base=0).assemble("\n".join(source))
+    for original, word in zip(source, program.words):
+        reassembled = Assembler(base=0).assemble(disassemble(word))
+        assert reassembled.words[0] == word, original

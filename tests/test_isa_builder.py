@@ -1,0 +1,142 @@
+"""Tests for the assembler DSL (ProgramBuilder)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.builder import BuildError, Label, ProgramBuilder
+from repro.isa.decoder import decode
+from repro.isa.registers import FReg, Reg
+from repro.arch.alu import alu_op
+from repro.common.bitutils import to_uint32
+
+
+def _run_li(value: int) -> int:
+    """Assemble ``li t0, value`` and evaluate the emitted instructions."""
+    asm = ProgramBuilder(base=0)
+    asm.li(Reg.t0, value)
+    program = asm.assemble()
+    result = 0
+    for word in program.words:
+        instr = decode(word)
+        if instr.mnemonic == "lui":
+            result = to_uint32(instr.imm)
+        elif instr.mnemonic == "addi":
+            base = result if instr.rs1 == int(Reg.t0) else 0
+            result = alu_op("addi", base, to_uint32(instr.imm))
+        else:  # pragma: no cover
+            raise AssertionError(f"unexpected instruction {instr.mnemonic}")
+    return result
+
+
+@given(st.integers(min_value=-(2**31), max_value=2**32 - 1))
+def test_li_materializes_any_32bit_constant(value):
+    assert _run_li(value) == to_uint32(value)
+
+
+def test_li_small_constant_is_single_instruction():
+    asm = ProgramBuilder(base=0)
+    asm.li(Reg.a0, 42)
+    assert len(asm.assemble().words) == 1
+
+
+def test_labels_and_branches_resolve():
+    asm = ProgramBuilder(base=0x1000)
+    loop = asm.label("loop")
+    asm.addi(Reg.t0, Reg.t0, -1)
+    asm.bnez(Reg.t0, loop)
+    program = asm.assemble()
+    branch = decode(program.words[1])
+    # The branch sits 4 bytes after the loop label, so the offset is -4.
+    assert branch.imm == -4
+    assert program.symbols["loop"] == 0x1000
+
+
+def test_forward_reference_to_label():
+    asm = ProgramBuilder(base=0)
+    done = asm.new_label("done")
+    asm.beqz(Reg.a0, done)
+    asm.nop()
+    asm.label(done)
+    program = asm.assemble()
+    assert decode(program.words[0]).imm == 8
+
+
+def test_la_points_at_data():
+    asm = ProgramBuilder(base=0x8000_0000)
+    asm.la(Reg.a0, "table")
+    asm.ret()
+    asm.label("table")
+    asm.word(0xDEADBEEF)
+    program = asm.assemble()
+    assert program.address_of("table") == program.base + 3 * 4
+    assert program.words[-1] == 0xDEADBEEF
+
+
+def test_duplicate_label_rejected():
+    asm = ProgramBuilder()
+    asm.label("x")
+    with pytest.raises(BuildError):
+        asm.label("x")
+
+
+def test_undefined_label_rejected():
+    asm = ProgramBuilder()
+    asm.j("nowhere")
+    with pytest.raises(BuildError):
+        asm.assemble()
+
+
+def test_unknown_mnemonic_and_bad_operands():
+    asm = ProgramBuilder()
+    with pytest.raises(BuildError):
+        asm.emit("vle32.v", 1, 2)
+    with pytest.raises(BuildError):
+        asm.emit("add", 1, 2)  # missing rs2
+    with pytest.raises(BuildError):
+        asm.emit("add", 1, 2, 3, 4)
+
+
+def test_immediate_range_checked():
+    asm = ProgramBuilder()
+    asm.addi(Reg.t0, Reg.t0, 5000)
+    with pytest.raises(BuildError):
+        asm.assemble()
+
+
+def test_float_pseudo_instructions():
+    asm = ProgramBuilder(base=0)
+    asm.fmv_s(FReg.fa0, FReg.fa1)
+    asm.fneg_s(FReg.fa2, FReg.fa3)
+    asm.fabs_s(FReg.fa4, FReg.fa5)
+    program = asm.assemble()
+    mnemonics = [decode(word).mnemonic for word in program.words]
+    assert mnemonics == ["fsgnj.s", "fsgnjn.s", "fsgnjx.s"]
+
+
+def test_program_to_bytes_little_endian():
+    asm = ProgramBuilder(base=0)
+    asm.word(0x11223344)
+    raw = asm.assemble().to_bytes()
+    assert raw == bytes([0x44, 0x33, 0x22, 0x11])
+
+
+def test_entry_defaults_to_base_and_can_be_set():
+    asm = ProgramBuilder(base=0x100)
+    asm.nop()
+    asm.label("start")
+    asm.nop()
+    assert asm.assemble().entry == 0x100
+    asm2 = ProgramBuilder(base=0x100)
+    asm2.nop()
+    asm2.label("start")
+    asm2.nop()
+    asm2.set_entry("start")
+    assert asm2.assemble().entry == 0x104
+
+
+def test_register_name_strings_accepted():
+    asm = ProgramBuilder(base=0)
+    asm.add("t0", "a0", "x7")
+    decoded = decode(asm.assemble().words[0])
+    assert decoded.rd == int(Reg.t0)
+    assert decoded.rs2 == 7

@@ -1,0 +1,100 @@
+"""Decoder tests: every supported instruction encodes and decodes back."""
+
+import pytest
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.decoder import DecodeError, decode
+from repro.isa.instructions import SPEC_BY_MNEMONIC, all_specs
+from repro.isa.registers import Reg
+
+
+def _emit_any(asm: ProgramBuilder, mnemonic: str) -> None:
+    """Emit one instance of ``mnemonic`` with representative operands."""
+    spec = SPEC_BY_MNEMONIC[mnemonic]
+    syntax = spec.syntax
+    if syntax == ("rd", "rs1", "rs2"):
+        asm.emit(mnemonic, 5, 6, 7)
+    elif syntax == ("rd", "rs1", "imm"):
+        asm.emit(mnemonic, 5, 6, -7)
+    elif syntax == ("rd", "rs1", "shamt"):
+        asm.emit(mnemonic, 5, 6, 3)
+    elif syntax == ("rd", "imm"):
+        asm.emit(mnemonic, 5, 0x12345000)
+    elif syntax == ("rd", "target"):
+        asm.emit(mnemonic, 1, 8)
+    elif syntax == ("rs1", "rs2", "target"):
+        asm.emit(mnemonic, 5, 6, 8)
+    elif syntax == ("rd", "mem"):
+        asm.emit(mnemonic, 5, 4, Reg.sp)
+    elif syntax == ("rs2", "mem"):
+        asm.emit(mnemonic, 5, 4, Reg.sp)
+    elif syntax == ("rd", "csr", "rs1"):
+        asm.emit(mnemonic, 5, 0xCC0, 6)
+    elif syntax == ("rd", "csr", "zimm"):
+        asm.emit(mnemonic, 5, 0xCC0, 3)
+    elif syntax == ("rd", "rs1", "rs2", "rs3"):
+        asm.emit(mnemonic, 5, 6, 7, 8)
+    elif syntax == ("rd", "rs1"):
+        asm.emit(mnemonic, 5, 6)
+    elif syntax == ("rs1",):
+        asm.emit(mnemonic, 5)
+    elif syntax == ("rs1", "rs2"):
+        asm.emit(mnemonic, 5, 6)
+    elif syntax == ():
+        asm.emit(mnemonic)
+    else:  # pragma: no cover - defensive
+        raise AssertionError(f"unhandled syntax {syntax} for {mnemonic}")
+
+
+@pytest.mark.parametrize("mnemonic", sorted(SPEC_BY_MNEMONIC))
+def test_encode_decode_roundtrip(mnemonic):
+    asm = ProgramBuilder(base=0)
+    _emit_any(asm, mnemonic)
+    program = asm.assemble()
+    decoded = decode(program.words[0])
+    assert decoded.mnemonic == mnemonic
+
+
+def test_decode_rejects_garbage():
+    with pytest.raises(DecodeError):
+        decode(0x0000_0000)
+    with pytest.raises(DecodeError):
+        decode(0xFFFF_FFFF)
+
+
+def test_decoded_fields_for_loads():
+    asm = ProgramBuilder(base=0)
+    asm.lw(Reg.t0, -12, Reg.a0)
+    decoded = decode(asm.assemble().words[0])
+    assert decoded.rd == int(Reg.t0)
+    assert decoded.rs1 == int(Reg.a0)
+    assert decoded.imm == -12
+
+
+def test_decoded_csr_address():
+    asm = ProgramBuilder(base=0)
+    asm.csr_read(Reg.t3, 0xCC2)
+    decoded = decode(asm.assemble().words[0])
+    assert decoded.csr == 0xCC2
+    assert decoded.mnemonic == "csrrs"
+
+
+def test_decoded_tex_stage():
+    asm = ProgramBuilder(base=0)
+    asm.tex(Reg.t0, "fa0", "fa1", "fa2", stage=1)
+    decoded = decode(asm.assemble().words[0])
+    assert decoded.mnemonic == "tex"
+    assert decoded.tex_stage == 1
+
+
+def test_unsigned_conversion_variants_distinguished():
+    asm = ProgramBuilder(base=0)
+    asm.fcvt_wu_s(Reg.t0, "fa0")
+    asm.fcvt_w_s(Reg.t1, "fa0")
+    program = asm.assemble()
+    assert decode(program.words[0]).mnemonic == "fcvt.wu.s"
+    assert decode(program.words[1]).mnemonic == "fcvt.w.s"
+
+
+def test_every_spec_roundtrips_total_count():
+    assert len(all_specs()) == len(SPEC_BY_MNEMONIC)

@@ -1,0 +1,73 @@
+"""Tests for instruction-format packing/unpacking."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.encoding import Fields, InstrFormat, Opcode, decode_imm, encode, imm_fits, pack, unpack
+
+regs = st.integers(min_value=0, max_value=31)
+
+
+def test_r_type_roundtrip():
+    word = encode(InstrFormat.R, Opcode.OP, rd=3, rs1=4, rs2=5, funct3=0, funct7=0x20)
+    fields = unpack(word, InstrFormat.R)
+    assert (fields.rd, fields.rs1, fields.rs2, fields.funct3, fields.funct7) == (3, 4, 5, 0, 0x20)
+    assert fields.opcode == Opcode.OP
+
+
+def test_r4_type_carries_rs3():
+    word = encode(InstrFormat.R4, Opcode.FMADD, rd=1, rs1=2, rs2=3, rs3=4, funct3=7)
+    fields = unpack(word, InstrFormat.R4)
+    assert fields.rs3 == 4
+    assert fields.rd == 1
+
+
+@given(regs, regs, st.integers(min_value=-2048, max_value=2047))
+def test_i_type_immediate_roundtrip(rd, rs1, imm):
+    word = encode(InstrFormat.I, Opcode.OP_IMM, rd=rd, rs1=rs1, funct3=0, imm=imm)
+    assert decode_imm(word, InstrFormat.I) == imm
+
+
+@given(regs, regs, st.integers(min_value=-2048, max_value=2047))
+def test_s_type_immediate_roundtrip(rs1, rs2, imm):
+    word = encode(InstrFormat.S, Opcode.STORE, rs1=rs1, rs2=rs2, funct3=2, imm=imm)
+    fields = unpack(word, InstrFormat.S)
+    assert fields.imm == imm
+    assert (fields.rs1, fields.rs2) == (rs1, rs2)
+
+
+@given(st.integers(min_value=-4096, max_value=4094).filter(lambda v: v % 2 == 0))
+def test_b_type_immediate_roundtrip(imm):
+    word = encode(InstrFormat.B, Opcode.BRANCH, rs1=1, rs2=2, funct3=0, imm=imm)
+    assert decode_imm(word, InstrFormat.B) == imm
+
+
+@given(st.integers(min_value=-(1 << 20), max_value=(1 << 20) - 2).filter(lambda v: v % 2 == 0))
+def test_j_type_immediate_roundtrip(imm):
+    word = encode(InstrFormat.J, Opcode.JAL, rd=1, imm=imm)
+    assert decode_imm(word, InstrFormat.J) == imm
+
+
+def test_u_type_keeps_upper_bits():
+    word = encode(InstrFormat.U, Opcode.LUI, rd=5, imm=0x12345000)
+    assert decode_imm(word, InstrFormat.U) == 0x12345000
+
+
+def test_imm_fits_ranges():
+    assert imm_fits(2047, InstrFormat.I)
+    assert not imm_fits(2048, InstrFormat.I)
+    assert imm_fits(-2048, InstrFormat.I)
+    assert not imm_fits(-2049, InstrFormat.I)
+    assert imm_fits(0xFFFFF000, InstrFormat.U)
+    assert imm_fits(4094, InstrFormat.B)
+    assert not imm_fits(4096, InstrFormat.B)
+
+
+def test_opcode_stays_in_low_bits():
+    word = pack(Fields(opcode=Opcode.VX_EXT, rd=31, rs1=31, rs2=31, funct3=7, funct7=0x7F), InstrFormat.R)
+    assert word & 0x7F == Opcode.VX_EXT
+
+
+def test_unsupported_format_raises():
+    with pytest.raises(ValueError):
+        pack(Fields(opcode=0x33), "not-a-format")

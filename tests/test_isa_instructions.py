@@ -1,0 +1,84 @@
+"""Tests for the instruction specification table and the ISA taxonomy."""
+
+import pytest
+
+from repro.isa.instructions import (
+    ExecUnit,
+    GROUPS,
+    SPEC_BY_MNEMONIC,
+    VORTEX_EXTENSION,
+    all_specs,
+    lookup,
+    specs_in_group,
+)
+from repro.isa.encoding import Opcode
+from repro.isa import taxonomy
+
+
+def test_vortex_extension_is_exactly_six_instructions():
+    assert len(VORTEX_EXTENSION) == 6
+    assert set(VORTEX_EXTENSION) == {"wspawn", "tmc", "split", "join", "bar", "tex"}
+
+
+def test_vortex_extension_shares_one_custom_opcode():
+    opcodes = {SPEC_BY_MNEMONIC[name].opcode for name in ("wspawn", "tmc", "split", "join", "bar")}
+    assert opcodes == {Opcode.VX_EXT}
+
+
+def test_tex_uses_r4_format():
+    spec = SPEC_BY_MNEMONIC["tex"]
+    assert spec.fmt.value == "R4"
+    assert spec.unit == ExecUnit.TEX
+
+
+def test_base_isa_groups_present():
+    assert {"RV32I", "RV32M", "RV32F", "Zicsr", "VX"} <= set(GROUPS)
+    assert len(specs_in_group("VX")) == 6
+
+
+def test_lookup_is_case_insensitive_and_errors():
+    assert lookup("ADD").mnemonic == "add"
+    with pytest.raises(KeyError):
+        lookup("vadd.vv")
+
+
+def test_loads_and_stores_marked():
+    assert SPEC_BY_MNEMONIC["lw"].is_load and SPEC_BY_MNEMONIC["lw"].unit == ExecUnit.LSU
+    assert SPEC_BY_MNEMONIC["sw"].is_store and not SPEC_BY_MNEMONIC["sw"].writes_rd
+    assert SPEC_BY_MNEMONIC["flw"].rd_float
+    assert SPEC_BY_MNEMONIC["fsw"].rs2_float
+
+
+def test_branches_do_not_write_rd():
+    for name in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+        assert SPEC_BY_MNEMONIC[name].is_branch
+        assert not SPEC_BY_MNEMONIC[name].writes_rd
+
+
+def test_every_spec_has_unique_mnemonic():
+    mnemonics = [spec.mnemonic for spec in all_specs()]
+    assert len(mnemonics) == len(set(mnemonics))
+
+
+# -- taxonomy (Table 1) -------------------------------------------------------------
+
+
+def test_table1_contains_all_surveyed_isas():
+    names = {profile.name for profile in taxonomy.TABLE1}
+    assert names == {"RDNA", "GCN", "PTX", "GEM", "PowerVR", "Vortex"}
+
+
+def test_every_isa_supports_texture_sampling():
+    coverage = taxonomy.category_coverage()
+    assert all(entry["texture"] for entry in coverage.values())
+
+
+def test_vortex_covers_every_simt_category():
+    coverage = taxonomy.category_coverage()["Vortex"]
+    assert all(coverage.values())
+
+
+def test_extension_summary_matches_table2():
+    summary = taxonomy.extension_summary()
+    assert set(summary) == set(VORTEX_EXTENSION)
+    assert len(taxonomy.TABLE2) == 6

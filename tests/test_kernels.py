@@ -1,0 +1,142 @@
+"""Tests for the benchmark kernels: correctness on both drivers and the
+SIMT behaviours the device-side runtime relies on."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import VortexConfig
+from repro.kernels import (
+    COMPUTE_BOUND,
+    KERNELS,
+    MEMORY_BOUND,
+    BfsKernel,
+    GaussianKernel,
+    SgemmKernel,
+    VecAddKernel,
+)
+from repro.kernels.bfs import bfs_reference, build_ellpack
+from repro.kernels.texture import hardware_texture_kernel, software_texture_kernel
+from repro.runtime.device import VortexDevice
+
+
+def _device(driver="funcsim", **overrides):
+    return VortexDevice(VortexConfig(**overrides) if overrides else VortexConfig(), driver=driver)
+
+
+# -- registry -----------------------------------------------------------------------------------
+
+
+def test_registry_covers_paper_benchmarks():
+    assert set(COMPUTE_BOUND) | set(MEMORY_BOUND) == set(KERNELS)
+    assert set(COMPUTE_BOUND) == {"sgemm", "vecadd", "sfilter"}
+    assert set(MEMORY_BOUND) == {"saxpy", "nearn", "gaussian", "bfs"}
+
+
+@pytest.mark.parametrize("name", sorted(KERNELS))
+def test_kernel_verifies_on_functional_driver(name):
+    device = _device("funcsim")
+    run = KERNELS[name]().run(device)
+    assert run.passed, f"{name} produced wrong results"
+    assert run.report.instructions > 0
+
+
+@pytest.mark.parametrize("name", ["vecadd", "saxpy", "bfs"])
+def test_kernel_verifies_on_cycle_driver(name):
+    device = _device("simx")
+    run = KERNELS[name]().run(device, size=64 if name != "bfs" else 32)
+    assert run.passed
+    assert run.report.cycles > 0
+    assert run.report.ipc > 0
+
+
+def test_kernels_scale_problem_size():
+    for size in (16, 64):
+        device = _device("funcsim")
+        run = VecAddKernel().run(device, size=size)
+        assert run.passed
+        assert run.context["size"] == size
+
+
+def test_kernel_with_non_multiple_task_count():
+    # 50 tasks over 16 hardware threads exercises the split/join boundary
+    # handling in the device-side runtime.
+    device = _device("funcsim")
+    run = VecAddKernel().run(device, size=50)
+    assert run.passed
+
+
+def test_kernel_uses_all_cores():
+    device = _device("funcsim", num_cores=2)
+    run = VecAddKernel().run(device, size=64)
+    assert run.passed
+    counters = run.report.counters
+    assert counters["core0"]["instructions"] > 0
+    assert counters["core1"]["instructions"] > 0
+
+
+def test_sgemm_various_matrix_sizes():
+    for n in (4, 8):
+        device = _device("funcsim")
+        run = SgemmKernel().run(device, size=n * n)
+        assert run.passed and run.context["n"] == n
+
+
+def test_gaussian_with_nonzero_pivot():
+    device = _device("funcsim")
+    run = GaussianKernel(pivot=3).run(device, size=12)
+    assert run.passed
+
+
+# -- BFS host helpers -----------------------------------------------------------------------------
+
+
+def test_build_ellpack_padding_and_symmetry():
+    table = build_ellpack(4, [(0, 1), (1, 2), (2, 3)], max_degree=3)
+    assert table.shape == (4, 3)
+    assert 1 in table[0]
+    assert 0 in table[1] and 2 in table[1]
+    assert (table[0] == -1).sum() == 2
+
+
+def test_bfs_reference_levels():
+    table = build_ellpack(5, [(0, 1), (1, 2), (2, 3), (3, 4)], max_degree=2)
+    levels = bfs_reference(table, source=0)
+    assert list(levels) == [0, 1, 2, 3, 4]
+
+
+def test_bfs_multiple_level_expansions_reach_reference():
+    device = _device("funcsim")
+    kernel = BfsKernel(max_degree=4)
+    size = 64
+    run = kernel.run(device, size=size)
+    assert run.passed
+
+
+# -- texture kernels --------------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("mode", ["point", "bilinear", "trilinear"])
+def test_texture_kernels_hw_and_sw_agree(mode):
+    results = {}
+    for use_hw in (True, False):
+        device = _device("funcsim")
+        kernel = hardware_texture_kernel(mode) if use_hw else software_texture_kernel(mode)
+        run = kernel.run(device, size=8 * 8)
+        assert run.passed, f"{kernel.name} produced wrong pixels"
+        results[use_hw] = run.context["dst"].read(np.uint32, 64)
+    hw_bytes = results[True].view(np.uint8).astype(np.int32)
+    sw_bytes = results[False].view(np.uint8).astype(np.int32)
+    assert np.max(np.abs(hw_bytes - sw_bytes)) <= 2
+
+
+def test_hardware_texturing_executes_fewer_instructions():
+    hw_device = _device("funcsim")
+    sw_device = _device("funcsim")
+    hw = hardware_texture_kernel("bilinear").run(hw_device, size=8 * 8)
+    sw = software_texture_kernel("bilinear").run(sw_device, size=8 * 8)
+    assert hw.report.instructions < sw.report.instructions
+
+
+def test_texture_kernel_rejects_bad_mode():
+    with pytest.raises(ValueError):
+        hardware_texture_kernel("anisotropic")

@@ -1,0 +1,45 @@
+"""Tests for the performance-counter helper."""
+
+from repro.common.perf import PerfCounters
+
+
+def test_incr_and_get():
+    perf = PerfCounters("core")
+    perf.incr("instructions")
+    perf.incr("instructions", 4)
+    assert perf.get("instructions") == 5
+    assert perf.get("missing") == 0
+
+
+def test_ratio_guards_division_by_zero():
+    perf = PerfCounters()
+    assert perf.ratio("a", "b") == 0.0
+    perf.incr("a", 10)
+    perf.incr("b", 4)
+    assert perf.ratio("a", "b") == 2.5
+
+
+def test_merge_with_prefix():
+    core = PerfCounters("core")
+    cache = PerfCounters("cache")
+    cache.incr("hits", 7)
+    core.merge(cache, prefix="dcache_")
+    assert core.get("dcache_hits") == 7
+
+
+def test_set_and_reset():
+    perf = PerfCounters()
+    perf.set("cycles", 100)
+    assert perf.get("cycles") == 100
+    perf.reset()
+    assert perf.get("cycles") == 0
+
+
+def test_update_from_mapping_and_contains():
+    perf = PerfCounters()
+    perf.update_from({"loads": 3, "stores": 2})
+    perf.update_from({"loads": 1})
+    assert perf.get("loads") == 4
+    assert "stores" in perf
+    assert dict(perf.items())["stores"] == 2
+    assert perf.as_dict() == {"loads": 4, "stores": 2}

@@ -1,0 +1,149 @@
+"""Tests for the calibrated synthesis area/frequency model and the ASIC summary."""
+
+import pytest
+
+from repro.synthesis.area_model import (
+    ARRIA10,
+    STRATIX10,
+    CacheSynthesisModel,
+    CoreSynthesisModel,
+    MulticoreSynthesisModel,
+    TABLE3_POINTS,
+    TABLE4_POINTS,
+    TABLE5_POINTS,
+)
+from repro.synthesis.asic import PUBLISHED_CONFIG, asic_power_breakdown, estimate_asic
+from repro.synthesis.components import COMPONENT_FRACTIONS, area_breakdown, dominant_components
+
+
+# -- Table 3: per-core model ---------------------------------------------------------------
+
+
+def test_core_model_reproduces_table3_within_tolerance():
+    model = CoreSynthesisModel()
+    for label, (warps, threads, lut, regs, bram, fmax) in TABLE3_POINTS.items():
+        estimate = model.estimate(warps, threads)
+        assert estimate["lut"] == pytest.approx(lut, rel=0.05), label
+        assert estimate["regs"] == pytest.approx(regs, rel=0.05), label
+        assert estimate["bram"] == pytest.approx(bram, rel=0.05), label
+        assert estimate["fmax"] == pytest.approx(fmax, rel=0.02), label
+
+
+def test_core_model_orders_thread_scaling_above_warp_scaling():
+    model = CoreSynthesisModel()
+    # Doubling threads is more expensive than doubling warps (section 6.2.1).
+    base = model.estimate(4, 4)["lut"]
+    more_threads = model.estimate(4, 8)["lut"]
+    more_warps = model.estimate(8, 4)["lut"]
+    assert more_threads > more_warps > base
+
+
+def test_core_model_rejects_invalid_configs():
+    with pytest.raises(ValueError):
+        CoreSynthesisModel().estimate(0, 4)
+
+
+def test_core_model_published_accessor():
+    row = CoreSynthesisModel.published("4W-4T")
+    assert row["lut"] == 21502 and row["warps"] == 4
+
+
+# -- Table 5: cache model --------------------------------------------------------------------
+
+
+def test_cache_model_reproduces_table5():
+    model = CacheSynthesisModel()
+    for ports, (lut, regs, bram, fmax) in TABLE5_POINTS.items():
+        estimate = model.estimate(ports)
+        assert estimate["lut"] == pytest.approx(lut, rel=0.03)
+        assert estimate["regs"] == pytest.approx(regs, rel=0.03)
+        assert estimate["bram"] == bram
+        assert estimate["fmax"] == pytest.approx(fmax, rel=0.02)
+
+
+def test_cache_model_port_cost_is_monotonic():
+    model = CacheSynthesisModel()
+    luts = [model.estimate(ports)["lut"] for ports in (1, 2, 4)]
+    fmaxes = [model.estimate(ports)["fmax"] for ports in (1, 2, 4)]
+    assert luts == sorted(luts)
+    assert fmaxes == sorted(fmaxes, reverse=True)
+
+
+def test_cache_model_scales_with_banks():
+    model = CacheSynthesisModel()
+    assert model.estimate(2, num_banks=8)["lut"] == pytest.approx(
+        2 * model.estimate(2, num_banks=4)["lut"]
+    )
+
+
+# -- Table 4: multi-core model ------------------------------------------------------------------
+
+
+def test_multicore_model_reproduces_table4_a10_rows():
+    model = MulticoreSynthesisModel(ARRIA10)
+    for cores, row in TABLE4_POINTS.items():
+        if row[5] != "A10":
+            continue
+        estimate = model.estimate(cores, ARRIA10)
+        assert estimate["alm_pct"] == pytest.approx(row[0], abs=6.0), cores
+        assert estimate["regs"] == pytest.approx(row[1], rel=0.12), cores
+        assert estimate["fmax"] == pytest.approx(row[4], rel=0.04), cores
+
+
+def test_paper_capacity_claims_hold():
+    model = MulticoreSynthesisModel()
+    # 16 cores fit on the Arria 10, 32 do not; 32 fit on the Stratix 10.
+    assert model.fits(16, ARRIA10)
+    assert not model.fits(32, ARRIA10)
+    assert model.fits(32, STRATIX10)
+    assert model.max_cores(ARRIA10) == 16
+    assert model.max_cores(STRATIX10) >= 32
+
+
+def test_multicore_fmax_degrades_with_core_count():
+    model = MulticoreSynthesisModel()
+    fmaxes = [model.estimate(cores)["fmax"] for cores in (1, 4, 16)]
+    assert fmaxes == sorted(fmaxes, reverse=True)
+    # The paper reports ~200 MHz at 32 cores.
+    assert model.estimate(32, STRATIX10)["fmax"] == pytest.approx(200, abs=10)
+
+
+def test_table4_regeneration_has_all_rows():
+    table = MulticoreSynthesisModel().table4()
+    assert set(table) == set(TABLE4_POINTS)
+    assert table[32]["device"] == "Stratix 10"
+
+
+# -- Figure 15: area distribution -------------------------------------------------------------------
+
+
+def test_component_fractions_are_normalized():
+    assert sum(COMPONENT_FRACTIONS.values()) == pytest.approx(1.0)
+
+
+def test_caches_and_texture_dominate_area():
+    assert set(dominant_components(num_cores=8, top=2)) == {"caches", "texture_units"}
+    breakdown = area_breakdown(num_cores=8)
+    assert breakdown["fpu"] < breakdown["caches"]
+
+
+# -- Figures 16/17: ASIC summary -----------------------------------------------------------------------
+
+
+def test_asic_estimate_matches_published_point():
+    summary = estimate_asic(
+        PUBLISHED_CONFIG["warps"], PUBLISHED_CONFIG["threads"], PUBLISHED_CONFIG["frequency_mhz"]
+    )
+    assert summary.power_mw == pytest.approx(PUBLISHED_CONFIG["power_mw"], rel=1e-6)
+
+
+def test_asic_power_scales_with_frequency_and_size():
+    base = estimate_asic(8, 4, 300.0).power_mw
+    assert estimate_asic(8, 4, 150.0).power_mw == pytest.approx(base / 2)
+    assert estimate_asic(8, 8, 300.0).power_mw > base
+
+
+def test_asic_power_breakdown_sums_to_total():
+    breakdown = asic_power_breakdown(8, 4)
+    assert sum(breakdown.values()) == pytest.approx(46.8, rel=0.01)
+    assert breakdown["register_file"] == max(breakdown.values())

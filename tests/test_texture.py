@@ -1,0 +1,215 @@
+"""Tests for texture formats, address generation, sampling and the texture unit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.csr import CsrFile
+from repro.common.bitutils import float_to_bits
+from repro.isa.csr import TexCSR, tex_csr
+from repro.mem.memory import MainMemory
+from repro.texture.address import BLEND_ONE, generate_addresses, mip_dimensions, wrap_coordinate
+from repro.texture.formats import (
+    TexFilter,
+    TexFormat,
+    TexWrap,
+    decode_texel,
+    encode_texel,
+    pack_rgba8,
+    texel_size,
+    unpack_rgba8,
+)
+from repro.texture.sampler import TextureSampler, TextureState, blend_quad
+from repro.texture.unit import TextureUnit
+
+rgba = st.tuples(*[st.integers(min_value=0, max_value=255)] * 4)
+
+
+# -- formats ---------------------------------------------------------------------------
+
+
+@given(rgba)
+def test_rgba8_roundtrip(color):
+    assert decode_texel(TexFormat.RGBA8, encode_texel(TexFormat.RGBA8, color)) == color
+    assert unpack_rgba8(pack_rgba8(color)) == color
+
+
+@given(rgba)
+def test_lossy_formats_preserve_top_bits(color):
+    decoded = decode_texel(TexFormat.RGB565, encode_texel(TexFormat.RGB565, color))
+    assert abs(decoded[0] - color[0]) <= 8
+    assert abs(decoded[1] - color[1]) <= 4
+    assert abs(decoded[2] - color[2]) <= 8
+    assert decoded[3] == 255
+    decoded4 = decode_texel(TexFormat.RGBA4, encode_texel(TexFormat.RGBA4, color))
+    assert all(abs(decoded4[i] - color[i]) <= 16 for i in range(4))
+
+
+def test_r8_and_l8a8_formats():
+    assert decode_texel(TexFormat.R8, 0x7F) == (0x7F, 0x7F, 0x7F, 0xFF)
+    assert decode_texel(TexFormat.L8A8, 0x80FF) == (0xFF, 0xFF, 0xFF, 0x80)
+    assert texel_size(TexFormat.RGBA8) == 4
+    assert texel_size(TexFormat.R8) == 1
+    assert texel_size(TexFormat.RGB565) == 2
+
+
+# -- address generation -----------------------------------------------------------------
+
+
+def test_wrap_modes():
+    assert wrap_coordinate(-1, 8, TexWrap.CLAMP) == 0
+    assert wrap_coordinate(9, 8, TexWrap.CLAMP) == 7
+    assert wrap_coordinate(9, 8, TexWrap.REPEAT) == 1
+    assert wrap_coordinate(-1, 8, TexWrap.REPEAT) == 7
+    assert wrap_coordinate(8, 8, TexWrap.MIRROR) == 7
+    assert wrap_coordinate(9, 8, TexWrap.MIRROR) == 6
+
+
+def test_mip_dimensions_clamp_at_one():
+    assert mip_dimensions(5, 4, 0) == (32, 16)
+    assert mip_dimensions(5, 4, 3) == (4, 2)
+    assert mip_dimensions(5, 4, 10) == (1, 1)
+
+
+def test_point_sampling_address():
+    quad = generate_addresses(
+        u=0.5, v=0.25, base=0x1000, width_log2=3, height_log2=3,
+        fmt=TexFormat.RGBA8, wrap=TexWrap.CLAMP, filter_mode=TexFilter.POINT,
+    )
+    # (u, v) = (0.5, 0.25) on an 8x8 texture is texel (4, 2).
+    assert quad.addresses[0] == 0x1000 + (2 * 8 + 4) * 4
+    assert quad.blend_u == 0 and quad.blend_v == 0
+    assert quad.unique_addresses == [quad.addresses[0]]
+
+
+def test_bilinear_quad_and_blend_factors():
+    quad = generate_addresses(
+        u=0.5, v=0.5, base=0, width_log2=2, height_log2=2,
+        fmt=TexFormat.RGBA8, wrap=TexWrap.CLAMP, filter_mode=TexFilter.BILINEAR,
+    )
+    # Texel centre between (1,1) and (2,2) with half-way blends.
+    assert len(set(quad.addresses)) == 4
+    assert quad.blend_u == BLEND_ONE // 2
+    assert quad.blend_v == BLEND_ONE // 2
+
+
+def test_bilinear_clamps_at_border():
+    quad = generate_addresses(
+        u=0.999, v=0.001, base=0, width_log2=2, height_log2=2,
+        fmt=TexFormat.RGBA8, wrap=TexWrap.CLAMP, filter_mode=TexFilter.BILINEAR,
+    )
+    assert len(quad.unique_addresses) <= 2  # x clamped to the last column
+
+
+# -- sampler ----------------------------------------------------------------------------
+
+
+def _checkerboard_memory(width=8, height=8):
+    memory = MainMemory()
+    image = np.zeros((height, width), dtype=np.uint32)
+    image[::2, ::2] = pack_rgba8((255, 255, 255, 255))
+    image[1::2, 1::2] = pack_rgba8((255, 255, 255, 255))
+    memory.write_bytes(0x2000, image.astype("<u4").tobytes())
+    return memory, image
+
+
+def _state(width=8, height=8, filter_mode=TexFilter.BILINEAR):
+    return TextureState(
+        address=0x2000,
+        width_log2=width.bit_length() - 1,
+        height_log2=height.bit_length() - 1,
+        fmt=TexFormat.RGBA8,
+        wrap=TexWrap.CLAMP,
+        filter_mode=filter_mode,
+        mip_offsets=[0] * 12,
+    )
+
+
+def test_point_sampling_returns_exact_texel():
+    memory, image = _checkerboard_memory()
+    sampler = TextureSampler(memory)
+    state = _state(filter_mode=TexFilter.POINT)
+    color = sampler.sample(state, u=(2 + 0.5) / 8, v=(4 + 0.5) / 8, lod=0)
+    assert color == int(image[4, 2])
+
+
+def test_bilinear_between_black_and_white_is_gray():
+    memory = MainMemory()
+    white = pack_rgba8((255, 255, 255, 255))
+    memory.load_words(0x3000, [0, white, 0, white])  # 2x2 texture rows: (0, w), (0, w)
+    state = TextureState(
+        address=0x3000, width_log2=1, height_log2=1,
+        fmt=TexFormat.RGBA8, wrap=TexWrap.CLAMP, filter_mode=TexFilter.BILINEAR,
+        mip_offsets=[0] * 12,
+    )
+    sampler = TextureSampler(memory)
+    color = sampler.sample(state, u=0.5, v=0.5, lod=0)
+    r, g, b, a = unpack_rgba8(color)
+    assert abs(r - 127) <= 1 and abs(g - 127) <= 1 and abs(b - 127) <= 1
+
+
+def test_blend_quad_weights():
+    texels = [(0, 0, 0, 0), (255, 255, 255, 255), (0, 0, 0, 0), (255, 255, 255, 255)]
+    color = blend_quad(texels, blend_u=BLEND_ONE // 2, blend_v=0)
+    assert abs(color[0] - 127) <= 1
+    color_full = blend_quad(texels, blend_u=BLEND_ONE - 1, blend_v=0)
+    assert color_full[0] >= 253
+
+
+def test_state_from_csrs_roundtrip():
+    csr = CsrFile(core_id=0, num_warps=4, num_threads=4, num_cores=1)
+    csr.write(tex_csr(0, TexCSR.ADDR), 0x1234)
+    csr.write(tex_csr(0, TexCSR.WIDTH), 5)
+    csr.write(tex_csr(0, TexCSR.HEIGHT), 6)
+    csr.write(tex_csr(0, TexCSR.FORMAT), int(TexFormat.RGB565))
+    csr.write(tex_csr(0, TexCSR.WRAP), int(TexWrap.REPEAT))
+    csr.write(tex_csr(0, TexCSR.FILTER), int(TexFilter.POINT))
+    csr.write(tex_csr(0, TexCSR.MIPOFF, 1), 0x400)
+    state = TextureState.from_csrs(csr, 0)
+    assert state.address == 0x1234
+    assert (state.width_log2, state.height_log2) == (5, 6)
+    assert state.fmt == TexFormat.RGB565
+    assert state.wrap == TexWrap.REPEAT
+    assert state.filter_mode == TexFilter.POINT
+    assert state.mip_base(1) == 0x1234 + 0x400
+    assert state.max_lod == 6
+
+
+# -- texture unit ---------------------------------------------------------------------------
+
+
+def _configured_unit():
+    memory, image = _checkerboard_memory()
+    csr = CsrFile(core_id=0, num_warps=4, num_threads=4, num_cores=1)
+    csr.write(tex_csr(0, TexCSR.ADDR), 0x2000)
+    csr.write(tex_csr(0, TexCSR.WIDTH), 3)
+    csr.write(tex_csr(0, TexCSR.HEIGHT), 3)
+    csr.write(tex_csr(0, TexCSR.FORMAT), int(TexFormat.RGBA8))
+    csr.write(tex_csr(0, TexCSR.WRAP), int(TexWrap.CLAMP))
+    csr.write(tex_csr(0, TexCSR.FILTER), int(TexFilter.BILINEAR))
+    return TextureUnit(memory), csr, image
+
+
+def test_texture_unit_dedups_across_threads():
+    unit, csr, _ = _configured_unit()
+    # All four threads sample the same coordinate -> one unique quad.
+    operand = (float_to_bits(0.5), float_to_bits(0.5), 0)
+    result = unit.sample_warp(csr, 0, [operand] * 4)
+    assert result.total_addresses == 16
+    assert len(result.unique_addresses) == 4
+    assert result.dedup_savings == 12
+    assert len(result.colors) == 4
+    assert len(set(result.colors)) == 1
+
+
+def test_texture_unit_skips_inactive_threads():
+    unit, csr, _ = _configured_unit()
+    operand = (float_to_bits(0.25), float_to_bits(0.25), 0)
+    result = unit.sample_warp(csr, 0, [operand, None, operand, None])
+    assert result.colors[1] == 0 and result.colors[3] == 0
+    assert result.colors[0] == result.colors[2]
+
+
+def test_texture_unit_issue_latency_positive():
+    unit, _, _ = _configured_unit()
+    assert unit.issue_latency(4) >= 1

@@ -1,0 +1,74 @@
+"""Tests for the cycle-level (SIMX) timing behaviour."""
+
+import pytest
+
+from repro.common.config import CacheConfig, MemoryConfig, VortexConfig
+from repro.kernels import SgemmKernel, VecAddKernel
+from repro.runtime.device import VortexDevice
+
+
+def _run(kernel_cls, config, size=64):
+    device = VortexDevice(config, driver="simx")
+    run = kernel_cls().run(device, size=size)
+    assert run.passed
+    return run.report
+
+
+def test_ipc_bounded_by_thread_count():
+    config = VortexConfig()
+    report = _run(VecAddKernel, config)
+    assert 0 < report.ipc <= config.core.num_threads
+
+
+def test_more_warps_hide_memory_latency():
+    slow_memory = MemoryConfig(latency=150, bandwidth=1)
+    few_warps = VortexConfig(memory=slow_memory).with_warps_threads(1, 4)
+    many_warps = VortexConfig(memory=slow_memory).with_warps_threads(8, 4)
+    assert _run(VecAddKernel, many_warps).ipc > _run(VecAddKernel, few_warps).ipc
+
+
+def test_higher_memory_latency_slows_execution():
+    fast = VortexConfig(memory=MemoryConfig(latency=10, bandwidth=1))
+    slow = VortexConfig(memory=MemoryConfig(latency=400, bandwidth=1))
+    assert _run(VecAddKernel, slow).cycles > _run(VecAddKernel, fast).cycles
+
+
+def test_more_cores_reduce_cycles_for_compute_kernel():
+    single = VortexConfig(num_cores=1)
+    quad = VortexConfig(num_cores=4)
+    single_cycles = _run(SgemmKernel, single, size=16 * 16).cycles
+    quad_cycles = _run(SgemmKernel, quad, size=16 * 16).cycles
+    assert quad_cycles < single_cycles
+    # Aggregate IPC should also rise with the core count.
+    assert _run(SgemmKernel, quad, size=16 * 16).ipc > _run(SgemmKernel, single, size=16 * 16).ipc
+
+
+def test_scoreboard_and_cache_counters_populated():
+    report = _run(SgemmKernel, VortexConfig(), size=8 * 8)
+    core = report.counters["core0"]
+    assert core["scoreboard_stalls"] > 0
+    assert core["loads"] > 0
+    dcache = report.counters["dcache0"]
+    assert dcache["attempts"] >= dcache["accepted"] > 0
+
+
+def test_more_virtual_ports_do_not_hurt_performance():
+    base = VortexConfig(dcache=CacheConfig(size=16 * 1024, num_banks=4, num_ports=1))
+    ported = base.with_dcache_ports(4)
+    cycles_1p = _run(SgemmKernel, base, size=12 * 12).cycles
+    cycles_4p = _run(SgemmKernel, ported, size=12 * 12).cycles
+    assert cycles_4p <= cycles_1p * 1.02
+
+
+def test_dcache_bank_utilization_reported():
+    report = _run(VecAddKernel, VortexConfig(), size=128)
+    dcache = report.counters["dcache0"]
+    total = dcache["accepted"] + dcache.get("bank_conflicts", 0)
+    assert total > 0
+
+
+def test_report_summary_format():
+    report = _run(VecAddKernel, VortexConfig(), size=32)
+    text = report.summary()
+    assert "simx" in text and "IPC" in text
+    assert report.warp_ipc <= report.ipc
