@@ -1,0 +1,125 @@
+"""Performance smoke benchmark: vectorized vs scalar FUNCSIM wall-clock.
+
+Runs ``vecadd`` and ``sgemm`` on both functional engines across a few
+warp/thread geometries, interleaving scalar and vector repetitions
+(best-of-N) so machine noise hits both sides equally, checks that the
+architectural results are bit-identical, and records everything into
+``BENCH_engine.json`` at the repository root.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py [--reps N] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.common.config import VortexConfig
+from repro.kernels import KERNELS
+from repro.runtime.device import VortexDevice
+
+#: (kernel, problem size) pairs measured by the smoke benchmark.
+WORKLOADS = (("vecadd", 8192), ("sgemm", 24 * 24))
+
+#: Warp/thread geometries: the paper's 4W-4T baseline plus wider Table-3
+#: style points where lane-parallel execution shines.
+GEOMETRIES = ((4, 4), (4, 8), (8, 8))
+
+
+def _architectural_state(device):
+    cores = device.driver.processor.cores
+    warps = [
+        (warp.regs._int_regs.copy(), warp.regs._fp_regs.copy(), warp.instructions)
+        for core in cores
+        for warp in core.warps
+    ]
+    return warps, device.memory.page_snapshot()
+
+
+def _run_once(driver, kernel, size, warps, threads):
+    config = VortexConfig().with_warps_threads(warps, threads)
+    device = VortexDevice(config, driver=driver)
+    start = time.perf_counter()
+    run = KERNELS[kernel]().run(device, size=size)
+    wall = time.perf_counter() - start
+    if not run.passed:
+        raise AssertionError(f"{kernel} failed verification on {driver}")
+    return wall, run.report, _architectural_state(device)
+
+
+def measure(kernel, size, warps, threads, reps):
+    scalar_best = vector_best = float("inf")
+    scalar_state = vector_state = None
+    report = None
+    for _ in range(reps):
+        wall, _, scalar_state = _run_once("funcsim-scalar", kernel, size, warps, threads)
+        scalar_best = min(scalar_best, wall)
+        wall, report, vector_state = _run_once("funcsim", kernel, size, warps, threads)
+        vector_best = min(vector_best, wall)
+
+    identical = scalar_state[1] == vector_state[1] and all(
+        np.array_equal(s[0], v[0]) and np.array_equal(s[1], v[1]) and s[2] == v[2]
+        for s, v in zip(scalar_state[0], vector_state[0])
+    )
+    return {
+        "kernel": kernel,
+        "size": size,
+        "warps": warps,
+        "threads": threads,
+        "instructions": report.instructions,
+        "scalar_seconds": round(scalar_best, 4),
+        "vector_seconds": round(vector_best, 4),
+        "speedup": round(scalar_best / vector_best, 2),
+        "identical_architectural_state": bool(identical),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--reps", type=int, default=5, help="repetitions per engine (best-of)")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_engine.json",
+    )
+    args = parser.parse_args()
+    if args.reps < 1:
+        parser.error("--reps must be at least 1")
+
+    results = []
+    for kernel, size in WORKLOADS:
+        for warps, threads in GEOMETRIES:
+            row = measure(kernel, size, warps, threads, args.reps)
+            results.append(row)
+            print(
+                f"{kernel:8s} size={size:6d} {warps}W-{threads}T "
+                f"scalar={row['scalar_seconds']:7.3f}s vector={row['vector_seconds']:7.3f}s "
+                f"speedup={row['speedup']:5.2f}x identical={row['identical_architectural_state']}"
+            )
+
+    baseline = [r for r in results if (r["warps"], r["threads"]) == (4, 4)]
+    payload = {
+        "benchmark": "funcsim vectorized engine vs scalar reference (best-of-%d)" % args.reps,
+        "generated_by": "benchmarks/perf_smoke.py",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "results": results,
+        "baseline_4w4t_speedups": {r["kernel"]: r["speedup"] for r in baseline},
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {args.out}")
+
+    failed = [r for r in results if not r["identical_architectural_state"]]
+    if failed:
+        raise SystemExit(f"architectural mismatch in: {[r['kernel'] for r in failed]}")
+
+
+if __name__ == "__main__":
+    main()

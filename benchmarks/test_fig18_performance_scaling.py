@@ -4,9 +4,14 @@ The paper reports aggregate IPC for the Rodinia kernels at increasing core
 counts: compute-bounded kernels scale almost linearly, memory-bounded ones
 scale less, and nearn behaves compute-bound because of its long-latency
 square root.
+
+The sweep — every kernel at every core count — goes through the batched
+:class:`repro.engine.session.Session` layer: all (kernel, cores) jobs are
+queued and executed concurrently on a worker pool.
 """
 
-from benchmarks.harness import print_table, run_kernel
+from benchmarks.harness import make_config, print_table
+from repro.engine.session import KernelJob, Session
 from repro.kernels import COMPUTE_BOUND, MEMORY_BOUND
 
 CORE_COUNTS = (1, 2, 4, 8)
@@ -26,11 +31,24 @@ FIG18_SIZES = {
 
 
 def _collect():
-    results = {}
+    session = Session()
     for kernel in FIG18_KERNELS:
         for cores in CORE_COUNTS:
-            report = run_kernel(kernel, num_cores=cores, size=FIG18_SIZES[kernel])
-            results[(kernel, cores)] = report.ipc
+            session.submit(
+                KernelJob(
+                    kernel=kernel,
+                    config=make_config(num_cores=cores),
+                    driver="simx",
+                    size=FIG18_SIZES[kernel],
+                    label=f"{kernel}x{cores}",
+                )
+            )
+    batch = session.run_batch()
+    print(batch.summary())
+    results = {}
+    for result in batch.results:
+        assert result.ok, f"{result.job.describe()}: {result.error or 'failed verification'}"
+        results[(result.job.kernel, result.job.config.num_cores)] = result.report.ipc
     return results
 
 

@@ -20,6 +20,7 @@ Typical entry points:
 """
 
 from repro.common.config import CacheConfig, CoreConfig, MemoryConfig, TextureConfig, VortexConfig
+from repro.engine.session import BatchReport, JobQueue, KernelJob, Session
 from repro.runtime.device import VortexDevice
 from repro.runtime.report import ExecutionReport
 
@@ -33,5 +34,9 @@ __all__ = [
     "VortexConfig",
     "VortexDevice",
     "ExecutionReport",
+    "Session",
+    "JobQueue",
+    "KernelJob",
+    "BatchReport",
     "__version__",
 ]

@@ -1,109 +1,298 @@
 """Integer ALU semantics (RV32I and RV32M).
 
-All helpers take and return unsigned 32-bit integers (Python ints in
+All scalar helpers take and return unsigned 32-bit integers (Python ints in
 ``[0, 2**32)``); signedness is applied internally per instruction exactly as
 the RISC-V specification requires (e.g. ``div`` rounds toward zero, divide
 by zero returns all-ones, ``INT_MIN / -1`` returns ``INT_MIN``).
+
+Two forms are exposed per operation class:
+
+* per-mnemonic scalar tables (``ALU_OPS``, ``MUL_OPS``, ``DIV_OPS``,
+  ``BRANCH_OPS``) used by the functional emulator's precomputed handler
+  tables — one dictionary lookup replaces the old if-chains on the hot path;
+* lane-vector forms (``alu_op_vec`` …) operating on whole-warp numpy
+  ``uint32`` lane vectors, used by the vectorized execution engine.
 """
 
 from __future__ import annotations
 
+from typing import Callable, Dict
+
+import numpy as np
+
 from repro.common.bitutils import to_int32, to_uint32
 
 _INT_MIN = -(1 << 31)
+_U32_ONES = np.uint32(0xFFFFFFFF)
 
 
 def _shamt(value: int) -> int:
     return value & 0x1F
 
 
+# -- scalar per-mnemonic tables --------------------------------------------------------
+
+def _slt(lhs: int, rhs: int) -> int:
+    return 1 if to_int32(lhs) < to_int32(rhs) else 0
+
+
+def _sra(lhs: int, rhs: int) -> int:
+    return to_uint32(to_int32(lhs) >> _shamt(rhs))
+
+
+#: Base-ISA register/immediate ALU operations on uint32 scalars.
+ALU_OPS: Dict[str, Callable[[int, int], int]] = {
+    "add": lambda a, b: (a + b) & 0xFFFFFFFF,
+    "addi": lambda a, b: (a + b) & 0xFFFFFFFF,
+    "sub": lambda a, b: (a - b) & 0xFFFFFFFF,
+    "sll": lambda a, b: (a << (b & 0x1F)) & 0xFFFFFFFF,
+    "slli": lambda a, b: (a << (b & 0x1F)) & 0xFFFFFFFF,
+    "slt": _slt,
+    "slti": _slt,
+    "sltu": lambda a, b: 1 if a < b else 0,
+    "sltiu": lambda a, b: 1 if a < b else 0,
+    "xor": lambda a, b: a ^ b,
+    "xori": lambda a, b: a ^ b,
+    "srl": lambda a, b: a >> (b & 0x1F),
+    "srli": lambda a, b: a >> (b & 0x1F),
+    "sra": _sra,
+    "srai": _sra,
+    "or": lambda a, b: a | b,
+    "ori": lambda a, b: a | b,
+    "and": lambda a, b: a & b,
+    "andi": lambda a, b: a & b,
+}
+
+
+def _mul(lhs_s: int, rhs_s: int, lhs_u: int, rhs_u: int) -> int:
+    return to_uint32(lhs_s * rhs_s)
+
+
+MUL_OPS: Dict[str, Callable[[int, int, int, int], int]] = {
+    "mul": _mul,
+    "mulh": lambda ls, rs, lu, ru: to_uint32((ls * rs) >> 32),
+    "mulhsu": lambda ls, rs, lu, ru: to_uint32((ls * ru) >> 32),
+    "mulhu": lambda ls, rs, lu, ru: to_uint32((lu * ru) >> 32),
+}
+
+
+def _div(lhs_s: int, rhs_s: int, lhs_u: int, rhs_u: int) -> int:
+    if rhs_s == 0:
+        return 0xFFFFFFFF
+    if lhs_s == _INT_MIN and rhs_s == -1:
+        return to_uint32(_INT_MIN)
+    return to_uint32(int(lhs_s / rhs_s))  # truncate toward zero
+
+
+def _rem(lhs_s: int, rhs_s: int, lhs_u: int, rhs_u: int) -> int:
+    if rhs_s == 0:
+        return to_uint32(lhs_s)
+    if lhs_s == _INT_MIN and rhs_s == -1:
+        return 0
+    return to_uint32(lhs_s - int(lhs_s / rhs_s) * rhs_s)
+
+
+DIV_OPS: Dict[str, Callable[[int, int, int, int], int]] = {
+    "div": _div,
+    "divu": lambda ls, rs, lu, ru: 0xFFFFFFFF if ru == 0 else lu // ru,
+    "rem": _rem,
+    "remu": lambda ls, rs, lu, ru: lu if ru == 0 else lu % ru,
+}
+
+
+BRANCH_OPS: Dict[str, Callable[[int, int], bool]] = {
+    "beq": lambda a, b: a == b,
+    "bne": lambda a, b: a != b,
+    "blt": lambda a, b: to_int32(a) < to_int32(b),
+    "bge": lambda a, b: to_int32(a) >= to_int32(b),
+    "bltu": lambda a, b: a < b,
+    "bgeu": lambda a, b: a >= b,
+}
+
+
+# -- scalar wrappers (stable public API) ------------------------------------------------
+
 def alu_op(mnemonic: str, lhs: int, rhs: int) -> int:
     """Execute a base-ISA register/immediate ALU operation."""
-    lhs = to_uint32(lhs)
-    rhs = to_uint32(rhs)
-    if mnemonic in ("add", "addi"):
-        return to_uint32(lhs + rhs)
-    if mnemonic == "sub":
-        return to_uint32(lhs - rhs)
-    if mnemonic in ("sll", "slli"):
-        return to_uint32(lhs << _shamt(rhs))
-    if mnemonic in ("slt", "slti"):
-        return 1 if to_int32(lhs) < to_int32(rhs) else 0
-    if mnemonic in ("sltu", "sltiu"):
-        return 1 if lhs < rhs else 0
-    if mnemonic in ("xor", "xori"):
-        return lhs ^ rhs
-    if mnemonic in ("srl", "srli"):
-        return lhs >> _shamt(rhs)
-    if mnemonic in ("sra", "srai"):
-        return to_uint32(to_int32(lhs) >> _shamt(rhs))
-    if mnemonic in ("or", "ori"):
-        return lhs | rhs
-    if mnemonic in ("and", "andi"):
-        return lhs & rhs
-    raise ValueError(f"not an ALU operation: {mnemonic}")
+    op = ALU_OPS.get(mnemonic)
+    if op is None:
+        raise ValueError(f"not an ALU operation: {mnemonic}")
+    return op(to_uint32(lhs), to_uint32(rhs))
 
 
 def mul_op(mnemonic: str, lhs: int, rhs: int) -> int:
     """Execute an RV32M multiply operation."""
+    op = MUL_OPS.get(mnemonic)
+    if op is None:
+        raise ValueError(f"not a multiply operation: {mnemonic}")
     lhs_u = to_uint32(lhs)
     rhs_u = to_uint32(rhs)
-    lhs_s = to_int32(lhs_u)
-    rhs_s = to_int32(rhs_u)
-    if mnemonic == "mul":
-        return to_uint32(lhs_s * rhs_s)
-    if mnemonic == "mulh":
-        return to_uint32((lhs_s * rhs_s) >> 32)
-    if mnemonic == "mulhsu":
-        return to_uint32((lhs_s * rhs_u) >> 32)
-    if mnemonic == "mulhu":
-        return to_uint32((lhs_u * rhs_u) >> 32)
-    raise ValueError(f"not a multiply operation: {mnemonic}")
+    return op(to_int32(lhs_u), to_int32(rhs_u), lhs_u, rhs_u)
 
 
 def div_op(mnemonic: str, lhs: int, rhs: int) -> int:
     """Execute an RV32M divide/remainder operation (RISC-V corner cases)."""
+    op = DIV_OPS.get(mnemonic)
+    if op is None:
+        raise ValueError(f"not a divide operation: {mnemonic}")
     lhs_u = to_uint32(lhs)
     rhs_u = to_uint32(rhs)
-    lhs_s = to_int32(lhs_u)
-    rhs_s = to_int32(rhs_u)
-    if mnemonic == "div":
-        if rhs_s == 0:
-            return to_uint32(-1)
-        if lhs_s == _INT_MIN and rhs_s == -1:
-            return to_uint32(_INT_MIN)
-        return to_uint32(int(lhs_s / rhs_s))  # truncate toward zero
-    if mnemonic == "divu":
-        if rhs_u == 0:
-            return to_uint32(-1)
-        return lhs_u // rhs_u
-    if mnemonic == "rem":
-        if rhs_s == 0:
-            return to_uint32(lhs_s)
-        if lhs_s == _INT_MIN and rhs_s == -1:
-            return 0
-        return to_uint32(lhs_s - int(lhs_s / rhs_s) * rhs_s)
-    if mnemonic == "remu":
-        if rhs_u == 0:
-            return lhs_u
-        return lhs_u % rhs_u
-    raise ValueError(f"not a divide operation: {mnemonic}")
+    return op(to_int32(lhs_u), to_int32(rhs_u), lhs_u, rhs_u)
 
 
 def branch_taken(mnemonic: str, lhs: int, rhs: int) -> bool:
     """Evaluate a conditional-branch comparison."""
-    lhs_u = to_uint32(lhs)
-    rhs_u = to_uint32(rhs)
-    if mnemonic == "beq":
-        return lhs_u == rhs_u
-    if mnemonic == "bne":
-        return lhs_u != rhs_u
-    if mnemonic == "blt":
-        return to_int32(lhs_u) < to_int32(rhs_u)
-    if mnemonic == "bge":
-        return to_int32(lhs_u) >= to_int32(rhs_u)
-    if mnemonic == "bltu":
-        return lhs_u < rhs_u
-    if mnemonic == "bgeu":
-        return lhs_u >= rhs_u
-    raise ValueError(f"not a branch: {mnemonic}")
+    op = BRANCH_OPS.get(mnemonic)
+    if op is None:
+        raise ValueError(f"not a branch: {mnemonic}")
+    return op(to_uint32(lhs), to_uint32(rhs))
+
+
+# -- lane-vector forms -----------------------------------------------------------------
+#
+# Operands and results are numpy uint32 arrays holding one value per active
+# lane.  Semantics are bit-identical to the scalar tables above: wrap-around
+# arithmetic, RISC-V shift-amount masking, signed comparisons through an
+# int32 reinterpretation, and the div/rem corner cases.
+
+def _as_i32(values: np.ndarray) -> np.ndarray:
+    """Reinterpret a uint32 lane vector as int32 (no copy)."""
+    return values.view(np.int32)
+
+
+def _vec_sll(lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    return np.left_shift(lhs, np.bitwise_and(rhs, np.uint32(0x1F)))
+
+
+def _vec_srl(lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    return np.right_shift(lhs, np.bitwise_and(rhs, np.uint32(0x1F)))
+
+
+def _vec_sra(lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    shifted = np.right_shift(_as_i32(lhs), np.bitwise_and(rhs, np.uint32(0x1F)).astype(np.int32))
+    return shifted.view(np.uint32)
+
+
+def _vec_slt(lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    return (np.less(_as_i32(lhs), _as_i32(rhs))).astype(np.uint32)
+
+
+def _vec_sltu(lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    return np.less(lhs, rhs).astype(np.uint32)
+
+
+ALU_VECTOR_OPS: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "add": np.add,
+    "addi": np.add,
+    "sub": np.subtract,
+    "sll": _vec_sll,
+    "slli": _vec_sll,
+    "slt": _vec_slt,
+    "slti": _vec_slt,
+    "sltu": _vec_sltu,
+    "sltiu": _vec_sltu,
+    "xor": np.bitwise_xor,
+    "xori": np.bitwise_xor,
+    "srl": _vec_srl,
+    "srli": _vec_srl,
+    "sra": _vec_sra,
+    "srai": _vec_sra,
+    "or": np.bitwise_or,
+    "ori": np.bitwise_or,
+    "and": np.bitwise_and,
+    "andi": np.bitwise_and,
+}
+
+
+def alu_op_vec(mnemonic: str, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Vectorized base-ISA ALU operation over uint32 lane vectors."""
+    op = ALU_VECTOR_OPS.get(mnemonic)
+    if op is None:
+        raise ValueError(f"not an ALU operation: {mnemonic}")
+    result = op(lhs, rhs)
+    return result if result.dtype == np.uint32 else result.astype(np.uint32)
+
+
+def _vec_mulh_generic(lhs: np.ndarray, rhs: np.ndarray, lhs_signed: bool, rhs_signed: bool) -> np.ndarray:
+    wide_l = _as_i32(lhs).astype(np.int64) if lhs_signed else lhs.astype(np.int64)
+    wide_r = _as_i32(rhs).astype(np.int64) if rhs_signed else rhs.astype(np.int64)
+    return ((wide_l * wide_r) >> 32).astype(np.uint32)
+
+
+MUL_VECTOR_OPS: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "mul": np.multiply,  # uint32 wrap-around == signed low word
+    "mulh": lambda l, r: _vec_mulh_generic(l, r, True, True),
+    "mulhsu": lambda l, r: _vec_mulh_generic(l, r, True, False),
+    "mulhu": lambda l, r: _vec_mulh_generic(l, r, False, False),
+}
+
+
+def mul_op_vec(mnemonic: str, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Vectorized RV32M multiply over uint32 lane vectors."""
+    op = MUL_VECTOR_OPS.get(mnemonic)
+    if op is None:
+        raise ValueError(f"not a multiply operation: {mnemonic}")
+    return op(lhs, rhs)
+
+
+def _vec_div(lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    ls = _as_i32(lhs).astype(np.int64)
+    rs = _as_i32(rhs).astype(np.int64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        quotient = np.where(rs != 0, np.fix(ls / np.where(rs != 0, rs, 1)), -1)
+    quotient = np.where((ls == _INT_MIN) & (rs == -1), _INT_MIN, quotient)
+    return quotient.astype(np.int64).astype(np.uint32)
+
+
+def _vec_divu(lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    safe = np.where(rhs != 0, rhs, np.uint32(1))
+    return np.where(rhs != 0, lhs // safe, _U32_ONES).astype(np.uint32)
+
+
+def _vec_rem(lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    ls = _as_i32(lhs).astype(np.int64)
+    rs = _as_i32(rhs).astype(np.int64)
+    quotient = np.fix(ls / np.where(rs != 0, rs, 1)).astype(np.int64)
+    remainder = ls - quotient * rs
+    remainder = np.where(rs == 0, ls, remainder)
+    remainder = np.where((ls == _INT_MIN) & (rs == -1), 0, remainder)
+    return remainder.astype(np.uint32)
+
+
+def _vec_remu(lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    safe = np.where(rhs != 0, rhs, np.uint32(1))
+    return np.where(rhs != 0, lhs % safe, lhs).astype(np.uint32)
+
+
+DIV_VECTOR_OPS: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "div": _vec_div,
+    "divu": _vec_divu,
+    "rem": _vec_rem,
+    "remu": _vec_remu,
+}
+
+
+def div_op_vec(mnemonic: str, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Vectorized RV32M divide/remainder over uint32 lane vectors."""
+    op = DIV_VECTOR_OPS.get(mnemonic)
+    if op is None:
+        raise ValueError(f"not a divide operation: {mnemonic}")
+    return op(lhs, rhs)
+
+
+BRANCH_VECTOR_OPS: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "beq": np.equal,
+    "bne": np.not_equal,
+    "blt": lambda a, b: np.less(_as_i32(a), _as_i32(b)),
+    "bge": lambda a, b: np.greater_equal(_as_i32(a), _as_i32(b)),
+    "bltu": np.less,
+    "bgeu": np.greater_equal,
+}
+
+
+def branch_taken_vec(mnemonic: str, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Vectorized conditional-branch comparison: one bool per lane."""
+    op = BRANCH_VECTOR_OPS.get(mnemonic)
+    if op is None:
+        raise ValueError(f"not a branch: {mnemonic}")
+    return op(lhs, rhs)

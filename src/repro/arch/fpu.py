@@ -18,7 +18,13 @@ _F32_MIN_INT = -(1 << 31)
 
 
 def _round32(value: float) -> int:
-    """Round a Python float to the nearest binary32 and return its bits."""
+    """Round a Python float to the nearest binary32 and return its bits.
+
+    NaN results are canonicalized (0x7FC00000), as RISC-V mandates for
+    every arithmetic operation producing NaN.
+    """
+    if value != value:  # NaN
+        return _canonical_nan()
     return float_to_bits(value)
 
 
@@ -127,3 +133,156 @@ def _float_to_int(value: float, signed: bool) -> int:
     if truncated >= 0xFFFFFFFF:
         return 0xFFFFFFFF
     return int(truncated)
+
+
+# -- lane-vector forms -----------------------------------------------------------------
+#
+# Operands are numpy uint32 lane vectors holding raw binary32 bit patterns.
+# Every operation mirrors the scalar path above bit for bit.  The scalar
+# path computes in float64 (Python floats) and rounds once to binary32; for
+# add/sub/mul the float64 intermediate is exact, so rounding it to binary32
+# equals the correctly-rounded binary32 operation and the vector form
+# computes directly in float32.  Division, square root and the fused
+# multiply-add family keep the float64 intermediate (the scalar path's
+# double rounding is part of the reference semantics), and the explicit
+# special cases (canonical NaN on 0/0, NaN inputs to min/max, saturating
+# conversions) are replicated with masked patches.
+
+import numpy as np  # noqa: E402  (kept local to the vector section)
+
+_CANONICAL_NAN_U32 = np.uint32(0x7FC00000)
+
+
+def _bits_to_f64(bits: np.ndarray) -> np.ndarray:
+    """Reinterpret uint32 lane bits as binary32, widened to float64."""
+    return bits.view(np.float32).astype(np.float64)
+
+
+def _f64_to_bits(values: np.ndarray) -> np.ndarray:
+    """Round float64 lane values to binary32 and return the raw bits."""
+    return values.astype(np.float32).view(np.uint32)
+
+
+def _round_bits(values: np.ndarray) -> np.ndarray:
+    """float32 lane values -> uint32 bits with RISC-V canonical NaNs."""
+    return np.where(np.isnan(values), _CANONICAL_NAN_U32, values.view(np.uint32))
+
+
+def _nan_bits_mask(bits: np.ndarray) -> np.ndarray:
+    exponent = np.bitwise_and(np.right_shift(bits, np.uint32(23)), np.uint32(0xFF))
+    mantissa = np.bitwise_and(bits, np.uint32(0x7FFFFF))
+    return (exponent == 0xFF) & (mantissa != 0)
+
+
+def _vec_fdiv(rs1: np.ndarray, rs2: np.ndarray) -> np.ndarray:
+    a = _bits_to_f64(rs1)
+    b = _bits_to_f64(rs2)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        quotient = _round_bits((a / np.where(b != 0.0, b, 1.0)).astype(np.float32))
+    zero_b = b == 0.0
+    nan_case = zero_b & ((a == 0.0) | np.isnan(a))
+    inf_case = zero_b & ~nan_case
+    signed_inf = _f64_to_bits(np.copysign(np.inf, a) * np.copysign(1.0, b))
+    result = np.where(inf_case, signed_inf, quotient)
+    return np.where(nan_case, _CANONICAL_NAN_U32, result).astype(np.uint32)
+
+
+def _vec_fsqrt(rs1: np.ndarray, rs2: np.ndarray) -> np.ndarray:
+    a = _bits_to_f64(rs1)
+    with np.errstate(invalid="ignore"):
+        root = _round_bits(np.sqrt(np.where(a < 0.0, 0.0, a)).astype(np.float32))
+    return np.where(a < 0.0, _CANONICAL_NAN_U32, root).astype(np.uint32)
+
+
+def _vec_fminmax(rs1: np.ndarray, rs2: np.ndarray, use_max: bool) -> np.ndarray:
+    a = rs1.view(np.float32)
+    b = rs2.view(np.float32)
+    nan_a = np.isnan(a)
+    nan_b = np.isnan(b)
+    picked = np.maximum(a, b) if use_max else np.minimum(a, b)
+    # Python's min/max return the first operand on ties (so fmin(+0,-0) is
+    # rs1), whereas numpy prefers -0/+0; replicate the scalar behaviour.
+    # Selection never rounds, so float32 is exact here.
+    picked = np.where(a == b, a, picked)
+    # maximum/minimum propagate NaN; substitute zeros (the NaN cases are
+    # patched in explicitly afterwards).
+    result = np.where(nan_a | nan_b, np.float32(0.0), picked).view(np.uint32)
+    result = np.where(nan_b & ~nan_a, rs1, result)
+    result = np.where(nan_a & ~nan_b, rs2, result)
+    return np.where(nan_a & nan_b, _CANONICAL_NAN_U32, result).astype(np.uint32)
+
+
+def _vec_fcvt_from_float(rs1: np.ndarray, signed: bool) -> np.ndarray:
+    a = _bits_to_f64(rs1)
+    truncated = np.trunc(np.where(np.isnan(a), 0.0, a))
+    if signed:
+        clipped = np.clip(truncated, float(_F32_MIN_INT), float(_F32_MAX_INT))
+        result = clipped.astype(np.int64).astype(np.uint32)
+        return np.where(np.isnan(a), np.uint32(_F32_MAX_INT), result).astype(np.uint32)
+    clipped = np.clip(truncated, 0.0, float(0xFFFFFFFF))
+    result = clipped.astype(np.int64).astype(np.uint32)
+    return np.where(np.isnan(a), np.uint32(0xFFFFFFFF), result).astype(np.uint32)
+
+
+def _vec_compare(rs1: np.ndarray, rs2: np.ndarray, op) -> np.ndarray:
+    # IEEE comparisons with NaN operands are False, matching the scalar
+    # path's explicit NaN checks; comparisons never round, so float32 is
+    # exact.
+    with np.errstate(invalid="ignore"):
+        return op(rs1.view(np.float32), rs2.view(np.float32)).astype(np.uint32)
+
+
+def _mul64(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Exact float64 product of two binary32 lane vectors."""
+    return np.multiply(a.view(np.float32), b.view(np.float32), dtype=np.float64)
+
+
+_SIGN = np.uint32(0x80000000)
+_MAG = np.uint32(0x7FFFFFFF)
+
+FPU_VECTOR_OPS = {
+    "fadd.s": lambda a, b, c: _round_bits(np.add(a.view(np.float32), b.view(np.float32))),
+    "fsub.s": lambda a, b, c: _round_bits(np.subtract(a.view(np.float32), b.view(np.float32))),
+    "fmul.s": lambda a, b, c: _round_bits(np.multiply(a.view(np.float32), b.view(np.float32))),
+    "fdiv.s": lambda a, b, c: _vec_fdiv(a, b),
+    "fsqrt.s": lambda a, b, c: _vec_fsqrt(a, b),
+    "fmin.s": lambda a, b, c: _vec_fminmax(a, b, use_max=False),
+    "fmax.s": lambda a, b, c: _vec_fminmax(a, b, use_max=True),
+    "fsgnj.s": lambda a, b, c: np.bitwise_or(np.bitwise_and(a, _MAG), np.bitwise_and(b, _SIGN)),
+    "fsgnjn.s": lambda a, b, c: np.bitwise_or(
+        np.bitwise_and(a, _MAG), np.bitwise_and(np.bitwise_xor(b, _SIGN), _SIGN)
+    ),
+    "fsgnjx.s": lambda a, b, c: np.bitwise_xor(a, np.bitwise_and(b, _SIGN)),
+    "feq.s": lambda a, b, c: _vec_compare(a, b, np.equal),
+    "flt.s": lambda a, b, c: _vec_compare(a, b, np.less),
+    "fle.s": lambda a, b, c: _vec_compare(a, b, np.less_equal),
+    "fcvt.w.s": lambda a, b, c: _vec_fcvt_from_float(a, signed=True),
+    "fcvt.wu.s": lambda a, b, c: _vec_fcvt_from_float(a, signed=False),
+    "fcvt.s.w": lambda a, b, c: a.view(np.int32).astype(np.float32).view(np.uint32),
+    "fcvt.s.wu": lambda a, b, c: a.astype(np.float32).view(np.uint32),
+    "fmv.x.w": lambda a, b, c: a.copy(),
+    "fmv.w.x": lambda a, b, c: a.copy(),
+    "fmadd.s": lambda a, b, c: _round_bits(
+        (_mul64(a, b) + c.view(np.float32)).astype(np.float32)
+    ),
+    "fmsub.s": lambda a, b, c: _round_bits(
+        (_mul64(a, b) - c.view(np.float32)).astype(np.float32)
+    ),
+    "fnmsub.s": lambda a, b, c: _round_bits(
+        (c.view(np.float32) - _mul64(a, b)).astype(np.float32)
+    ),
+    # Note operation order: -(a*b) - c, not -((a*b) + c) — they differ for
+    # signed zeros.
+    "fnmadd.s": lambda a, b, c: _round_bits(
+        (np.negative(_mul64(a, b)) - c.view(np.float32)).astype(np.float32)
+    ),
+}
+
+
+def fpu_op_vec(mnemonic: str, rs1: np.ndarray, rs2: np.ndarray, rs3: np.ndarray) -> np.ndarray:
+    """Vectorized floating-point operation over raw-binary32 lane vectors."""
+    op = FPU_VECTOR_OPS.get(mnemonic)
+    if op is None:
+        raise ValueError(f"not a floating-point operation: {mnemonic}")
+    with np.errstate(all="ignore"):
+        return op(rs1, rs2, rs3)

@@ -15,7 +15,7 @@ from typing import List, Optional
 from repro.common.config import VortexConfig
 from repro.common.perf import PerfCounters
 from repro.core.barrier import BarrierTable, is_global_barrier
-from repro.core.emulator import EmulationError, StepResult, WarpEmulator
+from repro.core.emulator import EmulationError, SimulationLimitExceeded, StepResult, WarpEmulator
 from repro.core.warp import Warp
 from repro.arch.csr import CsrFile
 from repro.texture.unit import TextureUnit
@@ -23,6 +23,9 @@ from repro.texture.unit import TextureUnit
 
 class SimtCore:
     """One Vortex core executing at instruction (functional) granularity."""
+
+    #: Emulator to instantiate; the vectorized engine substitutes its own.
+    emulator_cls = WarpEmulator
 
     def __init__(
         self,
@@ -49,7 +52,7 @@ class SimtCore:
         self.tex_unit = TextureUnit(memory, config.texture) if config.texture.enabled else None
         self.barriers = BarrierTable(core_cfg.num_barriers)
         self.perf = PerfCounters(f"core{core_id}")
-        self.emulator = WarpEmulator(self)
+        self.emulator = self.emulator_cls(self)
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -142,9 +145,11 @@ class SimtCore:
                 executed += 1
                 progressed = True
                 if executed >= max_instructions:
-                    raise EmulationError(
+                    raise SimulationLimitExceeded(
+                        "instructions",
+                        max_instructions,
                         f"core {self.core_id} exceeded the instruction limit "
-                        f"({max_instructions}); possible runaway kernel"
+                        f"({max_instructions}); possible runaway kernel",
                     )
             if not progressed:
                 if self.deadlocked and self.processor is None:

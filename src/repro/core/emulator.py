@@ -9,23 +9,43 @@ on a barrier.  The functional driver uses only the architectural effects;
 the cycle-level driver (SIMX) replays the same emulation inside its
 pipeline model and uses the :class:`StepResult` to charge latencies, cache
 accesses and structural hazards.
+
+Dispatch is through a per-mnemonic handler table precomputed at class
+definition time (one dictionary lookup per instruction), not through
+per-unit if-chains; the vectorized engine in :mod:`repro.engine` extends
+the same class with whole-warp lane plans.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.arch.alu import alu_op, branch_taken, div_op, mul_op
+from repro.arch.alu import ALU_OPS, BRANCH_OPS, div_op, mul_op
 from repro.arch.fpu import fpu_op
 from repro.common.bitutils import sext, to_uint32
 from repro.isa.decoder import DecodedInstruction, decode
-from repro.isa.instructions import ExecUnit
+from repro.isa.instructions import SPEC_BY_MNEMONIC, ExecUnit
 from repro.texture.unit import TexWarpResult
 
 
 class EmulationError(Exception):
     """Raised when a warp executes something the model cannot handle."""
+
+
+class SimulationLimitExceeded(EmulationError):
+    """Raised when a simulation hits its configured run limit.
+
+    Shared by the functional drivers (``max_instructions``) and the
+    cycle-level SIMX driver (``max_cycles``) so callers can catch one typed
+    error regardless of the engine.  ``kind`` is ``"instructions"`` or
+    ``"cycles"``; ``limit`` is the configured bound.
+    """
+
+    def __init__(self, kind: str, limit: int, message: Optional[str] = None):
+        self.kind = kind
+        self.limit = limit
+        super().__init__(message or f"simulation exceeded the {kind} limit ({limit})")
 
 
 @dataclass
@@ -65,6 +85,20 @@ class StepResult:
         return self.instr.mnemonic
 
 
+#: Load mnemonic -> (access size, signed).  ``lw``/``flw`` are word loads.
+_LOAD_SPECS: Dict[str, Tuple[int, bool]] = {
+    "lw": (4, False),
+    "flw": (4, False),
+    "lh": (2, True),
+    "lhu": (2, False),
+    "lb": (1, True),
+    "lbu": (1, False),
+}
+
+#: Store mnemonic -> access size.
+_STORE_SPECS: Dict[str, int] = {"sw": 4, "fsw": 4, "sh": 2, "sb": 1}
+
+
 class WarpEmulator:
     """Executes instructions for the warps of one core."""
 
@@ -92,6 +126,8 @@ class WarpEmulator:
     def invalidate_decode_cache(self) -> None:
         """Drop cached decodes (needed if a new program image is loaded)."""
         self._decode_cache.clear()
+        for warp in getattr(self.core, "warps", ()):
+            warp.plan_cache.clear()
 
     # -- execution --------------------------------------------------------------------
 
@@ -109,7 +145,9 @@ class WarpEmulator:
             tmask=warp.tmask,
             unit=instr.spec.unit,
         )
-        handler = self._HANDLERS.get(instr.spec.unit, WarpEmulator._exec_alu)
+        handler = self._MNEMONIC_HANDLERS.get(instr.mnemonic)
+        if handler is None:
+            raise EmulationError(f"unhandled instruction {instr.mnemonic}")
         handler(self, warp, instr, result)
         warp.pc = result.next_pc
         warp.instructions += 1
@@ -139,47 +177,58 @@ class WarpEmulator:
             raise EmulationError(f"warp {warp.warp_id} has no active threads")
         return active[0]
 
-    # -- per-unit handlers ----------------------------------------------------------------
+    # -- ALU-class handlers ----------------------------------------------------------------
 
-    def _exec_alu(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
-        mnemonic = instr.mnemonic
-        spec = instr.spec
-
-        if spec.is_branch:
-            self._exec_branch(warp, instr, result)
-            return
-        if spec.is_jump:
-            self._exec_jump(warp, instr, result)
-            return
-
+    def _exec_lui(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+        value = to_uint32(instr.imm)
         for thread in warp.active_threads():
-            if mnemonic == "lui":
-                value = to_uint32(instr.imm)
-            elif mnemonic == "auipc":
-                value = to_uint32(result.pc + instr.imm)
-            elif spec.fmt.value == "I":
-                lhs = warp.regs.read_int(thread, instr.rs1)
-                value = alu_op(mnemonic, lhs, to_uint32(instr.imm))
-            elif spec.unit == ExecUnit.MUL:
-                lhs = warp.regs.read_int(thread, instr.rs1)
-                rhs = warp.regs.read_int(thread, instr.rs2)
-                value = mul_op(mnemonic, lhs, rhs)
-            elif spec.unit == ExecUnit.DIV:
-                lhs = warp.regs.read_int(thread, instr.rs1)
-                rhs = warp.regs.read_int(thread, instr.rs2)
-                value = div_op(mnemonic, lhs, rhs)
-            else:
-                lhs = warp.regs.read_int(thread, instr.rs1)
-                rhs = warp.regs.read_int(thread, instr.rs2)
-                value = alu_op(mnemonic, lhs, rhs)
+            self._write_rd(warp, instr, thread, value)
+
+    def _exec_auipc(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+        value = to_uint32(result.pc + instr.imm)
+        for thread in warp.active_threads():
+            self._write_rd(warp, instr, thread, value)
+
+    def _exec_alu_imm(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+        op = ALU_OPS[instr.mnemonic]
+        imm = to_uint32(instr.imm)
+        regs = warp.regs
+        rs1 = instr.rs1
+        for thread in warp.active_threads():
+            self._write_rd(warp, instr, thread, op(regs.read_int(thread, rs1), imm))
+
+    def _exec_alu_reg(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+        op = ALU_OPS[instr.mnemonic]
+        regs = warp.regs
+        rs1, rs2 = instr.rs1, instr.rs2
+        for thread in warp.active_threads():
+            value = op(regs.read_int(thread, rs1), regs.read_int(thread, rs2))
+            self._write_rd(warp, instr, thread, value)
+
+    def _exec_mul(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+        regs = warp.regs
+        for thread in warp.active_threads():
+            value = mul_op(
+                instr.mnemonic, regs.read_int(thread, instr.rs1), regs.read_int(thread, instr.rs2)
+            )
+            self._write_rd(warp, instr, thread, value)
+
+    def _exec_div(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+        regs = warp.regs
+        for thread in warp.active_threads():
+            value = div_op(
+                instr.mnemonic, regs.read_int(thread, instr.rs1), regs.read_int(thread, instr.rs2)
+            )
             self._write_rd(warp, instr, thread, value)
 
     def _exec_branch(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+        op = BRANCH_OPS[instr.mnemonic]
+        regs = warp.regs
         decisions = []
         for thread in warp.active_threads():
-            lhs = warp.regs.read_int(thread, instr.rs1)
-            rhs = warp.regs.read_int(thread, instr.rs2)
-            decisions.append(branch_taken(instr.mnemonic, lhs, rhs))
+            decisions.append(
+                op(regs.read_int(thread, instr.rs1), regs.read_int(thread, instr.rs2))
+            )
         taken = decisions[0]
         if any(decision != taken for decision in decisions):
             result.divergent_branch = True
@@ -201,6 +250,8 @@ class WarpEmulator:
             for thread in warp.active_threads():
                 self._write_rd(warp, instr, thread, return_address)
 
+    # -- FPU ---------------------------------------------------------------------------------
+
     def _exec_fpu(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
         for thread in warp.active_threads():
             rs1 = self._read(warp, thread, instr.rs1, instr.spec.rs1_float)
@@ -209,83 +260,71 @@ class WarpEmulator:
             value = fpu_op(instr.mnemonic, rs1, rs2, rs3)
             self._write_rd(warp, instr, thread, value)
 
-    def _exec_lsu(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+    # -- LSU ---------------------------------------------------------------------------------
+
+    def _exec_load(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
         memory = self.core.memory
-        mnemonic = instr.mnemonic
+        size, signed = _LOAD_SPECS[instr.mnemonic]
         for thread in warp.active_threads():
             base = warp.regs.read_int(thread, instr.rs1)
             address = to_uint32(base + instr.imm)
-            if instr.spec.is_load:
-                if mnemonic in ("lw", "flw"):
-                    value = memory.read_word(address)
-                    size = 4
-                elif mnemonic == "lh":
-                    value = to_uint32(sext(memory.read_half(address), 16))
-                    size = 2
-                elif mnemonic == "lhu":
-                    value = memory.read_half(address)
-                    size = 2
-                elif mnemonic == "lb":
-                    value = to_uint32(sext(memory.read_byte(address), 8))
-                    size = 1
-                elif mnemonic == "lbu":
-                    value = memory.read_byte(address)
-                    size = 1
-                else:
-                    raise EmulationError(f"unhandled load {mnemonic}")
-                self._write_rd(warp, instr, thread, value)
-                result.mem_accesses.append(
-                    MemAccess(thread=thread, address=address, size=size, is_write=False)
-                )
+            if size == 4:
+                value = memory.read_word(address)
+            elif size == 2:
+                value = memory.read_half(address)
             else:
-                value = self._read(warp, thread, instr.rs2, instr.spec.rs2_float)
-                if mnemonic in ("sw", "fsw"):
-                    memory.write_word(address, value)
-                    size = 4
-                elif mnemonic == "sh":
-                    memory.write_half(address, value)
-                    size = 2
-                elif mnemonic == "sb":
-                    memory.write_byte(address, value)
-                    size = 1
-                else:
-                    raise EmulationError(f"unhandled store {mnemonic}")
-                result.mem_accesses.append(
-                    MemAccess(thread=thread, address=address, size=size, is_write=True)
-                )
+                value = memory.read_byte(address)
+            if signed:
+                value = to_uint32(sext(value, size * 8))
+            self._write_rd(warp, instr, thread, value)
+            result.mem_accesses.append(
+                MemAccess(thread=thread, address=address, size=size, is_write=False)
+            )
 
-    def _exec_sfu(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
-        mnemonic = instr.mnemonic
-        if mnemonic in ("csrrw", "csrrs", "csrrc", "csrrwi", "csrrsi", "csrrci"):
-            self._exec_csr(warp, instr, result)
-        elif mnemonic == "tmc":
-            thread = self._first_active_thread(warp)
-            count = warp.regs.read_int(thread, instr.rs1)
-            warp.set_thread_count(count)
-            if not warp.active:
-                result.warp_halted = True
-        elif mnemonic == "wspawn":
-            thread = self._first_active_thread(warp)
-            count = warp.regs.read_int(thread, instr.rs1)
-            target_pc = warp.regs.read_int(thread, instr.rs2)
-            result.spawned_warps = self.core.handle_wspawn(count, target_pc)
-        elif mnemonic == "split":
-            self._exec_split(warp, instr, result)
-        elif mnemonic == "join":
-            self._exec_join(warp, instr, result)
-        elif mnemonic == "bar":
-            thread = self._first_active_thread(warp)
-            barrier_id = warp.regs.read_int(thread, instr.rs1)
-            count = warp.regs.read_int(thread, instr.rs2)
-            stalled = self.core.handle_barrier(warp, barrier_id, count)
-            result.stalled_at_barrier = stalled
-        elif mnemonic == "fence":
-            self.core.handle_fence()
-        elif mnemonic == "ecall":
-            warp.halt()
+    def _exec_store(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+        memory = self.core.memory
+        size = _STORE_SPECS[instr.mnemonic]
+        for thread in warp.active_threads():
+            base = warp.regs.read_int(thread, instr.rs1)
+            address = to_uint32(base + instr.imm)
+            value = self._read(warp, thread, instr.rs2, instr.spec.rs2_float)
+            if size == 4:
+                memory.write_word(address, value)
+            elif size == 2:
+                memory.write_half(address, value)
+            else:
+                memory.write_byte(address, value)
+            result.mem_accesses.append(
+                MemAccess(thread=thread, address=address, size=size, is_write=True)
+            )
+
+    # -- SFU ---------------------------------------------------------------------------------
+
+    def _exec_tmc(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+        thread = self._first_active_thread(warp)
+        count = warp.regs.read_int(thread, instr.rs1)
+        warp.set_thread_count(count)
+        if not warp.active:
             result.warp_halted = True
-        else:
-            raise EmulationError(f"unhandled SFU instruction {mnemonic}")
+
+    def _exec_wspawn(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+        thread = self._first_active_thread(warp)
+        count = warp.regs.read_int(thread, instr.rs1)
+        target_pc = warp.regs.read_int(thread, instr.rs2)
+        result.spawned_warps = self.core.handle_wspawn(count, target_pc)
+
+    def _exec_bar(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+        thread = self._first_active_thread(warp)
+        barrier_id = warp.regs.read_int(thread, instr.rs1)
+        count = warp.regs.read_int(thread, instr.rs2)
+        result.stalled_at_barrier = self.core.handle_barrier(warp, barrier_id, count)
+
+    def _exec_fence(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+        self.core.handle_fence()
+
+    def _exec_ecall(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+        warp.halt()
+        result.warp_halted = True
 
     def _exec_csr(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
         csr_file = self.core.csr
@@ -347,6 +386,8 @@ class WarpEmulator:
             result.next_pc = entry.pc
             result.taken_branch = True
 
+    # -- TEX ---------------------------------------------------------------------------------
+
     def _exec_tex(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
         tex_unit = self.core.tex_unit
         if tex_unit is None:
@@ -364,7 +405,6 @@ class WarpEmulator:
             else:
                 operands.append(None)
         tex_result = tex_unit.sample_warp(self.core.csr, instr.tex_stage, operands)
-        color_index = 0
         for thread in range(warp.num_threads):
             if (warp.tmask >> thread) & 1:
                 warp.regs.write_int(thread, instr.rd, tex_result.colors[thread])
@@ -374,13 +414,54 @@ class WarpEmulator:
                 MemAccess(thread=0, address=address, size=4, is_write=False)
             )
 
-    _HANDLERS = {
-        ExecUnit.ALU: _exec_alu,
-        ExecUnit.MUL: _exec_alu,
-        ExecUnit.DIV: _exec_alu,
-        ExecUnit.FPU: _exec_fpu,
-        ExecUnit.FDIV: _exec_fpu,
-        ExecUnit.LSU: _exec_lsu,
-        ExecUnit.SFU: _exec_sfu,
-        ExecUnit.TEX: _exec_tex,
-    }
+    # -- handler table -----------------------------------------------------------------------
+
+    @classmethod
+    def _build_handler_table(cls) -> Dict[str, Callable]:
+        """Precompute the mnemonic -> handler table from the ISA spec table."""
+        special = {
+            "lui": cls._exec_lui,
+            "auipc": cls._exec_auipc,
+            "jal": cls._exec_jump,
+            "jalr": cls._exec_jump,
+            "tmc": cls._exec_tmc,
+            "wspawn": cls._exec_wspawn,
+            "split": cls._exec_split,
+            "join": cls._exec_join,
+            "bar": cls._exec_bar,
+            "fence": cls._exec_fence,
+            "ecall": cls._exec_ecall,
+        }
+        table: Dict[str, Callable] = {}
+        for mnemonic, spec in SPEC_BY_MNEMONIC.items():
+            if mnemonic in special:
+                table[mnemonic] = special[mnemonic]
+            elif spec.is_branch:
+                table[mnemonic] = cls._exec_branch
+            elif spec.is_load:
+                table[mnemonic] = cls._exec_load
+            elif spec.is_store:
+                table[mnemonic] = cls._exec_store
+            elif spec.group == "Zicsr":
+                table[mnemonic] = cls._exec_csr
+            elif spec.unit in (ExecUnit.FPU, ExecUnit.FDIV):
+                table[mnemonic] = cls._exec_fpu
+            elif spec.unit == ExecUnit.MUL:
+                table[mnemonic] = cls._exec_mul
+            elif spec.unit == ExecUnit.DIV:
+                table[mnemonic] = cls._exec_div
+            elif spec.unit == ExecUnit.TEX:
+                table[mnemonic] = cls._exec_tex
+            elif mnemonic in ALU_OPS:
+                if spec.fmt.value == "I":
+                    table[mnemonic] = cls._exec_alu_imm
+                else:
+                    table[mnemonic] = cls._exec_alu_reg
+            else:  # pragma: no cover - every spec entry is classified above
+                raise EmulationError(f"no handler for mnemonic {mnemonic}")
+        return table
+
+    _MNEMONIC_HANDLERS: Dict[str, Callable] = {}
+
+
+WarpEmulator._MNEMONIC_HANDLERS = WarpEmulator._build_handler_table()

@@ -16,7 +16,7 @@ from repro.common.config import VortexConfig
 from repro.common.perf import PerfCounters
 from repro.core.barrier import BarrierTable
 from repro.core.core import SimtCore
-from repro.core.emulator import EmulationError
+from repro.core.emulator import EmulationError, SimulationLimitExceeded
 from repro.core.timing import TimingCore
 from repro.mem.memory import MainMemory
 
@@ -46,11 +46,14 @@ class _GlobalBarrierMixin:
 class Processor(_GlobalBarrierMixin):
     """Functional multi-core processor (the FUNCSIM driver's engine)."""
 
+    #: Core model to instantiate; the vectorized engine substitutes its own.
+    core_cls = SimtCore
+
     def __init__(self, config: Optional[VortexConfig] = None, memory: Optional[MainMemory] = None):
         self.config = config or VortexConfig()
         self.memory = memory or MainMemory()
         self.cores: List[SimtCore] = [
-            SimtCore(core_id, self.config, self.memory, processor=self)
+            self.core_cls(core_id, self.config, self.memory, processor=self)
             for core_id in range(self.config.num_cores)
         ]
         self.perf = PerfCounters("processor")
@@ -84,8 +87,10 @@ class Processor(_GlobalBarrierMixin):
                     executed += 1
                     progressed = True
                     if executed >= max_instructions:
-                        raise EmulationError(
-                            f"processor exceeded the instruction limit ({max_instructions})"
+                        raise SimulationLimitExceeded(
+                            "instructions",
+                            max_instructions,
+                            f"processor exceeded the instruction limit ({max_instructions})",
                         )
             if not progressed:
                 raise EmulationError(
@@ -143,7 +148,11 @@ class TimingProcessor(_GlobalBarrierMixin):
             instructions_before = self.total_instructions
             self.tick()
             if self.cycle >= max_cycles:
-                raise EmulationError(f"timing simulation exceeded {max_cycles} cycles")
+                raise SimulationLimitExceeded(
+                    "cycles",
+                    max_cycles,
+                    f"timing simulation exceeded {max_cycles} cycles",
+                )
             # Deadlock watchdog: no instruction retired for a long stretch while
             # cores still have active wavefronts and no memory traffic is pending.
             if self.total_instructions == instructions_before and not self.memsys.busy:

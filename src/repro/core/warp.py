@@ -3,51 +3,95 @@
 A warp is the unit the scheduler picks every cycle; all of its active
 threads execute the same instruction.  Vortex keeps scalar 32-bit register
 files per thread (Table 1), banked per warp in hardware; here each warp
-simply owns ``num_threads`` integer and floating-point register arrays.
+owns one numpy array per register class, laid out register-major
+(``uint32[NUM_REGISTERS, num_threads]``) so that one architectural
+register's lane vector — the value of ``x5`` across every thread of the
+warp — is a contiguous row.  The scalar accessors used by the functional
+emulator read single elements; the vectorized execution engine
+(:mod:`repro.engine`) operates on whole rows under the thread mask.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.common.bitutils import mask, to_uint32
 from repro.core.ipdom import IpdomStack
 
 NUM_REGISTERS = 32
 
+#: Cache of active-lane index vectors keyed by (num_threads, tmask); thread
+#: masks repeat heavily (full mask, single thread, split halves), so every
+#: warp shares the same immutable index arrays.
+_LANE_CACHE: Dict[Tuple[int, int], np.ndarray] = {}
+
+
+def active_lane_indices(num_threads: int, tmask: int) -> np.ndarray:
+    """Indices of the set bits of ``tmask`` as an immutable numpy vector."""
+    key = (num_threads, tmask)
+    lanes = _LANE_CACHE.get(key)
+    if lanes is None:
+        lanes = np.array(
+            [t for t in range(num_threads) if (tmask >> t) & 1], dtype=np.intp
+        )
+        lanes.setflags(write=False)
+        _LANE_CACHE[key] = lanes
+    return lanes
+
 
 class RegisterFile:
-    """Integer + floating-point registers for every thread of one warp."""
+    """Integer + floating-point registers for every thread of one warp.
+
+    Storage is register-major: ``int_row(i)`` / ``fp_row(i)`` return the
+    32-bit lane vector of one architectural register (a numpy view, shape
+    ``(num_threads,)``).  Row 0 of the integer file is the hardwired zero
+    register: it is never written, so reads of the row are always zero.
+    """
 
     def __init__(self, num_threads: int):
         self.num_threads = num_threads
-        self._int_regs: List[List[int]] = [[0] * NUM_REGISTERS for _ in range(num_threads)]
-        self._fp_regs: List[List[int]] = [[0] * NUM_REGISTERS for _ in range(num_threads)]
+        self._int_regs = np.zeros((NUM_REGISTERS, num_threads), dtype=np.uint32)
+        self._fp_regs = np.zeros((NUM_REGISTERS, num_threads), dtype=np.uint32)
+
+    # -- scalar access (functional emulator) ---------------------------------------
 
     def read_int(self, thread: int, index: int) -> int:
         """Read integer register ``index`` of ``thread`` (x0 reads as zero)."""
         if index == 0:
             return 0
-        return self._int_regs[thread][index]
+        return int(self._int_regs[index, thread])
 
     def write_int(self, thread: int, index: int, value: int) -> None:
         """Write integer register ``index`` of ``thread`` (writes to x0 are dropped)."""
         if index == 0:
             return
-        self._int_regs[thread][index] = to_uint32(value)
+        self._int_regs[index, thread] = to_uint32(value)
 
     def read_float(self, thread: int, index: int) -> int:
         """Read floating-point register ``index`` (raw binary32 bits)."""
-        return self._fp_regs[thread][index]
+        return int(self._fp_regs[index, thread])
 
     def write_float(self, thread: int, index: int, value: int) -> None:
         """Write floating-point register ``index`` (raw binary32 bits)."""
-        self._fp_regs[thread][index] = to_uint32(value)
+        self._fp_regs[index, thread] = to_uint32(value)
 
     def broadcast_int(self, index: int, value: int) -> None:
         """Write the same value to one integer register of every thread."""
-        for thread in range(self.num_threads):
-            self.write_int(thread, index, value)
+        if index == 0:
+            return
+        self._int_regs[index] = to_uint32(value)
+
+    # -- lane-vector access (vectorized engine) ------------------------------------
+
+    def int_row(self, index: int) -> np.ndarray:
+        """Lane vector of integer register ``index`` (mutable view; never row 0)."""
+        return self._int_regs[index]
+
+    def fp_row(self, index: int) -> np.ndarray:
+        """Lane vector of floating-point register ``index`` (mutable view)."""
+        return self._fp_regs[index]
 
 
 class Warp:
@@ -57,7 +101,6 @@ class Warp:
         self.warp_id = warp_id
         self.num_threads = num_threads
         self.pc = 0
-        self.tmask = 0
         self.active = False
         self.regs = RegisterFile(num_threads)
         self.ipdom = IpdomStack(depth=ipdom_depth)
@@ -65,8 +108,23 @@ class Warp:
         self.at_barrier = False
         #: cumulative retired instruction count (warp-level).
         self.instructions = 0
+        #: per-PC execution plans built by the vectorized engine (cleared on
+        #: decode-cache invalidation).
+        self.plan_cache: Dict[int, object] = {}
+        self.tmask = 0
 
     # -- thread mask helpers -----------------------------------------------------
+
+    @property
+    def tmask(self) -> int:
+        return self._tmask
+
+    @tmask.setter
+    def tmask(self, value: int) -> None:
+        self._tmask = value
+        self.active_count = bin(value).count("1")
+        self.full = value == mask(self.num_threads)
+        self.lanes = active_lane_indices(self.num_threads, value)
 
     @property
     def full_mask(self) -> int:
@@ -111,7 +169,7 @@ class Warp:
     @property
     def schedulable(self) -> bool:
         """True when the warp can be picked by the scheduler."""
-        return self.active and not self.at_barrier and self.tmask != 0
+        return self.active and not self.at_barrier and self._tmask != 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

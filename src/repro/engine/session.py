@@ -1,0 +1,277 @@
+"""Batched multi-kernel simulation sessions.
+
+Design-space exploration runs *many* (kernel, config) combinations — the
+paper's Figures 14 and 18–21 each sweep a grid of design points.  A
+:class:`Session` turns that sweep into a batch: jobs are described
+declaratively as :class:`KernelJob` records, queued on a
+:class:`JobQueue`, and executed concurrently on a process pool (one
+simulator per worker, true parallelism) or a thread pool, each job on its
+own freshly-constructed :class:`~repro.runtime.device.VortexDevice`.
+
+Results come back as :class:`JobResult` records aggregating the
+:class:`~repro.runtime.report.ExecutionReport`, the verification outcome
+and per-job wall-clock, plus batch-level statistics (total wall time,
+peak concurrency measured from the jobs' actual execution intervals).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.config import VortexConfig
+
+
+@dataclass(frozen=True)
+class KernelJob:
+    """One (kernel, config) point of a sweep."""
+
+    kernel: str
+    config: VortexConfig = field(default_factory=VortexConfig)
+    driver: str = "simx"
+    size: Optional[int] = None
+    label: str = ""
+    verify: bool = True
+
+    def describe(self) -> str:
+        cfg = self.config
+        return (
+            self.label
+            or f"{self.kernel}@{self.driver}"
+            f"[{cfg.num_cores}C-{cfg.num_warps}W-{cfg.num_threads}T]"
+        )
+
+
+@dataclass
+class JobResult:
+    """Outcome of one executed job."""
+
+    job: KernelJob
+    report: Optional[object] = None  # ExecutionReport (None when the job errored)
+    passed: bool = False
+    wall_seconds: float = 0.0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.passed
+
+
+def execute_job(job: KernelJob) -> JobResult:
+    """Run one job on a fresh device (module-level: picklable for pools)."""
+    from repro.kernels import KERNELS
+    from repro.runtime.device import VortexDevice
+
+    started = time.time()
+    clock = time.perf_counter()
+    try:
+        kernel_cls = KERNELS[job.kernel]
+        device = VortexDevice(job.config, driver=job.driver)
+        run = kernel_cls().run(device, size=job.size, verify=job.verify)
+        wall = time.perf_counter() - clock
+        return JobResult(
+            job=job,
+            report=run.report,
+            passed=run.passed,
+            wall_seconds=wall,
+            started_at=started,
+            finished_at=time.time(),
+        )
+    except Exception as exc:  # pragma: no cover - exercised via error-path test
+        wall = time.perf_counter() - clock
+        return JobResult(
+            job=job,
+            wall_seconds=wall,
+            started_at=started,
+            finished_at=time.time(),
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+class JobQueue:
+    """A FIFO of jobs waiting for the next batch run."""
+
+    def __init__(self, jobs: Optional[Sequence[KernelJob]] = None):
+        self._jobs: List[KernelJob] = list(jobs or [])
+
+    def add(self, job: KernelJob) -> None:
+        self._jobs.append(job)
+
+    def extend(self, jobs: Sequence[KernelJob]) -> None:
+        self._jobs.extend(jobs)
+
+    def drain(self) -> List[KernelJob]:
+        """Remove and return all queued jobs."""
+        jobs, self._jobs = self._jobs, []
+        return jobs
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self):
+        return iter(self._jobs)
+
+
+@dataclass
+class BatchReport:
+    """Aggregate outcome of one :meth:`Session.run_batch` call."""
+
+    results: List[JobResult]
+    wall_seconds: float
+    max_workers: int
+    executor: str
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    @property
+    def peak_concurrency(self) -> int:
+        """Largest number of jobs whose execution intervals overlapped."""
+        events: List[Tuple[float, int]] = []
+        for result in self.results:
+            events.append((result.started_at, 1))
+            events.append((result.finished_at, -1))
+        peak = current = 0
+        for _, delta in sorted(events):
+            current += delta
+            peak = max(peak, current)
+        return peak
+
+    @property
+    def total_simulated_instructions(self) -> int:
+        return sum(r.report.instructions for r in self.results if r.report is not None)
+
+    def by_label(self) -> Dict[str, JobResult]:
+        return {result.job.describe(): result for result in self.results}
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else "FAILED"
+        return (
+            f"[session] {len(self.results)} jobs in {self.wall_seconds:.2f}s "
+            f"({self.executor} x{self.max_workers}, peak {self.peak_concurrency} "
+            f"concurrent) {status}"
+        )
+
+
+class Session:
+    """Launches batches of (kernel, config) jobs concurrently.
+
+    ``executor`` selects the pool type: ``"process"`` (default when the
+    platform supports fork) runs each job in a worker process for true
+    parallelism; ``"thread"`` uses threads (lighter weight, still
+    concurrent, useful under constrained environments and in tests);
+    ``"serial"`` runs inline (debugging).
+    """
+
+    def __init__(self, max_workers: Optional[int] = None, executor: Optional[str] = None):
+        if executor is None:
+            executor = "process" if hasattr(os, "fork") else "thread"
+        if executor not in ("process", "thread", "serial"):
+            raise ValueError(f"unknown executor {executor!r}")
+        self.executor = executor
+        # Floor of 4: even on small hosts a batch should overlap several
+        # simulations (jobs block on different pages/pool pipes, and the
+        # acceptance bar for a sweep is >= 4 jobs in flight).
+        self.max_workers = max_workers or max(4, min(8, os.cpu_count() or 4))
+        self.queue = JobQueue()
+
+    # -- job submission -----------------------------------------------------------------
+
+    def submit(self, job: KernelJob) -> None:
+        """Queue one job for the next batch."""
+        self.queue.add(job)
+
+    def submit_sweep(
+        self,
+        kernel: str,
+        configs: Sequence[VortexConfig],
+        driver: str = "simx",
+        size: Optional[int] = None,
+    ) -> None:
+        """Queue one job per configuration for the same kernel."""
+        for config in configs:
+            self.queue.add(KernelJob(kernel=kernel, config=config, driver=driver, size=size))
+
+    # -- execution ----------------------------------------------------------------------
+
+    def run_batch(self, jobs: Optional[Sequence[KernelJob]] = None) -> BatchReport:
+        """Execute ``jobs`` (or everything queued) concurrently.
+
+        Results are returned in submission order regardless of completion
+        order.  A failing job never aborts the batch: its ``JobResult``
+        carries the error string instead.
+        """
+        batch = list(jobs) if jobs is not None else self.queue.drain()
+        start = time.perf_counter()
+        if not batch:
+            return BatchReport([], 0.0, self.max_workers, self.executor)
+        if self.executor == "serial" or len(batch) == 1:
+            results = [execute_job(job) for job in batch]
+        else:
+            pool_cls = ProcessPoolExecutor if self.executor == "process" else ThreadPoolExecutor
+            try:
+                pool = pool_cls(max_workers=self.max_workers)
+            except (OSError, ImportError):
+                # The pool could not be brought up at all (constrained
+                # sandbox): degrade to in-process execution.
+                results = [execute_job(job) for job in batch]
+            else:
+                results = self._run_on_pool(pool, batch)
+        wall = time.perf_counter() - start
+        return BatchReport(results, wall, self.max_workers, self.executor)
+
+    @staticmethod
+    def _run_on_pool(pool, batch: List[KernelJob]) -> List[JobResult]:
+        """Submit one future per job and collect results in order.
+
+        If a worker dies (e.g. a poison job is OOM-killed, breaking the
+        pool), completed jobs keep their results and the broken or
+        never-submitted ones are marked failed — the batch is never rerun
+        in the parent process.
+        """
+        with pool:
+            futures: List[Optional[object]] = []
+            submit_error: Optional[str] = None
+            for job in batch:
+                if submit_error is None:
+                    try:
+                        futures.append(pool.submit(execute_job, job))
+                    except BrokenExecutor as exc:
+                        submit_error = f"{type(exc).__name__}: {exc}"
+                        futures.append(None)
+                else:
+                    futures.append(None)
+            results: List[JobResult] = []
+            for job, future in zip(batch, futures):
+                if future is None:
+                    results.append(JobResult(job=job, error=submit_error))
+                    continue
+                try:
+                    results.append(future.result())
+                except Exception as exc:
+                    results.append(JobResult(job=job, error=f"{type(exc).__name__}: {exc}"))
+        return results
+
+
+def design_point_jobs(
+    kernel: str,
+    points: Dict[str, Tuple[int, int]],
+    base: Optional[VortexConfig] = None,
+    driver: str = "simx",
+    size: Optional[int] = None,
+) -> List[KernelJob]:
+    """Jobs for the Table-3-style (warps, threads) design points."""
+    base = base or VortexConfig()
+    jobs = []
+    for label, (warps, threads) in points.items():
+        config = base.with_warps_threads(warps, threads)
+        jobs.append(
+            KernelJob(kernel=kernel, config=config, driver=driver, size=size, label=label)
+        )
+    return jobs

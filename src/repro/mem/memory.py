@@ -1,21 +1,30 @@
 """Sparse byte-addressable device memory.
 
-Device memory is modeled as a dictionary of fixed-size pages allocated on
-first touch, so a 4 GB address space costs nothing until used.  All
-simulator drivers, the texture units and the command-processor driver
-share one instance per device, exactly as the FPGA board's local memory is
-shared between the AFU and the cores.
+Device memory is modeled as a dictionary of fixed-size numpy pages
+allocated on first touch, so a 4 GB address space costs nothing until
+used.  All simulator drivers, the texture units and the command-processor
+driver share one instance per device, exactly as the FPGA board's local
+memory is shared between the AFU and the cores.
+
+Each page keeps two views of the same backing store: a ``uint8`` byte view
+(the byte-level API used by DMA and :class:`DeviceBuffer`) and a
+little-endian ``uint32`` word view used by the vectorized execution
+engine's gather/scatter paths, which service a whole warp's coalesced
+loads and stores with a handful of numpy operations.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Dict, Iterable
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
 
 from repro.common.bitutils import to_uint32
 
 PAGE_SIZE = 4096
 PAGE_MASK = PAGE_SIZE - 1
+_WORD_DTYPE = np.dtype("<u4")
 
 
 class MemoryAccessError(Exception):
@@ -26,17 +35,19 @@ class MainMemory:
     """Byte-addressable sparse memory with word/halfword/byte accessors."""
 
     def __init__(self):
-        self._pages: Dict[int, bytearray] = {}
+        #: page index -> (uint8 byte view, uint32 word view) of one backing array
+        self._pages: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
         self.reads = 0
         self.writes = 0
 
     # -- page helpers ---------------------------------------------------------------
 
-    def _page(self, address: int) -> bytearray:
+    def _page(self, address: int) -> Tuple[np.ndarray, np.ndarray]:
         page_index = address >> 12
         page = self._pages.get(page_index)
         if page is None:
-            page = bytearray(PAGE_SIZE)
+            data = np.zeros(PAGE_SIZE, dtype=np.uint8)
+            page = (data, data.view(_WORD_DTYPE))
             self._pages[page_index] = page
         return page
 
@@ -44,6 +55,18 @@ class MainMemory:
     def allocated_bytes(self) -> int:
         """Total bytes of backing storage currently allocated."""
         return len(self._pages) * PAGE_SIZE
+
+    def page_snapshot(self) -> Dict[int, bytes]:
+        """Canonical content snapshot: non-zero pages keyed by page index.
+
+        All-zero pages are omitted so two memories are equal iff their
+        snapshots are equal, regardless of which pages were merely touched.
+        """
+        snapshot: Dict[int, bytes] = {}
+        for index, (data, _) in self._pages.items():
+            if data.any():
+                snapshot[index] = data.tobytes()
+        return snapshot
 
     # -- raw byte access --------------------------------------------------------------
 
@@ -55,10 +78,10 @@ class MainMemory:
         result = bytearray()
         remaining = size
         while remaining > 0:
-            page = self._page(address)
+            data, _ = self._page(address)
             offset = address & PAGE_MASK
             chunk = min(remaining, PAGE_SIZE - offset)
-            result += page[offset : offset + chunk]
+            result += data[offset : offset + chunk].tobytes()
             address = to_uint32(address + chunk)
             remaining -= chunk
         self.reads += 1
@@ -69,10 +92,10 @@ class MainMemory:
         address = to_uint32(address)
         view = memoryview(data)
         while view:
-            page = self._page(address)
+            page, _ = self._page(address)
             offset = address & PAGE_MASK
             chunk = min(len(view), PAGE_SIZE - offset)
-            page[offset : offset + chunk] = view[:chunk]
+            page[offset : offset + chunk] = np.frombuffer(view[:chunk], dtype=np.uint8)
             address = to_uint32(address + chunk)
             view = view[chunk:]
         self.writes += 1
@@ -83,29 +106,146 @@ class MainMemory:
         """Read a little-endian 32-bit word (must be 4-byte aligned)."""
         if address & 3:
             raise MemoryAccessError(f"misaligned word read at {address:#x}")
-        return struct.unpack("<I", self.read_bytes(address, 4))[0]
+        address = to_uint32(address)
+        _, words = self._page(address)
+        self.reads += 1
+        return int(words[(address & PAGE_MASK) >> 2])
 
     def write_word(self, address: int, value: int) -> None:
         """Write a little-endian 32-bit word (must be 4-byte aligned)."""
         if address & 3:
             raise MemoryAccessError(f"misaligned word write at {address:#x}")
-        self.write_bytes(address, struct.pack("<I", to_uint32(value)))
+        address = to_uint32(address)
+        _, words = self._page(address)
+        words[(address & PAGE_MASK) >> 2] = to_uint32(value)
+        self.writes += 1
 
     def read_half(self, address: int) -> int:
         if address & 1:
             raise MemoryAccessError(f"misaligned halfword read at {address:#x}")
-        return struct.unpack("<H", self.read_bytes(address, 2))[0]
+        address = to_uint32(address)
+        data, _ = self._page(address)
+        offset = address & PAGE_MASK
+        self.reads += 1
+        return int(data[offset]) | (int(data[offset + 1]) << 8)
 
     def write_half(self, address: int, value: int) -> None:
         if address & 1:
             raise MemoryAccessError(f"misaligned halfword write at {address:#x}")
-        self.write_bytes(address, struct.pack("<H", value & 0xFFFF))
+        address = to_uint32(address)
+        data, _ = self._page(address)
+        offset = address & PAGE_MASK
+        data[offset] = value & 0xFF
+        data[offset + 1] = (value >> 8) & 0xFF
+        self.writes += 1
 
     def read_byte(self, address: int) -> int:
-        return self.read_bytes(address, 1)[0]
+        address = to_uint32(address)
+        data, _ = self._page(address)
+        self.reads += 1
+        return int(data[address & PAGE_MASK])
 
     def write_byte(self, address: int, value: int) -> None:
-        self.write_bytes(address, bytes([value & 0xFF]))
+        address = to_uint32(address)
+        data, _ = self._page(address)
+        data[address & PAGE_MASK] = value & 0xFF
+        self.writes += 1
+
+    # -- vector gather/scatter (whole-warp coalesced accesses) --------------------------
+
+    def gather_words(self, addresses: np.ndarray) -> np.ndarray:
+        """Read one 32-bit word per lane address (4-byte aligned each).
+
+        The single-page case — a warp's coalesced load — is serviced with
+        one fancy-indexed numpy read; page-straddling gathers fall back to
+        per-lane reads.  Alignment and the same-page test share two
+        reductions: the OR of all addresses carries any misaligned low bit,
+        and OR == AND over the page field iff every lane hits one page.
+        """
+        ored = int(np.bitwise_or.reduce(addresses))
+        if ored & 3:
+            for address in addresses:
+                if int(address) & 3:
+                    raise MemoryAccessError(f"misaligned word read at {int(address):#x}")
+        anded = int(np.bitwise_and.reduce(addresses))
+        if (ored >> 12) == (anded >> 12):
+            _, words = self._page(ored)
+            self.reads += len(addresses)
+            return words[np.bitwise_and(addresses, PAGE_MASK) >> np.uint32(2)]
+        out = np.empty(len(addresses), dtype=np.uint32)
+        for lane, address in enumerate(addresses):
+            out[lane] = self.read_word(int(address))
+        return out
+
+    def scatter_words(self, addresses: np.ndarray, values: np.ndarray) -> None:
+        """Write one 32-bit word per lane address (4-byte aligned each).
+
+        Lane order is preserved for duplicate addresses (the highest lane
+        wins, matching sequential per-thread emulation; numpy fancy
+        assignment stores values in index order).
+        """
+        ored = int(np.bitwise_or.reduce(addresses))
+        if ored & 3:
+            for address in addresses:
+                if int(address) & 3:
+                    raise MemoryAccessError(f"misaligned word write at {int(address):#x}")
+        anded = int(np.bitwise_and.reduce(addresses))
+        if (ored >> 12) == (anded >> 12):
+            _, words = self._page(ored)
+            words[np.bitwise_and(addresses, PAGE_MASK) >> np.uint32(2)] = values
+            self.writes += len(addresses)
+            return
+        for lane, address in enumerate(addresses):
+            self.write_word(int(address), int(values[lane]))
+
+    def gather_bytes(self, addresses: np.ndarray) -> np.ndarray:
+        """Read one byte per lane address."""
+        ored = int(np.bitwise_or.reduce(addresses))
+        anded = int(np.bitwise_and.reduce(addresses))
+        if (ored >> 12) == (anded >> 12):
+            data, _ = self._page(ored)
+            self.reads += len(addresses)
+            return data[np.bitwise_and(addresses, PAGE_MASK)].astype(np.uint32)
+        out = np.empty(len(addresses), dtype=np.uint32)
+        for lane, address in enumerate(addresses):
+            out[lane] = self.read_byte(int(address))
+        return out
+
+    def scatter_bytes(self, addresses: np.ndarray, values: np.ndarray) -> None:
+        """Write one byte per lane address (highest lane wins on duplicates)."""
+        ored = int(np.bitwise_or.reduce(addresses))
+        anded = int(np.bitwise_and.reduce(addresses))
+        if (ored >> 12) == (anded >> 12):
+            data, _ = self._page(ored)
+            data[np.bitwise_and(addresses, PAGE_MASK)] = np.bitwise_and(
+                values, np.uint32(0xFF)
+            ).astype(np.uint8)
+            self.writes += len(addresses)
+            return
+        for lane, address in enumerate(addresses):
+            self.write_byte(int(address), int(values[lane]))
+
+    def gather_halves(self, addresses: np.ndarray) -> np.ndarray:
+        """Read one 16-bit halfword per lane address (2-byte aligned each)."""
+        if np.bitwise_and(addresses, 1).any():
+            bad = addresses[np.bitwise_and(addresses, 1) != 0][0]
+            raise MemoryAccessError(f"misaligned halfword read at {int(bad):#x}")
+        out = np.empty(len(addresses), dtype=np.uint32)
+        for lane, address in enumerate(addresses):
+            out[lane] = self.read_half(int(address))
+        return out
+
+    def scatter_halves(self, addresses: np.ndarray, values: np.ndarray) -> None:
+        """Write one 16-bit halfword per lane address (2-byte aligned each)."""
+        if np.bitwise_and(addresses, 1).any():
+            bad = addresses[np.bitwise_and(addresses, 1) != 0][0]
+            raise MemoryAccessError(f"misaligned halfword write at {int(bad):#x}")
+        for lane, address in enumerate(addresses):
+            self.write_half(int(address), int(values[lane]))
+
+    def word_cursor(self) -> "WordCursor":
+        """A per-call-site cursor that memoizes the last page touched."""
+        return WordCursor(self)
 
     # -- bulk helpers -------------------------------------------------------------------
 
@@ -122,3 +262,49 @@ class MainMemory:
     def fill(self, address: int, size: int, value: int = 0) -> None:
         """Fill ``size`` bytes with a byte value."""
         self.write_bytes(address, bytes([value & 0xFF]) * size)
+
+
+class WordCursor:
+    """Page-memoizing word gather/scatter front end for one access site.
+
+    A warp's loads/stores from one program point overwhelmingly hit the
+    same page run after run; the cursor caches that page's word view so the
+    steady-state cost is a single numpy reduction (which validates both
+    page residency and 4-byte alignment: relative offsets OR-ed together
+    stay below the page size with clear low bits iff every lane does).
+    """
+
+    __slots__ = ("memory", "page_start", "words")
+
+    def __init__(self, memory: MainMemory):
+        self.memory = memory
+        self.page_start = np.uint32(0)
+        self.words = None
+
+    def _re_anchor(self, addresses: np.ndarray) -> None:
+        base = int(addresses[0]) & ~PAGE_MASK
+        self.page_start = np.uint32(base)
+        self.words = self.memory._page(base)[1]
+
+    def gather(self, addresses: np.ndarray) -> np.ndarray:
+        relative = addresses - self.page_start
+        if self.words is not None:
+            packed = int(np.bitwise_or.reduce(relative))
+            if packed < PAGE_SIZE and not (packed & 3):
+                # reads/writes count per-lane accesses on every path.
+                self.memory.reads += relative.shape[0]
+                return self.words.take(relative >> np.uint32(2))
+        result = self.memory.gather_words(addresses)
+        self._re_anchor(addresses)
+        return result
+
+    def scatter(self, addresses: np.ndarray, values: np.ndarray) -> None:
+        relative = addresses - self.page_start
+        if self.words is not None:
+            packed = int(np.bitwise_or.reduce(relative))
+            if packed < PAGE_SIZE and not (packed & 3):
+                self.words.put(relative >> np.uint32(2), values)
+                self.memory.writes += relative.shape[0]
+                return
+        self.memory.scatter_words(addresses, values)
+        self._re_anchor(addresses)

@@ -35,6 +35,7 @@ KERNEL_ARG_PTR_ADDR = 0x0FFF_F000
 _DRIVERS = {
     "simx": SimxDriver,
     "funcsim": FuncSimDriver,
+    "funcsim-scalar": lambda config, memory: FuncSimDriver(config, memory, engine="scalar"),
 }
 
 
@@ -65,8 +66,16 @@ class VortexDevice:
     # -- program management ----------------------------------------------------------
 
     def upload_program(self, program: Program) -> None:
-        """Copy a kernel image into device memory through the AFU."""
+        """Copy a kernel image into device memory through the AFU.
+
+        Loading a new image invalidates the driver's decode caches so a
+        program loaded over a previous one at the same base is never
+        executed from stale decodes.
+        """
         self.afu.dma_host_to_device(program.base, program.to_bytes())
+        invalidate = getattr(self.driver, "invalidate_decode_caches", None)
+        if invalidate is not None:
+            invalidate()
         self.program = program
 
     # -- buffers -----------------------------------------------------------------------

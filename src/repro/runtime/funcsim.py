@@ -3,16 +3,34 @@
 Mirrors the role of the paper's RTLSIM/ASE functional paths: fast
 execution used to validate kernels and produce reference outputs that the
 cycle-level SIMX driver is checked against.
+
+Two execution engines are available behind the same driver API:
+
+* ``"vector"`` (default) — the lane-parallel engine of
+  :mod:`repro.engine`: each warp instruction executes over all active
+  lanes as a handful of numpy operations.
+* ``"scalar"`` — the reference per-thread emulation loop.
+
+Both produce bit-identical architectural results (registers, memory,
+retired-instruction counts); the differential test suite holds them to
+that invariant.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 from repro.common.config import VortexConfig
 from repro.core.processor import Processor
+from repro.engine.vector_core import VectorProcessor
 from repro.mem.memory import MainMemory
 from repro.runtime.report import ExecutionReport
+
+_ENGINES = {
+    "vector": VectorProcessor,
+    "scalar": Processor,
+}
 
 
 class FuncSimDriver:
@@ -20,14 +38,33 @@ class FuncSimDriver:
 
     name = "funcsim"
 
-    def __init__(self, config: Optional[VortexConfig] = None, memory: Optional[MainMemory] = None):
+    def __init__(
+        self,
+        config: Optional[VortexConfig] = None,
+        memory: Optional[MainMemory] = None,
+        engine: str = "vector",
+    ):
+        try:
+            processor_cls = _ENGINES[engine]
+        except KeyError:
+            raise ValueError(
+                f"unknown funcsim engine {engine!r}; available: {sorted(_ENGINES)}"
+            ) from None
+        self.engine = engine
         self.config = config or VortexConfig()
         self.memory = memory if memory is not None else MainMemory()
-        self.processor = Processor(self.config, self.memory)
+        self.processor = processor_cls(self.config, self.memory)
+
+    def invalidate_decode_caches(self) -> None:
+        """Drop all cached decodes/plans (a new program image was loaded)."""
+        for core in self.processor.cores:
+            core.emulator.invalidate_decode_cache()
 
     def run(self, entry_pc: int, max_instructions: int = 50_000_000) -> ExecutionReport:
         """Execute the kernel at ``entry_pc`` to completion."""
+        start = time.perf_counter()
         instructions = self.processor.run(entry_pc, max_instructions=max_instructions)
+        wall_seconds = time.perf_counter() - start
         thread_instructions = sum(
             core.perf.get("thread_instructions") for core in self.processor.cores
         )
@@ -37,4 +74,6 @@ class FuncSimDriver:
             instructions=instructions,
             thread_instructions=thread_instructions,
             counters=self.processor.counters(),
+            wall_seconds=wall_seconds,
+            engine=self.engine,
         )

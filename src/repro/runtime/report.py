@@ -20,6 +20,24 @@ class ExecutionReport:
     instructions: int
     thread_instructions: int
     counters: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: host wall-clock seconds the simulation took (0.0 when not measured).
+    wall_seconds: float = 0.0
+    #: execution engine variant behind the driver ("scalar", "vector", "").
+    engine: str = ""
+
+    @property
+    def instructions_per_second(self) -> float:
+        """Simulated warp-instructions per host wall-clock second."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.instructions / self.wall_seconds
+
+    @property
+    def thread_instructions_per_second(self) -> float:
+        """Simulated thread-instructions per host wall-clock second."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.thread_instructions / self.wall_seconds
 
     @property
     def ipc(self) -> float:
@@ -41,9 +59,12 @@ class ExecutionReport:
 
     def summary(self) -> str:
         """One-line human-readable summary."""
+        rate = ""
+        if self.wall_seconds > 0.0:
+            rate = f" wall={self.wall_seconds:.3f}s rate={self.instructions_per_second:,.0f} instr/s"
         if self.cycles:
             return (
                 f"[{self.driver}] cycles={self.cycles} instrs={self.instructions} "
-                f"IPC={self.ipc:.3f}"
+                f"IPC={self.ipc:.3f}{rate}"
             )
-        return f"[{self.driver}] instrs={self.instructions}"
+        return f"[{self.driver}] instrs={self.instructions}{rate}"

@@ -8,6 +8,7 @@ bank-utilization and texture-acceleration experiments).
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 from repro.common.config import VortexConfig
@@ -26,13 +27,22 @@ class SimxDriver:
         self.memory = memory if memory is not None else MainMemory()
         self.processor = TimingProcessor(self.config, self.memory)
 
+    def invalidate_decode_caches(self) -> None:
+        """Drop all cached decodes (a new program image was loaded)."""
+        for core in self.processor.cores:
+            core.func.emulator.invalidate_decode_cache()
+
     def run(self, entry_pc: int, max_cycles: int = 20_000_000) -> ExecutionReport:
         """Execute the kernel at ``entry_pc`` to completion."""
+        start = time.perf_counter()
         cycles = self.processor.run(entry_pc, max_cycles=max_cycles)
+        wall_seconds = time.perf_counter() - start
         return ExecutionReport(
             driver=self.name,
             cycles=cycles,
             instructions=self.processor.total_instructions,
             thread_instructions=self.processor.total_thread_instructions,
             counters=self.processor.counters(),
+            wall_seconds=wall_seconds,
+            engine="timing",
         )

@@ -1,0 +1,116 @@
+"""Differential tests for the lane-vector operation wrappers.
+
+``alu_op_vec`` / ``mul_op_vec`` / ``div_op_vec`` / ``branch_taken_vec`` /
+``fpu_op_vec`` must agree bit for bit with their scalar counterparts on
+every mnemonic, including the RISC-V corner cases (division by zero,
+``INT_MIN / -1``, shift-amount masking, NaN and signed-zero handling,
+saturating float conversions).
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.arch.alu import (
+    ALU_VECTOR_OPS,
+    BRANCH_VECTOR_OPS,
+    DIV_VECTOR_OPS,
+    MUL_VECTOR_OPS,
+    alu_op,
+    alu_op_vec,
+    branch_taken,
+    branch_taken_vec,
+    div_op,
+    div_op_vec,
+    mul_op,
+    mul_op_vec,
+)
+from repro.arch.fpu import FPU_VECTOR_OPS, fpu_op, fpu_op_vec
+
+_INT_EDGES = [0, 1, 2, 0x1F, 0x20, 0x7FFFFFFF, 0x80000000, 0xFFFFFFFF, 0xDEADBEEF]
+_FLOAT_EDGES = [
+    0x00000000,  # +0
+    0x80000000,  # -0
+    0x3F800000,  # 1.0
+    0xBF800000,  # -1.0
+    0x7F800000,  # +inf
+    0xFF800000,  # -inf
+    0x7FC00000,  # canonical qNaN
+    0xFFC00000,  # negative qNaN
+    0x7F812345,  # signaling NaN with payload
+    0x00000001,  # smallest denormal
+    0x7F7FFFFF,  # largest finite
+]
+
+
+def _pairs(pool, rng, rounds=24):
+    for _ in range(rounds):
+        lhs = np.array([rng.choice(pool) for _ in range(8)], dtype=np.uint32)
+        rhs = np.array([rng.choice(pool) for _ in range(8)], dtype=np.uint32)
+        yield lhs, rhs
+
+
+@pytest.mark.parametrize("mnemonic", sorted(ALU_VECTOR_OPS))
+def test_alu_op_vec_matches_scalar(mnemonic):
+    rng = random.Random(1)
+    for lhs, rhs in _pairs(_INT_EDGES, rng):
+        vector = alu_op_vec(mnemonic, lhs, rhs)
+        scalar = [alu_op(mnemonic, int(a), int(b)) for a, b in zip(lhs, rhs)]
+        assert vector.tolist() == scalar, mnemonic
+
+
+@pytest.mark.parametrize("mnemonic", sorted(MUL_VECTOR_OPS))
+def test_mul_op_vec_matches_scalar(mnemonic):
+    rng = random.Random(2)
+    for lhs, rhs in _pairs(_INT_EDGES, rng):
+        vector = mul_op_vec(mnemonic, lhs, rhs)
+        scalar = [mul_op(mnemonic, int(a), int(b)) for a, b in zip(lhs, rhs)]
+        assert vector.tolist() == scalar, mnemonic
+
+
+@pytest.mark.parametrize("mnemonic", sorted(DIV_VECTOR_OPS))
+def test_div_op_vec_matches_scalar(mnemonic):
+    rng = random.Random(3)
+    for lhs, rhs in _pairs(_INT_EDGES, rng):
+        vector = div_op_vec(mnemonic, lhs, rhs)
+        scalar = [div_op(mnemonic, int(a), int(b)) for a, b in zip(lhs, rhs)]
+        assert vector.tolist() == scalar, mnemonic
+
+
+@pytest.mark.parametrize("mnemonic", sorted(BRANCH_VECTOR_OPS))
+def test_branch_taken_vec_matches_scalar(mnemonic):
+    rng = random.Random(4)
+    for lhs, rhs in _pairs(_INT_EDGES, rng):
+        vector = branch_taken_vec(mnemonic, lhs, rhs)
+        scalar = [branch_taken(mnemonic, int(a), int(b)) for a, b in zip(lhs, rhs)]
+        assert [bool(v) for v in vector] == scalar, mnemonic
+
+
+@pytest.mark.parametrize("mnemonic", sorted(FPU_VECTOR_OPS))
+def test_fpu_op_vec_matches_scalar(mnemonic):
+    rng = random.Random(5)
+    for _ in range(24):
+        rs1 = np.array([rng.choice(_FLOAT_EDGES) if rng.random() < 0.5 else rng.getrandbits(32)
+                        for _ in range(8)], dtype=np.uint32)
+        rs2 = np.array([rng.choice(_FLOAT_EDGES) if rng.random() < 0.5 else rng.getrandbits(32)
+                        for _ in range(8)], dtype=np.uint32)
+        rs3 = np.array([rng.choice(_FLOAT_EDGES) if rng.random() < 0.5 else rng.getrandbits(32)
+                        for _ in range(8)], dtype=np.uint32)
+        vector = fpu_op_vec(mnemonic, rs1, rs2, rs3)
+        scalar = [fpu_op(mnemonic, int(a), int(b), int(c)) for a, b, c in zip(rs1, rs2, rs3)]
+        assert vector.tolist() == scalar, mnemonic
+
+
+def test_vector_wrappers_reject_unknown_mnemonics():
+    lanes = np.zeros(4, dtype=np.uint32)
+    with pytest.raises(ValueError):
+        alu_op_vec("frobnicate", lanes, lanes)
+    with pytest.raises(ValueError):
+        mul_op_vec("frobnicate", lanes, lanes)
+    with pytest.raises(ValueError):
+        div_op_vec("frobnicate", lanes, lanes)
+    with pytest.raises(ValueError):
+        branch_taken_vec("frobnicate", lanes, lanes)
+    with pytest.raises(ValueError):
+        fpu_op_vec("frobnicate", lanes, lanes, lanes)

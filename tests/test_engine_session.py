@@ -1,0 +1,212 @@
+"""Tests for the execution-engine protocol, run limits, decode-cache
+invalidation and the batched session layer."""
+
+import pytest
+
+from repro.common.config import VortexConfig
+from repro.core.emulator import EmulationError, SimulationLimitExceeded
+from repro.engine.protocol import ExecutionEngine
+from repro.engine.session import (
+    BatchReport,
+    JobQueue,
+    KernelJob,
+    Session,
+    design_point_jobs,
+    execute_job,
+)
+from repro.isa.builder import ProgramBuilder
+from repro.isa.registers import Reg
+from repro.kernels import VecAddKernel
+from repro.runtime.device import VortexDevice
+from repro.runtime.funcsim import FuncSimDriver
+from repro.runtime.simx import SimxDriver
+
+BASE = 0x8000_0000
+
+
+# -- execution-engine protocol -----------------------------------------------------------
+
+
+@pytest.mark.parametrize("driver_cls", [FuncSimDriver, SimxDriver])
+def test_drivers_implement_the_engine_protocol(driver_cls):
+    driver = driver_cls(VortexConfig())
+    assert isinstance(driver, ExecutionEngine)
+
+
+def test_funcsim_rejects_unknown_engine():
+    with pytest.raises(ValueError):
+        FuncSimDriver(VortexConfig(), engine="quantum")
+
+
+# -- unified run-limit handling ----------------------------------------------------------
+
+
+def _infinite_loop_program():
+    asm = ProgramBuilder(base=BASE)
+    asm.label("spin")
+    asm.j("spin")
+    return asm.assemble()
+
+
+@pytest.mark.parametrize("engine", ["scalar", "vector"])
+def test_funcsim_instruction_limit_raises_typed_error(engine):
+    driver = FuncSimDriver(VortexConfig(), engine=engine)
+    program = _infinite_loop_program()
+    driver.memory.load_words(program.base, program.words)
+    with pytest.raises(SimulationLimitExceeded) as excinfo:
+        driver.run(program.entry, max_instructions=500)
+    assert excinfo.value.kind == "instructions"
+    assert excinfo.value.limit == 500
+    # Backwards compatible: still an EmulationError.
+    assert isinstance(excinfo.value, EmulationError)
+
+
+def test_simx_cycle_limit_raises_typed_error():
+    driver = SimxDriver(VortexConfig())
+    program = _infinite_loop_program()
+    driver.memory.load_words(program.base, program.words)
+    with pytest.raises(SimulationLimitExceeded) as excinfo:
+        driver.run(program.entry, max_cycles=500)
+    assert excinfo.value.kind == "cycles"
+    assert excinfo.value.limit == 500
+
+
+# -- decode-cache invalidation -----------------------------------------------------------
+
+
+def _constant_store_program(value):
+    """Store ``value`` to 0x4000 from warp 0 / thread 0, then halt."""
+    asm = ProgramBuilder(base=BASE)
+    asm.li(Reg.t0, value)
+    asm.li(Reg.t1, 0x4000)
+    asm.sw(Reg.t0, 0, Reg.t1)
+    asm.li(Reg.t2, 0)
+    asm.tmc(Reg.t2)
+    return asm.assemble()  # entry defaults to the image base
+
+
+@pytest.mark.parametrize("driver", ["funcsim", "funcsim-scalar", "simx"])
+def test_back_to_back_program_loads_use_fresh_decodes(driver):
+    """Loading a second image at the same base must not execute stale decodes."""
+    device = VortexDevice(VortexConfig(), driver=driver)
+    first = _constant_store_program(111)
+    second = _constant_store_program(222)
+    assert first.base == second.base
+
+    device.upload_program(first)
+    device.launch(first.entry)
+    assert device.memory.read_word(0x4000) == 111
+
+    device.upload_program(second)
+    device.launch(second.entry)
+    assert device.memory.read_word(0x4000) == 222
+
+
+def test_upload_program_invalidates_driver_decode_caches():
+    device = VortexDevice(VortexConfig(), driver="funcsim")
+    program = _constant_store_program(7)
+    device.upload_program(program)
+    device.launch(program.entry)
+    core = device.driver.processor.cores[0]
+    assert core.emulator._decode_cache  # warm after a run
+    device.upload_program(_constant_store_program(8))
+    assert not core.emulator._decode_cache
+    assert all(not warp.plan_cache for warp in core.warps)
+
+
+# -- execution reports -------------------------------------------------------------------
+
+
+def test_reports_carry_wall_clock_and_rates():
+    device = VortexDevice(VortexConfig(), driver="funcsim")
+    run = VecAddKernel().run(device, size=64)
+    report = run.report
+    assert report.wall_seconds > 0.0
+    assert report.instructions_per_second > 0.0
+    assert report.thread_instructions_per_second >= report.instructions_per_second
+    assert report.engine == "vector"
+    assert "instr/s" in report.summary()
+
+
+def test_scalar_engine_report_is_labelled():
+    device = VortexDevice(VortexConfig(), driver="funcsim-scalar")
+    run = VecAddKernel().run(device, size=32)
+    assert run.report.engine == "scalar"
+    assert run.report.driver == "funcsim"
+
+
+# -- session / job queue -----------------------------------------------------------------
+
+
+def test_job_queue_fifo_and_drain():
+    queue = JobQueue([KernelJob(kernel="vecadd")])
+    queue.add(KernelJob(kernel="saxpy"))
+    queue.extend([KernelJob(kernel="sgemm")])
+    assert len(queue) == 3
+    drained = queue.drain()
+    assert [job.kernel for job in drained] == ["vecadd", "saxpy", "sgemm"]
+    assert len(queue) == 0
+
+
+def test_execute_job_reports_errors_instead_of_raising():
+    result = execute_job(KernelJob(kernel="no-such-kernel"))
+    assert not result.ok
+    assert result.error is not None
+    assert "KeyError" in result.error
+
+
+def test_session_runs_batch_of_jobs_concurrently():
+    session = Session(max_workers=6, executor="thread")
+    for kernel in ("vecadd", "saxpy", "sgemm", "vecadd", "saxpy", "sgemm"):
+        session.submit(KernelJob(kernel=kernel, driver="funcsim", size=256))
+    batch = session.run_batch()
+    assert isinstance(batch, BatchReport)
+    assert len(batch.results) == 6
+    assert batch.ok
+    # At least four jobs were in flight at once (the acceptance bar).
+    assert batch.peak_concurrency >= 4
+    assert batch.total_simulated_instructions > 0
+    assert "6 jobs" in batch.summary()
+
+
+def test_session_results_preserve_submission_order():
+    session = Session(max_workers=4, executor="thread")
+    jobs = [
+        KernelJob(kernel="vecadd", driver="funcsim", size=32, label="first"),
+        KernelJob(kernel="saxpy", driver="funcsim", size=32, label="second"),
+    ]
+    batch = session.run_batch(jobs)
+    assert [result.job.label for result in batch.results] == ["first", "second"]
+
+
+def test_session_process_pool_round_trip():
+    session = Session(max_workers=2, executor="process")
+    batch = session.run_batch(
+        [KernelJob(kernel="vecadd", driver="funcsim", size=64, label=f"j{i}") for i in range(2)]
+    )
+    assert batch.ok
+    assert all(result.report is not None for result in batch.results)
+
+
+def test_design_point_jobs_cover_the_table3_grid():
+    from repro.common.config import CORE_DESIGN_POINTS
+
+    jobs = design_point_jobs("sgemm", CORE_DESIGN_POINTS, size=36)
+    assert len(jobs) == len(CORE_DESIGN_POINTS)
+    labels = {job.label for job in jobs}
+    assert "4W-4T" in labels and "8W-4T" in labels
+    for job in jobs:
+        warps, threads = CORE_DESIGN_POINTS[job.label]
+        assert job.config.num_warps == warps
+        assert job.config.num_threads == threads
+
+
+def test_session_rejects_unknown_executor():
+    with pytest.raises(ValueError):
+        Session(executor="gpu")
+
+
+def test_empty_batch_is_a_noop():
+    batch = Session(executor="serial").run_batch([])
+    assert batch.results == []
+    assert batch.ok
