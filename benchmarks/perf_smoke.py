@@ -1,14 +1,16 @@
-"""Performance smoke benchmark: vectorized vs scalar FUNCSIM wall-clock.
+"""Performance smoke benchmark: vectorized vs scalar wall-clock.
 
 Runs ``vecadd`` and ``sgemm`` on both functional engines across a few
-warp/thread geometries, interleaving scalar and vector repetitions
-(best-of-N) so machine noise hits both sides equally, checks that the
-architectural results are bit-identical, and records everything into
-``BENCH_engine.json`` at the repository root.
+warp/thread geometries, plus a textured-triangle render on both graphics
+engines, interleaving scalar and vector repetitions (best-of-N) so machine
+noise hits both sides equally, checks that the architectural/pixel results
+are bit-identical, and records everything into ``BENCH_engine.json`` and
+``BENCH_graphics.json`` at the repository root.
 
 Run with::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py [--reps N] [--out PATH]
+        [--graphics-out PATH] [--skip-engine] [--skip-graphics]
 """
 
 from __future__ import annotations
@@ -22,8 +24,12 @@ from pathlib import Path
 import numpy as np
 
 from repro.common.config import VortexConfig
+from repro.graphics.fragment import BlendMode
+from repro.graphics.geometry import Matrix4, Vertex
+from repro.graphics.pipeline import GraphicsContext
 from repro.kernels import KERNELS
 from repro.runtime.device import VortexDevice
+from repro.texture.formats import TexFilter, TexWrap
 
 #: (kernel, problem size) pairs measured by the smoke benchmark.
 WORKLOADS = (("vecadd", 8192), ("sgemm", 24 * 24))
@@ -81,22 +87,85 @@ def measure(kernel, size, warps, threads, reps):
     }
 
 
-def main() -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--reps", type=int, default=5, help="repetitions per engine (best-of)")
-    parser.add_argument(
-        "--out",
-        type=Path,
-        default=Path(__file__).resolve().parent.parent / "BENCH_engine.json",
-    )
-    args = parser.parse_args()
-    if args.reps < 1:
-        parser.error("--reps must be at least 1")
+# -- graphics: textured-triangle render, scalar vs vector pipeline ----------------------
 
+#: Render-target size, texture size and triangle count of the scenario.
+GRAPHICS_SIZE = 160
+GRAPHICS_TEXTURE = 64
+GRAPHICS_TRIANGLES = 24
+
+
+def _graphics_scene():
+    """Deterministic vertex stream + texture for the render scenario."""
+    rng = np.random.default_rng(41)
+    texture = rng.integers(0, 256, size=(GRAPHICS_TEXTURE, GRAPHICS_TEXTURE, 4),
+                           dtype=np.uint8)
+    texture[..., 3] = 255
+    vertices = []
+    for index in range(GRAPHICS_TRIANGLES):
+        z = (index / (GRAPHICS_TRIANGLES - 1)) - 0.5
+        for _ in range(3):
+            x, y = rng.uniform(-1.1, 1.1, size=2)
+            color = tuple(rng.uniform(0.2, 1.0, size=3)) + (0.8,)
+            uv = tuple(rng.uniform(-0.5, 1.5, size=2))
+            vertices.append(Vertex(position=(x, y, z, 1.0), color=color, uv=uv))
+    return texture, vertices
+
+
+def _render_once(engine, texture, vertices):
+    ctx = GraphicsContext(GRAPHICS_SIZE, GRAPHICS_SIZE, tile_size=16, engine=engine)
+    ctx.set_mvp(Matrix4.orthographic(-1, 1, -1, 1))
+    ctx.clear(color=(10, 10, 30, 255))
+    ctx.fragment_ops.blend = BlendMode.ALPHA
+    ctx.bind_texture(texture, filter_mode=TexFilter.BILINEAR, wrap=TexWrap.REPEAT)
+    start = time.perf_counter()
+    ctx.draw(vertices)
+    wall = time.perf_counter() - start
+    return wall, ctx
+
+
+def measure_graphics(reps):
+    """Best-of-N textured-triangle render on both graphics engines."""
+    texture, vertices = _graphics_scene()
+    scalar_best = vector_best = float("inf")
+    scalar_ctx = vector_ctx = None
+    for _ in range(reps):
+        wall, scalar_ctx = _render_once("scalar", texture, vertices)
+        scalar_best = min(scalar_best, wall)
+        wall, vector_ctx = _render_once("vector", texture, vertices)
+        vector_best = min(vector_best, wall)
+
+    identical = (
+        np.array_equal(scalar_ctx.framebuffer.color, vector_ctx.framebuffer.color)
+        and np.array_equal(
+            scalar_ctx.framebuffer.depth.view(np.uint32),
+            vector_ctx.framebuffer.depth.view(np.uint32),
+        )
+        and scalar_ctx.fragment_ops.fragments_written
+        == vector_ctx.fragment_ops.fragments_written
+    )
+    fragments = scalar_ctx.fragment_ops.fragments_in
+    return {
+        "scenario": "textured_triangles_alpha_blend_bilinear",
+        "framebuffer": [GRAPHICS_SIZE, GRAPHICS_SIZE],
+        "texture": [GRAPHICS_TEXTURE, GRAPHICS_TEXTURE],
+        "triangles": GRAPHICS_TRIANGLES,
+        "fragments": fragments,
+        "fragments_written": scalar_ctx.fragment_ops.fragments_written,
+        "scalar_seconds": round(scalar_best, 4),
+        "vector_seconds": round(vector_best, 4),
+        "scalar_fragments_per_second": round(fragments / scalar_best, 1),
+        "vector_fragments_per_second": round(fragments / vector_best, 1),
+        "speedup": round(scalar_best / vector_best, 2),
+        "identical_framebuffers": bool(identical),
+    }
+
+
+def run_engine_benchmark(reps, out_path):
     results = []
     for kernel, size in WORKLOADS:
         for warps, threads in GEOMETRIES:
-            row = measure(kernel, size, warps, threads, args.reps)
+            row = measure(kernel, size, warps, threads, reps)
             results.append(row)
             print(
                 f"{kernel:8s} size={size:6d} {warps}W-{threads}T "
@@ -106,19 +175,61 @@ def main() -> None:
 
     baseline = [r for r in results if (r["warps"], r["threads"]) == (4, 4)]
     payload = {
-        "benchmark": "funcsim vectorized engine vs scalar reference (best-of-%d)" % args.reps,
+        "benchmark": "funcsim vectorized engine vs scalar reference (best-of-%d)" % reps,
         "generated_by": "benchmarks/perf_smoke.py",
         "python": platform.python_version(),
         "numpy": np.__version__,
         "results": results,
         "baseline_4w4t_speedups": {r["kernel"]: r["speedup"] for r in baseline},
     }
-    args.out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
-    print(f"\nwrote {args.out}")
+    out_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {out_path}")
 
     failed = [r for r in results if not r["identical_architectural_state"]]
     if failed:
         raise SystemExit(f"architectural mismatch in: {[r['kernel'] for r in failed]}")
+
+
+def run_graphics_benchmark(reps, out_path):
+    row = measure_graphics(reps)
+    print(
+        f"graphics {row['fragments']} fragments "
+        f"scalar={row['scalar_seconds']:7.3f}s vector={row['vector_seconds']:7.3f}s "
+        f"({row['scalar_fragments_per_second']:,.0f} vs "
+        f"{row['vector_fragments_per_second']:,.0f} frags/s) "
+        f"speedup={row['speedup']:5.2f}x identical={row['identical_framebuffers']}"
+    )
+    payload = {
+        "benchmark": "vectorized graphics pipeline vs scalar reference (best-of-%d)" % reps,
+        "generated_by": "benchmarks/perf_smoke.py",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "results": [row],
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out_path}")
+    if not row["identical_framebuffers"]:
+        raise SystemExit("graphics engines produced different framebuffers")
+
+
+def main() -> None:
+    root = Path(__file__).resolve().parent.parent
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--reps", type=int, default=5, help="repetitions per engine (best-of)")
+    parser.add_argument("--out", type=Path, default=root / "BENCH_engine.json")
+    parser.add_argument("--graphics-out", type=Path, default=root / "BENCH_graphics.json")
+    parser.add_argument("--skip-engine", action="store_true",
+                        help="skip the funcsim engine workloads")
+    parser.add_argument("--skip-graphics", action="store_true",
+                        help="skip the graphics render scenario")
+    args = parser.parse_args()
+    if args.reps < 1:
+        parser.error("--reps must be at least 1")
+
+    if not args.skip_engine:
+        run_engine_benchmark(args.reps, args.out)
+    if not args.skip_graphics:
+        run_graphics_benchmark(args.reps, args.graphics_out)
 
 
 if __name__ == "__main__":

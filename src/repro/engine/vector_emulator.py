@@ -92,8 +92,10 @@ class VectorWarpEmulator(WarpEmulator):
             return self._plan_split(warp, pc, instr)
         if mnemonic == "join":
             return self._plan_join(warp, pc)
-        # CSR access, tmc/wspawn/bar, fence, ecall, texture fetches: reuse
-        # the scalar per-mnemonic handlers (rare instructions).
+        if mnemonic == "tex":
+            return self._plan_tex(warp, pc, instr)
+        # CSR access, tmc/wspawn/bar, fence, ecall: reuse the scalar
+        # per-mnemonic handlers (rare instructions).
         return self._plan_scalar(warp, pc, instr)
 
     # -- ALU / MUL / DIV ---------------------------------------------------------------
@@ -493,6 +495,47 @@ class VectorWarpEmulator(WarpEmulator):
             else:
                 cursor.scatter(rs1_row[warp.lanes] + imm, src_row[warp.lanes])
                 state[0] = imm - cursor.page_start
+            warp.pc = next_pc
+
+        return run
+
+    # -- texture fetch -----------------------------------------------------------------
+
+    def _plan_tex(self, warp, pc: int, instr: DecodedInstruction) -> Plan:
+        """Whole-warp ``tex``: the active lanes' (u, v, lod) operand rows go
+        through the texture unit's vectorized sampler in one shot.
+
+        Texture state is CSR-programmed and mutable between executions, so
+        the plan binds only the operand rows and re-snapshots the CSR block
+        on every run, exactly like the scalar handler.
+        """
+        core = self.core
+        if core.tex_unit is None:
+            # Keep the scalar handler's error path.
+            return self._plan_scalar(warp, pc, instr)
+        tex_unit = core.tex_unit
+        csr = core.csr
+        regs = warp.regs
+        u_row = regs.fp_row(instr.rs1)
+        v_row = regs.fp_row(instr.rs2)
+        lod_row = regs.fp_row(instr.rs3)
+        rd = instr.rd
+        rd_row = regs.int_row(rd) if rd else None
+        stage = instr.tex_stage
+        next_pc = pc + 4
+
+        def run() -> None:
+            if warp.full:
+                colors = tex_unit.sample_warp_vector(csr, stage, u_row, v_row, lod_row)
+                if rd_row is not None:
+                    rd_row[:] = colors
+            else:
+                lanes = warp.lanes
+                colors = tex_unit.sample_warp_vector(
+                    csr, stage, u_row[lanes], v_row[lanes], lod_row[lanes]
+                )
+                if rd_row is not None:
+                    rd_row[lanes] = colors
             warp.pc = next_pc
 
         return run

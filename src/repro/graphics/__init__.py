@@ -20,9 +20,9 @@ pipeline:
 from repro.graphics.framebuffer import Framebuffer
 from repro.graphics.geometry import Vertex, Matrix4, GeometryStage
 from repro.graphics.tiles import TileGrid
-from repro.graphics.raster import Rasterizer, Fragment
+from repro.graphics.raster import Rasterizer, Fragment, FragmentBatch
 from repro.graphics.fragment import FragmentOps, CompareFunc, BlendMode
-from repro.graphics.pipeline import GraphicsContext, PrimitiveType
+from repro.graphics.pipeline import GraphicsContext, PrimitiveType, GRAPHICS_ENGINES
 
 __all__ = [
     "Framebuffer",
@@ -32,9 +32,11 @@ __all__ = [
     "TileGrid",
     "Rasterizer",
     "Fragment",
+    "FragmentBatch",
     "FragmentOps",
     "CompareFunc",
     "BlendMode",
     "GraphicsContext",
     "PrimitiveType",
+    "GRAPHICS_ENGINES",
 ]

@@ -11,8 +11,16 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Optional, Tuple
 
-from repro.graphics.framebuffer import Framebuffer, pack_color, unpack_color
-from repro.graphics.raster import Fragment
+import numpy as np
+
+from repro.graphics.framebuffer import (
+    Framebuffer,
+    pack_color,
+    pack_colors,
+    unpack_color,
+    unpack_colors,
+)
+from repro.graphics.raster import Fragment, FragmentBatch
 
 
 class CompareFunc(Enum):
@@ -43,6 +51,26 @@ class CompareFunc(Enum):
         if self is CompareFunc.NOTEQUAL:
             return value != reference
         return True
+
+    def apply_many(self, values: np.ndarray, reference: float) -> np.ndarray:
+        """Vectorized :meth:`apply`: one boolean per entry of ``values``."""
+        if self is CompareFunc.NEVER:
+            return np.zeros(values.shape[0], dtype=bool)
+        if self is CompareFunc.ALWAYS:
+            return np.ones(values.shape[0], dtype=bool)
+        op = _COMPARE_UFUNCS[self]
+        return op(values, reference)
+
+
+#: numpy comparators backing :meth:`CompareFunc.apply_many`.
+_COMPARE_UFUNCS = {
+    CompareFunc.LESS: np.less,
+    CompareFunc.LEQUAL: np.less_equal,
+    CompareFunc.EQUAL: np.equal,
+    CompareFunc.GREATER: np.greater,
+    CompareFunc.GEQUAL: np.greater_equal,
+    CompareFunc.NOTEQUAL: np.not_equal,
+}
 
 
 class BlendMode(Enum):
@@ -127,6 +155,66 @@ class FragmentOps:
         self.fragments_written += 1
         return True
 
+    def process_many(
+        self,
+        framebuffer: Framebuffer,
+        batch: FragmentBatch,
+        color: Optional[np.ndarray] = None,
+    ) -> int:
+        """Vectorized :meth:`process` over a unique-pixel fragment batch.
+
+        Applies the alpha/stencil/depth tests as cumulative numpy masks
+        (kill counters advance exactly as the scalar per-fragment sequence
+        would), then fog, blending and the framebuffer writes as array
+        operations.  Requires the batch's pixels to be distinct — the
+        rasterization paths guarantee that — so the batched read-modify-
+        write against the framebuffer matches the sequential loop.  Returns
+        the number of fragments written.
+        """
+        count = len(batch)
+        self.fragments_in += count
+        if count == 0:
+            return 0
+        xs, ys, depth = batch.xs, batch.ys, batch.depth
+        color = batch.color if color is None else color
+
+        in_bounds = (xs >= 0) & (xs < framebuffer.width) & (ys >= 0) & (ys < framebuffer.height)
+        if not in_bounds.all():
+            xs, ys = xs[in_bounds], ys[in_bounds]
+            depth, color = depth[in_bounds], color[in_bounds]
+            if xs.shape[0] == 0:
+                return 0
+
+        alive = np.ones(xs.shape[0], dtype=bool)
+        if self.alpha_test:
+            passed = self.alpha_func.apply_many(color[:, 3], self.alpha_ref)
+            self.alpha_kills += int(np.count_nonzero(alive & ~passed))
+            alive &= passed
+        if self.stencil_test:
+            stencil = framebuffer.stencil[ys, xs].astype(np.float64)
+            passed = self.stencil_func.apply_many(stencil, float(self.stencil_ref))
+            self.stencil_kills += int(np.count_nonzero(alive & ~passed))
+            alive &= passed
+        if self.depth_test:
+            passed = self.depth_func.apply_many(depth, framebuffer.depth[ys, xs])
+            self.depth_kills += int(np.count_nonzero(alive & ~passed))
+            alive &= passed
+        if not alive.all():
+            xs, ys = xs[alive], ys[alive]
+            depth, color = depth[alive], color[alive]
+            if xs.shape[0] == 0:
+                return 0
+
+        shaded = self._apply_fog_many(color, depth)
+        framebuffer.color[ys, xs] = self._blend_many(framebuffer, xs, ys, shaded)
+        if self.depth_test and self.depth_write:
+            framebuffer.depth[ys, xs] = depth
+        if self.stencil_test:
+            framebuffer.stencil[ys, xs] = self.stencil_ref & 0xFF
+        written = int(xs.shape[0])
+        self.fragments_written += written
+        return written
+
     # -- helpers ------------------------------------------------------------------------
 
     def _apply_fog(self, color, depth: float):
@@ -153,3 +241,41 @@ class FragmentOps:
             else:  # ADDITIVE
                 blended = tuple(min(src[c] + dst[c], 1.0) for c in range(3)) + (src[3],)
         return tuple(int(round(channel * 255)) for channel in blended)
+
+    # -- vectorized helpers --------------------------------------------------------------
+
+    def _apply_fog_many(self, color: np.ndarray, depth: np.ndarray) -> np.ndarray:
+        fog = self.fog
+        if not fog.enabled or fog.end <= fog.start:
+            return color
+        factor = np.clip((depth - fog.start) / (fog.end - fog.start), 0.0, 1.0)
+        fogged = np.empty_like(color)
+        one_minus = 1 - factor
+        for channel in range(3):
+            fogged[:, channel] = color[:, channel] * one_minus + fog.color[channel] * factor
+        fogged[:, 3] = color[:, 3]
+        # factor == 0 returns the input color untouched in the scalar path.
+        untouched = factor == 0.0
+        if untouched.any():
+            fogged[untouched] = color[untouched]
+        return fogged
+
+    def _blend_many(self, framebuffer: Framebuffer, xs, ys, color: np.ndarray) -> np.ndarray:
+        """Blend a batch against the framebuffer; returns packed RGBA8 words."""
+        src = np.clip(color, 0.0, 1.0)
+        if self.blend is BlendMode.REPLACE:
+            blended = src
+        else:
+            dst = unpack_colors(framebuffer.color[ys, xs]) / 255.0
+            blended = np.empty_like(src)
+            if self.blend is BlendMode.ALPHA:
+                alpha = src[:, 3]
+                one_minus = 1 - alpha
+                for channel in range(3):
+                    blended[:, channel] = (
+                        src[:, channel] * alpha + dst[:, channel] * one_minus
+                    )
+            else:  # ADDITIVE
+                blended[:, :3] = np.minimum(src[:, :3] + dst[:, :3], 1.0)
+            blended[:, 3] = src[:, 3]
+        return pack_colors(np.rint(blended * 255).astype(np.uint32))

@@ -12,6 +12,8 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.texture.formats import TexFormat, decode_texels, pack_rgba8_many
+
 RGBA = Tuple[int, int, int, int]
 
 
@@ -24,6 +26,21 @@ def pack_color(color: RGBA) -> int:
 def unpack_color(word: int) -> RGBA:
     """Unpack an RGBA8 word."""
     return (word & 0xFF, (word >> 8) & 0xFF, (word >> 16) & 0xFF, (word >> 24) & 0xFF)
+
+
+def pack_colors(channels: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`pack_color`: ``(N, 4)`` byte channels -> uint32 words.
+
+    The framebuffer stores the same RGBA8888 layout the texture sampler
+    produces, so this delegates to the one bit-layout implementation in
+    :mod:`repro.texture.formats`.
+    """
+    return pack_rgba8_many(channels.astype(np.uint32, copy=False) & np.uint32(0xFF))
+
+
+def unpack_colors(words: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`unpack_color`: uint32 words -> ``(N, 4)`` byte channels."""
+    return decode_texels(TexFormat.RGBA8, words)
 
 
 class Framebuffer:

@@ -16,9 +16,9 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.graphics.fragment import FragmentOps
-from repro.graphics.framebuffer import Framebuffer
+from repro.graphics.framebuffer import Framebuffer, unpack_colors
 from repro.graphics.geometry import GeometryStage, Matrix4, Vertex
-from repro.graphics.raster import Rasterizer
+from repro.graphics.raster import FragmentBatch, Rasterizer
 from repro.graphics.tiles import TileGrid
 from repro.mem.memory import MainMemory
 from repro.texture.formats import TexFilter, TexFormat, TexWrap
@@ -68,11 +68,30 @@ class TextureBinding:
             ((word >> 24) & 0xFF) / 255.0,
         )
 
+    def sample_many(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+        """Batched :meth:`sample`: normalized ``(N, 4)`` float64 RGBA rows."""
+        words = self._sampler.sample_many(self.state, us, vs, 0)
+        return unpack_colors(words) / 255.0
+
+
+#: Rendering engines selectable on :class:`GraphicsContext`.  ``scalar`` is
+#: the per-fragment Python reference; ``vector`` batches each (tile,
+#: triangle) pair through the numpy rasterizer, sampler and fragment ops —
+#: same split as the execution engines in :mod:`repro.engine`, and held to
+#: the same invariant: pixel-identical framebuffers.
+GRAPHICS_ENGINES = ("scalar", "vector")
+
 
 class GraphicsContext:
     """A minimal OpenGL-ES-style immediate-mode context."""
 
-    def __init__(self, width: int, height: int, tile_size: int = 16):
+    def __init__(self, width: int, height: int, tile_size: int = 16,
+                 engine: str = "scalar"):
+        if engine not in GRAPHICS_ENGINES:
+            raise ValueError(
+                f"unknown graphics engine {engine!r}; available: {GRAPHICS_ENGINES}"
+            )
+        self.engine = engine
         self.framebuffer = Framebuffer(width, height)
         self.geometry = GeometryStage(width, height)
         self.tiles = TileGrid(width, height, tile_size)
@@ -119,6 +138,13 @@ class GraphicsContext:
             color = tuple(color[c] * texel[c] for c in range(4))
         return color
 
+    def _shade_many(self, batch) -> np.ndarray:
+        """Vectorized :meth:`_shade` over a fragment batch."""
+        if self.texture is None:
+            return batch.color
+        texels = self.texture.sample_many(batch.uv[:, 0], batch.uv[:, 1])
+        return batch.color * texels
+
     def _draw_triangles(self, vertices: Sequence[Vertex]) -> None:
         triangles = self.geometry.assemble_triangles(vertices)
         # Tile binning (tile-based rendering, Larrabee-style).
@@ -126,11 +152,46 @@ class GraphicsContext:
         for triangle_id, tri in enumerate(triangles):
             bbox = self.rasterizer.triangle_bbox(tri)
             self.tiles.bin_bbox(triangle_id, *bbox)
+        vectorized = self.engine == "vector"
         for tile in self.tiles.occupied_tiles():
             for triangle_id in self.tiles.triangles_in(tile):
                 v0, v1, v2 = triangles[triangle_id]
-                for fragment in self.rasterizer.rasterize_triangle(v0, v1, v2, tile=tile):
-                    self.fragment_ops.process(self.framebuffer, fragment, self._shade(fragment))
+                if vectorized:
+                    batch = self.rasterizer.rasterize_triangle_batch(v0, v1, v2, tile=tile)
+                    if batch is not None:
+                        self.fragment_ops.process_many(
+                            self.framebuffer, batch, self._shade_many(batch)
+                        )
+                else:
+                    for fragment in self.rasterizer.rasterize_triangle(v0, v1, v2, tile=tile):
+                        self.fragment_ops.process(
+                            self.framebuffer, fragment, self._shade(fragment)
+                        )
+
+    def _process_primitive_fragments(self, fragments) -> None:
+        """Run one primitive's fragments through the fragment pipeline.
+
+        On the vector engine the fragments are batched (one DDA walk or
+        point never visits the same pixel twice, so the unique-pixel
+        requirement of :meth:`FragmentOps.process_many` holds); distinct
+        primitives still execute in order so overlaps between them blend
+        sequentially, as on the scalar engine.
+        """
+        if self.engine == "vector":
+            fragments = list(fragments)
+            if not fragments:
+                return
+            batch = FragmentBatch(
+                xs=np.array([f.x for f in fragments], dtype=np.intp),
+                ys=np.array([f.y for f in fragments], dtype=np.intp),
+                depth=np.array([f.depth for f in fragments], dtype=np.float64),
+                color=np.array([f.color for f in fragments], dtype=np.float64),
+                uv=np.array([f.uv for f in fragments], dtype=np.float64),
+            )
+            self.fragment_ops.process_many(self.framebuffer, batch, self._shade_many(batch))
+        else:
+            for fragment in fragments:
+                self.fragment_ops.process(self.framebuffer, fragment, self._shade(fragment))
 
     def _draw_lines(self, vertices: Sequence[Vertex]) -> None:
         screen = [self.geometry.process_vertex(vertex) for vertex in vertices]
@@ -138,13 +199,11 @@ class GraphicsContext:
             v0, v1 = screen[index], screen[index + 1]
             if v0 is None or v1 is None:
                 continue
-            for fragment in self.rasterizer.rasterize_line(v0, v1):
-                self.fragment_ops.process(self.framebuffer, fragment, self._shade(fragment))
+            self._process_primitive_fragments(self.rasterizer.rasterize_line(v0, v1))
 
     def _draw_points(self, vertices: Sequence[Vertex]) -> None:
         for vertex in vertices:
             screen = self.geometry.process_vertex(vertex)
             if screen is None:
                 continue
-            for fragment in self.rasterizer.rasterize_point(screen):
-                self.fragment_ops.process(self.framebuffer, fragment, self._shade(fragment))
+            self._process_primitive_fragments(self.rasterizer.rasterize_point(screen))

@@ -11,8 +11,11 @@ data-parallel work handed to the compute kernel.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
 
 from repro.graphics.geometry import ScreenVertex
 from repro.graphics.tiles import Tile
@@ -29,9 +32,45 @@ class Fragment:
     uv: Tuple[float, float]
 
 
+@dataclass
+class FragmentBatch:
+    """A batch of fragments with unique pixels, as parallel arrays.
+
+    Produced by the vectorized rasterization paths and consumed by
+    :meth:`~repro.graphics.fragment.FragmentOps.process_many`; the arrays
+    are index-aligned (entry ``i`` of each is one fragment).  Every (x, y)
+    pair in one batch is distinct, so batched read-modify-write framebuffer
+    operations (blending, depth) are order-equivalent to the scalar
+    per-fragment loop.
+    """
+
+    xs: np.ndarray  # int lane of pixel x coordinates
+    ys: np.ndarray  # int lane of pixel y coordinates
+    depth: np.ndarray  # float64 interpolated depths
+    color: np.ndarray  # (N, 4) float64 RGBA
+    uv: np.ndarray  # (N, 2) float64 texture coordinates
+
+    def __len__(self) -> int:
+        return int(self.xs.shape[0])
+
+
 def _edge(ax: float, ay: float, bx: float, by: float, px: float, py: float) -> float:
     """Signed area of the (a, b, p) triangle (the edge function)."""
     return (bx - ax) * (py - ay) - (by - ay) * (px - ax)
+
+
+def _edge_accepts_zero(ax: float, ay: float, bx: float, by: float) -> bool:
+    """Top-left fill rule: does a pixel exactly on edge (a -> b) belong to it?
+
+    With screen y growing downward and the winding normalized so the area
+    is positive, the edges of a triangle run clockwise on screen.  A pixel
+    centre that lies exactly on an edge is owned by the triangle whose edge
+    is a *top* edge (horizontal, pointing in +x) or a *left* edge (pointing
+    in -y); the adjacent triangle sees the same edge with the opposite
+    direction and rejects it, so shared-edge pixels are shaded exactly once.
+    """
+    dy = by - ay
+    return dy < 0 or (dy == 0 and bx - ax > 0)
 
 
 class Rasterizer:
@@ -75,6 +114,11 @@ class Rasterizer:
             return
 
         inv_w = (1.0 / v0.w, 1.0 / v1.w, 1.0 / v2.w)
+        # Top-left fill rule: pixels exactly on an edge (w == 0) belong to
+        # at most one of the two triangles sharing that edge.
+        accept0 = _edge_accepts_zero(v1.x, v1.y, v2.x, v2.y)
+        accept1 = _edge_accepts_zero(v2.x, v2.y, v0.x, v0.y)
+        accept2 = _edge_accepts_zero(v0.x, v0.y, v1.x, v1.y)
         for y in range(min_y, max_y + 1):
             for x in range(min_x, max_x + 1):
                 px, py = x + 0.5, y + 0.5
@@ -82,6 +126,12 @@ class Rasterizer:
                 w1 = _edge(v2.x, v2.y, v0.x, v0.y, px, py)
                 w2 = _edge(v0.x, v0.y, v1.x, v1.y, px, py)
                 if w0 < 0 or w1 < 0 or w2 < 0:
+                    continue
+                if (
+                    (w0 == 0 and not accept0)
+                    or (w1 == 0 and not accept1)
+                    or (w2 == 0 and not accept2)
+                ):
                     continue
                 b0, b1, b2 = w0 / area, w1 / area, w2 / area
                 # Perspective-correct interpolation via 1/w weighting.
@@ -102,17 +152,107 @@ class Rasterizer:
                 self.fragments_generated += 1
                 yield Fragment(x=x, y=y, depth=depth, color=color, uv=uv)
 
+    def rasterize_triangle_batch(
+        self,
+        v0: ScreenVertex,
+        v1: ScreenVertex,
+        v2: ScreenVertex,
+        tile: Optional[Tile] = None,
+    ) -> Optional[FragmentBatch]:
+        """Vectorized :meth:`rasterize_triangle`: the whole pixel grid at once.
+
+        Evaluates the three edge functions over the tile's pixel grid as
+        float64 arrays and interpolates depth/color/uv for every covered
+        pixel in one shot.  The arithmetic mirrors the scalar loop operation
+        for operation (same IEEE-754 order), so the fragments are
+        bit-identical and in the same row-major order; counters
+        (``fragments_generated``, ``triangles_culled``) advance identically.
+        Returns ``None`` when the triangle produces no fragments.
+        """
+        area = _edge(v0.x, v0.y, v1.x, v1.y, v2.x, v2.y)
+        if abs(area) < 1e-9:
+            self.triangles_culled += 1
+            return None
+        if area < 0:
+            v1, v2 = v2, v1
+            area = -area
+
+        min_x = max(int(min(v0.x, v1.x, v2.x)), tile.x0 if tile else 0)
+        max_x = min(int(max(v0.x, v1.x, v2.x)) + 1, (tile.x1 if tile else self.width) - 1)
+        min_y = max(int(min(v0.y, v1.y, v2.y)), tile.y0 if tile else 0)
+        max_y = min(int(max(v0.y, v1.y, v2.y)) + 1, (tile.y1 if tile else self.height) - 1)
+        if min_x > max_x or min_y > max_y:
+            return None
+
+        px = np.arange(min_x, max_x + 1, dtype=np.float64) + 0.5  # (W,)
+        py = np.arange(min_y, max_y + 1, dtype=np.float64)[:, None] + 0.5  # (H, 1)
+        w0 = (v2.x - v1.x) * (py - v1.y) - (v2.y - v1.y) * (px - v1.x)
+        w1 = (v0.x - v2.x) * (py - v2.y) - (v0.y - v2.y) * (px - v2.x)
+        w2 = (v1.x - v0.x) * (py - v0.y) - (v1.y - v0.y) * (px - v0.x)
+        accept0 = _edge_accepts_zero(v1.x, v1.y, v2.x, v2.y)
+        accept1 = _edge_accepts_zero(v2.x, v2.y, v0.x, v0.y)
+        accept2 = _edge_accepts_zero(v0.x, v0.y, v1.x, v1.y)
+        covered = (
+            ((w0 > 0) if not accept0 else (w0 >= 0))
+            & ((w1 > 0) if not accept1 else (w1 >= 0))
+            & ((w2 > 0) if not accept2 else (w2 >= 0))
+        )
+        if not covered.any():
+            return None
+        iy, ix = np.nonzero(covered)  # row-major, matching the scalar loop order
+
+        inv_w = (1.0 / v0.w, 1.0 / v1.w, 1.0 / v2.w)
+        b0 = w0[covered] / area
+        b1 = w1[covered] / area
+        b2 = w2[covered] / area
+        denom = (b0 * inv_w[0] + b1 * inv_w[1]) + b2 * inv_w[2]
+        visible = denom > 0
+        if not visible.all():
+            b0, b1, b2, denom = b0[visible], b1[visible], b2[visible], denom[visible]
+            iy, ix = iy[visible], ix[visible]
+        if b0.shape[0] == 0:
+            return None
+        p0 = b0 * inv_w[0] / denom
+        p1 = b1 * inv_w[1] / denom
+        p2 = b2 * inv_w[2] / denom
+        depth = (b0 * v0.z + b1 * v1.z) + b2 * v2.z
+        color = np.empty((b0.shape[0], 4), dtype=np.float64)
+        for channel in range(4):
+            color[:, channel] = (
+                p0 * v0.color[channel] + p1 * v1.color[channel]
+            ) + p2 * v2.color[channel]
+        uv = np.empty((b0.shape[0], 2), dtype=np.float64)
+        uv[:, 0] = (p0 * v0.uv[0] + p1 * v1.uv[0]) + p2 * v2.uv[0]
+        uv[:, 1] = (p0 * v0.uv[1] + p1 * v1.uv[1]) + p2 * v2.uv[1]
+        self.fragments_generated += int(b0.shape[0])
+        return FragmentBatch(xs=ix + min_x, ys=iy + min_y, depth=depth, color=color, uv=uv)
+
     # -- lines and points -----------------------------------------------------------------
 
     def rasterize_line(self, v0: ScreenVertex, v1: ScreenVertex) -> Iterator[Fragment]:
-        """Yield fragments along a line using a DDA walk."""
+        """Yield fragments along a line using a DDA walk.
+
+        The walk takes ``ceil(max(|dx|, |dy|))`` steps from ``t = 0`` to
+        ``t = 1`` inclusive, so the major axis advances by at most one pixel
+        per step and no pixel is skipped; consecutive steps that round to
+        the same pixel are collapsed, so no pixel is emitted twice either
+        (the historical ``int(max) + 1`` / ``range(steps + 1)`` bound
+        emitted a duplicate endpoint fragment that double-blended, and
+        rounding ties duplicated interior pixels).  The walk is monotonic
+        along both axes, so equal pixels are always consecutive and the
+        emitted pixels are all distinct.
+        """
         dx = v1.x - v0.x
         dy = v1.y - v0.y
-        steps = int(max(abs(dx), abs(dy))) + 1
+        steps = math.ceil(max(abs(dx), abs(dy)))
+        previous = None
         for step in range(steps + 1):
             t = step / steps if steps else 0.0
             x = int(round(v0.x + dx * t))
             y = int(round(v0.y + dy * t))
+            if (x, y) == previous:
+                continue
+            previous = (x, y)
             if not (0 <= x < self.width and 0 <= y < self.height):
                 continue
             depth = v0.z + (v1.z - v0.z) * t

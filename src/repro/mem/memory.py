@@ -25,6 +25,7 @@ from repro.common.bitutils import to_uint32
 PAGE_SIZE = 4096
 PAGE_MASK = PAGE_SIZE - 1
 _WORD_DTYPE = np.dtype("<u4")
+_HALF_DTYPE = np.dtype("<u2")
 
 
 class MemoryAccessError(Exception):
@@ -157,10 +158,11 @@ class MainMemory:
         """Read one 32-bit word per lane address (4-byte aligned each).
 
         The single-page case — a warp's coalesced load — is serviced with
-        one fancy-indexed numpy read; page-straddling gathers fall back to
-        per-lane reads.  Alignment and the same-page test share two
-        reductions: the OR of all addresses carries any misaligned low bit,
-        and OR == AND over the page field iff every lane hits one page.
+        one fancy-indexed numpy read; page-straddling gathers group the
+        lanes by page and do one fancy-indexed read per touched page.
+        Alignment and the same-page test share two reductions: the OR of
+        all addresses carries any misaligned low bit, and OR == AND over
+        the page field iff every lane hits one page.
         """
         ored = int(np.bitwise_or.reduce(addresses))
         if ored & 3:
@@ -172,9 +174,17 @@ class MainMemory:
             _, words = self._page(ored)
             self.reads += len(addresses)
             return words[np.bitwise_and(addresses, PAGE_MASK) >> np.uint32(2)]
+        # Page-straddling gather: group the lanes by page and service each
+        # page with one fancy-indexed read (large textures span many pages).
         out = np.empty(len(addresses), dtype=np.uint32)
-        for lane, address in enumerate(addresses):
-            out[lane] = self.read_word(int(address))
+        pages = addresses >> np.uint32(12)
+        for page_index in np.unique(pages):
+            selected = pages == page_index
+            _, words = self._page(int(page_index) << 12)
+            out[selected] = words[
+                np.bitwise_and(addresses[selected], PAGE_MASK) >> np.uint32(2)
+            ]
+        self.reads += len(addresses)
         return out
 
     def scatter_words(self, addresses: np.ndarray, values: np.ndarray) -> None:
@@ -207,8 +217,12 @@ class MainMemory:
             self.reads += len(addresses)
             return data[np.bitwise_and(addresses, PAGE_MASK)].astype(np.uint32)
         out = np.empty(len(addresses), dtype=np.uint32)
-        for lane, address in enumerate(addresses):
-            out[lane] = self.read_byte(int(address))
+        pages = addresses >> np.uint32(12)
+        for page_index in np.unique(pages):
+            selected = pages == page_index
+            data, _ = self._page(int(page_index) << 12)
+            out[selected] = data[np.bitwise_and(addresses[selected], PAGE_MASK)]
+        self.reads += len(addresses)
         return out
 
     def scatter_bytes(self, addresses: np.ndarray, values: np.ndarray) -> None:
@@ -231,8 +245,15 @@ class MainMemory:
             bad = addresses[np.bitwise_and(addresses, 1) != 0][0]
             raise MemoryAccessError(f"misaligned halfword read at {int(bad):#x}")
         out = np.empty(len(addresses), dtype=np.uint32)
-        for lane, address in enumerate(addresses):
-            out[lane] = self.read_half(int(address))
+        pages = addresses >> np.uint32(12)
+        for page_index in np.unique(pages):
+            selected = pages == page_index
+            data, _ = self._page(int(page_index) << 12)
+            halves = data.view(_HALF_DTYPE)
+            out[selected] = halves[
+                np.bitwise_and(addresses[selected], PAGE_MASK) >> np.uint32(1)
+            ]
+        self.reads += len(addresses)
         return out
 
     def scatter_halves(self, addresses: np.ndarray, values: np.ndarray) -> None:

@@ -8,8 +8,21 @@ texel memory scheduler in front of the data cache, and the two-cycle bilinear
 sampler — and is what the Figure 20 experiment exercises.
 """
 
-from repro.texture.formats import TexFormat, TexWrap, TexFilter, texel_size, decode_texel, encode_texel
-from repro.texture.address import TexelQuad, generate_addresses, mip_dimensions
+from repro.texture.formats import (
+    TexFormat,
+    TexWrap,
+    TexFilter,
+    texel_size,
+    decode_texel,
+    decode_texels,
+    encode_texel,
+)
+from repro.texture.address import (
+    TexelQuad,
+    generate_addresses,
+    generate_addresses_many,
+    mip_dimensions,
+)
 from repro.texture.sampler import TextureSampler, TextureState
 from repro.texture.unit import TextureUnit
 
@@ -19,9 +32,11 @@ __all__ = [
     "TexFilter",
     "texel_size",
     "decode_texel",
+    "decode_texels",
     "encode_texel",
     "TexelQuad",
     "generate_addresses",
+    "generate_addresses_many",
     "mip_dimensions",
     "TextureSampler",
     "TextureState",

@@ -13,6 +13,8 @@ import math
 from dataclasses import dataclass
 from typing import List, Tuple
 
+import numpy as np
+
 from repro.texture.formats import TexFilter, TexFormat, TexWrap, texel_size
 
 #: Number of fractional bits the hardware keeps for blend factors.
@@ -109,5 +111,83 @@ def generate_addresses(
             _texel_address(base, xs[1], ys[1], width, fmt),
         )
         return TexelQuad(addresses=addresses, blend_u=blend_u, blend_v=blend_v)
+
+    raise ValueError(f"unknown filter mode {filter_mode}")
+
+
+def wrap_coordinates(coords: np.ndarray, size: int, wrap: TexWrap) -> np.ndarray:
+    """Vectorized :func:`wrap_coordinate` over an int64 coordinate array."""
+    if wrap == TexWrap.CLAMP:
+        return np.clip(coords, 0, size - 1)
+    if wrap == TexWrap.REPEAT:
+        if size & (size - 1) == 0:
+            return coords & (size - 1)
+        return coords % size
+    if wrap == TexWrap.MIRROR:
+        period = 2 * size
+        coords = coords % period  # numpy % is non-negative for a positive divisor
+        return np.where(coords < size, coords, period - 1 - coords)
+    raise ValueError(f"unknown wrap mode {wrap}")
+
+
+def generate_addresses_many(
+    u: np.ndarray,
+    v: np.ndarray,
+    base: int,
+    width_log2: int,
+    height_log2: int,
+    fmt: TexFormat,
+    wrap: TexWrap,
+    filter_mode: TexFilter,
+    lod: int = 0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batched :func:`generate_addresses` over float64 coordinate arrays.
+
+    Returns ``(addresses, blend_u, blend_v)`` where ``addresses`` is an
+    ``(N, 4)`` int64 array holding each sample's texel quad in the same
+    order the scalar path produces, and the blend factors are ``(N,)``
+    int64 arrays.  Bit-identical to the scalar generator for every sample
+    (coordinates whose texel index magnitude exceeds int64 are the only
+    exception; the scalar path's arbitrary-precision ints have no such
+    limit, but no real workload reaches 2^63 texels).
+    """
+    width, height = mip_dimensions(width_log2, height_log2, lod)
+    u = np.asarray(u, dtype=np.float64)
+    v = np.asarray(v, dtype=np.float64)
+    # Either coordinate being non-finite zeroes both, as in the scalar path.
+    finite = np.isfinite(u) & np.isfinite(v)
+    if not finite.all():
+        u = np.where(finite, u, 0.0)
+        v = np.where(finite, v, 0.0)
+    tsize = texel_size(fmt)
+
+    if filter_mode == TexFilter.POINT:
+        x = wrap_coordinates(np.floor(u * width).astype(np.int64), width, wrap)
+        y = wrap_coordinates(np.floor(v * height).astype(np.int64), height, wrap)
+        address = base + (y * width + x) * tsize
+        addresses = np.repeat(address[:, None], 4, axis=1)
+        zeros = np.zeros(u.shape[0], dtype=np.int64)
+        return addresses, zeros, zeros
+
+    if filter_mode == TexFilter.BILINEAR:
+        fx = u * width - 0.5
+        fy = v * height - 0.5
+        x0 = np.floor(fx).astype(np.int64)
+        y0 = np.floor(fy).astype(np.int64)
+        # (fx - x0) is in [0, 1), so int() truncation == floor.
+        blend_u = np.floor((fx - x0) * BLEND_ONE).astype(np.int64) & (BLEND_ONE - 1)
+        blend_v = np.floor((fy - y0) * BLEND_ONE).astype(np.int64) & (BLEND_ONE - 1)
+        xs0 = wrap_coordinates(x0, width, wrap)
+        xs1 = wrap_coordinates(x0 + 1, width, wrap)
+        ys0 = wrap_coordinates(y0, height, wrap)
+        ys1 = wrap_coordinates(y0 + 1, height, wrap)
+        row0 = ys0 * width
+        row1 = ys1 * width
+        addresses = np.empty((u.shape[0], 4), dtype=np.int64)
+        addresses[:, 0] = base + (row0 + xs0) * tsize
+        addresses[:, 1] = base + (row0 + xs1) * tsize
+        addresses[:, 2] = base + (row1 + xs0) * tsize
+        addresses[:, 3] = base + (row1 + xs1) * tsize
+        return addresses, blend_u, blend_v
 
     raise ValueError(f"unknown filter mode {filter_mode}")

@@ -11,6 +11,8 @@ from __future__ import annotations
 from enum import IntEnum
 from typing import Tuple
 
+import numpy as np
+
 RGBA = Tuple[int, int, int, int]
 
 
@@ -84,6 +86,63 @@ def decode_texel(fmt: TexFormat, raw: int) -> RGBA:
         alpha = (raw >> 8) & 0xFF
         return (luminance, luminance, luminance, alpha)
     raise ValueError(f"unknown texture format {fmt}")
+
+
+def decode_texels(fmt: TexFormat, raw: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`decode_texel`: raw texel words -> ``(N, 4)`` channels.
+
+    ``raw`` is a uint32 array of raw texel storage words; the result holds
+    the (r, g, b, a) byte channels as uint32, matching the scalar decoder
+    bit for bit.
+    """
+    raw = np.asarray(raw, dtype=np.uint32)
+    out = np.empty((raw.shape[0], 4), dtype=np.uint32)
+    if fmt == TexFormat.RGBA8:
+        out[:, 0] = raw & np.uint32(0xFF)
+        out[:, 1] = (raw >> np.uint32(8)) & np.uint32(0xFF)
+        out[:, 2] = (raw >> np.uint32(16)) & np.uint32(0xFF)
+        out[:, 3] = raw >> np.uint32(24)
+        return out
+    if fmt == TexFormat.R8:
+        channel = raw & np.uint32(0xFF)
+        out[:, 0] = channel
+        out[:, 1] = channel
+        out[:, 2] = channel
+        out[:, 3] = 0xFF
+        return out
+    if fmt == TexFormat.RGB565:
+        r5 = raw & np.uint32(0x1F)
+        g6 = (raw >> np.uint32(5)) & np.uint32(0x3F)
+        b5 = (raw >> np.uint32(11)) & np.uint32(0x1F)
+        out[:, 0] = (r5 << np.uint32(3)) | (r5 >> np.uint32(2))
+        out[:, 1] = (g6 << np.uint32(2)) | (g6 >> np.uint32(4))
+        out[:, 2] = (b5 << np.uint32(3)) | (b5 >> np.uint32(2))
+        out[:, 3] = 0xFF
+        return out
+    if fmt == TexFormat.RGBA4:
+        for channel, shift in enumerate((0, 4, 8, 12)):
+            nibble = (raw >> np.uint32(shift)) & np.uint32(0xF)
+            out[:, channel] = (nibble << np.uint32(4)) | nibble
+        return out
+    if fmt == TexFormat.L8A8:
+        luminance = raw & np.uint32(0xFF)
+        out[:, 0] = luminance
+        out[:, 1] = luminance
+        out[:, 2] = luminance
+        out[:, 3] = (raw >> np.uint32(8)) & np.uint32(0xFF)
+        return out
+    raise ValueError(f"unknown texture format {fmt}")
+
+
+def pack_rgba8_many(channels: np.ndarray) -> np.ndarray:
+    """Pack ``(N, 4)`` byte channels into packed RGBA8 uint32 words."""
+    channels = channels.astype(np.uint32, copy=False)
+    return (
+        channels[:, 0]
+        | (channels[:, 1] << np.uint32(8))
+        | (channels[:, 2] << np.uint32(16))
+        | (channels[:, 3] << np.uint32(24))
+    )
 
 
 def encode_texel(fmt: TexFormat, color: RGBA) -> int:

@@ -12,14 +12,24 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.texture.address import BLEND_ONE, TexelQuad, generate_addresses
+import numpy as np
+
+from repro.texture.address import (
+    BLEND_FRAC_BITS,
+    BLEND_ONE,
+    TexelQuad,
+    generate_addresses,
+    generate_addresses_many,
+)
 from repro.texture.formats import (
     RGBA,
     TexFilter,
     TexFormat,
     TexWrap,
     decode_texel,
+    decode_texels,
     pack_rgba8,
+    pack_rgba8_many,
     texel_size,
 )
 from repro.isa.csr import NUM_TEX_LODS, TexCSR, tex_csr
@@ -61,13 +71,28 @@ class TextureState:
 
     @property
     def max_lod(self) -> int:
-        """The coarsest addressable mip level."""
+        """The coarsest mip level of the base dimensions."""
         return max(self.width_log2, self.height_log2)
+
+    @property
+    def max_addressable_lod(self) -> int:
+        """The coarsest level with a valid MIPOFF entry.
+
+        ``max_lod`` only bounds the geometric pyramid; the state block can
+        describe at most ``NUM_TEX_LODS`` (and however many ``mip_offsets``
+        were actually programmed) base addresses.  Sampling past that would
+        pair mip-level dimensions with the level-0 base address.
+        """
+        return max(min(self.max_lod, NUM_TEX_LODS - 1, len(self.mip_offsets) - 1), 0)
+
+    def clamp_lod(self, lod: int) -> int:
+        """Clamp a requested level of detail to the addressable range."""
+        return min(max(int(lod), 0), self.max_addressable_lod)
 
 
 def _lerp(a: int, b: int, frac: int) -> int:
     """Fixed-point linear interpolation on one 8-bit channel."""
-    return (a * (BLEND_ONE - frac) + b * frac) >> 8
+    return (a * (BLEND_ONE - frac) + b * frac) >> BLEND_FRAC_BITS
 
 
 def blend_quad(texels: Sequence[RGBA], blend_u: int, blend_v: int) -> RGBA:
@@ -75,6 +100,22 @@ def blend_quad(texels: Sequence[RGBA], blend_u: int, blend_v: int) -> RGBA:
     top = tuple(_lerp(texels[0][c], texels[1][c], blend_u) for c in range(4))
     bottom = tuple(_lerp(texels[2][c], texels[3][c], blend_u) for c in range(4))
     return tuple(_lerp(top[c], bottom[c], blend_v) for c in range(4))
+
+
+def blend_quads(texels: np.ndarray, blend_u: np.ndarray, blend_v: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`blend_quad` over ``(N, 4 texels, 4 channels)`` quads.
+
+    Pure fixed-point integer arithmetic (the intermediate products peak at
+    255 * 256, well inside uint32), so the result is bit-identical to the
+    scalar blend.
+    """
+    bu = blend_u.astype(np.uint32)[:, None]
+    bv = blend_v.astype(np.uint32)[:, None]
+    one = np.uint32(BLEND_ONE)
+    shift = np.uint32(BLEND_FRAC_BITS)
+    top = (texels[:, 0] * (one - bu) + texels[:, 1] * bu) >> shift
+    bottom = (texels[:, 2] * (one - bu) + texels[:, 3] * bu) >> shift
+    return (top * (one - bv) + bottom * bv) >> shift
 
 
 class TextureSampler:
@@ -96,7 +137,7 @@ class TextureSampler:
         Returns the packed RGBA8 word the ``tex`` instruction writes to its
         destination register.
         """
-        lod = min(max(int(lod), 0), state.max_lod)
+        lod = state.clamp_lod(lod)
         quad = self.quad_for(state, u, v, lod)
         texels = [self.read_texel(state, address) for address in quad.addresses]
         color = blend_quad(texels, quad.blend_u, quad.blend_v)
@@ -115,3 +156,72 @@ class TextureSampler:
             filter_mode=state.filter_mode,
             lod=lod,
         )
+
+    # -- batched sampling (vectorized fast path) ---------------------------------------
+
+    def sample_many(self, state: TextureState, u, v, lod=0, with_addresses: bool = False):
+        """Batched :meth:`sample`: one packed RGBA8 word per ``(u, v, lod)``.
+
+        ``u`` and ``v`` are float64 arrays; ``lod`` is a scalar or an int
+        array broadcast against them.  The whole batch — address planes,
+        texel gather, format decode, fixed-point bilinear blend — executes
+        as numpy array operations, and every word is bit-identical to the
+        scalar :meth:`sample` of the same coordinates.
+
+        With ``with_addresses`` the return value is ``(colors, addresses)``
+        where ``addresses`` is the flat int64 array of every generated texel
+        address (4 per sample, duplicates included) — what the texture
+        unit's de-duplication stage counts.
+        """
+        u = np.asarray(u, dtype=np.float64)
+        v = np.asarray(v, dtype=np.float64)
+        count = u.shape[0]
+        out = np.empty(count, dtype=np.uint32)
+        address_planes = []
+        if count:
+            lods = np.broadcast_to(np.asarray(lod, dtype=np.int64), (count,))
+            lods = np.clip(lods, 0, state.max_addressable_lod)
+            for level in np.unique(lods):
+                selected = lods == level
+                addresses, blend_u, blend_v = generate_addresses_many(
+                    u[selected],
+                    v[selected],
+                    base=state.mip_base(int(level)),
+                    width_log2=state.width_log2,
+                    height_log2=state.height_log2,
+                    fmt=state.fmt,
+                    wrap=state.wrap,
+                    filter_mode=state.filter_mode,
+                    lod=int(level),
+                )
+                texels = self.read_texels_many(state, addresses)
+                out[selected] = pack_rgba8_many(blend_quads(texels, blend_u, blend_v))
+                if with_addresses:
+                    address_planes.append(addresses.ravel())
+        if with_addresses:
+            flat = (
+                np.concatenate(address_planes)
+                if address_planes
+                else np.empty(0, dtype=np.int64)
+            )
+            return out, flat
+        return out
+
+    def read_texels_many(self, state: TextureState, addresses: np.ndarray) -> np.ndarray:
+        """Fetch and decode an ``(N, 4)`` quad-address plane into
+        ``(N, 4 texels, 4 channels)`` byte channels."""
+        size = texel_size(state.fmt)
+        flat = (addresses & np.int64(0xFFFFFFFF)).astype(np.uint32).ravel()
+        if size == 4 and not (int(np.bitwise_or.reduce(flat)) & 3):
+            raw = self.memory.gather_words(flat)
+        elif size == 2 and not (int(np.bitwise_or.reduce(flat)) & 1):
+            raw = self.memory.gather_halves(flat)
+        elif size == 1:
+            raw = self.memory.gather_bytes(flat)
+        else:
+            # Unaligned texture base: byte-assemble like the scalar path.
+            raw = np.empty(flat.shape[0], dtype=np.uint32)
+            for index, address in enumerate(flat):
+                raw_bytes = self.memory.read_bytes(int(address), size)
+                raw[index] = int.from_bytes(raw_bytes, "little")
+        return decode_texels(state.fmt, raw).reshape(addresses.shape[0], 4, 4)

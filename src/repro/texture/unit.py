@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.common.bitutils import bits_to_float
 from repro.common.config import TextureConfig
 from repro.common.perf import PerfCounters
@@ -71,7 +73,7 @@ class TextureUnit:
             u_bits, v_bits, lod_bits = thread_operands
             u = bits_to_float(u_bits)
             v = bits_to_float(v_bits)
-            lod = _lod_from_bits(lod_bits, state.max_lod)
+            lod = state.clamp_lod(_lod_from_bits(lod_bits, state.max_lod))
             quad = self.sampler.quad_for(state, u, v, lod)
             for address in quad.addresses:
                 total += 1
@@ -84,6 +86,36 @@ class TextureUnit:
         return TexWarpResult(
             colors=colors, unique_addresses=list(unique), total_addresses=total
         )
+
+    def sample_warp_vector(
+        self,
+        csr_file,
+        stage: int,
+        u_bits: np.ndarray,
+        v_bits: np.ndarray,
+        lod_bits: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`sample_warp` over the active lanes of a warp.
+
+        The operands are uint32 arrays of raw register bits (one entry per
+        active lane).  Returns one packed RGBA8 word per lane, bit-identical
+        to the scalar warp path, and charges the same perf counters
+        (requests, total and de-duplicated texel fetches).
+        """
+        state = self.state_for(csr_file, stage)
+        count = int(u_bits.shape[0])
+        self.perf.incr("requests")
+        if count == 0:
+            return np.empty(0, dtype=np.uint32)
+        u = np.ascontiguousarray(u_bits).view(np.float32).astype(np.float64)
+        v = np.ascontiguousarray(v_bits).view(np.float32).astype(np.float64)
+        lods = _lods_from_bits_many(np.ascontiguousarray(lod_bits), state)
+        colors, addresses = self.sampler.sample_many(
+            state, u, v, lods, with_addresses=True
+        )
+        self.perf.incr("texel_fetches", 4 * count)
+        self.perf.incr("unique_fetches", int(np.unique(addresses).shape[0]))
+        return colors
 
     def issue_latency(self, num_unique_addresses: int) -> int:
         """Fixed (non-cache) latency charged to one ``tex`` instruction.
@@ -110,3 +142,20 @@ def _lod_from_bits(lod_bits: int, max_lod: int) -> int:
         # The bits do not look like a sensible float; treat them as an integer.
         lod = lod_bits if lod_bits <= max_lod else 0
     return min(max(lod, 0), max_lod)
+
+
+def _lods_from_bits_many(lod_bits: np.ndarray, state: TextureState) -> np.ndarray:
+    """Vectorized ``clamp_lod(_lod_from_bits(bits, max_lod))`` over a lane vector."""
+    max_lod = state.max_lod
+    value = lod_bits.view(np.float32).astype(np.float64)
+    floatish = (
+        (value >= 0.0)
+        & (value <= max_lod + 1)
+        & ((lod_bits >> np.uint32(23)) != 0)
+    )
+    as_float = np.trunc(np.where(floatish, value, 0.0)).astype(np.int64)
+    # NaN lanes fall through to the integer branch, where every NaN bit
+    # pattern exceeds max_lod and resolves to 0 — same as the scalar path.
+    as_int = np.where(lod_bits <= max_lod, lod_bits.astype(np.int64), 0)
+    lods = np.where(floatish, as_float, as_int)
+    return np.clip(lods, 0, state.max_addressable_lod)

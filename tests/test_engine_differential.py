@@ -30,11 +30,15 @@ def _architectural_state(device):
     return warps, device.memory.page_snapshot()
 
 
-def _run(kernel_name, driver, config, size):
+def _run_kernel(kernel, driver, config, size):
     device = VortexDevice(config, driver=driver)
-    run = KERNELS[kernel_name]().run(device, size=size)
-    assert run.passed, f"{kernel_name} failed verification on {driver}"
+    run = kernel.run(device, size=size)
+    assert run.passed, f"{kernel.name} failed verification on {driver}"
     return run.report, _architectural_state(device)
+
+
+def _run(kernel_name, driver, config, size):
+    return _run_kernel(KERNELS[kernel_name](), driver, config, size)
 
 
 @pytest.mark.parametrize("kernel_name", sorted(KERNELS))
@@ -85,6 +89,51 @@ def test_vector_engine_matches_scalar_multicore():
         assert np.array_equal(scalar_warp[2], vector_warp[2])
         assert scalar_warp[4] == vector_warp[4]
     assert scalar_memory == vector_memory
+
+
+@pytest.mark.parametrize("mode", ["point", "bilinear", "trilinear"])
+@pytest.mark.parametrize("use_hw", [True, False])
+def test_texture_kernels_match_scalar_reference(mode, use_hw):
+    """The ``tex`` fast path (and the all-software sampling codegen) must be
+    bit-identical between the engines: registers, memory, retired counts."""
+    from repro.kernels.texture import TextureKernel
+
+    config = VortexConfig()
+    scalar_report, (scalar_warps, scalar_memory) = _run_kernel(
+        TextureKernel(mode=mode, use_hw=use_hw), "funcsim-scalar", config, size=64
+    )
+    vector_report, (vector_warps, vector_memory) = _run_kernel(
+        TextureKernel(mode=mode, use_hw=use_hw), "funcsim", config, size=64
+    )
+    assert scalar_report.instructions == vector_report.instructions
+    for scalar_warp, vector_warp in zip(scalar_warps, vector_warps):
+        assert np.array_equal(scalar_warp[2], vector_warp[2])
+        assert np.array_equal(scalar_warp[3], vector_warp[3])
+        assert scalar_warp[4] == vector_warp[4]
+    assert scalar_memory == vector_memory
+
+
+def test_tex_executes_as_a_vector_plan_not_scalar_fallback():
+    """The vector engine must compile ``tex`` into a whole-warp plan; the
+    per-thread scalar fallback is only for genuinely rare instructions."""
+    from repro.engine.vector_emulator import VectorWarpEmulator
+    from repro.kernels.texture import TextureKernel
+
+    fallen_back = []
+    original = VectorWarpEmulator._plan_scalar
+
+    def spy(self, warp, pc, instr):
+        fallen_back.append(instr.mnemonic)
+        return original(self, warp, pc, instr)
+
+    VectorWarpEmulator._plan_scalar = spy
+    try:
+        device = VortexDevice(VortexConfig(), driver="funcsim")
+        run = TextureKernel(mode="bilinear", use_hw=True).run(device, size=64)
+    finally:
+        VectorWarpEmulator._plan_scalar = original
+    assert run.passed
+    assert "tex" not in fallen_back
 
 
 def test_vector_engine_agrees_with_simx_instruction_counts():

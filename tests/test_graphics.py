@@ -137,6 +137,86 @@ def test_degenerate_triangle_is_culled():
     assert rasterizer.triangles_culled == 1
 
 
+def test_adjacent_triangles_shade_seam_pixels_exactly_once():
+    """Top-left fill rule: the shared edge of two triangles must not double-blend."""
+    from repro.graphics.geometry import ScreenVertex
+
+    def vertex(x, y):
+        return ScreenVertex(x=x, y=y, z=0.5, w=1.0, color=(0.25, 0.25, 0.25, 1.0), uv=(0, 0))
+
+    # A quad split along its diagonal; the diagonal, the verticals and the
+    # horizontals all pass exactly through pixel centres.
+    a, b, c, d = vertex(2.5, 2.5), vertex(8.5, 2.5), vertex(8.5, 12.5), vertex(2.5, 12.5)
+    rasterizer = Rasterizer(16, 16)
+    fragments = list(rasterizer.rasterize_triangle(a, b, c))
+    fragments += list(rasterizer.rasterize_triangle(a, c, d))
+    pixels = [(fragment.x, fragment.y) for fragment in fragments]
+    assert len(pixels) == len(set(pixels)), "seam pixels rasterized twice"
+    # The union covers the quad interior: top/left edges in, bottom/right out.
+    assert set(pixels) == {(x, y) for x in range(2, 8) for y in range(2, 12)}
+
+    # End to end: additive blend over black writes each seam pixel once.
+    fb = Framebuffer(16, 16)
+    ops = FragmentOps(depth_test=False, blend=BlendMode.ADDITIVE)
+    for fragment in fragments:
+        ops.process(fb, fragment)
+    covered = fb.color[fb.color != 0]
+    assert ops.fragments_written == 60
+    assert covered.size == 60
+    assert np.all((covered & 0xFF) == 64), "a seam pixel blended twice"
+
+
+def test_line_rasterization_emits_each_endpoint_once():
+    """The DDA walk must not emit a duplicate endpoint fragment."""
+    from repro.graphics.geometry import ScreenVertex
+
+    def vertex(x, y):
+        return ScreenVertex(x=x, y=y, z=0.0, w=1.0, color=(1, 1, 1, 1), uv=(0, 0))
+
+    rasterizer = Rasterizer(32, 32)
+    fragments = list(rasterizer.rasterize_line(vertex(2.0, 3.0), vertex(9.0, 3.0)))
+    pixels = [(fragment.x, fragment.y) for fragment in fragments]
+    assert pixels == [(x, 3) for x in range(2, 10)]  # 8 fragments, no duplicates
+    assert rasterizer.fragments_generated == 8
+
+    # Additive blend along the line leaves every pixel written exactly once.
+    fb = Framebuffer(32, 32)
+    ops = FragmentOps(depth_test=False, blend=BlendMode.ADDITIVE)
+    for fragment in fragments:
+        ops.process(fb, Fragment(fragment.x, fragment.y, fragment.depth,
+                                 (0.25, 0.25, 0.25, 1.0), fragment.uv))
+    covered = fb.color[fb.color != 0]
+    assert covered.size == 8
+    assert np.all((covered & 0xFF) == 64)
+
+
+def test_line_rasterization_has_no_holes_or_duplicates():
+    """Fractional deltas must not skip pixels; rounding ties must not repeat them."""
+    from repro.graphics.geometry import ScreenVertex
+
+    def vertex(x, y):
+        return ScreenVertex(x=x, y=y, z=0.0, w=1.0, color=(1, 1, 1, 1), uv=(0, 0))
+
+    rasterizer = Rasterizer(32, 32)
+    # dx = 1.9: a truncated step count would stride 1.9 pixels and skip x=3.
+    fragments = list(rasterizer.rasterize_line(vertex(2.4, 3.0), vertex(4.3, 3.0)))
+    assert [(f.x, f.y) for f in fragments] == [(2, 3), (3, 3), (4, 3)]
+    # Half-integer endpoints put every interpolated x on a rounding tie;
+    # banker's rounding maps 3.5 and 4.5 both to 4 — pixels must still be unique.
+    fragments = list(rasterizer.rasterize_line(vertex(2.5, 3.0), vertex(10.5, 3.0)))
+    pixels = [(f.x, f.y) for f in fragments]
+    assert len(pixels) == len(set(pixels))
+    assert pixels == [(x, 3) for x in (2, 4, 6, 8, 10)]
+
+    rng = np.random.default_rng(13)
+    for _ in range(50):
+        (x0, y0), (x1, y1) = rng.uniform(0, 31, size=(2, 2))
+        pixels = [(f.x, f.y) for f in rasterizer.rasterize_line(vertex(x0, y0), vertex(x1, y1))]
+        assert len(pixels) == len(set(pixels)), "duplicate line pixel"
+        for (ax, ay), (bx, by) in zip(pixels, pixels[1:]):
+            assert max(abs(bx - ax), abs(by - ay)) == 1, "hole in line"
+
+
 def test_line_and_point_rasterization():
     rasterizer = Rasterizer(32, 32)
     stage = GeometryStage(32, 32)

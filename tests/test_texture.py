@@ -175,6 +175,85 @@ def test_state_from_csrs_roundtrip():
     assert state.max_lod == 6
 
 
+def _mipmapped_memory():
+    """An 8x8 red mip 0 and a 4x4 green mip 1 at a programmed offset."""
+    memory = MainMemory()
+    red = pack_rgba8((255, 0, 0, 255))
+    green = pack_rgba8((0, 255, 0, 255))
+    mip0 = np.full(8 * 8, red, dtype="<u4")
+    mip1 = np.full(4 * 4, green, dtype="<u4")
+    base, mip1_offset = 0x4000, 8 * 8 * 4
+    memory.write_bytes(base, mip0.tobytes() + mip1.tobytes())
+    state = TextureState(
+        address=base, width_log2=3, height_log2=3,
+        fmt=TexFormat.RGBA8, wrap=TexWrap.CLAMP, filter_mode=TexFilter.BILINEAR,
+        mip_offsets=[0, mip1_offset],  # only two levels programmed
+    )
+    return memory, state, red, green
+
+
+def test_mipmapped_sampling_uses_the_programmed_offset():
+    memory, state, red, green = _mipmapped_memory()
+    sampler = TextureSampler(memory)
+    assert sampler.sample(state, 0.5, 0.5, 0) == red
+    assert sampler.sample(state, 0.5, 0.5, 1) == green
+
+
+def test_lod_clamps_to_programmed_mip_offsets():
+    """``max_lod`` (3 for 8x8) exceeds the two programmed MIPOFF entries; the
+    sampler must clamp to the last addressable level instead of pairing
+    mip-level dimensions with the level-0 base address."""
+    memory, state, _, green = _mipmapped_memory()
+    sampler = TextureSampler(memory)
+    assert state.max_lod == 3
+    assert state.max_addressable_lod == 1
+    for lod in (2, 3, 99):
+        assert sampler.sample(state, 0.5, 0.5, lod) == green
+        assert state.clamp_lod(lod) == 1
+    # The batched sampler applies the same clamp.
+    colors = sampler.sample_many(state, np.array([0.5]), np.array([0.5]), np.array([3]))
+    assert int(colors[0]) == green
+
+
+def test_sample_many_matches_scalar_sampler():
+    """The batched sampler is bit-identical to the scalar one across
+    formats, wrap modes, filters and mip levels."""
+    rng = np.random.default_rng(11)
+    for fmt in TexFormat:
+        memory = MainMemory()
+        base = 0x8000
+        texels = 8 * 8 + 4 * 4
+        memory.write_bytes(base, rng.integers(0, 256, texels * 4, dtype=np.uint8).tobytes())
+        for wrap in TexWrap:
+            for filter_mode in TexFilter:
+                state = TextureState(
+                    address=base, width_log2=3, height_log2=3, fmt=fmt,
+                    wrap=wrap, filter_mode=filter_mode,
+                    mip_offsets=[0, 8 * 8 * 4],
+                )
+                sampler = TextureSampler(memory)
+                us = rng.uniform(-2.5, 3.5, size=64)
+                vs = rng.uniform(-2.5, 3.5, size=64)
+                lods = rng.integers(0, 4, size=64)
+                expected = np.array(
+                    [sampler.sample(state, u, v, lod) for u, v, lod in zip(us, vs, lods)],
+                    dtype=np.uint32,
+                )
+                got = sampler.sample_many(state, us, vs, lods)
+                assert np.array_equal(got, expected), (fmt, wrap, filter_mode)
+
+
+def test_sample_many_zeroes_non_finite_coordinates():
+    memory, state, red, _ = _mipmapped_memory()
+    sampler = TextureSampler(memory)
+    us = np.array([np.nan, np.inf, 0.5])
+    vs = np.array([0.5, -np.inf, np.nan])
+    expected = np.array(
+        [sampler.sample(state, u, v, 0) for u, v in zip(us, vs)], dtype=np.uint32
+    )
+    assert np.array_equal(sampler.sample_many(state, us, vs, 0), expected)
+
+
 # -- texture unit ---------------------------------------------------------------------------
 
 
