@@ -1,0 +1,104 @@
+"""Benchmark regression gate.
+
+Compares a freshly measured ``perf_smoke`` payload against the committed
+baseline (``BENCH_engine.json`` / ``BENCH_graphics.json``) and fails when
+
+* any scenario's vector-over-scalar speedup drops below ``--floor`` times
+  the baseline speedup (machine noise between CI runners is why the floor
+  is a fraction, not an equality),
+* any bit-identity flag (``identical_architectural_state`` /
+  ``identical_framebuffers``) is false in the current payload, or
+* a baseline scenario is missing from the current payload.
+
+Run with::
+
+    python benchmarks/check_regression.py BASELINE CURRENT [--floor 0.6]
+
+Exit status 0 means the gate is green.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Keys whose falseness means the engines diverged bit-for-bit.
+IDENTITY_KEYS = ("identical_architectural_state", "identical_framebuffers")
+
+
+def scenario_key(row: dict) -> str:
+    """Stable identifier for one benchmark row across payloads."""
+    if "scenario" in row:
+        return str(row["scenario"])
+    return "{}@{}:{}W-{}T".format(
+        row.get("kernel", "?"),
+        row.get("size", "?"),
+        row.get("warps", "?"),
+        row.get("threads", "?"),
+    )
+
+
+def load_results(path: Path) -> dict:
+    """Load a ``perf_smoke`` payload into ``{scenario_key: row}``."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    return {scenario_key(row): row for row in payload["results"]}
+
+
+def check(baseline_path: Path, current_path: Path, floor: float) -> list:
+    """Return the list of human-readable gate failures (empty = green)."""
+    baseline = load_results(baseline_path)
+    current = load_results(current_path)
+    failures = []
+    for key, base_row in sorted(baseline.items()):
+        row = current.get(key)
+        if row is None:
+            failures.append(f"{key}: missing from {current_path.name}")
+            continue
+        required = base_row["speedup"] * floor
+        status = "ok"
+        if row["speedup"] < required:
+            status = "REGRESSION"
+            failures.append(
+                f"{key}: speedup {row['speedup']:.2f}x fell below the floor "
+                f"{required:.2f}x ({floor:.0%} of the baseline {base_row['speedup']:.2f}x)"
+            )
+        for flag in IDENTITY_KEYS:
+            if flag in row and not row[flag]:
+                status = "MISMATCH"
+                failures.append(f"{key}: {flag} is false — engines diverged")
+        print(
+            f"  {key:45s} baseline={base_row['speedup']:6.2f}x "
+            f"current={row['speedup']:6.2f}x floor={required:5.2f}x  {status}"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path, help="committed BENCH_*.json")
+    parser.add_argument("current", type=Path, help="freshly measured BENCH_*.json")
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=0.6,
+        help="minimum acceptable fraction of the baseline speedup (default 0.6)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 < args.floor <= 1.0:
+        parser.error("--floor must be in (0, 1]")
+
+    print(f"bench gate: {args.current} vs {args.baseline} (floor {args.floor:.0%})")
+    failures = check(args.baseline, args.current, args.floor)
+    if failures:
+        print(f"\nbench gate FAILED ({len(failures)} problem(s)):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("bench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

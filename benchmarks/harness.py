@@ -11,7 +11,7 @@ invocation never repeats a simulation.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, Optional
 
 from repro.common.config import CacheConfig, MemoryConfig, VortexConfig
 from repro.kernels import KERNELS

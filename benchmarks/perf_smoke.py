@@ -87,16 +87,25 @@ def measure(kernel, size, warps, threads, reps):
     }
 
 
-# -- graphics: textured-triangle render, scalar vs vector pipeline ----------------------
+# -- graphics: textured-triangle renders, scalar vs vector pipeline ---------------------
 
-#: Render-target size, texture size and triangle count of the scenario.
+#: Render-target size, texture size and triangle count of the scenarios.
 GRAPHICS_SIZE = 160
 GRAPHICS_TEXTURE = 64
 GRAPHICS_TRIANGLES = 24
 
+#: Graphics render scenarios: (name, filter mode, generate mipmaps).  The
+#: trilinear scenario exercises the derivative-LOD path end to end: the
+#: rasterizer's per-quad uv derivatives select the mip level and the
+#: sampler blends two levels of the generated chain per fragment.
+GRAPHICS_SCENARIOS = (
+    ("textured_triangles_alpha_blend_bilinear", TexFilter.BILINEAR, False),
+    ("textured_triangles_trilinear_mipmapped", TexFilter.TRILINEAR, True),
+)
+
 
 def _graphics_scene():
-    """Deterministic vertex stream + texture for the render scenario."""
+    """Deterministic vertex stream + texture for the render scenarios."""
     rng = np.random.default_rng(41)
     texture = rng.integers(0, 256, size=(GRAPHICS_TEXTURE, GRAPHICS_TEXTURE, 4),
                            dtype=np.uint8)
@@ -112,27 +121,28 @@ def _graphics_scene():
     return texture, vertices
 
 
-def _render_once(engine, texture, vertices):
+def _render_once(engine, texture, vertices, filter_mode, mipmaps):
     ctx = GraphicsContext(GRAPHICS_SIZE, GRAPHICS_SIZE, tile_size=16, engine=engine)
     ctx.set_mvp(Matrix4.orthographic(-1, 1, -1, 1))
     ctx.clear(color=(10, 10, 30, 255))
     ctx.fragment_ops.blend = BlendMode.ALPHA
-    ctx.bind_texture(texture, filter_mode=TexFilter.BILINEAR, wrap=TexWrap.REPEAT)
+    ctx.bind_texture(texture, filter_mode=filter_mode, wrap=TexWrap.REPEAT,
+                     mipmaps=mipmaps)
     start = time.perf_counter()
     ctx.draw(vertices)
     wall = time.perf_counter() - start
     return wall, ctx
 
 
-def measure_graphics(reps):
+def measure_graphics_scenario(name, filter_mode, mipmaps, reps):
     """Best-of-N textured-triangle render on both graphics engines."""
     texture, vertices = _graphics_scene()
     scalar_best = vector_best = float("inf")
     scalar_ctx = vector_ctx = None
     for _ in range(reps):
-        wall, scalar_ctx = _render_once("scalar", texture, vertices)
+        wall, scalar_ctx = _render_once("scalar", texture, vertices, filter_mode, mipmaps)
         scalar_best = min(scalar_best, wall)
-        wall, vector_ctx = _render_once("vector", texture, vertices)
+        wall, vector_ctx = _render_once("vector", texture, vertices, filter_mode, mipmaps)
         vector_best = min(vector_best, wall)
 
     identical = (
@@ -146,10 +156,12 @@ def measure_graphics(reps):
     )
     fragments = scalar_ctx.fragment_ops.fragments_in
     return {
-        "scenario": "textured_triangles_alpha_blend_bilinear",
+        "scenario": name,
         "framebuffer": [GRAPHICS_SIZE, GRAPHICS_SIZE],
         "texture": [GRAPHICS_TEXTURE, GRAPHICS_TEXTURE],
         "triangles": GRAPHICS_TRIANGLES,
+        "filter": filter_mode.name.lower(),
+        "mipmaps": bool(mipmaps),
         "fragments": fragments,
         "fragments_written": scalar_ctx.fragment_ops.fragments_written,
         "scalar_seconds": round(scalar_best, 4),
@@ -191,25 +203,29 @@ def run_engine_benchmark(reps, out_path):
 
 
 def run_graphics_benchmark(reps, out_path):
-    row = measure_graphics(reps)
-    print(
-        f"graphics {row['fragments']} fragments "
-        f"scalar={row['scalar_seconds']:7.3f}s vector={row['vector_seconds']:7.3f}s "
-        f"({row['scalar_fragments_per_second']:,.0f} vs "
-        f"{row['vector_fragments_per_second']:,.0f} frags/s) "
-        f"speedup={row['speedup']:5.2f}x identical={row['identical_framebuffers']}"
-    )
+    results = []
+    for name, filter_mode, mipmaps in GRAPHICS_SCENARIOS:
+        row = measure_graphics_scenario(name, filter_mode, mipmaps, reps)
+        results.append(row)
+        print(
+            f"graphics {row['scenario']:40s} {row['fragments']} fragments "
+            f"scalar={row['scalar_seconds']:7.3f}s vector={row['vector_seconds']:7.3f}s "
+            f"({row['scalar_fragments_per_second']:,.0f} vs "
+            f"{row['vector_fragments_per_second']:,.0f} frags/s) "
+            f"speedup={row['speedup']:5.2f}x identical={row['identical_framebuffers']}"
+        )
     payload = {
         "benchmark": "vectorized graphics pipeline vs scalar reference (best-of-%d)" % reps,
         "generated_by": "benchmarks/perf_smoke.py",
         "python": platform.python_version(),
         "numpy": np.__version__,
-        "results": [row],
+        "results": results,
     }
     out_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {out_path}")
-    if not row["identical_framebuffers"]:
-        raise SystemExit("graphics engines produced different framebuffers")
+    failed = [r["scenario"] for r in results if not r["identical_framebuffers"]]
+    if failed:
+        raise SystemExit(f"graphics engines produced different framebuffers in: {failed}")
 
 
 def main() -> None:

@@ -4,7 +4,6 @@ The paper sweeps five warp/thread configurations over sgemm, vecadd,
 sfilter, saxpy and nearn and reports thread-instructions per cycle.
 """
 
-import pytest
 
 from benchmarks.harness import print_table, run_kernel
 from repro.common.config import CORE_DESIGN_POINTS

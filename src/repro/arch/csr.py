@@ -9,10 +9,10 @@ with the reading context supplied by the core.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.common.bitutils import to_uint32
-from repro.isa.csr import CSR
+from repro.isa.csr import CSR, is_tex_csr
 
 
 class CsrFile:
@@ -26,6 +26,10 @@ class CsrFile:
         self._storage: Dict[int, int] = {}
         self.cycle = 0
         self.instret = 0
+        #: Texture-state dirty counter: bumped by every write into a
+        #: texture CSR block, so the texture unit can cache its CSR
+        #: snapshot and re-read it only when the state actually changed.
+        self.tex_epoch = 0
 
     # -- hardware-side hooks ------------------------------------------------------
 
@@ -89,6 +93,8 @@ class CsrFile:
         }
         if address in read_only:
             return
+        if is_tex_csr(address):
+            self.tex_epoch += 1
         self._storage[address] = to_uint32(value)
 
     def raw(self, address: int, default: int = 0) -> int:

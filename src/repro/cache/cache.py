@@ -17,7 +17,7 @@ overcommitted.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.cache.bank import BankRequest, CacheBank
 from repro.common.config import CacheConfig

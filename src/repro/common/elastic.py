@@ -13,7 +13,7 @@ by refusing pushes.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Deque, Iterator, Optional
 
 

@@ -11,7 +11,7 @@ MSB of the barrier id in multi-core configurations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Set
 
 #: Barrier ids with this bit set have global (inter-core) scope.
 GLOBAL_BARRIER_FLAG = 1 << 31

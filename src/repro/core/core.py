@@ -10,7 +10,7 @@ state).  Multi-core functional execution is provided by
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.common.config import VortexConfig
 from repro.common.perf import PerfCounters

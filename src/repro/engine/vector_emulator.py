@@ -22,7 +22,7 @@ reuse the scalar per-mnemonic handlers directly.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Callable
 
 import numpy as np
 
@@ -410,7 +410,7 @@ class VectorWarpEmulator(WarpEmulator):
         with :meth:`repro.mem.memory.WordCursor.gather` — this is that
         fast path inlined (measured: the extra call is significant here).
         """
-        from repro.mem.memory import PAGE_MASK, PAGE_SIZE
+        from repro.mem.memory import PAGE_SIZE
 
         cursor = memory.word_cursor()
         # state = [imm - page_start] — rebiased whenever the cursor re-anchors.
@@ -506,8 +506,10 @@ class VectorWarpEmulator(WarpEmulator):
         through the texture unit's vectorized sampler in one shot.
 
         Texture state is CSR-programmed and mutable between executions, so
-        the plan binds only the operand rows and re-snapshots the CSR block
-        on every run, exactly like the scalar handler.
+        the plan binds only the operand rows; the CSR block snapshot is
+        delegated to :meth:`TextureUnit.state_for`, whose dirty-bit cache
+        (keyed on :attr:`CsrFile.tex_epoch`) re-reads the block only after
+        a texture CSR write instead of on every warp instruction.
         """
         core = self.core
         if core.tex_unit is None:

@@ -15,7 +15,6 @@ import numpy as np
 
 from repro.graphics.framebuffer import (
     Framebuffer,
-    pack_color,
     pack_colors,
     unpack_color,
     unpack_colors,

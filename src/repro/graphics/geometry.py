@@ -9,7 +9,7 @@ section 5.5); here it is ordinary numpy code operating on
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -17,10 +17,12 @@ import numpy as np
 
 from repro.graphics.fragment import FragmentOps
 from repro.graphics.framebuffer import Framebuffer, unpack_colors
-from repro.graphics.geometry import GeometryStage, Matrix4, Vertex
+from repro.graphics.geometry import GeometryStage, Vertex
 from repro.graphics.raster import FragmentBatch, Rasterizer
 from repro.graphics.tiles import TileGrid
+from repro.isa.csr import NUM_TEX_LODS
 from repro.mem.memory import MainMemory
+from repro.texture.address import derivative_lod
 from repro.texture.formats import TexFilter, TexFormat, TexWrap
 from repro.texture.sampler import TextureSampler, TextureState
 
@@ -31,6 +33,24 @@ class PrimitiveType(Enum):
     POINTS = "points"
     LINES = "lines"
     TRIANGLES = "triangles"
+
+
+def _box_downsample(image: np.ndarray) -> np.ndarray:
+    """Halve an (H, W, 4) uint8 image with a rounding 2x2 box filter.
+
+    Once a dimension reaches 1 the filter degenerates to averaging pairs
+    along the other axis, so the chain walks all the way down to 1x1.
+    """
+    height, width = image.shape[:2]
+    wide = image.astype(np.uint16)
+    if height > 1 and width > 1:
+        block = wide[0::2, 0::2] + wide[0::2, 1::2] + wide[1::2, 0::2] + wide[1::2, 1::2]
+        return ((block + 2) >> 2).astype(np.uint8)
+    if width > 1:
+        pair = wide[:, 0::2] + wide[:, 1::2]
+    else:
+        pair = wide[0::2, :] + wide[1::2, :]
+    return ((pair + 1) >> 1).astype(np.uint8)
 
 
 class TextureBinding:
@@ -45,6 +65,8 @@ class TextureBinding:
         height, width = image.shape[:2]
         if width & (width - 1) or height & (height - 1):
             raise ValueError("texture dimensions must be powers of two")
+        self.width = width
+        self.height = height
         self._memory = MainMemory()
         self._memory.write_bytes(0, image.tobytes())
         self.state = TextureState(
@@ -54,13 +76,48 @@ class TextureBinding:
             fmt=TexFormat.RGBA8,
             wrap=wrap,
             filter_mode=filter_mode,
-            mip_offsets=[0] * 12,
+            mip_offsets=[0],
         )
         self._sampler = TextureSampler(self._memory)
 
-    def sample(self, u: float, v: float) -> Tuple[float, float, float, float]:
+    @property
+    def mip_count(self) -> int:
+        """Number of addressable mip levels (1 until mipmaps are generated)."""
+        return len(self.state.mip_offsets)
+
+    def generate_mipmaps(self) -> int:
+        """Build the mip chain with a 2x2 box filter and program the offsets.
+
+        Levels are laid out back to back after the base image in the
+        binding's memory (exactly how a kernel would place them before
+        writing the MIPOFF CSRs), halving each dimension down to 1x1 —
+        capped at the :data:`~repro.isa.csr.NUM_TEX_LODS` levels the CSR
+        block can describe.  Returns the number of levels.
+        """
+        base = np.frombuffer(
+            self._memory.read_bytes(0, self.height * self.width * 4), dtype=np.uint8
+        ).reshape(self.height, self.width, 4)
+        levels = [base]
+        while levels[-1].shape[:2] != (1, 1) and len(levels) < NUM_TEX_LODS:
+            levels.append(_box_downsample(levels[-1]))
+        offsets = []
+        offset = 0
+        for level in levels:
+            offsets.append(offset)
+            offset += level.nbytes
+        self._memory.write_bytes(
+            levels[0].nbytes, b"".join(level.tobytes() for level in levels[1:])
+        )
+        self.state.mip_offsets = offsets
+        return len(levels)
+
+    def lod_many(self, duv_dx: np.ndarray, duv_dy: np.ndarray) -> np.ndarray:
+        """Per-fragment level of detail from screen-space uv derivatives."""
+        return derivative_lod(duv_dx, duv_dy, self.width, self.height)
+
+    def sample(self, u: float, v: float, lod: float = 0.0) -> Tuple[float, float, float, float]:
         """Sample the texture; returns a normalized RGBA tuple."""
-        word = self._sampler.sample(self.state, u, v, 0)
+        word = self._sampler.sample(self.state, u, v, lod)
         return (
             (word & 0xFF) / 255.0,
             ((word >> 8) & 0xFF) / 255.0,
@@ -68,9 +125,9 @@ class TextureBinding:
             ((word >> 24) & 0xFF) / 255.0,
         )
 
-    def sample_many(self, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+    def sample_many(self, us: np.ndarray, vs: np.ndarray, lods=0.0) -> np.ndarray:
         """Batched :meth:`sample`: normalized ``(N, 4)`` float64 RGBA rows."""
-        words = self._sampler.sample_many(self.state, us, vs, 0)
+        words = self._sampler.sample_many(self.state, us, vs, lods)
         return unpack_colors(words) / 255.0
 
 
@@ -83,19 +140,24 @@ GRAPHICS_ENGINES = ("scalar", "vector")
 
 
 class GraphicsContext:
-    """A minimal OpenGL-ES-style immediate-mode context."""
+    """A minimal OpenGL-ES-style immediate-mode context.
+
+    ``perspective_depth`` switches the rasterizer's depth interpolation to
+    the perspective-correct 1/w weighting (color and uv always use it).
+    """
 
     def __init__(self, width: int, height: int, tile_size: int = 16,
-                 engine: str = "scalar"):
+                 engine: str = "scalar", perspective_depth: bool = False):
         if engine not in GRAPHICS_ENGINES:
             raise ValueError(
                 f"unknown graphics engine {engine!r}; available: {GRAPHICS_ENGINES}"
             )
         self.engine = engine
+        self.perspective_depth = perspective_depth
         self.framebuffer = Framebuffer(width, height)
         self.geometry = GeometryStage(width, height)
         self.tiles = TileGrid(width, height, tile_size)
-        self.rasterizer = Rasterizer(width, height)
+        self.rasterizer = Rasterizer(width, height, perspective_depth=perspective_depth)
         self.fragment_ops = FragmentOps()
         self.texture: Optional[TextureBinding] = None
         self.draw_calls = 0
@@ -108,9 +170,18 @@ class GraphicsContext:
 
     def bind_texture(self, image: Optional[np.ndarray],
                      filter_mode: TexFilter = TexFilter.BILINEAR,
-                     wrap: TexWrap = TexWrap.REPEAT) -> None:
-        """Bind (or unbind with ``None``) the fragment texture."""
+                     wrap: TexWrap = TexWrap.REPEAT,
+                     mipmaps: bool = False) -> None:
+        """Bind (or unbind with ``None``) the fragment texture.
+
+        With ``mipmaps`` the binding generates its box-filtered mip chain
+        and fragments select their level of detail from the rasterizer's
+        per-quad uv derivatives (trilinear filtering blends the two
+        adjacent levels; point/bilinear use the truncated level).
+        """
         self.texture = None if image is None else TextureBinding(image, filter_mode, wrap)
+        if self.texture is not None and mipmaps:
+            self.texture.generate_mipmaps()
 
     def clear(self, color=(0, 0, 0, 255), depth: float = 1.0) -> None:
         self.framebuffer.clear(color=color, depth=depth)
@@ -130,11 +201,27 @@ class GraphicsContext:
             self._draw_points(vertices)
         return self.fragment_ops.fragments_written - written_before
 
+    @property
+    def _needs_derivatives(self) -> bool:
+        """Derivative LOD is live once the bound texture has a mip chain."""
+        return self.texture is not None and self.texture.mip_count > 1
+
     def _shade(self, fragment) -> Tuple[float, float, float, float]:
         """Run the (fixed-function) fragment shader: vertex color x texture."""
         color = fragment.color
         if self.texture is not None:
-            texel = self.texture.sample(fragment.uv[0], fragment.uv[1])
+            lod = 0.0
+            if self.texture.mip_count > 1:
+                # One-fragment batch through the same exact-arithmetic LOD
+                # function the vector engine uses, so the levels agree
+                # bit for bit.
+                lod = float(
+                    self.texture.lod_many(
+                        np.array([fragment.duv_dx], dtype=np.float64),
+                        np.array([fragment.duv_dy], dtype=np.float64),
+                    )[0]
+                )
+            texel = self.texture.sample(fragment.uv[0], fragment.uv[1], lod)
             color = tuple(color[c] * texel[c] for c in range(4))
         return color
 
@@ -142,7 +229,10 @@ class GraphicsContext:
         """Vectorized :meth:`_shade` over a fragment batch."""
         if self.texture is None:
             return batch.color
-        texels = self.texture.sample_many(batch.uv[:, 0], batch.uv[:, 1])
+        lods = 0.0
+        if self.texture.mip_count > 1 and batch.duv_dx is not None:
+            lods = self.texture.lod_many(batch.duv_dx, batch.duv_dy)
+        texels = self.texture.sample_many(batch.uv[:, 0], batch.uv[:, 1], lods)
         return batch.color * texels
 
     def _draw_triangles(self, vertices: Sequence[Vertex]) -> None:
@@ -153,17 +243,22 @@ class GraphicsContext:
             bbox = self.rasterizer.triangle_bbox(tri)
             self.tiles.bin_bbox(triangle_id, *bbox)
         vectorized = self.engine == "vector"
+        derivatives = self._needs_derivatives
         for tile in self.tiles.occupied_tiles():
             for triangle_id in self.tiles.triangles_in(tile):
                 v0, v1, v2 = triangles[triangle_id]
                 if vectorized:
-                    batch = self.rasterizer.rasterize_triangle_batch(v0, v1, v2, tile=tile)
+                    batch = self.rasterizer.rasterize_triangle_batch(
+                        v0, v1, v2, tile=tile, derivatives=derivatives
+                    )
                     if batch is not None:
                         self.fragment_ops.process_many(
                             self.framebuffer, batch, self._shade_many(batch)
                         )
                 else:
-                    for fragment in self.rasterizer.rasterize_triangle(v0, v1, v2, tile=tile):
+                    for fragment in self.rasterizer.rasterize_triangle(
+                        v0, v1, v2, tile=tile, derivatives=derivatives
+                    ):
                         self.fragment_ops.process(
                             self.framebuffer, fragment, self._shade(fragment)
                         )
@@ -187,6 +282,8 @@ class GraphicsContext:
                 depth=np.array([f.depth for f in fragments], dtype=np.float64),
                 color=np.array([f.color for f in fragments], dtype=np.float64),
                 uv=np.array([f.uv for f in fragments], dtype=np.float64),
+                duv_dx=np.array([f.duv_dx for f in fragments], dtype=np.float64),
+                duv_dy=np.array([f.duv_dy for f in fragments], dtype=np.float64),
             )
             self.fragment_ops.process_many(self.framebuffer, batch, self._shade_many(batch))
         else:

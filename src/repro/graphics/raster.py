@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, Optional, Tuple
 
 import numpy as np
 
@@ -23,13 +23,20 @@ from repro.graphics.tiles import Tile
 
 @dataclass
 class Fragment:
-    """One candidate pixel produced by rasterization."""
+    """One candidate pixel produced by rasterization.
+
+    ``duv_dx``/``duv_dy`` hold the per-quad screen-space finite differences
+    of the texture coordinates (zero unless the rasterizer was asked for
+    derivatives); the pipeline turns them into a mipmap level of detail.
+    """
 
     x: int
     y: int
     depth: float
     color: Tuple[float, float, float, float]
     uv: Tuple[float, float]
+    duv_dx: Tuple[float, float] = (0.0, 0.0)
+    duv_dy: Tuple[float, float] = (0.0, 0.0)
 
 
 @dataclass
@@ -49,6 +56,8 @@ class FragmentBatch:
     depth: np.ndarray  # float64 interpolated depths
     color: np.ndarray  # (N, 4) float64 RGBA
     uv: np.ndarray  # (N, 2) float64 texture coordinates
+    duv_dx: Optional[np.ndarray] = None  # (N, 2) per-quad uv finite differences along x
+    duv_dy: Optional[np.ndarray] = None  # (N, 2) per-quad uv finite differences along y
 
     def __len__(self) -> int:
         return int(self.xs.shape[0])
@@ -57,6 +66,54 @@ class FragmentBatch:
 def _edge(ax: float, ay: float, bx: float, by: float, px: float, py: float) -> float:
     """Signed area of the (a, b, p) triangle (the edge function)."""
     return (bx - ax) * (py - ay) - (by - ay) * (px - ax)
+
+
+def _interp_uv(v0, v1, v2, area: float, inv_w, px, py):
+    """Perspective-correct uv at arbitrary sample positions.
+
+    ``px``/``py`` may be python floats (scalar rasterizer) or float64
+    arrays (vectorized rasterizer); every operation is written once so both
+    callers evaluate the exact same IEEE-754 expression sequence.  Sample
+    positions where the interpolated 1/w denominator is not positive
+    (behind the eye — only reachable for the off-triangle helper pixels of
+    a derivative quad) fall back to a denominator of 1 to stay finite.
+    """
+    w0 = (v2.x - v1.x) * (py - v1.y) - (v2.y - v1.y) * (px - v1.x)
+    w1 = (v0.x - v2.x) * (py - v2.y) - (v0.y - v2.y) * (px - v2.x)
+    w2 = (v1.x - v0.x) * (py - v0.y) - (v1.y - v0.y) * (px - v0.x)
+    b0 = w0 / area
+    b1 = w1 / area
+    b2 = w2 / area
+    denom = (b0 * inv_w[0] + b1 * inv_w[1]) + b2 * inv_w[2]
+    # `not denom > 0.0` (rather than `denom <= 0.0`) so NaN denominators
+    # take the fallback in the scalar branch exactly as np.where does in
+    # the array branch — both engines must agree bit for bit.
+    if isinstance(denom, np.ndarray):
+        denom = np.where(denom > 0.0, denom, 1.0)
+    elif not denom > 0.0:
+        denom = 1.0
+    p0 = b0 * inv_w[0] / denom
+    p1 = b1 * inv_w[1] / denom
+    p2 = b2 * inv_w[2] / denom
+    u = (p0 * v0.uv[0] + p1 * v1.uv[0]) + p2 * v2.uv[0]
+    v = (p0 * v0.uv[1] + p1 * v1.uv[1]) + p2 * v2.uv[1]
+    return u, v
+
+
+def _quad_derivatives(v0, v1, v2, area: float, inv_w, qx, qy):
+    """Finite-difference uv derivatives over a 2x2 fragment quad.
+
+    ``qx``/``qy`` are the pixel-centre coordinates of each quad's top-left
+    pixel (scalars or arrays).  The uv attribute is evaluated at that
+    corner and at its +x / +y neighbours — helper pixels participate even
+    when the triangle does not cover them, exactly like the hardware quad —
+    and the two differences are shared by every fragment of the quad.
+    Returns ``((du_dx, dv_dx), (du_dy, dv_dy))``.
+    """
+    u00, v00 = _interp_uv(v0, v1, v2, area, inv_w, qx, qy)
+    u10, v10 = _interp_uv(v0, v1, v2, area, inv_w, qx + 1.0, qy)
+    u01, v01 = _interp_uv(v0, v1, v2, area, inv_w, qx, qy + 1.0)
+    return (u10 - u00, v10 - v00), (u01 - u00, v01 - v00)
 
 
 def _edge_accepts_zero(ax: float, ay: float, bx: float, by: float) -> bool:
@@ -74,11 +131,17 @@ def _edge_accepts_zero(ax: float, ay: float, bx: float, by: float) -> bool:
 
 
 class Rasterizer:
-    """Generates fragments for screen-space primitives."""
+    """Generates fragments for screen-space primitives.
 
-    def __init__(self, width: int, height: int):
+    With ``perspective_depth`` the interpolated depth uses the same
+    perspective-correct 1/w weights as color and uv instead of the
+    screen-space linear barycentrics (the classic w-buffer-style option).
+    """
+
+    def __init__(self, width: int, height: int, perspective_depth: bool = False):
         self.width = width
         self.height = height
+        self.perspective_depth = perspective_depth
         self.fragments_generated = 0
         self.triangles_culled = 0
 
@@ -95,8 +158,13 @@ class Rasterizer:
         v1: ScreenVertex,
         v2: ScreenVertex,
         tile: Optional[Tile] = None,
+        derivatives: bool = False,
     ) -> Iterator[Fragment]:
-        """Yield the fragments a triangle covers (optionally limited to a tile)."""
+        """Yield the fragments a triangle covers (optionally limited to a tile).
+
+        With ``derivatives`` every fragment carries the per-quad
+        finite-difference uv derivatives of its 2x2 fragment quad.
+        """
         area = _edge(v0.x, v0.y, v1.x, v1.y, v2.x, v2.y)
         if abs(area) < 1e-9:
             self.triangles_culled += 1
@@ -141,7 +209,10 @@ class Rasterizer:
                 p0 = b0 * inv_w[0] / denom
                 p1 = b1 * inv_w[1] / denom
                 p2 = b2 * inv_w[2] / denom
-                depth = b0 * v0.z + b1 * v1.z + b2 * v2.z
+                if self.perspective_depth:
+                    depth = p0 * v0.z + p1 * v1.z + p2 * v2.z
+                else:
+                    depth = b0 * v0.z + b1 * v1.z + b2 * v2.z
                 color = tuple(
                     p0 * v0.color[c] + p1 * v1.color[c] + p2 * v2.color[c] for c in range(4)
                 )
@@ -149,8 +220,18 @@ class Rasterizer:
                     p0 * v0.uv[0] + p1 * v1.uv[0] + p2 * v2.uv[0],
                     p0 * v0.uv[1] + p1 * v1.uv[1] + p2 * v2.uv[1],
                 )
+                duv_dx = duv_dy = (0.0, 0.0)
+                if derivatives:
+                    quad_x = float(x & ~1) + 0.5
+                    quad_y = float(y & ~1) + 0.5
+                    duv_dx, duv_dy = _quad_derivatives(
+                        v0, v1, v2, area, inv_w, quad_x, quad_y
+                    )
                 self.fragments_generated += 1
-                yield Fragment(x=x, y=y, depth=depth, color=color, uv=uv)
+                yield Fragment(
+                    x=x, y=y, depth=depth, color=color, uv=uv,
+                    duv_dx=duv_dx, duv_dy=duv_dy,
+                )
 
     def rasterize_triangle_batch(
         self,
@@ -158,6 +239,7 @@ class Rasterizer:
         v1: ScreenVertex,
         v2: ScreenVertex,
         tile: Optional[Tile] = None,
+        derivatives: bool = False,
     ) -> Optional[FragmentBatch]:
         """Vectorized :meth:`rasterize_triangle`: the whole pixel grid at once.
 
@@ -215,7 +297,10 @@ class Rasterizer:
         p0 = b0 * inv_w[0] / denom
         p1 = b1 * inv_w[1] / denom
         p2 = b2 * inv_w[2] / denom
-        depth = (b0 * v0.z + b1 * v1.z) + b2 * v2.z
+        if self.perspective_depth:
+            depth = (p0 * v0.z + p1 * v1.z) + p2 * v2.z
+        else:
+            depth = (b0 * v0.z + b1 * v1.z) + b2 * v2.z
         color = np.empty((b0.shape[0], 4), dtype=np.float64)
         for channel in range(4):
             color[:, channel] = (
@@ -224,8 +309,28 @@ class Rasterizer:
         uv = np.empty((b0.shape[0], 2), dtype=np.float64)
         uv[:, 0] = (p0 * v0.uv[0] + p1 * v1.uv[0]) + p2 * v2.uv[0]
         uv[:, 1] = (p0 * v0.uv[1] + p1 * v1.uv[1]) + p2 * v2.uv[1]
+        xs = ix + min_x
+        ys = iy + min_y
+        duv_dx = duv_dy = None
+        if derivatives:
+            # One derivative pair per 2x2 quad, evaluated at the quad's
+            # top-left pixel centre as float64 planes — same expressions,
+            # same order as the scalar per-fragment helper.  Quadmates
+            # redundantly evaluate the same corner, but de-duplicating via
+            # np.unique measures ~40% slower at tile-batch sizes (the sort
+            # and gathers cost more than the shorter evaluation saves).
+            quad_x = (xs & ~1).astype(np.float64) + 0.5
+            quad_y = (ys & ~1).astype(np.float64) + 0.5
+            dx, dy = _quad_derivatives(v0, v1, v2, area, inv_w, quad_x, quad_y)
+            duv_dx = np.empty((b0.shape[0], 2), dtype=np.float64)
+            duv_dy = np.empty((b0.shape[0], 2), dtype=np.float64)
+            duv_dx[:, 0], duv_dx[:, 1] = dx
+            duv_dy[:, 0], duv_dy[:, 1] = dy
         self.fragments_generated += int(b0.shape[0])
-        return FragmentBatch(xs=ix + min_x, ys=iy + min_y, depth=depth, color=color, uv=uv)
+        return FragmentBatch(
+            xs=xs, ys=ys, depth=depth, color=color, uv=uv,
+            duv_dx=duv_dx, duv_dy=duv_dy,
+        )
 
     # -- lines and points -----------------------------------------------------------------
 

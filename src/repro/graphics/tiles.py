@@ -8,8 +8,8 @@ tile by tile — on real Vortex each tile becomes a task for ``spawn_tasks``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, List
 
 
 @dataclass(frozen=True)

@@ -11,7 +11,7 @@ encoder.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.isa.builder import BuildError, Program, ProgramBuilder
 from repro.isa.instructions import SPEC_BY_MNEMONIC

@@ -22,8 +22,8 @@ import struct
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
-from repro.common.bitutils import bits, float_to_bits, to_uint32
-from repro.isa.encoding import InstrFormat, encode, imm_fits
+from repro.common.bitutils import float_to_bits, to_uint32
+from repro.isa.encoding import encode, imm_fits
 from repro.isa.instructions import SPEC_BY_MNEMONIC, InstrSpec
 from repro.isa.registers import Reg, reg_index
 

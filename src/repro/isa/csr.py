@@ -4,8 +4,10 @@ Besides the handful of machine CSRs kernels read to discover the machine
 geometry (thread id, warp id, core id, and the corresponding counts), the
 texture units are configured entirely through CSRs (paper section 4.2.2):
 per texture stage there is a block holding the base address, the log2
-dimensions, the texel format, the wrap mode, the filter mode, and one
-mipmap offset per level of detail.
+dimensions, the texel format, the wrap mode, the filter mode (point,
+bilinear or trilinear — see
+:class:`~repro.texture.formats.TexFilter`), and one mipmap offset per
+level of detail.
 """
 
 from __future__ import annotations

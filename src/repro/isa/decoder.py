@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.common.bitutils import bits
-from repro.isa.encoding import InstrFormat, Opcode, unpack
+from repro.isa.encoding import Opcode, unpack
 from repro.isa.instructions import InstrSpec, SPEC_BY_MNEMONIC
 
 

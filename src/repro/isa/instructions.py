@@ -19,7 +19,7 @@ Instruction groups:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.isa.encoding import InstrFormat, Opcode

@@ -11,7 +11,7 @@ latency, and are released in order subject to the bandwidth limit.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Deque, List, Optional
 
 from repro.common.config import MemoryConfig

@@ -12,7 +12,7 @@ protocol regardless of which simulator executes the kernel.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import IntEnum
 from typing import Dict, Optional
 

@@ -22,7 +22,7 @@ runtime expects.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Union
 
 import numpy as np
 

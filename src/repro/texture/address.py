@@ -21,6 +21,46 @@ from repro.texture.formats import TexFilter, TexFormat, TexWrap, texel_size
 BLEND_FRAC_BITS = 8
 BLEND_ONE = 1 << BLEND_FRAC_BITS
 
+#: Mantissa width of an IEEE-754 double (used by the log2 approximation).
+_F64_MANTISSA_BITS = 52
+_F64_MANTISSA_MASK = (1 << _F64_MANTISSA_BITS) - 1
+_F64_MANTISSA_SCALE = 2.0 ** -_F64_MANTISSA_BITS
+
+
+def derivative_lod(
+    duv_dx: np.ndarray,
+    duv_dy: np.ndarray,
+    width: int,
+    height: int,
+) -> np.ndarray:
+    """Per-fragment level of detail from screen-space uv derivatives.
+
+    ``duv_dx``/``duv_dy`` are ``(N, 2)`` float64 arrays holding the per-quad
+    finite differences of the normalized texture coordinates along x and y.
+    The result is ``lod = 0.5 * log2(max(rho_x^2, rho_y^2))`` where ``rho``
+    is the texel-space footprint of the fragment, computed the way hardware
+    does it: the log2 is the piecewise-linear exponent/mantissa
+    approximation read straight from the float64 bit pattern, so the whole
+    function is exact IEEE arithmetic and bit-identical no matter the batch
+    size or lane count.  Degenerate footprints (zero, infinite or NaN
+    derivatives) produce very small/large finite values the sampler's LOD
+    clamp absorbs.
+    """
+    sx = duv_dx[:, 0] * float(width)
+    tx = duv_dx[:, 1] * float(height)
+    sy = duv_dy[:, 0] * float(width)
+    ty = duv_dy[:, 1] * float(height)
+    rho2 = np.maximum(sx * sx + tx * tx, sy * sy + ty * ty)
+    bits = np.ascontiguousarray(rho2, dtype=np.float64).view(np.uint64)
+    exponent = (bits >> np.uint64(_F64_MANTISSA_BITS)).astype(np.int64) - 1023
+    mantissa = (bits & np.uint64(_F64_MANTISSA_MASK)).astype(np.float64)
+    return 0.5 * (exponent.astype(np.float64) + mantissa * _F64_MANTISSA_SCALE)
+
+
+def lod_fraction(lod: float, level: int) -> int:
+    """Quantize the fractional part of a clamped LOD to the blend grid."""
+    return int((lod - level) * BLEND_ONE) & (BLEND_ONE - 1)
+
 
 @dataclass(frozen=True)
 class TexelQuad:
@@ -94,8 +134,10 @@ def generate_addresses(
         address = _texel_address(base, x, y, width, fmt)
         return TexelQuad(addresses=(address,) * 4, blend_u=0, blend_v=0)
 
-    if filter_mode == TexFilter.BILINEAR:
-        # Texel centers sit at half-integer coordinates.
+    if filter_mode in (TexFilter.BILINEAR, TexFilter.TRILINEAR):
+        # Texel centers sit at half-integer coordinates.  A trilinear
+        # sample is two of these quads (one per adjacent mip level); the
+        # per-level address shape is plain bilinear.
         fx = u * width - 0.5
         fy = v * height - 0.5
         x0 = int(math.floor(fx))
@@ -169,7 +211,7 @@ def generate_addresses_many(
         zeros = np.zeros(u.shape[0], dtype=np.int64)
         return addresses, zeros, zeros
 
-    if filter_mode == TexFilter.BILINEAR:
+    if filter_mode in (TexFilter.BILINEAR, TexFilter.TRILINEAR):
         fx = u * width - 0.5
         fy = v * height - 0.5
         x0 = np.floor(fx).astype(np.int64)

@@ -39,6 +39,7 @@ class TexFilter(IntEnum):
 
     POINT = 0
     BILINEAR = 1
+    TRILINEAR = 2  # bilinear at two adjacent mip levels + fixed-point lerp
 
 
 def texel_size(fmt: TexFormat) -> int:

@@ -20,6 +20,7 @@ from repro.texture.address import (
     TexelQuad,
     generate_addresses,
     generate_addresses_many,
+    lod_fraction,
 )
 from repro.texture.formats import (
     RGBA,
@@ -87,12 +88,39 @@ class TextureState:
 
     def clamp_lod(self, lod: int) -> int:
         """Clamp a requested level of detail to the addressable range."""
+        if lod != lod:  # NaN floats select the base level
+            lod = 0
         return min(max(int(lod), 0), self.max_addressable_lod)
+
+    def clamp_lod_float(self, lod: float) -> float:
+        """Clamp a fractional level of detail to the addressable range."""
+        lod = float(lod)
+        if lod != lod:  # NaN
+            lod = 0.0
+        return min(max(lod, 0.0), float(self.max_addressable_lod))
+
+    def trilinear_levels(self, lod: float) -> "tuple[int, int, int]":
+        """Resolve a fractional LOD into ``(level0, level1, blend_frac)``.
+
+        ``level0`` is the finer mip level, ``level1`` the adjacent coarser
+        one (clamped so the pair never leaves the addressable range) and
+        ``blend_frac`` the 8-bit fixed-point interpolation weight toward
+        ``level1``.
+        """
+        lod_f = self.clamp_lod_float(lod)
+        level0 = int(lod_f)
+        level1 = min(level0 + 1, self.max_addressable_lod)
+        return level0, level1, lod_fraction(lod_f, level0)
 
 
 def _lerp(a: int, b: int, frac: int) -> int:
     """Fixed-point linear interpolation on one 8-bit channel."""
     return (a * (BLEND_ONE - frac) + b * frac) >> BLEND_FRAC_BITS
+
+
+def lerp_color(fine: RGBA, coarse: RGBA, frac: int) -> RGBA:
+    """Fixed-point lerp of two RGBA tuples (the trilinear mip blend)."""
+    return tuple(_lerp(fine[c], coarse[c], frac) for c in range(4))
 
 
 def blend_quad(texels: Sequence[RGBA], blend_u: int, blend_v: int) -> RGBA:
@@ -131,17 +159,32 @@ class TextureSampler:
         raw = int.from_bytes(raw_bytes, "little")
         return decode_texel(state.fmt, raw)
 
-    def sample(self, state: TextureState, u: float, v: float, lod: int) -> int:
-        """Sample the texture at normalized ``(u, v)`` from mip level ``lod``.
+    def sample(self, state: TextureState, u: float, v: float, lod: float = 0.0) -> int:
+        """Sample the texture at normalized ``(u, v)`` at level of detail ``lod``.
 
-        Returns the packed RGBA8 word the ``tex`` instruction writes to its
-        destination register.
+        ``lod`` may be fractional; the point and bilinear filters truncate
+        it to one mip level, the trilinear filter blends the two adjacent
+        levels with the 8-bit fixed-point fraction.  Returns the packed
+        RGBA8 word the ``tex`` instruction writes to its destination
+        register.
         """
-        lod = state.clamp_lod(lod)
+        if state.filter_mode == TexFilter.TRILINEAR:
+            level0, level1, frac = state.trilinear_levels(lod)
+            fine = self.level_color(state, u, v, level0)
+            if level1 == level0:
+                # LOD pinned at the coarsest level: the blend fraction is
+                # provably zero, so the second fetch is skipped.
+                return pack_rgba8(fine)
+            coarse = self.level_color(state, u, v, level1)
+            return pack_rgba8(lerp_color(fine, coarse, frac))
+        color = self.level_color(state, u, v, state.clamp_lod(lod))
+        return pack_rgba8(color)
+
+    def level_color(self, state: TextureState, u: float, v: float, lod: int) -> RGBA:
+        """Filter one mip level into an (r, g, b, a) byte tuple."""
         quad = self.quad_for(state, u, v, lod)
         texels = [self.read_texel(state, address) for address in quad.addresses]
-        color = blend_quad(texels, quad.blend_u, quad.blend_v)
-        return pack_rgba8(color)
+        return blend_quad(texels, quad.blend_u, quad.blend_v)
 
     def quad_for(self, state: TextureState, u: float, v: float, lod: int) -> TexelQuad:
         """Generate the texel quad for one sample (shared with the timing unit)."""
@@ -162,42 +205,57 @@ class TextureSampler:
     def sample_many(self, state: TextureState, u, v, lod=0, with_addresses: bool = False):
         """Batched :meth:`sample`: one packed RGBA8 word per ``(u, v, lod)``.
 
-        ``u`` and ``v`` are float64 arrays; ``lod`` is a scalar or an int
-        array broadcast against them.  The whole batch — address planes,
-        texel gather, format decode, fixed-point bilinear blend — executes
-        as numpy array operations, and every word is bit-identical to the
-        scalar :meth:`sample` of the same coordinates.
+        ``u`` and ``v`` are float64 arrays; ``lod`` is a scalar or an int or
+        float array broadcast against them (fractional LODs drive the
+        trilinear filter).  The whole batch — address planes, texel gather,
+        format decode, fixed-point blends — executes as numpy array
+        operations, and every word is bit-identical to the scalar
+        :meth:`sample` of the same coordinates.
 
         With ``with_addresses`` the return value is ``(colors, addresses)``
         where ``addresses`` is the flat int64 array of every generated texel
-        address (4 per sample, duplicates included) — what the texture
-        unit's de-duplication stage counts.
+        address (4 per sample and mip level, duplicates included) — what
+        the texture unit's de-duplication stage counts.
         """
         u = np.asarray(u, dtype=np.float64)
         v = np.asarray(v, dtype=np.float64)
         count = u.shape[0]
         out = np.empty(count, dtype=np.uint32)
-        address_planes = []
+        address_planes = [] if with_addresses else None
         if count:
-            lods = np.broadcast_to(np.asarray(lod, dtype=np.int64), (count,))
-            lods = np.clip(lods, 0, state.max_addressable_lod)
-            for level in np.unique(lods):
-                selected = lods == level
-                addresses, blend_u, blend_v = generate_addresses_many(
-                    u[selected],
-                    v[selected],
-                    base=state.mip_base(int(level)),
-                    width_log2=state.width_log2,
-                    height_log2=state.height_log2,
-                    fmt=state.fmt,
-                    wrap=state.wrap,
-                    filter_mode=state.filter_mode,
-                    lod=int(level),
-                )
-                texels = self.read_texels_many(state, addresses)
-                out[selected] = pack_rgba8_many(blend_quads(texels, blend_u, blend_v))
-                if with_addresses:
-                    address_planes.append(addresses.ravel())
+            if state.filter_mode == TexFilter.TRILINEAR:
+                lods = np.broadcast_to(np.asarray(lod, dtype=np.float64), (count,))
+                lods = np.where(np.isnan(lods), 0.0, lods)
+                lods = np.clip(lods, 0.0, float(state.max_addressable_lod))
+                # lods >= 0, so astype truncation == int() == floor.
+                level0 = lods.astype(np.int64)
+                level1 = np.minimum(level0 + 1, state.max_addressable_lod)
+                frac = ((lods - level0) * BLEND_ONE).astype(np.int64) & (BLEND_ONE - 1)
+                fine = self.level_channels_many(state, u, v, level0, address_planes)
+                # Lanes whose LOD is pinned at the coarsest level have a
+                # zero blend fraction: skip their second fetch entirely
+                # (same early-out, and the same fetch counts, as the
+                # scalar path).
+                blend = level1 != level0
+                if blend.any():
+                    coarse = self.level_channels_many(
+                        state, u[blend], v[blend], level1[blend], address_planes
+                    )
+                    weight = frac[blend].astype(np.uint32)[:, None]
+                    one = np.uint32(BLEND_ONE)
+                    shift = np.uint32(BLEND_FRAC_BITS)
+                    fine[blend] = (fine[blend] * (one - weight) + coarse * weight) >> shift
+                out[:] = pack_rgba8_many(fine)
+            else:
+                lods = np.broadcast_to(np.asarray(lod), (count,))
+                if lods.dtype.kind == "f":
+                    lods = np.where(np.isnan(lods), 0.0, lods)
+                    lods = np.clip(lods, 0.0, float(state.max_addressable_lod))
+                    lods = lods.astype(np.int64)
+                else:
+                    lods = np.clip(lods.astype(np.int64), 0, state.max_addressable_lod)
+                channels = self.level_channels_many(state, u, v, lods, address_planes)
+                out[:] = pack_rgba8_many(channels)
         if with_addresses:
             flat = (
                 np.concatenate(address_planes)
@@ -205,6 +263,41 @@ class TextureSampler:
                 else np.empty(0, dtype=np.int64)
             )
             return out, flat
+        return out
+
+    def level_channels_many(
+        self,
+        state: TextureState,
+        u: np.ndarray,
+        v: np.ndarray,
+        levels: np.ndarray,
+        address_planes=None,
+    ) -> np.ndarray:
+        """Filter each sample's mip level into ``(N, 4)`` byte channels.
+
+        ``levels`` is a clamped int64 level per sample; the batch is grouped
+        by unique level so each level runs one vectorized address-gen /
+        gather / decode / blend pass.  When ``address_planes`` is a list,
+        every generated address plane is appended to it (flattened).
+        """
+        out = np.empty((u.shape[0], 4), dtype=np.uint32)
+        for level in np.unique(levels):
+            selected = levels == level
+            addresses, blend_u, blend_v = generate_addresses_many(
+                u[selected],
+                v[selected],
+                base=state.mip_base(int(level)),
+                width_log2=state.width_log2,
+                height_log2=state.height_log2,
+                fmt=state.fmt,
+                wrap=state.wrap,
+                filter_mode=state.filter_mode,
+                lod=int(level),
+            )
+            texels = self.read_texels_many(state, addresses)
+            out[selected] = blend_quads(texels, blend_u, blend_v)
+            if address_planes is not None:
+                address_planes.append(addresses.ravel())
         return out
 
     def read_texels_many(self, state: TextureState, addresses: np.ndarray) -> np.ndarray:

@@ -13,7 +13,7 @@ sampler latency to the same instruction the functional driver executes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -21,8 +21,8 @@ import numpy as np
 from repro.common.bitutils import bits_to_float
 from repro.common.config import TextureConfig
 from repro.common.perf import PerfCounters
-from repro.texture.formats import pack_rgba8
-from repro.texture.sampler import TextureSampler, TextureState, blend_quad
+from repro.texture.formats import TexFilter, pack_rgba8
+from repro.texture.sampler import TextureSampler, TextureState, blend_quad, lerp_color
 
 
 @dataclass
@@ -46,10 +46,27 @@ class TextureUnit:
         self.config = config or TextureConfig()
         self.sampler = TextureSampler(memory)
         self.perf = PerfCounters("tex_unit")
+        # Per-stage snapshot cache, invalidated by the CSR file's texture
+        # dirty counter: (csr_file, tex_epoch, state).
+        self._state_cache: Dict[int, Tuple[object, int, TextureState]] = {}
 
     def state_for(self, csr_file, stage: int) -> TextureState:
-        """Snapshot the CSR-programmed state of ``stage``."""
-        return TextureState.from_csrs(csr_file, stage)
+        """Snapshot the CSR-programmed state of ``stage``.
+
+        The snapshot (a dozen CSR reads per ``tex`` instruction) is cached
+        against the CSR file's texture dirty counter
+        (:attr:`~repro.arch.csr.CsrFile.tex_epoch`), so back-to-back ``tex``
+        instructions re-read the block only after a texture CSR write.
+        """
+        epoch = getattr(csr_file, "tex_epoch", None)
+        if epoch is None:
+            return TextureState.from_csrs(csr_file, stage)
+        cached = self._state_cache.get(stage)
+        if cached is not None and cached[0] is csr_file and cached[1] == epoch:
+            return cached[2]
+        state = TextureState.from_csrs(csr_file, stage)
+        self._state_cache[stage] = (csr_file, epoch, state)
+        return state
 
     def sample_warp(
         self,
@@ -63,9 +80,20 @@ class TextureUnit:
         the raw register bits of ``(u, v, lod)``.
         """
         state = self.state_for(csr_file, stage)
+        trilinear = state.filter_mode == TexFilter.TRILINEAR
         colors: List[int] = []
         unique: Dict[int, None] = {}
         total = 0
+
+        def filter_level(u: float, v: float, lod: int):
+            nonlocal total
+            quad = self.sampler.quad_for(state, u, v, lod)
+            for address in quad.addresses:
+                total += 1
+                unique.setdefault(address, None)
+            texels = [self.sampler.read_texel(state, address) for address in quad.addresses]
+            return blend_quad(texels, quad.blend_u, quad.blend_v)
+
         for thread_operands in operands:
             if thread_operands is None:
                 colors.append(0)
@@ -73,13 +101,16 @@ class TextureUnit:
             u_bits, v_bits, lod_bits = thread_operands
             u = bits_to_float(u_bits)
             v = bits_to_float(v_bits)
-            lod = state.clamp_lod(_lod_from_bits(lod_bits, state.max_lod))
-            quad = self.sampler.quad_for(state, u, v, lod)
-            for address in quad.addresses:
-                total += 1
-                unique.setdefault(address, None)
-            texels = [self.sampler.read_texel(state, address) for address in quad.addresses]
-            colors.append(pack_rgba8(blend_quad(texels, quad.blend_u, quad.blend_v)))
+            if trilinear:
+                lod_f = _float_lod_from_bits(lod_bits, state.max_lod)
+                level0, level1, frac = state.trilinear_levels(lod_f)
+                color = filter_level(u, v, level0)
+                if level1 != level0:
+                    color = lerp_color(color, filter_level(u, v, level1), frac)
+            else:
+                lod = state.clamp_lod(_lod_from_bits(lod_bits, state.max_lod))
+                color = filter_level(u, v, lod)
+            colors.append(pack_rgba8(color))
         self.perf.incr("requests")
         self.perf.incr("texel_fetches", total)
         self.perf.incr("unique_fetches", len(unique))
@@ -109,11 +140,14 @@ class TextureUnit:
             return np.empty(0, dtype=np.uint32)
         u = np.ascontiguousarray(u_bits).view(np.float32).astype(np.float64)
         v = np.ascontiguousarray(v_bits).view(np.float32).astype(np.float64)
-        lods = _lods_from_bits_many(np.ascontiguousarray(lod_bits), state)
+        if state.filter_mode == TexFilter.TRILINEAR:
+            lods = _float_lods_from_bits_many(np.ascontiguousarray(lod_bits), state)
+        else:
+            lods = _lods_from_bits_many(np.ascontiguousarray(lod_bits), state)
         colors, addresses = self.sampler.sample_many(
             state, u, v, lods, with_addresses=True
         )
-        self.perf.incr("texel_fetches", 4 * count)
+        self.perf.incr("texel_fetches", int(addresses.shape[0]))
         self.perf.incr("unique_fetches", int(np.unique(addresses).shape[0]))
         return colors
 
@@ -136,24 +170,54 @@ def _lod_from_bits(lod_bits: int, max_lod: int) -> int:
     value = bits_to_float(lod_bits)
     if not (value == value):  # NaN
         return 0
-    if 0.0 <= value <= max_lod + 1 and (lod_bits >> 23) != 0:
-        lod = int(value)
+    if value >= 0.0 and (lod_bits >> 23) != 0:
+        # A non-zero exponent field means real float bits (small-integer
+        # bit patterns all have a zero exponent); oversized levels clamp
+        # to the coarsest mip, as the hardware does.
+        lod = int(min(value, float(max_lod)))
     else:
         # The bits do not look like a sensible float; treat them as an integer.
         lod = lod_bits if lod_bits <= max_lod else 0
     return min(max(lod, 0), max_lod)
 
 
+def _float_lod_from_bits(lod_bits: int, max_lod: int) -> float:
+    """Interpret the ``lod`` operand register, keeping the fraction.
+
+    The trilinear filter consumes fractional levels of detail, so the float
+    interpretation preserves the mantissa instead of truncating; the
+    integer-bits fallback of :func:`_lod_from_bits` is kept for kernels
+    that store small integers.
+    """
+    value = bits_to_float(lod_bits)
+    if not (value == value):  # NaN
+        return 0.0
+    if value >= 0.0 and (lod_bits >> 23) != 0:
+        return value  # oversized/infinite levels clamp downstream
+    return float(lod_bits) if lod_bits <= max_lod else 0.0
+
+
+def _float_lods_from_bits_many(lod_bits: np.ndarray, state: TextureState) -> np.ndarray:
+    """Vectorized ``clamp_lod_float(_float_lod_from_bits(bits))`` over a lane vector."""
+    max_lod = state.max_lod
+    value = lod_bits.view(np.float32).astype(np.float64)
+    floatish = (value >= 0.0) & ((lod_bits >> np.uint32(23)) != 0)
+    as_float = np.where(floatish, value, 0.0)
+    # NaN lanes fail the >= comparison and fall through to the integer
+    # branch, where every NaN bit pattern exceeds max_lod and resolves to
+    # 0.0 — same as the scalar path.
+    as_int = np.where(lod_bits <= max_lod, lod_bits.astype(np.float64), 0.0)
+    lods = np.where(floatish, as_float, as_int)
+    return np.clip(lods, 0.0, float(state.max_addressable_lod))
+
+
 def _lods_from_bits_many(lod_bits: np.ndarray, state: TextureState) -> np.ndarray:
     """Vectorized ``clamp_lod(_lod_from_bits(bits, max_lod))`` over a lane vector."""
     max_lod = state.max_lod
     value = lod_bits.view(np.float32).astype(np.float64)
-    floatish = (
-        (value >= 0.0)
-        & (value <= max_lod + 1)
-        & ((lod_bits >> np.uint32(23)) != 0)
-    )
-    as_float = np.trunc(np.where(floatish, value, 0.0)).astype(np.int64)
+    floatish = (value >= 0.0) & ((lod_bits >> np.uint32(23)) != 0)
+    capped = np.minimum(np.where(floatish, value, 0.0), float(max_lod))
+    as_float = np.trunc(capped).astype(np.int64)
     # NaN lanes fall through to the integer branch, where every NaN bit
     # pattern exceeds max_lod and resolves to 0 — same as the scalar path.
     as_int = np.where(lod_bits <= max_lod, lod_bits.astype(np.int64), 0)

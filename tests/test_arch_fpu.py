@@ -1,7 +1,6 @@
 """Tests for the binary32 floating-point semantics."""
 
 import math
-import struct
 
 import numpy as np
 import pytest

@@ -1,6 +1,5 @@
 """Tests for the non-blocking multi-banked cache subsystem."""
 
-import pytest
 
 from repro.cache.bank import CacheBank
 from repro.cache.cache import CacheRequest, NonBlockingCache

@@ -1,6 +1,5 @@
 """Integration tests for the cache hierarchy (L1 / optional L2 / DRAM)."""
 
-import pytest
 
 from repro.cache.cache import CacheRequest
 from repro.cache.hierarchy import MemorySubsystem

@@ -7,7 +7,7 @@ state afterwards — the same flow the FUNCSIM driver uses.
 
 import pytest
 
-from repro.common.bitutils import bits_to_float, float_to_bits, to_int32
+from repro.common.bitutils import bits_to_float, to_int32
 from repro.common.config import VortexConfig
 from repro.core.core import SimtCore
 from repro.core.emulator import EmulationError

@@ -155,6 +155,81 @@ def _scenario_perspective(ctx):
     ctx.draw(_triangle_fan(6))
 
 
+def _textured_quad(uv_scale, z=0.0):
+    """A screen-filling two-triangle quad with uv in [0, uv_scale]."""
+    corners = (
+        ((-0.95, -0.95), (0.0, 0.0)),
+        ((0.95, -0.95), (uv_scale, 0.0)),
+        ((0.95, 0.95), (uv_scale, uv_scale)),
+        ((-0.95, 0.95), (0.0, uv_scale)),
+    )
+
+    def vertex(index):
+        (x, y), uv = corners[index]
+        return Vertex(position=(x, y, z, 1.0), color=(1.0, 1.0, 1.0, 1.0), uv=uv)
+
+    return [vertex(0), vertex(1), vertex(2), vertex(0), vertex(2), vertex(3)]
+
+
+def _scenario_trilinear_minified(ctx):
+    """uv spans many texels per pixel: derivative LOD lands mid-chain and
+    the trilinear filter blends two generated mip levels."""
+    ctx.bind_texture(_checker_texture(32), filter_mode=TexFilter.TRILINEAR,
+                     wrap=TexWrap.REPEAT, mipmaps=True)
+    ctx.draw(_textured_quad(uv_scale=8.0))
+
+
+def _scenario_trilinear_magnified(ctx):
+    """uv spans a fraction of a texel per pixel: LOD clamps to the base level."""
+    ctx.bind_texture(_checker_texture(32), filter_mode=TexFilter.TRILINEAR,
+                     wrap=TexWrap.CLAMP, mipmaps=True)
+    ctx.draw(_textured_quad(uv_scale=0.2))
+
+
+def _scenario_trilinear_perspective(ctx):
+    """Perspective projection: the LOD varies across each triangle."""
+    ctx.set_mvp(
+        Matrix4.perspective(np.radians(70), 1.0, 0.1, 50.0)
+        @ Matrix4.translation(0, 0, -1.6)
+        @ Matrix4.rotation_y(1.0)
+    )
+    ctx.bind_texture(_checker_texture(32), filter_mode=TexFilter.TRILINEAR,
+                     wrap=TexWrap.REPEAT, mipmaps=True)
+    ctx.draw(_textured_quad(uv_scale=6.0))
+
+
+def _scenario_bilinear_mipmapped(ctx):
+    """Bilinear + mip chain: derivative LOD truncated to one level."""
+    ctx.bind_texture(_checker_texture(32), filter_mode=TexFilter.BILINEAR,
+                     wrap=TexWrap.MIRROR, mipmaps=True)
+    ctx.draw(_textured_quad(uv_scale=5.0) + _textured_quad(uv_scale=0.4, z=-0.5))
+
+
+def _scenario_point_mipmapped(ctx):
+    """Point filter + mip chain: nearest texel of the derivative-selected level."""
+    ctx.bind_texture(_checker_texture(32), filter_mode=TexFilter.POINT,
+                     wrap=TexWrap.REPEAT, mipmaps=True)
+    ctx.draw(_textured_quad(uv_scale=7.0))
+
+
+def _scenario_trilinear_no_mips(ctx):
+    """Trilinear without a generated chain degrades to the base level."""
+    ctx.bind_texture(_checker_texture(), filter_mode=TexFilter.TRILINEAR,
+                     wrap=TexWrap.REPEAT)
+    ctx.draw(_triangle_fan(5))
+
+
+def _scenario_perspective_depth(ctx):
+    ctx.set_mvp(
+        Matrix4.perspective(np.radians(60), 1.0, 0.1, 50.0)
+        @ Matrix4.translation(0, 0, -2.2)
+        @ Matrix4.rotation_y(0.5)
+    )
+    ctx.bind_texture(_checker_texture(32), filter_mode=TexFilter.TRILINEAR,
+                     wrap=TexWrap.REPEAT, mipmaps=True)
+    ctx.draw(_triangle_fan(6))
+
+
 SCENARIOS = {
     "untextured": _scenario_untextured,
     "textured_bilinear": _scenario_textured_bilinear,
@@ -169,11 +244,24 @@ SCENARIOS = {
     "lines_rounding_ties": _scenario_lines_rounding_ties,
     "points": _scenario_points,
     "perspective": _scenario_perspective,
+    "trilinear_minified": _scenario_trilinear_minified,
+    "trilinear_magnified": _scenario_trilinear_magnified,
+    "trilinear_perspective": _scenario_trilinear_perspective,
+    "bilinear_mipmapped": _scenario_bilinear_mipmapped,
+    "point_mipmapped": _scenario_point_mipmapped,
+    "trilinear_no_mips": _scenario_trilinear_no_mips,
+    "perspective_depth": _scenario_perspective_depth,
+}
+
+#: Extra GraphicsContext keyword arguments per scenario.
+CONTEXT_KWARGS = {
+    "perspective_depth": {"perspective_depth": True},
 }
 
 
 def _render(engine, scenario):
-    ctx = GraphicsContext(32, 32, tile_size=8, engine=engine)
+    kwargs = CONTEXT_KWARGS.get(scenario, {})
+    ctx = GraphicsContext(32, 32, tile_size=8, engine=engine, **kwargs)
     ctx.set_mvp(Matrix4.orthographic(-1, 1, -1, 1))
     ctx.clear(color=(12, 8, 24, 255))
     SCENARIOS[scenario](ctx)
@@ -217,3 +305,37 @@ def test_vector_graphics_matches_scalar_reference(scenario):
 def test_vector_context_rejects_unknown_engine():
     with pytest.raises(ValueError):
         GraphicsContext(8, 8, engine="warp-speed")
+
+
+@pytest.mark.parametrize("engine", ["scalar", "vector"])
+def test_perspective_depth_changes_the_depth_buffer(engine):
+    """The option must actually alter interpolation under a perspective
+    projection (uv/color already use 1/w weighting; only depth switches)."""
+
+    def render(perspective_depth):
+        ctx = GraphicsContext(32, 32, tile_size=8, engine=engine,
+                              perspective_depth=perspective_depth)
+        ctx.clear()
+        SCENARIOS["perspective_depth"](ctx)
+        return ctx.framebuffer.depth.copy()
+
+    linear = render(False)
+    perspective = render(True)
+    assert not np.array_equal(linear, perspective)
+
+
+@pytest.mark.parametrize("engine", ["scalar", "vector"])
+def test_minification_selects_coarser_mips(engine):
+    """A minified quad must actually read the generated mip chain: the
+    render differs from the same scene clamped to the base level."""
+
+    def render(mipmaps):
+        ctx = GraphicsContext(32, 32, tile_size=8, engine=engine)
+        ctx.set_mvp(Matrix4.orthographic(-1, 1, -1, 1))
+        ctx.clear()
+        ctx.bind_texture(_checker_texture(32), filter_mode=TexFilter.TRILINEAR,
+                         wrap=TexWrap.REPEAT, mipmaps=mipmaps)
+        ctx.draw(_textured_quad(uv_scale=8.0))
+        return ctx.framebuffer.color.copy()
+
+    assert not np.array_equal(render(True), render(False))

@@ -5,7 +5,6 @@ import pytest
 from repro.isa.assembler import Assembler, AssemblerError
 from repro.isa.decoder import decode
 from repro.isa.disassembler import disassemble, disassemble_program
-from repro.isa.registers import Reg
 
 
 def test_assemble_simple_program():

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.isa.builder import BuildError, Label, ProgramBuilder
+from repro.isa.builder import BuildError, ProgramBuilder
 from repro.isa.decoder import decode
 from repro.isa.registers import FReg, Reg
 from repro.arch.alu import alu_op

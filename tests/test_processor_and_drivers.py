@@ -13,7 +13,7 @@ from repro.isa.registers import Reg
 from repro.kernels import SaxpyKernel, VecAddKernel
 from repro.runtime.buffer import AllocationError, BufferAllocator
 from repro.runtime.device import VortexDevice
-from repro.runtime.driver import CommandProcessor, DriverError, Mmio, Status
+from repro.runtime.driver import DriverError, Mmio, Status
 from repro.runtime.opencl import Context, Program
 
 BASE = 0x8000_0000

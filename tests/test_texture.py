@@ -1,7 +1,6 @@
 """Tests for texture formats, address generation, sampling and the texture unit."""
 
 import numpy as np
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.arch.csr import CsrFile
@@ -292,3 +291,150 @@ def test_texture_unit_skips_inactive_threads():
 def test_texture_unit_issue_latency_positive():
     unit, _, _ = _configured_unit()
     assert unit.issue_latency(4) >= 1
+
+
+# -- trilinear filtering --------------------------------------------------------------------
+
+
+def test_trilinear_blends_adjacent_mip_levels():
+    memory, state, red, green = _mipmapped_memory()
+    state.filter_mode = TexFilter.TRILINEAR
+    sampler = TextureSampler(memory)
+    assert sampler.sample(state, 0.5, 0.5, 0.0) == red
+    assert sampler.sample(state, 0.5, 0.5, 1.0) == green
+    half = unpack_rgba8(sampler.sample(state, 0.5, 0.5, 0.5))
+    assert abs(half[0] - 127) <= 1 and abs(half[1] - 127) <= 1  # 50/50 red/green
+    quarter = unpack_rgba8(sampler.sample(state, 0.5, 0.5, 0.25))
+    assert quarter[0] > quarter[1]  # still mostly the finer (red) level
+
+
+def test_trilinear_fractional_lods_match_scalar_sampler():
+    """Fractional, negative, oversized and NaN LODs are bit-identical
+    between the scalar and the batched trilinear paths."""
+    memory, state, _, _ = _mipmapped_memory()
+    state.filter_mode = TexFilter.TRILINEAR
+    sampler = TextureSampler(memory)
+    rng = np.random.default_rng(13)
+    us = rng.uniform(-1.5, 2.5, size=128)
+    vs = rng.uniform(-1.5, 2.5, size=128)
+    lods = rng.uniform(-1.0, 5.0, size=128)
+    lods[::11] = np.nan
+    expected = np.array(
+        [sampler.sample(state, u, v, lod) for u, v, lod in zip(us, vs, lods)],
+        dtype=np.uint32,
+    )
+    assert np.array_equal(sampler.sample_many(state, us, vs, lods), expected)
+
+
+def test_trilinear_warp_paths_match_and_count_fetches():
+    """sample_warp and sample_warp_vector agree on colors and perf counters
+    for a trilinear-filtered stage: two quads (8 fetches) per thread, except
+    threads whose LOD pins at the coarsest level, which skip the second
+    fetch (4) on both paths."""
+    unit_scalar, csr, _ = _configured_unit()
+    memory = unit_scalar.sampler.memory
+    unit_vector = TextureUnit(memory)
+    csr.write(tex_csr(0, TexCSR.FILTER), int(TexFilter.TRILINEAR))
+    csr.write(tex_csr(0, TexCSR.MIPOFF, 1), 8 * 8 * 4)
+    memory.write_bytes(0x2000 + 8 * 8 * 4, bytes(4 * 4 * 4))  # black 4x4 mip 1
+    rng = np.random.default_rng(21)
+    us = rng.uniform(0, 1, 4).astype(np.float32)
+    vs = rng.uniform(0, 1, 4).astype(np.float32)
+    ls = np.array([0.0, 0.5, 1.0, 5.0], dtype=np.float32)
+    operands = [
+        (float_to_bits(float(u)), float_to_bits(float(v)), float_to_bits(float(lod)))
+        for u, v, lod in zip(us, vs, ls)
+    ]
+    scalar = unit_scalar.sample_warp(csr, 0, operands)
+    vector = unit_vector.sample_warp_vector(
+        csr, 0, us.view(np.uint32), vs.view(np.uint32), ls.view(np.uint32)
+    )
+    assert list(vector) == scalar.colors
+    # lods 0.0/0.5/1.0 blend two levels (8 fetches each); 5.0 clamps to the
+    # coarsest level of the 8x8 chain (3) and skips the second quad (4).
+    assert scalar.total_addresses == 8 + 8 + 8 + 4
+    assert unit_vector.perf.get("texel_fetches") == scalar.total_addresses
+    assert unit_vector.perf.get("unique_fetches") == len(scalar.unique_addresses)
+
+
+def test_oversized_float_lods_clamp_to_the_coarsest_level():
+    """Float LOD operands far beyond the mip chain must clamp to the
+    coarsest level (heavy minification), not snap back to the base level."""
+    unit_scalar, csr, _ = _configured_unit()
+    memory = unit_scalar.sampler.memory
+    unit_vector = TextureUnit(memory)
+    # Program the full 8x8 chain; the coarsest (1x1) level is blue.
+    blue = pack_rgba8((0, 0, 255, 255))
+    offset = 8 * 8 * 4
+    for lod, texels in ((1, 4 * 4), (2, 2 * 2), (3, 1 * 1)):
+        csr.write(tex_csr(0, TexCSR.MIPOFF, lod), offset)
+        memory.write_bytes(0x2000 + offset, np.full(texels, blue, dtype="<u4").tobytes())
+        offset += texels * 4
+    for filter_csr in (TexFilter.BILINEAR, TexFilter.TRILINEAR):
+        csr.write(tex_csr(0, TexCSR.FILTER), int(filter_csr))
+        for lod in (100.0, float(np.finfo(np.float32).max), float("inf")):
+            operand = (float_to_bits(0.5), float_to_bits(0.5), float_to_bits(lod))
+            scalar = unit_scalar.sample_warp(csr, 0, [operand])
+            bits = np.array([float_to_bits(0.5)], dtype=np.uint32)
+            lod_bits = np.array([float_to_bits(lod)], dtype=np.uint32)
+            vector = unit_vector.sample_warp_vector(csr, 0, bits, bits, lod_bits)
+            assert scalar.colors[0] == blue, (filter_csr, lod)
+            assert int(vector[0]) == blue, (filter_csr, lod)
+
+
+def test_state_snapshot_cached_until_tex_csr_write():
+    """The dirty-bit cache returns the same snapshot object until a texture
+    CSR write bumps the epoch; unrelated CSR writes do not invalidate."""
+    unit, csr, _ = _configured_unit()
+    first = unit.state_for(csr, 0)
+    assert unit.state_for(csr, 0) is first
+    csr.write(0x800, 123)  # not a texture CSR
+    assert unit.state_for(csr, 0) is first
+    csr.write(tex_csr(0, TexCSR.WIDTH), 4)
+    refreshed = unit.state_for(csr, 0)
+    assert refreshed is not first
+    assert refreshed.width_log2 == 4
+
+
+# -- mipmap generation ----------------------------------------------------------------------
+
+
+@given(
+    width_log2=st.integers(min_value=0, max_value=6),
+    height_log2=st.integers(min_value=0, max_value=6),
+)
+def test_generate_mipmaps_halves_down_to_1x1(width_log2, height_log2):
+    """The chain halves each dimension (clamped at 1) down to 1x1, and every
+    MIPOFF entry equals the byte size of all finer levels."""
+    from repro.graphics.pipeline import TextureBinding
+
+    width, height = 1 << width_log2, 1 << height_log2
+    rng = np.random.default_rng(width * 64 + height)
+    image = rng.integers(0, 256, size=(height, width, 4), dtype=np.uint8)
+    binding = TextureBinding(image)
+    assert binding.mip_count == 1
+    levels = binding.generate_mipmaps()
+    assert levels == max(width_log2, height_log2) + 1
+    assert binding.mip_count == levels
+    offset, w, h = 0, width, height
+    for lod, mipoff in enumerate(binding.state.mip_offsets):
+        assert mipoff == offset
+        offset += w * h * 4
+        w, h = max(w // 2, 1), max(h // 2, 1)
+    # The last programmed level is 1x1 and max_addressable_lod spans the chain.
+    assert (w, h) == (1, 1) or levels == 1
+    assert binding.state.max_addressable_lod == levels - 1
+
+
+def test_generate_mipmaps_box_filter_averages():
+    """A solid 2x2-block checkerboard averages to flat gray one level down."""
+    from repro.graphics.pipeline import TextureBinding
+
+    image = np.zeros((4, 4, 4), dtype=np.uint8)
+    image[0::2, 0::2] = 255
+    image[1::2, 1::2] = 255
+    binding = TextureBinding(image, filter_mode=TexFilter.POINT)
+    binding.generate_mipmaps()
+    word = binding._sampler.sample(binding.state, 0.25, 0.25, 1)
+    r, g, b, a = unpack_rgba8(word)
+    assert r == g == b == a == 128  # (255 + 255 + 0 + 0 + 2) >> 2

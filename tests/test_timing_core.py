@@ -1,6 +1,5 @@
 """Tests for the cycle-level (SIMX) timing behaviour."""
 
-import pytest
 
 from repro.common.config import CacheConfig, MemoryConfig, VortexConfig
 from repro.kernels import SgemmKernel, VecAddKernel
