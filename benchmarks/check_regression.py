@@ -1,13 +1,15 @@
 """Benchmark regression gate.
 
 Compares a freshly measured ``perf_smoke`` payload against the committed
-baseline (``BENCH_engine.json`` / ``BENCH_graphics.json``) and fails when
+baseline (``BENCH_engine.json`` / ``BENCH_graphics.json`` /
+``BENCH_timing.json``) and fails when
 
 * any scenario's vector-over-scalar speedup drops below ``--floor`` times
   the baseline speedup (machine noise between CI runners is why the floor
   is a fraction, not an equality),
 * any bit-identity flag (``identical_architectural_state`` /
-  ``identical_framebuffers``) is false in the current payload, or
+  ``identical_framebuffers`` / ``identical_counters``) is false in the
+  current payload, or
 * a baseline scenario is missing from the current payload.
 
 Run with::
@@ -25,7 +27,11 @@ import sys
 from pathlib import Path
 
 #: Keys whose falseness means the engines diverged bit-for-bit.
-IDENTITY_KEYS = ("identical_architectural_state", "identical_framebuffers")
+IDENTITY_KEYS = (
+    "identical_architectural_state",
+    "identical_framebuffers",
+    "identical_counters",
+)
 
 
 def scenario_key(row: dict) -> str:

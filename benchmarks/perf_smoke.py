@@ -1,16 +1,19 @@
 """Performance smoke benchmark: vectorized vs scalar wall-clock.
 
 Runs ``vecadd`` and ``sgemm`` on both functional engines across a few
-warp/thread geometries, plus a textured-triangle render on both graphics
-engines, interleaving scalar and vector repetitions (best-of-N) so machine
-noise hits both sides equally, checks that the architectural/pixel results
-are bit-identical, and records everything into ``BENCH_engine.json`` and
-``BENCH_graphics.json`` at the repository root.
+warp/thread geometries, a textured-triangle render on both graphics
+engines, and a cycle-level (SIMX) workload on both timing engines,
+interleaving scalar and vector repetitions (best-of-N) so machine noise
+hits both sides equally, checks that the architectural/pixel/counter
+results are bit-identical, and records everything into
+``BENCH_engine.json``, ``BENCH_graphics.json`` and ``BENCH_timing.json``
+at the repository root.
 
 Run with::
 
     PYTHONPATH=src python benchmarks/perf_smoke.py [--reps N] [--out PATH]
-        [--graphics-out PATH] [--skip-engine] [--skip-graphics]
+        [--graphics-out PATH] [--timing-out PATH] [--skip-engine]
+        [--skip-graphics] [--skip-timing]
 """
 
 from __future__ import annotations
@@ -23,7 +26,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.common.config import VortexConfig
+from repro.common.config import CacheConfig, MemoryConfig, VortexConfig
 from repro.graphics.fragment import BlendMode
 from repro.graphics.geometry import Matrix4, Vertex
 from repro.graphics.pipeline import GraphicsContext
@@ -173,6 +176,101 @@ def measure_graphics_scenario(name, filter_mode, mipmaps, reps):
     }
 
 
+# -- timing (SIMX): cycle-level core, scalar vs vectorized execution engine ----------------
+
+#: SIMX smoke scenarios: (name, kernel, size, warps, threads).  Wide-thread
+#: configurations are where the whole-warp lane plans pay off; the timing
+#: model (scheduler, scoreboard, caches, MSHRs) is identical on both sides.
+TIMING_SCENARIOS = (
+    ("simx_sfilter_4w32t", "sfilter", 24 * 24, 4, 32),
+    ("simx_sgemm_4w32t", "sgemm", 20 * 20, 4, 32),
+)
+
+
+def _timing_config(warps, threads):
+    """A hit-friendly multi-bank/multi-port configuration.
+
+    Wide virtual porting keeps the cache request retry traffic (which both
+    engines pay identically) from drowning out the execute stage — the
+    emulation-bound regime the vectorization targets.
+    """
+    return VortexConfig(
+        dcache=CacheConfig(size=64 * 1024, num_banks=8, num_ports=8),
+        memory=MemoryConfig(latency=10, bandwidth=8),
+    ).with_warps_threads(warps, threads)
+
+
+def _run_timing_once(driver, kernel, size, config):
+    device = VortexDevice(config, driver=driver)
+    start = time.perf_counter()
+    run = KERNELS[kernel]().run(device, size=size)
+    wall = time.perf_counter() - start
+    if not run.passed:
+        raise AssertionError(f"{kernel} failed verification on {driver}")
+    return wall, run.report
+
+
+def measure_timing_scenario(name, kernel, size, warps, threads, reps):
+    """Best-of-N SIMX run on both timing engines + counter identity check."""
+    config = _timing_config(warps, threads)
+    scalar_best = vector_best = float("inf")
+    scalar_report = vector_report = None
+    for _ in range(reps):
+        wall, scalar_report = _run_timing_once("simx-scalar", kernel, size, config)
+        scalar_best = min(scalar_best, wall)
+        wall, vector_report = _run_timing_once("simx", kernel, size, config)
+        vector_best = min(vector_best, wall)
+
+    identical = (
+        scalar_report.cycles == vector_report.cycles
+        and scalar_report.instructions == vector_report.instructions
+        and scalar_report.thread_instructions == vector_report.thread_instructions
+        and scalar_report.counters == vector_report.counters
+    )
+    return {
+        "scenario": name,
+        "kernel": kernel,
+        "size": size,
+        "warps": warps,
+        "threads": threads,
+        "cycles": scalar_report.cycles,
+        "instructions": scalar_report.instructions,
+        "ipc": round(scalar_report.ipc, 4),
+        "scalar_seconds": round(scalar_best, 4),
+        "vector_seconds": round(vector_best, 4),
+        "scalar_cycles_per_second": round(scalar_report.cycles / scalar_best, 1),
+        "vector_cycles_per_second": round(vector_report.cycles / vector_best, 1),
+        "speedup": round(scalar_best / vector_best, 2),
+        "identical_counters": bool(identical),
+    }
+
+
+def run_timing_benchmark(reps, out_path):
+    results = []
+    for name, kernel, size, warps, threads in TIMING_SCENARIOS:
+        row = measure_timing_scenario(name, kernel, size, warps, threads, reps)
+        results.append(row)
+        print(
+            f"timing {row['scenario']:24s} cycles={row['cycles']:7d} "
+            f"scalar={row['scalar_seconds']:7.3f}s vector={row['vector_seconds']:7.3f}s "
+            f"({row['scalar_cycles_per_second']:,.0f} vs "
+            f"{row['vector_cycles_per_second']:,.0f} cycles/s) "
+            f"speedup={row['speedup']:5.2f}x identical={row['identical_counters']}"
+        )
+    payload = {
+        "benchmark": "vectorized SIMX timing core vs scalar reference (best-of-%d)" % reps,
+        "generated_by": "benchmarks/perf_smoke.py",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "results": results,
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out_path}")
+    failed = [r["scenario"] for r in results if not r["identical_counters"]]
+    if failed:
+        raise SystemExit(f"timing engines produced different counters in: {failed}")
+
+
 def run_engine_benchmark(reps, out_path):
     results = []
     for kernel, size in WORKLOADS:
@@ -234,10 +332,13 @@ def main() -> None:
     parser.add_argument("--reps", type=int, default=5, help="repetitions per engine (best-of)")
     parser.add_argument("--out", type=Path, default=root / "BENCH_engine.json")
     parser.add_argument("--graphics-out", type=Path, default=root / "BENCH_graphics.json")
+    parser.add_argument("--timing-out", type=Path, default=root / "BENCH_timing.json")
     parser.add_argument("--skip-engine", action="store_true",
                         help="skip the funcsim engine workloads")
     parser.add_argument("--skip-graphics", action="store_true",
                         help="skip the graphics render scenario")
+    parser.add_argument("--skip-timing", action="store_true",
+                        help="skip the cycle-level (SIMX) scenario")
     args = parser.parse_args()
     if args.reps < 1:
         parser.error("--reps must be at least 1")
@@ -246,6 +347,8 @@ def main() -> None:
         run_engine_benchmark(args.reps, args.out)
     if not args.skip_graphics:
         run_graphics_benchmark(args.reps, args.graphics_out)
+    if not args.skip_timing:
+        run_timing_benchmark(args.reps, args.timing_out)
 
 
 if __name__ == "__main__":

@@ -61,9 +61,14 @@ class CacheBank:
     # -- tag store ------------------------------------------------------------------
 
     def probe(self, line_address: int) -> bool:
-        """Tag lookup without side effects."""
-        set_index = self._set_index(line_address)
-        return self._tag_of(line_address) in self._tags[set_index]
+        """Tag lookup without side effects (runs on every request attempt).
+
+        Keep the mapping in sync with :meth:`_set_index`/:meth:`_tag_of` —
+        this is those two computations inlined (the helper calls are
+        measurable at the retry loop's call rate).
+        """
+        relative = line_address // self.config.num_banks
+        return relative // self.num_sets in self._tags[relative % self.num_sets]
 
     def touch(self, line_address: int) -> None:
         """Update LRU state for a hit."""
@@ -105,6 +110,8 @@ class CacheBank:
 
     def collect_responses(self, cycle: int) -> List[Tuple[BankRequest, bool]]:
         """Return (request, hit) pairs whose responses complete at ``cycle``."""
+        if not self._pending:
+            return []
         ready = [entry for entry in self._pending if entry.ready_cycle <= cycle]
         if ready:
             self._pending = [entry for entry in self._pending if entry.ready_cycle > cycle]

@@ -72,6 +72,13 @@ class NonBlockingCache:
         # Per-cycle bank selector state: bank -> (first line address, accept count).
         self._accepts_this_cycle: Dict[int, Tuple[int, int]] = {}
         self._responses: List[CacheResponse] = []
+        # Hot-path bindings: :meth:`send_raw` runs once per request *attempt*
+        # (the cycle-level core retries refusals every cycle), so the
+        # per-attempt constants and the raw counter dict are prebound.
+        self._line_size = config.line_size
+        self._num_banks = config.num_banks
+        self._num_ports = config.num_ports
+        self._counters = self.perf._counters
 
     # -- address helpers ----------------------------------------------------------------
 
@@ -105,59 +112,77 @@ class NonBlockingCache:
         requester must retry next cycle (bank conflict, MSHR early-full, or
         lower-level backpressure).
         """
-        self.perf.incr("attempts")
-        bank_id = self.bank_index(request.address)
-        line = self.line_address(request.address)
+        return self.send_raw(request.address, request.is_write, request.tag)
+
+    def send_raw(self, address: int, is_write: bool, tag: Any) -> bool:
+        """:meth:`send` without the :class:`CacheRequest` wrapper.
+
+        The cycle-level core retries refused requests every cycle, so the
+        hot path avoids allocating a request record per attempt; a
+        :class:`~repro.cache.bank.BankRequest` is only built once the
+        request is actually accepted into a bank.
+        """
+        counters = self._counters
+        counters["attempts"] += 1
+        line = address // self._line_size
+        bank_id = line % self._num_banks
         bank = self.banks[bank_id]
 
         accepted = self._accepts_this_cycle.get(bank_id)
         if accepted is not None:
             first_line, count = accepted
-            if count >= self.config.num_ports or first_line != line:
-                self.perf.incr("bank_conflicts")
+            if count >= self._num_ports or first_line != line:
+                counters["bank_conflicts"] += 1
                 return False
 
-        if bank.mshr.almost_full and not request.is_write:
-            self.perf.incr("mshr_stalls")
+        if not is_write and bank.mshr.almost_full:
+            counters["mshr_stalls"] += 1
             return False
 
         hit = bank.probe(line)
-        bank_request = BankRequest(
-            address=request.address, is_write=request.is_write, tag=request.tag,
-            accept_cycle=self._cycle,
-        )
 
-        if request.is_write:
+        if is_write:
             # Write-through, no-allocate: the store is forwarded to the lower
             # level; a write hit also updates the cached line's LRU state.
-            if self.lower is not None and not self.lower.request_write(self, request.address):
-                self.perf.incr("memq_stalls")
+            if self.lower is not None and not self.lower.request_write(self, address):
+                counters["memq_stalls"] += 1
                 return False
             if hit:
                 bank.touch(line)
-                self.perf.incr("write_hits")
+                counters["write_hits"] += 1
             else:
-                self.perf.incr("write_misses")
-            bank.schedule_response(bank_request, self._cycle, hit)
+                counters["write_misses"] += 1
+            bank.schedule_response(
+                BankRequest(address=address, is_write=True, tag=tag, accept_cycle=self._cycle),
+                self._cycle,
+                hit,
+            )
         elif hit:
             bank.touch(line)
-            bank.schedule_response(bank_request, self._cycle, True)
-            self.perf.incr("read_hits")
+            bank.schedule_response(
+                BankRequest(address=address, is_write=False, tag=tag, accept_cycle=self._cycle),
+                self._cycle,
+                True,
+            )
+            counters["read_hits"] += 1
         else:
             existing = bank.mshr.lookup(line)
             if existing is None and self.lower is not None:
                 if not self.lower.request_fill(self, line):
-                    self.perf.incr("memq_stalls")
+                    counters["memq_stalls"] += 1
                     return False
-            entry = bank.mshr.allocate(line, bank_request)
+            entry = bank.mshr.allocate(
+                line,
+                BankRequest(address=address, is_write=False, tag=tag, accept_cycle=self._cycle),
+            )
             if entry is None:
-                self.perf.incr("mshr_stalls")
+                counters["mshr_stalls"] += 1
                 return False
-            self.perf.incr("read_misses")
+            counters["read_misses"] += 1
 
         count = 0 if accepted is None else accepted[1]
         self._accepts_this_cycle[bank_id] = (line, count + 1)
-        self.perf.incr("accepted")
+        counters["accepted"] += 1
         return True
 
     # -- back-end: fills and responses -------------------------------------------------------
@@ -173,7 +198,8 @@ class NonBlockingCache:
     def tick(self) -> List[CacheResponse]:
         """Advance one cycle; returns the responses completing this cycle."""
         self._cycle += 1
-        self._accepts_this_cycle.clear()
+        if self._accepts_this_cycle:
+            self._accepts_this_cycle.clear()
         responses: List[CacheResponse] = []
         for bank in self.banks:
             for bank_request, hit in bank.collect_responses(self._cycle):
@@ -186,7 +212,7 @@ class NonBlockingCache:
                         cycle=self._cycle,
                     )
                 )
-        self.perf.incr("cycles")
+        self._counters["cycles"] += 1
         return responses
 
     # -- statistics -------------------------------------------------------------------------

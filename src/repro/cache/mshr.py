@@ -30,6 +30,9 @@ class Mshr:
         if capacity < 1:
             raise ValueError("MSHR capacity must be at least 1")
         self.capacity = capacity
+        # Early-full threshold, clamped so a capacity-1 table is not
+        # permanently "almost full" (precomputed: checked on every request).
+        self._almost_full_at = max(capacity - 1, 1)
         self._entries: Dict[int, MshrEntry] = {}
         self.peak_occupancy = 0
         self.merged = 0
@@ -43,8 +46,13 @@ class Mshr:
 
     @property
     def almost_full(self) -> bool:
-        """The early-full signal used to avoid the deadlock described in 4.3."""
-        return len(self._entries) >= self.capacity - 1
+        """The early-full signal used to avoid the deadlock described in 4.3.
+
+        The threshold is clamped to at least one occupied entry: with
+        ``capacity == 1`` the naive ``capacity - 1`` threshold would assert
+        even on an empty table, backpressuring every read forever.
+        """
+        return len(self._entries) >= self._almost_full_at
 
     def __len__(self) -> int:
         return len(self._entries)

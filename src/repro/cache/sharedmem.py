@@ -78,7 +78,10 @@ class SharedMemory:
     def tick(self) -> List[SharedResponse]:
         """Advance one cycle; return completed accesses."""
         self._cycle += 1
-        self._accepts_this_cycle.clear()
+        if self._accepts_this_cycle:
+            self._accepts_this_cycle.clear()
+        if not self._pending:
+            return []
         ready = [resp for ready_cycle, resp in self._pending if ready_cycle <= self._cycle]
         if ready:
             self._pending = [

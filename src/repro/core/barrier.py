@@ -27,6 +27,16 @@ def local_barrier_index(barrier_id: int) -> int:
     return barrier_id & ~GLOBAL_BARRIER_FLAG
 
 
+class BarrierCountMismatch(ValueError):
+    """A participant arrived at a filling barrier with a different expected count.
+
+    The first arrival's count is authoritative for the whole barrier round;
+    a latecomer disagreeing about the count is a kernel bug that would either
+    early-release the barrier or strand the earlier waiters, so it is
+    surfaced instead of silently clobbering the count.
+    """
+
+
 @dataclass
 class _BarrierEntry:
     """State of one in-progress barrier."""
@@ -43,6 +53,7 @@ class BarrierTable:
         self._entries: Dict[int, _BarrierEntry] = {}
         self.arrivals = 0
         self.releases = 0
+        self.mismatches = 0
 
     def arrive(self, barrier_id: int, expected: int, participant) -> List:
         """Register ``participant`` at ``barrier_id`` expecting ``expected`` arrivals.
@@ -51,14 +62,27 @@ class BarrierTable:
         is still filling; all of them — including the current participant —
         once the expected count is reached).  A barrier with ``expected <= 1``
         releases immediately.
+
+        The first arrival's ``expected`` is authoritative until the barrier
+        releases; a later arrival with a different count raises
+        :class:`BarrierCountMismatch` (after bumping ``mismatches``).
         """
         index = local_barrier_index(barrier_id) % max(self.num_barriers, 1)
         self.arrivals += 1
+        entry = self._entries.get(index)
+        if entry is not None and entry.expected != expected:
+            self.mismatches += 1
+            raise BarrierCountMismatch(
+                f"barrier {index}: arrival expects {expected} participants but the "
+                f"barrier is filling toward {entry.expected} "
+                f"({len(entry.waiting)} already waiting)"
+            )
         if expected <= 1:
             self.releases += 1
             return [participant]
-        entry = self._entries.setdefault(index, _BarrierEntry(expected=expected))
-        entry.expected = expected
+        if entry is None:
+            entry = _BarrierEntry(expected=expected)
+            self._entries[index] = entry
         entry.waiting.add(participant)
         if len(entry.waiting) >= entry.expected:
             released = list(entry.waiting)

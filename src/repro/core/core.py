@@ -129,6 +129,21 @@ class SimtCore:
         self.csr.retire(1)
         return result
 
+    def step_warp_timing(self, warp: Warp):
+        """Execute one instruction of ``warp`` through the lane-plan timing path.
+
+        Same bookkeeping as :meth:`step_warp` (per-core counters, ``instret``)
+        but the emulation goes through the vectorized emulator's compiled
+        timing plans; only cores whose emulator provides ``step_timing``
+        (:class:`repro.engine.vector_core.VectorSimtCore`) support this.
+        Returns a :class:`repro.engine.vector_emulator.TimingStep`.
+        """
+        step = self.emulator.step_timing(warp)
+        self.perf.incr("instructions")
+        self.perf.incr("thread_instructions", step.active_thread_count)
+        self.csr.retire(1)
+        return step
+
     def run(self, max_instructions: int = 10_000_000) -> int:
         """Run until all wavefronts terminate; returns instructions executed.
 

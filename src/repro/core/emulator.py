@@ -84,6 +84,16 @@ class StepResult:
     def mnemonic(self) -> str:
         return self.instr.mnemonic
 
+    @property
+    def request_addresses(self) -> List[int]:
+        """The per-request memory addresses, in issue order.
+
+        This is the interface the cycle-level core charges cache traffic
+        from; the vectorized timing step (:class:`repro.engine.vector_emulator.TimingStep`)
+        exposes the same attribute without materializing ``MemAccess`` records.
+        """
+        return [access.address for access in self.mem_accesses]
+
 
 #: Load mnemonic -> (access size, signed).  ``lw``/``flw`` are word loads.
 _LOAD_SPECS: Dict[str, Tuple[int, bool]] = {
@@ -128,6 +138,7 @@ class WarpEmulator:
         self._decode_cache.clear()
         for warp in getattr(self.core, "warps", ()):
             warp.plan_cache.clear()
+            warp.timing_plan_cache.clear()
 
     # -- execution --------------------------------------------------------------------
 

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from repro.cache.hierarchy import MemorySubsystem
 from repro.common.config import VortexConfig
 from repro.common.perf import PerfCounters
@@ -105,14 +107,27 @@ class Processor(_GlobalBarrierMixin):
 
 
 class TimingProcessor(_GlobalBarrierMixin):
-    """Cycle-level multi-core processor (the SIMX driver's engine)."""
+    """Cycle-level multi-core processor (the SIMX driver's engine).
 
-    def __init__(self, config: Optional[VortexConfig] = None, memory: Optional[MainMemory] = None):
+    ``engine`` selects the execution engine inside every
+    :class:`~repro.core.timing.TimingCore`: ``"vector"`` (default) runs the
+    issued instructions through compiled whole-warp lane plans,
+    ``"scalar"`` through the per-thread reference emulator.  Cycles, IPC and
+    all performance counters are bit-identical between the two.
+    """
+
+    def __init__(
+        self,
+        config: Optional[VortexConfig] = None,
+        memory: Optional[MainMemory] = None,
+        engine: str = "vector",
+    ):
         self.config = config or VortexConfig()
         self.memory = memory or MainMemory()
         self.memsys = MemorySubsystem(self.config)
+        self.engine = engine
         self.cores: List[TimingCore] = [
-            TimingCore(core_id, self.config, self.memory, self.memsys, processor=self)
+            TimingCore(core_id, self.config, self.memory, self.memsys, processor=self, engine=engine)
             for core_id in range(self.config.num_cores)
         ]
         self.perf = PerfCounters("timing_processor")
@@ -144,23 +159,29 @@ class TimingProcessor(_GlobalBarrierMixin):
         if entry_pc is not None:
             self.reset(entry_pc)
         idle_cycles = 0
-        while not self.done:
-            instructions_before = self.total_instructions
-            self.tick()
-            if self.cycle >= max_cycles:
-                raise SimulationLimitExceeded(
-                    "cycles",
-                    max_cycles,
-                    f"timing simulation exceeded {max_cycles} cycles",
-                )
-            # Deadlock watchdog: no instruction retired for a long stretch while
-            # cores still have active wavefronts and no memory traffic is pending.
-            if self.total_instructions == instructions_before and not self.memsys.busy:
-                idle_cycles += 1
-                if idle_cycles > 200_000:
-                    raise EmulationError("timing simulation made no progress for 200000 cycles")
-            else:
-                idle_cycles = 0
+        # Lane-plan execution legitimately produces IEEE invalid/overflow
+        # conditions inside masked numpy expressions (the scalar reference
+        # silences them per operation); silence them for the whole run.
+        with np.errstate(all="ignore"):
+            while not self.done:
+                instructions_before = self.total_instructions
+                self.tick()
+                if self.cycle >= max_cycles:
+                    raise SimulationLimitExceeded(
+                        "cycles",
+                        max_cycles,
+                        f"timing simulation exceeded {max_cycles} cycles",
+                    )
+                # Deadlock watchdog: no instruction retired for a long stretch while
+                # cores still have active wavefronts and no memory traffic is pending.
+                if self.total_instructions == instructions_before and not self.memsys.busy:
+                    idle_cycles += 1
+                    if idle_cycles > 200_000:
+                        raise EmulationError(
+                            "timing simulation made no progress for 200000 cycles"
+                        )
+                else:
+                    idle_cycles = 0
         self.perf.set("cycles", self.cycle)
         return self.cycle
 

@@ -61,6 +61,18 @@ class WavefrontScheduler:
         else:
             self.barrier_mask &= ~bit
 
+    def set_masks(self, active_mask: int, stalled_mask: int, barrier_mask: int) -> None:
+        """Replace all three masks in one call (the per-cycle resync path).
+
+        Equivalent to calling the individual setters for every wavefront:
+        wavefronts that became unschedulable leave the visible working set,
+        which is exactly the pruning :meth:`select` performs.
+        """
+        self.active_mask = active_mask
+        self.stalled_mask = stalled_mask
+        self.barrier_mask = barrier_mask
+        self.visible_mask &= active_mask & ~stalled_mask & ~barrier_mask
+
     # -- selection -------------------------------------------------------------------
 
     def _schedulable_mask(self) -> int:

@@ -31,7 +31,6 @@ from repro.cache.sharedmem import SharedMemory, is_shared_address
 from repro.common.config import VortexConfig
 from repro.common.perf import PerfCounters
 from repro.core.core import SimtCore
-from repro.core.emulator import StepResult
 from repro.core.scheduler import WavefrontScheduler
 from repro.core.scoreboard import Scoreboard
 from repro.isa.instructions import ExecUnit
@@ -56,12 +55,39 @@ class _PendingMemOp:
 
 
 class TimingCore:
-    """Cycle-level model of one Vortex core."""
+    """Cycle-level model of one Vortex core.
 
-    def __init__(self, core_id: int, config: VortexConfig, memory, memsys, processor=None):
+    ``engine`` selects how the embedded functional core executes the issued
+    instruction: ``"vector"`` (default) steps whole-warp lane plans through
+    the vectorized emulator (:meth:`VectorWarpEmulator.step_timing`);
+    ``"scalar"`` keeps the per-thread reference emulation.  The timing model
+    itself — scheduler, scoreboard, latencies, caches, MSHRs — is shared and
+    charged from identical per-instruction facts, so both engines produce
+    bit-identical cycles, IPC and performance counters.
+    """
+
+    def __init__(
+        self,
+        core_id: int,
+        config: VortexConfig,
+        memory,
+        memsys,
+        processor=None,
+        engine: str = "vector",
+    ):
+        if engine not in ("scalar", "vector"):
+            raise ValueError(f"unknown timing engine {engine!r} (use 'scalar' or 'vector')")
         self.core_id = core_id
         self.config = config
-        self.func = SimtCore(core_id, config, memory, processor=processor)
+        self.engine = engine
+        if engine == "vector":
+            # Imported lazily: repro.engine.vector_core imports the processor
+            # module, which imports this one.
+            from repro.engine.vector_core import VectorSimtCore
+
+            self.func = VectorSimtCore(core_id, config, memory, processor=processor)
+        else:
+            self.func = SimtCore(core_id, config, memory, processor=processor)
         self.scheduler = WavefrontScheduler(config.core.num_warps)
         self.scoreboard = Scoreboard(config.core.num_warps)
         self.icache: NonBlockingCache = memsys.icache(core_id)
@@ -89,6 +115,9 @@ class TimingCore:
         self._warm_ilines: set = set()
         self._pending_ifetch: Dict[int, int] = {}  # warp_id -> line address awaited
         self._ifetch_to_send: List[Tuple[int, int]] = []  # (warp_id, line byte address)
+        # Per-PC cache of the registers the decoded instruction touches
+        # (purely a function of the decode; dropped with the decode cache).
+        self._registers_by_pc: Dict[int, Optional[List[Tuple[int, bool]]]] = {}
 
     # -- lifecycle ---------------------------------------------------------------------
 
@@ -103,8 +132,14 @@ class TimingCore:
         self._warm_ilines.clear()
         self._pending_ifetch.clear()
         self._ifetch_to_send.clear()
+        self._registers_by_pc.clear()
         for warp_id in self._warp_ready_cycle:
             self._warp_ready_cycle[warp_id] = 0
+
+    def invalidate_caches(self) -> None:
+        """Drop decode-derived caches (a new program image was loaded)."""
+        self.func.emulator.invalidate_decode_cache()
+        self._registers_by_pc.clear()
 
     # -- helpers -------------------------------------------------------------------------
 
@@ -125,19 +160,38 @@ class TimingCore:
         )
 
     def _sync_scheduler_masks(self) -> None:
+        active_mask = stalled_mask = barrier_mask = 0
+        cycle = self.cycle
+        ready_cycles = self._warp_ready_cycle
+        pending_ifetch = self._pending_ifetch
         for warp in self.func.warps:
-            self.scheduler.set_active(warp.warp_id, warp.active)
-            self.scheduler.set_at_barrier(warp.warp_id, warp.at_barrier)
-            stalled = (
-                self._warp_ready_cycle[warp.warp_id] > self.cycle
-                or warp.warp_id in self._pending_ifetch
-            )
-            self.scheduler.set_stalled(warp.warp_id, stalled)
+            bit = 1 << warp.warp_id
+            if warp.active:
+                active_mask |= bit
+            if warp.at_barrier:
+                barrier_mask |= bit
+            if ready_cycles[warp.warp_id] > cycle or warp.warp_id in pending_ifetch:
+                stalled_mask |= bit
+        self.scheduler.set_masks(active_mask, stalled_mask, barrier_mask)
 
     def _instruction_registers(self, warp) -> Optional[List[Tuple[int, bool]]]:
-        """Registers read/written by the warp's next instruction (for hazard checks)."""
+        """Registers read/written by the warp's next instruction (for hazard checks).
+
+        The result depends only on the decoded instruction, so it is cached
+        per PC (hazard checks re-run every issue attempt, including stall
+        retries).
+        """
+        pc = warp.pc
+        cached = self._registers_by_pc.get(pc, False)
+        if cached is not False:
+            return cached
+        registers = self._compute_instruction_registers(pc)
+        self._registers_by_pc[pc] = registers
+        return registers
+
+    def _compute_instruction_registers(self, pc: int) -> Optional[List[Tuple[int, bool]]]:
         try:
-            instr = self.func.emulator.fetch(warp.pc)
+            instr = self.func.emulator.fetch(pc)
         except Exception:
             return None
         spec = instr.spec
@@ -239,24 +293,30 @@ class TimingCore:
     def _drain_requests(self) -> None:
         """Send as many queued cache/scratchpad requests as accepted this cycle."""
         # Instruction-cache fills first (front end priority).
-        still_waiting: List[Tuple[int, int]] = []
-        for warp_id, line_byte_address in self._ifetch_to_send:
-            request = CacheRequest(
-                address=line_byte_address,
-                is_write=False,
-                tag=("ifetch", warp_id, line_byte_address // self.config.icache.line_size),
-            )
-            if not self.icache.send(request):
-                still_waiting.append((warp_id, line_byte_address))
-        self._ifetch_to_send = still_waiting
+        if self._ifetch_to_send:
+            still_waiting: List[Tuple[int, int]] = []
+            for warp_id, line_byte_address in self._ifetch_to_send:
+                request = CacheRequest(
+                    address=line_byte_address,
+                    is_write=False,
+                    tag=("ifetch", warp_id, line_byte_address // self.config.icache.line_size),
+                )
+                if not self.icache.send(request):
+                    still_waiting.append((warp_id, line_byte_address))
+            self._ifetch_to_send = still_waiting
 
         # Data-side requests: at most ``num_threads`` sends per cycle (the LSU's
-        # per-thread ports), oldest operation first.
+        # per-thread ports), oldest operation first.  ``_pending_ops`` is
+        # insertion-ordered by construction (op ids are allocated
+        # monotonically), so plain iteration is oldest-first; operations
+        # merely waiting on outstanding responses have nothing to send.
         budget = self.config.core.num_threads
-        for op in sorted(self._pending_ops.values(), key=lambda op: op.op_id):
-            if budget <= 0:
-                break
-            budget = self._send_for_op(op, budget)
+        if self._pending_ops:
+            for op in list(self._pending_ops.values()):
+                if budget <= 0:
+                    break
+                if op.to_send:
+                    budget = self._send_for_op(op, budget)
         if budget > 0 and self._store_queue:
             remaining_stores: List[Tuple[int, bool]] = []
             for address, to_smem in self._store_queue:
@@ -289,7 +349,7 @@ class TimingCore:
     def _send_data_request(self, address: int, is_write: bool, tag, to_smem: bool) -> bool:
         if to_smem:
             return self.smem.send(address, is_write, tag)
-        return self.dcache.send(CacheRequest(address=address, is_write=is_write, tag=tag))
+        return self.dcache.send_raw(address, is_write, tag)
 
     # -- issue ----------------------------------------------------------------------------------
 
@@ -310,13 +370,19 @@ class TimingCore:
             self.perf.incr("scoreboard_stalls")
             return
 
-        result = self.func.step_warp(warp)
+        if self.engine == "vector":
+            result = self.func.step_warp_timing(warp)
+        else:
+            result = self.func.step_warp(warp)
         self.perf.incr("instructions")
         self.perf.incr("thread_instructions", result.active_thread_count)
         self._warp_ready_cycle[warp.warp_id] = self.cycle + 1
         self._charge_timing(warp, result)
 
-    def _charge_timing(self, warp, result: StepResult) -> None:
+    def _charge_timing(self, warp, result) -> None:
+        """Charge one executed instruction (a scalar :class:`StepResult` or a
+        vectorized :class:`~repro.engine.vector_emulator.TimingStep` — both
+        expose ``instr``, ``taken_branch`` and ``request_addresses``)."""
         spec = result.instr.spec
         unit = spec.unit
 
@@ -335,14 +401,14 @@ class TimingCore:
                 (self.cycle + latency, warp.warp_id, result.instr.rd, spec.rd_float)
             )
 
-    def _charge_memory(self, warp, result: StepResult) -> None:
+    def _charge_memory(self, warp, result) -> None:
         spec = result.instr.spec
         is_store = spec.is_store
-        accesses = result.mem_accesses
+        addresses = result.request_addresses or []
         if is_store:
-            for access in accesses:
-                self._store_queue.append((access.address, is_shared_address(access.address)))
-            self.perf.incr("stores", len(accesses))
+            for address in addresses:
+                self._store_queue.append((address, is_shared_address(address)))
+            self.perf.incr("stores", len(addresses))
             return
 
         op = _PendingMemOp(
@@ -354,13 +420,13 @@ class TimingCore:
             kind="tex" if spec.unit == ExecUnit.TEX else "load",
         )
         self._next_op_id += 1
-        for access in accesses:
-            op.to_send.append((access.address, is_shared_address(access.address)))
+        for address in addresses:
+            op.to_send.append((address, is_shared_address(address)))
         if spec.unit == ExecUnit.TEX and self.func.tex_unit is not None:
-            op.extra_latency = self.func.tex_unit.issue_latency(len(accesses))
+            op.extra_latency = self.func.tex_unit.issue_latency(len(addresses))
             self.perf.incr("tex_ops")
         else:
-            self.perf.incr("loads", len(accesses))
+            self.perf.incr("loads", len(addresses))
         if not op.to_send:
             # A load with no active threads (fully masked) completes immediately.
             if op.writes_rd:

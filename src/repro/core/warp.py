@@ -111,6 +111,10 @@ class Warp:
         #: per-PC execution plans built by the vectorized engine (cleared on
         #: decode-cache invalidation).
         self.plan_cache: Dict[int, object] = {}
+        #: per-PC timing plans built by the vectorized cycle-level engine
+        #: (architectural plan + the per-instruction facts the timing model
+        #: charges); cleared together with :attr:`plan_cache`.
+        self.timing_plan_cache: Dict[int, object] = {}
         self.tmask = 0
 
     # -- thread mask helpers -----------------------------------------------------

@@ -27,20 +27,47 @@ from repro.common.config import VortexConfig
 
 @dataclass(frozen=True)
 class KernelJob:
-    """One (kernel, config) point of a sweep."""
+    """One (kernel, config) point of a sweep.
+
+    ``engine`` optionally pins the execution engine behind the driver:
+    ``None`` keeps the driver default (the vectorized engine for both
+    ``simx`` and ``funcsim``), ``"scalar"`` selects the per-thread reference
+    path (useful for differential sweeps), ``"vector"`` is explicit about
+    the default.  Design-space batches therefore run the vectorized
+    cycle-level core unless a job opts out.
+    """
 
     kernel: str
     config: VortexConfig = field(default_factory=VortexConfig)
     driver: str = "simx"
+    engine: Optional[str] = None
     size: Optional[int] = None
     label: str = ""
     verify: bool = True
+
+    @property
+    def driver_name(self) -> str:
+        """The device driver string selecting this job's engine variant.
+
+        An explicit ``engine`` always wins over a ``-scalar``-suffixed
+        driver string, in both directions, so sweeps can toggle the engine
+        on a fixed base driver.
+        """
+        base = self.driver
+        suffixed = base.endswith("-scalar")
+        if self.engine is None:
+            return base
+        if self.engine == "vector":
+            return base[: -len("-scalar")] if suffixed else base
+        if self.engine == "scalar":
+            return base if suffixed else f"{base}-scalar"
+        raise ValueError(f"unknown engine {self.engine!r} (use 'scalar' or 'vector')")
 
     def describe(self) -> str:
         cfg = self.config
         return (
             self.label
-            or f"{self.kernel}@{self.driver}"
+            or f"{self.kernel}@{self.driver_name}"
             f"[{cfg.num_cores}C-{cfg.num_warps}W-{cfg.num_threads}T]"
         )
 
@@ -71,7 +98,7 @@ def execute_job(job: KernelJob) -> JobResult:
     clock = time.perf_counter()
     try:
         kernel_cls = KERNELS[job.kernel]
-        device = VortexDevice(job.config, driver=job.driver)
+        device = VortexDevice(job.config, driver=job.driver_name)
         run = kernel_cls().run(device, size=job.size, verify=job.verify)
         wall = time.perf_counter() - clock
         return JobResult(
@@ -193,10 +220,13 @@ class Session:
         configs: Sequence[VortexConfig],
         driver: str = "simx",
         size: Optional[int] = None,
+        engine: Optional[str] = None,
     ) -> None:
         """Queue one job per configuration for the same kernel."""
         for config in configs:
-            self.queue.add(KernelJob(kernel=kernel, config=config, driver=driver, size=size))
+            self.queue.add(
+                KernelJob(kernel=kernel, config=config, driver=driver, size=size, engine=engine)
+            )
 
     # -- execution ----------------------------------------------------------------------
 

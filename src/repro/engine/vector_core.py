@@ -10,6 +10,13 @@ counters, ``instret``) per scheduling round instead of per instruction.
 
 Architectural results (registers, memory, retired-instruction counts) are
 bit-identical to the scalar engine; only wall-clock differs.
+
+The cycle-level driver reuses these pieces: ``TimingCore(engine="vector")``
+embeds a :class:`VectorSimtCore` and steps issued warps through the same
+compiled lane plans via :meth:`VectorWarpEmulator.step_timing`, so the
+functional and timing fast paths share one plan compiler (and one
+invalidation point: ``upload_program`` →
+:meth:`WarpEmulator.invalidate_decode_cache`).
 """
 
 from __future__ import annotations

@@ -41,6 +41,34 @@ from repro.isa.instructions import ExecUnit
 #: A plan executes one instruction for one warp (registers, memory, PC).
 Plan = Callable[[], None]
 
+#: A timing plan additionally returns ``(taken_branch, request_addresses)``.
+TimingPlan = Callable[[], tuple]
+
+
+class TimingStep:
+    """What the cycle-level core needs to know about one lane-plan execution.
+
+    The lightweight counterpart of :class:`~repro.core.emulator.StepResult`:
+    the decoded instruction (unit, destination, latency class), the number of
+    active lanes at issue, whether the front end must redirect, and — for
+    LSU/TEX instructions — the per-request memory addresses in the exact
+    order the scalar emulator would have produced them.
+    """
+
+    __slots__ = ("instr", "active_thread_count", "taken_branch", "request_addresses")
+
+    def __init__(
+        self,
+        instr: DecodedInstruction,
+        active_thread_count: int,
+        taken_branch: bool,
+        request_addresses,
+    ):
+        self.instr = instr
+        self.active_thread_count = active_thread_count
+        self.taken_branch = taken_branch
+        self.request_addresses = request_addresses
+
 
 def _sext_vec(values: np.ndarray, sign_bit: int) -> np.ndarray:
     """Sign-extend ``sign_bit``-wide lane values inside uint32 arithmetic."""
@@ -209,6 +237,13 @@ class VectorWarpEmulator(WarpEmulator):
     # -- branches / jumps --------------------------------------------------------------
 
     def _plan_branch(self, warp, pc: int, instr: DecodedInstruction) -> Plan:
+        """Conditional branch plan.
+
+        The closure returns the taken decision — ignored by the functional
+        execution loop, consumed by the timing wrapper
+        (:meth:`_timing_plan_branch`) so there is exactly one compiled
+        branch semantics shared by both paths.
+        """
         mnemonic = instr.mnemonic
         rs1_row = warp.regs.int_row(instr.rs1)
         rs2_row = warp.regs.int_row(instr.rs2)
@@ -227,7 +262,7 @@ class VectorWarpEmulator(WarpEmulator):
             full_cmp = BRANCH_VECTOR_OPS[mnemonic]
         masked_cmp = BRANCH_VECTOR_OPS[mnemonic]
 
-        def run() -> None:
+        def run() -> bool:
             if warp.full:
                 decisions = full_cmp(full_lhs, full_rhs)
             else:
@@ -244,6 +279,7 @@ class VectorWarpEmulator(WarpEmulator):
                 taken = bool(decisions[0])
                 perf.incr("divergent_branches")
             warp.pc = target if taken else next_pc
+            return taken
 
         return run
 
@@ -567,12 +603,157 @@ class VectorWarpEmulator(WarpEmulator):
         return run
 
     def _plan_join(self, warp, pc: int) -> Plan:
+        """``join`` plan; returns True when the pop redirects the front end
+        (not the fall-through path) — see :meth:`_plan_branch` on why."""
         next_pc = pc + 4
 
-        def run() -> None:
+        def run() -> bool:
             entry = warp.ipdom.pop()
             warp.set_tmask(entry.tmask)
-            warp.pc = next_pc if entry.is_fallthrough else entry.pc
+            if entry.is_fallthrough:
+                warp.pc = next_pc
+                return False
+            warp.pc = entry.pc
+            return True
+
+        return run
+
+    # -- timing plans (cycle-level SIMX core) -------------------------------------------
+
+    def _arch_plan(self, warp, pc: int) -> Plan:
+        """The (cached) architectural plan for ``warp`` at ``pc``."""
+        cache = warp.plan_cache
+        plan = cache.get(pc)
+        if plan is None:
+            plan = self._build_plan(warp, pc)
+            cache[pc] = plan
+        return plan
+
+    def step_timing(self, warp) -> TimingStep:
+        """Execute the next instruction of ``warp`` through its timing plan.
+
+        The architectural effects are exactly those of :meth:`step` (the
+        timing plans reuse the compiled lane plans); the returned
+        :class:`TimingStep` carries the issue facts the cycle-level core
+        charges latencies and cache traffic from, in the same order and with
+        the same values as the scalar :class:`~repro.core.emulator.StepResult`.
+        """
+        pc = warp.pc
+        cache = warp.timing_plan_cache
+        entry = cache.get(pc)
+        if entry is None:
+            entry = self._build_timing_plan(warp, pc)
+            cache[pc] = entry
+        instr, run = entry
+        active = warp.active_count
+        taken, addresses = run()
+        warp.instructions += 1
+        return TimingStep(instr, active, taken, addresses)
+
+    def _build_timing_plan(self, warp, pc: int):
+        instr = self.fetch(pc)
+        spec = instr.spec
+        mnemonic = instr.mnemonic
+        if spec.is_branch or mnemonic == "join":
+            run = self._timing_plan_redirecting(warp, pc)
+        elif spec.is_load or spec.is_store:
+            run = self._timing_plan_memory(warp, pc, instr)
+        elif mnemonic in ("jal", "jalr"):
+            run = self._timing_plan_taken(warp, pc)
+        elif mnemonic == "tex" and self.core.tex_unit is not None:
+            run = self._timing_plan_tex(warp, pc, instr)
+        else:
+            run = self._timing_plan_default(warp, pc)
+        return (instr, run)
+
+    def _timing_plan_default(self, warp, pc: int) -> TimingPlan:
+        """Wrap the architectural plan of a non-redirecting, non-memory
+        instruction (ALU/MUL/DIV/FPU, CSR, SIMT control, scalar fallbacks)."""
+        arch_plan = self._arch_plan(warp, pc)
+
+        def run() -> tuple:
+            arch_plan()
+            return False, None
+
+        return run
+
+    def _timing_plan_taken(self, warp, pc: int) -> TimingPlan:
+        """``jal``/``jalr``: the architectural plan plus an unconditional
+        front-end redirect (the scalar emulator always flags them taken)."""
+        arch_plan = self._arch_plan(warp, pc)
+
+        def run() -> tuple:
+            arch_plan()
+            return True, None
+
+        return run
+
+    def _timing_plan_redirecting(self, warp, pc: int) -> TimingPlan:
+        """Branch/``join``: wrap the (shared, cached) architectural plan,
+        whose closure already returns the taken decision."""
+        arch_plan = self._arch_plan(warp, pc)
+
+        def run() -> tuple:
+            return arch_plan(), None
+
+        return run
+
+    def _timing_plan_memory(self, warp, pc: int, instr: DecodedInstruction) -> TimingPlan:
+        """Load/store: capture the active lanes' byte addresses (thread
+        order, uint32 wraparound — identical to the scalar per-thread trace)
+        before the architectural plan commits the accesses.
+
+        The address vector is computed here *in addition to* whatever the
+        architectural plan computes internally: the word-load/store fast
+        paths work on page-relative offsets and never materialize absolute
+        addresses, so sharing would mean slowing the functional engine's
+        hottest path to feed the timing model.  One extra lane-vector add
+        per memory instruction is the cheaper side of that trade."""
+        arch_plan = self._arch_plan(warp, pc)
+        rs1_row = warp.regs.int_row(instr.rs1)
+        imm = np.uint32(to_uint32(instr.imm))
+
+        def run() -> tuple:
+            if warp.full:
+                addresses = (rs1_row + imm).tolist()
+            else:
+                addresses = (rs1_row[warp.lanes] + imm).tolist()
+            arch_plan()
+            return False, addresses
+
+        return run
+
+    def _timing_plan_tex(self, warp, pc: int, instr: DecodedInstruction) -> TimingPlan:
+        """Whole-warp ``tex`` with the de-duplicated texel address trace the
+        timing core turns into cache requests (see
+        :meth:`TextureUnit.sample_warp_vector_trace`)."""
+        core = self.core
+        tex_unit = core.tex_unit
+        csr = core.csr
+        regs = warp.regs
+        u_row = regs.fp_row(instr.rs1)
+        v_row = regs.fp_row(instr.rs2)
+        lod_row = regs.fp_row(instr.rs3)
+        rd_row = regs.int_row(instr.rd) if instr.rd else None
+        stage = instr.tex_stage
+        next_pc = pc + 4
+
+        def run() -> tuple:
+            if warp.full:
+                colors, unique = tex_unit.sample_warp_vector_trace(
+                    csr, stage, u_row, v_row, lod_row
+                )
+                if rd_row is not None:
+                    rd_row[:] = colors
+            else:
+                lanes = warp.lanes
+                colors, unique = tex_unit.sample_warp_vector_trace(
+                    csr, stage, u_row[lanes], v_row[lanes], lod_row[lanes]
+                )
+                if rd_row is not None:
+                    rd_row[lanes] = colors
+            warp.pc = next_pc
+            return False, unique
 
         return run
 

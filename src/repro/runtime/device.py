@@ -34,6 +34,7 @@ KERNEL_ARG_PTR_ADDR = 0x0FFF_F000
 
 _DRIVERS = {
     "simx": SimxDriver,
+    "simx-scalar": lambda config, memory: SimxDriver(config, memory, engine="scalar"),
     "funcsim": FuncSimDriver,
     "funcsim-scalar": lambda config, memory: FuncSimDriver(config, memory, engine="scalar"),
 }

@@ -18,19 +18,37 @@ from repro.runtime.report import ExecutionReport
 
 
 class SimxDriver:
-    """Runs kernels on the cycle-level multi-core processor."""
+    """Runs kernels on the cycle-level multi-core processor.
+
+    ``engine`` picks the execution engine inside the timing cores:
+
+    * ``"vector"`` (default) — issued warp instructions execute through the
+      vectorized emulator's compiled whole-warp lane plans,
+    * ``"scalar"`` — the per-thread reference emulation loop.
+
+    The timing model (scheduler, scoreboard, latencies, caches, MSHRs) is
+    identical either way, and so are the reported cycles, IPC and every
+    performance counter — ``tests/test_timing_differential.py`` holds both
+    engines to that; only host wall-clock differs.
+    """
 
     name = "simx"
 
-    def __init__(self, config: Optional[VortexConfig] = None, memory: Optional[MainMemory] = None):
+    def __init__(
+        self,
+        config: Optional[VortexConfig] = None,
+        memory: Optional[MainMemory] = None,
+        engine: str = "vector",
+    ):
         self.config = config or VortexConfig()
         self.memory = memory if memory is not None else MainMemory()
-        self.processor = TimingProcessor(self.config, self.memory)
+        self.engine = engine
+        self.processor = TimingProcessor(self.config, self.memory, engine=engine)
 
     def invalidate_decode_caches(self) -> None:
-        """Drop all cached decodes (a new program image was loaded)."""
+        """Drop all cached decodes/plans (a new program image was loaded)."""
         for core in self.processor.cores:
-            core.func.emulator.invalidate_decode_cache()
+            core.invalidate_caches()
 
     def run(self, entry_pc: int, max_cycles: int = 20_000_000) -> ExecutionReport:
         """Execute the kernel at ``entry_pc`` to completion."""
@@ -44,5 +62,5 @@ class SimxDriver:
             thread_instructions=self.processor.total_thread_instructions,
             counters=self.processor.counters(),
             wall_seconds=wall_seconds,
-            engine="timing",
+            engine=f"timing-{self.engine}",
         )

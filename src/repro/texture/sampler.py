@@ -202,7 +202,15 @@ class TextureSampler:
 
     # -- batched sampling (vectorized fast path) ---------------------------------------
 
-    def sample_many(self, state: TextureState, u, v, lod=0, with_addresses: bool = False):
+    def sample_many(
+        self,
+        state: TextureState,
+        u,
+        v,
+        lod=0,
+        with_addresses: bool = False,
+        with_lane_addresses: bool = False,
+    ):
         """Batched :meth:`sample`: one packed RGBA8 word per ``(u, v, lod)``.
 
         ``u`` and ``v`` are float64 arrays; ``lod`` is a scalar or an int or
@@ -216,12 +224,23 @@ class TextureSampler:
         where ``addresses`` is the flat int64 array of every generated texel
         address (4 per sample and mip level, duplicates included) — what
         the texture unit's de-duplication stage counts.
+
+        With ``with_lane_addresses`` the return value is ``(colors, lanes)``
+        where ``lanes`` is an int64 array of shape ``(N, 4)`` (point and
+        bilinear) or ``(N, 8)`` (trilinear: the fine level's quad followed by
+        the coarse level's quad, ``-1`` where the second fetch was skipped).
+        Row ``i`` lists sample ``i``'s texel addresses in exactly the order
+        the scalar warp path generates them, which is what the cycle-level
+        texture timing path de-duplicates into its cache request trace.
         """
+        if with_addresses and with_lane_addresses:
+            raise ValueError("with_addresses and with_lane_addresses are mutually exclusive")
         u = np.asarray(u, dtype=np.float64)
         v = np.asarray(v, dtype=np.float64)
         count = u.shape[0]
         out = np.empty(count, dtype=np.uint32)
         address_planes = [] if with_addresses else None
+        lane_addresses = None
         if count:
             if state.filter_mode == TexFilter.TRILINEAR:
                 lods = np.broadcast_to(np.asarray(lod, dtype=np.float64), (count,))
@@ -231,20 +250,42 @@ class TextureSampler:
                 level0 = lods.astype(np.int64)
                 level1 = np.minimum(level0 + 1, state.max_addressable_lod)
                 frac = ((lods - level0) * BLEND_ONE).astype(np.int64) & (BLEND_ONE - 1)
-                fine = self.level_channels_many(state, u, v, level0, address_planes)
+                fine_out = (
+                    np.empty((count, 4), dtype=np.int64) if with_lane_addresses else None
+                )
+                fine = self.level_channels_many(
+                    state, u, v, level0, address_planes, address_out=fine_out
+                )
                 # Lanes whose LOD is pinned at the coarsest level have a
                 # zero blend fraction: skip their second fetch entirely
                 # (same early-out, and the same fetch counts, as the
                 # scalar path).
                 blend = level1 != level0
+                coarse_out = (
+                    np.full((count, 4), -1, dtype=np.int64) if with_lane_addresses else None
+                )
                 if blend.any():
-                    coarse = self.level_channels_many(
-                        state, u[blend], v[blend], level1[blend], address_planes
+                    blend_addresses = (
+                        np.empty((int(np.count_nonzero(blend)), 4), dtype=np.int64)
+                        if with_lane_addresses
+                        else None
                     )
+                    coarse = self.level_channels_many(
+                        state,
+                        u[blend],
+                        v[blend],
+                        level1[blend],
+                        address_planes,
+                        address_out=blend_addresses,
+                    )
+                    if coarse_out is not None:
+                        coarse_out[blend] = blend_addresses
                     weight = frac[blend].astype(np.uint32)[:, None]
                     one = np.uint32(BLEND_ONE)
                     shift = np.uint32(BLEND_FRAC_BITS)
                     fine[blend] = (fine[blend] * (one - weight) + coarse * weight) >> shift
+                if with_lane_addresses:
+                    lane_addresses = np.concatenate([fine_out, coarse_out], axis=1)
                 out[:] = pack_rgba8_many(fine)
             else:
                 lods = np.broadcast_to(np.asarray(lod), (count,))
@@ -254,8 +295,16 @@ class TextureSampler:
                     lods = lods.astype(np.int64)
                 else:
                     lods = np.clip(lods.astype(np.int64), 0, state.max_addressable_lod)
-                channels = self.level_channels_many(state, u, v, lods, address_planes)
+                if with_lane_addresses:
+                    lane_addresses = np.empty((count, 4), dtype=np.int64)
+                channels = self.level_channels_many(
+                    state, u, v, lods, address_planes, address_out=lane_addresses
+                )
                 out[:] = pack_rgba8_many(channels)
+        if with_lane_addresses:
+            if lane_addresses is None:
+                lane_addresses = np.empty((0, 4), dtype=np.int64)
+            return out, lane_addresses
         if with_addresses:
             flat = (
                 np.concatenate(address_planes)
@@ -272,13 +321,16 @@ class TextureSampler:
         v: np.ndarray,
         levels: np.ndarray,
         address_planes=None,
+        address_out=None,
     ) -> np.ndarray:
         """Filter each sample's mip level into ``(N, 4)`` byte channels.
 
         ``levels`` is a clamped int64 level per sample; the batch is grouped
         by unique level so each level runs one vectorized address-gen /
         gather / decode / blend pass.  When ``address_planes`` is a list,
-        every generated address plane is appended to it (flattened).
+        every generated address plane is appended to it (flattened).  When
+        ``address_out`` is an ``(N, 4)`` int64 array, each sample's quad
+        addresses are scattered into its row (sample-major order).
         """
         out = np.empty((u.shape[0], 4), dtype=np.uint32)
         for level in np.unique(levels):
@@ -298,6 +350,8 @@ class TextureSampler:
             out[selected] = blend_quads(texels, blend_u, blend_v)
             if address_planes is not None:
                 address_planes.append(addresses.ravel())
+            if address_out is not None:
+                address_out[selected] = addresses
         return out
 
     def read_texels_many(self, state: TextureState, addresses: np.ndarray) -> np.ndarray:

@@ -1,6 +1,9 @@
 """Tests for the non-blocking multi-banked cache subsystem."""
 
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.cache.bank import CacheBank
 from repro.cache.cache import CacheRequest, NonBlockingCache
 from repro.cache.mshr import Mshr
@@ -34,6 +37,78 @@ def test_mshr_capacity_and_early_full():
 
 def test_mshr_release_unknown_line_is_empty():
     assert Mshr(4).release(0x99) == []
+
+
+def test_mshr_capacity_one_is_not_permanently_almost_full():
+    """Regression: ``capacity - 1 == 0`` made an *empty* capacity-1 table
+    signal almost-full, so every read was refused forever."""
+    mshr = Mshr(capacity=1)
+    assert not mshr.almost_full
+    assert mshr.allocate(0x10, "a") is not None
+    assert mshr.almost_full and mshr.full
+    assert mshr.release(0x10) == ["a"]
+    assert not mshr.almost_full
+
+
+def test_cache_with_capacity_one_mshr_still_serves_reads():
+    """End-to-end: a single-entry MSHR must accept a read miss, fill it and
+    respond (the timing driver's watchdog used to fire here)."""
+    cache, lower = _make_cache(mshr_size=1, num_banks=1)
+    assert cache.send(CacheRequest(address=0x80, tag="r"))
+    assert lower.fills == [cache.line_address(0x80)]
+    cache.fill(cache.line_address(0x80))
+    responses = []
+    for _ in range(4):
+        responses.extend(cache.tick())
+    assert [resp.tag for resp in responses] == ["r"]
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=6),
+    events=st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=0, max_value=7)),
+        max_size=60,
+    ),
+)
+def test_mshr_merge_replay_invariants(capacity, events):
+    """Property: every allocated request replays exactly once, merges are
+    counted exactly, and occupancy never exceeds the capacity."""
+    mshr = Mshr(capacity)
+    accepted = {}  # line -> list of outstanding (unreleased) request ids
+    released = []
+    merged = 0
+    allocations = 0
+    next_id = 0
+    for is_release, line in events:
+        if is_release:
+            expected = accepted.pop(line, [])
+            replayed = mshr.release(line)
+            assert replayed == expected
+            released.extend(replayed)
+        else:
+            request = next_id
+            entry = mshr.allocate(line, request)
+            if entry is None:
+                # Refused: table full and the line has no entry to merge into.
+                assert len(mshr) == capacity
+                assert line not in accepted
+                continue
+            next_id += 1
+            if len(entry.waiting) > 1:
+                merged += 1
+            else:
+                allocations += 1
+            accepted.setdefault(line, []).append(request)
+        assert len(mshr) <= capacity
+        assert mshr.peak_occupancy <= capacity
+        assert len(mshr) == len(accepted)
+    assert mshr.merged == merged
+    assert mshr.allocations == allocations
+    # Drain everything: each accepted request is replayed exactly once.
+    for line in list(accepted):
+        released.extend(mshr.release(line))
+    assert sorted(released) == list(range(next_id))
 
 
 # -- CacheBank ---------------------------------------------------------------------------

@@ -128,6 +128,43 @@ def test_barriers_are_independent_per_id():
     assert table.waiting_on(1) == ["b"]
 
 
+def test_barrier_first_arrival_count_is_authoritative_smaller_latecomer():
+    """Regression: a latecomer expecting *fewer* arrivals used to clobber the
+    count and early-release the barrier."""
+    import pytest
+
+    from repro.core.barrier import BarrierCountMismatch
+
+    table = BarrierTable(num_barriers=4)
+    assert table.arrive(0, expected=3, participant="w0") == []
+    with pytest.raises(BarrierCountMismatch):
+        table.arrive(0, expected=2, participant="w1")
+    assert table.mismatches == 1
+    # The original barrier keeps filling toward the first arrival's count.
+    assert table.arrive(0, expected=3, participant="w2") == []
+    assert set(table.arrive(0, expected=3, participant="w3")) == {"w0", "w2", "w3"}
+
+
+def test_barrier_first_arrival_count_is_authoritative_larger_latecomer():
+    """Regression: a latecomer expecting *more* arrivals used to raise the
+    count and strand the earlier waiters."""
+    import pytest
+
+    from repro.core.barrier import BarrierCountMismatch
+
+    table = BarrierTable(num_barriers=4)
+    assert table.arrive(1, expected=2, participant="w0") == []
+    with pytest.raises(BarrierCountMismatch):
+        table.arrive(1, expected=4, participant="w1")
+    # A count-1 latecomer on a filling barrier is also a mismatch, not an
+    # immediate self-release.
+    with pytest.raises(BarrierCountMismatch):
+        table.arrive(1, expected=1, participant="w2")
+    assert set(table.arrive(1, expected=2, participant="w3")) == {"w0", "w3"}
+    # Once released, the id can be reused with a fresh count.
+    assert table.arrive(1, expected=1, participant="solo") == ["solo"]
+
+
 def test_global_barrier_flag_helpers():
     assert is_global_barrier(GLOBAL_BARRIER_FLAG | 3)
     assert not is_global_barrier(3)

@@ -85,7 +85,7 @@ def _constant_store_program(value):
     return asm.assemble()  # entry defaults to the image base
 
 
-@pytest.mark.parametrize("driver", ["funcsim", "funcsim-scalar", "simx"])
+@pytest.mark.parametrize("driver", ["funcsim", "funcsim-scalar", "simx", "simx-scalar"])
 def test_back_to_back_program_loads_use_fresh_decodes(driver):
     """Loading a second image at the same base must not execute stale decodes."""
     device = VortexDevice(VortexConfig(), driver=driver)
@@ -112,6 +112,24 @@ def test_upload_program_invalidates_driver_decode_caches():
     device.upload_program(_constant_store_program(8))
     assert not core.emulator._decode_cache
     assert all(not warp.plan_cache for warp in core.warps)
+
+
+def test_upload_program_invalidates_timing_plan_caches():
+    """The vectorized SIMX core compiles per-PC timing plans; a new program
+    image at the same base must drop them (and the hazard-register cache)."""
+    device = VortexDevice(VortexConfig(), driver="simx")
+    program = _constant_store_program(7)
+    device.upload_program(program)
+    device.launch(program.entry)
+    core = device.driver.processor.cores[0]
+    assert core.func.emulator._decode_cache
+    assert any(warp.timing_plan_cache for warp in core.func.warps)
+    assert core._registers_by_pc
+    device.upload_program(_constant_store_program(8))
+    assert not core.func.emulator._decode_cache
+    assert all(not warp.timing_plan_cache for warp in core.func.warps)
+    assert all(not warp.plan_cache for warp in core.func.warps)
+    assert not core._registers_by_pc
 
 
 # -- execution reports -------------------------------------------------------------------
@@ -186,6 +204,47 @@ def test_session_process_pool_round_trip():
     )
     assert batch.ok
     assert all(result.report is not None for result in batch.results)
+
+
+def test_kernel_job_engine_selects_driver_variant():
+    assert KernelJob(kernel="vecadd").driver_name == "simx"
+    assert KernelJob(kernel="vecadd", engine="vector").driver_name == "simx"
+    assert KernelJob(kernel="vecadd", engine="scalar").driver_name == "simx-scalar"
+    assert KernelJob(kernel="vecadd", driver="funcsim", engine="scalar").driver_name == (
+        "funcsim-scalar"
+    )
+    # An explicit engine wins over a suffixed driver string, both ways.
+    assert KernelJob(kernel="vecadd", driver="simx-scalar", engine="scalar").driver_name == (
+        "simx-scalar"
+    )
+    assert KernelJob(kernel="vecadd", driver="simx-scalar", engine="vector").driver_name == (
+        "simx"
+    )
+    assert KernelJob(kernel="vecadd", driver="funcsim-scalar", engine="vector").driver_name == (
+        "funcsim"
+    )
+    assert "simx-scalar" in KernelJob(kernel="vecadd", engine="scalar").describe()
+    with pytest.raises(ValueError):
+        _ = KernelJob(kernel="vecadd", engine="turbo").driver_name
+
+
+def test_session_batch_runs_vectorized_timing_engine_bit_identical():
+    """A design-space batch runs the vectorized SIMX core through the session
+    layer; pinning ``engine="scalar"`` on the same sweep must reproduce the
+    exact same cycles and counters."""
+    config = VortexConfig()
+    session = Session(max_workers=2, executor="serial")
+    jobs = [
+        KernelJob(kernel="vecadd", config=config, size=64, label="vec"),
+        KernelJob(kernel="vecadd", config=config, size=64, engine="scalar", label="ref"),
+    ]
+    batch = session.run_batch(jobs)
+    assert batch.ok
+    vec, ref = batch.results
+    assert vec.report.engine == "timing-vector"
+    assert ref.report.engine == "timing-scalar"
+    assert vec.report.cycles == ref.report.cycles
+    assert vec.report.counters == ref.report.counters
 
 
 def test_design_point_jobs_cover_the_table3_grid():

@@ -1,0 +1,137 @@
+"""Differential tests: the vectorized SIMX timing engine vs the scalar reference.
+
+``TimingCore(engine="vector")`` executes issued warps through the vectorized
+emulator's compiled whole-warp lane plans; ``engine="scalar"`` steps the
+per-thread reference emulator.  The timing model (scheduler, scoreboard,
+latencies, caches, MSHRs) is shared, so the two engines must report
+**bit-identical** cycles, instruction counts and every performance counter
+on every configuration the paper's figures sweep — these tests hold them to
+that across the Figure 14 (core design points), Figure 19 (virtual
+multi-port caches) and Figure 20 (texture acceleration) configurations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import CORE_DESIGN_POINTS, CacheConfig, MemoryConfig, VortexConfig
+from repro.kernels import KERNELS
+from repro.kernels.texture import hardware_texture_kernel, software_texture_kernel
+from repro.runtime.device import VortexDevice
+
+
+def _fig_config(
+    num_cores: int = 1,
+    num_warps: int = 4,
+    num_threads: int = 4,
+    dcache_ports: int = 1,
+) -> VortexConfig:
+    """The benchmark harness's configuration shape (see benchmarks/harness.py)."""
+    return VortexConfig(
+        num_cores=num_cores,
+        dcache=CacheConfig(size=16 * 1024, num_banks=4, num_ports=dcache_ports),
+        memory=MemoryConfig(latency=100, bandwidth=1),
+    ).with_warps_threads(num_warps, num_threads)
+
+
+def _run(driver: str, kernel_name: str, size: int, config: VortexConfig):
+    device = VortexDevice(config, driver=driver)
+    run = KERNELS[kernel_name]().run(device, size=size)
+    assert run.passed, f"{kernel_name} failed verification on {driver}"
+    return run.report
+
+
+def _assert_reports_identical(scalar, vector) -> None:
+    """Every timing-visible quantity must match bit for bit."""
+    assert scalar.cycles == vector.cycles
+    assert scalar.instructions == vector.instructions
+    assert scalar.thread_instructions == vector.thread_instructions
+    assert set(scalar.counters) == set(vector.counters)
+    for component, counters in scalar.counters.items():
+        assert counters == vector.counters[component], component
+
+
+# -- Figure 14: core design-space points ------------------------------------------------
+
+
+@pytest.mark.parametrize("label", list(CORE_DESIGN_POINTS))
+def test_fig14_design_points_bit_identical(label):
+    warps, threads = CORE_DESIGN_POINTS[label]
+    config = _fig_config(num_warps=warps, num_threads=threads)
+    scalar = _run("simx-scalar", "sgemm", 8 * 8, config)
+    vector = _run("simx", "sgemm", 8 * 8, config)
+    _assert_reports_identical(scalar, vector)
+
+
+@pytest.mark.parametrize("kernel,size", [("vecadd", 128), ("saxpy", 128), ("nearn", 128)])
+def test_fig14_kernels_bit_identical(kernel, size):
+    config = _fig_config()
+    _assert_reports_identical(
+        _run("simx-scalar", kernel, size, config), _run("simx", kernel, size, config)
+    )
+
+
+# -- Figure 19: virtual multi-port caches ------------------------------------------------
+
+
+@pytest.mark.parametrize("ports", [1, 2, 4])
+def test_fig19_port_counts_bit_identical(ports):
+    config = _fig_config(dcache_ports=ports)
+    scalar = _run("simx-scalar", "sfilter", 8 * 8, config)
+    vector = _run("simx", "sfilter", 8 * 8, config)
+    _assert_reports_identical(scalar, vector)
+    # The Figure 19 metric itself (bank utilization inputs) must agree.
+    assert scalar.counters["dcache0"].get("bank_conflicts", 0) == vector.counters[
+        "dcache0"
+    ].get("bank_conflicts", 0)
+
+
+# -- Figure 20: texture acceleration ------------------------------------------------------
+
+
+@pytest.mark.parametrize("mode", ["point", "bilinear", "trilinear"])
+@pytest.mark.parametrize("use_hw", [True, False])
+def test_fig20_texture_modes_bit_identical(mode, use_hw):
+    config = _fig_config()
+
+    def run(driver):
+        kernel = hardware_texture_kernel(mode) if use_hw else software_texture_kernel(mode)
+        device = VortexDevice(config, driver=driver)
+        run = kernel.run(device, size=16 * 16)
+        assert run.passed
+        return run.report
+
+    _assert_reports_identical(run("simx-scalar"), run("simx"))
+
+
+# -- multicore + barriers -----------------------------------------------------------------
+
+
+def test_multicore_global_barriers_bit_identical():
+    config = _fig_config(num_cores=2)
+    _assert_reports_identical(
+        _run("simx-scalar", "sgemm", 8 * 8, config), _run("simx", "sgemm", 8 * 8, config)
+    )
+
+
+def test_divergent_kernel_bit_identical():
+    """bfs diverges (split/join) and communicates through memory flags."""
+    config = _fig_config()
+    _assert_reports_identical(
+        _run("simx-scalar", "bfs", 64, config), _run("simx", "bfs", 64, config)
+    )
+
+
+def test_timing_engine_knob_and_report_tagging():
+    """The driver knob is reachable via both the driver string and kwargs."""
+    from repro.runtime.simx import SimxDriver
+
+    config = _fig_config()
+    scalar_report = _run("simx-scalar", "vecadd", 64, config)
+    vector_report = _run("simx", "vecadd", 64, config)
+    assert scalar_report.engine == "timing-scalar"
+    assert vector_report.engine == "timing-vector"
+    driver = SimxDriver(config, engine="scalar")
+    assert driver.processor.cores[0].engine == "scalar"
+    with pytest.raises(ValueError):
+        SimxDriver(config, engine="warp")
