@@ -16,6 +16,13 @@ Run with::
 
     python benchmarks/check_regression.py BASELINE CURRENT [--floor 0.6]
 
+``--require-identical PATH`` additionally (or instead) asserts the
+bit-identity flags of a payload with no baseline comparison — the mode the
+CI ``session_differential`` step uses on
+``Session.run_differential().to_payload()`` output: the gate fails unless
+the payload's top-level and per-row ``identical_counters`` flags are all
+true.
+
 Exit status 0 means the gate is green.
 """
 
@@ -81,22 +88,73 @@ def check(baseline_path: Path, current_path: Path, floor: float) -> list:
     return failures
 
 
+def check_identity(path: Path) -> list:
+    """Assert the bit-identity flags of one payload (no baseline needed).
+
+    Used on ``Session.run_differential`` payloads: every row must carry a
+    true ``identical_counters`` (or sibling identity) flag, the top-level
+    ``identical_counters`` flag — when present — must be true, and rows
+    that errored fail the gate.
+    """
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    failures = []
+    if payload.get("identical_counters") is False:
+        failures.append(f"{path.name}: top-level identical_counters is false")
+    rows = payload.get("results", [])
+    if not rows:
+        # An empty sweep must not read as a green identity guarantee.
+        failures.append(f"{path.name}: payload has no result rows to check")
+    for row in rows:
+        key = scenario_key(row)
+        row_failures = []
+        flags = [flag for flag in IDENTITY_KEYS if flag in row]
+        if not flags:
+            row_failures.append(f"{key}: carries no identity flag")
+        for flag in flags:
+            if not row[flag]:
+                row_failures.append(f"{key}: {flag} is false — engines diverged")
+                for mismatch in row.get("mismatches", []):
+                    row_failures.append(f"{key}:   {mismatch}")
+        for error in row.get("errors", []):
+            row_failures.append(f"{key}: job errored: {error}")
+        failures.extend(row_failures)
+        print(f"  {key:45s} identity={'ok' if not row_failures else 'FAILED'}")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", type=Path, help="committed BENCH_*.json")
-    parser.add_argument("current", type=Path, help="freshly measured BENCH_*.json")
+    parser.add_argument("baseline", type=Path, nargs="?", help="committed BENCH_*.json")
+    parser.add_argument("current", type=Path, nargs="?", help="freshly measured BENCH_*.json")
     parser.add_argument(
         "--floor",
         type=float,
         default=0.6,
         help="minimum acceptable fraction of the baseline speedup (default 0.6)",
     )
+    parser.add_argument(
+        "--require-identical",
+        type=Path,
+        action="append",
+        default=[],
+        metavar="PAYLOAD",
+        help="assert the bit-identity flags of PAYLOAD (repeatable; no baseline needed)",
+    )
     args = parser.parse_args(argv)
     if not 0.0 < args.floor <= 1.0:
         parser.error("--floor must be in (0, 1]")
+    if (args.baseline is None) != (args.current is None):
+        parser.error("baseline and current must be given together")
+    if args.baseline is None and not args.require_identical:
+        parser.error("nothing to check: give BASELINE CURRENT and/or --require-identical")
 
-    print(f"bench gate: {args.current} vs {args.baseline} (floor {args.floor:.0%})")
-    failures = check(args.baseline, args.current, args.floor)
+    failures = []
+    if args.baseline is not None:
+        print(f"bench gate: {args.current} vs {args.baseline} (floor {args.floor:.0%})")
+        failures.extend(check(args.baseline, args.current, args.floor))
+    for payload_path in args.require_identical:
+        print(f"identity gate: {payload_path}")
+        failures.extend(check_identity(payload_path))
     if failures:
         print(f"\nbench gate FAILED ({len(failures)} problem(s)):", file=sys.stderr)
         for failure in failures:

@@ -68,7 +68,7 @@ def measure(kernel, size, warps, threads, reps):
     scalar_state = vector_state = None
     report = None
     for _ in range(reps):
-        wall, _, scalar_state = _run_once("funcsim-scalar", kernel, size, warps, threads)
+        wall, _, scalar_state = _run_once("funcsim:engine=scalar", kernel, size, warps, threads)
         scalar_best = min(scalar_best, wall)
         wall, report, vector_state = _run_once("funcsim", kernel, size, warps, threads)
         vector_best = min(vector_best, wall)
@@ -216,7 +216,7 @@ def measure_timing_scenario(name, kernel, size, warps, threads, reps):
     scalar_best = vector_best = float("inf")
     scalar_report = vector_report = None
     for _ in range(reps):
-        wall, scalar_report = _run_timing_once("simx-scalar", kernel, size, config)
+        wall, scalar_report = _run_timing_once("simx:engine=scalar", kernel, size, config)
         scalar_best = min(scalar_best, wall)
         wall, vector_report = _run_timing_once("simx", kernel, size, config)
         vector_best = min(vector_best, wall)
@@ -245,6 +245,56 @@ def measure_timing_scenario(name, kernel, size, warps, threads, reps):
     }
 
 
+# -- scheduler policies: the wavefront-scheduling design-space axis -----------------------
+
+#: Scenario swept across every scheduler policy: (kernel, size, warps, threads).
+#: Stall-heavy enough (one dcache port, long memory latency) that the
+#: policies actually diverge.
+POLICY_SCENARIO = ("sgemm", 24 * 24, 8, 4)
+
+
+def run_scheduler_policy_sweep():
+    """Cycle counts of the policy axis (deterministic — safe to commit).
+
+    Runs the policy scenario on the vectorized timing engine under every
+    :data:`~repro.common.config.SCHEDULER_POLICIES` entry and reports
+    cycles/IPC per policy.  The schedules must be pairwise distinct —
+    otherwise the axis sweeps nothing.
+    """
+    from repro.common.config import SCHEDULER_POLICIES
+
+    kernel, size, warps, threads = POLICY_SCENARIO
+    base = VortexConfig(
+        dcache=CacheConfig(size=16 * 1024, num_banks=4, num_ports=1),
+        memory=MemoryConfig(latency=100, bandwidth=1),
+    ).with_warps_threads(warps, threads)
+    rows = []
+    for policy in SCHEDULER_POLICIES:
+        device = VortexDevice(base.with_scheduler_policy(policy), driver="simx")
+        run = KERNELS[kernel]().run(device, size=size)
+        if not run.passed:
+            raise AssertionError(f"{kernel} failed verification under policy {policy}")
+        rows.append(
+            {
+                "policy": policy,
+                "kernel": kernel,
+                "size": size,
+                "warps": warps,
+                "threads": threads,
+                "cycles": run.report.cycles,
+                "ipc": round(run.report.ipc, 4),
+            }
+        )
+        print(
+            f"policy {policy:20s} cycles={run.report.cycles:7d} "
+            f"ipc={run.report.ipc:6.3f}"
+        )
+    cycles = [row["cycles"] for row in rows]
+    if len(set(cycles)) != len(cycles):
+        raise SystemExit(f"scheduler policies produced coinciding schedules: {rows}")
+    return rows
+
+
 def run_timing_benchmark(reps, out_path):
     results = []
     for name, kernel, size, warps, threads in TIMING_SCENARIOS:
@@ -263,6 +313,7 @@ def run_timing_benchmark(reps, out_path):
         "python": platform.python_version(),
         "numpy": np.__version__,
         "results": results,
+        "scheduler_policy_sweep": run_scheduler_policy_sweep(),
     }
     out_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {out_path}")

@@ -1,0 +1,80 @@
+"""Session-level differential smoke: a small grid on both timing engines.
+
+Runs a 3-job ``Session.run_differential`` grid — the paper's baseline
+geometry, a multi-port cache point, and a greedy-then-oldest scheduler
+point — diffs **every** performance counter between the scalar and
+vectorized timing engines, writes the report payload as JSON, and exits
+non-zero on any mismatch.  CI consumes the payload with
+``benchmarks/check_regression.py --require-identical``.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/session_differential_smoke.py [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.common.config import CacheConfig, MemoryConfig, VortexConfig
+from repro.engine.session import KernelJob, Session
+
+
+def smoke_jobs() -> list:
+    """The 3-job differential grid."""
+    base = VortexConfig(
+        dcache=CacheConfig(size=16 * 1024, num_banks=4, num_ports=1),
+        memory=MemoryConfig(latency=100, bandwidth=1),
+    )
+    return [
+        KernelJob(kernel="sgemm", config=base, size=8 * 8, label="sgemm_baseline"),
+        KernelJob(
+            kernel="sfilter",
+            config=base.with_dcache_ports(2),
+            size=8 * 8,
+            label="sfilter_2port",
+        ),
+        KernelJob(
+            kernel="vecadd",
+            config=base.with_scheduler_policy("greedy-then-oldest"),
+            size=128,
+            label="vecadd_gto_policy",
+        ),
+    ]
+
+
+def main(argv=None) -> int:
+    root = Path(__file__).resolve().parent.parent
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=root / "BENCH_session_differential.json")
+    parser.add_argument(
+        "--executor",
+        default="thread",
+        choices=("process", "thread", "serial"),
+        help="session executor for the sweep (default: thread)",
+    )
+    args = parser.parse_args(argv)
+
+    session = Session(executor=args.executor)
+    report = session.run_differential(smoke_jobs())
+    print(report.summary())
+    for result in report.results:
+        status = "identical" if result.identical_counters else "MISMATCH"
+        cycles = result.vector.report.cycles if result.vector.report else "-"
+        print(f"  {result.describe():24s} cycles={cycles} {status}")
+        for mismatch in result.mismatches:
+            print(f"    - {mismatch}")
+
+    args.out.write_text(json.dumps(report.to_payload(), indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.out}")
+    if not report.identical_counters:
+        print("differential smoke FAILED: engines diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,19 +13,23 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import VortexConfig, VortexDevice
+from repro import LaunchOptions, VortexConfig, VortexDevice
 from repro.kernels import VecAddKernel
 
 
 def main() -> None:
     # A single 4-wavefront x 4-thread core — the paper's baseline config.
+    # Drivers are named by spec string: "simx" (cycle-level, vectorized
+    # engine), "simx:engine=scalar" (per-thread reference), "funcsim", ...
     config = VortexConfig()
     device = VortexDevice(config, driver="simx")
 
     # The kernel object owns the device-side binary (assembled through the
-    # builder DSL) and the host-side staging/verification code.
+    # builder DSL) and the host-side staging/verification code.  Launch
+    # parameters (cycle/instruction budgets, entry override) are one
+    # LaunchOptions record, uniform across every driver.
     kernel = VecAddKernel()
-    run = kernel.run(device, size=256)
+    run = kernel.run(device, size=256, options=LaunchOptions(max_cycles=1_000_000))
 
     result = run.context["out"].read(np.uint32, run.context["size"])
     expected = run.context["a"] + run.context["b"]

@@ -19,9 +19,24 @@ Typical entry points:
 * :mod:`repro.synthesis` -- the calibrated FPGA area/frequency model.
 """
 
-from repro.common.config import CacheConfig, CoreConfig, MemoryConfig, TextureConfig, VortexConfig
-from repro.engine.session import BatchReport, JobQueue, KernelJob, Session
+from repro.common.config import (
+    CacheConfig,
+    CoreConfig,
+    MemoryConfig,
+    SCHEDULER_POLICIES,
+    TextureConfig,
+    VortexConfig,
+)
+from repro.engine.session import (
+    BatchReport,
+    DifferentialReport,
+    JobQueue,
+    KernelJob,
+    Session,
+)
 from repro.runtime.device import VortexDevice
+from repro.runtime.launch import LaunchOptions
+from repro.runtime.registry import DriverSpec, parse_driver_spec, register_driver
 from repro.runtime.report import ExecutionReport
 
 __version__ = "1.0.0"
@@ -30,13 +45,19 @@ __all__ = [
     "CacheConfig",
     "CoreConfig",
     "MemoryConfig",
+    "SCHEDULER_POLICIES",
     "TextureConfig",
     "VortexConfig",
     "VortexDevice",
     "ExecutionReport",
+    "DriverSpec",
+    "LaunchOptions",
+    "parse_driver_spec",
+    "register_driver",
     "Session",
     "JobQueue",
     "KernelJob",
     "BatchReport",
+    "DifferentialReport",
     "__version__",
 ]

@@ -74,6 +74,13 @@ class TextureConfig:
             raise ValueError("at least one texture state is required")
 
 
+#: Wavefront scheduler policies the cycle-level core can be configured with.
+#: ``"round-robin"`` is the paper's hierarchical two-level policy (and the
+#: counter-identical default); the alternatives are the classic design-space
+#: axis the timing model sweeps.
+SCHEDULER_POLICIES = ("round-robin", "greedy-then-oldest", "loose-round-robin")
+
+
 @dataclass(frozen=True)
 class CoreConfig:
     """Per-core SIMT configuration (section 4.1)."""
@@ -88,8 +95,17 @@ class CoreConfig:
     imul_latency: int = 3
     idiv_latency: int = 16
     shared_mem_size: int = 8 * 1024
+    #: Wavefront scheduler policy of the cycle-level core (see
+    #: :data:`SCHEDULER_POLICIES`).  Only the timing model consults it; the
+    #: functional engines execute wavefronts in a fixed interleaving.
+    scheduler_policy: str = "round-robin"
 
     def __post_init__(self) -> None:
+        if self.scheduler_policy not in SCHEDULER_POLICIES:
+            raise ValueError(
+                f"unknown scheduler policy {self.scheduler_policy!r}; "
+                f"available: {sorted(SCHEDULER_POLICIES)}"
+            )
         if self.num_warps < 1 or self.num_threads < 1:
             raise ValueError("a core needs at least one warp and one thread")
         if self.num_threads > 32:
@@ -148,6 +164,10 @@ class VortexConfig:
     def with_warps_threads(self, num_warps: int, num_threads: int) -> "VortexConfig":
         """Return a copy with a different warp/thread geometry."""
         return replace(self, core=replace(self.core, num_warps=num_warps, num_threads=num_threads))
+
+    def with_scheduler_policy(self, policy: str) -> "VortexConfig":
+        """Return a copy with a different wavefront scheduler policy."""
+        return replace(self, core=replace(self.core, scheduler_policy=policy))
 
     def with_dcache_ports(self, num_ports: int) -> "VortexConfig":
         """Return a copy with a different virtual-port count on the data cache."""

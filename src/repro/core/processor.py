@@ -154,7 +154,12 @@ class TimingProcessor(_GlobalBarrierMixin):
                 dcache_responses=responses.get(("d", core.core_id)),
             )
 
-    def run(self, entry_pc: Optional[int] = None, max_cycles: int = 20_000_000) -> int:
+    def run(
+        self,
+        entry_pc: Optional[int] = None,
+        max_cycles: int = 20_000_000,
+        max_instructions: Optional[int] = None,
+    ) -> int:
         """Run to completion; returns the elapsed cycle count."""
         if entry_pc is not None:
             self.reset(entry_pc)
@@ -171,6 +176,15 @@ class TimingProcessor(_GlobalBarrierMixin):
                         "cycles",
                         max_cycles,
                         f"timing simulation exceeded {max_cycles} cycles",
+                    )
+                # ``>=`` mirrors the functional Processor's budget semantics,
+                # so LaunchOptions(max_instructions=N) behaves identically on
+                # both driver families.
+                if max_instructions is not None and self.total_instructions >= max_instructions:
+                    raise SimulationLimitExceeded(
+                        "instructions",
+                        max_instructions,
+                        f"timing simulation exceeded {max_instructions} warp instructions",
                     )
                 # Deadlock watchdog: no instruction retired for a long stretch while
                 # cores still have active wavefronts and no memory traffic is pending.

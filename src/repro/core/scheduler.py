@@ -10,27 +10,56 @@ The scheduler keeps four wavefront masks:
   policy: each cycle one wavefront is picked from the visible mask and
   removed; when the visible mask empties it is refilled from the active
   wavefronts that are neither stalled nor at a barrier.
+
+``policy`` selects which selection policy :meth:`select` implements (the
+design-space axis of :data:`repro.common.config.SCHEDULER_POLICIES`):
+
+* ``"round-robin"`` — the paper's hierarchical two-level policy above,
+* ``"greedy-then-oldest"`` — keep issuing the last-selected wavefront while
+  it stays schedulable, otherwise fall back to the least-recently-issued
+  ready wavefront,
+* ``"loose-round-robin"`` — plain round-robin over the schedulable mask,
+  with no two-level working set: a wavefront that becomes ready is eligible
+  immediately instead of waiting for the next refill.
+
+All three are fully deterministic.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 from repro.common.bitutils import mask
+from repro.common.config import SCHEDULER_POLICIES
 from repro.common.perf import PerfCounters
 
 
 class WavefrontScheduler:
-    """Hierarchical wavefront scheduler for one core."""
+    """Wavefront scheduler for one core (policy-selectable)."""
 
-    def __init__(self, num_warps: int):
+    def __init__(self, num_warps: int, policy: str = "round-robin"):
+        if policy not in SCHEDULER_POLICIES:
+            raise ValueError(
+                f"unknown scheduler policy {policy!r}; available: {sorted(SCHEDULER_POLICIES)}"
+            )
         self.num_warps = num_warps
+        self.policy = policy
         self.active_mask = 0
         self.stalled_mask = 0
         self.barrier_mask = 0
         self.visible_mask = 0
         self.perf = PerfCounters("scheduler")
         self._last_selected: Optional[int] = None
+        # Last-issue order for greedy-then-oldest: stamp[w] is the monotonic
+        # selection index warp w last issued at (0 = never issued, so cold
+        # warps are oldest and ties break toward the lowest warp id).
+        self._issue_stamps: List[int] = [0] * num_warps
+        self._next_stamp = 1
+        self._select = {
+            "round-robin": self._select_round_robin,
+            "greedy-then-oldest": self._select_greedy_then_oldest,
+            "loose-round-robin": self._select_loose_round_robin,
+        }[policy]
 
     # -- mask maintenance -----------------------------------------------------------
 
@@ -79,12 +108,13 @@ class WavefrontScheduler:
         return self.active_mask & ~self.stalled_mask & ~self.barrier_mask & mask(self.num_warps)
 
     def select(self) -> Optional[int]:
-        """Pick the wavefront to fetch this cycle, or ``None`` if none is ready.
+        """Pick the wavefront to fetch this cycle, or ``None`` if none is ready."""
+        return self._select()
 
-        Implements the two-level policy: wavefronts are drained from the
+    def _select_round_robin(self) -> Optional[int]:
+        """The hierarchical two-level policy: wavefronts are drained from the
         visible mask one per cycle; when it is empty it is refilled from the
-        schedulable wavefronts.
-        """
+        schedulable wavefronts."""
         if self.visible_mask & ~self._schedulable_mask():
             # Wavefronts that became unschedulable leave the working set.
             self.visible_mask &= self._schedulable_mask()
@@ -100,6 +130,45 @@ class WavefrontScheduler:
             warp_id = (start + offset) % self.num_warps
             if (self.visible_mask >> warp_id) & 1:
                 self.visible_mask &= ~(1 << warp_id)
+                self._last_selected = warp_id
+                self.perf.incr("selections")
+                return warp_id
+        return None  # pragma: no cover - unreachable, mask was non-zero
+
+    def _select_greedy_then_oldest(self) -> Optional[int]:
+        """Greedy-then-oldest: stick with the current wavefront until it
+        stalls, then switch to the least-recently-issued ready one."""
+        ready = self._schedulable_mask()
+        if not ready:
+            self.perf.incr("idle_cycles")
+            return None
+        last = self._last_selected
+        if last is not None and (ready >> last) & 1:
+            warp_id = last
+        else:
+            stamps = self._issue_stamps
+            warp_id = min(
+                (w for w in range(self.num_warps) if (ready >> w) & 1),
+                key=lambda w: (stamps[w], w),
+            )
+            self.perf.incr("switches")
+        self._issue_stamps[warp_id] = self._next_stamp
+        self._next_stamp += 1
+        self._last_selected = warp_id
+        self.perf.incr("selections")
+        return warp_id
+
+    def _select_loose_round_robin(self) -> Optional[int]:
+        """Loose round-robin: the next ready wavefront after the last issued
+        one, with no two-level visible working set."""
+        ready = self._schedulable_mask()
+        if not ready:
+            self.perf.incr("idle_cycles")
+            return None
+        start = 0 if self._last_selected is None else (self._last_selected + 1) % self.num_warps
+        for offset in range(self.num_warps):
+            warp_id = (start + offset) % self.num_warps
+            if (ready >> warp_id) & 1:
                 self._last_selected = warp_id
                 self.perf.incr("selections")
                 return warp_id

@@ -88,7 +88,9 @@ class TimingCore:
             self.func = VectorSimtCore(core_id, config, memory, processor=processor)
         else:
             self.func = SimtCore(core_id, config, memory, processor=processor)
-        self.scheduler = WavefrontScheduler(config.core.num_warps)
+        self.scheduler = WavefrontScheduler(
+            config.core.num_warps, policy=config.core.scheduler_policy
+        )
         self.scoreboard = Scoreboard(config.core.num_warps)
         self.icache: NonBlockingCache = memsys.icache(core_id)
         self.dcache: NonBlockingCache = memsys.dcache(core_id)

@@ -10,7 +10,8 @@ This package is the lane-parallel back end of the simulation stack:
   multi-core processor (drop-in engine for the FUNCSIM driver).
 * :mod:`repro.engine.session` — batched multi-kernel sessions: queue
   (kernel, config) jobs, execute them concurrently on a process or thread
-  pool, aggregate the reports.
+  pool, aggregate the reports; ``Session.run_differential`` sweeps every
+  job across both engines and diffs all performance counters.
 
 ``Session`` and friends are re-exported lazily to avoid a circular import
 (the runtime drivers import the vector engine, while the session layer
@@ -31,6 +32,9 @@ __all__ = [
     "KernelJob",
     "JobResult",
     "BatchReport",
+    "DifferentialResult",
+    "DifferentialReport",
+    "diff_execution_reports",
     "execute_job",
     "design_point_jobs",
 ]
@@ -41,6 +45,9 @@ _SESSION_EXPORTS = {
     "KernelJob",
     "JobResult",
     "BatchReport",
+    "DifferentialResult",
+    "DifferentialReport",
+    "diff_execution_reports",
     "execute_job",
     "design_point_jobs",
 }

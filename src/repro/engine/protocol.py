@@ -11,8 +11,9 @@ program-load path to invalidate any cached decodes.
 
 from __future__ import annotations
 
-from typing import Protocol, runtime_checkable
+from typing import Optional, Protocol, runtime_checkable
 
+from repro.runtime.launch import LaunchOptions
 from repro.runtime.report import ExecutionReport
 
 
@@ -23,8 +24,13 @@ class ExecutionEngine(Protocol):
     #: Short identifier used in reports ("funcsim", "simx", …).
     name: str
 
-    def run(self, entry_pc: int) -> ExecutionReport:
-        """Execute the kernel at ``entry_pc`` to completion."""
+    def run(self, entry_pc: int, options: Optional[LaunchOptions] = None) -> ExecutionReport:
+        """Execute the kernel at ``entry_pc`` to completion.
+
+        ``options`` is the uniform :class:`LaunchOptions` record; drivers
+        apply the budget fields that are meaningful for their model and
+        ignore the rest.
+        """
         ...
 
     def invalidate_decode_caches(self) -> None:

@@ -12,6 +12,12 @@ Results come back as :class:`JobResult` records aggregating the
 :class:`~repro.runtime.report.ExecutionReport`, the verification outcome
 and per-job wall-clock, plus batch-level statistics (total wall time,
 peak concurrency measured from the jobs' actual execution intervals).
+
+:meth:`Session.run_differential` turns the same job grid into a
+first-class differential sweep: every job runs on both execution engines
+of its simulator and **every** performance counter is diffed, returning a
+:class:`DifferentialReport` (the reusable form of the fixed-point
+Fig 14/19/20 differential tests).
 """
 
 from __future__ import annotations
@@ -19,49 +25,54 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.common.config import VortexConfig
+from repro.runtime.launch import LaunchOptions
+from repro.runtime.registry import DriverSpec, parse_driver_spec
 
 
 @dataclass(frozen=True)
 class KernelJob:
     """One (kernel, config) point of a sweep.
 
-    ``engine`` optionally pins the execution engine behind the driver:
-    ``None`` keeps the driver default (the vectorized engine for both
-    ``simx`` and ``funcsim``), ``"scalar"`` selects the per-thread reference
-    path (useful for differential sweeps), ``"vector"`` is explicit about
-    the default.  Design-space batches therefore run the vectorized
-    cycle-level core unless a job opts out.
+    ``driver`` is a driver spec — a canonical spec string
+    (``"simx"``, ``"simx:engine=scalar"``) or a
+    :class:`~repro.runtime.registry.DriverSpec`; the legacy suffix strings
+    still parse (with a :class:`DeprecationWarning`).  ``engine``
+    optionally pins the execution engine on top of the spec: ``None``
+    keeps the spec's selection (the vectorized engine by default),
+    ``"scalar"`` the per-thread reference path, ``"vector"`` is explicit
+    about the default.  An explicit ``engine`` always wins over the spec's
+    own engine, so sweeps can toggle the engine on a fixed base driver.
+
+    ``options`` (a :class:`~repro.runtime.launch.LaunchOptions`) rides
+    through the device launch to the driver, bounding the job uniformly on
+    any backend.
     """
 
     kernel: str
     config: VortexConfig = field(default_factory=VortexConfig)
-    driver: str = "simx"
+    driver: Union[str, DriverSpec] = "simx"
     engine: Optional[str] = None
     size: Optional[int] = None
     label: str = ""
     verify: bool = True
+    options: Optional[LaunchOptions] = None
+
+    @property
+    def spec(self) -> DriverSpec:
+        """The resolved :class:`DriverSpec` selecting this job's driver."""
+        spec = parse_driver_spec(self.driver)
+        if self.engine is not None:
+            spec = spec.with_engine(self.engine)
+        return spec
 
     @property
     def driver_name(self) -> str:
-        """The device driver string selecting this job's engine variant.
-
-        An explicit ``engine`` always wins over a ``-scalar``-suffixed
-        driver string, in both directions, so sweeps can toggle the engine
-        on a fixed base driver.
-        """
-        base = self.driver
-        suffixed = base.endswith("-scalar")
-        if self.engine is None:
-            return base
-        if self.engine == "vector":
-            return base[: -len("-scalar")] if suffixed else base
-        if self.engine == "scalar":
-            return base if suffixed else f"{base}-scalar"
-        raise ValueError(f"unknown engine {self.engine!r} (use 'scalar' or 'vector')")
+        """The canonical spec string of :attr:`spec`."""
+        return self.spec.driver_name
 
     def describe(self) -> str:
         cfg = self.config
@@ -98,8 +109,8 @@ def execute_job(job: KernelJob) -> JobResult:
     clock = time.perf_counter()
     try:
         kernel_cls = KERNELS[job.kernel]
-        device = VortexDevice(job.config, driver=job.driver_name)
-        run = kernel_cls().run(device, size=job.size, verify=job.verify)
+        device = VortexDevice(job.config, driver=job.spec)
+        run = kernel_cls().run(device, size=job.size, verify=job.verify, options=job.options)
         wall = time.perf_counter() - clock
         return JobResult(
             job=job,
@@ -186,6 +197,116 @@ class BatchReport:
         )
 
 
+def diff_execution_reports(reference, subject) -> List[str]:
+    """Diff two :class:`ExecutionReport`\\ s down to every counter.
+
+    Returns human-readable ``"what: ref != subj"`` strings; empty means the
+    reports are bit-identical in cycles, instruction counts and every
+    per-component performance counter.
+    """
+    diffs: List[str] = []
+    for attr in ("cycles", "instructions", "thread_instructions"):
+        ref, subj = getattr(reference, attr), getattr(subject, attr)
+        if ref != subj:
+            diffs.append(f"{attr}: {ref} != {subj}")
+    components = sorted(set(reference.counters) | set(subject.counters))
+    for component in components:
+        ref_counters = reference.counters.get(component, {})
+        subj_counters = subject.counters.get(component, {})
+        for name in sorted(set(ref_counters) | set(subj_counters)):
+            ref, subj = ref_counters.get(name, 0), subj_counters.get(name, 0)
+            if ref != subj:
+                diffs.append(f"{component}.{name}: {ref} != {subj}")
+    return diffs
+
+
+@dataclass
+class DifferentialResult:
+    """One job executed on both engines, with the full counter diff."""
+
+    job: KernelJob
+    scalar: JobResult
+    vector: JobResult
+    mismatches: List[str] = field(default_factory=list)
+    #: Sweep-unique label (collisions between unlabeled jobs get a suffix).
+    label: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Both runs executed and verified."""
+        return self.scalar.ok and self.vector.ok
+
+    @property
+    def identical_counters(self) -> bool:
+        """Both runs succeeded and every diffed quantity matched."""
+        return self.ok and not self.mismatches
+
+    def describe(self) -> str:
+        return self.label or self.job.describe()
+
+
+@dataclass
+class DifferentialReport:
+    """Aggregate outcome of one :meth:`Session.run_differential` sweep."""
+
+    results: List[DifferentialResult]
+    wall_seconds: float
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    @property
+    def identical_counters(self) -> bool:
+        """True when every swept job matched on every counter."""
+        return all(result.identical_counters for result in self.results)
+
+    @property
+    def mismatching(self) -> List[DifferentialResult]:
+        return [result for result in self.results if not result.identical_counters]
+
+    def by_label(self) -> Dict[str, DifferentialResult]:
+        return {result.describe(): result for result in self.results}
+
+    def summary(self) -> str:
+        status = "identical" if self.identical_counters else (
+            f"{len(self.mismatching)} MISMATCHED"
+        )
+        return (
+            f"[differential] {len(self.results)} jobs x 2 engines "
+            f"in {self.wall_seconds:.2f}s: {status}"
+        )
+
+    def to_payload(self) -> Dict:
+        """A JSON-ready payload (consumed by ``benchmarks/check_regression.py``)."""
+        rows = []
+        for result in self.results:
+            # The row's numbers come from the vector run, so attribute them
+            # to that run's driver spec (not the submitted job's engine pin).
+            report = result.vector.report
+            rows.append(
+                {
+                    "scenario": result.describe(),
+                    "driver": result.vector.job.driver_name,
+                    "cycles": getattr(report, "cycles", None),
+                    "instructions": getattr(report, "instructions", None),
+                    "identical_counters": result.identical_counters,
+                    "mismatches": list(result.mismatches),
+                    "errors": [
+                        error
+                        for error in (result.scalar.error, result.vector.error)
+                        if error is not None
+                    ],
+                }
+            )
+        return {
+            "benchmark": "differential sweep: scalar vs vector engines",
+            "generated_by": "Session.run_differential",
+            "identical_counters": self.identical_counters,
+            "results": rows,
+        }
+
+
 class Session:
     """Launches batches of (kernel, config) jobs concurrently.
 
@@ -255,6 +376,63 @@ class Session:
                 results = self._run_on_pool(pool, batch)
         wall = time.perf_counter() - start
         return BatchReport(results, wall, self.max_workers, self.executor)
+
+    def run_differential(
+        self, jobs: Optional[Sequence[KernelJob]] = None
+    ) -> DifferentialReport:
+        """Run every job on both of its simulator's engines and diff all counters.
+
+        Each submitted job expands into a ``scalar`` (reference) and a
+        ``vector`` run of the same (kernel, config, driver) point — the
+        expanded batch executes through :meth:`run_batch`, so the sweep gets
+        the session's usual concurrency — and the two
+        :class:`~repro.runtime.report.ExecutionReport`\\ s are diffed down to
+        every per-component performance counter.  A job whose engine is
+        pinned explicitly still sweeps both engines (the pin picks which
+        variant a plain :meth:`run_batch` would run, not what a differential
+        sweep compares).
+        """
+        engines = ("scalar", "vector")
+        batch = list(jobs) if jobs is not None else self.queue.drain()
+        # Sweep-unique labels: two unlabeled jobs sharing kernel/simulator/
+        # geometry (e.g. a policy sweep) must not collapse into one row.
+        labels: List[str] = []
+        label_counts: Dict[str, int] = {}
+        for job in batch:
+            label = job.label or (
+                f"{job.kernel}@{job.spec.simulator}"
+                f"[{job.config.num_cores}C-{job.config.num_warps}W-{job.config.num_threads}T]"
+            )
+            count = label_counts.get(label, 0)
+            label_counts[label] = count + 1
+            labels.append(f"{label}#{count + 1}" if count else label)
+        expanded: List[KernelJob] = []
+        for job, base_label in zip(batch, labels):
+            spec = job.spec
+            for engine in engines:
+                expanded.append(
+                    replace(
+                        job,
+                        driver=spec.with_engine(engine),
+                        engine=None,
+                        label=f"{base_label}#{engine}",
+                    )
+                )
+        executed = self.run_batch(expanded)
+        results: List[DifferentialResult] = []
+        for index, (job, label) in enumerate(zip(batch, labels)):
+            scalar = executed.results[index * len(engines)]
+            vector = executed.results[index * len(engines) + 1]
+            if scalar.report is not None and vector.report is not None:
+                mismatches = diff_execution_reports(scalar.report, vector.report)
+            else:
+                mismatches = []
+            results.append(
+                DifferentialResult(
+                    job=job, scalar=scalar, vector=vector, mismatches=mismatches, label=label
+                )
+            )
+        return DifferentialReport(results=results, wall_seconds=executed.wall_seconds)
 
     @staticmethod
     def _run_on_pool(pool, batch: List[KernelJob]) -> List[JobResult]:

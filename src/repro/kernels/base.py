@@ -24,6 +24,7 @@ import numpy as np
 from repro.isa.builder import Program, ProgramBuilder
 from repro.kernels.runtime import DEFAULT_KERNEL_BASE, build_kernel_program
 from repro.runtime.device import VortexDevice
+from repro.runtime.launch import LaunchOptions
 from repro.runtime.report import ExecutionReport
 
 
@@ -100,13 +101,21 @@ class Kernel:
         device: VortexDevice,
         size: Optional[int] = None,
         verify: bool = True,
+        options: Optional[LaunchOptions] = None,
     ) -> KernelRun:
-        """Upload, launch and (optionally) verify this kernel on ``device``."""
+        """Upload, launch and (optionally) verify this kernel on ``device``.
+
+        ``options`` (a :class:`LaunchOptions`) rides through ``launch`` to
+        the driver, so per-job cycle/instruction budgets apply uniformly on
+        every backend.  The entry point resolves through the launch
+        precedence: ``options.entry_pc`` when set, else the uploaded
+        program's entry.
+        """
         size = size if size is not None else self.default_size()
         program = self.build_program()
         device.upload_program(program)
         context = self.setup(device, size)
-        report = device.launch(program.entry)
+        report = device.launch(options=options)
         passed = self.verify(device, context) if verify else True
         return KernelRun(report=report, passed=passed, context=context)
 

@@ -9,6 +9,10 @@ of Figure 8.
   mirroring the paper's SIMX and RTLSIM/ASE drivers.
 * :mod:`repro.runtime.device` — ``VortexDevice``, the public facade
   applications use (upload a program, allocate buffers, launch, read back).
+* :mod:`repro.runtime.registry` — the spec-based driver registry
+  (:class:`DriverSpec`, ``register_driver``, ``parse_driver_spec``).
+* :mod:`repro.runtime.launch` — :class:`LaunchOptions`, the uniform launch
+  parameter record every driver accepts.
 * :mod:`repro.runtime.opencl` — a minimal OpenCL-style host API layered on
   top of ``VortexDevice`` (the POCL runtime substitution).
 """
@@ -17,6 +21,14 @@ from repro.runtime.buffer import BufferAllocator, DeviceBuffer
 from repro.runtime.device import VortexDevice, ExecutionReport
 from repro.runtime.driver import CommandProcessor, DriverError
 from repro.runtime.funcsim import FuncSimDriver
+from repro.runtime.launch import LaunchOptions
+from repro.runtime.registry import (
+    DriverSpec,
+    available_simulators,
+    create_driver,
+    parse_driver_spec,
+    register_driver,
+)
 from repro.runtime.simx import SimxDriver
 from repro.runtime.opencl import Context, Program as ClProgram, KernelLauncher
 
@@ -29,6 +41,12 @@ __all__ = [
     "DriverError",
     "FuncSimDriver",
     "SimxDriver",
+    "DriverSpec",
+    "LaunchOptions",
+    "available_simulators",
+    "create_driver",
+    "parse_driver_spec",
+    "register_driver",
     "Context",
     "ClProgram",
     "KernelLauncher",

@@ -1,21 +1,32 @@
 """``VortexDevice`` — the public host-side API.
 
 A device bundles device memory, the command processor (AFU), a buffer
-allocator and one of the two simulation drivers behind the single facade
-application code and the benchmark harness use:
+allocator and one simulation driver behind the single facade application
+code and the benchmark harness use:
 
 .. code-block:: python
 
-    device = VortexDevice(config, driver="simx")
+    device = VortexDevice(config, driver="simx")               # default engine
+    device = VortexDevice(config, driver="simx:engine=scalar") # spec string
+    device = VortexDevice(config, driver=DriverSpec("funcsim", engine="scalar"))
     device.upload_program(program)
     buffer = device.alloc(1024)
     buffer.write(np.arange(256, dtype=np.uint32))
     report = device.launch(program.entry)
     result = buffer.read(np.uint32)
+
+Driver selection goes through the spec registry
+(:mod:`repro.runtime.registry`): strings are parsed into a
+:class:`DriverSpec`, unknown simulators/engines raise with the available
+options listed, and the legacy ``"simx-scalar"`` / ``"funcsim-scalar"``
+suffix strings normalize with a :class:`DeprecationWarning`.  Launch
+parameters are the uniform :class:`~repro.runtime.launch.LaunchOptions`
+record every driver accepts.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional, Union
 
 import numpy as np
@@ -25,19 +36,12 @@ from repro.isa.builder import Program
 from repro.mem.memory import MainMemory
 from repro.runtime.buffer import BufferAllocator, DeviceBuffer
 from repro.runtime.driver import CommandProcessor
-from repro.runtime.funcsim import FuncSimDriver
+from repro.runtime.launch import LaunchOptions
+from repro.runtime.registry import DriverSpec, create_driver, parse_driver_spec
 from repro.runtime.report import ExecutionReport
-from repro.runtime.simx import SimxDriver
 
 #: Fixed device address holding the pointer to the kernel argument block.
 KERNEL_ARG_PTR_ADDR = 0x0FFF_F000
-
-_DRIVERS = {
-    "simx": SimxDriver,
-    "simx-scalar": lambda config, memory: SimxDriver(config, memory, engine="scalar"),
-    "funcsim": FuncSimDriver,
-    "funcsim-scalar": lambda config, memory: FuncSimDriver(config, memory, engine="scalar"),
-}
 
 
 class VortexDevice:
@@ -46,20 +50,25 @@ class VortexDevice:
     def __init__(
         self,
         config: Optional[VortexConfig] = None,
-        driver: Union[str, object] = "simx",
+        driver: Union[str, DriverSpec, object] = "simx",
     ):
         self.config = config or VortexConfig()
-        self.memory = MainMemory()
-        if isinstance(driver, str):
-            try:
-                driver_cls = _DRIVERS[driver]
-            except KeyError:
-                raise ValueError(
-                    f"unknown driver {driver!r}; available: {sorted(_DRIVERS)}"
-                ) from None
-            self.driver = driver_cls(self.config, self.memory)
+        if isinstance(driver, (str, DriverSpec)):
+            self.driver_spec = parse_driver_spec(driver)
+            self.memory = MainMemory()
+            self.driver = create_driver(self.driver_spec, self.config, self.memory)
         else:
+            # Pre-constructed driver instance: adopt its memory so the AFU
+            # DMAs into the same pages the simulation reads — a driver built
+            # with its own MainMemory used to silently simulate on memory
+            # the host never wrote.
             self.driver = driver
+            driver_memory = getattr(driver, "memory", None)
+            self.memory = driver_memory if driver_memory is not None else MainMemory()
+            self.driver_spec = DriverSpec(
+                simulator=getattr(driver, "name", type(driver).__name__),
+                engine=getattr(driver, "engine", None),
+            )
         self.afu = CommandProcessor(self.memory)
         self.allocator = BufferAllocator()
         self.program: Optional[Program] = None
@@ -107,13 +116,30 @@ class VortexDevice:
 
     # -- execution ------------------------------------------------------------------------
 
-    def launch(self, entry_pc: Optional[int] = None, arg_address: Optional[int] = None) -> ExecutionReport:
-        """Launch the uploaded kernel and wait for completion."""
+    def launch(
+        self,
+        entry_pc: Optional[int] = None,
+        arg_address: Optional[int] = None,
+        options: Optional[LaunchOptions] = None,
+    ) -> ExecutionReport:
+        """Launch the uploaded kernel and wait for completion.
+
+        The entry point resolves in precedence order: the explicit
+        ``entry_pc`` argument, then ``options.entry_pc``, then the uploaded
+        program's entry.  ``options`` travels through the AFU to the
+        driver's ``run`` unchanged, so cycle/instruction budgets behave
+        identically on every backend.
+        """
+        options = options if options is not None else LaunchOptions()
+        if arg_address is not None:
+            options = replace(options, arg_address=arg_address)
+        if entry_pc is None:
+            entry_pc = options.entry_pc
         if entry_pc is None:
             if self.program is None:
                 raise ValueError("no program uploaded and no entry PC given")
             entry_pc = self.program.entry
-        return self.afu.launch(self.driver, entry_pc, arg_address)
+        return self.afu.launch(self.driver, entry_pc, options=options)
 
     # -- convenience ------------------------------------------------------------------------
 
@@ -123,4 +149,5 @@ class VortexDevice:
 
     @property
     def driver_name(self) -> str:
-        return getattr(self.driver, "name", type(self.driver).__name__)
+        """The canonical spec string of this device's driver."""
+        return self.driver_spec.driver_name

@@ -25,12 +25,16 @@ from repro.common.config import VortexConfig
 from repro.core.processor import Processor
 from repro.engine.vector_core import VectorProcessor
 from repro.mem.memory import MainMemory
+from repro.runtime.launch import LaunchOptions, resolve_options
 from repro.runtime.report import ExecutionReport
 
 _ENGINES = {
     "vector": VectorProcessor,
     "scalar": Processor,
 }
+
+#: Default instruction budget when neither ``options`` nor the legacy keyword set one.
+DEFAULT_MAX_INSTRUCTIONS = 50_000_000
 
 
 class FuncSimDriver:
@@ -60,10 +64,26 @@ class FuncSimDriver:
         for core in self.processor.cores:
             core.emulator.invalidate_decode_cache()
 
-    def run(self, entry_pc: int, max_instructions: int = 50_000_000) -> ExecutionReport:
-        """Execute the kernel at ``entry_pc`` to completion."""
+    def run(
+        self,
+        entry_pc: int,
+        options: Optional[LaunchOptions] = None,
+        *,
+        max_instructions: Optional[int] = None,
+    ) -> ExecutionReport:
+        """Execute the kernel at ``entry_pc`` to completion.
+
+        ``options`` is the uniform :class:`LaunchOptions` record; the legacy
+        ``max_instructions`` keyword is still honoured (and wins over the
+        corresponding ``options`` field).  ``max_cycles`` is ignored here —
+        the functional driver does not model time.
+        """
+        options = resolve_options(options, max_instructions=max_instructions)
         start = time.perf_counter()
-        instructions = self.processor.run(entry_pc, max_instructions=max_instructions)
+        instructions = self.processor.run(
+            entry_pc,
+            max_instructions=options.max_instructions or DEFAULT_MAX_INSTRUCTIONS,
+        )
         wall_seconds = time.perf_counter() - start
         thread_instructions = sum(
             core.perf.get("thread_instructions") for core in self.processor.cores

@@ -1,0 +1,65 @@
+"""Structured launch parameters shared by every driver.
+
+Before this module each driver's ``run()`` grew its own keyword set
+(``max_cycles`` on SIMX, ``max_instructions`` on FUNCSIM) and
+``VortexDevice.launch`` another (``entry_pc``, ``arg_address``), so callers
+had to know which backend they were talking to.  :class:`LaunchOptions` is
+the one record all of them accept:
+
+* ``max_cycles`` — cycle budget; enforced by cycle-level drivers and
+  ignored by functional ones (they do not model time),
+* ``max_instructions`` — warp-instruction budget; enforced by both driver
+  families,
+* ``arg_address`` — kernel argument-block address published through the
+  AFU's ``ARG_ADDRESS`` MMIO register,
+* ``entry_pc`` — overrides the uploaded program's entry point.
+
+Exceeding a budget raises the usual typed
+:class:`~repro.core.emulator.SimulationLimitExceeded`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class LaunchOptions:
+    """Uniform launch parameters for ``VortexDevice.launch`` and driver ``run``."""
+
+    max_cycles: Optional[int] = None
+    max_instructions: Optional[int] = None
+    arg_address: Optional[int] = None
+    entry_pc: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("max_cycles", "max_instructions"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be at least 1, got {value}")
+
+    def merged(self, **overrides) -> "LaunchOptions":
+        """Return a copy with the non-``None`` overrides applied."""
+        updates = {k: v for k, v in overrides.items() if v is not None}
+        return replace(self, **updates) if updates else self
+
+
+def resolve_options(options: Optional[LaunchOptions], **legacy) -> LaunchOptions:
+    """Normalize a driver ``run()``'s inputs into one :class:`LaunchOptions`.
+
+    ``legacy`` carries the driver's historical keyword arguments
+    (``max_cycles=...`` / ``max_instructions=...``); an explicitly passed
+    legacy keyword wins over the corresponding ``options`` field so existing
+    call sites keep their exact meaning.
+    """
+    if options is not None and not isinstance(options, LaunchOptions):
+        # Catch pre-redesign positional budgets (run(pc, 500_000)) with a
+        # clear error instead of an AttributeError deep in merged().
+        raise TypeError(
+            f"options must be a LaunchOptions, got {type(options).__name__}; "
+            "pass budgets as LaunchOptions(max_cycles=..., max_instructions=...) "
+            "or via the legacy keyword argument"
+        )
+    base = options if options is not None else LaunchOptions()
+    return base.merged(**legacy)

@@ -29,13 +29,23 @@ import numpy as np
 from repro.common.config import VortexConfig
 from repro.runtime.buffer import DeviceBuffer
 from repro.runtime.device import VortexDevice
+from repro.runtime.launch import LaunchOptions
+from repro.runtime.registry import DriverSpec
 from repro.runtime.report import ExecutionReport
 
 
 class Context:
-    """An OpenCL-context lookalike owning one Vortex device."""
+    """An OpenCL-context lookalike owning one Vortex device.
 
-    def __init__(self, config: Optional[VortexConfig] = None, driver: str = "simx"):
+    ``driver`` is a driver spec — a canonical spec string such as
+    ``"simx"`` or ``"funcsim:engine=scalar"``, or a :class:`DriverSpec`.
+    """
+
+    def __init__(
+        self,
+        config: Optional[VortexConfig] = None,
+        driver: Union[str, DriverSpec] = "simx",
+    ):
         self.device = VortexDevice(config=config, driver=driver)
 
     def buffer(self, size: int) -> DeviceBuffer:
@@ -86,8 +96,14 @@ class KernelLauncher:
         self._args = list(args)
         return self
 
-    def enqueue(self, global_size: int) -> ExecutionReport:
-        """Launch the kernel over ``global_size`` work items."""
+    def enqueue(
+        self, global_size: int, options: Optional[LaunchOptions] = None
+    ) -> ExecutionReport:
+        """Launch the kernel over ``global_size`` work items.
+
+        ``options`` (a :class:`LaunchOptions`) bounds the launch uniformly
+        on whichever driver backs the context's device.
+        """
         device = self.context.device
         program = self.kernel.build_program()
         device.upload_program(program)
@@ -95,7 +111,9 @@ class KernelLauncher:
         for arg in self._args:
             words.append(self._encode_arg(arg))
         device.write_kernel_args(words)
-        return device.launch(program.entry)
+        # No explicit entry: options.entry_pc (when set) outranks the
+        # uploaded program's entry, like every other launch path.
+        return device.launch(options=options)
 
     @staticmethod
     def _encode_arg(arg: Union[int, float, DeviceBuffer]) -> int:

@@ -1,0 +1,230 @@
+"""Spec-based driver registry: one structured way to name a simulator.
+
+The runtime historically selected backends by string mutation —
+``"simx-scalar"``-style suffixes whose arithmetic was re-implemented by the
+device facade, the session layer and every test that toggled an engine.
+This module replaces that with structured data:
+
+* :class:`DriverSpec` — a parsed ``(simulator, engine, options)`` triple.
+  The canonical spec-string syntax is ``"<simulator>"`` or
+  ``"<simulator>:key=value[,key=value...]"``; the engine rides in the
+  options as ``engine=<name>`` (``"simx:engine=scalar"``).
+* :func:`parse_driver_spec` — string / :class:`DriverSpec` → validated
+  :class:`DriverSpec`.  The legacy ``"simx-scalar"`` / ``"funcsim-scalar"``
+  suffix strings are still accepted (normalized with a
+  :class:`DeprecationWarning`).
+* :func:`register_driver` — the hook third-party simulators use to plug
+  into :class:`~repro.runtime.device.VortexDevice` and the session layer.
+* :func:`create_driver` — spec → constructed driver instance.
+
+The built-in SIMX (cycle-level) and FUNCSIM (functional) drivers register
+themselves at import time, each with a ``vector`` (default) and ``scalar``
+engine.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.common.config import VortexConfig
+from repro.mem.memory import MainMemory
+
+
+@dataclass(frozen=True)
+class DriverSpec:
+    """A structured driver selection: which simulator, which engine, extras.
+
+    ``engine=None`` means "the simulator's default engine"; it is resolved
+    at construction time by :func:`create_driver`.  ``options`` carries any
+    additional ``key=value`` pairs of the spec string (forwarded verbatim to
+    the driver factory), stored as a sorted tuple of pairs so specs stay
+    hashable and usable as dataclass defaults.
+    """
+
+    simulator: str
+    engine: Optional[str] = None
+    options: Tuple[Tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "options", tuple(sorted(self.options)))
+
+    @property
+    def options_dict(self) -> Dict[str, str]:
+        return dict(self.options)
+
+    @property
+    def driver_name(self) -> str:
+        """The canonical spec string (round-trips through :func:`parse_driver_spec`)."""
+        pairs = []
+        if self.engine is not None:
+            pairs.append(("engine", self.engine))
+        pairs.extend(self.options)
+        if not pairs:
+            return self.simulator
+        return self.simulator + ":" + ",".join(f"{k}={v}" for k, v in sorted(pairs))
+
+    def with_engine(self, engine: Optional[str]) -> "DriverSpec":
+        """Return a copy selecting ``engine`` (validated when registered)."""
+        spec = replace(self, engine=engine)
+        entry = _REGISTRY.get(self.simulator)
+        if entry is not None and engine is not None:
+            _validate_engine(entry, engine)
+        return spec
+
+    def describe(self) -> str:
+        return self.driver_name
+
+
+@dataclass(frozen=True)
+class DriverEntry:
+    """One registered simulator: factory plus its engine axis."""
+
+    simulator: str
+    factory: Callable[..., object]
+    engines: Tuple[str, ...]
+    default_engine: str
+
+
+_REGISTRY: Dict[str, DriverEntry] = {}
+
+#: Legacy suffix strings accepted for back-compat, mapped to their specs.
+_LEGACY_ALIASES: Dict[str, DriverSpec] = {}
+
+
+def register_driver(
+    simulator: str,
+    factory: Callable[..., object],
+    engines: Tuple[str, ...] = ("vector", "scalar"),
+    default_engine: Optional[str] = None,
+) -> DriverEntry:
+    """Register a simulator under ``simulator``.
+
+    ``factory`` is called as ``factory(config, memory, engine=<engine>,
+    **options)`` and must return a driver implementing the
+    :class:`~repro.engine.protocol.ExecutionEngine` protocol.  Returns the
+    registry entry (useful for introspection in tests).
+    """
+    if not simulator or any(ch in simulator for ch in ":,=- "):
+        raise ValueError(
+            f"invalid simulator name {simulator!r}: must be non-empty and free of ':,=- '"
+        )
+    engines = tuple(engines)
+    if not engines:
+        raise ValueError("a driver needs at least one engine")
+    default = default_engine if default_engine is not None else engines[0]
+    if default not in engines:
+        raise ValueError(f"default engine {default!r} is not in {engines}")
+    entry = DriverEntry(
+        simulator=simulator, factory=factory, engines=engines, default_engine=default
+    )
+    _REGISTRY[simulator] = entry
+    return entry
+
+
+def available_simulators() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def registered_engines(simulator: str) -> Tuple[str, ...]:
+    return _registry_entry(simulator).engines
+
+
+def _registry_entry(simulator: str) -> DriverEntry:
+    try:
+        return _REGISTRY[simulator]
+    except KeyError:
+        raise ValueError(
+            f"unknown simulator {simulator!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def _validate_engine(entry: DriverEntry, engine: str) -> None:
+    if engine not in entry.engines:
+        raise ValueError(
+            f"unknown engine {engine!r} for simulator {entry.simulator!r}; "
+            f"available: {sorted(entry.engines)}"
+        )
+
+
+def parse_driver_spec(spec: Union[str, DriverSpec]) -> DriverSpec:
+    """Parse and validate a driver spec string (or pass a spec through).
+
+    Accepts the canonical ``"sim"`` / ``"sim:engine=scalar,key=value"``
+    syntax and the deprecated legacy suffix strings (``"simx-scalar"``,
+    ``"funcsim-scalar"``), which normalize to their structured equivalents
+    with a :class:`DeprecationWarning`.
+    """
+    if isinstance(spec, DriverSpec):
+        entry = _registry_entry(spec.simulator)
+        if spec.engine is not None:
+            _validate_engine(entry, spec.engine)
+        return spec
+    if not isinstance(spec, str):
+        raise TypeError(f"driver spec must be a string or DriverSpec, got {type(spec).__name__}")
+
+    legacy = _LEGACY_ALIASES.get(spec)
+    if legacy is not None:
+        warnings.warn(
+            f"driver string {spec!r} is deprecated; use {legacy.driver_name!r}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return legacy
+
+    simulator, _, option_text = spec.partition(":")
+    entry = _registry_entry(simulator)
+    engine: Optional[str] = None
+    options = {}
+    if option_text:
+        for item in option_text.split(","):
+            key, sep, value = item.partition("=")
+            if not sep or not key or not value:
+                raise ValueError(
+                    f"malformed driver spec {spec!r}: expected "
+                    f"'{simulator}:key=value[,key=value...]', got segment {item!r}"
+                )
+            if key in options or (key == "engine" and engine is not None):
+                raise ValueError(f"duplicate option {key!r} in driver spec {spec!r}")
+            if key == "engine":
+                engine = value
+            else:
+                options[key] = value
+    if engine is not None:
+        _validate_engine(entry, engine)
+    return DriverSpec(simulator=simulator, engine=engine, options=tuple(options.items()))
+
+
+def create_driver(
+    spec: Union[str, DriverSpec],
+    config: Optional[VortexConfig] = None,
+    memory: Optional[MainMemory] = None,
+):
+    """Construct the driver a spec describes.
+
+    ``engine=None`` resolves to the simulator's registered default; extra
+    spec options are forwarded to the factory as keyword arguments.
+    """
+    spec = parse_driver_spec(spec)
+    entry = _registry_entry(spec.simulator)
+    engine = spec.engine if spec.engine is not None else entry.default_engine
+    _validate_engine(entry, engine)
+    return entry.factory(config, memory, engine=engine, **spec.options_dict)
+
+
+def _register_builtin_drivers() -> None:
+    # Imported here (not at module top) so the registry stays importable
+    # from the driver modules themselves without a cycle.
+    from repro.runtime.funcsim import FuncSimDriver
+    from repro.runtime.simx import SimxDriver
+
+    register_driver("simx", SimxDriver, engines=("vector", "scalar"), default_engine="vector")
+    register_driver(
+        "funcsim", FuncSimDriver, engines=("vector", "scalar"), default_engine="vector"
+    )
+    _LEGACY_ALIASES["simx-scalar"] = DriverSpec("simx", engine="scalar")
+    _LEGACY_ALIASES["funcsim-scalar"] = DriverSpec("funcsim", engine="scalar")
+
+
+_register_builtin_drivers()

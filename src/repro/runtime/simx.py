@@ -14,7 +14,11 @@ from typing import Optional
 from repro.common.config import VortexConfig
 from repro.core.processor import TimingProcessor
 from repro.mem.memory import MainMemory
+from repro.runtime.launch import LaunchOptions, resolve_options
 from repro.runtime.report import ExecutionReport
+
+#: Default cycle budget when neither ``options`` nor the legacy keyword set one.
+DEFAULT_MAX_CYCLES = 20_000_000
 
 
 class SimxDriver:
@@ -50,10 +54,28 @@ class SimxDriver:
         for core in self.processor.cores:
             core.invalidate_caches()
 
-    def run(self, entry_pc: int, max_cycles: int = 20_000_000) -> ExecutionReport:
-        """Execute the kernel at ``entry_pc`` to completion."""
+    def run(
+        self,
+        entry_pc: int,
+        options: Optional[LaunchOptions] = None,
+        *,
+        max_cycles: Optional[int] = None,
+    ) -> ExecutionReport:
+        """Execute the kernel at ``entry_pc`` to completion.
+
+        ``options`` is the uniform :class:`LaunchOptions` record; the legacy
+        ``max_cycles`` keyword is still honoured (and wins over the
+        corresponding ``options`` field).  ``max_instructions`` bounds the
+        retired warp-instruction count; both budgets raise the typed
+        :class:`~repro.core.emulator.SimulationLimitExceeded`.
+        """
+        options = resolve_options(options, max_cycles=max_cycles)
         start = time.perf_counter()
-        cycles = self.processor.run(entry_pc, max_cycles=max_cycles)
+        cycles = self.processor.run(
+            entry_pc,
+            max_cycles=options.max_cycles or DEFAULT_MAX_CYCLES,
+            max_instructions=options.max_instructions,
+        )
         wall_seconds = time.perf_counter() - start
         return ExecutionReport(
             driver=self.name,

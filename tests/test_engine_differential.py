@@ -45,7 +45,7 @@ def _run(kernel_name, driver, config, size):
 def test_vector_engine_matches_scalar_reference(kernel_name):
     config = VortexConfig()
     scalar_report, (scalar_warps, scalar_memory) = _run(
-        kernel_name, "funcsim-scalar", config, size=64
+        kernel_name, "funcsim:engine=scalar", config, size=64
     )
     vector_report, (vector_warps, vector_memory) = _run(
         kernel_name, "funcsim", config, size=64
@@ -73,7 +73,7 @@ def test_vector_engine_matches_scalar_reference(kernel_name):
 def test_vector_engine_matches_scalar_across_geometries(geometry):
     warps, threads = geometry
     config = VortexConfig().with_warps_threads(warps, threads)
-    _, (scalar_warps, scalar_memory) = _run("sgemm", "funcsim-scalar", config, size=36)
+    _, (scalar_warps, scalar_memory) = _run("sgemm", "funcsim:engine=scalar", config, size=36)
     _, (vector_warps, vector_memory) = _run("sgemm", "funcsim", config, size=36)
     for scalar_warp, vector_warp in zip(scalar_warps, vector_warps):
         assert np.array_equal(scalar_warp[2], vector_warp[2])
@@ -83,7 +83,7 @@ def test_vector_engine_matches_scalar_across_geometries(geometry):
 
 def test_vector_engine_matches_scalar_multicore():
     config = VortexConfig(num_cores=2)
-    _, (scalar_warps, scalar_memory) = _run("vecadd", "funcsim-scalar", config, size=96)
+    _, (scalar_warps, scalar_memory) = _run("vecadd", "funcsim:engine=scalar", config, size=96)
     _, (vector_warps, vector_memory) = _run("vecadd", "funcsim", config, size=96)
     for scalar_warp, vector_warp in zip(scalar_warps, vector_warps):
         assert np.array_equal(scalar_warp[2], vector_warp[2])
@@ -100,7 +100,7 @@ def test_texture_kernels_match_scalar_reference(mode, use_hw):
 
     config = VortexConfig()
     scalar_report, (scalar_warps, scalar_memory) = _run_kernel(
-        TextureKernel(mode=mode, use_hw=use_hw), "funcsim-scalar", config, size=64
+        TextureKernel(mode=mode, use_hw=use_hw), "funcsim:engine=scalar", config, size=64
     )
     vector_report, (vector_warps, vector_memory) = _run_kernel(
         TextureKernel(mode=mode, use_hw=use_hw), "funcsim", config, size=64

@@ -85,7 +85,9 @@ def _constant_store_program(value):
     return asm.assemble()  # entry defaults to the image base
 
 
-@pytest.mark.parametrize("driver", ["funcsim", "funcsim-scalar", "simx", "simx-scalar"])
+@pytest.mark.parametrize(
+    "driver", ["funcsim", "funcsim:engine=scalar", "simx", "simx:engine=scalar"]
+)
 def test_back_to_back_program_loads_use_fresh_decodes(driver):
     """Loading a second image at the same base must not execute stale decodes."""
     device = VortexDevice(VortexConfig(), driver=driver)
@@ -147,7 +149,7 @@ def test_reports_carry_wall_clock_and_rates():
 
 
 def test_scalar_engine_report_is_labelled():
-    device = VortexDevice(VortexConfig(), driver="funcsim-scalar")
+    device = VortexDevice(VortexConfig(), driver="funcsim:engine=scalar")
     run = VecAddKernel().run(device, size=32)
     assert run.report.engine == "scalar"
     assert run.report.driver == "funcsim"
@@ -175,8 +177,11 @@ def test_execute_job_reports_errors_instead_of_raising():
 
 def test_session_runs_batch_of_jobs_concurrently():
     session = Session(max_workers=6, executor="thread")
+    # Jobs must run long enough (size 1024, not 256) that a few ms of
+    # thread-spawn stagger under full-suite load cannot serialize them
+    # below the 4-in-flight acceptance bar.
     for kernel in ("vecadd", "saxpy", "sgemm", "vecadd", "saxpy", "sgemm"):
-        session.submit(KernelJob(kernel=kernel, driver="funcsim", size=256))
+        session.submit(KernelJob(kernel=kernel, driver="funcsim", size=1024))
     batch = session.run_batch()
     assert isinstance(batch, BatchReport)
     assert len(batch.results) == 6
@@ -207,25 +212,37 @@ def test_session_process_pool_round_trip():
 
 
 def test_kernel_job_engine_selects_driver_variant():
+    from repro.runtime.registry import DriverSpec
+
     assert KernelJob(kernel="vecadd").driver_name == "simx"
-    assert KernelJob(kernel="vecadd", engine="vector").driver_name == "simx"
-    assert KernelJob(kernel="vecadd", engine="scalar").driver_name == "simx-scalar"
+    assert KernelJob(kernel="vecadd", engine="vector").driver_name == "simx:engine=vector"
+    assert KernelJob(kernel="vecadd", engine="scalar").driver_name == "simx:engine=scalar"
     assert KernelJob(kernel="vecadd", driver="funcsim", engine="scalar").driver_name == (
-        "funcsim-scalar"
+        "funcsim:engine=scalar"
     )
-    # An explicit engine wins over a suffixed driver string, both ways.
-    assert KernelJob(kernel="vecadd", driver="simx-scalar", engine="scalar").driver_name == (
-        "simx-scalar"
+    # An explicit engine wins over the spec's own engine selection, both ways.
+    scalar_spec = DriverSpec("simx", engine="scalar")
+    assert KernelJob(kernel="vecadd", driver=scalar_spec, engine="scalar").driver_name == (
+        "simx:engine=scalar"
     )
-    assert KernelJob(kernel="vecadd", driver="simx-scalar", engine="vector").driver_name == (
-        "simx"
+    assert KernelJob(kernel="vecadd", driver=scalar_spec, engine="vector").driver_name == (
+        "simx:engine=vector"
     )
-    assert KernelJob(kernel="vecadd", driver="funcsim-scalar", engine="vector").driver_name == (
-        "funcsim"
-    )
-    assert "simx-scalar" in KernelJob(kernel="vecadd", engine="scalar").describe()
+    assert KernelJob(
+        kernel="vecadd", driver="funcsim:engine=scalar", engine="vector"
+    ).driver_name == "funcsim:engine=vector"
+    assert "simx:engine=scalar" in KernelJob(kernel="vecadd", engine="scalar").describe()
     with pytest.raises(ValueError):
         _ = KernelJob(kernel="vecadd", engine="turbo").driver_name
+
+
+def test_kernel_job_legacy_driver_string_still_resolves():
+    """Legacy suffix strings normalize (deprecated) to the structured spec."""
+    job = KernelJob(kernel="vecadd", driver="simx-scalar")
+    with pytest.deprecated_call():
+        assert job.driver_name == "simx:engine=scalar"
+    with pytest.deprecated_call():
+        assert KernelJob(kernel="vecadd", driver="funcsim-scalar").spec.engine == "scalar"
 
 
 def test_session_batch_runs_vectorized_timing_engine_bit_identical():
@@ -258,6 +275,136 @@ def test_design_point_jobs_cover_the_table3_grid():
         warps, threads = CORE_DESIGN_POINTS[job.label]
         assert job.config.num_warps == warps
         assert job.config.num_threads == threads
+
+
+# -- differential sweeps -----------------------------------------------------------------
+
+
+def test_run_differential_reports_identical_counters():
+    """A small grid swept on both timing engines must match on every counter."""
+    from repro.engine.session import DifferentialReport
+
+    session = Session(max_workers=2, executor="thread")
+    jobs = [
+        KernelJob(kernel="vecadd", size=64, label="vecadd64"),
+        KernelJob(kernel="sgemm", size=36, label="sgemm36"),
+    ]
+    report = session.run_differential(jobs)
+    assert isinstance(report, DifferentialReport)
+    assert len(report.results) == 2
+    assert report.ok
+    assert report.identical_counters
+    assert report.mismatching == []
+    for result in report.results:
+        assert result.scalar.report.engine == "timing-scalar"
+        assert result.vector.report.engine == "timing-vector"
+        assert result.scalar.report.cycles == result.vector.report.cycles
+        assert result.mismatches == []
+    assert "identical" in report.summary()
+    by_label = report.by_label()
+    assert set(by_label) == {"vecadd64", "sgemm36"}
+
+
+def test_run_differential_sweeps_both_engines_even_when_pinned():
+    session = Session(executor="serial")
+    report = session.run_differential(
+        [KernelJob(kernel="vecadd", size=32, engine="scalar", label="pinned")]
+    )
+    (result,) = report.results
+    assert result.scalar.report.engine == "timing-scalar"
+    assert result.vector.report.engine == "timing-vector"
+    assert result.identical_counters
+
+
+def test_run_differential_payload_carries_identity_flags():
+    session = Session(executor="serial")
+    report = session.run_differential([KernelJob(kernel="vecadd", size=32, label="p")])
+    payload = report.to_payload()
+    assert payload["identical_counters"] is True
+    (row,) = payload["results"]
+    assert row["scenario"] == "p"
+    assert row["identical_counters"] is True
+    assert row["mismatches"] == []
+    assert row["cycles"] > 0
+
+
+def test_run_differential_disambiguates_colliding_labels():
+    """Two unlabeled jobs with the same kernel/simulator/geometry but
+    different configs must keep distinct rows (not collapse in by_label)."""
+    session = Session(executor="serial")
+    report = session.run_differential(
+        [
+            KernelJob(kernel="vecadd", size=32),
+            KernelJob(
+                kernel="vecadd",
+                size=32,
+                config=VortexConfig().with_scheduler_policy("greedy-then-oldest"),
+            ),
+        ]
+    )
+    labels = [result.describe() for result in report.results]
+    assert len(set(labels)) == 2, labels
+    assert len(report.by_label()) == 2
+    scenarios = [row["scenario"] for row in report.to_payload()["results"]]
+    assert len(set(scenarios)) == 2
+
+
+def test_run_differential_payload_attributes_numbers_to_the_vector_run():
+    """Row counters come from the vector run; the driver field must say so
+    even when the submitted job pinned the scalar engine."""
+    session = Session(executor="serial")
+    report = session.run_differential(
+        [KernelJob(kernel="vecadd", size=32, engine="scalar", label="pinned")]
+    )
+    (row,) = report.to_payload()["results"]
+    assert row["driver"] == "simx:engine=vector"
+    assert row["cycles"] == report.results[0].vector.report.cycles
+
+
+def test_run_differential_drains_the_session_queue():
+    session = Session(executor="serial")
+    session.submit(KernelJob(kernel="vecadd", size=32))
+    report = session.run_differential()
+    assert len(report.results) == 1
+    assert len(session.queue) == 0
+
+
+def test_diff_execution_reports_flags_every_counter():
+    from repro.engine.session import diff_execution_reports
+    from repro.runtime.report import ExecutionReport
+
+    a = ExecutionReport(
+        driver="simx",
+        cycles=10,
+        instructions=5,
+        thread_instructions=20,
+        counters={"core0": {"loads": 3}},
+    )
+    b = ExecutionReport(
+        driver="simx",
+        cycles=11,
+        instructions=5,
+        thread_instructions=20,
+        counters={"core0": {"loads": 4}, "dcache0": {"hits": 1}},
+    )
+    diffs = diff_execution_reports(a, b)
+    assert "cycles: 10 != 11" in diffs
+    assert "core0.loads: 3 != 4" in diffs
+    assert "dcache0.hits: 0 != 1" in diffs
+    assert diff_execution_reports(a, a) == []
+
+
+# -- launch options through the session --------------------------------------------------
+
+
+def test_job_launch_options_bound_the_run():
+    from repro.runtime.launch import LaunchOptions
+
+    result = execute_job(
+        KernelJob(kernel="vecadd", size=64, options=LaunchOptions(max_cycles=10))
+    )
+    assert not result.ok
+    assert "SimulationLimitExceeded" in result.error
 
 
 def test_session_rejects_unknown_executor():

@@ -188,6 +188,27 @@ def test_device_rejects_unknown_driver():
         VortexDevice(VortexConfig(), driver="verilator")
 
 
+@pytest.mark.parametrize("driver_cls", ["simx", "funcsim"])
+def test_instance_constructed_driver_shares_device_memory(driver_cls):
+    """Regression: a driver object constructed with its own ``MainMemory``
+    used to simulate on different memory than the AFU DMAs into — uploads
+    and readbacks silently missed the simulation.  The device now adopts
+    the driver's memory."""
+    from repro.runtime.funcsim import FuncSimDriver
+    from repro.runtime.simx import SimxDriver
+
+    cls = SimxDriver if driver_cls == "simx" else FuncSimDriver
+    driver = cls(VortexConfig())  # builds its own MainMemory
+    device = VortexDevice(VortexConfig(), driver=driver)
+    assert device.memory is driver.memory
+    assert device.afu.memory is driver.memory
+
+    # Full upload -> launch -> readback through the instance-constructed driver.
+    run = VecAddKernel().run(device, size=64)
+    assert run.passed
+    assert run.report.instructions > 0
+
+
 def test_launch_without_program_requires_entry():
     device = VortexDevice(VortexConfig(), driver="funcsim")
     with pytest.raises(ValueError):

@@ -1,0 +1,350 @@
+"""Tests for the spec-based driver registry (`repro.runtime.registry`).
+
+Covers the satellite checklist: every registered spec string round-trips
+``parse_driver_spec`` → ``DriverSpec`` → ``driver_name``, the legacy
+``-scalar`` strings normalize with a ``DeprecationWarning``, unknown
+simulators/engines raise with the available options listed, and the
+``register_driver`` hook plugs a third-party simulator into the device
+facade and the session layer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import VortexConfig
+from repro.mem.memory import MainMemory
+from repro.runtime.device import VortexDevice
+from repro.runtime.launch import LaunchOptions, resolve_options
+from repro.runtime.registry import (
+    _LEGACY_ALIASES,
+    _REGISTRY,
+    DriverSpec,
+    available_simulators,
+    create_driver,
+    parse_driver_spec,
+    register_driver,
+    registered_engines,
+)
+from repro.runtime.report import ExecutionReport
+
+# -- parsing and round-trips --------------------------------------------------------------
+
+#: Every canonical spec string of the built-in registry.
+CANONICAL_SPECS = [
+    "simx",
+    "simx:engine=vector",
+    "simx:engine=scalar",
+    "funcsim",
+    "funcsim:engine=vector",
+    "funcsim:engine=scalar",
+]
+
+
+@pytest.mark.parametrize("text", CANONICAL_SPECS)
+def test_spec_strings_round_trip(text):
+    spec = parse_driver_spec(text)
+    assert isinstance(spec, DriverSpec)
+    assert spec.driver_name == text
+    # Parsing the canonical name again is a fixed point.
+    assert parse_driver_spec(spec.driver_name) == spec
+
+
+def test_parse_accepts_spec_instances():
+    spec = DriverSpec("simx", engine="scalar")
+    assert parse_driver_spec(spec) is spec
+
+
+def test_parse_extra_options_round_trip():
+    spec = parse_driver_spec("simx:engine=scalar,foo=bar")
+    assert spec.engine == "scalar"
+    assert spec.options_dict == {"foo": "bar"}
+    assert spec.driver_name == "simx:engine=scalar,foo=bar"
+    assert parse_driver_spec(spec.driver_name) == spec
+
+
+def test_default_engine_is_not_spelled_out():
+    spec = parse_driver_spec("simx")
+    assert spec.engine is None
+    assert spec.driver_name == "simx"
+
+
+@pytest.mark.parametrize(
+    "legacy,canonical",
+    [("simx-scalar", "simx:engine=scalar"), ("funcsim-scalar", "funcsim:engine=scalar")],
+)
+def test_legacy_strings_normalize_with_deprecation(legacy, canonical):
+    with pytest.deprecated_call():
+        spec = parse_driver_spec(legacy)
+    assert spec.driver_name == canonical
+    assert spec.engine == "scalar"
+
+
+@pytest.mark.parametrize("legacy", ["simx-scalar", "funcsim-scalar"])
+def test_legacy_strings_still_construct_working_devices(legacy):
+    from repro.kernels import VecAddKernel
+
+    with pytest.deprecated_call():
+        device = VortexDevice(VortexConfig(), driver=legacy)
+    run = VecAddKernel().run(device, size=32)
+    assert run.passed
+    assert run.report.engine.endswith("scalar")
+
+
+# -- error reporting ----------------------------------------------------------------------
+
+
+def test_unknown_simulator_lists_available():
+    with pytest.raises(ValueError, match=r"unknown simulator 'verilator'.*funcsim.*simx"):
+        parse_driver_spec("verilator")
+
+
+def test_unknown_engine_lists_available():
+    with pytest.raises(ValueError, match=r"unknown engine 'warp'.*scalar.*vector"):
+        parse_driver_spec("simx:engine=warp")
+    with pytest.raises(ValueError, match="unknown engine"):
+        DriverSpec("simx").with_engine("warp")
+    with pytest.raises(ValueError, match="unknown engine"):
+        parse_driver_spec(DriverSpec("funcsim", engine="turbo"))
+
+
+def test_malformed_and_duplicate_options_rejected():
+    with pytest.raises(ValueError, match="malformed driver spec"):
+        parse_driver_spec("simx:scalar")
+    with pytest.raises(ValueError, match="duplicate option"):
+        parse_driver_spec("simx:engine=scalar,engine=vector")
+    with pytest.raises(TypeError):
+        parse_driver_spec(42)
+
+
+def test_register_driver_validates_inputs():
+    with pytest.raises(ValueError, match="invalid simulator name"):
+        register_driver("bad-name", lambda *a, **k: None)
+    with pytest.raises(ValueError, match="at least one engine"):
+        register_driver("okname", lambda *a, **k: None, engines=())
+    with pytest.raises(ValueError, match="default engine"):
+        register_driver("okname", lambda *a, **k: None, engines=("a",), default_engine="b")
+    assert "okname" not in available_simulators()
+
+
+# -- the registry drives construction -----------------------------------------------------
+
+
+def test_create_driver_resolves_default_engine():
+    driver = create_driver("simx", VortexConfig())
+    assert driver.engine == "vector"
+    driver = create_driver("simx:engine=scalar", VortexConfig())
+    assert driver.engine == "scalar"
+
+
+def test_registered_engines_exposed():
+    assert registered_engines("simx") == ("vector", "scalar")
+    assert set(available_simulators()) >= {"simx", "funcsim"}
+
+
+def test_register_driver_hook_plugs_into_device_and_session():
+    """A third-party simulator registered through the hook is reachable via
+    spec strings on the device facade (and therefore the session layer)."""
+
+    class NullDriver:
+        name = "nullsim"
+
+        def __init__(self, config, memory, engine="fast", turbo="off"):
+            self.config = config or VortexConfig()
+            self.memory = memory if memory is not None else MainMemory()
+            self.engine = engine
+            self.turbo = turbo
+
+        def run(self, entry_pc, options=None):
+            options = resolve_options(options)
+            return ExecutionReport(
+                driver=self.name,
+                cycles=0,
+                instructions=0,
+                thread_instructions=0,
+                engine=self.engine,
+            )
+
+        def invalidate_decode_caches(self):
+            pass
+
+    try:
+        register_driver("nullsim", NullDriver, engines=("fast", "slow"))
+        device = VortexDevice(VortexConfig(), driver="nullsim:engine=slow,turbo=on")
+        assert device.driver.engine == "slow"
+        assert device.driver.turbo == "on"
+        assert device.memory is device.driver.memory
+        report = device.launch(entry_pc=0x8000_0000)
+        assert report.driver == "nullsim"
+        with pytest.raises(ValueError, match="unknown engine"):
+            VortexDevice(VortexConfig(), driver="nullsim:engine=warp")
+    finally:
+        _REGISTRY.pop("nullsim", None)
+
+
+# -- launch options -----------------------------------------------------------------------
+
+
+def test_launch_options_validation_and_merge():
+    with pytest.raises(ValueError):
+        LaunchOptions(max_cycles=0)
+    with pytest.raises(ValueError):
+        LaunchOptions(max_instructions=-1)
+    base = LaunchOptions(max_cycles=100)
+    merged = base.merged(max_cycles=None, max_instructions=5)
+    assert merged.max_cycles == 100 and merged.max_instructions == 5
+    assert base.merged() is base
+    # A legacy keyword wins over the options field.
+    assert resolve_options(LaunchOptions(max_cycles=7), max_cycles=9).max_cycles == 9
+    assert resolve_options(None).max_cycles is None
+
+
+def test_launch_options_entry_pc_override():
+    """``LaunchOptions.entry_pc`` launches at the override, not the program entry."""
+    from repro.isa.builder import ProgramBuilder
+    from repro.isa.registers import Reg
+
+    asm = ProgramBuilder(base=0x8000_0000)
+    asm.li(Reg.t0, 11)  # default-entry path stores 11
+    asm.li(Reg.t1, 0x4000)
+    asm.sw(Reg.t0, 0, Reg.t1)
+    asm.li(Reg.t2, 0)
+    asm.tmc(Reg.t2)
+    asm.label("alt")  # override path stores 77
+    asm.li(Reg.t0, 77)
+    asm.li(Reg.t1, 0x4000)
+    asm.sw(Reg.t0, 0, Reg.t1)
+    asm.li(Reg.t2, 0)
+    asm.tmc(Reg.t2)
+    program = asm.assemble()
+
+    device = VortexDevice(VortexConfig(), driver="funcsim")
+    device.upload_program(program)
+    device.launch(options=LaunchOptions(entry_pc=program.address_of("alt")))
+    assert device.memory.read_word(0x4000) == 77
+    # The explicit entry_pc argument wins over the options field.
+    device.launch(program.entry, options=LaunchOptions(entry_pc=program.address_of("alt")))
+    assert device.memory.read_word(0x4000) == 11
+
+
+def test_launch_options_are_uniform_across_drivers():
+    """The same LaunchOptions object is accepted by both driver families."""
+    from repro.core.emulator import SimulationLimitExceeded
+    from repro.kernels import VecAddKernel
+
+    options = LaunchOptions(max_instructions=10)
+    for spec in ("simx", "funcsim"):
+        device = VortexDevice(VortexConfig(), driver=spec)
+        with pytest.raises(SimulationLimitExceeded) as excinfo:
+            VecAddKernel().run(device, size=64, options=options)
+        assert excinfo.value.kind == "instructions"
+        assert excinfo.value.limit == 10
+
+
+def test_kernel_run_leaves_entry_resolution_to_options():
+    """Kernel.run must not pass an explicit entry that would outrank
+    ``options.entry_pc`` in the launch precedence (regression)."""
+    from repro.kernels import VecAddKernel
+
+    device = VortexDevice(VortexConfig(), driver="funcsim")
+    captured = {}
+    real_launch = device.launch
+
+    def spy(entry_pc=None, arg_address=None, options=None):
+        captured["entry_pc"] = entry_pc
+        captured["options"] = options
+        return real_launch(entry_pc=entry_pc, arg_address=arg_address, options=options)
+
+    device.launch = spy
+    options = LaunchOptions(max_instructions=1_000_000)
+    run = VecAddKernel().run(device, size=32, options=options)
+    assert run.passed
+    assert captured["entry_pc"] is None
+    assert captured["options"] is options
+
+
+def test_afu_tolerates_pre_options_driver_protocol():
+    """An instance-constructed driver with the old ``run(entry_pc)``
+    signature still launches; real launch options raise instead of being
+    silently dropped."""
+    from repro.runtime.driver import DriverError
+
+    class OldProtocolDriver:
+        name = "oldsim"
+
+        def __init__(self):
+            self.memory = MainMemory()
+
+        def run(self, entry_pc):
+            return ExecutionReport(
+                driver=self.name, cycles=1, instructions=1, thread_instructions=1
+            )
+
+    device = VortexDevice(VortexConfig(), driver=OldProtocolDriver())
+    report = device.launch(entry_pc=0x8000_0000)
+    assert report.driver == "oldsim"
+    with pytest.raises(DriverError, match="does not accept LaunchOptions"):
+        device.launch(entry_pc=0x8000_0000, options=LaunchOptions(max_cycles=5))
+
+
+def test_afu_does_not_misbind_options_to_legacy_budget_parameters():
+    """A pre-options driver whose second parameter is a budget
+    (``run(entry_pc, max_cycles=...)``) must not receive a LaunchOptions
+    object positionally."""
+    from repro.runtime.driver import DriverError
+
+    class BudgetProtocolDriver:
+        name = "budgetsim"
+
+        def __init__(self):
+            self.memory = MainMemory()
+            self.seen_budget = None
+
+        def run(self, entry_pc, max_cycles=1000):
+            self.seen_budget = max_cycles
+            return ExecutionReport(
+                driver=self.name, cycles=1, instructions=1, thread_instructions=1
+            )
+
+    driver = BudgetProtocolDriver()
+    device = VortexDevice(VortexConfig(), driver=driver)
+    device.launch(entry_pc=0x8000_0000)
+    assert driver.seen_budget == 1000  # the default, not a LaunchOptions object
+    with pytest.raises(DriverError, match="does not accept LaunchOptions"):
+        device.launch(entry_pc=0x8000_0000, options=LaunchOptions(max_cycles=5))
+
+
+def test_max_instructions_budget_uniform_at_the_boundary():
+    """LaunchOptions(max_instructions=N) behaves identically on both driver
+    families at the exact boundary (both drivers retire the same warp
+    instruction count for the same kernel)."""
+    from repro.core.emulator import SimulationLimitExceeded
+    from repro.kernels import VecAddKernel
+
+    device = VortexDevice(VortexConfig(), driver="funcsim")
+    executed = VecAddKernel().run(device, size=32).report.instructions
+    for spec in ("simx", "funcsim"):
+        # Budget of exactly `executed` raises on both backends...
+        device = VortexDevice(VortexConfig(), driver=spec)
+        with pytest.raises(SimulationLimitExceeded):
+            VecAddKernel().run(device, size=32, options=LaunchOptions(max_instructions=executed))
+        # ...while one more instruction of headroom completes on both.
+        device = VortexDevice(VortexConfig(), driver=spec)
+        run = VecAddKernel().run(
+            device, size=32, options=LaunchOptions(max_instructions=executed + 1)
+        )
+        assert run.passed
+
+
+def test_legacy_positional_budget_rejected_clearly():
+    """``driver.run(pc, 500)`` (the pre-redesign positional budget) raises a
+    clear TypeError instead of an AttributeError deep in option merging."""
+    from repro.runtime.simx import SimxDriver
+
+    driver = SimxDriver(VortexConfig())
+    with pytest.raises(TypeError, match="LaunchOptions"):
+        driver.run(0x8000_0000, 500)
+
+
+def test_legacy_aliases_cover_only_known_strings():
+    assert set(_LEGACY_ALIASES) == {"simx-scalar", "funcsim-scalar"}

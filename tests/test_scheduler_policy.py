@@ -1,0 +1,141 @@
+"""The wavefront-scheduler policy axis (`CoreConfig.scheduler_policy`).
+
+Three invariants:
+
+* ``"round-robin"`` (the default) is **counter-identical to the pre-axis
+  baseline** — the cycle counts below were recorded on the repository state
+  before the policy knob existed, so any drift in the default schedule
+  fails these tests;
+* the alternative policies are *distinct* from round-robin on stall-heavy
+  workloads (otherwise the axis sweeps nothing);
+* every policy is *deterministic* — the same job twice yields bit-identical
+  reports, on both execution engines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import SCHEDULER_POLICIES, CacheConfig, CoreConfig, MemoryConfig, VortexConfig
+from repro.core.scheduler import WavefrontScheduler
+from repro.engine.session import KernelJob, Session, diff_execution_reports
+from repro.kernels import KERNELS
+from repro.runtime.device import VortexDevice
+
+#: Cycle counts recorded before the scheduler-policy axis existed (the
+#: hierarchical two-level round-robin schedule).  Key: (kernel, size, ports).
+PRE_AXIS_BASELINE_CYCLES = {
+    ("sgemm", 64, 1): 3166,
+    ("sfilter", 64, 2): 6175,
+    ("vecadd", 128, 1): 2665,
+    ("bfs", 64, 1): 1632,
+}
+
+
+def _config(ports: int = 1, policy: str = "round-robin") -> VortexConfig:
+    return VortexConfig(
+        dcache=CacheConfig(size=16 * 1024, num_banks=4, num_ports=ports),
+        memory=MemoryConfig(latency=100, bandwidth=1),
+    ).with_scheduler_policy(policy)
+
+
+def _run(kernel: str, size: int, config: VortexConfig):
+    device = VortexDevice(config, driver="simx")
+    run = KERNELS[kernel]().run(device, size=size)
+    assert run.passed
+    return run.report
+
+
+# -- config plumbing ----------------------------------------------------------------------
+
+
+def test_core_config_rejects_unknown_policy():
+    with pytest.raises(ValueError, match=r"unknown scheduler policy 'fifo'"):
+        CoreConfig(scheduler_policy="fifo")
+    with pytest.raises(ValueError, match="unknown scheduler policy"):
+        VortexConfig().with_scheduler_policy("fifo")
+
+
+def test_scheduler_rejects_unknown_policy():
+    with pytest.raises(ValueError, match="unknown scheduler policy"):
+        WavefrontScheduler(4, policy="fifo")
+
+
+def test_policy_reaches_the_timing_core():
+    for policy in SCHEDULER_POLICIES:
+        device = VortexDevice(_config(policy=policy), driver="simx")
+        assert device.driver.processor.cores[0].scheduler.policy == policy
+
+
+# -- round-robin is the pre-axis schedule -------------------------------------------------
+
+
+@pytest.mark.parametrize("kernel,size,ports", sorted(PRE_AXIS_BASELINE_CYCLES))
+def test_round_robin_matches_pre_axis_baseline(kernel, size, ports):
+    report = _run(kernel, size, _config(ports=ports))
+    assert report.cycles == PRE_AXIS_BASELINE_CYCLES[(kernel, size, ports)]
+
+
+def test_explicit_round_robin_equals_default():
+    default = _run("sgemm", 64, _config())
+    explicit = _run("sgemm", 64, _config(policy="round-robin"))
+    assert diff_execution_reports(default, explicit) == []
+
+
+# -- the alternatives are distinct but deterministic --------------------------------------
+
+
+@pytest.mark.parametrize("policy", ["greedy-then-oldest", "loose-round-robin"])
+def test_alternative_policies_are_deterministic(policy):
+    first = _run("sgemm", 64, _config(policy=policy))
+    second = _run("sgemm", 64, _config(policy=policy))
+    assert diff_execution_reports(first, second) == []
+
+
+def test_policies_produce_distinct_schedules():
+    cycles = {
+        policy: _run("sgemm", 64, _config(policy=policy)).cycles
+        for policy in SCHEDULER_POLICIES
+    }
+    assert len(set(cycles.values())) == len(cycles), cycles
+
+
+@pytest.mark.parametrize("policy", ["greedy-then-oldest", "loose-round-robin"])
+def test_alternative_policies_identical_across_engines(policy):
+    """The policy axis composes with the engine axis: scalar and vector
+    timing engines agree bit-for-bit under every policy."""
+    report = Session(executor="serial").run_differential(
+        [KernelJob(kernel="sfilter", size=64, config=_config(ports=2, policy=policy))]
+    )
+    assert report.identical_counters, report.mismatching[0].mismatches
+
+
+# -- scheduler-unit behaviour -------------------------------------------------------------
+
+
+def test_greedy_then_oldest_sticks_with_ready_warp():
+    scheduler = WavefrontScheduler(4, policy="greedy-then-oldest")
+    scheduler.set_masks(0b1111, 0, 0)
+    assert scheduler.select() == 0  # cold start: lowest id is oldest
+    assert scheduler.select() == 0  # greedy: stays while ready
+    scheduler.set_stalled(0, True)
+    assert scheduler.select() == 1  # oldest ready warp
+    scheduler.set_stalled(0, False)
+    assert scheduler.select() == 1  # still greedy on warp 1
+    scheduler.set_stalled(1, True)
+    # Warps 2 and 3 never issued (stamp 0); warp 0 issued at stamp 1.
+    assert scheduler.select() == 2
+    # Three non-greedy picks: the cold start and the two stall-forced moves.
+    assert scheduler.perf.get("switches") == 3
+
+
+def test_loose_round_robin_skips_unready_warps():
+    scheduler = WavefrontScheduler(4, policy="loose-round-robin")
+    scheduler.set_masks(0b1111, 0b0010, 0)
+    assert scheduler.select() == 0
+    assert scheduler.select() == 2  # warp 1 stalled: skipped, not waited for
+    assert scheduler.select() == 3
+    assert scheduler.select() == 0
+    scheduler.set_masks(0, 0, 0)
+    assert scheduler.select() is None
+    assert scheduler.perf.get("idle_cycles") == 1

@@ -5,9 +5,13 @@ emulator's compiled whole-warp lane plans; ``engine="scalar"`` steps the
 per-thread reference emulator.  The timing model (scheduler, scoreboard,
 latencies, caches, MSHRs) is shared, so the two engines must report
 **bit-identical** cycles, instruction counts and every performance counter
-on every configuration the paper's figures sweep — these tests hold them to
-that across the Figure 14 (core design points), Figure 19 (virtual
-multi-port caches) and Figure 20 (texture acceleration) configurations.
+on every configuration the paper's figures sweep.
+
+The Figure 14 (core design points), Figure 19 (virtual multi-port caches)
+and multicore/divergence scenarios run through the first-class sweep API —
+``Session.run_differential`` — which is exactly the "run on both engines and
+diff every counter" check these tests used to hand-roll per scenario.  The
+texture scenarios build ad-hoc kernels, so they diff reports directly.
 """
 
 from __future__ import annotations
@@ -15,7 +19,7 @@ from __future__ import annotations
 import pytest
 
 from repro.common.config import CORE_DESIGN_POINTS, CacheConfig, MemoryConfig, VortexConfig
-from repro.kernels import KERNELS
+from repro.engine.session import KernelJob, Session, diff_execution_reports
 from repro.kernels.texture import hardware_texture_kernel, software_texture_kernel
 from repro.runtime.device import VortexDevice
 
@@ -34,21 +38,16 @@ def _fig_config(
     ).with_warps_threads(num_warps, num_threads)
 
 
-def _run(driver: str, kernel_name: str, size: int, config: VortexConfig):
-    device = VortexDevice(config, driver=driver)
-    run = KERNELS[kernel_name]().run(device, size=size)
-    assert run.passed, f"{kernel_name} failed verification on {driver}"
-    return run.report
-
-
-def _assert_reports_identical(scalar, vector) -> None:
-    """Every timing-visible quantity must match bit for bit."""
-    assert scalar.cycles == vector.cycles
-    assert scalar.instructions == vector.instructions
-    assert scalar.thread_instructions == vector.thread_instructions
-    assert set(scalar.counters) == set(vector.counters)
-    for component, counters in scalar.counters.items():
-        assert counters == vector.counters[component], component
+def _differential(kernel: str, size: int, config: VortexConfig):
+    """One job through the sweep API; returns the per-job differential result."""
+    report = Session(executor="serial").run_differential(
+        [KernelJob(kernel=kernel, size=size, config=config)]
+    )
+    (result,) = report.results
+    assert result.ok, (result.scalar.error, result.vector.error)
+    assert result.identical_counters, result.mismatches
+    assert report.identical_counters
+    return result
 
 
 # -- Figure 14: core design-space points ------------------------------------------------
@@ -58,17 +57,14 @@ def _assert_reports_identical(scalar, vector) -> None:
 def test_fig14_design_points_bit_identical(label):
     warps, threads = CORE_DESIGN_POINTS[label]
     config = _fig_config(num_warps=warps, num_threads=threads)
-    scalar = _run("simx-scalar", "sgemm", 8 * 8, config)
-    vector = _run("simx", "sgemm", 8 * 8, config)
-    _assert_reports_identical(scalar, vector)
+    result = _differential("sgemm", 8 * 8, config)
+    assert result.scalar.report.engine == "timing-scalar"
+    assert result.vector.report.engine == "timing-vector"
 
 
 @pytest.mark.parametrize("kernel,size", [("vecadd", 128), ("saxpy", 128), ("nearn", 128)])
 def test_fig14_kernels_bit_identical(kernel, size):
-    config = _fig_config()
-    _assert_reports_identical(
-        _run("simx-scalar", kernel, size, config), _run("simx", kernel, size, config)
-    )
+    _differential(kernel, size, _fig_config())
 
 
 # -- Figure 19: virtual multi-port caches ------------------------------------------------
@@ -77,10 +73,9 @@ def test_fig14_kernels_bit_identical(kernel, size):
 @pytest.mark.parametrize("ports", [1, 2, 4])
 def test_fig19_port_counts_bit_identical(ports):
     config = _fig_config(dcache_ports=ports)
-    scalar = _run("simx-scalar", "sfilter", 8 * 8, config)
-    vector = _run("simx", "sfilter", 8 * 8, config)
-    _assert_reports_identical(scalar, vector)
+    result = _differential("sfilter", 8 * 8, config)
     # The Figure 19 metric itself (bank utilization inputs) must agree.
+    scalar, vector = result.scalar.report, result.vector.report
     assert scalar.counters["dcache0"].get("bank_conflicts", 0) == vector.counters[
         "dcache0"
     ].get("bank_conflicts", 0)
@@ -101,36 +96,48 @@ def test_fig20_texture_modes_bit_identical(mode, use_hw):
         assert run.passed
         return run.report
 
-    _assert_reports_identical(run("simx-scalar"), run("simx"))
+    scalar = run("simx:engine=scalar")
+    vector = run("simx")
+    assert diff_execution_reports(scalar, vector) == []
 
 
 # -- multicore + barriers -----------------------------------------------------------------
 
 
 def test_multicore_global_barriers_bit_identical():
-    config = _fig_config(num_cores=2)
-    _assert_reports_identical(
-        _run("simx-scalar", "sgemm", 8 * 8, config), _run("simx", "sgemm", 8 * 8, config)
-    )
+    _differential("sgemm", 8 * 8, _fig_config(num_cores=2))
 
 
 def test_divergent_kernel_bit_identical():
     """bfs diverges (split/join) and communicates through memory flags."""
-    config = _fig_config()
-    _assert_reports_identical(
-        _run("simx-scalar", "bfs", 64, config), _run("simx", "bfs", 64, config)
-    )
+    _differential("bfs", 64, _fig_config())
+
+
+# -- scheduler policies: identical across engines on every policy -------------------------
+
+
+@pytest.mark.parametrize("policy", ["greedy-then-oldest", "loose-round-robin"])
+def test_scheduler_policies_bit_identical_across_engines(policy):
+    """The policy axis changes the schedule, not the engines' agreement."""
+    config = _fig_config().with_scheduler_policy(policy)
+    _differential("sgemm", 8 * 8, config)
 
 
 def test_timing_engine_knob_and_report_tagging():
-    """The driver knob is reachable via both the driver string and kwargs."""
+    """The driver knob is reachable via the spec string and via kwargs."""
+    from repro.kernels import KERNELS
     from repro.runtime.simx import SimxDriver
 
     config = _fig_config()
-    scalar_report = _run("simx-scalar", "vecadd", 64, config)
-    vector_report = _run("simx", "vecadd", 64, config)
-    assert scalar_report.engine == "timing-scalar"
-    assert vector_report.engine == "timing-vector"
+
+    def run(driver):
+        device = VortexDevice(config, driver=driver)
+        run = KERNELS["vecadd"]().run(device, size=64)
+        assert run.passed
+        return run.report
+
+    assert run("simx:engine=scalar").engine == "timing-scalar"
+    assert run("simx").engine == "timing-vector"
     driver = SimxDriver(config, engine="scalar")
     assert driver.processor.cores[0].engine == "scalar"
     with pytest.raises(ValueError):
