@@ -1,8 +1,9 @@
 """Session-level differential smoke: a small grid on both timing engines.
 
-Runs a 3-job ``Session.run_differential`` grid — the paper's baseline
-geometry, a multi-port cache point, and a greedy-then-oldest scheduler
-point — diffs **every** performance counter between the scalar and
+Runs a 5-job ``Session.run_differential`` grid — the paper's baseline
+geometry, a multi-port cache point, a greedy-then-oldest scheduler point,
+and the L2/L2+L3 hierarchy axis (multi-level fills under the fast-forward
+path) — diffs **every** performance counter between the scalar and
 vectorized timing engines, writes the report payload as JSON, and exits
 non-zero on any mismatch.  CI consumes the payload with
 ``benchmarks/check_regression.py --require-identical``.
@@ -24,7 +25,7 @@ from repro.engine.session import KernelJob, Session
 
 
 def smoke_jobs() -> list:
-    """The 3-job differential grid."""
+    """The 5-job differential grid."""
     base = VortexConfig(
         dcache=CacheConfig(size=16 * 1024, num_banks=4, num_ports=1),
         memory=MemoryConfig(latency=100, bandwidth=1),
@@ -42,6 +43,18 @@ def smoke_jobs() -> list:
             config=base.with_scheduler_policy("greedy-then-oldest"),
             size=128,
             label="vecadd_gto_policy",
+        ),
+        KernelJob(
+            kernel="sgemm",
+            config=base.with_cache_hierarchy(enable_l2=True),
+            size=8 * 8,
+            label="sgemm_l2",
+        ),
+        KernelJob(
+            kernel="sfilter",
+            config=base.with_cache_hierarchy(enable_l2=True, enable_l3=True),
+            size=8 * 8,
+            label="sfilter_l2l3",
         ),
     ]
 

@@ -24,7 +24,7 @@ from repro.common.config import CORE_DESIGN_POINTS, SCHEDULER_POLICIES, MemoryCo
 
 
 def build_jobs() -> list:
-    """The differential grid: design points x ports x scheduler policies."""
+    """The differential grid: design points x ports x scheduler policies x hierarchy."""
     jobs = []
     base = VortexConfig(memory=MemoryConfig(latency=100, bandwidth=1))
     for label, (warps, threads) in CORE_DESIGN_POINTS.items():
@@ -52,6 +52,18 @@ def build_jobs() -> list:
                 config=base.with_scheduler_policy(policy),
                 size=64,
                 label=f"bfs/{policy}",
+            )
+        )
+    for label, (enable_l2, enable_l3) in {
+        "l2": (True, False),
+        "l2+l3": (True, True),
+    }.items():
+        jobs.append(
+            KernelJob(
+                kernel="sgemm",
+                config=base.with_cache_hierarchy(enable_l2=enable_l2, enable_l3=enable_l3),
+                size=8 * 8,
+                label=f"sgemm/{label}",
             )
         )
     return jobs

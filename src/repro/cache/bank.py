@@ -108,6 +108,17 @@ class CacheBank:
             _ScheduledResponse(ready_cycle=cycle + self.config.hit_latency, request=request, hit=hit)
         )
 
+    def next_response_cycle(self) -> Optional[int]:
+        """Earliest cycle a scheduled response completes (``None`` when idle).
+
+        The fast-forward path uses this to prove no response can appear
+        during a skipped window; outstanding *misses* need no entry here
+        because their fills are visible as lower-level (cache/DRAM) events.
+        """
+        if not self._pending:
+            return None
+        return min(entry.ready_cycle for entry in self._pending)
+
     def collect_responses(self, cycle: int) -> List[Tuple[BankRequest, bool]]:
         """Return (request, hit) pairs whose responses complete at ``cycle``."""
         if not self._pending:

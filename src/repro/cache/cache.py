@@ -52,11 +52,31 @@ class LowerPort:
     accept more traffic this cycle.
     """
 
+    #: True when one refusal implies every further request this cycle is
+    #: also refused (a shared queue that only fills during a drain).  The
+    #: cache's batch path then skips the call and charges
+    #: :meth:`note_skipped_refusal` instead — the refusal-side counters of
+    #: the lower level must still advance per attempt.
+    sticky_refusal = False
+
     def request_fill(self, cache: "NonBlockingCache", line_address: int) -> bool:
         raise NotImplementedError
 
     def request_write(self, cache: "NonBlockingCache", address: int) -> bool:
         raise NotImplementedError
+
+    def note_skipped_refusal(self, count: int = 1) -> None:
+        """Charge the counters ``count`` skipped (provably refused) requests would have."""
+        raise NotImplementedError
+
+    def refusal_horizon(self) -> Optional[int]:
+        """Cycle until which (exclusively) every request is provably refused.
+
+        ``None`` means no guarantee.  Only a sticky port can promise one: a
+        full shared queue refuses everything until its next in-order release,
+        which lets the fast-forward treat a retry storm as event-free.
+        """
+        return None
 
 
 class NonBlockingCache:
@@ -90,19 +110,50 @@ class NonBlockingCache:
 
     # -- front-end: bank selector ----------------------------------------------------------
 
-    def can_accept(self, request: CacheRequest) -> bool:
-        """Check whether ``send`` would succeed this cycle (no side effects)."""
-        bank_id = self.bank_index(request.address)
-        line = self.line_address(request.address)
+    def _arbitration_refusal(self, bank_id: int, line: int, is_write: bool) -> Optional[str]:
+        """The one arbitration predicate every request path shares.
+
+        Returns the refusal counter name (``"bank_conflicts"`` /
+        ``"mshr_stalls"``) when the bank selector would refuse a request for
+        ``line`` this cycle, or ``None`` when it would proceed to the
+        hit/miss path.  Side-effect free: the probes (:meth:`can_accept`,
+        :meth:`can_accept_batch`) call it directly, :meth:`send_raw` charges
+        the returned counter, and :meth:`send_batch` inlines exactly this
+        logic (keep them in sync — the batched/per-lane property test in
+        ``tests/test_cache.py`` holds them to it).  Lower-level
+        backpressure (``memq_stalls``) is not predicted here because probing
+        it without side effects would require the lower level's cooperation.
+        """
         accepted = self._accepts_this_cycle.get(bank_id)
         if accepted is not None:
             first_line, count = accepted
-            if count >= self.config.num_ports or first_line != line:
-                return False
-        bank = self.banks[bank_id]
-        if bank.mshr.almost_full and not request.is_write:
-            return False
-        return True
+            if count >= self._num_ports or first_line != line:
+                return "bank_conflicts"
+        if not is_write and self.banks[bank_id].mshr.almost_full:
+            return "mshr_stalls"
+        return None
+
+    def can_accept(self, request: CacheRequest) -> bool:
+        """Check whether ``send`` would succeed this cycle (no side effects)."""
+        line = request.address // self._line_size
+        return self._arbitration_refusal(line % self._num_banks, line, request.is_write) is None
+
+    def can_accept_batch(self, addresses, is_write: bool = False) -> List[bool]:
+        """Side-effect-free bulk probe: would ``send`` accept each address *now*?
+
+        Every address is judged against the cache's current-cycle accept
+        state (the probe mutates nothing, so earlier addresses in the batch
+        do not shadow later ones) through the same
+        :meth:`_arbitration_refusal` predicate the send paths use.
+        """
+        line_size = self._line_size
+        num_banks = self._num_banks
+        refusal = self._arbitration_refusal
+        results: List[bool] = []
+        for address in addresses:
+            line = address // line_size
+            results.append(refusal(line % num_banks, line, is_write) is None)
+        return results
 
     def send(self, request: CacheRequest) -> bool:
         """Present one request to the bank selector.
@@ -126,18 +177,11 @@ class NonBlockingCache:
         counters["attempts"] += 1
         line = address // self._line_size
         bank_id = line % self._num_banks
-        bank = self.banks[bank_id]
-
-        accepted = self._accepts_this_cycle.get(bank_id)
-        if accepted is not None:
-            first_line, count = accepted
-            if count >= self._num_ports or first_line != line:
-                counters["bank_conflicts"] += 1
-                return False
-
-        if not is_write and bank.mshr.almost_full:
-            counters["mshr_stalls"] += 1
+        refusal = self._arbitration_refusal(bank_id, line, is_write)
+        if refusal is not None:
+            counters[refusal] += 1
             return False
+        bank = self.banks[bank_id]
 
         hit = bank.probe(line)
 
@@ -180,10 +224,199 @@ class NonBlockingCache:
                 return False
             counters["read_misses"] += 1
 
+        accepted = self._accepts_this_cycle.get(bank_id)
         count = 0 if accepted is None else accepted[1]
         self._accepts_this_cycle[bank_id] = (line, count + 1)
         counters["accepted"] += 1
         return True
+
+    def send_batch(
+        self, requests: List[Tuple], budget: int, is_write: bool, tag: Any
+    ) -> Tuple[int, List[Tuple], int]:
+        """Present a whole warp's outstanding requests in one call.
+
+        ``requests`` is a list of ``(address, line, bank_id, ...)`` tuples —
+        the line/bank fields are precomputed once per memory instruction by
+        the timing core (numpy over the lane trace) instead of re-derived on
+        every retry attempt.  Requests are attempted strictly in order while
+        ``budget`` (the LSU's per-thread ports) lasts; a refused attempt
+        keeps its tuple in the returned retry list and does *not* consume
+        budget, exactly like the per-lane ``send_raw`` loop.
+
+        Returns ``(accepted, refused, budget)`` where ``refused`` preserves
+        order: refused attempts first, then the un-attempted tail once the
+        budget ran out.  Counter updates are aggregated in locals and
+        flushed once, but count per-attempt outcomes identically to
+        ``send_raw`` — bit-identical counters are the contract
+        (``tests/test_cache.py`` holds both paths to it with a property
+        test).  The arbitration logic is :meth:`_arbitration_refusal`
+        inlined; keep them in sync.
+        """
+        counters = self._counters
+        accepts = self._accepts_this_cycle
+        banks = self.banks
+        num_ports = self._num_ports
+        num_banks = self._num_banks
+        lower = self.lower
+        cycle = self._cycle
+        # Saturation fast path: once every bank has all its ports taken this
+        # cycle, the port check (which precedes every other refusal reason)
+        # rejects any further request as a bank conflict without touching any
+        # state — so the rest of the batch can be refused in bulk.  This is
+        # where the retry wall actually burns host time: a port-limited warp
+        # re-attempts each refused lane every cycle, and nearly all of those
+        # attempts land on saturated banks.
+        full_banks = 0
+        for _first_line, count in accepts.values():
+            if count >= num_ports:
+                full_banks += 1
+        if full_banks >= num_banks and budget > 0:
+            total = len(requests)
+            counters["attempts"] += total
+            counters["bank_conflicts"] += total
+            return 0, requests, budget
+        attempts = accepted_count = bank_conflicts = mshr_stalls = memq_stalls = 0
+        read_hits = read_misses = write_hits = write_misses = 0
+        # Sticky lower-level backpressure: once a DRAM-backed lower port
+        # refuses, every further fill/write this cycle is provably refused
+        # too (the shared queue only fills during a drain), so the call is
+        # skipped and its refusal-side counters charged directly.
+        lower_sticky = lower is not None and lower.sticky_refusal
+        lower_full = False
+        refused: List[Tuple] = []
+        index = 0
+        total = len(requests)
+        while index < total:
+            if budget <= 0:
+                refused.extend(requests[index:])
+                break
+            entry = requests[index]
+            index += 1
+            address = entry[0]
+            line = entry[1]
+            bank_id = entry[2]
+            attempts += 1
+
+            accepted = accepts.get(bank_id)
+            if accepted is not None:
+                first_line, count = accepted
+                if count >= num_ports or first_line != line:
+                    bank_conflicts += 1
+                    refused.append(entry)
+                    continue
+            bank = banks[bank_id]
+            mshr = bank.mshr
+            if not is_write and mshr.almost_full:
+                mshr_stalls += 1
+                refused.append(entry)
+                continue
+
+            if is_write:
+                if lower is not None and not lower.request_write(self, address):
+                    memq_stalls += 1
+                    refused.append(entry)
+                    if lower_sticky:
+                        # Sticky lower: no remaining write can be accepted
+                        # (every write-through needs the shared lower queue)
+                        # and refusals mutate nothing, so the tail is
+                        # classified in one pass — saturated-port entries
+                        # charge bank conflicts, the rest charge lower
+                        # refusals — exactly as the per-entry loop would.
+                        # Budget stays positive throughout (only accepts
+                        # consume it), so every tail entry counts as an
+                        # attempt.
+                        tail = requests[index:]
+                        attempts += len(tail)
+                        skipped = 0
+                        for tail_entry in tail:
+                            accepted = accepts.get(tail_entry[2])
+                            if accepted is not None and (
+                                accepted[1] >= num_ports or accepted[0] != tail_entry[1]
+                            ):
+                                bank_conflicts += 1
+                            else:
+                                skipped += 1
+                        if skipped:
+                            memq_stalls += skipped
+                            lower.note_skipped_refusal(skipped)
+                        refused.extend(tail)
+                        break
+                    continue
+                hit = bank.probe(line)
+                if hit:
+                    bank.touch(line)
+                    write_hits += 1
+                else:
+                    write_misses += 1
+                bank.schedule_response(
+                    BankRequest(address=address, is_write=True, tag=tag, accept_cycle=cycle),
+                    cycle,
+                    hit,
+                )
+            elif bank.probe(line):
+                bank.touch(line)
+                bank.schedule_response(
+                    BankRequest(address=address, is_write=False, tag=tag, accept_cycle=cycle),
+                    cycle,
+                    True,
+                )
+                read_hits += 1
+            else:
+                if mshr.lookup(line) is None and lower is not None:
+                    if lower_full:
+                        lower.note_skipped_refusal()
+                        memq_stalls += 1
+                        refused.append(entry)
+                        continue
+                    if not lower.request_fill(self, line):
+                        lower_full = lower_sticky
+                        memq_stalls += 1
+                        refused.append(entry)
+                        continue
+                mshr_entry = mshr.allocate(
+                    line,
+                    BankRequest(address=address, is_write=False, tag=tag, accept_cycle=cycle),
+                )
+                if mshr_entry is None:
+                    mshr_stalls += 1
+                    refused.append(entry)
+                    continue
+                read_misses += 1
+
+            count = (0 if accepted is None else accepted[1]) + 1
+            accepts[bank_id] = (line, count)
+            accepted_count += 1
+            budget -= 1
+            if count >= num_ports:
+                full_banks += 1
+                if full_banks >= num_banks and budget > 0 and index < total:
+                    remaining = total - index
+                    attempts += remaining
+                    bank_conflicts += remaining
+                    refused.extend(requests[index:])
+                    break
+
+        # Flush the aggregated counts; only-touched-when-nonzero keeps the
+        # counter key sets identical to the per-lane path's.
+        if attempts:
+            counters["attempts"] += attempts
+        if bank_conflicts:
+            counters["bank_conflicts"] += bank_conflicts
+        if mshr_stalls:
+            counters["mshr_stalls"] += mshr_stalls
+        if memq_stalls:
+            counters["memq_stalls"] += memq_stalls
+        if read_hits:
+            counters["read_hits"] += read_hits
+        if read_misses:
+            counters["read_misses"] += read_misses
+        if write_hits:
+            counters["write_hits"] += write_hits
+        if write_misses:
+            counters["write_misses"] += write_misses
+        if accepted_count:
+            counters["accepted"] += accepted_count
+        return accepted_count, refused, budget
 
     # -- back-end: fills and responses -------------------------------------------------------
 
@@ -214,6 +447,42 @@ class NonBlockingCache:
                 )
         self._counters["cycles"] += 1
         return responses
+
+    # -- fast-forward ------------------------------------------------------------------------
+
+    def write_refusal_horizon(self) -> Optional[int]:
+        """Cycle before which every write-through is provably refused.
+
+        A write needs a bank port — free again at the start of every cycle —
+        plus a lower-level accept, so the only cross-cycle refusal guarantee
+        comes from the lower port's shared queue being full.
+        """
+        return None if self.lower is None else self.lower.refusal_horizon()
+
+    def next_response_cycle(self) -> Optional[int]:
+        """Earliest cycle any bank completes a response (``None`` when idle).
+
+        Outstanding misses are *not* events here: their fills live in the
+        lower level's queue (DRAM or the next cache's banks) and are
+        reported by that level.
+        """
+        result: Optional[int] = None
+        for bank in self.banks:
+            ready = bank.next_response_cycle()
+            if ready is not None and (result is None or ready < result):
+                result = ready
+        return result
+
+    def skip_idle(self, cycles: int) -> None:
+        """Advance ``cycles`` provably idle cycles in one jump.
+
+        Only valid when the caller proved (via :meth:`next_response_cycle`)
+        that no response completes in the window and no requests arrive —
+        each skipped :meth:`tick` would then only advance the clock and the
+        ``cycles`` counter.
+        """
+        self._cycle += cycles
+        self._counters["cycles"] += cycles
 
     # -- statistics -------------------------------------------------------------------------
 

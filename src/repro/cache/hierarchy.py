@@ -21,6 +21,11 @@ from repro.mem.dram import DramModel, MemRequest
 class _DramPort(LowerPort):
     """Lower port adapter that forwards cache traffic to the DRAM model."""
 
+    # The DRAM request queue is shared and only fills while caches drain, so
+    # one refusal holds for the rest of the cycle; a skipped attempt charges
+    # exactly what ``DramModel.send`` charges on refusal.
+    sticky_refusal = True
+
     def __init__(self, dram: DramModel):
         self.dram = dram
 
@@ -31,6 +36,18 @@ class _DramPort(LowerPort):
 
     def request_write(self, cache: NonBlockingCache, address: int) -> bool:
         return self.dram.send(MemRequest(address=address, is_write=True, tag=None))
+
+    def note_skipped_refusal(self, count: int = 1) -> None:
+        self.dram.perf.incr("rejected", count)
+
+    def refusal_horizon(self) -> Optional[int]:
+        # A full DRAM queue pops nothing before its head's ready cycle, and
+        # it only refills during core drains — so refusal is guaranteed for
+        # every cycle strictly before that head release.
+        dram = self.dram
+        if dram.can_accept:
+            return None
+        return dram.next_event_cycle()
 
 
 class _CachePort(LowerPort):
@@ -96,6 +113,13 @@ class MemorySubsystem:
                 NonBlockingCache(f"dcache{core_id}", config.dcache, lower=l1_lower)
             )
 
+        # Every cache level, flattened once: the fast-forward event scan and
+        # bulk skip run over this list every cycle-jump decision.
+        self._levels: List[NonBlockingCache] = list(self.icaches) + list(self.dcaches)
+        self._levels += [cache for cache in self.l2 if cache is not None]
+        if self.l3 is not None:
+            self._levels.append(self.l3)
+
     # -- per-cycle operation ---------------------------------------------------------
 
     def tick(self) -> Dict[Tuple[str, int], List[CacheResponse]]:
@@ -140,6 +164,30 @@ class MemorySubsystem:
                 upper_cache.fill(line_address)
             # Write-through acknowledgements need no routing.
 
+    # -- fast-forward ------------------------------------------------------------------
+
+    def next_event_cycle(self) -> Optional[int]:
+        """Earliest cycle any memory-side state changes (``None`` = fully idle).
+
+        Every in-flight request is visible either as a scheduled bank
+        response at some cache level or as a DRAM queue entry (misses park
+        in an MSHR *and* occupy the lower level's queue), so the minimum
+        over those two families bounds the next fill, replay or response
+        anywhere in the hierarchy.
+        """
+        result = self.dram.next_event_cycle()
+        for cache in self._levels:
+            ready = cache.next_response_cycle()
+            if ready is not None and (result is None or ready < result):
+                result = ready
+        return result
+
+    def skip_idle(self, cycles: int) -> None:
+        """Advance every level ``cycles`` provably idle cycles in one jump."""
+        self.dram.skip_idle(cycles)
+        for cache in self._levels:
+            cache.skip_idle(cycles)
+
     # -- inspection -------------------------------------------------------------------
 
     @property
@@ -147,11 +195,7 @@ class MemorySubsystem:
         """True while any cache level or the DRAM still has outstanding work."""
         if self.dram.pending:
             return True
-        levels: List[NonBlockingCache] = list(self.icaches) + list(self.dcaches)
-        levels += [cache for cache in self.l2 if cache is not None]
-        if self.l3 is not None:
-            levels.append(self.l3)
-        return any(cache.busy for cache in levels)
+        return any(cache.busy for cache in self._levels)
 
     def dcache(self, core_id: int) -> NonBlockingCache:
         return self.dcaches[core_id]

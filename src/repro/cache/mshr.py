@@ -34,6 +34,15 @@ class Mshr:
         # permanently "almost full" (precomputed: checked on every request).
         self._almost_full_at = max(capacity - 1, 1)
         self._entries: Dict[int, MshrEntry] = {}
+        #: The early-full signal used to avoid the deadlock described in 4.3,
+        #: maintained as a plain attribute (occupancy only changes in
+        #: :meth:`allocate`/:meth:`release`) because the request paths read it
+        #: once per *attempt* — at retry-storm rates a recomputing property is
+        #: measurable.  The threshold is clamped to at least one occupied
+        #: entry: with ``capacity == 1`` the naive ``capacity - 1`` threshold
+        #: would assert even on an empty table, backpressuring every read
+        #: forever.
+        self.almost_full = False
         self.peak_occupancy = 0
         self.merged = 0
         self.allocations = 0
@@ -43,16 +52,6 @@ class Mshr:
     @property
     def full(self) -> bool:
         return len(self._entries) >= self.capacity
-
-    @property
-    def almost_full(self) -> bool:
-        """The early-full signal used to avoid the deadlock described in 4.3.
-
-        The threshold is clamped to at least one occupied entry: with
-        ``capacity == 1`` the naive ``capacity - 1`` threshold would assert
-        even on an empty table, backpressuring every read forever.
-        """
-        return len(self._entries) >= self._almost_full_at
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -79,7 +78,10 @@ class Mshr:
         entry = MshrEntry(line_address=line_address, waiting=[request])
         self._entries[line_address] = entry
         self.allocations += 1
-        self.peak_occupancy = max(self.peak_occupancy, len(self._entries))
+        occupancy = len(self._entries)
+        self.almost_full = occupancy >= self._almost_full_at
+        if occupancy > self.peak_occupancy:
+            self.peak_occupancy = occupancy
         return entry
 
     def release(self, line_address: int) -> List:
@@ -87,6 +89,7 @@ class Mshr:
         entry = self._entries.pop(line_address, None)
         if entry is None:
             return []
+        self.almost_full = len(self._entries) >= self._almost_full_at
         return entry.waiting
 
     def pending_lines(self) -> List[int]:

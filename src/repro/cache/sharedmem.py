@@ -10,7 +10,7 @@ serialization.  Functionally it is carved out of the global address space
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.common.perf import PerfCounters
 
@@ -75,6 +75,67 @@ class SharedMemory:
         self.perf.incr("writes" if is_write else "reads")
         return True
 
+    def send_batch(
+        self, requests: List[Tuple], budget: int, is_write: bool, tag: Any
+    ) -> Tuple[int, List[Tuple], int]:
+        """Batched counterpart of :meth:`send` (the timing core's hot path).
+
+        ``requests`` holds ``(address, ...)`` tuples attempted strictly in
+        order while ``budget`` lasts; refused attempts keep their tuple in
+        the returned retry list without consuming budget, exactly like the
+        per-lane loop.  Returns ``(accepted, refused, budget)`` with
+        counters aggregated and flushed once, bit-identical to per-lane
+        :meth:`send` calls.
+        """
+        counters = self.perf._counters
+        accepts = self._accepts_this_cycle
+        pending = self._pending
+        num_banks = self.num_banks
+        ready_cycle = self._cycle + self.latency
+        # Saturation fast path: one accept per bank per cycle, so once every
+        # bank has accepted, the rest of the batch refuses in bulk.
+        if len(accepts) >= num_banks and budget > 0:
+            total = len(requests)
+            counters["attempts"] += total
+            counters["bank_conflicts"] += total
+            return 0, requests, budget
+        attempts = accepted_count = bank_conflicts = 0
+        refused: List[Tuple] = []
+        index = 0
+        total = len(requests)
+        while index < total:
+            if budget <= 0:
+                refused.extend(requests[index:])
+                break
+            entry = requests[index]
+            index += 1
+            address = entry[0]
+            attempts += 1
+            bank = (address // 4) % num_banks
+            if accepts.get(bank, 0) >= 1:
+                bank_conflicts += 1
+                refused.append(entry)
+                continue
+            accepts[bank] = 1
+            pending.append(
+                (ready_cycle, SharedResponse(address=address, is_write=is_write, tag=tag, cycle=0))
+            )
+            accepted_count += 1
+            budget -= 1
+            if len(accepts) >= num_banks and budget > 0 and index < total:
+                remaining = total - index
+                attempts += remaining
+                bank_conflicts += remaining
+                refused.extend(requests[index:])
+                break
+        if attempts:
+            counters["attempts"] += attempts
+        if bank_conflicts:
+            counters["bank_conflicts"] += bank_conflicts
+        if accepted_count:
+            counters["writes" if is_write else "reads"] += accepted_count
+        return accepted_count, refused, budget
+
     def tick(self) -> List[SharedResponse]:
         """Advance one cycle; return completed accesses."""
         self._cycle += 1
@@ -92,6 +153,19 @@ class SharedMemory:
             for resp in ready:
                 resp.cycle = self._cycle
         return ready
+
+    # -- fast-forward ------------------------------------------------------------------
+
+    def next_response_cycle(self) -> Optional[int]:
+        """Earliest cycle a pending access completes (``None`` when idle)."""
+        if not self._pending:
+            return None
+        return min(ready_cycle for ready_cycle, _ in self._pending)
+
+    def skip_idle(self, cycles: int) -> None:
+        """Advance ``cycles`` provably idle cycles in one jump (no accesses
+        pending inside the window, so each skipped tick only moves the clock)."""
+        self._cycle += cycles
 
     @property
     def busy(self) -> bool:

@@ -177,6 +177,12 @@ class VortexConfig:
         """Return a copy with different DRAM latency/bandwidth (Figure 21)."""
         return replace(self, memory=MemoryConfig(latency=latency, bandwidth=bandwidth))
 
+    def with_cache_hierarchy(
+        self, enable_l2: bool = False, enable_l3: bool = False
+    ) -> "VortexConfig":
+        """Return a copy with the shared cache levels toggled (the L2/L3 axis)."""
+        return replace(self, enable_l2=enable_l2, enable_l3=enable_l3)
+
     def describe(self) -> Dict[str, int]:
         """Return a flat summary used by reports and the area model."""
         return {

@@ -121,13 +121,26 @@ class TimingProcessor(_GlobalBarrierMixin):
         config: Optional[VortexConfig] = None,
         memory: Optional[MainMemory] = None,
         engine: str = "vector",
+        fast_forward: bool = True,
+        batch_requests: bool = True,
     ):
         self.config = config or VortexConfig()
         self.memory = memory or MainMemory()
         self.memsys = MemorySubsystem(self.config)
         self.engine = engine
+        #: Event-driven cycle fast-forward: jump over provably idle cycle
+        #: runs instead of ticking through them (bit-identical results).
+        self.fast_forward = fast_forward
         self.cores: List[TimingCore] = [
-            TimingCore(core_id, self.config, self.memory, self.memsys, processor=self, engine=engine)
+            TimingCore(
+                core_id,
+                self.config,
+                self.memory,
+                self.memsys,
+                processor=self,
+                engine=engine,
+                batch_requests=batch_requests,
+            )
             for core_id in range(self.config.num_cores)
         ]
         self.perf = PerfCounters("timing_processor")
@@ -196,8 +209,61 @@ class TimingProcessor(_GlobalBarrierMixin):
                         )
                 else:
                     idle_cycles = 0
+                if self.fast_forward:
+                    skip = self._idle_cycles_to_skip(max_cycles)
+                    if skip:
+                        self._skip_idle(skip)
+                        # Mirror the per-tick watchdog bookkeeping above: a
+                        # skipped cycle retires nothing, so it counts toward
+                        # the no-progress window unless memory traffic is in
+                        # flight (in which case each tick would have reset it).
+                        if not self.memsys.busy:
+                            idle_cycles += skip
+                        else:
+                            idle_cycles = 0
         self.perf.set("cycles", self.cycle)
         return self.cycle
+
+    # -- fast-forward ---------------------------------------------------------------------
+
+    def _idle_cycles_to_skip(self, max_cycles: int) -> int:
+        """Number of provably idle cycles after the current one (0 = none).
+
+        Every core and the memory subsystem report the earliest cycle their
+        state can change; when the minimum lies strictly beyond ``cycle + 1``
+        the ticks in between perform no work at all — no sends, no retries,
+        no completions, no scheduler selections — and can be replayed as a
+        bulk counter update.  Capped so the cycle-limit exception still
+        fires at exactly the same cycle as the ticked run.
+        """
+        floor = self.cycle + 1
+        next_event: Optional[int] = None
+        for core in self.cores:
+            event = core.next_event_cycle()
+            if event is not None:
+                if event <= floor:
+                    return 0
+                if next_event is None or event < next_event:
+                    next_event = event
+        mem_event = self.memsys.next_event_cycle()
+        if mem_event is not None:
+            if mem_event <= floor:
+                return 0
+            if next_event is None or mem_event < next_event:
+                next_event = mem_event
+        if next_event is None:
+            # Fully idle with no future event: the watchdog must keep
+            # counting tick by tick toward its deadlock report.
+            return 0
+        skip = min(next_event - floor, max_cycles - floor)
+        return skip if skip > 0 else 0
+
+    def _skip_idle(self, cycles: int) -> None:
+        """Advance the whole processor ``cycles`` idle cycles in one jump."""
+        self.cycle += cycles
+        self.memsys.skip_idle(cycles)
+        for core in self.cores:
+            core.skip_idle(cycles)
 
     # -- metrics -------------------------------------------------------------------------
 

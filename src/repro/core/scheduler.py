@@ -102,6 +102,18 @@ class WavefrontScheduler:
         self.barrier_mask = barrier_mask
         self.visible_mask &= active_mask & ~stalled_mask & ~barrier_mask
 
+    # -- fast-forward -----------------------------------------------------------------
+
+    def skip_idle(self, cycles: int) -> None:
+        """Account ``cycles`` scheduler-idle cycles in one jump.
+
+        Equivalent to ``cycles`` calls to :meth:`select` with an empty
+        schedulable mask: every policy then only increments
+        ``idle_cycles`` — no selection state (visible mask, last-selected,
+        issue stamps) is touched, so bulk-advancing the counter is exact.
+        """
+        self.perf.incr("idle_cycles", cycles)
+
     # -- selection -------------------------------------------------------------------
 
     def _schedulable_mask(self) -> int:

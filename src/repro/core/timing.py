@@ -26,8 +26,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.cache.cache import CacheRequest, CacheResponse, NonBlockingCache
-from repro.cache.sharedmem import SharedMemory, is_shared_address
+from repro.cache.sharedmem import SHARED_MEM_BASE, SharedMemory, is_shared_address
 from repro.common.config import VortexConfig
 from repro.common.perf import PerfCounters
 from repro.core.core import SimtCore
@@ -41,7 +43,13 @@ BRANCH_PENALTY = 2
 
 @dataclass
 class _PendingMemOp:
-    """A memory (or texture) instruction waiting for its cache responses."""
+    """A memory (or texture) instruction waiting for its cache responses.
+
+    ``to_send`` holds one entry per outstanding request.  On the per-lane
+    path entries are ``(address, to_smem)``; on the batched path they are
+    ``(address, line, bank_id, to_smem)`` with the cache geometry
+    precomputed once at charge time so retry cycles never re-derive it.
+    """
 
     op_id: int
     warp_id: int
@@ -49,7 +57,7 @@ class _PendingMemOp:
     rd_float: bool
     writes_rd: bool
     kind: str  # "load" | "tex"
-    to_send: List[Tuple[int, bool]] = field(default_factory=list)
+    to_send: List[Tuple] = field(default_factory=list)
     outstanding: int = 0
     extra_latency: int = 0
 
@@ -74,12 +82,17 @@ class TimingCore:
         memsys,
         processor=None,
         engine: str = "vector",
+        batch_requests: bool = True,
     ):
         if engine not in ("scalar", "vector"):
             raise ValueError(f"unknown timing engine {engine!r} (use 'scalar' or 'vector')")
         self.core_id = core_id
         self.config = config
         self.engine = engine
+        #: Send memory/texture traffic through the batched per-bank path
+        #: (default) instead of per-lane ``send`` calls; bit-identical in
+        #: cycles and counters, only host wall-clock differs.
+        self.batch_requests = batch_requests
         if engine == "vector":
             # Imported lazily: repro.engine.vector_core imports the processor
             # module, which imports this one.
@@ -120,6 +133,11 @@ class TimingCore:
         # Per-PC cache of the registers the decoded instruction touches
         # (purely a function of the decode; dropped with the decode cache).
         self._registers_by_pc: Dict[int, Optional[List[Tuple[int, bool]]]] = {}
+        # Cache geometry prebound for the batched request precompute and the
+        # fast-forward stall probe.
+        self._dcache_line_size = self.dcache.config.line_size
+        self._dcache_num_banks = self.dcache.config.num_banks
+        self._icache_line_size = config.icache.line_size
 
     # -- lifecycle ---------------------------------------------------------------------
 
@@ -313,6 +331,18 @@ class TimingCore:
         # monotonically), so plain iteration is oldest-first; operations
         # merely waiting on outstanding responses have nothing to send.
         budget = self.config.core.num_threads
+        if self.batch_requests:
+            if self._pending_ops:
+                for op in list(self._pending_ops.values()):
+                    if budget <= 0:
+                        break
+                    if op.to_send:
+                        budget = self._send_for_op_batched(op, budget)
+            if budget > 0 and self._store_queue:
+                self._store_queue, budget, _ = self._send_batch_segments(
+                    self._store_queue, budget, True, None
+                )
+            return
         if self._pending_ops:
             for op in list(self._pending_ops.values()):
                 if budget <= 0:
@@ -352,6 +382,85 @@ class TimingCore:
         if to_smem:
             return self.smem.send(address, is_write, tag)
         return self.dcache.send_raw(address, is_write, tag)
+
+    # -- batched request path ---------------------------------------------------------------
+
+    def _send_for_op_batched(self, op: _PendingMemOp, budget: int) -> int:
+        refused, budget, accepted = self._send_batch_segments(
+            op.to_send, budget, False, ("op", op.op_id)
+        )
+        op.to_send = refused
+        op.outstanding += accepted
+        self._maybe_complete_op(op)
+        return budget
+
+    def _send_batch_segments(
+        self, entries: List[Tuple], budget: int, is_write: bool, tag
+    ) -> Tuple[List[Tuple], int, int]:
+        """Send ``(address, line, bank, to_smem)`` entries in order through
+        the per-destination batch paths.
+
+        Consecutive same-destination entries go down in one ``send_batch``
+        call (one call per warp memory instruction in the common all-global
+        case); the live budget threads through so the global attempt order
+        and budget-cutoff point match the per-lane loop bit for bit.
+        Returns ``(refused, budget, accepted)`` with ``refused`` preserving
+        retry order.
+        """
+        refused: List[Tuple] = []
+        accepted_total = 0
+        index = 0
+        total = len(entries)
+        while index < total:
+            if budget <= 0:
+                refused.extend(entries[index:])
+                break
+            to_smem = entries[index][3]
+            end = index + 1
+            while end < total and entries[end][3] == to_smem:
+                end += 1
+            segment = entries if index == 0 and end == total else entries[index:end]
+            if to_smem:
+                accepted, seg_refused, budget = self.smem.send_batch(
+                    segment, budget, is_write, tag
+                )
+            else:
+                accepted, seg_refused, budget = self.dcache.send_batch(
+                    segment, budget, is_write, tag
+                )
+            accepted_total += accepted
+            if seg_refused:
+                refused.extend(seg_refused)
+            index = end
+        return refused, budget, accepted_total
+
+    def _request_entries(self, addresses) -> List[Tuple]:
+        """Precompute ``(address, line, bank, to_smem)`` for a lane trace.
+
+        Runs once per memory instruction (not per retry attempt); wide
+        traces go through numpy, narrow ones through a plain loop (numpy's
+        per-call overhead loses below a handful of lanes).  ``.tolist()``
+        keeps every field a Python int so downstream dict keys and tags
+        behave exactly like the per-lane path's.
+        """
+        line_size = self._dcache_line_size
+        num_banks = self._dcache_num_banks
+        if len(addresses) >= 8:
+            array = np.asarray(addresses, dtype=np.int64)
+            lines = array // line_size
+            return list(
+                zip(
+                    addresses,
+                    lines.tolist(),
+                    (lines % num_banks).tolist(),
+                    (array >= SHARED_MEM_BASE).tolist(),
+                )
+            )
+        entries: List[Tuple] = []
+        for address in addresses:
+            line = address // line_size
+            entries.append((address, line, line % num_banks, address >= SHARED_MEM_BASE))
+        return entries
 
     # -- issue ----------------------------------------------------------------------------------
 
@@ -407,9 +516,12 @@ class TimingCore:
         spec = result.instr.spec
         is_store = spec.is_store
         addresses = result.request_addresses or []
+        if self.batch_requests:
+            to_send = self._request_entries(addresses)
+        else:
+            to_send = [(address, is_shared_address(address)) for address in addresses]
         if is_store:
-            for address in addresses:
-                self._store_queue.append((address, is_shared_address(address)))
+            self._store_queue.extend(to_send)
             self.perf.incr("stores", len(addresses))
             return
 
@@ -420,10 +532,9 @@ class TimingCore:
             rd_float=spec.rd_float,
             writes_rd=spec.writes_rd,
             kind="tex" if spec.unit == ExecUnit.TEX else "load",
+            to_send=to_send,
         )
         self._next_op_id += 1
-        for address in addresses:
-            op.to_send.append((address, is_shared_address(address)))
         if spec.unit == ExecUnit.TEX and self.func.tex_unit is not None:
             op.extra_latency = self.func.tex_unit.issue_latency(len(addresses))
             self.perf.incr("tex_ops")
@@ -437,6 +548,124 @@ class TimingCore:
         if op.writes_rd:
             self.scoreboard.reserve(op.warp_id, op.rd, op.rd_float)
         self._pending_ops[op.op_id] = op
+
+    # -- fast-forward -----------------------------------------------------------------------------
+
+    def _warp_would_stall(self, warp) -> bool:
+        """True when issuing ``warp`` now would only charge a scoreboard stall.
+
+        Mirrors the front half of :meth:`_issue`: the wavefront must be
+        func-schedulable (a selected all-masked warp does nothing — and
+        charges nothing), its instruction line must be warm (a cold line
+        starts an ifetch — a state change) and the hazard check must hit (a
+        miss executes the instruction).  While this holds and nothing else
+        changes, each tick selects the warp and increments
+        ``scoreboard_stalls`` — a deterministic pattern :meth:`skip_idle`
+        can replay in bulk.
+        """
+        if not warp.schedulable:
+            return False
+        if warp.pc // self._icache_line_size not in self._warm_ilines:
+            return False
+        registers = self._instruction_registers(warp)
+        return registers is not None and self.scoreboard.any_busy(warp.warp_id, registers)
+
+    def next_event_cycle(self) -> Optional[int]:
+        """Earliest cycle at which this core does real work (``None`` = idle).
+
+        Used by the processor's event-driven fast-forward: when every core
+        and the memory subsystem report an event strictly beyond cycle
+        ``C + 1``, the cycles in between are provably stall ticks.  Any
+        pending send forces an event next cycle (retry attempts increment
+        perf counters every tick), and a schedulable warp that would
+        actually issue likewise executes next cycle.  A schedulable warp
+        that would merely charge a scoreboard stall is *not* an event: its
+        unblocking writeback/response is, and until then each tick's
+        select-and-stall is replayed exactly by :meth:`skip_idle`.
+        """
+        cycle = self.cycle
+        if self._ifetch_to_send:
+            return cycle + 1
+        for op in self._pending_ops.values():
+            if op.to_send:
+                return cycle + 1
+        if self._store_queue:
+            # Pending stores normally force an event next cycle (every retry
+            # attempt charges counters *and* may be accepted).  The exception
+            # is a pure refusal storm: all entries target the data cache and
+            # its lower queue is provably full until some later cycle — then
+            # each tick's drain refuses the whole queue with a constant
+            # counter delta that :meth:`skip_idle` replays in bulk, and the
+            # queue's release (the DRAM head pop) is already an event in the
+            # memory subsystem's scan.
+            horizon = self.dcache.write_refusal_horizon()
+            if horizon is None or horizon <= cycle + 1:
+                return cycle + 1
+            for entry in self._store_queue:
+                if entry[-1]:  # a scratchpad store would be accepted
+                    return cycle + 1
+        result: Optional[int] = None
+        ready_cycles = self._warp_ready_cycle
+        pending_ifetch = self._pending_ifetch
+        for warp in self.func.warps:
+            if not warp.active or warp.at_barrier or warp.warp_id in pending_ifetch:
+                continue
+            wake = ready_cycles[warp.warp_id]
+            if wake <= cycle:
+                if not self._warp_would_stall(warp):
+                    return cycle + 1
+                continue
+            if result is None or wake < result:
+                result = wake
+        for ready, _warp_id, _rd, _rd_float in self._writebacks:
+            wake = ready if ready > cycle else cycle + 1
+            if result is None or wake < result:
+                result = wake
+        smem_ready = self.smem.next_response_cycle()
+        if smem_ready is not None:
+            wake = smem_ready if smem_ready > cycle else cycle + 1
+            if result is None or wake < result:
+                result = wake
+        return result
+
+    def skip_idle(self, cycles: int) -> None:
+        """Advance ``cycles`` provably event-free cycles in one jump.
+
+        Equivalent to ``cycles`` ticks in which nothing is sent and nothing
+        completes.  The clock, CSR cycle counter and cycle counters advance
+        in bulk; the scheduler interaction of each skipped tick is replayed
+        for real: if any wavefront is schedulable it is — provably, per
+        :meth:`next_event_cycle` — scoreboard-blocked, so every tick selects
+        one wavefront (mutating the policy's selection state exactly as a
+        ticked run would) and charges one ``scoreboard_stalls``; otherwise
+        every tick is a scheduler-idle cycle.
+        """
+        self.cycle += cycles
+        self.func.csr.tick(cycles)
+        perf = self.perf
+        perf.incr("cycles", cycles)
+        self.smem.skip_idle(cycles)
+        if self._store_queue:
+            # Pending stores only survive into a skip as a pure refusal storm
+            # (per :meth:`next_event_cycle`): every skipped tick re-attempts
+            # the whole queue against a provably full lower queue.  Banks are
+            # port-free at the start of each fresh cycle and nothing else
+            # accepts inside the window, so no entry ever charges a bank
+            # conflict — every attempt is a lower-level refusal.
+            refusals = len(self._store_queue) * cycles
+            self.dcache.perf.incr("attempts", refusals)
+            self.dcache.perf.incr("memq_stalls", refusals)
+            self.dcache.lower.note_skipped_refusal(refusals)
+        self._sync_scheduler_masks()
+        scheduler = self.scheduler
+        if scheduler.active_mask & ~scheduler.stalled_mask & ~scheduler.barrier_mask:
+            select = scheduler.select
+            for _ in range(cycles):
+                select()
+            perf.incr("scoreboard_stalls", cycles)
+        else:
+            perf.incr("idle_cycles", cycles)
+            scheduler.skip_idle(cycles)
 
     # -- metrics -----------------------------------------------------------------------------------
 

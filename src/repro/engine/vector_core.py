@@ -16,7 +16,11 @@ embeds a :class:`VectorSimtCore` and steps issued warps through the same
 compiled lane plans via :meth:`VectorWarpEmulator.step_timing`, so the
 functional and timing fast paths share one plan compiler (and one
 invalidation point: ``upload_program`` →
-:meth:`WarpEmulator.invalidate_decode_cache`).
+:meth:`WarpEmulator.invalidate_decode_cache`).  The lane traces a timing
+step reports (``TimingStep.request_addresses``) feed the timing core's
+batched per-bank request path: the warp's addresses are grouped and
+arbitrated in bulk per cycle rather than re-sent lane by lane on every
+retry.
 """
 
 from __future__ import annotations

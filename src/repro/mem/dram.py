@@ -96,6 +96,27 @@ class DramModel:
         self.perf.incr("cycles")
         return responses
 
+    # -- fast-forward ------------------------------------------------------------------
+
+    def next_event_cycle(self) -> Optional[int]:
+        """Cycle of the next in-order release (``None`` when the queue is empty).
+
+        Requests complete in order with a fixed latency, so the head of the
+        queue carries the earliest ready cycle.  A head that is *already*
+        ready (bandwidth-limited last tick) reports its past ready cycle,
+        which the fast-forward caller treats as "event next tick" — the
+        ``bandwidth_stalls`` accounting must keep running every cycle.
+        """
+        if not self._queue:
+            return None
+        return self._queue[0].ready_cycle
+
+    def skip_idle(self, cycles: int) -> None:
+        """Advance ``cycles`` provably idle cycles in one jump (nothing ready
+        inside the window: no releases, no bandwidth stalls, just the clock)."""
+        self._cycle += cycles
+        self.perf.incr("cycles", cycles)
+
     # -- inspection -------------------------------------------------------------------
 
     @property

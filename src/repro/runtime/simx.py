@@ -21,6 +21,17 @@ from repro.runtime.report import ExecutionReport
 DEFAULT_MAX_CYCLES = 20_000_000
 
 
+def _parse_toggle(name: str, value: object, on_word: str, off_word: str) -> bool:
+    """Parse a driver-spec toggle: a bool, or its on/off spelling as a string."""
+    if isinstance(value, bool):
+        return value
+    if value == on_word:
+        return True
+    if value == off_word:
+        return False
+    raise ValueError(f"unknown {name} value {value!r} (use {on_word!r} or {off_word!r})")
+
+
 class SimxDriver:
     """Runs kernels on the cycle-level multi-core processor.
 
@@ -34,6 +45,15 @@ class SimxDriver:
     identical either way, and so are the reported cycles, IPC and every
     performance counter — ``tests/test_timing_differential.py`` holds both
     engines to that; only host wall-clock differs.
+
+    Two further host-speed knobs share that bit-exactness contract (both
+    reachable from driver specs, e.g. ``"simx:fastforward=off"``):
+
+    * ``fastforward`` — ``"on"`` (default) jumps over provably idle cycle
+      runs (event-driven fast-forward); ``"off"`` ticks every cycle,
+    * ``requests`` — ``"batched"`` (default) resolves warp memory traffic
+      through the per-bank batch path; ``"perlane"`` issues one Python
+      ``send`` per lane per retry.
     """
 
     name = "simx"
@@ -43,11 +63,21 @@ class SimxDriver:
         config: Optional[VortexConfig] = None,
         memory: Optional[MainMemory] = None,
         engine: str = "vector",
+        fastforward: object = "on",
+        requests: str = "batched",
     ):
         self.config = config or VortexConfig()
         self.memory = memory if memory is not None else MainMemory()
         self.engine = engine
-        self.processor = TimingProcessor(self.config, self.memory, engine=engine)
+        self.fastforward = _parse_toggle("fastforward", fastforward, "on", "off")
+        self.batch_requests = _parse_toggle("requests", requests, "batched", "perlane")
+        self.processor = TimingProcessor(
+            self.config,
+            self.memory,
+            engine=engine,
+            fast_forward=self.fastforward,
+            batch_requests=self.batch_requests,
+        )
 
     def invalidate_decode_caches(self) -> None:
         """Drop all cached decodes/plans (a new program image was loaded)."""

@@ -103,6 +103,9 @@ def test_mshr_merge_replay_invariants(capacity, events):
         assert len(mshr) <= capacity
         assert mshr.peak_occupancy <= capacity
         assert len(mshr) == len(accepted)
+        # The early-full signal is a maintained attribute (hot request paths
+        # read it per attempt); it must track occupancy exactly.
+        assert mshr.almost_full == (len(mshr) >= max(capacity - 1, 1))
     assert mshr.merged == merged
     assert mshr.allocations == allocations
     # Drain everything: each accepted request is replayed exactly once.
@@ -289,3 +292,277 @@ def test_shared_memory_bank_conflicts_serialize():
     done = smem.tick()
     assert {resp.tag for resp in done} == {"a", "b"}
     assert smem.perf.get("bank_conflicts") == 1
+
+
+# -- batched request path: bit-identical to the per-lane loop ------------------------------
+
+
+class _ScriptedLower:
+    """Lower level refusing every ``refuse_every``-th request (non-sticky).
+
+    Deterministic, so two caches driven with identical request sequences see
+    identical accept/refuse patterns — the property the batched/per-lane
+    equivalence tests rely on.
+    """
+
+    sticky_refusal = False
+
+    def __init__(self, refuse_every=3):
+        self.refuse_every = refuse_every
+        self.calls = 0
+        self.fills = []
+        self.writes = []
+
+    def _accept(self):
+        self.calls += 1
+        return self.refuse_every == 0 or self.calls % self.refuse_every != 0
+
+    def request_fill(self, cache, line_address):
+        if not self._accept():
+            return False
+        self.fills.append(line_address)
+        return True
+
+    def request_write(self, cache, address):
+        if not self._accept():
+            return False
+        self.writes.append(address)
+        return True
+
+
+class _StickyQueueLower:
+    """Bounded shared queue: refuses once full, for the rest of the cycle.
+
+    Mirrors the DRAM port contract: ``sticky_refusal`` promises that one
+    refusal implies every further request this cycle is refused too, and
+    ``note_skipped_refusal`` charges exactly what a real refused call would
+    have (here: the ``rejected`` tally).
+    """
+
+    sticky_refusal = True
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.queue = []
+        self.rejected = 0
+
+    def _accept(self, item):
+        if len(self.queue) >= self.capacity:
+            self.rejected += 1
+            return False
+        self.queue.append(item)
+        return True
+
+    def request_fill(self, cache, line_address):
+        return self._accept(("fill", line_address))
+
+    def request_write(self, cache, address):
+        return self._accept(("write", address))
+
+    def note_skipped_refusal(self, count=1):
+        self.rejected += count
+
+    def drain(self):
+        released, self.queue = self.queue, []
+        return released
+
+
+def _perlane_reference(cache, entries, budget, is_write, tag):
+    """The timing core's per-lane retry loop, verbatim semantics."""
+    refused = []
+    accepted = 0
+    for entry in entries:
+        if budget <= 0:
+            refused.append(entry)
+            continue
+        if cache.send_raw(entry[0], is_write, tag):
+            accepted += 1
+            budget -= 1
+        else:
+            refused.append(entry)
+    return accepted, refused, budget
+
+
+def _entries_for(cache, addresses):
+    line_size = cache.config.line_size
+    num_banks = cache.config.num_banks
+    return [
+        (address, address // line_size, (address // line_size) % num_banks, False)
+        for address in addresses
+    ]
+
+
+def _cache_state(cache):
+    return {
+        "accepts": dict(cache._accepts_this_cycle),
+        "mshr_len": [len(bank.mshr) for bank in cache.banks],
+        "mshr_lines": [sorted(bank.mshr._entries) for bank in cache.banks],
+        "mshr_almost_full": [bank.mshr.almost_full for bank in cache.banks],
+        "counters": cache.perf.as_dict(),
+    }
+
+
+def _drain_responses(cache, cycles=6):
+    stream = []
+    for _ in range(cycles):
+        for resp in cache.tick():
+            stream.append((resp.tag, resp.address, resp.is_write, resp.hit, resp.cycle))
+    return stream
+
+
+_cache_rounds = st.lists(
+    st.tuples(
+        st.booleans(),  # is_write
+        st.integers(min_value=0, max_value=40),  # budget
+        st.lists(  # lane addresses, drawn from a small line pool
+            st.integers(min_value=0, max_value=15).map(lambda line: line * 64),
+            max_size=36,
+        ),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    num_banks=st.sampled_from([1, 2, 4]),
+    num_ports=st.sampled_from([1, 2]),
+    mshr_size=st.sampled_from([1, 2, 4]),
+    refuse_every=st.sampled_from([0, 2, 3]),
+    rounds=_cache_rounds,
+)
+def test_send_batch_matches_perlane_property(
+    num_banks, num_ports, mshr_size, refuse_every, rounds
+):
+    """Property: the batched per-bank path and the per-lane loop produce
+    identical accept counts, refusal order, MSHR occupancy, counters,
+    response streams and lower-level traffic on random request rounds."""
+    config = CacheConfig(
+        size=4 * 1024, line_size=64, num_banks=num_banks, num_ports=num_ports,
+        mshr_size=mshr_size, hit_latency=2,
+    )
+    ref_lower, bat_lower = _ScriptedLower(refuse_every), _ScriptedLower(refuse_every)
+    reference = NonBlockingCache("ref", config, lower=ref_lower)
+    batched = NonBlockingCache("bat", config, lower=bat_lower)
+    for is_write, budget, addresses in rounds:
+        entries = _entries_for(reference, addresses)
+        ref_out = _perlane_reference(reference, list(entries), budget, is_write, "t")
+        bat_out = batched.send_batch(list(entries), budget, is_write, "t")
+        # send_batch returns (accepted, refused, budget); the reference
+        # helper returns the same triple in the same order.
+        assert bat_out == ref_out
+        assert _cache_state(reference) == _cache_state(batched)
+        assert ref_lower.fills == bat_lower.fills
+        assert ref_lower.writes == bat_lower.writes
+        assert ref_lower.calls == bat_lower.calls
+        # Complete one outstanding fill on both sides, then advance a cycle.
+        if ref_lower.fills:
+            line = ref_lower.fills[-1]
+            reference.fill(line)
+            batched.fill(line)
+        assert _drain_responses(reference, 1) == _drain_responses(batched, 1)
+    # Drain everything still in flight: the response streams must agree.
+    for line in ref_lower.fills:
+        reference.fill(line)
+        batched.fill(line)
+    assert _drain_responses(reference) == _drain_responses(batched)
+    assert _cache_state(reference) == _cache_state(batched)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    num_banks=st.sampled_from([1, 2, 4]),
+    capacity=st.sampled_from([1, 2, 5]),
+    rounds=_cache_rounds,
+)
+def test_send_batch_sticky_lower_matches_perlane_property(num_banks, capacity, rounds):
+    """Property: against a sticky (shared-queue) lower level, the batched
+    path's skipped-refusal accounting matches the per-lane loop's real
+    refused calls — including the bulk write-tail classification."""
+    config = CacheConfig(
+        size=4 * 1024, line_size=64, num_banks=num_banks, num_ports=1,
+        mshr_size=4, hit_latency=2,
+    )
+    ref_lower, bat_lower = _StickyQueueLower(capacity), _StickyQueueLower(capacity)
+    reference = NonBlockingCache("ref", config, lower=ref_lower)
+    batched = NonBlockingCache("bat", config, lower=bat_lower)
+    for is_write, budget, addresses in rounds:
+        entries = _entries_for(reference, addresses)
+        ref_out = _perlane_reference(reference, list(entries), budget, is_write, "t")
+        bat_out = batched.send_batch(list(entries), budget, is_write, "t")
+        assert bat_out == ref_out
+        assert _cache_state(reference) == _cache_state(batched)
+        assert ref_lower.queue == bat_lower.queue
+        assert ref_lower.rejected == bat_lower.rejected
+        # The shared queue drains between cycles (its refusals are only
+        # sticky within one), and fills flow back up.
+        for kind, payload in ref_lower.drain():
+            if kind == "fill":
+                reference.fill(payload)
+        for kind, payload in bat_lower.drain():
+            if kind == "fill":
+                batched.fill(payload)
+        assert _drain_responses(reference, 1) == _drain_responses(batched, 1)
+    assert _drain_responses(reference) == _drain_responses(batched)
+    assert _cache_state(reference) == _cache_state(batched)
+
+
+def test_can_accept_batch_is_side_effect_free():
+    cache, lower = _make_cache(num_ports=1, num_banks=2)
+    # Occupy bank 0's port so the probe has a refusal to predict.
+    assert cache.send(CacheRequest(address=0x0, tag="a"))
+    before_counters = cache.perf.as_dict()
+    before_accepts = dict(cache._accepts_this_cycle)
+    addresses = [0x0, 0x4, 64 * 2, 64 * 1, 64 * 3]
+    probed = cache.can_accept_batch(addresses)
+    # No counters charged, no accept state mutated, no lower traffic.
+    assert cache.perf.as_dict() == before_counters
+    assert dict(cache._accepts_this_cycle) == before_accepts
+    assert lower.fills == [cache.line_address(0x0)]
+    # Same-line coalescing is port-limited (1 port: 0x0/0x4 refuse), the
+    # conflicting bank refuses, free banks accept.
+    assert probed == [False, False, False, True, True]
+    # The probe agrees with what send_raw then actually does, in order.
+    for address, expected in zip(addresses, probed):
+        if cache.can_accept(CacheRequest(address=address)):
+            assert cache.send_raw(address, False, "x") == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    num_banks=st.sampled_from([1, 2, 4]),
+    rounds=st.lists(
+        st.tuples(
+            st.booleans(),
+            st.integers(min_value=0, max_value=20),
+            st.lists(st.integers(min_value=0, max_value=63).map(lambda w: w * 4), max_size=24),
+        ),
+        min_size=1,
+        max_size=4,
+    ),
+)
+def test_smem_send_batch_matches_perlane_property(num_banks, rounds):
+    """Property: the scratchpad's batched path matches per-lane ``send``."""
+    ref = SharedMemory(core_id=0, size=8 * 1024, num_banks=num_banks, latency=1)
+    bat = SharedMemory(core_id=0, size=8 * 1024, num_banks=num_banks, latency=1)
+    for is_write, budget, offsets in rounds:
+        entries = [(ref.base + off, True) for off in offsets]
+        refused = []
+        accepted = 0
+        remaining = budget
+        for entry in entries:
+            if remaining <= 0:
+                refused.append(entry)
+                continue
+            if ref.send(entry[0], is_write, "t"):
+                accepted += 1
+                remaining -= 1
+            else:
+                refused.append(entry)
+        bat_out = bat.send_batch(list(entries), budget, is_write, "t")
+        assert bat_out == (accepted, refused, remaining)
+        assert ref.perf.as_dict() == bat.perf.as_dict()
+        ref_done = [(r.address, r.is_write, r.cycle) for r in ref.tick()]
+        bat_done = [(r.address, r.is_write, r.cycle) for r in bat.tick()]
+        assert ref_done == bat_done

@@ -123,6 +123,80 @@ def test_scheduler_policies_bit_identical_across_engines(policy):
     _differential("sgemm", 8 * 8, config)
 
 
+# -- retry wall: port-limited configs through the batched + fast-forward path -------------
+
+
+@pytest.mark.parametrize("kernel", ["sgemm", "sfilter"])
+def test_port_limited_retry_wall_bit_identical(kernel):
+    """1 port x 32 threads — the retry-storm regime the batched request path
+    and the cycle fast-forward target — must stay bit-identical."""
+    config = _fig_config(num_warps=4, num_threads=32, dcache_ports=1)
+    _differential(kernel, 8 * 8, config)
+
+
+# -- L2/L3 hierarchy: multi-level fills under the differential microscope -----------------
+
+
+@pytest.mark.parametrize(
+    "enable_l2,enable_l3", [(True, False), (True, True)], ids=["l2", "l2l3"]
+)
+def test_cache_hierarchy_bit_identical(enable_l2, enable_l3):
+    config = _fig_config().with_cache_hierarchy(enable_l2=enable_l2, enable_l3=enable_l3)
+    result = _differential("sgemm", 8 * 8, config)
+    counters = result.vector.report.counters
+    assert "l2_0" in counters and counters["l2_0"].get("attempts", 0) > 0
+    assert ("l3" in counters) == enable_l3
+
+
+# -- fast-forward / batched-request knobs: every combination agrees ------------------------
+
+
+@pytest.mark.parametrize(
+    "driver",
+    [
+        "simx:fastforward=off",
+        "simx:requests=perlane",
+        "simx:fastforward=off,requests=perlane",
+    ],
+)
+@pytest.mark.parametrize("hierarchy", [False, True], ids=["l1", "l2l3"])
+def test_fastforward_and_request_knobs_bit_identical(driver, hierarchy):
+    """Toggling the batched path or the fast-forward must never change a
+    single cycle or counter — they are pure host-speed optimizations."""
+    from repro.kernels import KERNELS
+
+    config = _fig_config(num_warps=4, num_threads=32, dcache_ports=1)
+    if hierarchy:
+        config = config.with_cache_hierarchy(enable_l2=True, enable_l3=True)
+
+    def run(spec):
+        device = VortexDevice(config, driver=spec)
+        run = KERNELS["sgemm"]().run(device, size=8 * 8)
+        assert run.passed
+        return run.report
+
+    assert diff_execution_reports(run(driver), run("simx")) == []
+
+
+def test_fastforward_and_request_knob_validation():
+    from repro.runtime.simx import SimxDriver
+
+    config = _fig_config()
+    driver = SimxDriver(config, fastforward="off", requests="perlane")
+    assert driver.processor.fast_forward is False
+    assert driver.processor.cores[0].batch_requests is False
+    assert SimxDriver(config).processor.fast_forward is True
+    assert SimxDriver(config).processor.cores[0].batch_requests is True
+    with pytest.raises(ValueError):
+        SimxDriver(config, fastforward="sometimes")
+    with pytest.raises(ValueError):
+        SimxDriver(config, requests="vectorized")
+    # The knobs are reachable through a driver spec string as well.
+    device = VortexDevice(config, driver="simx:fastforward=off,requests=perlane")
+    assert device.driver.processor.fast_forward is False
+    assert device.driver.processor.cores[0].batch_requests is False
+
+
 def test_timing_engine_knob_and_report_tagging():
     """The driver knob is reachable via the spec string and via kwargs."""
     from repro.kernels import KERNELS
