@@ -45,12 +45,11 @@ def scenario_key(row: dict) -> str:
     """Stable identifier for one benchmark row across payloads."""
     if "scenario" in row:
         return str(row["scenario"])
-    return "{}@{}:{}W-{}T".format(
-        row.get("kernel", "?"),
-        row.get("size", "?"),
-        row.get("warps", "?"),
-        row.get("threads", "?"),
-    )
+    kernel = row.get("kernel", "?")
+    size = row.get("size", "?")
+    warps = row.get("warps", "?")
+    threads = row.get("threads", "?")
+    return f"{kernel}@{size}:{warps}W-{threads}T"
 
 
 def load_results(path: Path) -> dict:
@@ -122,7 +121,7 @@ def check_identity(path: Path) -> list:
     return failures
 
 
-def main(argv=None) -> int:
+def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", type=Path, nargs="?", help="committed BENCH_*.json")
     parser.add_argument("current", type=Path, nargs="?", help="freshly measured BENCH_*.json")

@@ -11,7 +11,7 @@ invocation never repeats a simulation.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Dict, Iterable, Optional
+from collections.abc import Iterable
 
 from repro.common.config import CacheConfig, MemoryConfig, VortexConfig
 from repro.kernels import KERNELS
@@ -22,7 +22,7 @@ from repro.runtime.report import ExecutionReport
 #: Problem sizes used by the harness.  They are intentionally small — the
 #: substrate is a Python cycle-level simulator, not the authors' FPGA — and
 #: are recorded in EXPERIMENTS.md.
-KERNEL_SIZES: Dict[str, int] = {
+KERNEL_SIZES: dict[str, int] = {
     "vecadd": 128,
     "saxpy": 128,
     "sgemm": 8 * 8,
@@ -61,7 +61,7 @@ def run_kernel(
     dcache_ports: int = 1,
     mem_latency: int = 100,
     mem_bandwidth: int = 1,
-    size: Optional[int] = None,
+    size: int | None = None,
 ) -> ExecutionReport:
     """Run one Rodinia-style kernel on SIMX and cache the report."""
     config = make_config(num_cores, num_warps, num_threads, dcache_ports, mem_latency, mem_bandwidth)

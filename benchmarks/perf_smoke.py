@@ -23,6 +23,7 @@ import json
 import platform
 import time
 from pathlib import Path
+from typing import Any
 
 import numpy as np
 
@@ -42,7 +43,7 @@ WORKLOADS = (("vecadd", 8192), ("sgemm", 24 * 24))
 GEOMETRIES = ((4, 4), (4, 8), (8, 8))
 
 
-def _architectural_state(device):
+def _architectural_state(device: VortexDevice) -> tuple[list[Any], Any]:
     cores = device.driver.processor.cores
     warps = [
         (warp.regs._int_regs.copy(), warp.regs._fp_regs.copy(), warp.instructions)
@@ -52,7 +53,9 @@ def _architectural_state(device):
     return warps, device.memory.page_snapshot()
 
 
-def _run_once(driver, kernel, size, warps, threads):
+def _run_once(
+    driver: str, kernel: str, size: int, warps: int, threads: int
+) -> tuple[float, Any, tuple[list[Any], Any]]:
     config = VortexConfig().with_warps_threads(warps, threads)
     device = VortexDevice(config, driver=driver)
     start = time.perf_counter()
@@ -63,7 +66,7 @@ def _run_once(driver, kernel, size, warps, threads):
     return wall, run.report, _architectural_state(device)
 
 
-def measure(kernel, size, warps, threads, reps):
+def measure(kernel: str, size: int, warps: int, threads: int, reps: int) -> dict[str, Any]:
     scalar_best = vector_best = float("inf")
     scalar_state = vector_state = None
     report = None
@@ -107,7 +110,7 @@ GRAPHICS_SCENARIOS = (
 )
 
 
-def _graphics_scene():
+def _graphics_scene() -> tuple[np.ndarray, list[Vertex]]:
     """Deterministic vertex stream + texture for the render scenarios."""
     rng = np.random.default_rng(41)
     texture = rng.integers(0, 256, size=(GRAPHICS_TEXTURE, GRAPHICS_TEXTURE, 4),
@@ -124,7 +127,13 @@ def _graphics_scene():
     return texture, vertices
 
 
-def _render_once(engine, texture, vertices, filter_mode, mipmaps):
+def _render_once(
+    engine: str,
+    texture: np.ndarray,
+    vertices: list[Vertex],
+    filter_mode: TexFilter,
+    mipmaps: bool,
+) -> tuple[float, GraphicsContext]:
     ctx = GraphicsContext(GRAPHICS_SIZE, GRAPHICS_SIZE, tile_size=16, engine=engine)
     ctx.set_mvp(Matrix4.orthographic(-1, 1, -1, 1))
     ctx.clear(color=(10, 10, 30, 255))
@@ -137,7 +146,9 @@ def _render_once(engine, texture, vertices, filter_mode, mipmaps):
     return wall, ctx
 
 
-def measure_graphics_scenario(name, filter_mode, mipmaps, reps):
+def measure_graphics_scenario(
+    name: str, filter_mode: TexFilter, mipmaps: bool, reps: int
+) -> dict[str, Any]:
     """Best-of-N textured-triangle render on both graphics engines."""
     texture, vertices = _graphics_scene()
     scalar_best = vector_best = float("inf")
@@ -187,7 +198,7 @@ TIMING_SCENARIOS = (
 )
 
 
-def _timing_config(warps, threads):
+def _timing_config(warps: int, threads: int) -> VortexConfig:
     """A hit-friendly multi-bank/multi-port configuration.
 
     Wide virtual porting keeps the cache request retry traffic (which both
@@ -200,7 +211,9 @@ def _timing_config(warps, threads):
     ).with_warps_threads(warps, threads)
 
 
-def _run_timing_once(driver, kernel, size, config):
+def _run_timing_once(
+    driver: str, kernel: str, size: int, config: VortexConfig
+) -> tuple[float, Any]:
     device = VortexDevice(config, driver=driver)
     start = time.perf_counter()
     run = KERNELS[kernel]().run(device, size=size)
@@ -210,7 +223,9 @@ def _run_timing_once(driver, kernel, size, config):
     return wall, run.report
 
 
-def measure_timing_scenario(name, kernel, size, warps, threads, reps):
+def measure_timing_scenario(
+    name: str, kernel: str, size: int, warps: int, threads: int, reps: int
+) -> dict[str, Any]:
     """Best-of-N SIMX run on both timing engines + counter identity check."""
     config = _timing_config(warps, threads)
     scalar_best = vector_best = float("inf")
@@ -259,7 +274,7 @@ RETRY_WALL_SCENARIOS = (
 RETRY_WALL_BASELINE_DRIVER = "simx:fastforward=off,requests=perlane"
 
 
-def _retry_wall_config(warps, threads):
+def _retry_wall_config(warps: int, threads: int) -> VortexConfig:
     """Deep inside the retry wall: one virtual port, long-latency memory.
 
     The single port serializes each warp's 32 lanes into bank-conflict
@@ -273,7 +288,9 @@ def _retry_wall_config(warps, threads):
     ).with_warps_threads(warps, threads)
 
 
-def measure_retry_wall_scenario(name, kernel, size, warps, threads, reps):
+def measure_retry_wall_scenario(
+    name: str, kernel: str, size: int, warps: int, threads: int, reps: int
+) -> dict[str, Any]:
     """Best-of-N: optimized path (batched + fast-forward) vs per-lane ticked.
 
     Both runs use the vectorized execution engine — the axis measured here
@@ -321,7 +338,7 @@ def measure_retry_wall_scenario(name, kernel, size, warps, threads, reps):
 POLICY_SCENARIO = ("sgemm", 24 * 24, 8, 4)
 
 
-def run_scheduler_policy_sweep():
+def run_scheduler_policy_sweep() -> list[dict[str, Any]]:
     """Cycle counts of the policy axis (deterministic — safe to commit).
 
     Runs the policy scenario on the vectorized timing engine under every
@@ -363,7 +380,7 @@ def run_scheduler_policy_sweep():
     return rows
 
 
-def run_timing_benchmark(reps, out_path):
+def run_timing_benchmark(reps: int, out_path: Path) -> None:
     results = []
     for name, kernel, size, warps, threads in TIMING_SCENARIOS:
         row = measure_timing_scenario(name, kernel, size, warps, threads, reps)
@@ -386,7 +403,7 @@ def run_timing_benchmark(reps, out_path):
             f"speedup={row['speedup']:5.2f}x identical={row['identical_counters']}"
         )
     payload = {
-        "benchmark": "vectorized SIMX timing core vs scalar reference (best-of-%d)" % reps,
+        "benchmark": f"vectorized SIMX timing core vs scalar reference (best-of-{reps})",
         "generated_by": "benchmarks/perf_smoke.py",
         "python": platform.python_version(),
         "numpy": np.__version__,
@@ -400,7 +417,7 @@ def run_timing_benchmark(reps, out_path):
         raise SystemExit(f"timing engines produced different counters in: {failed}")
 
 
-def run_engine_benchmark(reps, out_path):
+def run_engine_benchmark(reps: int, out_path: Path) -> None:
     results = []
     for kernel, size in WORKLOADS:
         for warps, threads in GEOMETRIES:
@@ -414,7 +431,7 @@ def run_engine_benchmark(reps, out_path):
 
     baseline = [r for r in results if (r["warps"], r["threads"]) == (4, 4)]
     payload = {
-        "benchmark": "funcsim vectorized engine vs scalar reference (best-of-%d)" % reps,
+        "benchmark": f"funcsim vectorized engine vs scalar reference (best-of-{reps})",
         "generated_by": "benchmarks/perf_smoke.py",
         "python": platform.python_version(),
         "numpy": np.__version__,
@@ -429,7 +446,7 @@ def run_engine_benchmark(reps, out_path):
         raise SystemExit(f"architectural mismatch in: {[r['kernel'] for r in failed]}")
 
 
-def run_graphics_benchmark(reps, out_path):
+def run_graphics_benchmark(reps: int, out_path: Path) -> None:
     results = []
     for name, filter_mode, mipmaps in GRAPHICS_SCENARIOS:
         row = measure_graphics_scenario(name, filter_mode, mipmaps, reps)
@@ -442,7 +459,7 @@ def run_graphics_benchmark(reps, out_path):
             f"speedup={row['speedup']:5.2f}x identical={row['identical_framebuffers']}"
         )
     payload = {
-        "benchmark": "vectorized graphics pipeline vs scalar reference (best-of-%d)" % reps,
+        "benchmark": f"vectorized graphics pipeline vs scalar reference (best-of-{reps})",
         "generated_by": "benchmarks/perf_smoke.py",
         "python": platform.python_version(),
         "numpy": np.__version__,

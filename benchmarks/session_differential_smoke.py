@@ -59,7 +59,7 @@ def smoke_jobs() -> list:
     ]
 
 
-def main(argv=None) -> int:
+def main(argv: list[str] | None = None) -> int:
     root = Path(__file__).resolve().parent.parent
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", type=Path, default=root / "BENCH_session_differential.json")

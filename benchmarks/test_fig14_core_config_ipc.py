@@ -37,5 +37,5 @@ def test_fig14_core_config_ipc(benchmark):
     best_config = max(CORE_DESIGN_POINTS, key=lambda label: max(results[(label, k)] for k in FIG14_KERNELS))
     assert CORE_DESIGN_POINTS[best_config][1] == 8
     # IPC never exceeds the thread count of the configuration.
-    for (label, kernel), ipc in results.items():
+    for (label, _kernel), ipc in results.items():
         assert 0 < ipc <= CORE_DESIGN_POINTS[label][1]

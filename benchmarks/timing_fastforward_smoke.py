@@ -49,7 +49,7 @@ def smoke_scenarios() -> list:
     ]
 
 
-def main(argv=None) -> int:
+def main(argv: list[str] | None = None) -> int:
     root = Path(__file__).resolve().parent.parent
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", type=Path, default=root / "BENCH_timing_fastforward.json")

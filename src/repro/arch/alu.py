@@ -16,7 +16,7 @@ Two forms are exposed per operation class:
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from collections.abc import Callable
 
 import numpy as np
 
@@ -41,7 +41,7 @@ def _sra(lhs: int, rhs: int) -> int:
 
 
 #: Base-ISA register/immediate ALU operations on uint32 scalars.
-ALU_OPS: Dict[str, Callable[[int, int], int]] = {
+ALU_OPS: dict[str, Callable[[int, int], int]] = {
     "add": lambda a, b: (a + b) & 0xFFFFFFFF,
     "addi": lambda a, b: (a + b) & 0xFFFFFFFF,
     "sub": lambda a, b: (a - b) & 0xFFFFFFFF,
@@ -68,7 +68,7 @@ def _mul(lhs_s: int, rhs_s: int, lhs_u: int, rhs_u: int) -> int:
     return to_uint32(lhs_s * rhs_s)
 
 
-MUL_OPS: Dict[str, Callable[[int, int, int, int], int]] = {
+MUL_OPS: dict[str, Callable[[int, int, int, int], int]] = {
     "mul": _mul,
     "mulh": lambda ls, rs, lu, ru: to_uint32((ls * rs) >> 32),
     "mulhsu": lambda ls, rs, lu, ru: to_uint32((ls * ru) >> 32),
@@ -92,7 +92,7 @@ def _rem(lhs_s: int, rhs_s: int, lhs_u: int, rhs_u: int) -> int:
     return to_uint32(lhs_s - int(lhs_s / rhs_s) * rhs_s)
 
 
-DIV_OPS: Dict[str, Callable[[int, int, int, int], int]] = {
+DIV_OPS: dict[str, Callable[[int, int, int, int], int]] = {
     "div": _div,
     "divu": lambda ls, rs, lu, ru: 0xFFFFFFFF if ru == 0 else lu // ru,
     "rem": _rem,
@@ -100,7 +100,7 @@ DIV_OPS: Dict[str, Callable[[int, int, int, int], int]] = {
 }
 
 
-BRANCH_OPS: Dict[str, Callable[[int, int], bool]] = {
+BRANCH_OPS: dict[str, Callable[[int, int], bool]] = {
     "beq": lambda a, b: a == b,
     "bne": lambda a, b: a != b,
     "blt": lambda a, b: to_int32(a) < to_int32(b),
@@ -181,7 +181,7 @@ def _vec_sltu(lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
     return np.less(lhs, rhs).astype(np.uint32)
 
 
-ALU_VECTOR_OPS: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+ALU_VECTOR_OPS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
     "add": np.add,
     "addi": np.add,
     "sub": np.subtract,
@@ -219,7 +219,7 @@ def _vec_mulh_generic(lhs: np.ndarray, rhs: np.ndarray, lhs_signed: bool, rhs_si
     return ((wide_l * wide_r) >> 32).astype(np.uint32)
 
 
-MUL_VECTOR_OPS: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+MUL_VECTOR_OPS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
     "mul": np.multiply,  # uint32 wrap-around == signed low word
     "mulh": lambda l, r: _vec_mulh_generic(l, r, True, True),
     "mulhsu": lambda l, r: _vec_mulh_generic(l, r, True, False),
@@ -264,7 +264,7 @@ def _vec_remu(lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
     return np.where(rhs != 0, lhs % safe, lhs).astype(np.uint32)
 
 
-DIV_VECTOR_OPS: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+DIV_VECTOR_OPS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
     "div": _vec_div,
     "divu": _vec_divu,
     "rem": _vec_rem,
@@ -280,7 +280,7 @@ def div_op_vec(mnemonic: str, lhs: np.ndarray, rhs: np.ndarray) -> np.ndarray:
     return op(lhs, rhs)
 
 
-BRANCH_VECTOR_OPS: Dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+BRANCH_VECTOR_OPS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
     "beq": np.equal,
     "bne": np.not_equal,
     "blt": lambda a, b: np.less(_as_i32(a), _as_i32(b)),

@@ -9,8 +9,6 @@ with the reading context supplied by the core.
 
 from __future__ import annotations
 
-from typing import Dict
-
 from repro.common.bitutils import to_uint32
 from repro.isa.csr import CSR, is_tex_csr
 
@@ -23,7 +21,7 @@ class CsrFile:
         self.num_warps = num_warps
         self.num_threads = num_threads
         self.num_cores = num_cores
-        self._storage: Dict[int, int] = {}
+        self._storage: dict[int, int] = {}
         self.cycle = 0
         self.instret = 0
         #: Texture-state dirty counter: bumped by every write into a
@@ -101,6 +99,6 @@ class CsrFile:
         """Read backing storage without SIMT context (used by texture units)."""
         return self._storage.get(int(address), default)
 
-    def snapshot(self) -> Dict[int, int]:
+    def snapshot(self) -> dict[int, int]:
         """Return a copy of the backing storage (for checkpointing in tests)."""
         return dict(self._storage)

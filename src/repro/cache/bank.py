@@ -11,11 +11,11 @@ response.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any
 
 from repro.cache.mshr import Mshr
 from repro.common.config import CacheConfig
-from repro.common.perf import PerfCounters
+from repro.common.perf import PerfCounters, hot_path
 
 
 @dataclass
@@ -38,16 +38,19 @@ class _ScheduledResponse:
 class CacheBank:
     """Tag/data arrays plus MSHR for one bank."""
 
+    #: Counter schema (vxlint VX003).
+    COUNTERS = frozenset({"evictions", "fills"})
+
     def __init__(self, bank_id: int, config: CacheConfig):
         self.bank_id = bank_id
         self.config = config
         self.num_sets = config.num_sets
         self.num_ways = config.num_ways
         # tags[set] maps tag -> last-use counter (LRU bookkeeping).
-        self._tags: List[Dict[int, int]] = [dict() for _ in range(self.num_sets)]
+        self._tags: list[dict[int, int]] = [dict() for _ in range(self.num_sets)]
         self._use_counter = 0
         self.mshr = Mshr(config.mshr_size)
-        self._pending: List[_ScheduledResponse] = []
+        self._pending: list[_ScheduledResponse] = []
         self.perf = PerfCounters(f"bank{bank_id}")
 
     # -- address helpers -----------------------------------------------------------
@@ -60,6 +63,7 @@ class CacheBank:
 
     # -- tag store ------------------------------------------------------------------
 
+    @hot_path
     def probe(self, line_address: int) -> bool:
         """Tag lookup without side effects (runs on every request attempt).
 
@@ -70,6 +74,7 @@ class CacheBank:
         relative = line_address // self.config.num_banks
         return relative // self.num_sets in self._tags[relative % self.num_sets]
 
+    @hot_path
     def touch(self, line_address: int) -> None:
         """Update LRU state for a hit."""
         set_index = self._set_index(line_address)
@@ -77,7 +82,7 @@ class CacheBank:
         self._use_counter += 1
         self._tags[set_index][tag] = self._use_counter
 
-    def install(self, line_address: int) -> Optional[int]:
+    def install(self, line_address: int) -> int | None:
         """Install a line, evicting the LRU way if the set is full.
 
         Returns the evicted line address, or ``None`` when no eviction
@@ -108,7 +113,7 @@ class CacheBank:
             _ScheduledResponse(ready_cycle=cycle + self.config.hit_latency, request=request, hit=hit)
         )
 
-    def next_response_cycle(self) -> Optional[int]:
+    def next_response_cycle(self) -> int | None:
         """Earliest cycle a scheduled response completes (``None`` when idle).
 
         The fast-forward path uses this to prove no response can appear
@@ -119,7 +124,7 @@ class CacheBank:
             return None
         return min(entry.ready_cycle for entry in self._pending)
 
-    def collect_responses(self, cycle: int) -> List[Tuple[BankRequest, bool]]:
+    def collect_responses(self, cycle: int) -> list[tuple[BankRequest, bool]]:
         """Return (request, hit) pairs whose responses complete at ``cycle``."""
         if not self._pending:
             return []
@@ -128,7 +133,7 @@ class CacheBank:
             self._pending = [entry for entry in self._pending if entry.ready_cycle > cycle]
         return [(entry.request, entry.hit) for entry in ready]
 
-    def fill(self, line_address: int, cycle: int) -> List[BankRequest]:
+    def fill(self, line_address: int, cycle: int) -> list[BankRequest]:
         """Handle a returning memory fill: install the line, replay the MSHR.
 
         Returns the replayed requests (their responses are scheduled by the

@@ -10,7 +10,6 @@ hands per-core responses to the timing cores every cycle.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
 
 from repro.cache.cache import CacheRequest, CacheResponse, LowerPort, NonBlockingCache
 from repro.common.config import VortexConfig
@@ -40,7 +39,7 @@ class _DramPort(LowerPort):
     def note_skipped_refusal(self, count: int = 1) -> None:
         self.dram.perf.incr("rejected", count)
 
-    def refusal_horizon(self) -> Optional[int]:
+    def refusal_horizon(self) -> int | None:
         # A full DRAM queue pops nothing before its head's ready cycle, and
         # it only refills during core drains — so refusal is guaranteed for
         # every cycle strictly before that head release.
@@ -80,7 +79,7 @@ class MemorySubsystem:
         dram_port = _DramPort(self.dram)
 
         # Optional L3 shared by all clusters.
-        self.l3: Optional[NonBlockingCache] = None
+        self.l3: NonBlockingCache | None = None
         if config.enable_l3:
             self.l3 = NonBlockingCache("l3", config.l3cache, lower=dram_port)
         below_l2_port = (
@@ -88,7 +87,7 @@ class MemorySubsystem:
         )
 
         # Optional L2 per cluster.
-        self.l2: List[Optional[NonBlockingCache]] = []
+        self.l2: list[NonBlockingCache | None] = []
         for cluster in range(config.num_clusters):
             if config.enable_l2:
                 self.l2.append(
@@ -98,8 +97,8 @@ class MemorySubsystem:
                 self.l2.append(None)
 
         # Per-core L1 instruction and data caches.
-        self.icaches: List[NonBlockingCache] = []
-        self.dcaches: List[NonBlockingCache] = []
+        self.icaches: list[NonBlockingCache] = []
+        self.dcaches: list[NonBlockingCache] = []
         for core_id in range(config.num_cores):
             cluster = core_id // config.cores_per_cluster
             if self.l2[cluster] is not None:
@@ -115,14 +114,14 @@ class MemorySubsystem:
 
         # Every cache level, flattened once: the fast-forward event scan and
         # bulk skip run over this list every cycle-jump decision.
-        self._levels: List[NonBlockingCache] = list(self.icaches) + list(self.dcaches)
+        self._levels: list[NonBlockingCache] = list(self.icaches) + list(self.dcaches)
         self._levels += [cache for cache in self.l2 if cache is not None]
         if self.l3 is not None:
             self._levels.append(self.l3)
 
     # -- per-cycle operation ---------------------------------------------------------
 
-    def tick(self) -> Dict[Tuple[str, int], List[CacheResponse]]:
+    def tick(self) -> dict[tuple[str, int], list[CacheResponse]]:
         """Advance every level one cycle.
 
         Returns the L1 responses grouped by ``("i" | "d", core_id)`` so the
@@ -142,7 +141,7 @@ class MemorySubsystem:
             if l2cache is not None:
                 self._route_internal(l2cache.tick(), l2cache)
 
-        results: Dict[Tuple[str, int], List[CacheResponse]] = {}
+        results: dict[tuple[str, int], list[CacheResponse]] = {}
         for core_id in range(self.config.num_cores):
             icache_responses = self.icaches[core_id].tick()
             dcache_responses = self.dcaches[core_id].tick()
@@ -152,7 +151,7 @@ class MemorySubsystem:
                 results[("d", core_id)] = dcache_responses
         return results
 
-    def _route_internal(self, responses: List[CacheResponse], level: NonBlockingCache) -> None:
+    def _route_internal(self, responses: list[CacheResponse], level: NonBlockingCache) -> None:
         """Route L2/L3 responses back to the caches that requested them."""
         for response in responses:
             tag = response.tag
@@ -166,7 +165,7 @@ class MemorySubsystem:
 
     # -- fast-forward ------------------------------------------------------------------
 
-    def next_event_cycle(self) -> Optional[int]:
+    def next_event_cycle(self) -> int | None:
         """Earliest cycle any memory-side state changes (``None`` = fully idle).
 
         Every in-flight request is visible either as a scheduled bank
@@ -203,9 +202,9 @@ class MemorySubsystem:
     def icache(self, core_id: int) -> NonBlockingCache:
         return self.icaches[core_id]
 
-    def counters(self) -> Dict[str, Dict[str, int]]:
+    def counters(self) -> dict[str, dict[str, int]]:
         """Per-component counter snapshot for reports."""
-        summary: Dict[str, Dict[str, int]] = {"dram": self.dram.perf.as_dict()}
+        summary: dict[str, dict[str, int]] = {"dram": self.dram.perf.as_dict()}
         for cache in self.icaches + self.dcaches:
             summary[cache.name] = cache.counters()
         for cache in self.l2:

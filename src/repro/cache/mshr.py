@@ -11,7 +11,9 @@ the fill returns.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any
+
+from repro.common.perf import hot_path
 
 
 @dataclass
@@ -20,7 +22,7 @@ class MshrEntry:
 
     line_address: int
     fill_issued: bool = False
-    waiting: List = field(default_factory=list)
+    waiting: list[Any] = field(default_factory=list)
 
 
 class Mshr:
@@ -33,7 +35,7 @@ class Mshr:
         # Early-full threshold, clamped so a capacity-1 table is not
         # permanently "almost full" (precomputed: checked on every request).
         self._almost_full_at = max(capacity - 1, 1)
-        self._entries: Dict[int, MshrEntry] = {}
+        self._entries: dict[int, MshrEntry] = {}
         #: The early-full signal used to avoid the deadlock described in 4.3,
         #: maintained as a plain attribute (occupancy only changes in
         #: :meth:`allocate`/:meth:`release`) because the request paths read it
@@ -58,10 +60,12 @@ class Mshr:
 
     # -- allocation ----------------------------------------------------------------
 
-    def lookup(self, line_address: int) -> Optional[MshrEntry]:
+    @hot_path
+    def lookup(self, line_address: int) -> MshrEntry | None:
         return self._entries.get(line_address)
 
-    def allocate(self, line_address: int, request) -> Optional[MshrEntry]:
+    @hot_path
+    def allocate(self, line_address: int, request: Any) -> MshrEntry | None:
         """Add ``request`` to the entry for ``line_address``.
 
         Returns the entry, or ``None`` when a new entry is needed but the
@@ -84,7 +88,7 @@ class Mshr:
             self.peak_occupancy = occupancy
         return entry
 
-    def release(self, line_address: int) -> List:
+    def release(self, line_address: int) -> list[Any]:
         """Remove the entry for ``line_address`` and return its waiting requests."""
         entry = self._entries.pop(line_address, None)
         if entry is None:
@@ -92,5 +96,5 @@ class Mshr:
         self.almost_full = len(self._entries) >= self._almost_full_at
         return entry.waiting
 
-    def pending_lines(self) -> List[int]:
+    def pending_lines(self) -> list[int]:
         return list(self._entries)

@@ -10,9 +10,9 @@ serialization.  Functionally it is carved out of the global address space
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any
 
-from repro.common.perf import PerfCounters
+from repro.common.perf import PerfCounters, hot_path
 
 #: Base of the shared-memory window; core ``i`` owns one window of
 #: ``SHARED_MEM_STRIDE`` bytes starting at ``SHARED_MEM_BASE + i * stride``.
@@ -20,7 +20,7 @@ SHARED_MEM_BASE = 0xFF00_0000
 SHARED_MEM_STRIDE = 0x0001_0000
 
 
-def shared_mem_window(core_id: int) -> Tuple[int, int]:
+def shared_mem_window(core_id: int) -> tuple[int, int]:
     """Return the (base, limit) of core ``core_id``'s shared-memory window."""
     base = SHARED_MEM_BASE + core_id * SHARED_MEM_STRIDE
     return base, base + SHARED_MEM_STRIDE
@@ -44,6 +44,9 @@ class SharedResponse:
 class SharedMemory:
     """Banked scratchpad with single-cycle access and bank-conflict serialization."""
 
+    #: Counter schema (vxlint VX003).
+    COUNTERS = frozenset({"attempts", "bank_conflicts", "reads", "writes"})
+
     def __init__(self, core_id: int, size: int, num_banks: int = 4, latency: int = 1):
         self.core_id = core_id
         self.size = size
@@ -52,8 +55,8 @@ class SharedMemory:
         self.base, self.limit = shared_mem_window(core_id)
         self.perf = PerfCounters(f"smem{core_id}")
         self._cycle = 0
-        self._accepts_this_cycle: Dict[int, int] = {}
-        self._pending: List[Tuple[int, SharedResponse]] = []
+        self._accepts_this_cycle: dict[int, int] = {}
+        self._pending: list[tuple[int, SharedResponse]] = []
 
     def contains(self, address: int) -> bool:
         """True when ``address`` belongs to this core's window."""
@@ -62,6 +65,7 @@ class SharedMemory:
     def bank_index(self, address: int) -> int:
         return (address // 4) % self.num_banks
 
+    @hot_path
     def send(self, address: int, is_write: bool, tag: Any) -> bool:
         """Present one access; False means a bank conflict (retry next cycle)."""
         self.perf.incr("attempts")
@@ -75,9 +79,10 @@ class SharedMemory:
         self.perf.incr("writes" if is_write else "reads")
         return True
 
+    @hot_path
     def send_batch(
-        self, requests: List[Tuple], budget: int, is_write: bool, tag: Any
-    ) -> Tuple[int, List[Tuple], int]:
+        self, requests: list[tuple[Any, ...]], budget: int, is_write: bool, tag: Any
+    ) -> tuple[int, list[tuple[Any, ...]], int]:
         """Batched counterpart of :meth:`send` (the timing core's hot path).
 
         ``requests`` holds ``(address, ...)`` tuples attempted strictly in
@@ -100,7 +105,7 @@ class SharedMemory:
             counters["bank_conflicts"] += total
             return 0, requests, budget
         attempts = accepted_count = bank_conflicts = 0
-        refused: List[Tuple] = []
+        refused: list[tuple[Any, ...]] = []
         index = 0
         total = len(requests)
         while index < total:
@@ -136,7 +141,7 @@ class SharedMemory:
             counters["writes" if is_write else "reads"] += accepted_count
         return accepted_count, refused, budget
 
-    def tick(self) -> List[SharedResponse]:
+    def tick(self) -> list[SharedResponse]:
         """Advance one cycle; return completed accesses."""
         self._cycle += 1
         if self._accepts_this_cycle:
@@ -156,7 +161,7 @@ class SharedMemory:
 
     # -- fast-forward ------------------------------------------------------------------
 
-    def next_response_cycle(self) -> Optional[int]:
+    def next_response_cycle(self) -> int | None:
         """Earliest cycle a pending access completes (``None`` when idle)."""
         if not self._pending:
             return None

@@ -13,7 +13,6 @@ area model prices.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict
 
 
 @dataclass(frozen=True)
@@ -157,33 +156,33 @@ class VortexConfig:
         """Hardware threads across the whole processor."""
         return self.num_cores * self.core.num_warps * self.core.num_threads
 
-    def with_cores(self, num_cores: int, num_clusters: int = 1) -> "VortexConfig":
+    def with_cores(self, num_cores: int, num_clusters: int = 1) -> VortexConfig:
         """Return a copy scaled to ``num_cores`` cores."""
         return replace(self, num_cores=num_cores, num_clusters=num_clusters)
 
-    def with_warps_threads(self, num_warps: int, num_threads: int) -> "VortexConfig":
+    def with_warps_threads(self, num_warps: int, num_threads: int) -> VortexConfig:
         """Return a copy with a different warp/thread geometry."""
         return replace(self, core=replace(self.core, num_warps=num_warps, num_threads=num_threads))
 
-    def with_scheduler_policy(self, policy: str) -> "VortexConfig":
+    def with_scheduler_policy(self, policy: str) -> VortexConfig:
         """Return a copy with a different wavefront scheduler policy."""
         return replace(self, core=replace(self.core, scheduler_policy=policy))
 
-    def with_dcache_ports(self, num_ports: int) -> "VortexConfig":
+    def with_dcache_ports(self, num_ports: int) -> VortexConfig:
         """Return a copy with a different virtual-port count on the data cache."""
         return replace(self, dcache=replace(self.dcache, num_ports=num_ports))
 
-    def with_memory(self, latency: int, bandwidth: int) -> "VortexConfig":
+    def with_memory(self, latency: int, bandwidth: int) -> VortexConfig:
         """Return a copy with different DRAM latency/bandwidth (Figure 21)."""
         return replace(self, memory=MemoryConfig(latency=latency, bandwidth=bandwidth))
 
     def with_cache_hierarchy(
         self, enable_l2: bool = False, enable_l3: bool = False
-    ) -> "VortexConfig":
+    ) -> VortexConfig:
         """Return a copy with the shared cache levels toggled (the L2/L3 axis)."""
         return replace(self, enable_l2=enable_l2, enable_l3=enable_l3)
 
-    def describe(self) -> Dict[str, int]:
+    def describe(self) -> dict[str, int]:
         """Return a flat summary used by reports and the area model."""
         return {
             "cores": self.num_cores,

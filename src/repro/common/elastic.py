@@ -14,7 +14,8 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Deque, Iterator, Optional
+from collections.abc import Iterator
+from typing import Any
 
 
 @dataclass
@@ -41,12 +42,12 @@ class ElasticChannel:
     between most stages.
     """
 
-    def __init__(self, name: str, capacity: Optional[int] = 1):
+    def __init__(self, name: str, capacity: int | None = 1):
         if capacity is not None and capacity < 1:
             raise ValueError("channel capacity must be at least 1")
         self.name = name
         self.capacity = capacity
-        self._queue: Deque[ElasticPacket] = deque()
+        self._queue: deque[ElasticPacket] = deque()
         self.pushed = 0
         self.popped = 0
         self.stalls = 0

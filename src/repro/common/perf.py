@@ -4,20 +4,47 @@ Every timing component (core, cache, texture unit, memory controller)
 owns a :class:`PerfCounters` instance.  Counters are plain named integers
 plus a few derived metrics; the benchmark harness merges them into the
 per-experiment reports.
+
+This module also defines the :func:`hot_path` marker.  Functions tagged
+``@hot_path`` run at per-request-attempt rates (millions of calls per
+simulated second); vxlint rule VX004 statically forbids comprehensions,
+lambdas, f-strings, and fresh numpy arrays inside them.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, Mapping
+from collections.abc import Callable, Iterator, Mapping
+from typing import TypeVar
+
+_F = TypeVar("_F", bound=Callable[..., object])
+
+
+def hot_path(func: _F) -> _F:
+    """Mark ``func`` as a per-attempt hot path.
+
+    Purely declarative at runtime (zero wrapping, zero overhead): the
+    decorator returns ``func`` unchanged and only sets an attribute so
+    tooling and tests can discover the tagged set.  The real enforcement
+    is static — vxlint VX004 rejects allocation-heavy constructs inside
+    any function carrying this marker.
+    """
+    func.__hot_path__ = True  # type: ignore[attr-defined]
+    return func
 
 
 class PerfCounters:
-    """A dictionary of monotonically increasing counters with derived ratios."""
+    """A dictionary of monotonically increasing counters with derived ratios.
+
+    Counter *keys* are governed by vxlint VX003: every literal key used
+    with ``incr``/``set`` (or via a prebound ``_counters`` dict on a hot
+    path) must appear in some component's ``COUNTERS`` schema — a
+    class-level ``frozenset`` of the counter names that component owns.
+    """
 
     def __init__(self, name: str = ""):
         self.name = name
-        self._counters: Dict[str, int] = defaultdict(int)
+        self._counters: defaultdict[str, int] = defaultdict(int)
 
     def incr(self, counter: str, amount: int = 1) -> None:
         """Increment ``counter`` by ``amount``."""
@@ -38,15 +65,15 @@ class PerfCounters:
             return 0.0
         return self.get(numerator) / denom
 
-    def merge(self, other: "PerfCounters", prefix: str = "") -> None:
+    def merge(self, other: PerfCounters, prefix: str = "") -> None:
         """Accumulate another counter set into this one."""
         for key, value in other.items():
             self._counters[prefix + key] += value
 
-    def items(self) -> Iterable:
-        return self._counters.items()
+    def items(self) -> Iterator[tuple[str, int]]:
+        return iter(self._counters.items())
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> dict[str, int]:
         """Return a plain-dict snapshot."""
         return dict(self._counters)
 
@@ -64,3 +91,6 @@ class PerfCounters:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         inner = ", ".join(f"{k}={v}" for k, v in sorted(self._counters.items()))
         return f"PerfCounters({self.name!r}, {inner})"
+
+
+__all__ = ["PerfCounters", "hot_path"]

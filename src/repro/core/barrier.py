@@ -11,7 +11,7 @@ MSB of the barrier id in multi-core configurations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Any, Dict
 
 #: Barrier ids with this bit set have global (inter-core) scope.
 GLOBAL_BARRIER_FLAG = 1 << 31
@@ -39,10 +39,17 @@ class BarrierCountMismatch(ValueError):
 
 @dataclass
 class _BarrierEntry:
-    """State of one in-progress barrier."""
+    """State of one in-progress barrier.
+
+    ``waiting`` is an insertion-ordered dict used as an ordered set:
+    participants (warps, or (core, warp) pairs) hash by identity, so a real
+    ``set`` would release them in address order — nondeterministic across
+    processes.  Dict order is arrival order, which is fully determined by
+    the simulation.
+    """
 
     expected: int = 0
-    waiting: Set = field(default_factory=set)
+    waiting: dict[Any, None] = field(default_factory=dict)
 
 
 class BarrierTable:
@@ -50,12 +57,12 @@ class BarrierTable:
 
     def __init__(self, num_barriers: int = 16):
         self.num_barriers = num_barriers
-        self._entries: Dict[int, _BarrierEntry] = {}
+        self._entries: dict[int, _BarrierEntry] = {}
         self.arrivals = 0
         self.releases = 0
         self.mismatches = 0
 
-    def arrive(self, barrier_id: int, expected: int, participant) -> List:
+    def arrive(self, barrier_id: int, expected: int, participant: Any) -> list[Any]:
         """Register ``participant`` at ``barrier_id`` expecting ``expected`` arrivals.
 
         Returns the list of participants to release (empty while the barrier
@@ -83,7 +90,7 @@ class BarrierTable:
         if entry is None:
             entry = _BarrierEntry(expected=expected)
             self._entries[index] = entry
-        entry.waiting.add(participant)
+        entry.waiting[participant] = None
         if len(entry.waiting) >= entry.expected:
             released = list(entry.waiting)
             del self._entries[index]
@@ -91,7 +98,7 @@ class BarrierTable:
             return released
         return []
 
-    def waiting_on(self, barrier_id: int) -> List:
+    def waiting_on(self, barrier_id: int) -> list[Any]:
         """Participants currently stalled on ``barrier_id``."""
         index = local_barrier_index(barrier_id) % max(self.num_barriers, 1)
         entry = self._entries.get(index)
@@ -102,6 +109,6 @@ class BarrierTable:
         """True when at least one participant is stalled at any barrier."""
         return any(entry.waiting for entry in self._entries.values())
 
-    def pending_barriers(self) -> List[int]:
+    def pending_barriers(self) -> list[int]:
         """Barrier indices currently holding stalled participants."""
         return sorted(index for index, entry in self._entries.items() if entry.waiting)

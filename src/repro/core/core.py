@@ -10,7 +10,7 @@ state).  Multi-core functional execution is provided by
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any
 
 from repro.common.config import VortexConfig
 from repro.common.perf import PerfCounters
@@ -27,19 +27,34 @@ class SimtCore:
     #: Emulator to instantiate; the vectorized engine substitutes its own.
     emulator_cls = WarpEmulator
 
+    #: Counter schema (vxlint VX003).  The divergence counters are charged by
+    #: the emulators (scalar and vector) onto this core's ``perf``.
+    COUNTERS = frozenset(
+        {
+            "wspawns",
+            "barrier_stalls",
+            "fences",
+            "instructions",
+            "thread_instructions",
+            "divergent_branches",
+            "divergent_splits",
+            "uniform_splits",
+        }
+    )
+
     def __init__(
         self,
         core_id: int,
         config: VortexConfig,
-        memory,
-        processor=None,
+        memory: Any,
+        processor: Any = None,
     ):
         self.core_id = core_id
         self.config = config
         self.memory = memory
         self.processor = processor
         core_cfg = config.core
-        self.warps: List[Warp] = [
+        self.warps: list[Warp] = [
             Warp(warp_id, core_cfg.num_threads, ipdom_depth=core_cfg.ipdom_depth)
             for warp_id in range(core_cfg.num_warps)
         ]
@@ -117,7 +132,7 @@ class SimtCore:
         active = [warp for warp in self.warps if warp.active]
         return bool(active) and all(warp.at_barrier for warp in active)
 
-    def schedulable_warps(self) -> List[Warp]:
+    def schedulable_warps(self) -> list[Warp]:
         """Wavefronts that can execute an instruction right now."""
         return [warp for warp in self.warps if warp.schedulable]
 
@@ -129,7 +144,7 @@ class SimtCore:
         self.csr.retire(1)
         return result
 
-    def step_warp_timing(self, warp: Warp):
+    def step_warp_timing(self, warp: Warp) -> Any:
         """Execute one instruction of ``warp`` through the lane-plan timing path.
 
         Same bookkeeping as :meth:`step_warp` (per-core counters, ``instret``)

@@ -19,14 +19,19 @@ the same class with whole-warp lane plans.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from repro.arch.alu import ALU_OPS, BRANCH_OPS, div_op, mul_op
 from repro.arch.fpu import fpu_op
 from repro.common.bitutils import sext, to_uint32
 from repro.isa.decoder import DecodedInstruction, decode
 from repro.isa.instructions import SPEC_BY_MNEMONIC, ExecUnit
+from repro.core.warp import Warp
 from repro.texture.unit import TexWarpResult
+
+if TYPE_CHECKING:
+    from repro.core.core import SimtCore
 
 
 class EmulationError(Exception):
@@ -42,7 +47,7 @@ class SimulationLimitExceeded(EmulationError):
     ``"cycles"``; ``limit`` is the configured bound.
     """
 
-    def __init__(self, kind: str, limit: int, message: Optional[str] = None):
+    def __init__(self, kind: str, limit: int, message: str | None = None):
         self.kind = kind
         self.limit = limit
         super().__init__(message or f"simulation exceeded the {kind} limit ({limit})")
@@ -68,8 +73,8 @@ class StepResult:
     instr: DecodedInstruction
     tmask: int
     unit: str
-    mem_accesses: List[MemAccess] = field(default_factory=list)
-    tex_result: Optional[TexWarpResult] = None
+    mem_accesses: list[MemAccess] = field(default_factory=list)
+    tex_result: TexWarpResult | None = None
     taken_branch: bool = False
     warp_halted: bool = False
     stalled_at_barrier: bool = False
@@ -85,7 +90,7 @@ class StepResult:
         return self.instr.mnemonic
 
     @property
-    def request_addresses(self) -> List[int]:
+    def request_addresses(self) -> list[int]:
         """The per-request memory addresses, in issue order.
 
         This is the interface the cycle-level core charges cache traffic
@@ -96,7 +101,7 @@ class StepResult:
 
 
 #: Load mnemonic -> (access size, signed).  ``lw``/``flw`` are word loads.
-_LOAD_SPECS: Dict[str, Tuple[int, bool]] = {
+_LOAD_SPECS: dict[str, tuple[int, bool]] = {
     "lw": (4, False),
     "flw": (4, False),
     "lh": (2, True),
@@ -106,17 +111,17 @@ _LOAD_SPECS: Dict[str, Tuple[int, bool]] = {
 }
 
 #: Store mnemonic -> access size.
-_STORE_SPECS: Dict[str, int] = {"sw": 4, "fsw": 4, "sh": 2, "sb": 1}
+_STORE_SPECS: dict[str, int] = {"sw": 4, "fsw": 4, "sh": 2, "sb": 1}
 
 
 class WarpEmulator:
     """Executes instructions for the warps of one core."""
 
-    def __init__(self, core):
+    def __init__(self, core: SimtCore):
         """``core`` supplies memory, the CSR file, the texture unit, the warp
         list, and the wspawn/barrier callbacks (see :class:`repro.core.core.SimtCore`)."""
         self.core = core
-        self._decode_cache: Dict[int, DecodedInstruction] = {}
+        self._decode_cache: dict[int, DecodedInstruction] = {}
 
     # -- fetch / decode -------------------------------------------------------------
 
@@ -142,7 +147,7 @@ class WarpEmulator:
 
     # -- execution --------------------------------------------------------------------
 
-    def step(self, warp) -> StepResult:
+    def step(self, warp: Warp) -> StepResult:
         """Execute the next instruction of ``warp``."""
         if not warp.schedulable:
             raise EmulationError(f"warp {warp.warp_id} is not schedulable")
@@ -167,22 +172,22 @@ class WarpEmulator:
     # -- operand helpers ----------------------------------------------------------------
 
     @staticmethod
-    def _read(warp, thread: int, index: int, floating: bool) -> int:
+    def _read(warp: Warp, thread: int, index: int, floating: bool) -> int:
         if floating:
             return warp.regs.read_float(thread, index)
         return warp.regs.read_int(thread, index)
 
     @staticmethod
-    def _write(warp, thread: int, index: int, value: int, floating: bool) -> None:
+    def _write(warp: Warp, thread: int, index: int, value: int, floating: bool) -> None:
         if floating:
             warp.regs.write_float(thread, index, value)
         else:
             warp.regs.write_int(thread, index, value)
 
-    def _write_rd(self, warp, instr: DecodedInstruction, thread: int, value: int) -> None:
+    def _write_rd(self, warp: Warp, instr: DecodedInstruction, thread: int, value: int) -> None:
         self._write(warp, thread, instr.rd, value, instr.spec.rd_float)
 
-    def _first_active_thread(self, warp) -> int:
+    def _first_active_thread(self, warp: Warp) -> int:
         active = warp.active_threads()
         if not active:
             raise EmulationError(f"warp {warp.warp_id} has no active threads")
@@ -190,17 +195,17 @@ class WarpEmulator:
 
     # -- ALU-class handlers ----------------------------------------------------------------
 
-    def _exec_lui(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+    def _exec_lui(self, warp: Warp, instr: DecodedInstruction, result: StepResult) -> None:
         value = to_uint32(instr.imm)
         for thread in warp.active_threads():
             self._write_rd(warp, instr, thread, value)
 
-    def _exec_auipc(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+    def _exec_auipc(self, warp: Warp, instr: DecodedInstruction, result: StepResult) -> None:
         value = to_uint32(result.pc + instr.imm)
         for thread in warp.active_threads():
             self._write_rd(warp, instr, thread, value)
 
-    def _exec_alu_imm(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+    def _exec_alu_imm(self, warp: Warp, instr: DecodedInstruction, result: StepResult) -> None:
         op = ALU_OPS[instr.mnemonic]
         imm = to_uint32(instr.imm)
         regs = warp.regs
@@ -208,7 +213,7 @@ class WarpEmulator:
         for thread in warp.active_threads():
             self._write_rd(warp, instr, thread, op(regs.read_int(thread, rs1), imm))
 
-    def _exec_alu_reg(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+    def _exec_alu_reg(self, warp: Warp, instr: DecodedInstruction, result: StepResult) -> None:
         op = ALU_OPS[instr.mnemonic]
         regs = warp.regs
         rs1, rs2 = instr.rs1, instr.rs2
@@ -216,7 +221,7 @@ class WarpEmulator:
             value = op(regs.read_int(thread, rs1), regs.read_int(thread, rs2))
             self._write_rd(warp, instr, thread, value)
 
-    def _exec_mul(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+    def _exec_mul(self, warp: Warp, instr: DecodedInstruction, result: StepResult) -> None:
         regs = warp.regs
         for thread in warp.active_threads():
             value = mul_op(
@@ -224,7 +229,7 @@ class WarpEmulator:
             )
             self._write_rd(warp, instr, thread, value)
 
-    def _exec_div(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+    def _exec_div(self, warp: Warp, instr: DecodedInstruction, result: StepResult) -> None:
         regs = warp.regs
         for thread in warp.active_threads():
             value = div_op(
@@ -232,7 +237,7 @@ class WarpEmulator:
             )
             self._write_rd(warp, instr, thread, value)
 
-    def _exec_branch(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+    def _exec_branch(self, warp: Warp, instr: DecodedInstruction, result: StepResult) -> None:
         op = BRANCH_OPS[instr.mnemonic]
         regs = warp.regs
         decisions = []
@@ -248,7 +253,7 @@ class WarpEmulator:
             result.next_pc = to_uint32(result.pc + instr.imm)
             result.taken_branch = True
 
-    def _exec_jump(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+    def _exec_jump(self, warp: Warp, instr: DecodedInstruction, result: StepResult) -> None:
         return_address = to_uint32(result.pc + 4)
         if instr.mnemonic == "jal":
             result.next_pc = to_uint32(result.pc + instr.imm)
@@ -263,7 +268,7 @@ class WarpEmulator:
 
     # -- FPU ---------------------------------------------------------------------------------
 
-    def _exec_fpu(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+    def _exec_fpu(self, warp: Warp, instr: DecodedInstruction, result: StepResult) -> None:
         for thread in warp.active_threads():
             rs1 = self._read(warp, thread, instr.rs1, instr.spec.rs1_float)
             rs2 = self._read(warp, thread, instr.rs2, instr.spec.rs2_float)
@@ -273,7 +278,7 @@ class WarpEmulator:
 
     # -- LSU ---------------------------------------------------------------------------------
 
-    def _exec_load(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+    def _exec_load(self, warp: Warp, instr: DecodedInstruction, result: StepResult) -> None:
         memory = self.core.memory
         size, signed = _LOAD_SPECS[instr.mnemonic]
         for thread in warp.active_threads():
@@ -292,7 +297,7 @@ class WarpEmulator:
                 MemAccess(thread=thread, address=address, size=size, is_write=False)
             )
 
-    def _exec_store(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+    def _exec_store(self, warp: Warp, instr: DecodedInstruction, result: StepResult) -> None:
         memory = self.core.memory
         size = _STORE_SPECS[instr.mnemonic]
         for thread in warp.active_threads():
@@ -311,33 +316,33 @@ class WarpEmulator:
 
     # -- SFU ---------------------------------------------------------------------------------
 
-    def _exec_tmc(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+    def _exec_tmc(self, warp: Warp, instr: DecodedInstruction, result: StepResult) -> None:
         thread = self._first_active_thread(warp)
         count = warp.regs.read_int(thread, instr.rs1)
         warp.set_thread_count(count)
         if not warp.active:
             result.warp_halted = True
 
-    def _exec_wspawn(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+    def _exec_wspawn(self, warp: Warp, instr: DecodedInstruction, result: StepResult) -> None:
         thread = self._first_active_thread(warp)
         count = warp.regs.read_int(thread, instr.rs1)
         target_pc = warp.regs.read_int(thread, instr.rs2)
         result.spawned_warps = self.core.handle_wspawn(count, target_pc)
 
-    def _exec_bar(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+    def _exec_bar(self, warp: Warp, instr: DecodedInstruction, result: StepResult) -> None:
         thread = self._first_active_thread(warp)
         barrier_id = warp.regs.read_int(thread, instr.rs1)
         count = warp.regs.read_int(thread, instr.rs2)
         result.stalled_at_barrier = self.core.handle_barrier(warp, barrier_id, count)
 
-    def _exec_fence(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+    def _exec_fence(self, warp: Warp, instr: DecodedInstruction, result: StepResult) -> None:
         self.core.handle_fence()
 
-    def _exec_ecall(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+    def _exec_ecall(self, warp: Warp, instr: DecodedInstruction, result: StepResult) -> None:
         warp.halt()
         result.warp_halted = True
 
-    def _exec_csr(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+    def _exec_csr(self, warp: Warp, instr: DecodedInstruction, result: StepResult) -> None:
         csr_file = self.core.csr
         mnemonic = instr.mnemonic
         immediate_form = mnemonic.endswith("i")
@@ -374,7 +379,7 @@ class WarpEmulator:
             for thread in warp.active_threads():
                 self._write(warp, thread, instr.rd, old_values[thread], False)
 
-    def _exec_split(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+    def _exec_split(self, warp: Warp, instr: DecodedInstruction, result: StepResult) -> None:
         original = warp.tmask
         taken_mask = 0
         for thread in warp.active_threads():
@@ -390,7 +395,7 @@ class WarpEmulator:
         else:
             self.core.perf.incr("uniform_splits")
 
-    def _exec_join(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+    def _exec_join(self, warp: Warp, instr: DecodedInstruction, result: StepResult) -> None:
         entry = warp.ipdom.pop()
         warp.set_tmask(entry.tmask)
         if not entry.is_fallthrough:
@@ -399,11 +404,11 @@ class WarpEmulator:
 
     # -- TEX ---------------------------------------------------------------------------------
 
-    def _exec_tex(self, warp, instr: DecodedInstruction, result: StepResult) -> None:
+    def _exec_tex(self, warp: Warp, instr: DecodedInstruction, result: StepResult) -> None:
         tex_unit = self.core.tex_unit
         if tex_unit is None:
             raise EmulationError("tex executed but the core has no texture unit")
-        operands: List[Optional[Tuple[int, int, int]]] = []
+        operands: list[tuple[int, int, int] | None] = []
         for thread in range(warp.num_threads):
             if (warp.tmask >> thread) & 1:
                 operands.append(
@@ -428,7 +433,7 @@ class WarpEmulator:
     # -- handler table -----------------------------------------------------------------------
 
     @classmethod
-    def _build_handler_table(cls) -> Dict[str, Callable]:
+    def _build_handler_table(cls) -> dict[str, Callable]:
         """Precompute the mnemonic -> handler table from the ISA spec table."""
         special = {
             "lui": cls._exec_lui,
@@ -443,7 +448,7 @@ class WarpEmulator:
             "fence": cls._exec_fence,
             "ecall": cls._exec_ecall,
         }
-        table: Dict[str, Callable] = {}
+        table: dict[str, Callable] = {}
         for mnemonic, spec in SPEC_BY_MNEMONIC.items():
             if mnemonic in special:
                 table[mnemonic] = special[mnemonic]
@@ -472,7 +477,7 @@ class WarpEmulator:
                 raise EmulationError(f"no handler for mnemonic {mnemonic}")
         return table
 
-    _MNEMONIC_HANDLERS: Dict[str, Callable] = {}
+    _MNEMONIC_HANDLERS: dict[str, Callable] = {}
 
 
 WarpEmulator._MNEMONIC_HANDLERS = WarpEmulator._build_handler_table()

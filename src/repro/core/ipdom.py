@@ -10,7 +10,6 @@ fall-through entries, redirecting the warp to the saved PC.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
 
 
 class IpdomOverflow(Exception):
@@ -26,7 +25,7 @@ class IpdomEntry:
     """One saved divergence context."""
 
     tmask: int
-    pc: Optional[int] = None  # ``None`` marks a fall-through entry
+    pc: int | None = None  # ``None`` marks a fall-through entry
 
     @property
     def is_fallthrough(self) -> bool:
@@ -40,10 +39,10 @@ class IpdomStack:
         if depth < 1:
             raise ValueError("IPDOM stack depth must be positive")
         self.depth = depth
-        self._entries: List[IpdomEntry] = []
+        self._entries: list[IpdomEntry] = []
         self.max_occupancy = 0
 
-    def push(self, tmask: int, pc: Optional[int] = None) -> None:
+    def push(self, tmask: int, pc: int | None = None) -> None:
         """Push a divergence context."""
         if len(self._entries) >= self.depth:
             raise IpdomOverflow(f"IPDOM stack exceeded its depth of {self.depth}")

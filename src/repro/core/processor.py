@@ -9,7 +9,7 @@ expose the performance counters the benchmark harness reports.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Any
 
 import numpy as np
 
@@ -29,7 +29,7 @@ class _GlobalBarrierMixin:
     def _init_global_barriers(self, num_barriers: int = 16) -> None:
         self._global_barriers = BarrierTable(num_barriers)
 
-    def global_barrier_arrive(self, core, warp, barrier_id: int, count: int) -> bool:
+    def global_barrier_arrive(self, core: Any, warp: Any, barrier_id: int, count: int) -> bool:
         """Register ``warp`` of ``core`` at a global barrier.
 
         Returns True when the warp must stall.  ``count`` is the total number
@@ -51,10 +51,13 @@ class Processor(_GlobalBarrierMixin):
     #: Core model to instantiate; the vectorized engine substitutes its own.
     core_cls = SimtCore
 
-    def __init__(self, config: Optional[VortexConfig] = None, memory: Optional[MainMemory] = None):
+    #: Counter schema (vxlint VX003): processor-level totals.
+    COUNTERS = frozenset({"instructions", "cycles"})
+
+    def __init__(self, config: VortexConfig | None = None, memory: MainMemory | None = None):
         self.config = config or VortexConfig()
         self.memory = memory or MainMemory()
-        self.cores: List[SimtCore] = [
+        self.cores: list[SimtCore] = [
             self.core_cls(core_id, self.config, self.memory, processor=self)
             for core_id in range(self.config.num_cores)
         ]
@@ -70,7 +73,7 @@ class Processor(_GlobalBarrierMixin):
     def done(self) -> bool:
         return all(core.done for core in self.cores)
 
-    def run(self, entry_pc: Optional[int] = None, max_instructions: int = 50_000_000) -> int:
+    def run(self, entry_pc: int | None = None, max_instructions: int = 50_000_000) -> int:
         """Run to completion; returns total instructions executed.
 
         Cores and wavefronts are interleaved at instruction granularity so
@@ -101,7 +104,7 @@ class Processor(_GlobalBarrierMixin):
         self.perf.incr("instructions", executed)
         return executed
 
-    def counters(self) -> Dict[str, Dict[str, int]]:
+    def counters(self) -> dict[str, dict[str, int]]:
         """Per-core counter snapshot."""
         return {f"core{core.core_id}": core.perf.as_dict() for core in self.cores}
 
@@ -118,8 +121,8 @@ class TimingProcessor(_GlobalBarrierMixin):
 
     def __init__(
         self,
-        config: Optional[VortexConfig] = None,
-        memory: Optional[MainMemory] = None,
+        config: VortexConfig | None = None,
+        memory: MainMemory | None = None,
         engine: str = "vector",
         fast_forward: bool = True,
         batch_requests: bool = True,
@@ -131,7 +134,7 @@ class TimingProcessor(_GlobalBarrierMixin):
         #: Event-driven cycle fast-forward: jump over provably idle cycle
         #: runs instead of ticking through them (bit-identical results).
         self.fast_forward = fast_forward
-        self.cores: List[TimingCore] = [
+        self.cores: list[TimingCore] = [
             TimingCore(
                 core_id,
                 self.config,
@@ -169,9 +172,9 @@ class TimingProcessor(_GlobalBarrierMixin):
 
     def run(
         self,
-        entry_pc: Optional[int] = None,
+        entry_pc: int | None = None,
         max_cycles: int = 20_000_000,
-        max_instructions: Optional[int] = None,
+        max_instructions: int | None = None,
     ) -> int:
         """Run to completion; returns the elapsed cycle count."""
         if entry_pc is not None:
@@ -237,7 +240,7 @@ class TimingProcessor(_GlobalBarrierMixin):
         fires at exactly the same cycle as the ticked run.
         """
         floor = self.cycle + 1
-        next_event: Optional[int] = None
+        next_event: int | None = None
         for core in self.cores:
             event = core.next_event_cycle()
             if event is not None:
@@ -284,7 +287,7 @@ class TimingProcessor(_GlobalBarrierMixin):
             return 0.0
         return self.total_thread_instructions / self.cycle
 
-    def counters(self) -> Dict[str, Dict[str, int]]:
+    def counters(self) -> dict[str, dict[str, int]]:
         """Per-core and per-cache counter snapshot."""
         summary = {f"core{core.core_id}": core.perf.as_dict() for core in self.cores}
         summary.update(self.memsys.counters())

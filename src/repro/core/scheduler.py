@@ -27,15 +27,16 @@ All three are fully deterministic.
 
 from __future__ import annotations
 
-from typing import List, Optional
-
 from repro.common.bitutils import mask
 from repro.common.config import SCHEDULER_POLICIES
-from repro.common.perf import PerfCounters
+from repro.common.perf import PerfCounters, hot_path
 
 
 class WavefrontScheduler:
     """Wavefront scheduler for one core (policy-selectable)."""
+
+    #: Counter schema (vxlint VX003).
+    COUNTERS = frozenset({"idle_cycles", "refills", "selections", "switches"})
 
     def __init__(self, num_warps: int, policy: str = "round-robin"):
         if policy not in SCHEDULER_POLICIES:
@@ -49,11 +50,11 @@ class WavefrontScheduler:
         self.barrier_mask = 0
         self.visible_mask = 0
         self.perf = PerfCounters("scheduler")
-        self._last_selected: Optional[int] = None
+        self._last_selected: int | None = None
         # Last-issue order for greedy-then-oldest: stamp[w] is the monotonic
         # selection index warp w last issued at (0 = never issued, so cold
         # warps are oldest and ties break toward the lowest warp id).
-        self._issue_stamps: List[int] = [0] * num_warps
+        self._issue_stamps: list[int] = [0] * num_warps
         self._next_stamp = 1
         self._select = {
             "round-robin": self._select_round_robin,
@@ -116,14 +117,16 @@ class WavefrontScheduler:
 
     # -- selection -------------------------------------------------------------------
 
+    @hot_path
     def _schedulable_mask(self) -> int:
         return self.active_mask & ~self.stalled_mask & ~self.barrier_mask & mask(self.num_warps)
 
-    def select(self) -> Optional[int]:
+    def select(self) -> int | None:
         """Pick the wavefront to fetch this cycle, or ``None`` if none is ready."""
         return self._select()
 
-    def _select_round_robin(self) -> Optional[int]:
+    @hot_path
+    def _select_round_robin(self) -> int | None:
         """The hierarchical two-level policy: wavefronts are drained from the
         visible mask one per cycle; when it is empty it is refilled from the
         schedulable wavefronts."""
@@ -147,7 +150,8 @@ class WavefrontScheduler:
                 return warp_id
         return None  # pragma: no cover - unreachable, mask was non-zero
 
-    def _select_greedy_then_oldest(self) -> Optional[int]:
+    @hot_path
+    def _select_greedy_then_oldest(self) -> int | None:
         """Greedy-then-oldest: stick with the current wavefront until it
         stalls, then switch to the least-recently-issued ready one."""
         ready = self._schedulable_mask()
@@ -158,10 +162,13 @@ class WavefrontScheduler:
         if last is not None and (ready >> last) & 1:
             warp_id = last
         else:
+            # The genexp/lambda only run on the *switch* path (greedy keeps
+            # reissuing the same wavefront on the common path), so the
+            # allocation is per-switch, not per-cycle.
             stamps = self._issue_stamps
             warp_id = min(
-                (w for w in range(self.num_warps) if (ready >> w) & 1),
-                key=lambda w: (stamps[w], w),
+                (w for w in range(self.num_warps) if (ready >> w) & 1),  # vxlint: disable=VX004
+                key=lambda w: (stamps[w], w),  # vxlint: disable=VX004
             )
             self.perf.incr("switches")
         self._issue_stamps[warp_id] = self._next_stamp
@@ -170,7 +177,8 @@ class WavefrontScheduler:
         self.perf.incr("selections")
         return warp_id
 
-    def _select_loose_round_robin(self) -> Optional[int]:
+    @hot_path
+    def _select_loose_round_robin(self) -> int | None:
         """Loose round-robin: the next ready wavefront after the last issued
         one, with no two-level visible working set."""
         ready = self._schedulable_mask()

@@ -10,7 +10,7 @@ structure whose size the synthesis area model charges per wavefront
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Set, Tuple
+from collections.abc import Iterable
 
 from repro.common.perf import PerfCounters
 
@@ -22,13 +22,16 @@ FP_REGS = "f"
 class Scoreboard:
     """Tracks in-flight destination registers per warp."""
 
+    #: Counter schema (vxlint VX003).
+    COUNTERS = frozenset({"reservations"})
+
     def __init__(self, num_warps: int):
         self.num_warps = num_warps
-        self._busy: Dict[int, Set[Tuple[str, int]]] = {warp: set() for warp in range(num_warps)}
+        self._busy: dict[int, set[tuple[str, int]]] = {warp: set() for warp in range(num_warps)}
         self.perf = PerfCounters("scoreboard")
 
     @staticmethod
-    def _key(register: int, floating: bool) -> Tuple[str, int]:
+    def _key(register: int, floating: bool) -> tuple[str, int]:
         return (FP_REGS if floating else INT_REGS, register)
 
     def is_busy(self, warp_id: int, register: int, floating: bool = False) -> bool:
@@ -37,7 +40,7 @@ class Scoreboard:
             return False
         return self._key(register, floating) in self._busy[warp_id]
 
-    def any_busy(self, warp_id: int, registers: Iterable[Tuple[int, bool]]) -> bool:
+    def any_busy(self, warp_id: int, registers: Iterable[tuple[int, bool]]) -> bool:
         """True when any of the (register, floating) pairs is busy."""
         return any(self.is_busy(warp_id, register, floating) for register, floating in registers)
 

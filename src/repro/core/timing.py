@@ -24,14 +24,14 @@ from the scheduler, scoreboard, latencies and the cache/memory system.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any
 
 import numpy as np
 
 from repro.cache.cache import CacheRequest, CacheResponse, NonBlockingCache
 from repro.cache.sharedmem import SHARED_MEM_BASE, SharedMemory, is_shared_address
 from repro.common.config import VortexConfig
-from repro.common.perf import PerfCounters
+from repro.common.perf import PerfCounters, hot_path
 from repro.core.core import SimtCore
 from repro.core.scheduler import WavefrontScheduler
 from repro.core.scoreboard import Scoreboard
@@ -57,7 +57,7 @@ class _PendingMemOp:
     rd_float: bool
     writes_rd: bool
     kind: str  # "load" | "tex"
-    to_send: List[Tuple] = field(default_factory=list)
+    to_send: list[tuple[Any, ...]] = field(default_factory=list)
     outstanding: int = 0
     extra_latency: int = 0
 
@@ -74,13 +74,32 @@ class TimingCore:
     bit-identical cycles, IPC and performance counters.
     """
 
+    #: Counter schema (vxlint VX003): the keys this core charges on its own
+    #: ``perf``.  Cross-component charges (the skip-idle refusal replay into
+    #: the dcache) use the dcache's declared keys.
+    COUNTERS = frozenset(
+        {
+            "cycles",
+            "idle_cycles",
+            "instructions",
+            "thread_instructions",
+            "taken_branches",
+            "scoreboard_stalls",
+            "ifetch_misses",
+            "loads",
+            "stores",
+            "tex_ops",
+            "mem_ops_completed",
+        }
+    )
+
     def __init__(
         self,
         core_id: int,
         config: VortexConfig,
-        memory,
-        memsys,
-        processor=None,
+        memory: Any,
+        memsys: Any,
+        processor: Any = None,
         engine: str = "vector",
         batch_requests: bool = True,
     ):
@@ -122,17 +141,17 @@ class TimingCore:
         }
 
         # Timing state.
-        self._warp_ready_cycle: Dict[int, int] = {w: 0 for w in range(core_cfg.num_warps)}
-        self._writebacks: List[Tuple[int, int, int, bool]] = []  # (cycle, warp, rd, float)
-        self._pending_ops: Dict[int, _PendingMemOp] = {}
-        self._store_queue: List[Tuple[int, bool]] = []  # fire-and-forget stores
+        self._warp_ready_cycle: dict[int, int] = {w: 0 for w in range(core_cfg.num_warps)}
+        self._writebacks: list[tuple[int, int, int, bool]] = []  # (cycle, warp, rd, float)
+        self._pending_ops: dict[int, _PendingMemOp] = {}
+        self._store_queue: list[tuple[int, bool]] = []  # fire-and-forget stores
         self._next_op_id = 0
-        self._warm_ilines: set = set()
-        self._pending_ifetch: Dict[int, int] = {}  # warp_id -> line address awaited
-        self._ifetch_to_send: List[Tuple[int, int]] = []  # (warp_id, line byte address)
+        self._warm_ilines: set[int] = set()
+        self._pending_ifetch: dict[int, int] = {}  # warp_id -> line address awaited
+        self._ifetch_to_send: list[tuple[int, int]] = []  # (warp_id, line byte address)
         # Per-PC cache of the registers the decoded instruction touches
         # (purely a function of the decode; dropped with the decode cache).
-        self._registers_by_pc: Dict[int, Optional[List[Tuple[int, bool]]]] = {}
+        self._registers_by_pc: dict[int, list[tuple[int, bool]] | None] = {}
         # Cache geometry prebound for the batched request precompute and the
         # fast-forward stall probe.
         self._dcache_line_size = self.dcache.config.line_size
@@ -164,7 +183,7 @@ class TimingCore:
     # -- helpers -------------------------------------------------------------------------
 
     @property
-    def warps(self):
+    def warps(self) -> list[Any]:
         return self.func.warps
 
     @property
@@ -179,6 +198,7 @@ class TimingCore:
             and not self._pending_ifetch
         )
 
+    @hot_path
     def _sync_scheduler_masks(self) -> None:
         active_mask = stalled_mask = barrier_mask = 0
         cycle = self.cycle
@@ -194,7 +214,8 @@ class TimingCore:
                 stalled_mask |= bit
         self.scheduler.set_masks(active_mask, stalled_mask, barrier_mask)
 
-    def _instruction_registers(self, warp) -> Optional[List[Tuple[int, bool]]]:
+    @hot_path
+    def _instruction_registers(self, warp: Any) -> list[tuple[int, bool]] | None:
         """Registers read/written by the warp's next instruction (for hazard checks).
 
         The result depends only on the decoded instruction, so it is cached
@@ -209,13 +230,13 @@ class TimingCore:
         self._registers_by_pc[pc] = registers
         return registers
 
-    def _compute_instruction_registers(self, pc: int) -> Optional[List[Tuple[int, bool]]]:
+    def _compute_instruction_registers(self, pc: int) -> list[tuple[int, bool]] | None:
         try:
             instr = self.func.emulator.fetch(pc)
         except Exception:
             return None
         spec = instr.spec
-        registers: List[Tuple[int, bool]] = []
+        registers: list[tuple[int, bool]] = []
         if "rs1" in spec.syntax or spec.syntax and spec.syntax[-1] == "mem":
             registers.append((instr.rs1, spec.rs1_float))
         if "rs2" in spec.syntax:
@@ -230,8 +251,8 @@ class TimingCore:
 
     def tick(
         self,
-        icache_responses: Optional[List[CacheResponse]] = None,
-        dcache_responses: Optional[List[CacheResponse]] = None,
+        icache_responses: list[CacheResponse] | None = None,
+        dcache_responses: list[CacheResponse] | None = None,
     ) -> None:
         """Advance the core by one cycle."""
         self.cycle += 1
@@ -267,7 +288,7 @@ class TimingCore:
                 remaining.append((ready_cycle, warp_id, rd, rd_float))
         self._writebacks = remaining
 
-    def _process_icache_responses(self, responses: List[CacheResponse]) -> None:
+    def _process_icache_responses(self, responses: list[CacheResponse]) -> None:
         for response in responses:
             tag = response.tag
             if not (isinstance(tag, tuple) and tag and tag[0] == "ifetch"):
@@ -277,7 +298,7 @@ class TimingCore:
             if self._pending_ifetch.get(warp_id) == line_address:
                 del self._pending_ifetch[warp_id]
 
-    def _process_dcache_responses(self, responses: List[CacheResponse]) -> None:
+    def _process_dcache_responses(self, responses: list[CacheResponse]) -> None:
         for response in responses:
             tag = response.tag
             if not (isinstance(tag, tuple) and tag and tag[0] == "op"):
@@ -310,11 +331,12 @@ class TimingCore:
 
     # -- request draining ----------------------------------------------------------------------
 
+    @hot_path
     def _drain_requests(self) -> None:
         """Send as many queued cache/scratchpad requests as accepted this cycle."""
         # Instruction-cache fills first (front end priority).
         if self._ifetch_to_send:
-            still_waiting: List[Tuple[int, int]] = []
+            still_waiting: list[tuple[int, int]] = []
             for warp_id, line_byte_address in self._ifetch_to_send:
                 request = CacheRequest(
                     address=line_byte_address,
@@ -350,7 +372,7 @@ class TimingCore:
                 if op.to_send:
                     budget = self._send_for_op(op, budget)
         if budget > 0 and self._store_queue:
-            remaining_stores: List[Tuple[int, bool]] = []
+            remaining_stores: list[tuple[int, bool]] = []
             for address, to_smem in self._store_queue:
                 if budget <= 0:
                     remaining_stores.append((address, to_smem))
@@ -362,8 +384,9 @@ class TimingCore:
                     remaining_stores.append((address, to_smem))
             self._store_queue = remaining_stores
 
+    @hot_path
     def _send_for_op(self, op: _PendingMemOp, budget: int) -> int:
-        remaining: List[Tuple[int, bool]] = []
+        remaining: list[tuple[int, bool]] = []
         for index, (address, to_smem) in enumerate(op.to_send):
             if budget <= 0:
                 remaining.extend(op.to_send[index:])
@@ -378,13 +401,15 @@ class TimingCore:
         self._maybe_complete_op(op)
         return budget
 
-    def _send_data_request(self, address: int, is_write: bool, tag, to_smem: bool) -> bool:
+    @hot_path
+    def _send_data_request(self, address: int, is_write: bool, tag: Any, to_smem: bool) -> bool:
         if to_smem:
             return self.smem.send(address, is_write, tag)
         return self.dcache.send_raw(address, is_write, tag)
 
     # -- batched request path ---------------------------------------------------------------
 
+    @hot_path
     def _send_for_op_batched(self, op: _PendingMemOp, budget: int) -> int:
         refused, budget, accepted = self._send_batch_segments(
             op.to_send, budget, False, ("op", op.op_id)
@@ -394,9 +419,10 @@ class TimingCore:
         self._maybe_complete_op(op)
         return budget
 
+    @hot_path
     def _send_batch_segments(
-        self, entries: List[Tuple], budget: int, is_write: bool, tag
-    ) -> Tuple[List[Tuple], int, int]:
+        self, entries: list[tuple[Any, ...]], budget: int, is_write: bool, tag: Any
+    ) -> tuple[list[tuple[Any, ...]], int, int]:
         """Send ``(address, line, bank, to_smem)`` entries in order through
         the per-destination batch paths.
 
@@ -407,7 +433,7 @@ class TimingCore:
         Returns ``(refused, budget, accepted)`` with ``refused`` preserving
         retry order.
         """
-        refused: List[Tuple] = []
+        refused: list[tuple[Any, ...]] = []
         accepted_total = 0
         index = 0
         total = len(entries)
@@ -434,7 +460,7 @@ class TimingCore:
             index = end
         return refused, budget, accepted_total
 
-    def _request_entries(self, addresses) -> List[Tuple]:
+    def _request_entries(self, addresses: Any) -> list[tuple[Any, ...]]:
         """Precompute ``(address, line, bank, to_smem)`` for a lane trace.
 
         Runs once per memory instruction (not per retry attempt); wide
@@ -456,7 +482,7 @@ class TimingCore:
                     (array >= SHARED_MEM_BASE).tolist(),
                 )
             )
-        entries: List[Tuple] = []
+        entries: list[tuple[Any, ...]] = []
         for address in addresses:
             line = address // line_size
             entries.append((address, line, line % num_banks, address >= SHARED_MEM_BASE))
@@ -464,7 +490,8 @@ class TimingCore:
 
     # -- issue ----------------------------------------------------------------------------------
 
-    def _issue(self, warp) -> None:
+    @hot_path
+    def _issue(self, warp: Any) -> None:
         # Instruction fetch: cold lines go through the instruction cache.
         line_size = self.config.icache.line_size
         iline = warp.pc // line_size
@@ -490,7 +517,7 @@ class TimingCore:
         self._warp_ready_cycle[warp.warp_id] = self.cycle + 1
         self._charge_timing(warp, result)
 
-    def _charge_timing(self, warp, result) -> None:
+    def _charge_timing(self, warp: Any, result: Any) -> None:
         """Charge one executed instruction (a scalar :class:`StepResult` or a
         vectorized :class:`~repro.engine.vector_emulator.TimingStep` — both
         expose ``instr``, ``taken_branch`` and ``request_addresses``)."""
@@ -512,7 +539,7 @@ class TimingCore:
                 (self.cycle + latency, warp.warp_id, result.instr.rd, spec.rd_float)
             )
 
-    def _charge_memory(self, warp, result) -> None:
+    def _charge_memory(self, warp: Any, result: Any) -> None:
         spec = result.instr.spec
         is_store = spec.is_store
         addresses = result.request_addresses or []
@@ -551,7 +578,8 @@ class TimingCore:
 
     # -- fast-forward -----------------------------------------------------------------------------
 
-    def _warp_would_stall(self, warp) -> bool:
+    @hot_path
+    def _warp_would_stall(self, warp: Any) -> bool:
         """True when issuing ``warp`` now would only charge a scoreboard stall.
 
         Mirrors the front half of :meth:`_issue`: the wavefront must be
@@ -570,7 +598,8 @@ class TimingCore:
         registers = self._instruction_registers(warp)
         return registers is not None and self.scoreboard.any_busy(warp.warp_id, registers)
 
-    def next_event_cycle(self) -> Optional[int]:
+    @hot_path
+    def next_event_cycle(self) -> int | None:
         """Earliest cycle at which this core does real work (``None`` = idle).
 
         Used by the processor's event-driven fast-forward: when every core
@@ -604,7 +633,7 @@ class TimingCore:
             for entry in self._store_queue:
                 if entry[-1]:  # a scratchpad store would be accepted
                     return cycle + 1
-        result: Optional[int] = None
+        result: int | None = None
         ready_cycles = self._warp_ready_cycle
         pending_ifetch = self._pending_ifetch
         for warp in self.func.warps:

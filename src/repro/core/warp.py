@@ -13,8 +13,6 @@ emulator read single elements; the vectorized execution engine
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
-
 import numpy as np
 
 from repro.common.bitutils import mask, to_uint32
@@ -25,7 +23,7 @@ NUM_REGISTERS = 32
 #: Cache of active-lane index vectors keyed by (num_threads, tmask); thread
 #: masks repeat heavily (full mask, single thread, split halves), so every
 #: warp shares the same immutable index arrays.
-_LANE_CACHE: Dict[Tuple[int, int], np.ndarray] = {}
+_LANE_CACHE: dict[tuple[int, int], np.ndarray] = {}
 
 
 def active_lane_indices(num_threads: int, tmask: int) -> np.ndarray:
@@ -110,11 +108,11 @@ class Warp:
         self.instructions = 0
         #: per-PC execution plans built by the vectorized engine (cleared on
         #: decode-cache invalidation).
-        self.plan_cache: Dict[int, object] = {}
+        self.plan_cache: dict[int, object] = {}
         #: per-PC timing plans built by the vectorized cycle-level engine
         #: (architectural plan + the per-instruction facts the timing model
         #: charges); cleared together with :attr:`plan_cache`.
-        self.timing_plan_cache: Dict[int, object] = {}
+        self.timing_plan_cache: dict[int, object] = {}
         self.tmask = 0
 
     # -- thread mask helpers -----------------------------------------------------
@@ -135,7 +133,7 @@ class Warp:
         """Mask with every hardware thread of the warp enabled."""
         return mask(self.num_threads)
 
-    def active_threads(self) -> List[int]:
+    def active_threads(self) -> list[int]:
         """Indices of the currently active threads."""
         return [t for t in range(self.num_threads) if (self.tmask >> t) & 1]
 
@@ -157,7 +155,7 @@ class Warp:
 
     # -- lifecycle ------------------------------------------------------------------
 
-    def spawn(self, pc: int, tmask: Optional[int] = None) -> None:
+    def spawn(self, pc: int, tmask: int | None = None) -> None:
         """Activate the warp at ``pc`` (used at reset and by ``wspawn``)."""
         self.pc = pc
         self.tmask = self.full_mask if tmask is None else (tmask & self.full_mask)

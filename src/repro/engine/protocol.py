@@ -11,7 +11,7 @@ program-load path to invalidate any cached decodes.
 
 from __future__ import annotations
 
-from typing import Optional, Protocol, runtime_checkable
+from typing import Protocol, runtime_checkable
 
 from repro.runtime.launch import LaunchOptions
 from repro.runtime.report import ExecutionReport
@@ -24,7 +24,7 @@ class ExecutionEngine(Protocol):
     #: Short identifier used in reports ("funcsim", "simx", …).
     name: str
 
-    def run(self, entry_pc: int, options: Optional[LaunchOptions] = None) -> ExecutionReport:
+    def run(self, entry_pc: int, options: LaunchOptions | None = None) -> ExecutionReport:
         """Execute the kernel at ``entry_pc`` to completion.
 
         ``options`` is the uniform :class:`LaunchOptions` record; drivers

@@ -1,7 +1,7 @@
 """Batched multi-kernel simulation sessions.
 
 Design-space exploration runs *many* (kernel, config) combinations — the
-paper's Figures 14 and 18–21 each sweep a grid of design points.  A
+paper's Figures 14 and 18-21 each sweep a grid of design points.  A
 :class:`Session` turns that sweep into a batch: jobs are described
 declaratively as :class:`KernelJob` records, queued on a
 :class:`JobQueue`, and executed concurrently on a process pool (one
@@ -26,7 +26,8 @@ import os
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from collections.abc import Sequence
+from typing import Dict
 
 from repro.common.config import VortexConfig
 from repro.runtime.launch import LaunchOptions
@@ -54,12 +55,12 @@ class KernelJob:
 
     kernel: str
     config: VortexConfig = field(default_factory=VortexConfig)
-    driver: Union[str, DriverSpec] = "simx"
-    engine: Optional[str] = None
-    size: Optional[int] = None
+    driver: str | DriverSpec = "simx"
+    engine: str | None = None
+    size: int | None = None
     label: str = ""
     verify: bool = True
-    options: Optional[LaunchOptions] = None
+    options: LaunchOptions | None = None
 
     @property
     def spec(self) -> DriverSpec:
@@ -88,12 +89,12 @@ class JobResult:
     """Outcome of one executed job."""
 
     job: KernelJob
-    report: Optional[object] = None  # ExecutionReport (None when the job errored)
+    report: object | None = None  # ExecutionReport (None when the job errored)
     passed: bool = False
     wall_seconds: float = 0.0
     started_at: float = 0.0
     finished_at: float = 0.0
-    error: Optional[str] = None
+    error: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -134,8 +135,8 @@ def execute_job(job: KernelJob) -> JobResult:
 class JobQueue:
     """A FIFO of jobs waiting for the next batch run."""
 
-    def __init__(self, jobs: Optional[Sequence[KernelJob]] = None):
-        self._jobs: List[KernelJob] = list(jobs or [])
+    def __init__(self, jobs: Sequence[KernelJob] | None = None):
+        self._jobs: list[KernelJob] = list(jobs or [])
 
     def add(self, job: KernelJob) -> None:
         self._jobs.append(job)
@@ -143,7 +144,7 @@ class JobQueue:
     def extend(self, jobs: Sequence[KernelJob]) -> None:
         self._jobs.extend(jobs)
 
-    def drain(self) -> List[KernelJob]:
+    def drain(self) -> list[KernelJob]:
         """Remove and return all queued jobs."""
         jobs, self._jobs = self._jobs, []
         return jobs
@@ -159,7 +160,7 @@ class JobQueue:
 class BatchReport:
     """Aggregate outcome of one :meth:`Session.run_batch` call."""
 
-    results: List[JobResult]
+    results: list[JobResult]
     wall_seconds: float
     max_workers: int
     executor: str
@@ -171,7 +172,7 @@ class BatchReport:
     @property
     def peak_concurrency(self) -> int:
         """Largest number of jobs whose execution intervals overlapped."""
-        events: List[Tuple[float, int]] = []
+        events: list[tuple[float, int]] = []
         for result in self.results:
             events.append((result.started_at, 1))
             events.append((result.finished_at, -1))
@@ -185,7 +186,7 @@ class BatchReport:
     def total_simulated_instructions(self) -> int:
         return sum(r.report.instructions for r in self.results if r.report is not None)
 
-    def by_label(self) -> Dict[str, JobResult]:
+    def by_label(self) -> dict[str, JobResult]:
         return {result.job.describe(): result for result in self.results}
 
     def summary(self) -> str:
@@ -197,14 +198,14 @@ class BatchReport:
         )
 
 
-def diff_execution_reports(reference, subject) -> List[str]:
+def diff_execution_reports(reference, subject) -> list[str]:
     """Diff two :class:`ExecutionReport`\\ s down to every counter.
 
     Returns human-readable ``"what: ref != subj"`` strings; empty means the
     reports are bit-identical in cycles, instruction counts and every
     per-component performance counter.
     """
-    diffs: List[str] = []
+    diffs: list[str] = []
     for attr in ("cycles", "instructions", "thread_instructions"):
         ref, subj = getattr(reference, attr), getattr(subject, attr)
         if ref != subj:
@@ -227,7 +228,7 @@ class DifferentialResult:
     job: KernelJob
     scalar: JobResult
     vector: JobResult
-    mismatches: List[str] = field(default_factory=list)
+    mismatches: list[str] = field(default_factory=list)
     #: Sweep-unique label (collisions between unlabeled jobs get a suffix).
     label: str = ""
 
@@ -249,7 +250,7 @@ class DifferentialResult:
 class DifferentialReport:
     """Aggregate outcome of one :meth:`Session.run_differential` sweep."""
 
-    results: List[DifferentialResult]
+    results: list[DifferentialResult]
     wall_seconds: float
 
     @property
@@ -262,10 +263,10 @@ class DifferentialReport:
         return all(result.identical_counters for result in self.results)
 
     @property
-    def mismatching(self) -> List[DifferentialResult]:
+    def mismatching(self) -> list[DifferentialResult]:
         return [result for result in self.results if not result.identical_counters]
 
-    def by_label(self) -> Dict[str, DifferentialResult]:
+    def by_label(self) -> dict[str, DifferentialResult]:
         return {result.describe(): result for result in self.results}
 
     def summary(self) -> str:
@@ -317,7 +318,7 @@ class Session:
     ``"serial"`` runs inline (debugging).
     """
 
-    def __init__(self, max_workers: Optional[int] = None, executor: Optional[str] = None):
+    def __init__(self, max_workers: int | None = None, executor: str | None = None):
         if executor is None:
             executor = "process" if hasattr(os, "fork") else "thread"
         if executor not in ("process", "thread", "serial"):
@@ -340,8 +341,8 @@ class Session:
         kernel: str,
         configs: Sequence[VortexConfig],
         driver: str = "simx",
-        size: Optional[int] = None,
-        engine: Optional[str] = None,
+        size: int | None = None,
+        engine: str | None = None,
     ) -> None:
         """Queue one job per configuration for the same kernel."""
         for config in configs:
@@ -351,7 +352,7 @@ class Session:
 
     # -- execution ----------------------------------------------------------------------
 
-    def run_batch(self, jobs: Optional[Sequence[KernelJob]] = None) -> BatchReport:
+    def run_batch(self, jobs: Sequence[KernelJob] | None = None) -> BatchReport:
         """Execute ``jobs`` (or everything queued) concurrently.
 
         Results are returned in submission order regardless of completion
@@ -378,7 +379,7 @@ class Session:
         return BatchReport(results, wall, self.max_workers, self.executor)
 
     def run_differential(
-        self, jobs: Optional[Sequence[KernelJob]] = None
+        self, jobs: Sequence[KernelJob] | None = None
     ) -> DifferentialReport:
         """Run every job on both of its simulator's engines and diff all counters.
 
@@ -396,8 +397,8 @@ class Session:
         batch = list(jobs) if jobs is not None else self.queue.drain()
         # Sweep-unique labels: two unlabeled jobs sharing kernel/simulator/
         # geometry (e.g. a policy sweep) must not collapse into one row.
-        labels: List[str] = []
-        label_counts: Dict[str, int] = {}
+        labels: list[str] = []
+        label_counts: dict[str, int] = {}
         for job in batch:
             label = job.label or (
                 f"{job.kernel}@{job.spec.simulator}"
@@ -406,7 +407,7 @@ class Session:
             count = label_counts.get(label, 0)
             label_counts[label] = count + 1
             labels.append(f"{label}#{count + 1}" if count else label)
-        expanded: List[KernelJob] = []
+        expanded: list[KernelJob] = []
         for job, base_label in zip(batch, labels):
             spec = job.spec
             for engine in engines:
@@ -419,7 +420,7 @@ class Session:
                     )
                 )
         executed = self.run_batch(expanded)
-        results: List[DifferentialResult] = []
+        results: list[DifferentialResult] = []
         for index, (job, label) in enumerate(zip(batch, labels)):
             scalar = executed.results[index * len(engines)]
             vector = executed.results[index * len(engines) + 1]
@@ -435,7 +436,7 @@ class Session:
         return DifferentialReport(results=results, wall_seconds=executed.wall_seconds)
 
     @staticmethod
-    def _run_on_pool(pool, batch: List[KernelJob]) -> List[JobResult]:
+    def _run_on_pool(pool, batch: list[KernelJob]) -> list[JobResult]:
         """Submit one future per job and collect results in order.
 
         If a worker dies (e.g. a poison job is OOM-killed, breaking the
@@ -444,8 +445,8 @@ class Session:
         in the parent process.
         """
         with pool:
-            futures: List[Optional[object]] = []
-            submit_error: Optional[str] = None
+            futures: list[object | None] = []
+            submit_error: str | None = None
             for job in batch:
                 if submit_error is None:
                     try:
@@ -455,7 +456,7 @@ class Session:
                         futures.append(None)
                 else:
                     futures.append(None)
-            results: List[JobResult] = []
+            results: list[JobResult] = []
             for job, future in zip(batch, futures):
                 if future is None:
                     results.append(JobResult(job=job, error=submit_error))
@@ -469,11 +470,11 @@ class Session:
 
 def design_point_jobs(
     kernel: str,
-    points: Dict[str, Tuple[int, int]],
-    base: Optional[VortexConfig] = None,
+    points: dict[str, tuple[int, int]],
+    base: VortexConfig | None = None,
     driver: str = "simx",
-    size: Optional[int] = None,
-) -> List[KernelJob]:
+    size: int | None = None,
+) -> list[KernelJob]:
     """Jobs for the Table-3-style (warps, threads) design points."""
     base = base or VortexConfig()
     jobs = []

@@ -25,8 +25,6 @@ retry.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.core.core import SimtCore
@@ -46,7 +44,7 @@ class VectorProcessor(Processor):
 
     core_cls = VectorSimtCore
 
-    def run(self, entry_pc: Optional[int] = None, max_instructions: int = 50_000_000) -> int:
+    def run(self, entry_pc: int | None = None, max_instructions: int = 50_000_000) -> int:
         """Run to completion; returns total warp instructions executed.
 
         Cores and wavefronts are interleaved at instruction granularity

@@ -22,7 +22,7 @@ reuse the scalar per-mnemonic handlers directly.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Optional, Tuple
 
 import numpy as np
 
@@ -85,7 +84,7 @@ class FogState:
     """Linear fog: the fragment color fades to ``color`` with depth."""
 
     enabled: bool = False
-    color: Tuple[float, float, float] = (0.5, 0.5, 0.5)
+    color: tuple[float, float, float] = (0.5, 0.5, 0.5)
     start: float = 0.0
     end: float = 1.0
 
@@ -120,7 +119,7 @@ class FragmentOps:
     stencil_kills: int = 0
 
     def process(self, framebuffer: Framebuffer, fragment: Fragment,
-                color: Optional[Tuple[float, float, float, float]] = None) -> bool:
+                color: tuple[float, float, float, float] | None = None) -> bool:
         """Apply the fragment pipeline; returns True when the pixel was written."""
         self.fragments_in += 1
         x, y = fragment.x, fragment.y
@@ -158,7 +157,7 @@ class FragmentOps:
         self,
         framebuffer: Framebuffer,
         batch: FragmentBatch,
-        color: Optional[np.ndarray] = None,
+        color: np.ndarray | None = None,
     ) -> int:
         """Vectorized :meth:`process` over a unique-pixel fragment batch.
 

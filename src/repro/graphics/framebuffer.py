@@ -8,13 +8,11 @@ kernel consumes them).
 
 from __future__ import annotations
 
-from typing import Tuple
-
 import numpy as np
 
 from repro.texture.formats import TexFormat, decode_texels, pack_rgba8_many
 
-RGBA = Tuple[int, int, int, int]
+RGBA = tuple[int, int, int, int]
 
 
 def pack_color(color: RGBA) -> int:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -19,9 +19,9 @@ import numpy as np
 class Vertex:
     """One input vertex: position plus interpolated attributes."""
 
-    position: Tuple[float, float, float, float]
-    color: Tuple[float, float, float, float] = (1.0, 1.0, 1.0, 1.0)
-    uv: Tuple[float, float] = (0.0, 0.0)
+    position: tuple[float, float, float, float]
+    color: tuple[float, float, float, float] = (1.0, 1.0, 1.0, 1.0)
+    uv: tuple[float, float] = (0.0, 0.0)
 
     def as_array(self) -> np.ndarray:
         return np.asarray(self.position, dtype=np.float64)
@@ -35,8 +35,8 @@ class ScreenVertex:
     y: float
     z: float  # depth in [0, 1]
     w: float  # original clip-space w (for perspective-correct interpolation)
-    color: Tuple[float, float, float, float]
-    uv: Tuple[float, float]
+    color: tuple[float, float, float, float]
+    uv: tuple[float, float]
 
 
 class Matrix4:
@@ -103,10 +103,10 @@ class Matrix4:
 
 #: A programmable vertex shader maps one Vertex to clip-space position +
 #: attributes; the default shader applies the bound MVP matrix.
-VertexShader = Callable[[Vertex, np.ndarray], Tuple[np.ndarray, Vertex]]
+VertexShader = Callable[[Vertex, np.ndarray], tuple[np.ndarray, Vertex]]
 
 
-def default_vertex_shader(vertex: Vertex, mvp: np.ndarray) -> Tuple[np.ndarray, Vertex]:
+def default_vertex_shader(vertex: Vertex, mvp: np.ndarray) -> tuple[np.ndarray, Vertex]:
     """Transform the position by the model-view-projection matrix."""
     clip = mvp @ vertex.as_array()
     return clip, vertex
@@ -115,7 +115,7 @@ def default_vertex_shader(vertex: Vertex, mvp: np.ndarray) -> Tuple[np.ndarray, 
 class GeometryStage:
     """Vertex shading, trivial clipping and the viewport transform."""
 
-    def __init__(self, width: int, height: int, shader: Optional[VertexShader] = None):
+    def __init__(self, width: int, height: int, shader: VertexShader | None = None):
         self.width = width
         self.height = height
         self.shader = shader or default_vertex_shader
@@ -126,7 +126,7 @@ class GeometryStage:
 
     # -- per-vertex processing ------------------------------------------------------------
 
-    def process_vertex(self, vertex: Vertex) -> Optional[ScreenVertex]:
+    def process_vertex(self, vertex: Vertex) -> ScreenVertex | None:
         """Run the vertex shader and viewport-map one vertex.
 
         Returns ``None`` when the vertex lands behind the eye (w <= 0); the
@@ -148,7 +148,7 @@ class GeometryStage:
 
     def assemble_triangles(
         self, vertices: Sequence[Vertex]
-    ) -> List[Tuple[ScreenVertex, ScreenVertex, ScreenVertex]]:
+    ) -> list[tuple[ScreenVertex, ScreenVertex, ScreenVertex]]:
         """Process a vertex stream into screen-space triangles.
 
         Triangles with any rejected vertex, or falling completely outside

@@ -11,7 +11,7 @@ texture unit uses, and the fragment pipeline writing into a
 from __future__ import annotations
 
 from enum import Enum
-from typing import Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -115,7 +115,7 @@ class TextureBinding:
         """Per-fragment level of detail from screen-space uv derivatives."""
         return derivative_lod(duv_dx, duv_dy, self.width, self.height)
 
-    def sample(self, u: float, v: float, lod: float = 0.0) -> Tuple[float, float, float, float]:
+    def sample(self, u: float, v: float, lod: float = 0.0) -> tuple[float, float, float, float]:
         """Sample the texture; returns a normalized RGBA tuple."""
         word = self._sampler.sample(self.state, u, v, lod)
         return (
@@ -159,7 +159,7 @@ class GraphicsContext:
         self.tiles = TileGrid(width, height, tile_size)
         self.rasterizer = Rasterizer(width, height, perspective_depth=perspective_depth)
         self.fragment_ops = FragmentOps()
-        self.texture: Optional[TextureBinding] = None
+        self.texture: TextureBinding | None = None
         self.draw_calls = 0
 
     # -- state -----------------------------------------------------------------------
@@ -168,7 +168,7 @@ class GraphicsContext:
         """Set the model-view-projection matrix used by the vertex stage."""
         self.geometry.set_mvp(matrix)
 
-    def bind_texture(self, image: Optional[np.ndarray],
+    def bind_texture(self, image: np.ndarray | None,
                      filter_mode: TexFilter = TexFilter.BILINEAR,
                      wrap: TexWrap = TexWrap.REPEAT,
                      mipmaps: bool = False) -> None:
@@ -206,7 +206,7 @@ class GraphicsContext:
         """Derivative LOD is live once the bound texture has a mip chain."""
         return self.texture is not None and self.texture.mip_count > 1
 
-    def _shade(self, fragment) -> Tuple[float, float, float, float]:
+    def _shade(self, fragment) -> tuple[float, float, float, float]:
         """Run the (fixed-function) fragment shader: vertex color x texture."""
         color = fragment.color
         if self.texture is not None:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterator, Optional, Tuple
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -33,10 +33,10 @@ class Fragment:
     x: int
     y: int
     depth: float
-    color: Tuple[float, float, float, float]
-    uv: Tuple[float, float]
-    duv_dx: Tuple[float, float] = (0.0, 0.0)
-    duv_dy: Tuple[float, float] = (0.0, 0.0)
+    color: tuple[float, float, float, float]
+    uv: tuple[float, float]
+    duv_dx: tuple[float, float] = (0.0, 0.0)
+    duv_dy: tuple[float, float] = (0.0, 0.0)
 
 
 @dataclass
@@ -56,8 +56,8 @@ class FragmentBatch:
     depth: np.ndarray  # float64 interpolated depths
     color: np.ndarray  # (N, 4) float64 RGBA
     uv: np.ndarray  # (N, 2) float64 texture coordinates
-    duv_dx: Optional[np.ndarray] = None  # (N, 2) per-quad uv finite differences along x
-    duv_dy: Optional[np.ndarray] = None  # (N, 2) per-quad uv finite differences along y
+    duv_dx: np.ndarray | None = None  # (N, 2) per-quad uv finite differences along x
+    duv_dy: np.ndarray | None = None  # (N, 2) per-quad uv finite differences along y
 
     def __len__(self) -> int:
         return int(self.xs.shape[0])
@@ -147,7 +147,7 @@ class Rasterizer:
 
     # -- triangles ----------------------------------------------------------------------
 
-    def triangle_bbox(self, tri: Tuple[ScreenVertex, ...]) -> Tuple[float, float, float, float]:
+    def triangle_bbox(self, tri: tuple[ScreenVertex, ...]) -> tuple[float, float, float, float]:
         xs = [vertex.x for vertex in tri]
         ys = [vertex.y for vertex in tri]
         return min(xs), min(ys), max(xs), max(ys)
@@ -157,7 +157,7 @@ class Rasterizer:
         v0: ScreenVertex,
         v1: ScreenVertex,
         v2: ScreenVertex,
-        tile: Optional[Tile] = None,
+        tile: Tile | None = None,
         derivatives: bool = False,
     ) -> Iterator[Fragment]:
         """Yield the fragments a triangle covers (optionally limited to a tile).
@@ -238,9 +238,9 @@ class Rasterizer:
         v0: ScreenVertex,
         v1: ScreenVertex,
         v2: ScreenVertex,
-        tile: Optional[Tile] = None,
+        tile: Tile | None = None,
         derivatives: bool = False,
-    ) -> Optional[FragmentBatch]:
+    ) -> FragmentBatch | None:
         """Vectorized :meth:`rasterize_triangle`: the whole pixel grid at once.
 
         Evaluates the three edge functions over the tile's pixel grid as

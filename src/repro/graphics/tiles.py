@@ -9,7 +9,6 @@ tile by tile — on real Vortex each tile becomes a task for ``spawn_tasks``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
 
 
 @dataclass(frozen=True)
@@ -42,7 +41,7 @@ class TileGrid:
         self.tile_size = tile_size
         self.tiles_x = (width + tile_size - 1) // tile_size
         self.tiles_y = (height + tile_size - 1) // tile_size
-        self.tiles: List[Tile] = []
+        self.tiles: list[Tile] = []
         for ty in range(self.tiles_y):
             for tx in range(self.tiles_x):
                 index = ty * self.tiles_x + tx
@@ -55,7 +54,7 @@ class TileGrid:
                         y1=min((ty + 1) * tile_size, height),
                     )
                 )
-        self._bins: Dict[int, List[int]] = {tile.index: [] for tile in self.tiles}
+        self._bins: dict[int, list[int]] = {tile.index: [] for tile in self.tiles}
 
     def __len__(self) -> int:
         return len(self.tiles)
@@ -84,15 +83,15 @@ class TileGrid:
                 count += 1
         return count
 
-    def triangles_in(self, tile: Tile) -> List[int]:
+    def triangles_in(self, tile: Tile) -> list[int]:
         """Triangle ids binned into ``tile``."""
         return list(self._bins[tile.index])
 
-    def occupied_tiles(self) -> List[Tile]:
+    def occupied_tiles(self) -> list[Tile]:
         """Tiles with at least one binned triangle (the tiles worth rasterizing)."""
         return [tile for tile in self.tiles if self._bins[tile.index]]
 
-    def bin_statistics(self) -> Dict[str, float]:
+    def bin_statistics(self) -> dict[str, float]:
         """Summary statistics used by tests and the rendering example."""
         sizes = [len(self._bins[tile.index]) for tile in self.tiles]
         occupied = [size for size in sizes if size]

@@ -11,7 +11,8 @@ encoder.
 from __future__ import annotations
 
 import re
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
+from typing import List
 
 from repro.isa.builder import BuildError, Program, ProgramBuilder
 from repro.isa.instructions import SPEC_BY_MNEMONIC
@@ -21,7 +22,7 @@ from repro.isa.registers import parse_fregister, parse_register
 class AssemblerError(Exception):
     """Raised with the offending line number when source cannot be assembled."""
 
-    def __init__(self, message: str, line_number: Optional[int] = None):
+    def __init__(self, message: str, line_number: int | None = None):
         self.line_number = line_number
         if line_number is not None:
             message = f"line {line_number}: {message}"
@@ -115,7 +116,7 @@ class Assembler:
         builder.emit(mnemonic, *args)
 
     @staticmethod
-    def _split_operands(text: str) -> List[str]:
+    def _split_operands(text: str) -> list[str]:
         text = text.strip()
         if not text:
             return []

@@ -20,7 +20,7 @@ from __future__ import annotations
 import keyword
 import struct
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from collections.abc import Sequence
 
 from repro.common.bitutils import float_to_bits, to_uint32
 from repro.isa.encoding import encode, imm_fits
@@ -32,7 +32,7 @@ class BuildError(Exception):
     """Raised when a program cannot be assembled."""
 
 
-def _split_hi_lo(value: int) -> "tuple":
+def _split_hi_lo(value: int) -> tuple:
     """Split a 32-bit constant into ``lui``/``addi`` parts.
 
     Returns ``(upper, lower)`` where ``upper`` is the (unsigned, pre-shifted)
@@ -56,7 +56,7 @@ class Label:
         return self.name
 
 
-TargetLike = Union[Label, str, int]
+TargetLike = Label | str | int
 
 
 @dataclass
@@ -69,9 +69,9 @@ class Program:
     """
 
     base: int
-    words: List[int]
-    symbols: Dict[str, int] = field(default_factory=dict)
-    entry: Optional[int] = None
+    words: list[int]
+    symbols: dict[str, int] = field(default_factory=dict)
+    entry: int | None = None
 
     def __post_init__(self) -> None:
         if self.entry is None:
@@ -86,7 +86,7 @@ class Program:
         """Return the image as little-endian bytes."""
         return struct.pack(f"<{len(self.words)}I", *self.words)
 
-    def address_of(self, label: Union[Label, str]) -> int:
+    def address_of(self, label: Label | str) -> int:
         """Return the absolute address of ``label``."""
         name = label.name if isinstance(label, Label) else label
         try:
@@ -111,10 +111,10 @@ class ProgramBuilder:
 
     def __init__(self, base: int = 0x8000_0000):
         self.base = base
-        self._items: List[_Item] = []
-        self._labels: Dict[str, int] = {}  # label name -> item index
+        self._items: list[_Item] = []
+        self._labels: dict[str, int] = {}  # label name -> item index
         self._label_counter = 0
-        self._entry_label: Optional[str] = None
+        self._entry_label: str | None = None
 
     # -- position and labels ----------------------------------------------------
 
@@ -126,7 +126,7 @@ class ProgramBuilder:
         self._label_counter += 1
         return Label(f".{hint}_{self._label_counter}")
 
-    def label(self, label: Union[Label, str, None] = None) -> Label:
+    def label(self, label: Label | str | None = None) -> Label:
         """Place ``label`` (or a fresh one) at the current position."""
         if label is None:
             label = self.new_label()
@@ -136,7 +136,7 @@ class ProgramBuilder:
         self._labels[name] = len(self._items)
         return Label(name)
 
-    def set_entry(self, label: Union[Label, str]) -> None:
+    def set_entry(self, label: Label | str) -> None:
         """Mark ``label`` as the program entry point."""
         self._entry_label = label.name if isinstance(label, Label) else label
 
@@ -285,8 +285,8 @@ class ProgramBuilder:
     def assemble(self) -> Program:
         """Resolve labels and produce the final :class:`Program` image."""
         # First pass: lay out addresses.  ``la`` expands to two words.
-        addresses: List[int] = []
-        sizes: List[int] = []
+        addresses: list[int] = []
+        sizes: list[int] = []
         offset = 0
         for item in self._items:
             addresses.append(self.base + offset)
@@ -298,7 +298,7 @@ class ProgramBuilder:
         for name, index in self._labels.items():
             symbols[name] = addresses[index] if index < len(addresses) else self.base + offset
 
-        words: List[int] = []
+        words: list[int] = []
         for item, address in zip(self._items, addresses):
             if item.kind == "word":
                 words.append(item.value)
@@ -310,7 +310,7 @@ class ProgramBuilder:
         entry = symbols.get(self._entry_label, self.base) if self._entry_label else self.base
         return Program(base=self.base, words=words, symbols=symbols, entry=entry)
 
-    def _resolve_target(self, target: TargetLike, symbols: Dict[str, int]) -> int:
+    def _resolve_target(self, target: TargetLike, symbols: dict[str, int]) -> int:
         if isinstance(target, Label):
             target = target.name
         if isinstance(target, str):
@@ -319,7 +319,7 @@ class ProgramBuilder:
             return symbols[target]
         return int(target)
 
-    def _encode_la(self, item: _Item, address: int, symbols: Dict[str, int]) -> List[int]:
+    def _encode_la(self, item: _Item, address: int, symbols: dict[str, int]) -> list[int]:
         rd = reg_index(item.operands["rd"])
         value = self._resolve_target(item.operands["target"], symbols)
         upper, lower = _split_hi_lo(value)
@@ -336,7 +336,7 @@ class ProgramBuilder:
         )
         return [lui_word, addi_word]
 
-    def _encode_instruction(self, item: _Item, address: int, symbols: Dict[str, int]) -> int:
+    def _encode_instruction(self, item: _Item, address: int, symbols: dict[str, int]) -> int:
         spec = SPEC_BY_MNEMONIC[item.mnemonic]
         ops = item.operands
         rd = rs1 = rs2 = rs3 = 0

@@ -9,7 +9,6 @@ disassembler are built on top of it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.common.bitutils import bits
 from repro.isa.encoding import Opcode, unpack
@@ -44,7 +43,7 @@ class DecodedInstruction:
         return format_instruction(self)
 
 
-def _decode_op_imm(word: int, funct3: int) -> Optional[str]:
+def _decode_op_imm(word: int, funct3: int) -> str | None:
     if funct3 == 0:
         return "addi"
     if funct3 == 1:
@@ -64,7 +63,7 @@ def _decode_op_imm(word: int, funct3: int) -> Optional[str]:
     return None
 
 
-def _decode_op(funct3: int, funct7: int) -> Optional[str]:
+def _decode_op(funct3: int, funct7: int) -> str | None:
     if funct7 == 0x01:
         return {
             0: "mul",
@@ -91,19 +90,19 @@ def _decode_op(funct3: int, funct7: int) -> Optional[str]:
     }.get(key)
 
 
-def _decode_branch(funct3: int) -> Optional[str]:
+def _decode_branch(funct3: int) -> str | None:
     return {0: "beq", 1: "bne", 4: "blt", 5: "bge", 6: "bltu", 7: "bgeu"}.get(funct3)
 
 
-def _decode_load(funct3: int) -> Optional[str]:
+def _decode_load(funct3: int) -> str | None:
     return {0: "lb", 1: "lh", 2: "lw", 4: "lbu", 5: "lhu"}.get(funct3)
 
 
-def _decode_store(funct3: int) -> Optional[str]:
+def _decode_store(funct3: int) -> str | None:
     return {0: "sb", 1: "sh", 2: "sw"}.get(funct3)
 
 
-def _decode_system(funct3: int) -> Optional[str]:
+def _decode_system(funct3: int) -> str | None:
     return {
         0: "ecall",
         1: "csrrw",
@@ -115,7 +114,7 @@ def _decode_system(funct3: int) -> Optional[str]:
     }.get(funct3)
 
 
-def _decode_op_fp(word: int, funct3: int, funct7: int, rs2: int) -> Optional[str]:
+def _decode_op_fp(word: int, funct3: int, funct7: int, rs2: int) -> str | None:
     if funct7 == 0x00:
         return "fadd.s"
     if funct7 == 0x04:
@@ -143,7 +142,7 @@ def _decode_op_fp(word: int, funct3: int, funct7: int, rs2: int) -> Optional[str
     return None
 
 
-def _decode_vx(funct3: int) -> Optional[str]:
+def _decode_vx(funct3: int) -> str | None:
     return {0: "tmc", 1: "wspawn", 2: "split", 3: "join", 4: "bar"}.get(funct3)
 
 
@@ -154,7 +153,7 @@ def decode(word: int) -> DecodedInstruction:
     funct7 = bits(word, 31, 25)
     rs2_field = bits(word, 24, 20)
 
-    mnemonic: Optional[str] = None
+    mnemonic: str | None = None
     if opcode == Opcode.LUI:
         mnemonic = "lui"
     elif opcode == Opcode.AUIPC:

@@ -8,16 +8,16 @@ emphasizes tracing support as one of the benefits of the elastic design
 
 from __future__ import annotations
 
-from typing import Iterable, List
+from collections.abc import Iterable
 
 from repro.isa.decoder import DecodedInstruction, decode
 from repro.isa.registers import freg_name, reg_name
 
 
-def format_instruction(instr: DecodedInstruction, pc: int = None) -> str:
+def format_instruction(instr: DecodedInstruction, pc: int | None = None) -> str:
     """Render a decoded instruction as assembly text."""
     spec = instr.spec
-    parts: List[str] = []
+    parts: list[str] = []
     for role in spec.syntax:
         if role == "rd":
             parts.append(freg_name(instr.rd) if spec.rd_float else reg_name(instr.rd))
@@ -59,12 +59,12 @@ def format_instruction(instr: DecodedInstruction, pc: int = None) -> str:
     return f"{mnemonic} {', '.join(parts)}"
 
 
-def disassemble(word: int, pc: int = None) -> str:
+def disassemble(word: int, pc: int | None = None) -> str:
     """Disassemble a single instruction word."""
     return format_instruction(decode(word), pc=pc)
 
 
-def disassemble_program(words: Iterable[int], base: int = 0) -> List[str]:
+def disassemble_program(words: Iterable[int], base: int = 0) -> list[str]:
     """Disassemble a sequence of words, one line per instruction."""
     lines = []
     for index, word in enumerate(words):

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional
 
 from repro.common.bitutils import bits, mask, sext, to_uint32
 
@@ -228,7 +227,7 @@ def imm_fits(imm: int, fmt: InstrFormat) -> bool:
         InstrFormat.J: (-(1 << 20), (1 << 20) - 2),
         InstrFormat.U: (-(1 << 31), (1 << 32) - 1),
     }
-    lo_hi: Optional[tuple] = ranges.get(fmt)
+    lo_hi: tuple | None = ranges.get(fmt)
     if lo_hi is None:
         return True
     lo, hi = lo_hi

@@ -20,7 +20,6 @@ Instruction groups:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
 
 from repro.isa.encoding import InstrFormat, Opcode
 
@@ -47,7 +46,7 @@ class InstrSpec:
     opcode: int
     funct3: int = 0
     funct7: int = 0
-    syntax: Tuple[str, ...] = ()
+    syntax: tuple[str, ...] = ()
     group: str = "RV32I"
     unit: str = ExecUnit.ALU
     rd_float: bool = False
@@ -521,7 +520,7 @@ _add(
 
 
 #: Mnemonic -> specification.
-SPEC_BY_MNEMONIC: Dict[str, InstrSpec] = {spec.mnemonic: spec for spec in _SPECS}
+SPEC_BY_MNEMONIC: dict[str, InstrSpec] = {spec.mnemonic: spec for spec in _SPECS}
 
 #: The six instructions the paper adds to RISC-V (Table 2).
 VORTEX_EXTENSION = ("wspawn", "tmc", "split", "join", "bar", "tex")

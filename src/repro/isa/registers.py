@@ -1,7 +1,7 @@
 """Architectural register names for the Vortex ISA.
 
-Vortex keeps the standard RV32 integer register file (``x0``–``x31``) and
-the single-precision floating-point register file (``f0``–``f31``).  The
+Vortex keeps the standard RV32 integer register file (``x0``-``x31``) and
+the single-precision floating-point register file (``f0``-``f31``).  The
 standard RISC-V ABI names are accepted everywhere a register can be named
 (assembler source, the builder DSL, disassembly output).
 """
@@ -9,7 +9,6 @@ standard RISC-V ABI names are accepted everywhere a register can be named
 from __future__ import annotations
 
 from enum import IntEnum
-from typing import Union
 
 NUM_REGS = 32
 
@@ -126,7 +125,7 @@ def parse_fregister(token: str) -> int:
         raise ValueError(f"unknown floating-point register {token!r}") from None
 
 
-RegisterLike = Union[int, str, Reg, FReg]
+RegisterLike = int | str | Reg | FReg
 
 
 def reg_index(value: RegisterLike, floating: bool = False) -> int:

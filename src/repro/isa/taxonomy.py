@@ -11,7 +11,6 @@ Vortex covers each category with exactly six added instructions).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
 
 from repro.isa.instructions import VORTEX_EXTENSION
 
@@ -21,18 +20,18 @@ class IsaProfile:
     """One row of Table 1."""
 
     name: str
-    memory_model: Tuple[str, ...]
-    threading_model: Tuple[str, ...]
-    register_file: Tuple[str, ...]
-    thread_control: Tuple[str, ...]
-    synchronization: Tuple[str, ...]
-    flow_control: Tuple[str, ...]
-    alu_operations: Tuple[str, ...]
-    memory_operations: Tuple[str, ...]
-    gpu_operations: Tuple[str, ...]
+    memory_model: tuple[str, ...]
+    threading_model: tuple[str, ...]
+    register_file: tuple[str, ...]
+    thread_control: tuple[str, ...]
+    synchronization: tuple[str, ...]
+    flow_control: tuple[str, ...]
+    alu_operations: tuple[str, ...]
+    memory_operations: tuple[str, ...]
+    gpu_operations: tuple[str, ...]
 
 
-TABLE1: List[IsaProfile] = [
+TABLE1: list[IsaProfile] = [
     IsaProfile(
         name="RDNA",
         memory_model=("GDS", "LDS", "Constants", "Global"),
@@ -108,7 +107,7 @@ TABLE1: List[IsaProfile] = [
 ]
 
 #: Table 2: the Vortex extension instructions and their one-line descriptions.
-TABLE2: Dict[str, str] = {
+TABLE2: dict[str, str] = {
     "wspawn %numW, %PC": "Wavefronts activation",
     "tmc %numT": "Thread mask control",
     "split %pred": "Control flow divergence",
@@ -123,7 +122,7 @@ def vortex_profile() -> IsaProfile:
     return next(profile for profile in TABLE1 if profile.name == "Vortex")
 
 
-def category_coverage() -> Dict[str, Dict[str, bool]]:
+def category_coverage() -> dict[str, dict[str, bool]]:
     """Return, per ISA, whether each SIMT capability category is covered."""
     coverage = {}
     for profile in TABLE1:
@@ -137,7 +136,7 @@ def category_coverage() -> Dict[str, Dict[str, bool]]:
     return coverage
 
 
-def extension_summary() -> Dict[str, str]:
+def extension_summary() -> dict[str, str]:
     """Map each Vortex extension instruction to the capability it provides."""
     capability_by_instr = {
         "wspawn": "wavefront activation",

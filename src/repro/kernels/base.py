@@ -17,7 +17,7 @@ is what the benchmark harness consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 
@@ -47,7 +47,7 @@ class Kernel:
 
     def __init__(self, **parameters):
         self.parameters = parameters
-        self._program: Optional[Program] = None
+        self._program: Program | None = None
 
     # -- device code ---------------------------------------------------------------
 
@@ -99,9 +99,9 @@ class Kernel:
     def run(
         self,
         device: VortexDevice,
-        size: Optional[int] = None,
+        size: int | None = None,
         verify: bool = True,
-        options: Optional[LaunchOptions] = None,
+        options: LaunchOptions | None = None,
     ) -> KernelRun:
         """Upload, launch and (optionally) verify this kernel on ``device``.
 

@@ -19,7 +19,7 @@ registers but must leave the ``s`` registers untouched.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from collections.abc import Callable
 
 from repro.isa.builder import Label, Program, ProgramBuilder
 from repro.isa.csr import CSR
@@ -42,7 +42,7 @@ def emit_load_arg_pointer(asm: ProgramBuilder, dest: Reg, scratch: Reg = Reg.t6)
 def emit_spawn_runtime(
     asm: ProgramBuilder,
     body_label: Label,
-    emit_prologue: Optional[Callable[[ProgramBuilder], None]] = None,
+    emit_prologue: Callable[[ProgramBuilder], None] | None = None,
 ) -> None:
     """Emit the startup + task-distribution loop calling ``body_label``.
 
@@ -124,7 +124,7 @@ def emit_spawn_runtime(
 def build_kernel_program(
     emit_body: Callable[[ProgramBuilder], None],
     base: int = DEFAULT_KERNEL_BASE,
-    emit_prologue: Optional[Callable[[ProgramBuilder], None]] = None,
+    emit_prologue: Callable[[ProgramBuilder], None] | None = None,
 ) -> Program:
     """Assemble a complete kernel image: runtime prologue plus the body.
 

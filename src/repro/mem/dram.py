@@ -12,10 +12,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Deque, List, Optional
+from typing import Any
 
 from repro.common.config import MemoryConfig
-from repro.common.perf import PerfCounters
+from repro.common.perf import PerfCounters, hot_path
 
 
 @dataclass
@@ -47,9 +47,22 @@ class _InFlight:
 class DramModel:
     """Fixed-latency, bandwidth-limited memory device."""
 
-    def __init__(self, config: Optional[MemoryConfig] = None):
+    #: Counter schema (vxlint VX003).
+    COUNTERS = frozenset(
+        {
+            "rejected",
+            "reads",
+            "writes",
+            "responses",
+            "total_latency",
+            "bandwidth_stalls",
+            "cycles",
+        }
+    )
+
+    def __init__(self, config: MemoryConfig | None = None):
         self.config = config or MemoryConfig()
-        self._queue: Deque[_InFlight] = deque()
+        self._queue: deque[_InFlight] = deque()
         self._cycle = 0
         self.perf = PerfCounters("dram")
 
@@ -60,6 +73,7 @@ class DramModel:
         """True when the request queue has room this cycle."""
         return len(self._queue) < self.config.request_queue_size
 
+    @hot_path
     def send(self, request: MemRequest) -> bool:
         """Queue a request; returns False when the queue is full."""
         if not self.can_accept:
@@ -72,10 +86,10 @@ class DramModel:
 
     # -- clocking --------------------------------------------------------------------
 
-    def tick(self) -> List[MemResponse]:
+    def tick(self) -> list[MemResponse]:
         """Advance one cycle and return the responses completing this cycle."""
         self._cycle += 1
-        responses: List[MemResponse] = []
+        responses: list[MemResponse] = []
         budget = self.config.bandwidth
         while budget > 0 and self._queue and self._queue[0].ready_cycle <= self._cycle:
             in_flight = self._queue.popleft()
@@ -98,7 +112,7 @@ class DramModel:
 
     # -- fast-forward ------------------------------------------------------------------
 
-    def next_event_cycle(self) -> Optional[int]:
+    def next_event_cycle(self) -> int | None:
         """Cycle of the next in-order release (``None`` when the queue is empty).
 
         Requests complete in order with a fixed latency, so the head of the

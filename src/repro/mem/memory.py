@@ -16,7 +16,7 @@ loads and stores with a handful of numpy operations.
 from __future__ import annotations
 
 import struct
-from typing import Dict, Iterable, Tuple
+from collections.abc import Iterable
 
 import numpy as np
 
@@ -37,13 +37,13 @@ class MainMemory:
 
     def __init__(self):
         #: page index -> (uint8 byte view, uint32 word view) of one backing array
-        self._pages: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._pages: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         self.reads = 0
         self.writes = 0
 
     # -- page helpers ---------------------------------------------------------------
 
-    def _page(self, address: int) -> Tuple[np.ndarray, np.ndarray]:
+    def _page(self, address: int) -> tuple[np.ndarray, np.ndarray]:
         page_index = address >> 12
         page = self._pages.get(page_index)
         if page is None:
@@ -57,13 +57,13 @@ class MainMemory:
         """Total bytes of backing storage currently allocated."""
         return len(self._pages) * PAGE_SIZE
 
-    def page_snapshot(self) -> Dict[int, bytes]:
+    def page_snapshot(self) -> dict[int, bytes]:
         """Canonical content snapshot: non-zero pages keyed by page index.
 
         All-zero pages are omitted so two memories are equal iff their
         snapshots are equal, regardless of which pages were merely touched.
         """
-        snapshot: Dict[int, bytes] = {}
+        snapshot: dict[int, bytes] = {}
         for index, (data, _) in self._pages.items():
             if data.any():
                 snapshot[index] = data.tobytes()
@@ -264,7 +264,7 @@ class MainMemory:
         for lane, address in enumerate(addresses):
             self.write_half(int(address), int(values[lane]))
 
-    def word_cursor(self) -> "WordCursor":
+    def word_cursor(self) -> WordCursor:
         """A per-call-site cursor that memoizes the last page touched."""
         return WordCursor(self)
 

@@ -10,7 +10,6 @@ device addresses.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -61,7 +60,7 @@ class BufferAllocator:
 class DeviceBuffer:
     """A typed window into device memory."""
 
-    device: "object"  # VortexDevice; kept loose to avoid an import cycle
+    device: object  # VortexDevice; kept loose to avoid an import cycle
     address: int
     size: int
 
@@ -74,7 +73,7 @@ class DeviceBuffer:
             )
         self.device.memory.write_bytes(self.address, raw)
 
-    def read(self, dtype=np.uint8, count: Optional[int] = None) -> np.ndarray:
+    def read(self, dtype=np.uint8, count: int | None = None) -> np.ndarray:
         """Read the buffer back as a numpy array of ``dtype``."""
         itemsize = np.dtype(dtype).itemsize
         if count is None:

@@ -27,7 +27,6 @@ record every driver accepts.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Optional, Union
 
 import numpy as np
 
@@ -49,8 +48,8 @@ class VortexDevice:
 
     def __init__(
         self,
-        config: Optional[VortexConfig] = None,
-        driver: Union[str, DriverSpec, object] = "simx",
+        config: VortexConfig | None = None,
+        driver: str | DriverSpec | object = "simx",
     ):
         self.config = config or VortexConfig()
         if isinstance(driver, (str, DriverSpec)):
@@ -71,7 +70,7 @@ class VortexDevice:
             )
         self.afu = CommandProcessor(self.memory)
         self.allocator = BufferAllocator()
-        self.program: Optional[Program] = None
+        self.program: Program | None = None
 
     # -- program management ----------------------------------------------------------
 
@@ -118,9 +117,9 @@ class VortexDevice:
 
     def launch(
         self,
-        entry_pc: Optional[int] = None,
-        arg_address: Optional[int] = None,
-        options: Optional[LaunchOptions] = None,
+        entry_pc: int | None = None,
+        arg_address: int | None = None,
+        options: LaunchOptions | None = None,
     ) -> ExecutionReport:
         """Launch the uploaded kernel and wait for completion.
 

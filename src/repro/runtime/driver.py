@@ -15,7 +15,6 @@ from __future__ import annotations
 import inspect
 from dataclasses import dataclass
 from enum import IntEnum
-from typing import Dict, Optional
 
 from repro.common.perf import PerfCounters
 from repro.mem.memory import MainMemory
@@ -67,7 +66,7 @@ class CommandProcessor:
 
     def __init__(self, memory: MainMemory):
         self.memory = memory
-        self._registers: Dict[int, int] = {int(reg): 0 for reg in Mmio}
+        self._registers: dict[int, int] = {int(reg): 0 for reg in Mmio}
         self._registers[int(Mmio.STATUS)] = int(Status.IDLE)
         self.transfers: list = []
         self.perf = PerfCounters("afu")
@@ -124,8 +123,8 @@ class CommandProcessor:
         self,
         sim_driver,
         entry_pc: int,
-        arg_address: Optional[int] = None,
-        options: Optional[LaunchOptions] = None,
+        arg_address: int | None = None,
+        options: LaunchOptions | None = None,
     ):
         """Run a kernel through ``sim_driver`` and update the MMIO state.
 
@@ -151,7 +150,7 @@ class CommandProcessor:
         return report
 
     @staticmethod
-    def _call_driver_run(sim_driver, entry_pc: int, options: Optional[LaunchOptions]):
+    def _call_driver_run(sim_driver, entry_pc: int, options: LaunchOptions | None):
         """Invoke ``sim_driver.run``, tolerating the pre-options protocol.
 
         Instance-constructed third-party drivers may still implement a

@@ -19,7 +19,6 @@ that invariant.
 from __future__ import annotations
 
 import time
-from typing import Optional
 
 from repro.common.config import VortexConfig
 from repro.core.processor import Processor
@@ -44,8 +43,8 @@ class FuncSimDriver:
 
     def __init__(
         self,
-        config: Optional[VortexConfig] = None,
-        memory: Optional[MainMemory] = None,
+        config: VortexConfig | None = None,
+        memory: MainMemory | None = None,
         engine: str = "vector",
     ):
         try:
@@ -67,9 +66,9 @@ class FuncSimDriver:
     def run(
         self,
         entry_pc: int,
-        options: Optional[LaunchOptions] = None,
+        options: LaunchOptions | None = None,
         *,
-        max_instructions: Optional[int] = None,
+        max_instructions: int | None = None,
     ) -> ExecutionReport:
         """Execute the kernel at ``entry_pc`` to completion.
 

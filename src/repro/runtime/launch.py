@@ -21,17 +21,17 @@ Exceeding a budget raises the usual typed
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Any
 
 
 @dataclass(frozen=True)
 class LaunchOptions:
     """Uniform launch parameters for ``VortexDevice.launch`` and driver ``run``."""
 
-    max_cycles: Optional[int] = None
-    max_instructions: Optional[int] = None
-    arg_address: Optional[int] = None
-    entry_pc: Optional[int] = None
+    max_cycles: int | None = None
+    max_instructions: int | None = None
+    arg_address: int | None = None
+    entry_pc: int | None = None
 
     def __post_init__(self) -> None:
         for name in ("max_cycles", "max_instructions"):
@@ -39,13 +39,13 @@ class LaunchOptions:
             if value is not None and value < 1:
                 raise ValueError(f"{name} must be at least 1, got {value}")
 
-    def merged(self, **overrides) -> "LaunchOptions":
+    def merged(self, **overrides: Any) -> LaunchOptions:
         """Return a copy with the non-``None`` overrides applied."""
         updates = {k: v for k, v in overrides.items() if v is not None}
         return replace(self, **updates) if updates else self
 
 
-def resolve_options(options: Optional[LaunchOptions], **legacy) -> LaunchOptions:
+def resolve_options(options: LaunchOptions | None, **legacy: Any) -> LaunchOptions:
     """Normalize a driver ``run()``'s inputs into one :class:`LaunchOptions`.
 
     ``legacy`` carries the driver's historical keyword arguments

@@ -22,7 +22,7 @@ runtime expects.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Union
+from collections.abc import Iterable
 
 import numpy as np
 
@@ -43,8 +43,8 @@ class Context:
 
     def __init__(
         self,
-        config: Optional[VortexConfig] = None,
-        driver: Union[str, DriverSpec] = "simx",
+        config: VortexConfig | None = None,
+        driver: str | DriverSpec = "simx",
     ):
         self.device = VortexDevice(config=config, driver=driver)
 
@@ -68,18 +68,18 @@ class Program:
         from repro.kernels import KERNELS  # local import to avoid a cycle
 
         self.context = context
-        self._kernels: Dict[str, object] = {}
+        self._kernels: dict[str, object] = {}
         for name in kernel_names:
             if name not in KERNELS:
                 raise KeyError(f"unknown kernel {name!r}; available: {sorted(KERNELS)}")
             self._kernels[name] = KERNELS[name]()
 
-    def kernel(self, name: str) -> "KernelLauncher":
+    def kernel(self, name: str) -> KernelLauncher:
         """Return a launcher for kernel ``name``."""
         return KernelLauncher(self.context, self._kernels[name])
 
     @property
-    def kernel_names(self) -> List[str]:
+    def kernel_names(self) -> list[str]:
         return sorted(self._kernels)
 
 
@@ -89,15 +89,15 @@ class KernelLauncher:
     def __init__(self, context: Context, kernel):
         self.context = context
         self.kernel = kernel
-        self._args: List[Union[int, DeviceBuffer]] = []
+        self._args: list[int | DeviceBuffer] = []
 
-    def set_args(self, *args: Union[int, float, DeviceBuffer]) -> "KernelLauncher":
+    def set_args(self, *args: int | float | DeviceBuffer) -> KernelLauncher:
         """Set the kernel arguments (buffers become device addresses)."""
         self._args = list(args)
         return self
 
     def enqueue(
-        self, global_size: int, options: Optional[LaunchOptions] = None
+        self, global_size: int, options: LaunchOptions | None = None
     ) -> ExecutionReport:
         """Launch the kernel over ``global_size`` work items.
 
@@ -116,7 +116,7 @@ class KernelLauncher:
         return device.launch(options=options)
 
     @staticmethod
-    def _encode_arg(arg: Union[int, float, DeviceBuffer]) -> int:
+    def _encode_arg(arg: int | float | DeviceBuffer) -> int:
         if isinstance(arg, DeviceBuffer):
             return arg.address
         if isinstance(arg, float):

@@ -26,7 +26,8 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, Optional, Tuple, Union
+from collections.abc import Callable
+from typing import Any
 
 from repro.common.config import VortexConfig
 from repro.mem.memory import MainMemory
@@ -44,14 +45,14 @@ class DriverSpec:
     """
 
     simulator: str
-    engine: Optional[str] = None
-    options: Tuple[Tuple[str, str], ...] = ()
+    engine: str | None = None
+    options: tuple[tuple[str, str], ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "options", tuple(sorted(self.options)))
 
     @property
-    def options_dict(self) -> Dict[str, str]:
+    def options_dict(self) -> dict[str, str]:
         return dict(self.options)
 
     @property
@@ -65,7 +66,7 @@ class DriverSpec:
             return self.simulator
         return self.simulator + ":" + ",".join(f"{k}={v}" for k, v in sorted(pairs))
 
-    def with_engine(self, engine: Optional[str]) -> "DriverSpec":
+    def with_engine(self, engine: str | None) -> DriverSpec:
         """Return a copy selecting ``engine`` (validated when registered)."""
         spec = replace(self, engine=engine)
         entry = _REGISTRY.get(self.simulator)
@@ -83,21 +84,21 @@ class DriverEntry:
 
     simulator: str
     factory: Callable[..., object]
-    engines: Tuple[str, ...]
+    engines: tuple[str, ...]
     default_engine: str
 
 
-_REGISTRY: Dict[str, DriverEntry] = {}
+_REGISTRY: dict[str, DriverEntry] = {}
 
 #: Legacy suffix strings accepted for back-compat, mapped to their specs.
-_LEGACY_ALIASES: Dict[str, DriverSpec] = {}
+_LEGACY_ALIASES: dict[str, DriverSpec] = {}
 
 
 def register_driver(
     simulator: str,
     factory: Callable[..., object],
-    engines: Tuple[str, ...] = ("vector", "scalar"),
-    default_engine: Optional[str] = None,
+    engines: tuple[str, ...] = ("vector", "scalar"),
+    default_engine: str | None = None,
 ) -> DriverEntry:
     """Register a simulator under ``simulator``.
 
@@ -123,11 +124,11 @@ def register_driver(
     return entry
 
 
-def available_simulators() -> Tuple[str, ...]:
+def available_simulators() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
-def registered_engines(simulator: str) -> Tuple[str, ...]:
+def registered_engines(simulator: str) -> tuple[str, ...]:
     return _registry_entry(simulator).engines
 
 
@@ -148,7 +149,7 @@ def _validate_engine(entry: DriverEntry, engine: str) -> None:
         )
 
 
-def parse_driver_spec(spec: Union[str, DriverSpec]) -> DriverSpec:
+def parse_driver_spec(spec: str | DriverSpec) -> DriverSpec:
     """Parse and validate a driver spec string (or pass a spec through).
 
     Accepts the canonical ``"sim"`` / ``"sim:engine=scalar,key=value"``
@@ -175,7 +176,7 @@ def parse_driver_spec(spec: Union[str, DriverSpec]) -> DriverSpec:
 
     simulator, _, option_text = spec.partition(":")
     entry = _registry_entry(simulator)
-    engine: Optional[str] = None
+    engine: str | None = None
     options = {}
     if option_text:
         for item in option_text.split(","):
@@ -197,10 +198,10 @@ def parse_driver_spec(spec: Union[str, DriverSpec]) -> DriverSpec:
 
 
 def create_driver(
-    spec: Union[str, DriverSpec],
-    config: Optional[VortexConfig] = None,
-    memory: Optional[MainMemory] = None,
-):
+    spec: str | DriverSpec,
+    config: VortexConfig | None = None,
+    memory: MainMemory | None = None,
+) -> Any:
     """Construct the driver a spec describes.
 
     ``engine=None`` resolves to the simulator's registered default; extra

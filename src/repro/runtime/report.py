@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
 
 
 @dataclass
@@ -19,7 +18,7 @@ class ExecutionReport:
     cycles: int
     instructions: int
     thread_instructions: int
-    counters: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    counters: dict[str, dict[str, int]] = field(default_factory=dict)
     #: host wall-clock seconds the simulation took (0.0 when not measured).
     wall_seconds: float = 0.0
     #: execution engine variant behind the driver ("scalar", "vector", "").

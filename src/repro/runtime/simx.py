@@ -9,7 +9,6 @@ bank-utilization and texture-acceleration experiments).
 from __future__ import annotations
 
 import time
-from typing import Optional
 
 from repro.common.config import VortexConfig
 from repro.core.processor import TimingProcessor
@@ -60,8 +59,8 @@ class SimxDriver:
 
     def __init__(
         self,
-        config: Optional[VortexConfig] = None,
-        memory: Optional[MainMemory] = None,
+        config: VortexConfig | None = None,
+        memory: MainMemory | None = None,
         engine: str = "vector",
         fastforward: object = "on",
         requests: str = "batched",
@@ -87,9 +86,9 @@ class SimxDriver:
     def run(
         self,
         entry_pc: int,
-        options: Optional[LaunchOptions] = None,
+        options: LaunchOptions | None = None,
         *,
-        max_cycles: Optional[int] = None,
+        max_cycles: int | None = None,
     ) -> ExecutionReport:
         """Execute the kernel at ``entry_pc`` to completion.
 

@@ -20,7 +20,7 @@ records its calibration points so tests can check the fit quality.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -50,7 +50,7 @@ STRATIX10 = FpgaDevice(name="Stratix 10", alms=1_030_000, registers=3_732_480, b
 
 
 #: Published Table 3 design points: label -> (warps, threads, LUT, Regs, BRAM, fmax).
-TABLE3_POINTS: Dict[str, Tuple[int, int, int, int, int, int]] = {
+TABLE3_POINTS: dict[str, tuple[int, int, int, int, int, int]] = {
     "4W-4T": (4, 4, 21502, 32661, 131, 233),
     "2W-8T": (2, 8, 36361, 54438, 238, 224),
     "8W-2T": (8, 2, 16981, 24343, 77, 225),
@@ -79,7 +79,7 @@ class CoreSynthesisModel:
     def _terms(num_warps: int, num_threads: int) -> np.ndarray:
         return np.array([1.0, num_threads, num_warps, num_warps * num_threads])
 
-    def estimate(self, num_warps: int, num_threads: int) -> Dict[str, float]:
+    def estimate(self, num_warps: int, num_threads: int) -> dict[str, float]:
         """Estimate one core's LUTs, registers, BRAMs and fmax (MHz)."""
         if num_warps < 1 or num_threads < 1:
             raise ValueError("warp and thread counts must be positive")
@@ -91,7 +91,7 @@ class CoreSynthesisModel:
             "fmax": float(terms @ self._fmax),
         }
 
-    def table3(self) -> Dict[str, Dict[str, float]]:
+    def table3(self) -> dict[str, dict[str, float]]:
         """Regenerate Table 3 (model estimates for the published design points)."""
         return {
             label: self.estimate(warps, threads)
@@ -99,7 +99,7 @@ class CoreSynthesisModel:
         }
 
     @staticmethod
-    def published(label: str) -> Dict[str, int]:
+    def published(label: str) -> dict[str, int]:
         warps, threads, lut, regs, bram, fmax = TABLE3_POINTS[label]
         return {"warps": warps, "threads": threads, "lut": lut, "regs": regs, "bram": bram, "fmax": fmax}
 
@@ -108,7 +108,7 @@ class CoreSynthesisModel:
 
 
 #: Published Table 5 points: virtual ports -> (LUT, Regs, BRAM, fmax) for a 4-bank D$.
-TABLE5_POINTS: Dict[int, Tuple[int, int, int, int]] = {
+TABLE5_POINTS: dict[int, tuple[int, int, int, int]] = {
     1: (10747, 13238, 72, 253),
     2: (11722, 13650, 72, 250),
     4: (13516, 14928, 72, 244),
@@ -126,7 +126,7 @@ class CacheSynthesisModel:
         self._bram = float(next(iter(TABLE5_POINTS.values()))[2])
         self._fmax = _fit(ports, [v[3] for v in TABLE5_POINTS.values()])
 
-    def estimate(self, num_ports: int, num_banks: int = None) -> Dict[str, float]:
+    def estimate(self, num_ports: int, num_banks: int | None = None) -> dict[str, float]:
         """Estimate a multi-banked cache's resources for ``num_ports`` virtual ports."""
         if num_ports < 1:
             raise ValueError("port count must be positive")
@@ -140,12 +140,12 @@ class CacheSynthesisModel:
             "fmax": float(terms @ self._fmax),
         }
 
-    def table5(self) -> Dict[int, Dict[str, float]]:
+    def table5(self) -> dict[int, dict[str, float]]:
         """Regenerate Table 5."""
         return {ports: self.estimate(ports) for ports in TABLE5_POINTS}
 
     @staticmethod
-    def published(num_ports: int) -> Dict[str, int]:
+    def published(num_ports: int) -> dict[str, int]:
         lut, regs, bram, fmax = TABLE5_POINTS[num_ports]
         return {"lut": lut, "regs": regs, "bram": bram, "fmax": fmax}
 
@@ -154,7 +154,7 @@ class CacheSynthesisModel:
 
 
 #: Published Table 4 rows: cores -> (ALM %, Regs, BRAM %, DSP %, fmax, device name).
-TABLE4_POINTS: Dict[int, Tuple[float, int, float, float, int, str]] = {
+TABLE4_POINTS: dict[int, tuple[float, int, float, float, int, str]] = {
     1: (13, 78_000, 10, 2, 234, "A10"),
     2: (19, 111_000, 15, 5, 225, "A10"),
     4: (30, 176_000, 25, 9, 223, "A10"),
@@ -181,7 +181,7 @@ class MulticoreSynthesisModel:
         log_features = np.array([[1.0, float(np.log2(c))] for c, _ in a10_rows])
         self._fmax = _fit(log_features, [row[4] for _, row in a10_rows])
 
-    def estimate(self, num_cores: int, device: FpgaDevice = None) -> Dict[str, float]:
+    def estimate(self, num_cores: int, device: FpgaDevice | None = None) -> dict[str, float]:
         """Estimate the full-processor resources for ``num_cores`` cores."""
         if num_cores < 1:
             raise ValueError("core count must be positive")
@@ -203,7 +203,7 @@ class MulticoreSynthesisModel:
             "device": device.name,
         }
 
-    def fits(self, num_cores: int, device: FpgaDevice = None) -> bool:
+    def fits(self, num_cores: int, device: FpgaDevice | None = None) -> bool:
         """Whether ``num_cores`` cores fit on ``device`` (< 100% of every resource)."""
         estimate = self.estimate(num_cores, device)
         return (
@@ -212,7 +212,7 @@ class MulticoreSynthesisModel:
             and estimate["dsp_pct"] <= 100.0
         )
 
-    def max_cores(self, device: FpgaDevice = None) -> int:
+    def max_cores(self, device: FpgaDevice | None = None) -> int:
         """Largest power-of-two core count fitting on ``device``."""
         cores = 1
         while self.fits(cores * 2, device):
@@ -221,7 +221,7 @@ class MulticoreSynthesisModel:
                 break
         return cores
 
-    def table4(self) -> Dict[int, Dict[str, float]]:
+    def table4(self) -> dict[int, dict[str, float]]:
         """Regenerate Table 4 (A10 rows plus the 32-core S10 row)."""
         rows = {}
         for cores, row in TABLE4_POINTS.items():
@@ -230,7 +230,7 @@ class MulticoreSynthesisModel:
         return rows
 
     @staticmethod
-    def published(num_cores: int) -> Dict[str, float]:
+    def published(num_cores: int) -> dict[str, float]:
         alm_pct, regs, bram_pct, dsp_pct, fmax, device = TABLE4_POINTS[num_cores]
         return {
             "alm_pct": alm_pct,

@@ -11,7 +11,6 @@ clock frequency) plus the power-density distribution of Figure 17.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 from repro.synthesis.area_model import CoreSynthesisModel
 
@@ -19,7 +18,7 @@ from repro.synthesis.area_model import CoreSynthesisModel
 PUBLISHED_CONFIG = {"warps": 8, "threads": 4, "frequency_mhz": 300, "power_mw": 46.8}
 
 #: Power-density distribution across the die (Figure 17), normalized.
-POWER_FRACTIONS: Dict[str, float] = {
+POWER_FRACTIONS: dict[str, float] = {
     "register_file": 0.28,
     "alu_datapath": 0.24,
     "caches": 0.20,
@@ -39,7 +38,7 @@ class AsicSummary:
     power_mw: float
     area_score: float
 
-    def breakdown(self) -> Dict[str, float]:
+    def breakdown(self) -> dict[str, float]:
         """Per-component power estimate (mW)."""
         return {component: fraction * self.power_mw for component, fraction in POWER_FRACTIONS.items()}
 
@@ -65,6 +64,6 @@ def estimate_asic(num_warps: int = 8, num_threads: int = 4, frequency_mhz: float
     )
 
 
-def asic_power_breakdown(num_warps: int = 8, num_threads: int = 4) -> Dict[str, float]:
+def asic_power_breakdown(num_warps: int = 8, num_threads: int = 4) -> dict[str, float]:
     """Regenerate the Figure 17 power distribution for a configuration."""
     return estimate_asic(num_warps, num_threads).breakdown()

@@ -10,13 +10,11 @@ for any core count.
 
 from __future__ import annotations
 
-from typing import Dict
-
 from repro.synthesis.area_model import ARRIA10, FpgaDevice, MulticoreSynthesisModel
 
 #: Fraction of the processor's logic area attributed to each component
 #: (normalized; derived from the Figure 15 distribution).
-COMPONENT_FRACTIONS: Dict[str, float] = {
+COMPONENT_FRACTIONS: dict[str, float] = {
     "caches": 0.30,
     "texture_units": 0.22,
     "pipeline": 0.18,
@@ -27,7 +25,7 @@ COMPONENT_FRACTIONS: Dict[str, float] = {
 }
 
 
-def area_breakdown(num_cores: int = 8, device: FpgaDevice = ARRIA10) -> Dict[str, float]:
+def area_breakdown(num_cores: int = 8, device: FpgaDevice = ARRIA10) -> dict[str, float]:
     """Return the per-component ALM estimate for a ``num_cores`` processor."""
     total = MulticoreSynthesisModel(device).estimate(num_cores, device)["alms"]
     return {component: fraction * total for component, fraction in COMPONENT_FRACTIONS.items()}

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Tuple
 
 import numpy as np
 
@@ -66,12 +65,12 @@ def lod_fraction(lod: float, level: int) -> int:
 class TexelQuad:
     """The addresses and blend factors for one filtered sample."""
 
-    addresses: Tuple[int, ...]
+    addresses: tuple[int, ...]
     blend_u: int
     blend_v: int
 
     @property
-    def unique_addresses(self) -> List[int]:
+    def unique_addresses(self) -> list[int]:
         """Addresses with duplicates removed (what the dedup stage forwards)."""
         seen = []
         for address in self.addresses:
@@ -80,7 +79,7 @@ class TexelQuad:
         return seen
 
 
-def mip_dimensions(width_log2: int, height_log2: int, lod: int) -> Tuple[int, int]:
+def mip_dimensions(width_log2: int, height_log2: int, lod: int) -> tuple[int, int]:
     """Return the (width, height) of mip level ``lod``, clamping at 1x1."""
     width = 1 << max(width_log2 - lod, 0)
     height = 1 << max(height_log2 - lod, 0)
@@ -182,7 +181,7 @@ def generate_addresses_many(
     wrap: TexWrap,
     filter_mode: TexFilter,
     lod: int = 0,
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Batched :func:`generate_addresses` over float64 coordinate arrays.
 
     Returns ``(addresses, blend_u, blend_v)`` where ``addresses`` is an

@@ -9,11 +9,10 @@ texel sampler in Figure 5.
 from __future__ import annotations
 
 from enum import IntEnum
-from typing import Tuple
 
 import numpy as np
 
-RGBA = Tuple[int, int, int, int]
+RGBA = tuple[int, int, int, int]
 
 
 class TexFormat(IntEnum):

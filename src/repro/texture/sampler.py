@@ -10,7 +10,7 @@ a dedicated single-cycle point path would need.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -49,7 +49,7 @@ class TextureState:
     mip_offsets: Sequence[int] = ()
 
     @classmethod
-    def from_csrs(cls, csr_file, stage: int) -> "TextureState":
+    def from_csrs(cls, csr_file, stage: int) -> TextureState:
         """Build the state block for ``stage`` from a :class:`CsrFile`."""
         mip_offsets = [
             csr_file.raw(tex_csr(stage, TexCSR.MIPOFF, lod)) for lod in range(NUM_TEX_LODS)
@@ -99,7 +99,7 @@ class TextureState:
             lod = 0.0
         return min(max(lod, 0.0), float(self.max_addressable_lod))
 
-    def trilinear_levels(self, lod: float) -> "tuple[int, int, int]":
+    def trilinear_levels(self, lod: float) -> tuple[int, int, int]:
         """Resolve a fractional LOD into ``(level0, level1, blend_frac)``.
 
         ``level0`` is the finer mip level, ``level1`` the adjacent coarser

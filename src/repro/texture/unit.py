@@ -14,7 +14,7 @@ sampler latency to the same instruction the functional driver executes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -29,8 +29,8 @@ from repro.texture.sampler import TextureSampler, TextureState, blend_quad, lerp
 class TexWarpResult:
     """The outcome of one warp-level ``tex`` operation."""
 
-    colors: List[int]
-    unique_addresses: List[int]
+    colors: list[int]
+    unique_addresses: list[int]
     total_addresses: int
 
     @property
@@ -42,13 +42,13 @@ class TexWarpResult:
 class TextureUnit:
     """Per-core texture unit: address generation, dedup, sampling."""
 
-    def __init__(self, memory, config: Optional[TextureConfig] = None):
+    def __init__(self, memory, config: TextureConfig | None = None):
         self.config = config or TextureConfig()
         self.sampler = TextureSampler(memory)
         self.perf = PerfCounters("tex_unit")
         # Per-stage snapshot cache, invalidated by the CSR file's texture
         # dirty counter: (csr_file, tex_epoch, state).
-        self._state_cache: Dict[int, Tuple[object, int, TextureState]] = {}
+        self._state_cache: dict[int, tuple[object, int, TextureState]] = {}
 
     def state_for(self, csr_file, stage: int) -> TextureState:
         """Snapshot the CSR-programmed state of ``stage``.
@@ -72,7 +72,7 @@ class TextureUnit:
         self,
         csr_file,
         stage: int,
-        operands: Sequence[Optional[Tuple[int, int, int]]],
+        operands: Sequence[tuple[int, int, int] | None],
     ) -> TexWarpResult:
         """Execute one warp-level ``tex`` instruction.
 
@@ -81,8 +81,8 @@ class TextureUnit:
         """
         state = self.state_for(csr_file, stage)
         trilinear = state.filter_mode == TexFilter.TRILINEAR
-        colors: List[int] = []
-        unique: Dict[int, None] = {}
+        colors: list[int] = []
+        unique: dict[int, None] = {}
         total = 0
 
         def filter_level(u: float, v: float, lod: int):
@@ -151,7 +151,7 @@ class TextureUnit:
         u_bits: np.ndarray,
         v_bits: np.ndarray,
         lod_bits: np.ndarray,
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Convert raw register lane vectors into sampler operands.
 
         One place owns the bit-view/float64 conversion and the
@@ -173,7 +173,7 @@ class TextureUnit:
         u_bits: np.ndarray,
         v_bits: np.ndarray,
         lod_bits: np.ndarray,
-    ) -> Tuple[np.ndarray, List[int]]:
+    ) -> tuple[np.ndarray, list[int]]:
         """:meth:`sample_warp_vector` plus the de-duplicated address trace.
 
         Returns ``(colors, unique_addresses)`` where ``unique_addresses``

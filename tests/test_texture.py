@@ -417,7 +417,7 @@ def test_generate_mipmaps_halves_down_to_1x1(width_log2, height_log2):
     assert levels == max(width_log2, height_log2) + 1
     assert binding.mip_count == levels
     offset, w, h = 0, width, height
-    for lod, mipoff in enumerate(binding.state.mip_offsets):
+    for _lod, mipoff in enumerate(binding.state.mip_offsets):
         assert mipoff == offset
         offset += w * h * 4
         w, h = max(w // 2, 1), max(h // 2, 1)
