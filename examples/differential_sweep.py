@@ -12,6 +12,12 @@ Anything but a fully identical report is a bug in the vectorized engine —
 the timing model (scheduler, scoreboard, latencies, caches, MSHRs) is
 shared, so the engines must agree bit for bit on every configuration.
 
+The sweep is served through the simulation service
+(``Session(executor="service")``): the grid fans out across the sharded
+worker fleet, and because every job is content-addressed, *re*-running the
+sweep is answered from the result cache — the second pass below executes
+nothing and returns bit-identical reports.
+
 Run with::
 
     PYTHONPATH=src python examples/differential_sweep.py
@@ -21,6 +27,7 @@ from __future__ import annotations
 
 from repro import KernelJob, Session, VortexConfig
 from repro.common.config import CORE_DESIGN_POINTS, SCHEDULER_POLICIES, MemoryConfig
+from repro.service import ServiceConfig
 
 
 def build_jobs() -> list:
@@ -70,22 +77,41 @@ def build_jobs() -> list:
 
 
 def main() -> None:
-    session = Session()
-    report = session.run_differential(build_jobs())
-    print(report.summary())
-    print()
-    print(f"{'job':24s} {'cycles':>8s} {'IPC':>7s}  agreement")
-    for result in report.results:
-        assert result.ok, f"{result.describe()}: {result.scalar.error or result.vector.error}"
-        vector = result.vector.report
-        status = "identical" if result.identical_counters else "MISMATCH"
-        print(f"{result.describe():24s} {vector.cycles:8d} {vector.ipc:7.3f}  {status}")
-        for mismatch in result.mismatches:
-            print(f"  - {mismatch}")
-    if not report.identical_counters:
-        raise SystemExit("differential sweep found diverging counters")
-    print()
-    print("every counter identical across both engines on the whole grid")
+    with Session(
+        executor="service", service_config=ServiceConfig(num_shards=4)
+    ) as session:
+        report = session.run_differential(build_jobs())
+        print(report.summary())
+        print()
+        print(f"{'job':24s} {'cycles':>8s} {'IPC':>7s}  agreement")
+        for result in report.results:
+            assert result.ok, (
+                f"{result.describe()}: {result.scalar.error or result.vector.error}"
+            )
+            vector = result.vector.report
+            status = "identical" if result.identical_counters else "MISMATCH"
+            print(f"{result.describe():24s} {vector.cycles:8d} {vector.ipc:7.3f}  {status}")
+            for mismatch in result.mismatches:
+                print(f"  - {mismatch}")
+        if not report.identical_counters:
+            raise SystemExit("differential sweep found diverging counters")
+        print()
+        print("every counter identical across both engines on the whole grid")
+
+        # Replay: the identical grid resubmitted to the same service fleet is
+        # answered entirely from the content-addressed result cache.
+        replay = session.run_differential(build_jobs())
+        stats = session.service_client().stats()
+        served = sum(
+            result.scalar.cached + result.vector.cached for result in replay.results
+        )
+        assert replay.identical_counters
+        print(
+            f"replay: {served}/{2 * len(replay.results)} runs served from cache "
+            f"in {replay.wall_seconds:.3f}s "
+            f"(hit rate {stats['cache']['hit_rate']:.0%}, "
+            f"{stats['executed']} total executions for {stats['submitted']} submissions)"
+        )
 
 
 if __name__ == "__main__":

@@ -31,6 +31,7 @@ from repro.engine.session import (
     BatchReport,
     DifferentialReport,
     JobQueue,
+    JobResult,
     KernelJob,
     Session,
 )
@@ -40,6 +41,18 @@ from repro.runtime.registry import DriverSpec, parse_driver_spec, register_drive
 from repro.runtime.report import ExecutionReport
 
 __version__ = "1.0.0"
+
+#: Service-layer exports resolved lazily so importing :mod:`repro` does not
+#: pull in the asyncio/multiprocessing serving stack.
+_SERVICE_EXPORTS = ("SimulationService", "ServiceConfig", "ServiceClient")
+
+
+def __getattr__(name: str):
+    if name in _SERVICE_EXPORTS:
+        import repro.service
+
+        return getattr(repro.service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "CacheConfig",
@@ -56,8 +69,12 @@ __all__ = [
     "register_driver",
     "Session",
     "JobQueue",
+    "JobResult",
     "KernelJob",
     "BatchReport",
     "DifferentialReport",
+    "SimulationService",
+    "ServiceConfig",
+    "ServiceClient",
     "__version__",
 ]

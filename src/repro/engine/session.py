@@ -5,13 +5,20 @@ paper's Figures 14 and 18-21 each sweep a grid of design points.  A
 :class:`Session` turns that sweep into a batch: jobs are described
 declaratively as :class:`KernelJob` records, queued on a
 :class:`JobQueue`, and executed concurrently on a process pool (one
-simulator per worker, true parallelism) or a thread pool, each job on its
-own freshly-constructed :class:`~repro.runtime.device.VortexDevice`.
+simulator per worker, true parallelism), a thread pool, or — for
+repeat-heavy traffic — the sharded :mod:`repro.service` job server with
+its content-addressed result cache (``executor="service"``).
 
 Results come back as :class:`JobResult` records aggregating the
 :class:`~repro.runtime.report.ExecutionReport`, the verification outcome
 and per-job wall-clock, plus batch-level statistics (total wall time,
 peak concurrency measured from the jobs' actual execution intervals).
+
+Because the simulators are deterministic, a job's result is fully
+determined by its content: :meth:`KernelJob.cache_key` is the canonical
+identity — a stable hash over the program bytes, the full config payload,
+the resolved driver spec and the launch options — that the service layer
+caches and dedups on.
 
 :meth:`Session.run_differential` turns the same job grid into a
 first-class differential sweep: every job runs on both execution engines
@@ -24,14 +31,54 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from dataclasses import dataclass, field, replace
-from collections.abc import Sequence
-from typing import Dict
+from collections.abc import Iterator, Sequence
+from typing import TYPE_CHECKING, Any
 
 from repro.common.config import VortexConfig
 from repro.runtime.launch import LaunchOptions
 from repro.runtime.registry import DriverSpec, parse_driver_spec
+from repro.runtime.report import ExecutionReport
+from repro.runtime.serialize import (
+    config_payload,
+    content_digest,
+    options_payload,
+    spec_payload,
+)
+
+if TYPE_CHECKING:
+    from repro.service.client import ServiceClient
+    from repro.service.server import ServiceConfig
+
+#: Program-image digests per kernel name (assembly is deterministic, so the
+#: digest is a pure function of the kernel; memoized because ``cache_key``
+#: may be called once per submission on high-volume service traffic).
+_PROGRAM_DIGESTS: dict[str, tuple[str, int, int]] = {}
+
+
+def _program_digest(kernel_name: str) -> tuple[str, int, int]:
+    """``(sha256, base, entry)`` of the kernel's assembled program image."""
+    cached = _PROGRAM_DIGESTS.get(kernel_name)
+    if cached is None:
+        import hashlib
+
+        from repro.kernels import KERNELS
+
+        program = KERNELS[kernel_name]().build_program()
+        cached = (
+            hashlib.sha256(program.to_bytes()).hexdigest(),
+            program.base,
+            program.entry,
+        )
+        _PROGRAM_DIGESTS[kernel_name] = cached
+    return cached
 
 
 @dataclass(frozen=True)
@@ -83,22 +130,94 @@ class KernelJob:
             f"[{cfg.num_cores}C-{cfg.num_warps}W-{cfg.num_threads}T]"
         )
 
+    def cache_key(self) -> str:
+        """Stable content hash identifying *what this job computes*.
+
+        The key covers everything the deterministic simulators consume —
+        the assembled program bytes (with image base and entry point), the
+        problem size (``size=None`` resolves to the kernel's default, since
+        both launch identically), the verification flag, the full config
+        payload, the resolved driver spec and the launch options — via the
+        canonical encodings of :mod:`repro.runtime.serialize`.  Equal jobs
+        hash equal even when constructed differently (legacy suffix driver
+        strings normalize to their canonical spec; ``engine=None`` resolves
+        to the simulator's default engine); any semantic field perturbation
+        changes the key.
+
+        ``label`` is deliberately excluded: it is presentation metadata and
+        does not change the computed result, so relabeled resubmissions of
+        the same job still hit the service cache.
+
+        Raises ``KeyError`` for a kernel name not in the registry — such a
+        job has no content to key (the service treats it as uncacheable and
+        lets the worker report the deterministic failure).
+        """
+        from repro.kernels import KERNELS
+
+        program_sha, base, entry = _program_digest(self.kernel)
+        size = self.size if self.size is not None else KERNELS[self.kernel]().default_size()
+        material: dict[str, Any] = {
+            "program": program_sha,
+            "base": base,
+            "entry": entry,
+            "kernel": self.kernel,
+            "size": size,
+            "verify": self.verify,
+            "config": config_payload(self.config),
+            "spec": spec_payload(self.spec),
+            "options": options_payload(self.options),
+        }
+        return content_digest(material)
+
 
 @dataclass
 class JobResult:
     """Outcome of one executed job."""
 
     job: KernelJob
-    report: object | None = None  # ExecutionReport (None when the job errored)
+    report: ExecutionReport | None = None
     passed: bool = False
     wall_seconds: float = 0.0
     started_at: float = 0.0
     finished_at: float = 0.0
     error: str | None = None
+    #: Machine-readable exception type when the job errored: the raising
+    #: exception's class name for deterministic kernel failures
+    #: (``"KeyError"``, ``"SimulationLimitExceeded"``) or the service-level
+    #: infrastructure classifications (``"WorkerCrash"``, ``"JobTimeout"``).
+    #: Retry policies branch on this — infrastructure failures are
+    #: retryable, deterministic failures are not.
+    error_type: str | None = None
+    #: Execution attempts the backend made (1 = the first try answered).
+    attempts: int = 1
+    #: True when the result was served without executing — from the
+    #: service's content-addressed cache or by inflight deduplication.
+    cached: bool = False
 
     @property
     def ok(self) -> bool:
         return self.error is None and self.passed
+
+    def to_payload(self) -> dict[str, Any]:
+        """A JSON-ready payload (report serialized via its own payload)."""
+        return {
+            "job": {
+                "kernel": self.job.kernel,
+                "label": self.job.label,
+                "driver": self.job.driver_name,
+                "size": self.job.size,
+                "verify": self.job.verify,
+            },
+            "scenario": self.job.describe(),
+            "ok": self.ok,
+            "passed": self.passed,
+            "wall_seconds": self.wall_seconds,
+            "error": self.error,
+            "error_type": self.error_type,
+            "attempts": self.attempts,
+            "cached": self.cached,
+            "report": self.report.to_payload() if self.report is not None else None,
+        }
 
 
 def execute_job(job: KernelJob) -> JobResult:
@@ -129,6 +248,7 @@ def execute_job(job: KernelJob) -> JobResult:
             started_at=started,
             finished_at=time.time(),
             error=f"{type(exc).__name__}: {exc}",
+            error_type=type(exc).__name__,
         )
 
 
@@ -152,7 +272,7 @@ class JobQueue:
     def __len__(self) -> int:
         return len(self._jobs)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[KernelJob]:
         return iter(self._jobs)
 
 
@@ -186,8 +306,26 @@ class BatchReport:
     def total_simulated_instructions(self) -> int:
         return sum(r.report.instructions for r in self.results if r.report is not None)
 
+    @property
+    def cache_hits(self) -> int:
+        """Jobs served without execution (service cache or inflight dedup)."""
+        return sum(1 for result in self.results if result.cached)
+
     def by_label(self) -> dict[str, JobResult]:
         return {result.job.describe(): result for result in self.results}
+
+    def to_payload(self) -> dict[str, Any]:
+        """A JSON-ready payload built from each result's own payload."""
+        return {
+            "benchmark": "session batch",
+            "generated_by": "Session.run_batch",
+            "ok": self.ok,
+            "wall_seconds": self.wall_seconds,
+            "executor": self.executor,
+            "max_workers": self.max_workers,
+            "cache_hits": self.cache_hits,
+            "results": [result.to_payload() for result in self.results],
+        }
 
     def summary(self) -> str:
         status = "ok" if self.ok else "FAILED"
@@ -198,7 +336,7 @@ class BatchReport:
         )
 
 
-def diff_execution_reports(reference, subject) -> list[str]:
+def diff_execution_reports(reference: ExecutionReport, subject: ExecutionReport) -> list[str]:
     """Diff two :class:`ExecutionReport`\\ s down to every counter.
 
     Returns human-readable ``"what: ref != subj"`` strings; empty means the
@@ -215,9 +353,10 @@ def diff_execution_reports(reference, subject) -> list[str]:
         ref_counters = reference.counters.get(component, {})
         subj_counters = subject.counters.get(component, {})
         for name in sorted(set(ref_counters) | set(subj_counters)):
-            ref, subj = ref_counters.get(name, 0), subj_counters.get(name, 0)
-            if ref != subj:
-                diffs.append(f"{component}.{name}: {ref} != {subj}")
+            ref_count = ref_counters.get(name, 0)
+            subj_count = subj_counters.get(name, 0)
+            if ref_count != subj_count:
+                diffs.append(f"{component}.{name}: {ref_count} != {subj_count}")
     return diffs
 
 
@@ -278,9 +417,9 @@ class DifferentialReport:
             f"in {self.wall_seconds:.2f}s: {status}"
         )
 
-    def to_payload(self) -> Dict:
+    def to_payload(self) -> dict[str, Any]:
         """A JSON-ready payload (consumed by ``benchmarks/check_regression.py``)."""
-        rows = []
+        rows: list[dict[str, Any]] = []
         for result in self.results:
             # The row's numbers come from the vector run, so attribute them
             # to that run's driver spec (not the submitted job's engine pin).
@@ -311,17 +450,33 @@ class DifferentialReport:
 class Session:
     """Launches batches of (kernel, config) jobs concurrently.
 
-    ``executor`` selects the pool type: ``"process"`` (default when the
-    platform supports fork) runs each job in a worker process for true
+    ``executor`` selects the execution backend: ``"process"`` (default when
+    the platform supports fork) runs each job in a worker process for true
     parallelism; ``"thread"`` uses threads (lighter weight, still
     concurrent, useful under constrained environments and in tests);
-    ``"serial"`` runs inline (debugging).
+    ``"serial"`` runs inline (debugging); ``"service"`` routes batches
+    through a :class:`repro.service.SimulationService` — a sharded worker
+    fleet with a content-addressed result cache, so repeat-heavy sweep
+    traffic (differential grids, Fig 14/18/19 clients) short-circuits to
+    cache hits.
+
+    For the service backend, pass an existing
+    :class:`~repro.service.client.ServiceClient` as ``service`` to share a
+    fleet (and its cache) across sessions, or a
+    :class:`~repro.service.server.ServiceConfig` as ``service_config`` to
+    let the session own one (created lazily, shut down by :meth:`close`).
     """
 
-    def __init__(self, max_workers: int | None = None, executor: str | None = None):
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        executor: str | None = None,
+        service: ServiceClient | None = None,
+        service_config: ServiceConfig | None = None,
+    ):
         if executor is None:
             executor = "process" if hasattr(os, "fork") else "thread"
-        if executor not in ("process", "thread", "serial"):
+        if executor not in ("process", "thread", "serial", "service"):
             raise ValueError(f"unknown executor {executor!r}")
         self.executor = executor
         # Floor of 4: even on small hosts a batch should overlap several
@@ -329,6 +484,9 @@ class Session:
         # acceptance bar for a sweep is >= 4 jobs in flight).
         self.max_workers = max_workers or max(4, min(8, os.cpu_count() or 4))
         self.queue = JobQueue()
+        self._service_client = service
+        self._service_config = service_config
+        self._owns_service = service is None
 
     # -- job submission -----------------------------------------------------------------
 
@@ -350,6 +508,28 @@ class Session:
                 KernelJob(kernel=kernel, config=config, driver=driver, size=size, engine=engine)
             )
 
+    # -- the service backend ------------------------------------------------------------
+
+    def service_client(self) -> ServiceClient:
+        """The session's service backend (created lazily when owned)."""
+        if self._service_client is None:
+            from repro.service.client import ServiceClient
+
+            self._service_client = ServiceClient(self._service_config)
+        return self._service_client
+
+    def close(self) -> None:
+        """Shut down an owned service backend (no-op otherwise)."""
+        if self._owns_service and self._service_client is not None:
+            self._service_client.close()
+            self._service_client = None
+
+    def __enter__(self) -> Session:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
     # -- execution ----------------------------------------------------------------------
 
     def run_batch(self, jobs: Sequence[KernelJob] | None = None) -> BatchReport:
@@ -363,7 +543,12 @@ class Session:
         start = time.perf_counter()
         if not batch:
             return BatchReport([], 0.0, self.max_workers, self.executor)
-        if self.executor == "serial" or len(batch) == 1:
+        workers = self.max_workers
+        if self.executor == "service":
+            client = self.service_client()
+            results = client.run_jobs(batch)
+            workers = client.num_shards
+        elif self.executor == "serial" or len(batch) == 1:
             results = [execute_job(job) for job in batch]
         else:
             pool_cls = ProcessPoolExecutor if self.executor == "process" else ThreadPoolExecutor
@@ -376,7 +561,7 @@ class Session:
             else:
                 results = self._run_on_pool(pool, batch)
         wall = time.perf_counter() - start
-        return BatchReport(results, wall, self.max_workers, self.executor)
+        return BatchReport(results, wall, workers, self.executor)
 
     def run_differential(
         self, jobs: Sequence[KernelJob] | None = None
@@ -436,7 +621,7 @@ class Session:
         return DifferentialReport(results=results, wall_seconds=executed.wall_seconds)
 
     @staticmethod
-    def _run_on_pool(pool, batch: list[KernelJob]) -> list[JobResult]:
+    def _run_on_pool(pool: Executor, batch: list[KernelJob]) -> list[JobResult]:
         """Submit one future per job and collect results in order.
 
         If a worker dies (e.g. a poison job is OOM-killed, breaking the
@@ -445,26 +630,36 @@ class Session:
         in the parent process.
         """
         with pool:
-            futures: list[object | None] = []
+            futures: list[Future[JobResult] | None] = []
             submit_error: str | None = None
+            submit_error_type: str | None = None
             for job in batch:
                 if submit_error is None:
                     try:
                         futures.append(pool.submit(execute_job, job))
                     except BrokenExecutor as exc:
                         submit_error = f"{type(exc).__name__}: {exc}"
+                        submit_error_type = type(exc).__name__
                         futures.append(None)
                 else:
                     futures.append(None)
             results: list[JobResult] = []
             for job, future in zip(batch, futures):
                 if future is None:
-                    results.append(JobResult(job=job, error=submit_error))
+                    results.append(
+                        JobResult(job=job, error=submit_error, error_type=submit_error_type)
+                    )
                     continue
                 try:
                     results.append(future.result())
                 except Exception as exc:
-                    results.append(JobResult(job=job, error=f"{type(exc).__name__}: {exc}"))
+                    results.append(
+                        JobResult(
+                            job=job,
+                            error=f"{type(exc).__name__}: {exc}",
+                            error_type=type(exc).__name__,
+                        )
+                    )
         return results
 
 
@@ -477,7 +672,7 @@ def design_point_jobs(
 ) -> list[KernelJob]:
     """Jobs for the Table-3-style (warps, threads) design points."""
     base = base or VortexConfig()
-    jobs = []
+    jobs: list[KernelJob] = []
     for label, (warps, threads) in points.items():
         config = base.with_warps_threads(warps, threads)
         jobs.append(

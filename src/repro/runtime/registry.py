@@ -132,6 +132,11 @@ def registered_engines(simulator: str) -> tuple[str, ...]:
     return _registry_entry(simulator).engines
 
 
+def default_engine(simulator: str) -> str:
+    """The engine a spec with ``engine=None`` resolves to for ``simulator``."""
+    return _registry_entry(simulator).default_engine
+
+
 def _registry_entry(simulator: str) -> DriverEntry:
     try:
         return _REGISTRY[simulator]

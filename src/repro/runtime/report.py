@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 
 @dataclass
@@ -55,6 +56,41 @@ class ExecutionReport:
     def counter(self, component: str, name: str) -> int:
         """Read one counter, defaulting to 0."""
         return self.counters.get(component, {}).get(name, 0)
+
+    def to_payload(self) -> dict[str, Any]:
+        """A JSON-ready payload that round-trips losslessly.
+
+        ``from_payload(report.to_payload())`` reconstructs a report equal to
+        the original field-for-field — the symmetry the service layer's
+        content-addressed result cache relies on for bit-identical replay.
+        """
+        return {
+            "driver": self.driver,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "thread_instructions": self.thread_instructions,
+            "counters": {
+                component: dict(counters) for component, counters in self.counters.items()
+            },
+            "wall_seconds": self.wall_seconds,
+            "engine": self.engine,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, Any]) -> ExecutionReport:
+        """Reconstruct a report from :meth:`to_payload` output."""
+        return cls(
+            driver=payload["driver"],
+            cycles=payload["cycles"],
+            instructions=payload["instructions"],
+            thread_instructions=payload["thread_instructions"],
+            counters={
+                component: dict(counters)
+                for component, counters in payload.get("counters", {}).items()
+            },
+            wall_seconds=payload.get("wall_seconds", 0.0),
+            engine=payload.get("engine", ""),
+        )
 
     def summary(self) -> str:
         """One-line human-readable summary."""

@@ -1,0 +1,72 @@
+"""Canonical serialization of job identity: config, spec and launch options.
+
+The simulators are deterministic (vxlint VX001 enforces it), so a result is
+fully determined by *what* a job computes: the program bytes, the complete
+:class:`~repro.common.config.VortexConfig` payload, the resolved
+:class:`~repro.runtime.registry.DriverSpec` and the
+:class:`~repro.runtime.launch.LaunchOptions`.  This module defines the one
+canonical byte-stable encoding of those records that
+:meth:`~repro.engine.session.KernelJob.cache_key` and the service layer's
+content-addressed result cache key on.
+
+Canonicalization rules (the cache-key contract):
+
+* **Config** — the full nested dataclass payload, every field, in a
+  sorted-key JSON encoding.  Two configs constructed differently but equal
+  field-by-field encode identically.
+* **Spec** — the parsed spec with the engine *resolved*: ``engine=None``
+  (the simulator's default) encodes as the registered default engine, so
+  ``"simx"`` and ``"simx:engine=vector"`` are the same identity — they run
+  the exact same simulation.  Legacy suffix strings (``"simx-scalar"``)
+  normalize through :func:`~repro.runtime.registry.parse_driver_spec` first
+  and therefore share the key of their canonical spelling.  Spec options
+  are already sorted by :class:`DriverSpec` itself.
+* **Options** — ``options=None`` encodes as the all-default
+  :class:`LaunchOptions` record (they launch identically).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any
+
+from repro.common.config import VortexConfig
+from repro.runtime.launch import LaunchOptions
+from repro.runtime.registry import DriverSpec, default_engine
+
+
+def config_payload(config: VortexConfig) -> dict[str, Any]:
+    """The full nested field payload of a :class:`VortexConfig` (JSON-ready)."""
+    return dataclasses.asdict(config)
+
+
+def spec_payload(spec: DriverSpec) -> dict[str, Any]:
+    """A spec's identity payload with the engine resolved to its default.
+
+    Resolution makes the payload describe the simulation that actually runs:
+    ``DriverSpec("simx")`` and ``DriverSpec("simx", engine="vector")`` both
+    select the vectorized engine and must key identically.
+    """
+    engine = spec.engine if spec.engine is not None else default_engine(spec.simulator)
+    return {
+        "simulator": spec.simulator,
+        "engine": engine,
+        "options": [list(pair) for pair in spec.options],
+    }
+
+
+def options_payload(options: LaunchOptions | None) -> dict[str, Any]:
+    """A launch-option payload; ``None`` normalizes to the all-default record."""
+    return dataclasses.asdict(options if options is not None else LaunchOptions())
+
+
+def canonical_json(payload: Any) -> str:
+    """The one byte-stable JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def content_digest(payload: Any) -> str:
+    """SHA-256 hex digest of a payload's canonical JSON encoding."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()

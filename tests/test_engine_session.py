@@ -173,6 +173,21 @@ def test_execute_job_reports_errors_instead_of_raising():
     assert not result.ok
     assert result.error is not None
     assert "KeyError" in result.error
+    # The exception type is preserved machine-readably so retry policies can
+    # classify the failure without parsing the message.
+    assert result.error_type == "KeyError"
+
+
+def test_job_result_payload_round_trips_through_execution_report():
+    result = execute_job(KernelJob(kernel="vecadd", driver="funcsim", size=32))
+    payload = result.to_payload()
+    assert payload["ok"] is True
+    assert payload["error"] is None and payload["error_type"] is None
+    assert payload["attempts"] == 1 and payload["cached"] is False
+    assert payload["report"] == result.report.to_payload()
+    from repro.runtime.report import ExecutionReport
+
+    assert ExecutionReport.from_payload(payload["report"]) == result.report
 
 
 def test_session_runs_batch_of_jobs_concurrently():
@@ -405,6 +420,7 @@ def test_job_launch_options_bound_the_run():
     )
     assert not result.ok
     assert "SimulationLimitExceeded" in result.error
+    assert result.error_type == "SimulationLimitExceeded"
 
 
 def test_session_rejects_unknown_executor():
