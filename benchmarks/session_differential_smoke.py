@@ -8,6 +8,13 @@ vectorized timing engines, writes the report payload as JSON, and exits
 non-zero on any mismatch.  CI consumes the payload with
 ``benchmarks/check_regression.py --require-identical``.
 
+Each grid point also runs a third, checkpoint/restore leg
+(``checkpoint_legs=True``): the vector run re-executed via run-to-midpoint
+→ checkpoint → restore-into-a-fresh-device → finish, diffed against the
+straight-through vector run.  A serializer that silently drops state in
+any layer (MSHRs, scoreboard, in-flight memory ops, barrier tables...)
+surfaces here as a counter mismatch.
+
 Run with::
 
     PYTHONPATH=src python benchmarks/session_differential_smoke.py [--out PATH]
@@ -72,7 +79,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     session = Session(executor=args.executor)
-    report = session.run_differential(smoke_jobs())
+    report = session.run_differential(smoke_jobs(), checkpoint_legs=True)
     print(report.summary())
     for result in report.results:
         status = "identical" if result.identical_counters else "MISMATCH"

@@ -1,4 +1,4 @@
-"""The six vxlint rules encoding the repo's simulator invariants.
+"""The seven vxlint rules encoding the repo's simulator invariants.
 
 Each rule is the static generalization of a property the differential and
 Hypothesis tests enforce dynamically on specific code paths:
@@ -28,6 +28,12 @@ Hypothesis tests enforce dynamically on specific code paths:
   mutates must be catalogued in the committed state inventory; the
   inventory is the groundwork for checkpoint/restore (you cannot snapshot
   state you have not catalogued).
+* **VX007 snapshot coverage** — every inventory-catalogued attribute must
+  be handled by its owning class's ``snapshot()``/``restore()`` methods or
+  explicitly declared derived/rebuildable in a ``SNAPSHOT_EXCLUDED``
+  class attribute.  New state that the serializers silently miss is the
+  checkpoint/restore analogue of a typo'd counter key: a restored run
+  diverges from the straight-through one without any error.
 """
 
 from __future__ import annotations
@@ -925,4 +931,154 @@ class StateInventoryRule(Rule):
                         )
                     ):
                         return child
+        return None
+
+
+# ---------------------------------------------------------------------------
+# VX007 — snapshot coverage
+
+
+#: Inventory classes legitimately outside the Snapshotable protocol.  Each
+#: is either construction-time wiring rebuilt by ``__init__`` (the hierarchy
+#: ports), a transient helper that never lives across a pause boundary (the
+#: memory word cursor, the per-instruction warp emulator facade), or an
+#: exception type.  Anything else in the state scope must serialize.
+SNAPSHOT_EXEMPT = frozenset(
+    {
+        "repro.cache.hierarchy._CachePort",
+        "repro.cache.hierarchy._DramPort",
+        "repro.core.emulator.SimulationLimitExceeded",
+        "repro.core.emulator.WarpEmulator",
+        "repro.mem.memory.WordCursor",
+    }
+)
+
+#: Method-name prefixes counted as serializer code.  Helper pairs like
+#: ``_snapshot_global_barriers``/``_restore_global_barriers`` count, so a
+#: class may split its serializer without losing coverage credit.
+_SNAPSHOT_METHOD_PREFIXES = ("snapshot", "restore")
+
+
+def _is_snapshot_method(name: str) -> bool:
+    return name.lstrip("_").startswith(_SNAPSHOT_METHOD_PREFIXES)
+
+
+@register_rule
+class SnapshotCoverageRule(Rule):
+    """VX007: inventory attributes are serialized or explicitly excluded."""
+
+    id = "VX007"
+    title = "snapshot-coverage"
+    scope = STATE_SCOPE
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        actual = collect_state([module])
+        class_defs = {
+            node.name: node
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.ClassDef)
+        }
+        for component, attrs in actual.items():
+            class_name = component.rsplit(".", 1)[-1]
+            node = class_defs.get(class_name)
+            if node is None:  # pragma: no cover - collect_state saw it, so we will
+                continue
+            methods = [
+                child
+                for child in node.body
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and _is_snapshot_method(child.name)
+            ]
+            if not methods:
+                if component in SNAPSHOT_EXEMPT:
+                    continue
+                yield self.finding(
+                    module,
+                    node,
+                    class_name,
+                    f"no-serializer:{component}",
+                    f"`{component}` owns mutable state but defines no "
+                    "snapshot()/restore() methods — implement the Snapshotable "
+                    "protocol or add it to SNAPSHOT_EXEMPT with a justification",
+                )
+                continue
+            covered = self._excluded_attrs(node)
+            for method in methods:
+                covered |= self._mentioned_attrs(method)
+            for attr in attrs:
+                if attr not in covered:
+                    yield self.finding(
+                        module,
+                        self._attr_site(node, attr) or node,
+                        f"{class_name}.{attr}",
+                        f"uncovered:{component}.{attr}",
+                        f"`self.{attr}` in `{component}` is not referenced by any "
+                        "snapshot*/restore* method and not declared in "
+                        "SNAPSHOT_EXCLUDED — a checkpoint would silently drop it "
+                        "and the restored run would diverge",
+                    )
+
+    @staticmethod
+    def _excluded_attrs(node: ast.ClassDef) -> set[str]:
+        """String entries of a class-level ``SNAPSHOT_EXCLUDED`` literal."""
+        excluded: set[str] = set()
+        for stmt in node.body:
+            if isinstance(stmt, ast.AnnAssign):
+                target, value = stmt.target, stmt.value
+            elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            else:
+                continue
+            if not (isinstance(target, ast.Name) and target.id == "SNAPSHOT_EXCLUDED"):
+                continue
+            if value is None:
+                continue
+            if (
+                isinstance(value, ast.Call)
+                and dotted_name(value.func) == "frozenset"
+                and value.args
+            ):
+                value = value.args[0]
+            if isinstance(value, (ast.Set, ast.Tuple, ast.List)):
+                for element in value.elts:
+                    if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                        excluded.add(element.value)
+        return excluded
+
+    @staticmethod
+    def _mentioned_attrs(method: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+        """Attributes a serializer method handles.
+
+        Counts ``self.x`` accesses and bare string literals: payload keys
+        conventionally match attribute names (modulo a leading underscore),
+        so ``{"next": self._next}`` credits both spellings.
+        """
+        mentioned: set[str] = set()
+        for child in ast.walk(method):
+            if (
+                isinstance(child, ast.Attribute)
+                and isinstance(child.value, ast.Name)
+                and child.value.id == "self"
+            ):
+                mentioned.add(child.attr)
+            elif isinstance(child, ast.Constant) and isinstance(child.value, str):
+                mentioned.add(child.value)
+                mentioned.add(f"_{child.value}")
+        return mentioned
+
+    @staticmethod
+    def _attr_site(node: ast.ClassDef, attr: str) -> ast.AST | None:
+        for child in ast.walk(node):
+            if isinstance(child, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    child.targets if isinstance(child, ast.Assign) else [child.target]
+                )
+                if any(
+                    isinstance(t, ast.Attribute)
+                    and isinstance(t.value, ast.Name)
+                    and t.value.id == "self"
+                    and t.attr == attr
+                    for t in targets
+                ):
+                    return child
         return None

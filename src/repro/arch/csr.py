@@ -99,6 +99,22 @@ class CsrFile:
         """Read backing storage without SIMT context (used by texture units)."""
         return self._storage.get(int(address), default)
 
-    def snapshot(self) -> dict[int, int]:
-        """Return a copy of the backing storage (for checkpointing in tests)."""
-        return dict(self._storage)
+    # -- checkpoint/restore --------------------------------------------------------
+
+    def snapshot(self) -> dict[str, object]:
+        """Serialize storage plus the hardware counters."""
+        return {
+            "storage": dict(self._storage),
+            "cycle": self.cycle,
+            "instret": self.instret,
+            "tex_epoch": self.tex_epoch,
+        }
+
+    def restore(self, payload: dict[str, object]) -> None:
+        """Restore CSR state from a :meth:`snapshot` payload."""
+        storage = payload["storage"]
+        assert isinstance(storage, dict)
+        self._storage = dict(storage)
+        self.cycle = int(payload["cycle"])  # type: ignore[call-overload]
+        self.instret = int(payload["instret"])  # type: ignore[call-overload]
+        self.tex_epoch = int(payload["tex_epoch"])  # type: ignore[call-overload]

@@ -10,6 +10,7 @@ rely on basic arithmetic, comparisons, conversions and fused multiply-add.
 from __future__ import annotations
 
 import math
+from collections.abc import Callable
 
 from repro.common.bitutils import bits_to_float, float_to_bits, to_int32, to_uint32
 
@@ -224,7 +225,9 @@ def _vec_fcvt_from_float(rs1: np.ndarray, signed: bool) -> np.ndarray:
     return np.where(np.isnan(a), np.uint32(0xFFFFFFFF), result).astype(np.uint32)
 
 
-def _vec_compare(rs1: np.ndarray, rs2: np.ndarray, op) -> np.ndarray:
+def _vec_compare(
+    rs1: np.ndarray, rs2: np.ndarray, op: Callable[[np.ndarray, np.ndarray], np.ndarray]
+) -> np.ndarray:
     # IEEE comparisons with NaN operands are False, matching the scalar
     # path's explicit NaN checks; comparisons never round, so float32 is
     # exact.

@@ -10,6 +10,7 @@ response.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 from typing import Any
 
@@ -40,6 +41,9 @@ class CacheBank:
 
     #: Counter schema (vxlint VX003).
     COUNTERS = frozenset({"evictions", "fills"})
+
+    #: Construction-time geometry; rebuilt by ``__init__`` (vxlint VX007).
+    SNAPSHOT_EXCLUDED = frozenset({"bank_id", "config", "num_sets", "num_ways"})
 
     def __init__(self, bank_id: int, config: CacheConfig):
         self.bank_id = bank_id
@@ -104,6 +108,58 @@ class CacheBank:
             self.perf.incr("evictions")
         ways[tag] = self._use_counter
         return evicted
+
+    # -- checkpoint/restore ----------------------------------------------------------
+
+    def _encode_request(
+        self, request: BankRequest, encode_tag: Callable[[Any], Any]
+    ) -> dict:
+        return {
+            "address": request.address,
+            "is_write": request.is_write,
+            "tag": encode_tag(request.tag),
+            "accept_cycle": request.accept_cycle,
+        }
+
+    def _decode_request(self, data: dict, decode_tag: Callable[[Any], Any]) -> BankRequest:
+        return BankRequest(
+            address=data["address"],
+            is_write=data["is_write"],
+            tag=decode_tag(data["tag"]),
+            accept_cycle=data["accept_cycle"],
+        )
+
+    def snapshot(self, encode_tag: Callable[[Any], Any]) -> dict:
+        """Serialize tag store, LRU state, MSHR and scheduled responses."""
+        return {
+            "tags": [dict(ways) for ways in self._tags],
+            "use_counter": self._use_counter,
+            "mshr": self.mshr.snapshot(
+                lambda request: self._encode_request(request, encode_tag)
+            ),
+            "pending": [
+                (entry.ready_cycle, self._encode_request(entry.request, encode_tag), entry.hit)
+                for entry in self._pending
+            ],
+            "perf": self.perf.snapshot(),
+        }
+
+    def restore(self, payload: dict, decode_tag: Callable[[Any], Any]) -> None:
+        """Restore bank state from a :meth:`snapshot` payload."""
+        self._tags = [dict(ways) for ways in payload["tags"]]
+        self._use_counter = payload["use_counter"]
+        self.mshr.restore(
+            payload["mshr"], lambda data: self._decode_request(data, decode_tag)
+        )
+        self._pending = [
+            _ScheduledResponse(
+                ready_cycle=ready_cycle,
+                request=self._decode_request(data, decode_tag),
+                hit=hit,
+            )
+            for ready_cycle, data, hit in payload["pending"]
+        ]
+        self.perf.restore(payload["perf"])
 
     # -- request handling ------------------------------------------------------------
 

@@ -17,7 +17,7 @@ overcommitted.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
 from typing import Any
 
 from repro.cache.bank import BankRequest, CacheBank
@@ -101,6 +101,14 @@ class NonBlockingCache:
             "fills",
             "cycles",
         }
+    )
+
+    #: Construction-time wiring and hot-path prebinds (vxlint VX007):
+    #: ``lower`` is topology, ``_line_size``/``_num_banks``/``_num_ports``
+    #: derive from config and ``_counters`` aliases ``perf._counters``
+    #: (serialized under the ``"perf"`` key).
+    SNAPSHOT_EXCLUDED = frozenset(
+        {"config", "lower", "_line_size", "_num_banks", "_num_ports", "_counters"}
     )
 
     def __init__(self, name: str, config: CacheConfig, lower: LowerPort | None = None):
@@ -446,6 +454,36 @@ class NonBlockingCache:
         if accepted_count:
             counters["accepted"] += accepted_count
         return accepted_count, refused, budget
+
+    # -- checkpoint/restore --------------------------------------------------------------------
+
+    def snapshot(self, encode_tag: Callable[[Any], Any]) -> dict:
+        """Serialize clock, per-cycle accept state and every bank.
+
+        ``encode_tag`` maps request tags to plain data (lower-level fill
+        tags carry live cache references; the memory subsystem encodes them
+        by cache name).  ``_responses`` is legacy drain state that is always
+        empty between cycles — asserting it stays empty is cheaper and
+        stricter than serializing live response objects.
+        """
+        if self._responses:
+            raise ValueError(f"cache {self.name!r} has undrained responses")
+        return {
+            "cycle": self._cycle,
+            "accepts_this_cycle": dict(self._accepts_this_cycle),
+            "banks": [bank.snapshot(encode_tag) for bank in self.banks],
+            "perf": self.perf.snapshot(),
+        }
+
+    def restore(self, payload: dict, decode_tag: Callable[[Any], Any]) -> None:
+        """Restore cache state from a :meth:`snapshot` payload."""
+        self._cycle = payload["cycle"]
+        self._accepts_this_cycle.clear()
+        self._accepts_this_cycle.update(payload["accepts_this_cycle"])
+        self._responses.clear()
+        for bank, bank_payload in zip(self.banks, payload["banks"]):
+            bank.restore(bank_payload, decode_tag)
+        self.perf.restore(payload["perf"])
 
     # -- back-end: fills and responses -------------------------------------------------------
 

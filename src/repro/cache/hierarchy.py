@@ -72,6 +72,11 @@ class _CachePort(LowerPort):
 class MemorySubsystem:
     """All caches plus the DRAM model for one Vortex processor."""
 
+    #: Construction-time topology (vxlint VX007): the level references are
+    #: wiring into ``_levels``, whose caches serialize by name in
+    #: :meth:`snapshot`.
+    SNAPSHOT_EXCLUDED = frozenset({"config", "l2", "l3", "icaches", "dcaches"})
+
     def __init__(self, config: VortexConfig):
         self.config = config
         self.dram = DramModel(config.memory)
@@ -162,6 +167,62 @@ class MemorySubsystem:
                 _, upper_cache, line_address = tag
                 upper_cache.fill(line_address)
             # Write-through acknowledgements need no routing.
+
+    # -- checkpoint/restore ------------------------------------------------------------
+
+    def _encode_tag(self, tag: object) -> object:
+        """Encode a request tag as plain data (live caches become names).
+
+        Tags are ``None``, ints/strs, or tuples that may embed a live
+        :class:`NonBlockingCache` (DRAM fill tags, L2/L3 ``("fill", ...)`` /
+        ``("wt", ...)`` tags).  Tuples are re-encoded as marker *lists* —
+        unambiguous because no tag contains a list — so the decoder can
+        rebuild the exact tuple shape and rebind caches by name.
+        """
+        if isinstance(tag, tuple):
+            return ["tuple", *[self._encode_tag(item) for item in tag]]
+        if isinstance(tag, NonBlockingCache):
+            return ["cache", tag.name]
+        return tag
+
+    def _decode_tag(self, tag: object) -> object:
+        """Invert :meth:`_encode_tag`, rebinding cache names to live caches."""
+        if isinstance(tag, list):
+            if tag[0] == "cache":
+                return self._caches_by_name()[tag[1]]
+            return tuple(self._decode_tag(item) for item in tag[1:])
+        return tag
+
+    def _caches_by_name(self) -> dict[str, NonBlockingCache]:
+        return {cache.name: cache for cache in self._levels}
+
+    def snapshot(self) -> dict:
+        """Serialize DRAM plus every cache level (keyed by cache name)."""
+        return {
+            "dram": self.dram.snapshot(self._encode_tag),
+            "caches": {
+                cache.name: cache.snapshot(self._encode_tag) for cache in self._levels
+            },
+            "perf": self.perf.snapshot(),
+        }
+
+    def restore(self, payload: dict) -> None:
+        """Restore the hierarchy from a :meth:`snapshot` payload.
+
+        The subsystem must have been built from the same configuration (the
+        driver-level envelope enforces this via the config fingerprint): the
+        cache-name key set is the wiring, only the state is restored.
+        """
+        caches = self._caches_by_name()
+        if set(payload["caches"]) != set(caches):
+            raise ValueError(
+                "cache hierarchy mismatch: snapshot has "
+                f"{sorted(payload['caches'])}, subsystem has {sorted(caches)}"
+            )
+        self.dram.restore(payload["dram"], self._decode_tag)
+        for name, cache_payload in payload["caches"].items():
+            caches[name].restore(cache_payload, self._decode_tag)
+        self.perf.restore(payload["perf"])
 
     # -- fast-forward ------------------------------------------------------------------
 

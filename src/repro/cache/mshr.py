@@ -10,6 +10,7 @@ the fill returns.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -27,6 +28,9 @@ class MshrEntry:
 
 class Mshr:
     """A bounded table of :class:`MshrEntry` keyed by line address."""
+
+    #: Construction-time capacity and its precomputed threshold (vxlint VX007).
+    SNAPSHOT_EXCLUDED = frozenset({"capacity", "_almost_full_at"})
 
     def __init__(self, capacity: int):
         if capacity < 1:
@@ -87,6 +91,45 @@ class Mshr:
         if occupancy > self.peak_occupancy:
             self.peak_occupancy = occupancy
         return entry
+
+    # -- checkpoint/restore --------------------------------------------------------
+
+    def snapshot(self, encode_request: Callable[[Any], Any]) -> dict:
+        """Serialize the outstanding-miss table (entry order preserved).
+
+        ``encode_request`` maps waiting requests to plain data; the owning
+        :class:`~repro.cache.bank.CacheBank` supplies the request codec.
+        """
+        return {
+            "entries": [
+                (
+                    line,
+                    {
+                        "fill_issued": entry.fill_issued,
+                        "waiting": [encode_request(request) for request in entry.waiting],
+                    },
+                )
+                for line, entry in self._entries.items()
+            ],
+            "almost_full": self.almost_full,
+            "peak_occupancy": self.peak_occupancy,
+            "merged": self.merged,
+            "allocations": self.allocations,
+        }
+
+    def restore(self, payload: dict, decode_request: Callable[[Any], Any]) -> None:
+        """Restore the miss table from a :meth:`snapshot` payload."""
+        self._entries.clear()
+        for line, data in payload["entries"]:
+            self._entries[line] = MshrEntry(
+                line_address=line,
+                fill_issued=data["fill_issued"],
+                waiting=[decode_request(request) for request in data["waiting"]],
+            )
+        self.almost_full = payload["almost_full"]
+        self.peak_occupancy = payload["peak_occupancy"]
+        self.merged = payload["merged"]
+        self.allocations = payload["allocations"]
 
     def release(self, line_address: int) -> list[Any]:
         """Remove the entry for ``line_address`` and return its waiting requests."""

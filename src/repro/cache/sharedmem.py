@@ -47,6 +47,9 @@ class SharedMemory:
     #: Counter schema (vxlint VX003).
     COUNTERS = frozenset({"attempts", "bank_conflicts", "reads", "writes"})
 
+    #: Construction-time geometry (vxlint VX007).
+    SNAPSHOT_EXCLUDED = frozenset({"core_id", "size", "num_banks", "latency"})
+
     def __init__(self, core_id: int, size: int, num_banks: int = 4, latency: int = 1):
         self.core_id = core_id
         self.size = size
@@ -158,6 +161,51 @@ class SharedMemory:
             for resp in ready:
                 resp.cycle = self._cycle
         return ready
+
+    # -- checkpoint/restore ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serialize clock, per-cycle accept state and pending accesses.
+
+        Scratchpad tags are core-local plain tuples (``("op", op_id)``), so
+        no tag codec is needed at this layer.
+        """
+        return {
+            "cycle": self._cycle,
+            "accepts_this_cycle": dict(self._accepts_this_cycle),
+            "pending": [
+                (
+                    ready_cycle,
+                    {
+                        "address": response.address,
+                        "is_write": response.is_write,
+                        "tag": response.tag,
+                        "cycle": response.cycle,
+                    },
+                )
+                for ready_cycle, response in self._pending
+            ],
+            "perf": self.perf.snapshot(),
+        }
+
+    def restore(self, payload: dict) -> None:
+        """Restore scratchpad state from a :meth:`snapshot` payload."""
+        self._cycle = payload["cycle"]
+        self._accepts_this_cycle.clear()
+        self._accepts_this_cycle.update(payload["accepts_this_cycle"])
+        self._pending = [
+            (
+                ready_cycle,
+                SharedResponse(
+                    address=data["address"],
+                    is_write=data["is_write"],
+                    tag=data["tag"],
+                    cycle=data["cycle"],
+                ),
+            )
+            for ready_cycle, data in payload["pending"]
+        ]
+        self.perf.restore(payload["perf"])
 
     # -- fast-forward ------------------------------------------------------------------
 

@@ -85,6 +85,18 @@ class PerfCounters:
     def reset(self) -> None:
         self._counters.clear()
 
+    # -- checkpoint/restore -------------------------------------------------------
+
+    def snapshot(self) -> dict[str, int]:
+        """Serialize the counter values (see ``repro.runtime.checkpoint``)."""
+        return dict(self._counters)
+
+    def restore(self, payload: Mapping[str, int]) -> None:
+        """Restore counter values from a :meth:`snapshot` payload."""
+        self._counters.clear()
+        for key, value in payload.items():
+            self._counters[key] = value
+
     def __contains__(self, counter: str) -> bool:
         return counter in self._counters
 

@@ -10,6 +10,7 @@ MSB of the barrier id in multi-core configurations.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import Any, Dict
 
@@ -55,6 +56,9 @@ class _BarrierEntry:
 class BarrierTable:
     """Barrier bookkeeping for one scope (a core, or the whole processor)."""
 
+    #: Construction-time table size (vxlint VX007).
+    SNAPSHOT_EXCLUDED = frozenset({"num_barriers"})
+
     def __init__(self, num_barriers: int = 16):
         self.num_barriers = num_barriers
         self._entries: dict[int, _BarrierEntry] = {}
@@ -97,6 +101,41 @@ class BarrierTable:
             self.releases += len(released)
             return released
         return []
+
+    # -- checkpoint/restore --------------------------------------------------------
+
+    def snapshot(self, encode_participant: Callable[[Any], Any]) -> dict:
+        """Serialize the in-progress barriers, preserving arrival order.
+
+        Participants are live objects (warps, or (core, warp, warp-object)
+        triples); the owning scope supplies ``encode_participant`` to map
+        them to plain indices and rebinds them on restore.
+        """
+        return {
+            "entries": [
+                (
+                    index,
+                    entry.expected,
+                    [encode_participant(participant) for participant in entry.waiting],
+                )
+                for index, entry in self._entries.items()
+            ],
+            "arrivals": self.arrivals,
+            "releases": self.releases,
+            "mismatches": self.mismatches,
+        }
+
+    def restore(self, payload: dict, decode_participant: Callable[[Any], Any]) -> None:
+        """Restore barrier state from a :meth:`snapshot` payload."""
+        self._entries.clear()
+        for index, expected, waiting in payload["entries"]:
+            entry = _BarrierEntry(expected=expected)
+            for encoded in waiting:
+                entry.waiting[decode_participant(encoded)] = None
+            self._entries[index] = entry
+        self.arrivals = payload["arrivals"]
+        self.releases = payload["releases"]
+        self.mismatches = payload["mismatches"]
 
     def waiting_on(self, barrier_id: int) -> list[Any]:
         """Participants currently stalled on ``barrier_id``."""

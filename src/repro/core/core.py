@@ -42,6 +42,10 @@ class SimtCore:
         }
     )
 
+    #: Construction-time wiring (vxlint VX007): memory serializes at the
+    #: processor level, the processor backref is topology.
+    SNAPSHOT_EXCLUDED = frozenset({"core_id", "config", "memory", "processor"})
+
     def __init__(
         self,
         core_id: int,
@@ -79,6 +83,36 @@ class SimtCore:
             warp.at_barrier = False
             warp.instructions = 0
         self.warps[0].spawn(entry_pc, tmask=1)
+        self.emulator.invalidate_decode_cache()
+
+    # -- checkpoint/restore --------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serialize the core's architectural state.
+
+        Barrier participants are this core's warp objects; they are encoded
+        as warp ids and rebound on restore.  The emulator's decode cache is
+        derived from memory contents and excluded (invalidated on restore).
+        """
+        return {
+            "warps": [warp.snapshot() for warp in self.warps],
+            "csr": self.csr.snapshot(),
+            "barriers": self.barriers.snapshot(lambda warp: warp.warp_id),
+            "perf": self.perf.snapshot(),
+            "tex_perf": self.tex_unit.perf.snapshot() if self.tex_unit is not None else None,
+        }
+
+    def restore(self, payload: dict) -> None:
+        """Restore the core from a :meth:`snapshot` payload."""
+        for warp, warp_payload in zip(self.warps, payload["warps"]):
+            warp.restore(warp_payload)
+        self.csr.restore(payload["csr"])
+        self.barriers.restore(payload["barriers"], lambda warp_id: self.warps[warp_id])
+        self.perf.restore(payload["perf"])
+        if self.tex_unit is not None:
+            if payload["tex_perf"] is not None:
+                self.tex_unit.perf.restore(payload["tex_perf"])
+            self.tex_unit.invalidate_state_cache()
         self.emulator.invalidate_decode_cache()
 
     # -- callbacks used by the emulator ------------------------------------------------

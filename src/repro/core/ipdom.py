@@ -35,6 +35,9 @@ class IpdomEntry:
 class IpdomStack:
     """A bounded stack of divergence contexts."""
 
+    #: Construction-time depth bound (vxlint VX007).
+    SNAPSHOT_EXCLUDED = frozenset({"depth"})
+
     def __init__(self, depth: int = 32):
         if depth < 1:
             raise ValueError("IPDOM stack depth must be positive")
@@ -69,3 +72,17 @@ class IpdomStack:
 
     def clear(self) -> None:
         self._entries.clear()
+
+    # -- checkpoint/restore --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serialize the divergence contexts (bottom of stack first)."""
+        return {
+            "entries": [(entry.tmask, entry.pc) for entry in self._entries],
+            "max_occupancy": self.max_occupancy,
+        }
+
+    def restore(self, payload: dict) -> None:
+        """Restore the stack from a :meth:`snapshot` payload."""
+        self._entries = [IpdomEntry(tmask=tmask, pc=pc) for tmask, pc in payload["entries"]]
+        self.max_occupancy = payload["max_occupancy"]

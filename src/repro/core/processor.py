@@ -26,6 +26,10 @@ from repro.mem.memory import MainMemory
 class _GlobalBarrierMixin:
     """Global-barrier bookkeeping shared by both processor models."""
 
+    #: Provided by the concrete processor (the mixin rebinds barrier
+    #: participants to these cores' warps on restore).
+    cores: list[Any]
+
     def _init_global_barriers(self, num_barriers: int = 16) -> None:
         self._global_barriers = BarrierTable(num_barriers)
 
@@ -43,6 +47,21 @@ class _GlobalBarrierMixin:
             return False
         warp.at_barrier = True
         return True
+
+    def _snapshot_global_barriers(self) -> dict:
+        """Serialize ``_global_barriers``; participants become (core, warp) id pairs."""
+        return self._global_barriers.snapshot(
+            lambda participant: [participant[0], participant[1]]
+        )
+
+    def _restore_global_barriers(self, payload: dict) -> None:
+        """Restore ``_global_barriers``, rebinding id pairs to live warp objects."""
+
+        def decode(encoded: Any) -> tuple[int, int, Any]:
+            core_id, warp_id = encoded
+            return (core_id, warp_id, self.cores[core_id].warps[warp_id])
+
+        self._global_barriers.restore(payload, decode)
 
 
 class Processor(_GlobalBarrierMixin):
@@ -73,11 +92,23 @@ class Processor(_GlobalBarrierMixin):
     def done(self) -> bool:
         return all(core.done for core in self.cores)
 
-    def run(self, entry_pc: int | None = None, max_instructions: int = 50_000_000) -> int:
+    def run(
+        self,
+        entry_pc: int | None = None,
+        max_instructions: int = 50_000_000,
+        stop_after_instructions: int | None = None,
+    ) -> int:
         """Run to completion; returns total instructions executed.
 
         Cores and wavefronts are interleaved at instruction granularity so
         that inter-core (global) barriers make forward progress.
+
+        ``stop_after_instructions`` pauses the run at the first scheduling
+        *round* boundary at which at least that many instructions have been
+        executed (by this call).  Stopping mid-round would change where the
+        interleaving resumes, so the round always completes; a paused run is
+        continued with another ``run()`` call (no ``entry_pc``) and is
+        bit-identical to an uninterrupted one.
         """
         if entry_pc is not None:
             self.reset(entry_pc)
@@ -101,8 +132,32 @@ class Processor(_GlobalBarrierMixin):
                 raise EmulationError(
                     "processor deadlocked: active wavefronts exist but none can execute"
                 )
+            if stop_after_instructions is not None and executed >= stop_after_instructions:
+                break
         self.perf.incr("instructions", executed)
         return executed
+
+    # -- checkpoint/restore ---------------------------------------------------------------
+
+    #: Configuration identity; fixed at construction (vxlint VX007).
+    SNAPSHOT_EXCLUDED = frozenset({"config"})
+
+    def snapshot(self) -> dict:
+        """Serialize the processor: memory image, every core, global barriers."""
+        return {
+            "memory": self.memory.snapshot(),
+            "cores": [core.snapshot() for core in self.cores],
+            "global_barriers": self._snapshot_global_barriers(),
+            "perf": self.perf.snapshot(),
+        }
+
+    def restore(self, payload: dict) -> None:
+        """Restore the processor from a :meth:`snapshot` payload."""
+        self.memory.restore(payload["memory"])
+        for core, core_payload in zip(self.cores, payload["cores"]):
+            core.restore(core_payload)
+        self._restore_global_barriers(payload["global_barriers"])
+        self.perf.restore(payload["perf"])
 
     def counters(self) -> dict[str, dict[str, int]]:
         """Per-core counter snapshot."""
@@ -170,13 +225,67 @@ class TimingProcessor(_GlobalBarrierMixin):
                 dcache_responses=responses.get(("d", core.core_id)),
             )
 
+    # -- checkpoint/restore ---------------------------------------------------------------
+
+    #: Configuration identity and run-mode flags; fixed at construction
+    #: (vxlint VX007).
+    SNAPSHOT_EXCLUDED = frozenset({"config", "engine", "fast_forward"})
+
+    def snapshot(self) -> dict:
+        """Serialize the whole cycle-level processor at a cycle boundary."""
+        return {
+            "memory": self.memory.snapshot(),
+            "memsys": self.memsys.snapshot(),
+            "cores": [core.snapshot() for core in self.cores],
+            "global_barriers": self._snapshot_global_barriers(),
+            "perf": self.perf.snapshot(),
+            "cycle": self.cycle,
+        }
+
+    def restore(self, payload: dict) -> None:
+        """Restore the processor from a :meth:`snapshot` payload."""
+        self.memory.restore(payload["memory"])
+        self.memsys.restore(payload["memsys"])
+        for core, core_payload in zip(self.cores, payload["cores"]):
+            core.restore(core_payload)
+        self._restore_global_barriers(payload["global_barriers"])
+        self.perf.restore(payload["perf"])
+        self.cycle = payload["cycle"]
+
+    def adopt_architectural(self, payload: dict) -> None:
+        """Adopt a functional :class:`Processor` snapshot as the architectural
+        starting point of a cold timing simulation.
+
+        This is the funcsim→SIMX bridge of sampled simulation: memory, warp
+        state (PCs, masks, registers, IPDOM stacks), CSRs and barriers come
+        from the functional checkpoint; all timing state — cycle counter,
+        caches, MSHRs, scoreboard, scheduler, in-flight queues — stays cold,
+        exactly as after a reset (the standard cold-start approximation).
+        The scheduler needs no explicit seeding: every tick re-derives its
+        masks from the warps' architectural ``active``/``at_barrier`` flags.
+        """
+        self.memory.restore(payload["memory"])
+        for core, core_payload in zip(self.cores, payload["cores"]):
+            core.func.restore(core_payload)
+            core.invalidate_caches()
+        self._restore_global_barriers(payload["global_barriers"])
+
     def run(
         self,
         entry_pc: int | None = None,
         max_cycles: int = 20_000_000,
         max_instructions: int | None = None,
+        stop_cycle: int | None = None,
     ) -> int:
-        """Run to completion; returns the elapsed cycle count."""
+        """Run to completion; returns the elapsed cycle count.
+
+        ``stop_cycle`` pauses the run once ``cycle`` reaches that value (a
+        cycle boundary, so every in-flight transaction is at a well-defined
+        point).  A paused run is continued with another ``run()`` call (no
+        ``entry_pc``); the only per-run state not carried over is the
+        deadlock watchdog's no-progress streak, which restarts at zero —
+        counter-neutral, it can only delay the watchdog exception.
+        """
         if entry_pc is not None:
             self.reset(entry_pc)
         idle_cycles = 0
@@ -185,6 +294,8 @@ class TimingProcessor(_GlobalBarrierMixin):
         # silences them per operation); silence them for the whole run.
         with np.errstate(all="ignore"):
             while not self.done:
+                if stop_cycle is not None and self.cycle >= stop_cycle:
+                    break
                 instructions_before = self.total_instructions
                 self.tick()
                 if self.cycle >= max_cycles:
@@ -214,7 +325,12 @@ class TimingProcessor(_GlobalBarrierMixin):
                     idle_cycles = 0
                 if self.fast_forward:
                     skip = self._idle_cycles_to_skip(max_cycles)
-                    if skip:
+                    if skip and stop_cycle is not None:
+                        # Never jump past the requested pause point: the
+                        # skipped cycles are provably idle either way, so
+                        # capping changes nothing but where the run stops.
+                        skip = min(skip, stop_cycle - self.cycle)
+                    if skip > 0:
                         self._skip_idle(skip)
                         # Mirror the per-tick watchdog bookkeeping above: a
                         # skipped cycle retires nothing, so it counts toward

@@ -38,6 +38,10 @@ class WavefrontScheduler:
     #: Counter schema (vxlint VX003).
     COUNTERS = frozenset({"idle_cycles", "refills", "selections", "switches"})
 
+    #: Construction-time policy wiring (vxlint VX007): ``_select`` is the
+    #: bound policy method, a pure function of ``policy``.
+    SNAPSHOT_EXCLUDED = frozenset({"num_warps", "policy", "_select"})
+
     def __init__(self, num_warps: int, policy: str = "round-robin"):
         if policy not in SCHEDULER_POLICIES:
             raise ValueError(
@@ -102,6 +106,38 @@ class WavefrontScheduler:
         self.stalled_mask = stalled_mask
         self.barrier_mask = barrier_mask
         self.visible_mask &= active_mask & ~stalled_mask & ~barrier_mask
+
+    # -- checkpoint/restore -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serialize every selection-relevant field.
+
+        The policy dispatch (``_select``) is constructor-derived; everything
+        the three policies consult — the four masks, the last-selected
+        wavefront and the greedy-then-oldest issue stamps — is captured so a
+        restored scheduler replays selections identically.
+        """
+        return {
+            "active_mask": self.active_mask,
+            "stalled_mask": self.stalled_mask,
+            "barrier_mask": self.barrier_mask,
+            "visible_mask": self.visible_mask,
+            "last_selected": self._last_selected,
+            "issue_stamps": list(self._issue_stamps),
+            "next_stamp": self._next_stamp,
+            "perf": self.perf.snapshot(),
+        }
+
+    def restore(self, payload: dict) -> None:
+        """Restore scheduler state from a :meth:`snapshot` payload."""
+        self.active_mask = payload["active_mask"]
+        self.stalled_mask = payload["stalled_mask"]
+        self.barrier_mask = payload["barrier_mask"]
+        self.visible_mask = payload["visible_mask"]
+        self._last_selected = payload["last_selected"]
+        self._issue_stamps = list(payload["issue_stamps"])
+        self._next_stamp = payload["next_stamp"]
+        self.perf.restore(payload["perf"])
 
     # -- fast-forward -----------------------------------------------------------------
 

@@ -25,6 +25,9 @@ class Scoreboard:
     #: Counter schema (vxlint VX003).
     COUNTERS = frozenset({"reservations"})
 
+    #: Construction-time warp count (vxlint VX007).
+    SNAPSHOT_EXCLUDED = frozenset({"num_warps"})
+
     def __init__(self, num_warps: int):
         self.num_warps = num_warps
         self._busy: dict[int, set[tuple[str, int]]] = {warp: set() for warp in range(num_warps)}
@@ -64,3 +67,20 @@ class Scoreboard:
     def clear(self) -> None:
         for warp_id in self._busy:
             self._busy[warp_id].clear()
+
+    # -- checkpoint/restore --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serialize the busy sets (sorted: set order is not deterministic)."""
+        return {
+            "busy": {warp_id: sorted(keys) for warp_id, keys in self._busy.items()},
+            "perf": self.perf.snapshot(),
+        }
+
+    def restore(self, payload: dict) -> None:
+        """Restore the busy sets from a :meth:`snapshot` payload."""
+        for warp_id in self._busy:
+            self._busy[warp_id] = {
+                (kind, register) for kind, register in payload["busy"][warp_id]
+            }
+        self.perf.restore(payload["perf"])

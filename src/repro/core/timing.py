@@ -180,6 +180,105 @@ class TimingCore:
         self.func.emulator.invalidate_decode_cache()
         self._registers_by_pc.clear()
 
+    # -- checkpoint/restore ----------------------------------------------------------
+
+    #: Attributes deliberately outside the snapshot (vxlint VX007):
+    #: configuration identity, constructor-derived lookup tables, references
+    #: owned and serialized by the memory subsystem, and the per-PC register
+    #: cache (a pure function of the decode, rebuilt lazily).
+    SNAPSHOT_EXCLUDED = frozenset(
+        {
+            "core_id",
+            "config",
+            "engine",
+            "batch_requests",
+            "icache",
+            "dcache",
+            "_unit_latency",
+            "_registers_by_pc",
+            "_dcache_line_size",
+            "_dcache_num_banks",
+            "_icache_line_size",
+        }
+    )
+
+    def snapshot(self) -> dict:
+        """Serialize the core's timing state plus the embedded functional core.
+
+        The instruction/data caches are referenced, not owned: the memory
+        subsystem serializes them.  Pending-operation dicts are emitted as
+        ordered lists — op ids are allocated monotonically, so list order
+        reproduces the oldest-first drain order exactly.
+        """
+        return {
+            "func": self.func.snapshot(),
+            "scheduler": self.scheduler.snapshot(),
+            "scoreboard": self.scoreboard.snapshot(),
+            "smem": self.smem.snapshot(),
+            "perf": self.perf.snapshot(),
+            "cycle": self.cycle,
+            "warp_ready_cycle": dict(self._warp_ready_cycle),
+            "writebacks": [list(entry) for entry in self._writebacks],
+            "pending_ops": [
+                {
+                    "op_id": op.op_id,
+                    "warp_id": op.warp_id,
+                    "rd": op.rd,
+                    "rd_float": op.rd_float,
+                    "writes_rd": op.writes_rd,
+                    "kind": op.kind,
+                    "to_send": [list(entry) for entry in op.to_send],
+                    "outstanding": op.outstanding,
+                    "extra_latency": op.extra_latency,
+                }
+                for op in self._pending_ops.values()
+            ],
+            "store_queue": [list(entry) for entry in self._store_queue],
+            "next_op_id": self._next_op_id,
+            "warm_ilines": sorted(self._warm_ilines),
+            "pending_ifetch": dict(self._pending_ifetch),
+            "ifetch_to_send": [list(entry) for entry in self._ifetch_to_send],
+        }
+
+    def restore(self, payload: dict) -> None:
+        """Restore from a :meth:`snapshot` payload.
+
+        The functional core's restore invalidates the decode caches; the
+        per-PC register cache derived from the same decode is dropped here.
+        """
+        self.func.restore(payload["func"])
+        self.scheduler.restore(payload["scheduler"])
+        self.scoreboard.restore(payload["scoreboard"])
+        self.smem.restore(payload["smem"])
+        self.perf.restore(payload["perf"])
+        self.cycle = payload["cycle"]
+        self._warp_ready_cycle = {
+            int(warp_id): ready for warp_id, ready in payload["warp_ready_cycle"].items()
+        }
+        self._writebacks = [tuple(entry) for entry in payload["writebacks"]]
+        self._pending_ops = {}
+        for op_payload in payload["pending_ops"]:
+            op = _PendingMemOp(
+                op_id=op_payload["op_id"],
+                warp_id=op_payload["warp_id"],
+                rd=op_payload["rd"],
+                rd_float=op_payload["rd_float"],
+                writes_rd=op_payload["writes_rd"],
+                kind=op_payload["kind"],
+                to_send=[tuple(entry) for entry in op_payload["to_send"]],
+                outstanding=op_payload["outstanding"],
+                extra_latency=op_payload["extra_latency"],
+            )
+            self._pending_ops[op.op_id] = op
+        self._store_queue = [tuple(entry) for entry in payload["store_queue"]]
+        self._next_op_id = payload["next_op_id"]
+        self._warm_ilines = set(payload["warm_ilines"])
+        self._pending_ifetch = {
+            int(warp_id): line for warp_id, line in payload["pending_ifetch"].items()
+        }
+        self._ifetch_to_send = [tuple(entry) for entry in payload["ifetch_to_send"]]
+        self._registers_by_pc.clear()
+
     # -- helpers -------------------------------------------------------------------------
 
     @property

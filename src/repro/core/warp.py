@@ -91,9 +91,30 @@ class RegisterFile:
         """Lane vector of floating-point register ``index`` (mutable view)."""
         return self._fp_regs[index]
 
+    # -- checkpoint/restore ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serialize both register classes as raw little-endian bytes."""
+        return {
+            "int": self._int_regs.tobytes(),
+            "fp": self._fp_regs.tobytes(),
+        }
+
+    def restore(self, payload: dict) -> None:
+        """Restore register contents from a :meth:`snapshot` payload."""
+        shape = (NUM_REGISTERS, self.num_threads)
+        self._int_regs[:] = np.frombuffer(payload["int"], dtype=np.uint32).reshape(shape)
+        self._fp_regs[:] = np.frombuffer(payload["fp"], dtype=np.uint32).reshape(shape)
+
 
 class Warp:
     """One wavefront: PC, thread mask, activity state and register files."""
+
+    #: Identity/geometry plus mask-derived fields the ``tmask`` setter
+    #: rebuilds on restore (vxlint VX007).
+    SNAPSHOT_EXCLUDED = frozenset(
+        {"warp_id", "num_threads", "active_count", "full", "lanes"}
+    )
 
     def __init__(self, warp_id: int, num_threads: int, ipdom_depth: int = 32):
         self.warp_id = warp_id
@@ -167,6 +188,43 @@ class Warp:
         """Deactivate the warp."""
         self.active = False
         self.tmask = 0
+
+    # -- checkpoint/restore ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serialize the warp's architectural state.
+
+        The plan caches (and the lane/count fields derived from the thread
+        mask) are deliberately excluded: they are pure functions of program
+        bytes and mask value, rebuilt lazily after restore.
+        """
+        return {
+            "pc": self.pc,
+            "active": self.active,
+            "at_barrier": self.at_barrier,
+            "instructions": self.instructions,
+            "tmask": self._tmask,
+            "regs": self.regs.snapshot(),
+            "ipdom": self.ipdom.snapshot(),
+        }
+
+    def restore(self, payload: dict) -> None:
+        """Restore the warp from a :meth:`snapshot` payload.
+
+        Assigning through the ``tmask`` property rebuilds the derived mask
+        state (active count, full flag, lane indices); the plan caches are
+        dropped because the restored memory image may hold a different
+        program than the one the caches were built against.
+        """
+        self.pc = payload["pc"]
+        self.active = payload["active"]
+        self.at_barrier = payload["at_barrier"]
+        self.instructions = payload["instructions"]
+        self.tmask = payload["tmask"]
+        self.regs.restore(payload["regs"])
+        self.ipdom.restore(payload["ipdom"])
+        self.plan_cache.clear()
+        self.timing_plan_cache.clear()
 
     @property
     def schedulable(self) -> bool:

@@ -108,6 +108,11 @@ class KernelJob:
     label: str = ""
     verify: bool = True
     options: LaunchOptions | None = None
+    #: Execute via the checkpoint/restore midpoint path: run to a fixed
+    #: midpoint, checkpoint, restore into a *fresh* device and finish there.
+    #: The result must be bit-identical to a straight-through run — this is
+    #: the differential grid's restore leg.
+    restart_midpoint: bool = False
 
     @property
     def spec(self) -> DriverSpec:
@@ -167,6 +172,12 @@ class KernelJob:
             "spec": spec_payload(self.spec),
             "options": options_payload(self.options),
         }
+        if self.restart_midpoint:
+            # Only keyed when set, so every pre-existing job keeps its key.
+            # The restore path *should* compute the identical result, but a
+            # serializer bug must surface as a differential mismatch — never
+            # be masked by a cache hit on the straight-through result.
+            material["restart_midpoint"] = True
         return content_digest(material)
 
 
@@ -225,6 +236,8 @@ def execute_job(job: KernelJob) -> JobResult:
     from repro.kernels import KERNELS
     from repro.runtime.device import VortexDevice
 
+    if job.restart_midpoint:
+        return execute_job_restart(job)
     started = time.time()
     clock = time.perf_counter()
     try:
@@ -241,6 +254,162 @@ def execute_job(job: KernelJob) -> JobResult:
             finished_at=time.time(),
         )
     except Exception as exc:  # pragma: no cover - exercised via error-path test
+        wall = time.perf_counter() - clock
+        return JobResult(
+            job=job,
+            wall_seconds=wall,
+            started_at=started,
+            finished_at=time.time(),
+            error=f"{type(exc).__name__}: {exc}",
+            error_type=type(exc).__name__,
+        )
+
+
+#: Midpoint at which restart-leg jobs pause and checkpoint: cycles on the
+#: cycle-level driver, retired warp instructions on the functional one.
+#: Small enough that every grid kernel is genuinely mid-flight.
+RESTART_MIDPOINT_UNITS = 400
+
+
+def _rebind_buffers(value: Any, device: Any) -> None:
+    """Re-point every :class:`DeviceBuffer` in a context at ``device``.
+
+    A verification context built against one device carries buffers bound
+    to it; after a checkpoint is restored into a *different* device the
+    buffers must read the restored memory.  Walks the context containers
+    (kernel contexts are small dicts of buffers/arrays/scalars).
+    """
+    from repro.runtime.buffer import DeviceBuffer
+
+    if isinstance(value, DeviceBuffer):
+        value.device = device
+    elif isinstance(value, dict):
+        for item in value.values():
+            _rebind_buffers(item, device)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            _rebind_buffers(item, device)
+
+
+def execute_job_restart(job: KernelJob) -> JobResult:
+    """Run a job through the checkpoint/restore midpoint path.
+
+    The kernel runs to a fixed midpoint on a first device, a versioned
+    checkpoint is taken and pushed through a pickle round-trip (proving the
+    envelope is cross-process safe), restored into a *fresh* device, and
+    the run finishes there.  If the kernel completes before the midpoint
+    the leg degrades to a straight-through run — still a valid comparison.
+    The acceptance property: the returned report is bit-identical to an
+    uninterrupted run's.
+    """
+    import pickle
+
+    from repro.kernels import KERNELS
+    from repro.runtime.device import VortexDevice
+
+    started = time.time()
+    clock = time.perf_counter()
+    try:
+        kernel = KERNELS[job.kernel]()
+        size = job.size if job.size is not None else kernel.default_size()
+        device = VortexDevice(job.config, driver=job.spec)
+        program = kernel.build_program()
+        device.upload_program(program)
+        context = kernel.setup(device, size)
+        driver = device.driver
+        if hasattr(driver.processor, "cycle"):
+            report = driver.run(
+                program.entry, options=job.options, stop_cycle=RESTART_MIDPOINT_UNITS
+            )
+        else:
+            report = driver.run(
+                program.entry,
+                options=job.options,
+                stop_after_instructions=RESTART_MIDPOINT_UNITS,
+            )
+        if not driver.done:
+            envelope = pickle.loads(pickle.dumps(device.checkpoint()))
+            device = VortexDevice(job.config, driver=job.spec)
+            device.restore(envelope)
+            _rebind_buffers(context, device)
+            report = device.driver.run(None, options=job.options, resume=True)
+        passed = kernel.verify(device, context) if job.verify else True
+        wall = time.perf_counter() - clock
+        return JobResult(
+            job=job,
+            report=report,
+            passed=passed,
+            wall_seconds=wall,
+            started_at=started,
+            finished_at=time.time(),
+        )
+    except Exception as exc:
+        wall = time.perf_counter() - clock
+        return JobResult(
+            job=job,
+            wall_seconds=wall,
+            started_at=started,
+            finished_at=time.time(),
+            error=f"{type(exc).__name__}: {exc}",
+            error_type=type(exc).__name__,
+        )
+
+
+def execute_job_checkpointed(
+    job: KernelJob,
+    *,
+    checkpoint_every: int,
+    checkpoint_sink: Any = None,
+    resume_from: dict | None = None,
+) -> JobResult:
+    """Run one job inline with periodic device checkpoints.
+
+    ``checkpoint_every`` is measured in the driver's natural unit (cycles
+    on the cycle-level driver, instructions on the functional one); after
+    each paused chunk ``checkpoint_sink`` receives the device's envelope.
+    ``resume_from`` continues a previously checkpointed run: the envelope
+    is restored into a fresh device and the verification context is
+    rebuilt deterministically (kernel setup is seeded) on a scratch device,
+    with its buffers rebound to the restored one.
+    """
+    from repro.kernels import KERNELS
+    from repro.runtime.device import VortexDevice
+
+    started = time.time()
+    clock = time.perf_counter()
+    try:
+        kernel = KERNELS[job.kernel]()
+        size = job.size if job.size is not None else kernel.default_size()
+        device = VortexDevice(job.config, driver=job.spec)
+        if resume_from is not None:
+            device.restore(resume_from)
+            # Rebuild the verification context on a scratch device (setup is
+            # deterministic: seeded RNG, fresh bump allocator) and point its
+            # buffers at the restored device.
+            scratch = VortexDevice(job.config, driver="funcsim")
+            scratch.upload_program(kernel.build_program())
+            context = kernel.setup(scratch, size)
+            _rebind_buffers(context, device)
+        else:
+            device.upload_program(kernel.build_program())
+            context = kernel.setup(device, size)
+        report = device.launch_resumable(
+            options=job.options,
+            checkpoint_every=checkpoint_every,
+            checkpoint_sink=checkpoint_sink,
+            resume=resume_from is not None,
+        )
+        passed = kernel.verify(device, context) if job.verify else True
+        wall = time.perf_counter() - clock
+        return JobResult(
+            job=job,
+            report=report,
+            passed=passed,
+            wall_seconds=wall,
+            started_at=started,
+            finished_at=time.time(),
+        )
+    except Exception as exc:
         wall = time.perf_counter() - clock
         return JobResult(
             job=job,
@@ -370,11 +539,18 @@ class DifferentialResult:
     mismatches: list[str] = field(default_factory=list)
     #: Sweep-unique label (collisions between unlabeled jobs get a suffix).
     label: str = ""
+    #: Optional third leg: the same point run through the checkpoint/restore
+    #: midpoint path (``KernelJob.restart_midpoint``).  ``mismatches``
+    #: includes its diff against the straight-through vector run.
+    restored: JobResult | None = None
 
     @property
     def ok(self) -> bool:
-        """Both runs executed and verified."""
-        return self.scalar.ok and self.vector.ok
+        """Every executed leg ran and verified."""
+        legs_ok = self.scalar.ok and self.vector.ok
+        if self.restored is not None:
+            legs_ok = legs_ok and self.restored.ok
+        return legs_ok
 
     @property
     def identical_counters(self) -> bool:
@@ -434,7 +610,11 @@ class DifferentialReport:
                     "mismatches": list(result.mismatches),
                     "errors": [
                         error
-                        for error in (result.scalar.error, result.vector.error)
+                        for error in (
+                            result.scalar.error,
+                            result.vector.error,
+                            result.restored.error if result.restored is not None else None,
+                        )
                         if error is not None
                     ],
                 }
@@ -563,8 +743,40 @@ class Session:
         wall = time.perf_counter() - start
         return BatchReport(results, wall, workers, self.executor)
 
+    def run(
+        self,
+        job: KernelJob,
+        *,
+        checkpoint_every: int | None = None,
+        checkpoint_sink: Any = None,
+        resume_from: dict | None = None,
+    ) -> JobResult:
+        """Execute one job, optionally as a resumable checkpointed run.
+
+        With neither ``checkpoint_every`` nor ``resume_from`` this is a
+        plain single-job :func:`execute_job`.  With ``checkpoint_every``
+        the job runs inline in chunks of N driver units (cycles on the
+        cycle-level driver, instructions on the functional one) and
+        ``checkpoint_sink`` receives the device envelope after each chunk;
+        ``resume_from`` continues a run from such an envelope.  Chunked and
+        resumed runs report bit-identically to straight-through runs.
+        """
+        if checkpoint_every is None and resume_from is None:
+            return execute_job(job)
+        if checkpoint_every is None:
+            raise ValueError("resume_from requires checkpoint_every")
+        return execute_job_checkpointed(
+            job,
+            checkpoint_every=checkpoint_every,
+            checkpoint_sink=checkpoint_sink,
+            resume_from=resume_from,
+        )
+
     def run_differential(
-        self, jobs: Sequence[KernelJob] | None = None
+        self,
+        jobs: Sequence[KernelJob] | None = None,
+        *,
+        checkpoint_legs: bool = False,
     ) -> DifferentialReport:
         """Run every job on both of its simulator's engines and diff all counters.
 
@@ -577,6 +789,12 @@ class Session:
         pinned explicitly still sweeps both engines (the pin picks which
         variant a plain :meth:`run_batch` would run, not what a differential
         sweep compares).
+
+        With ``checkpoint_legs=True`` every job also expands into a third
+        leg: the vector run re-executed through the checkpoint/restore
+        midpoint path (:func:`execute_job_restart`).  Its report is diffed
+        against the straight-through vector run, so any serializer drift in
+        any simulator layer shows up as a counter mismatch in the grid.
         """
         engines = ("scalar", "vector")
         batch = list(jobs) if jobs is not None else self.queue.drain()
@@ -604,18 +822,41 @@ class Session:
                         label=f"{base_label}#{engine}",
                     )
                 )
+            if checkpoint_legs:
+                expanded.append(
+                    replace(
+                        job,
+                        driver=spec.with_engine("vector"),
+                        engine=None,
+                        label=f"{base_label}#restore",
+                        restart_midpoint=True,
+                    )
+                )
+        stride = len(engines) + (1 if checkpoint_legs else 0)
         executed = self.run_batch(expanded)
         results: list[DifferentialResult] = []
         for index, (job, label) in enumerate(zip(batch, labels)):
-            scalar = executed.results[index * len(engines)]
-            vector = executed.results[index * len(engines) + 1]
+            scalar = executed.results[index * stride]
+            vector = executed.results[index * stride + 1]
+            restored = executed.results[index * stride + 2] if checkpoint_legs else None
             if scalar.report is not None and vector.report is not None:
                 mismatches = diff_execution_reports(scalar.report, vector.report)
             else:
                 mismatches = []
+            if restored is not None and vector.report is not None:
+                if restored.report is not None:
+                    mismatches.extend(
+                        f"restore leg {diff}"
+                        for diff in diff_execution_reports(vector.report, restored.report)
+                    )
             results.append(
                 DifferentialResult(
-                    job=job, scalar=scalar, vector=vector, mismatches=mismatches, label=label
+                    job=job,
+                    scalar=scalar,
+                    vector=vector,
+                    mismatches=mismatches,
+                    label=label,
+                    restored=restored,
                 )
             )
         return DifferentialReport(results=results, wall_seconds=executed.wall_seconds)

@@ -44,13 +44,22 @@ class VectorProcessor(Processor):
 
     core_cls = VectorSimtCore
 
-    def run(self, entry_pc: int | None = None, max_instructions: int = 50_000_000) -> int:
+    def run(
+        self,
+        entry_pc: int | None = None,
+        max_instructions: int = 50_000_000,
+        stop_after_instructions: int | None = None,
+    ) -> int:
         """Run to completion; returns total warp instructions executed.
 
         Cores and wavefronts are interleaved at instruction granularity
         exactly like the scalar processor; the instruction limit is checked
         once per scheduling round (the round length is bounded by
         ``num_cores * num_warps``).
+
+        ``stop_after_instructions`` pauses at the same scheduling-round
+        boundaries as the scalar processor's, so a paused-and-resumed run
+        replays the identical interleaving.
         """
         if entry_pc is not None:
             self.reset(entry_pc)
@@ -109,6 +118,11 @@ class VectorProcessor(Processor):
                         raise EmulationError(
                             "processor deadlocked: active wavefronts exist but none can execute"
                         )
+                    if (
+                        stop_after_instructions is not None
+                        and executed >= stop_after_instructions
+                    ):
+                        break
         finally:
             for index, core in enumerate(cores):
                 if retired_per_core[index]:

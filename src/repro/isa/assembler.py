@@ -15,7 +15,7 @@ from collections.abc import Sequence
 from typing import List
 
 from repro.isa.builder import BuildError, Program, ProgramBuilder
-from repro.isa.instructions import SPEC_BY_MNEMONIC
+from repro.isa.instructions import SPEC_BY_MNEMONIC, InstrSpec
 from repro.isa.registers import parse_fregister, parse_register
 
 
@@ -176,7 +176,7 @@ class Assembler:
         method(*operands)
 
     @staticmethod
-    def _target(token: str):
+    def _target(token: str) -> int | str:
         token = token.strip()
         try:
             return _parse_int(token)
@@ -185,7 +185,9 @@ class Assembler:
 
     # -- operand conversion ------------------------------------------------------------
 
-    def _convert_operands(self, syntax: Sequence[str], operands: Sequence[str], spec) -> List:
+    def _convert_operands(
+        self, syntax: Sequence[str], operands: Sequence[str], spec: InstrSpec
+    ) -> List:
         expected = len(syntax)
         if len(operands) != expected:
             raise BuildError(

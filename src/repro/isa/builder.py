@@ -20,12 +20,13 @@ from __future__ import annotations
 import keyword
 import struct
 from dataclasses import dataclass, field
-from collections.abc import Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 from repro.common.bitutils import float_to_bits, to_uint32
 from repro.isa.encoding import encode, imm_fits
 from repro.isa.instructions import SPEC_BY_MNEMONIC, InstrSpec
-from repro.isa.registers import Reg, reg_index
+from repro.isa.registers import Reg, RegisterLike, reg_index
 
 
 class BuildError(Exception):
@@ -157,7 +158,7 @@ class ProgramBuilder:
 
     # -- generic instruction emission --------------------------------------------
 
-    def emit(self, mnemonic: str, *args, **kwargs) -> None:
+    def emit(self, mnemonic: str, *args: Any, **kwargs: Any) -> None:
         """Emit instruction ``mnemonic`` with operands in assembly order."""
         spec = SPEC_BY_MNEMONIC.get(mnemonic)
         if spec is None:
@@ -165,7 +166,9 @@ class ProgramBuilder:
         operands = self._bind_operands(spec, args, kwargs)
         self._items.append(_Item(kind="instr", mnemonic=mnemonic, operands=operands))
 
-    def _bind_operands(self, spec: InstrSpec, args: Sequence, kwargs: dict) -> dict:
+    def _bind_operands(
+        self, spec: InstrSpec, args: Sequence[Any], kwargs: dict[str, Any]
+    ) -> dict[str, Any]:
         names = list(spec.syntax)
         if spec.syntax and spec.syntax[-1] == "mem":
             # Memory operands take two positional arguments: offset and base.
@@ -195,22 +198,22 @@ class ProgramBuilder:
     def nop(self) -> None:
         self.emit("addi", Reg.zero, Reg.zero, 0)
 
-    def mv(self, rd, rs) -> None:
+    def mv(self, rd: RegisterLike, rs: RegisterLike) -> None:
         self.emit("addi", rd, rs, 0)
 
-    def neg(self, rd, rs) -> None:
+    def neg(self, rd: RegisterLike, rs: RegisterLike) -> None:
         self.emit("sub", rd, Reg.zero, rs)
 
-    def not_(self, rd, rs) -> None:
+    def not_(self, rd: RegisterLike, rs: RegisterLike) -> None:
         self.emit("xori", rd, rs, -1)
 
-    def seqz(self, rd, rs) -> None:
+    def seqz(self, rd: RegisterLike, rs: RegisterLike) -> None:
         self.emit("sltiu", rd, rs, 1)
 
-    def snez(self, rd, rs) -> None:
+    def snez(self, rd: RegisterLike, rs: RegisterLike) -> None:
         self.emit("sltu", rd, Reg.zero, rs)
 
-    def li(self, rd, value: int) -> None:
+    def li(self, rd: RegisterLike, value: int) -> None:
         """Load a 32-bit integer constant."""
         value = int(value)
         if -2048 <= value < 2048:
@@ -222,12 +225,12 @@ class ProgramBuilder:
         if lower:
             self.emit("addi", rd, rd, lower)
 
-    def li_float(self, fd, value: float, scratch=Reg.t6) -> None:
+    def li_float(self, fd: RegisterLike, value: float, scratch: RegisterLike = Reg.t6) -> None:
         """Load a binary32 constant into an FP register via a scratch register."""
         self.li(scratch, float_to_bits(value))
         self.emit("fmv.w.x", fd, scratch)
 
-    def la(self, rd, label: TargetLike) -> None:
+    def la(self, rd: RegisterLike, label: TargetLike) -> None:
         """Load the absolute address of ``label``."""
         self._items.append(
             _Item(kind="instr", mnemonic="_la", operands={"rd": rd, "target": label})
@@ -236,7 +239,7 @@ class ProgramBuilder:
     def j(self, target: TargetLike) -> None:
         self.emit("jal", Reg.zero, target)
 
-    def jr(self, rs) -> None:
+    def jr(self, rs: RegisterLike) -> None:
         self.emit("jalr", Reg.zero, rs, 0)
 
     def call(self, target: TargetLike) -> None:
@@ -245,38 +248,38 @@ class ProgramBuilder:
     def ret(self) -> None:
         self.emit("jalr", Reg.zero, Reg.ra, 0)
 
-    def beqz(self, rs, target: TargetLike) -> None:
+    def beqz(self, rs: RegisterLike, target: TargetLike) -> None:
         self.emit("beq", rs, Reg.zero, target)
 
-    def bnez(self, rs, target: TargetLike) -> None:
+    def bnez(self, rs: RegisterLike, target: TargetLike) -> None:
         self.emit("bne", rs, Reg.zero, target)
 
-    def blez(self, rs, target: TargetLike) -> None:
+    def blez(self, rs: RegisterLike, target: TargetLike) -> None:
         self.emit("bge", Reg.zero, rs, target)
 
-    def bgtz(self, rs, target: TargetLike) -> None:
+    def bgtz(self, rs: RegisterLike, target: TargetLike) -> None:
         self.emit("blt", Reg.zero, rs, target)
 
-    def bgt(self, rs1, rs2, target: TargetLike) -> None:
+    def bgt(self, rs1: RegisterLike, rs2: RegisterLike, target: TargetLike) -> None:
         self.emit("blt", rs2, rs1, target)
 
-    def ble(self, rs1, rs2, target: TargetLike) -> None:
+    def ble(self, rs1: RegisterLike, rs2: RegisterLike, target: TargetLike) -> None:
         self.emit("bge", rs2, rs1, target)
 
-    def fmv_s(self, fd, fs) -> None:
+    def fmv_s(self, fd: RegisterLike, fs: RegisterLike) -> None:
         self.emit("fsgnj.s", fd, fs, fs)
 
-    def fneg_s(self, fd, fs) -> None:
+    def fneg_s(self, fd: RegisterLike, fs: RegisterLike) -> None:
         self.emit("fsgnjn.s", fd, fs, fs)
 
-    def fabs_s(self, fd, fs) -> None:
+    def fabs_s(self, fd: RegisterLike, fs: RegisterLike) -> None:
         self.emit("fsgnjx.s", fd, fs, fs)
 
-    def csr_read(self, rd, csr: int) -> None:
+    def csr_read(self, rd: RegisterLike, csr: int) -> None:
         """Read a CSR (``csrrs rd, csr, x0``)."""
         self.emit("csrrs", rd, int(csr), Reg.zero)
 
-    def csr_write(self, csr: int, rs) -> None:
+    def csr_write(self, csr: int, rs: RegisterLike) -> None:
         """Write a CSR (``csrrw x0, csr, rs``)."""
         self.emit("csrrw", Reg.zero, int(csr), rs)
 
@@ -414,8 +417,8 @@ def _method_name(mnemonic: str) -> str:
     return name
 
 
-def _make_emitter(mnemonic: str):
-    def emitter(self: ProgramBuilder, *args, **kwargs) -> None:
+def _make_emitter(mnemonic: str) -> Callable[..., None]:
+    def emitter(self: ProgramBuilder, *args: Any, **kwargs: Any) -> None:
         self.emit(mnemonic, *args, **kwargs)
 
     emitter.__name__ = _method_name(mnemonic)

@@ -83,7 +83,7 @@ def is_tex_csr(address: int) -> bool:
     return base <= address < base + NUM_TEX_STATES * TEX_STATE_STRIDE
 
 
-def split_tex_csr(address: int):
+def split_tex_csr(address: int) -> tuple[int, TexCSR, int]:
     """Split a texture CSR address into ``(stage, field, lod)``."""
     if not is_tex_csr(address):
         raise ValueError(f"not a texture CSR: {address:#x}")

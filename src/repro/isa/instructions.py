@@ -20,6 +20,7 @@ Instruction groups:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.isa.encoding import InstrFormat, Opcode
 
@@ -60,7 +61,7 @@ class InstrSpec:
     writes_rd: bool = True
 
 
-def _spec(*args, **kwargs) -> InstrSpec:
+def _spec(*args: Any, **kwargs: Any) -> InstrSpec:
     return InstrSpec(*args, **kwargs)
 
 
@@ -529,7 +530,7 @@ VORTEX_EXTENSION = ("wspawn", "tmc", "split", "join", "bar", "tex")
 GROUPS = sorted({spec.group for spec in _SPECS})
 
 
-def specs_in_group(group: str):
+def specs_in_group(group: str) -> list[InstrSpec]:
     """Return all specifications belonging to ``group``."""
     return [spec for spec in _SPECS if spec.group == group]
 
@@ -542,6 +543,6 @@ def lookup(mnemonic: str) -> InstrSpec:
         raise KeyError(f"unknown instruction mnemonic {mnemonic!r}") from None
 
 
-def all_specs():
+def all_specs() -> list[InstrSpec]:
     """Return every instruction specification in definition order."""
     return list(_SPECS)

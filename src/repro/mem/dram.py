@@ -11,11 +11,16 @@ latency, and are released in order subject to the bandwidth limit.
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Callable
 from dataclasses import dataclass
 from typing import Any
 
 from repro.common.config import MemoryConfig
 from repro.common.perf import PerfCounters, hot_path
+
+
+def _identity_tag(tag: Any) -> Any:
+    return tag
 
 
 @dataclass
@@ -59,6 +64,9 @@ class DramModel:
             "cycles",
         }
     )
+
+    #: Construction-time timing parameters (vxlint VX007).
+    SNAPSHOT_EXCLUDED = frozenset({"config"})
 
     def __init__(self, config: MemoryConfig | None = None):
         self.config = config or MemoryConfig()
@@ -130,6 +138,50 @@ class DramModel:
         inside the window: no releases, no bandwidth stalls, just the clock)."""
         self._cycle += cycles
         self.perf.incr("cycles", cycles)
+
+    # -- checkpoint/restore ------------------------------------------------------------
+
+    def snapshot(self, encode_tag: Callable[[Any], Any] | None = None) -> dict:
+        """Serialize queue and clock state.
+
+        ``encode_tag`` maps request tags to plain data — fill tags carry a
+        live cache reference, which :class:`~repro.cache.hierarchy.MemorySubsystem`
+        encodes by cache name and rebinds on restore.
+        """
+        encode = encode_tag if encode_tag is not None else _identity_tag
+        return {
+            "cycle": self._cycle,
+            "queue": [
+                {
+                    "address": in_flight.request.address,
+                    "is_write": in_flight.request.is_write,
+                    "tag": encode(in_flight.request.tag),
+                    "issue_cycle": in_flight.request.issue_cycle,
+                    "ready_cycle": in_flight.ready_cycle,
+                }
+                for in_flight in self._queue
+            ],
+            "perf": self.perf.snapshot(),
+        }
+
+    def restore(self, payload: dict, decode_tag: Callable[[Any], Any] | None = None) -> None:
+        """Restore queue and clock state from a :meth:`snapshot` payload."""
+        decode = decode_tag if decode_tag is not None else _identity_tag
+        self._cycle = payload["cycle"]
+        self._queue.clear()
+        for item in payload["queue"]:
+            self._queue.append(
+                _InFlight(
+                    request=MemRequest(
+                        address=item["address"],
+                        is_write=item["is_write"],
+                        tag=decode(item["tag"]),
+                        issue_cycle=item["issue_cycle"],
+                    ),
+                    ready_cycle=item["ready_cycle"],
+                )
+            )
+        self.perf.restore(payload["perf"])
 
     # -- inspection -------------------------------------------------------------------
 

@@ -69,6 +69,30 @@ class MainMemory:
                 snapshot[index] = data.tobytes()
         return snapshot
 
+    # -- checkpoint/restore -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serialize the memory image (sparse: non-zero pages only).
+
+        Page payloads are immutable ``bytes`` copies, so a snapshot held
+        across further execution is copy-on-write friendly by construction —
+        later stores never alias into it.
+        """
+        return {
+            "pages": self.page_snapshot(),
+            "reads": self.reads,
+            "writes": self.writes,
+        }
+
+    def restore(self, payload: dict) -> None:
+        """Restore the memory image from a :meth:`snapshot` payload."""
+        self._pages.clear()
+        for index, raw in payload["pages"].items():
+            data = np.frombuffer(raw, dtype=np.uint8).copy()
+            self._pages[index] = (data, data.view(_WORD_DTYPE))
+        self.reads = payload["reads"]
+        self.writes = payload["writes"]
+
     # -- raw byte access --------------------------------------------------------------
 
     def read_bytes(self, address: int, size: int) -> bytes:

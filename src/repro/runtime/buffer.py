@@ -55,6 +55,18 @@ class BufferAllocator:
         """Release everything (used between benchmark runs)."""
         self._next = self.base
 
+    # -- checkpoint/restore --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Serialize the heap geometry and the bump pointer."""
+        return {"base": self.base, "size": self.size, "next": self._next}
+
+    def restore(self, payload: dict) -> None:
+        """Restore from a :meth:`snapshot` payload."""
+        self.base = payload["base"]
+        self.size = payload["size"]
+        self._next = payload["next"]
+
 
 @dataclass
 class DeviceBuffer:

@@ -34,6 +34,7 @@ from repro.common.config import VortexConfig
 from repro.isa.builder import Program
 from repro.mem.memory import MainMemory
 from repro.runtime.buffer import BufferAllocator, DeviceBuffer
+from repro.runtime.checkpoint import make_envelope, open_envelope
 from repro.runtime.driver import CommandProcessor
 from repro.runtime.launch import LaunchOptions
 from repro.runtime.registry import DriverSpec, create_driver, parse_driver_spec
@@ -139,6 +140,115 @@ class VortexDevice:
                 raise ValueError("no program uploaded and no entry PC given")
             entry_pc = self.program.entry
         return self.afu.launch(self.driver, entry_pc, options=options)
+
+    # -- checkpoint/restore -----------------------------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """A versioned envelope holding the complete device state.
+
+        Bundles the driver's own checkpoint (memory image + simulator
+        state), the buffer allocator's bump pointer and the uploaded
+        program's metadata.  The envelope is plain picklable data: it can
+        cross process boundaries or be written to disk, and
+        :meth:`restore` validates its format version and config fingerprint
+        before touching any state.
+        """
+        driver_checkpoint = getattr(self.driver, "checkpoint", None)
+        if driver_checkpoint is None:
+            raise TypeError(
+                f"driver {self.driver_name!r} does not support checkpointing"
+            )
+        program = self.program
+        return make_envelope(
+            kind="device",
+            config=self.config,
+            state={
+                "driver": driver_checkpoint(),
+                "allocator": self.allocator.snapshot(),
+                "program": None
+                if program is None
+                else {
+                    "base": program.base,
+                    "words": list(program.words),
+                    "symbols": dict(program.symbols),
+                    "entry": program.entry,
+                },
+            },
+        )
+
+    def restore(self, envelope: dict) -> None:
+        """Restore a :meth:`checkpoint` envelope taken from an identically
+        configured device.
+
+        The program image is *not* re-uploaded: its bytes are already part
+        of the restored memory image, and the driver's restore invalidates
+        every decode/plan cache.  Only the :class:`Program` metadata (entry
+        point, symbols) is rebuilt so later ``launch()`` calls resolve.
+        """
+        state = open_envelope(envelope, kind="device", config=self.config)
+        driver_restore = getattr(self.driver, "restore", None)
+        if driver_restore is None:
+            raise TypeError(f"driver {self.driver_name!r} does not support restore")
+        driver_restore(state["driver"])
+        self.allocator.restore(state["allocator"])
+        program = state["program"]
+        self.program = (
+            None
+            if program is None
+            else Program(
+                base=program["base"],
+                words=list(program["words"]),
+                symbols=dict(program["symbols"]),
+                entry=program["entry"],
+            )
+        )
+
+    def launch_resumable(
+        self,
+        entry_pc: int | None = None,
+        options: LaunchOptions | None = None,
+        *,
+        checkpoint_every: int,
+        checkpoint_sink=None,
+        resume: bool = False,
+    ) -> ExecutionReport:
+        """Launch (or resume) the kernel, checkpointing every N units.
+
+        ``checkpoint_every`` is measured in the driver's natural progress
+        unit — cycles on the cycle-level driver, instructions on the
+        functional one.  After each paused chunk ``checkpoint_sink`` (if
+        given) receives the :meth:`checkpoint` envelope.  The run is
+        bit-identical to an uninterrupted :meth:`launch`: pauses land on
+        cycle/scheduling-round boundaries and all state carries across.
+        """
+        if checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive")
+        if entry_pc is None:
+            entry_pc = (options.entry_pc if options is not None else None) or (
+                self.program.entry if self.program is not None else None
+            )
+        if entry_pc is None and not resume:
+            raise ValueError("no program uploaded and no entry PC given")
+        is_timing = hasattr(self.driver.processor, "cycle")
+        report = None
+        while True:
+            if is_timing:
+                stop = self.driver.processor.cycle + checkpoint_every
+                report = self.driver.run(
+                    entry_pc, options=options, stop_cycle=stop, resume=resume
+                )
+            else:
+                report = self.driver.run(
+                    entry_pc,
+                    options=options,
+                    stop_after_instructions=checkpoint_every,
+                    resume=resume,
+                )
+            resume = True
+            if self.driver.done:
+                return report
+            if checkpoint_sink is not None:
+                checkpoint_sink(self.checkpoint())
 
     # -- convenience ------------------------------------------------------------------------
 

@@ -24,6 +24,7 @@ from repro.common.config import VortexConfig
 from repro.core.processor import Processor
 from repro.engine.vector_core import VectorProcessor
 from repro.mem.memory import MainMemory
+from repro.runtime.checkpoint import make_envelope, open_envelope
 from repro.runtime.launch import LaunchOptions, resolve_options
 from repro.runtime.report import ExecutionReport
 
@@ -57,18 +58,46 @@ class FuncSimDriver:
         self.config = config or VortexConfig()
         self.memory = memory if memory is not None else MainMemory()
         self.processor = processor_cls(self.config, self.memory)
+        #: Instructions executed by the current (possibly paused) launch.
+        self._run_instructions = 0
 
     def invalidate_decode_caches(self) -> None:
         """Drop all cached decodes/plans (a new program image was loaded)."""
         for core in self.processor.cores:
             core.emulator.invalidate_decode_cache()
 
+    # -- checkpoint/restore ------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """True when the current launch has run to completion."""
+        return self.processor.done
+
+    def checkpoint(self) -> dict:
+        """A versioned envelope holding the full simulation state."""
+        return make_envelope(
+            kind=self.name,
+            config=self.config,
+            state={
+                "processor": self.processor.snapshot(),
+                "run_instructions": self._run_instructions,
+            },
+        )
+
+    def restore(self, envelope: dict) -> None:
+        """Restore a :meth:`checkpoint` envelope (validates format + config)."""
+        state = open_envelope(envelope, kind=self.name, config=self.config)
+        self.processor.restore(state["processor"])
+        self._run_instructions = state["run_instructions"]
+
     def run(
         self,
-        entry_pc: int,
+        entry_pc: int | None,
         options: LaunchOptions | None = None,
         *,
         max_instructions: int | None = None,
+        stop_after_instructions: int | None = None,
+        resume: bool = False,
     ) -> ExecutionReport:
         """Execute the kernel at ``entry_pc`` to completion.
 
@@ -76,13 +105,23 @@ class FuncSimDriver:
         ``max_instructions`` keyword is still honoured (and wins over the
         corresponding ``options`` field).  ``max_cycles`` is ignored here —
         the functional driver does not model time.
+
+        ``stop_after_instructions`` pauses the launch at a scheduling-round
+        boundary once that many instructions have executed; ``resume=True``
+        continues a paused (or checkpoint-restored) launch instead of
+        resetting, and the report's instruction count stays cumulative over
+        the whole logical launch — bit-identical to an uninterrupted run.
         """
         options = resolve_options(options, max_instructions=max_instructions)
         start = time.perf_counter()
-        instructions = self.processor.run(
-            entry_pc,
+        if not resume:
+            self._run_instructions = 0
+        executed = self.processor.run(
+            None if resume else entry_pc,
             max_instructions=options.max_instructions or DEFAULT_MAX_INSTRUCTIONS,
+            stop_after_instructions=stop_after_instructions,
         )
+        self._run_instructions += executed
         wall_seconds = time.perf_counter() - start
         thread_instructions = sum(
             core.perf.get("thread_instructions") for core in self.processor.cores
@@ -90,7 +129,7 @@ class FuncSimDriver:
         return ExecutionReport(
             driver=self.name,
             cycles=0,
-            instructions=instructions,
+            instructions=self._run_instructions,
             thread_instructions=thread_instructions,
             counters=self.processor.counters(),
             wall_seconds=wall_seconds,

@@ -13,6 +13,7 @@ import time
 from repro.common.config import VortexConfig
 from repro.core.processor import TimingProcessor
 from repro.mem.memory import MainMemory
+from repro.runtime.checkpoint import make_envelope, open_envelope
 from repro.runtime.launch import LaunchOptions, resolve_options
 from repro.runtime.report import ExecutionReport
 
@@ -83,12 +84,39 @@ class SimxDriver:
         for core in self.processor.cores:
             core.invalidate_caches()
 
+    # -- checkpoint/restore ------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """True when the current launch has run to completion (and drained)."""
+        return self.processor.done
+
+    def checkpoint(self) -> dict:
+        """A versioned envelope holding the full simulation state.
+
+        Taken at a cycle boundary, so every in-flight cache/DRAM transaction
+        is at a well-defined point; a restored run continues cycle- and
+        counter-identically.
+        """
+        return make_envelope(
+            kind=self.name,
+            config=self.config,
+            state={"processor": self.processor.snapshot()},
+        )
+
+    def restore(self, envelope: dict) -> None:
+        """Restore a :meth:`checkpoint` envelope (validates format + config)."""
+        state = open_envelope(envelope, kind=self.name, config=self.config)
+        self.processor.restore(state["processor"])
+
     def run(
         self,
-        entry_pc: int,
+        entry_pc: int | None,
         options: LaunchOptions | None = None,
         *,
         max_cycles: int | None = None,
+        stop_cycle: int | None = None,
+        resume: bool = False,
     ) -> ExecutionReport:
         """Execute the kernel at ``entry_pc`` to completion.
 
@@ -97,13 +125,20 @@ class SimxDriver:
         corresponding ``options`` field).  ``max_instructions`` bounds the
         retired warp-instruction count; both budgets raise the typed
         :class:`~repro.core.emulator.SimulationLimitExceeded`.
+
+        ``stop_cycle`` pauses the simulation at that cycle boundary;
+        ``resume=True`` continues a paused (or checkpoint-restored) launch
+        instead of resetting.  The cycle counter and every performance
+        counter carry across pauses, so a chunked run reports exactly what
+        the uninterrupted run would.
         """
         options = resolve_options(options, max_cycles=max_cycles)
         start = time.perf_counter()
         cycles = self.processor.run(
-            entry_pc,
+            None if resume else entry_pc,
             max_cycles=options.max_cycles or DEFAULT_MAX_CYCLES,
             max_instructions=options.max_instructions,
+            stop_cycle=stop_cycle,
         )
         wall_seconds = time.perf_counter() - start
         return ExecutionReport(

@@ -15,15 +15,20 @@ needs capabilities a pool hides:
   process and keeps kernel instances (and therefore their assembled program
   images, ~0.7 ms each) warm across jobs.
 
-Warm-pool scope — why devices are rebuilt per job: re-running a kernel on a
-dirty :class:`~repro.runtime.device.VortexDevice` produces *wrong* results
-(measured: 15009 vs 1721 cycles for the same job), because the allocator
-high-water mark shifts buffer addresses, timing-model caches start warm and
-performance counters accumulate.  Constructing a device is ~0.2 ms against
-a >=30 ms simulation (<1% of job cost), so the pool keeps the expensive,
-result-neutral state (program assembly, process warm-up) and rebuilds the
-cheap, result-bearing state (the device) every job — preserving the
-bit-identical replay the content-addressed cache depends on.
+Warm-pool scope — devices warm-start from pristine checkpoints: re-running
+a kernel on a dirty :class:`~repro.runtime.device.VortexDevice` produces
+*wrong* results (measured: 15009 vs 1721 cycles for the same job), because
+the allocator high-water mark shifts buffer addresses, timing-model caches
+start warm and performance counters accumulate.  Instead of rebuilding the
+device per job, the pool builds one device per (config, driver) point,
+takes its :meth:`~repro.runtime.device.VortexDevice.checkpoint` while
+still pristine, and *restores* that envelope before every reuse — the
+versioned restore rewinds every layer (memory pages, register files,
+caches, MSHRs, counters, allocator) to the exact post-construction state,
+so the bit-identical replay the content-addressed cache depends on is
+preserved by construction (``benchmarks/service_smoke.py`` measures it).
+The expensive, result-neutral state (program assembly, process warm-up)
+stays warm either way.
 
 Workers prefer the ``fork`` start method: it inherits the parent's warm
 imports (faster spawn) and, in tests, inherited module state serves as a
@@ -64,7 +69,12 @@ class WarmPool:
 
     def __init__(self) -> None:
         self._kernels: dict[str, Any] = {}
+        #: One (device, pristine checkpoint) pair per (config, driver) point.
+        self._devices: dict[tuple[str, str], tuple[Any, dict]] = {}
         self.warm_hits = 0
+        #: Jobs served by restoring a pooled device from its pristine
+        #: checkpoint instead of constructing a new one.
+        self.restore_hits = 0
 
     def kernel(self, name: str) -> Any:
         """The (warm) kernel instance for ``name``; assembles on first use."""
@@ -79,19 +89,46 @@ class WarmPool:
             self.warm_hits += 1
         return instance
 
-    def run_job(self, job: KernelJob) -> JobResult:
-        """Execute ``job`` on a fresh device using warm kernel state.
+    def device(self, job: KernelJob) -> Any:
+        """A pristine device for ``job``'s (config, driver) point.
 
-        Mirrors :func:`repro.engine.session.execute_job` exactly except the
-        kernel instance (and its cached program image) is reused.
+        The first job at a point constructs the device and captures its
+        pristine checkpoint; later jobs restore that envelope, rewinding
+        every simulator layer to the exact post-construction state.
         """
+        from repro.runtime.checkpoint import config_fingerprint
         from repro.runtime.device import VortexDevice
 
+        key = (config_fingerprint(job.config), job.spec.driver_name)
+        entry = self._devices.get(key)
+        if entry is None:
+            device = VortexDevice(job.config, driver=job.spec)
+            self._devices[key] = (device, device.checkpoint())
+            return device
+        device, pristine = entry
+        device.restore(pristine)
+        self.restore_hits += 1
+        return device
+
+    def run_job(self, job: KernelJob) -> JobResult:
+        """Execute ``job`` on a pristine warm-started device.
+
+        Mirrors :func:`repro.engine.session.execute_job` exactly except the
+        kernel instance (with its cached program image) and the device (via
+        pristine-checkpoint restore) are reused.  Restart-midpoint jobs
+        delegate straight to :func:`~repro.engine.session.execute_job`: the
+        restore leg's whole point is exercising fresh-device checkpoint
+        transport, which warm reuse would short-circuit.
+        """
+        if job.restart_midpoint:
+            from repro.engine.session import execute_job
+
+            return execute_job(job)
         started = time.time()
         clock = time.perf_counter()
         try:
             kernel = self.kernel(job.kernel)
-            device = VortexDevice(job.config, driver=job.spec)
+            device = self.device(job)
             run = kernel.run(device, size=job.size, verify=job.verify, options=job.options)
             wall = time.perf_counter() - clock
             return JobResult(

@@ -68,6 +68,15 @@ class TextureUnit:
         self._state_cache[stage] = (csr_file, epoch, state)
         return state
 
+    def invalidate_state_cache(self) -> None:
+        """Drop the cached CSR snapshots.
+
+        Needed after a checkpoint restore: the restored CSR file may carry
+        the *same* ``tex_epoch`` value as the cached entries while holding
+        different texture state, so the epoch check alone cannot see it.
+        """
+        self._state_cache.clear()
+
     def sample_warp(
         self,
         csr_file,

@@ -28,6 +28,7 @@ from repro.analysis.rules import (
     DtypeDisciplineRule,
     HotPathAllocationRule,
     PredicatePurityRule,
+    SnapshotCoverageRule,
     StateInventoryRule,
     collect_state,
 )
@@ -382,6 +383,100 @@ class TestStateInventoryRule:
         assert [f.detail for f in findings] == [
             "unknown-component:repro.cache.fixture.Widget"
         ]
+
+
+# ---------------------------------------------------------------------------
+# VX007 snapshot coverage
+
+
+class TestSnapshotCoverageRule:
+    def test_covered_attributes_clean(self):
+        source = (
+            "class Widget:\n"
+            "    def __init__(self):\n"
+            "        self.count = 0\n"
+            "        self.items = []\n"
+            "    def snapshot(self):\n"
+            "        return {'count': self.count, 'items': list(self.items)}\n"
+            "    def restore(self, payload):\n"
+            "        self.count = payload['count']\n"
+            "        self.items = list(payload['items'])\n"
+        )
+        assert run_one(SnapshotCoverageRule(), source) == []
+
+    def test_uncovered_attribute_flagged(self):
+        # Seeded serializer drift: `pending` is mutable state the snapshot
+        # silently drops — exactly the divergence class VX007 exists for.
+        source = (
+            "class Widget:\n"
+            "    def __init__(self):\n"
+            "        self.count = 0\n"
+            "        self.pending = []\n"
+            "    def snapshot(self):\n"
+            "        return {'count': self.count}\n"
+            "    def restore(self, payload):\n"
+            "        self.count = payload['count']\n"
+        )
+        findings = run_one(SnapshotCoverageRule(), source)
+        assert [f.detail for f in findings] == [
+            "uncovered:repro.cache.fixture.Widget.pending"
+        ]
+
+    def test_excluded_attribute_clean(self):
+        source = (
+            "class Widget:\n"
+            "    SNAPSHOT_EXCLUDED = frozenset({'config'})\n"
+            "    def __init__(self, config):\n"
+            "        self.config = config\n"
+            "        self.count = 0\n"
+            "    def snapshot(self):\n"
+            "        return {'count': self.count}\n"
+            "    def restore(self, payload):\n"
+            "        self.count = payload['count']\n"
+        )
+        assert run_one(SnapshotCoverageRule(), source) == []
+
+    def test_helper_method_prefix_counts(self):
+        # Split serializers (_snapshot_x/_restore_x) get coverage credit.
+        source = (
+            "class Widget:\n"
+            "    def __init__(self):\n"
+            "        self.barriers = {}\n"
+            "    def snapshot(self):\n"
+            "        return {'barriers': self._snapshot_barriers()}\n"
+            "    def restore(self, payload):\n"
+            "        self._restore_barriers(payload['barriers'])\n"
+            "    def _snapshot_barriers(self):\n"
+            "        return dict(self.barriers)\n"
+            "    def _restore_barriers(self, payload):\n"
+            "        self.barriers = dict(payload)\n"
+        )
+        assert run_one(SnapshotCoverageRule(), source) == []
+
+    def test_underscore_payload_key_credits_attribute(self):
+        # Payload keys conventionally drop the leading underscore.
+        source = (
+            "class Widget:\n"
+            "    def __init__(self):\n"
+            "        self._next = 0\n"
+            "    def snapshot(self):\n"
+            "        return {'next': self._next}\n"
+            "    def restore(self, payload):\n"
+            "        self._next = payload['next']\n"
+        )
+        assert run_one(SnapshotCoverageRule(), source) == []
+
+    def test_stateful_class_without_serializer_flagged(self):
+        findings = run_one(SnapshotCoverageRule(), STATEFUL_SOURCE)
+        assert [f.detail for f in findings] == [
+            "no-serializer:repro.cache.fixture.Widget"
+        ]
+
+    def test_out_of_scope_module_untouched(self):
+        findings = run_one(
+            SnapshotCoverageRule(), STATEFUL_SOURCE, module="repro.kernels.fixture"
+        )
+        assert findings == []
 
 
 # ---------------------------------------------------------------------------

@@ -42,7 +42,7 @@ def test_general_storage_roundtrip(csr):
     assert csr.read(0x7C0) == 0x1234
     assert csr.raw(0x7C0) == 0x1234
     assert csr.raw(0x7C1, default=7) == 7
-    assert 0x7C0 in csr.snapshot()
+    assert 0x7C0 in csr.snapshot()["storage"]
 
 
 # -- texture CSR map --------------------------------------------------------------------
