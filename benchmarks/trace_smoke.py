@@ -1,0 +1,187 @@
+"""Trace-bus smoke: off-path overhead gate, sink parseability, reconciliation.
+
+Re-runs the committed ``BENCH_timing.json`` scenario shapes three ways:
+
+* ``simx`` — tracing off.  The instrumented hot paths must pay only the
+  prebound ``trace is None`` guards (vxlint VX008), so this is the
+  wall-clock the PR's ≤2%-overhead budget protects.
+* ``simx:trace=mem`` — full tracing into an in-memory sink.  The reports
+  of the off and traced runs must be **bit-identical** (tracing observes
+  the simulation, never perturbs it) and the event stream must
+  *reconcile*: every per-reason event total equals the corresponding
+  aggregate performance counter exactly
+  (:func:`repro.trace.attribution.reconcile`).
+* ``simx:trace=csv`` / ``trace=vcd`` (one scenario) — the file sinks must
+  produce parseable artifacts whose contents match the in-memory stream.
+
+Each row's ``speedup`` is *traced-seconds / off-seconds* — how much faster
+the tracing-off path is than full tracing.  CI gates it against the
+committed ``BENCH_trace.json`` with ``check_regression.py --floor``: the
+committed baseline encodes today's allocation-free off path, and a
+VX008-class regression (unguarded emission work leaking into the off
+path) shrinks the off/traced gap and trips the floor without any
+cross-machine absolute-seconds comparison.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/trace_smoke.py [--reps N] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.common.config import CacheConfig, MemoryConfig, VortexConfig
+from repro.engine.session import diff_execution_reports
+from repro.kernels import KERNELS
+from repro.runtime.device import VortexDevice
+from repro.trace.attribution import reconcile
+from repro.trace.sinks import parse_csv, parse_vcd, vcd_changes
+
+#: The committed ``BENCH_timing.json`` scenario shapes, re-run under tracing:
+#: (name, kernel, size, warps, threads, port_limited).
+SCENARIOS = (
+    ("trace_sfilter_4w32t", "sfilter", 24 * 24, 4, 32, False),
+    ("trace_sgemm_4w32t", "sgemm", 20 * 20, 4, 32, False),
+    ("trace_sgemm_8w4t", "sgemm", 24 * 24, 8, 4, True),
+)
+
+#: The scenario whose traced stream is additionally written through the
+#: file sinks and re-parsed.
+ARTIFACT_SCENARIO = "trace_sgemm_8w4t"
+
+
+def _config(warps: int, threads: int, port_limited: bool) -> VortexConfig:
+    if port_limited:
+        # The scheduler_policy_sweep / forensics shape: stall-heavy.
+        return VortexConfig(
+            dcache=CacheConfig(size=16 * 1024, num_banks=4, num_ports=1),
+            memory=MemoryConfig(latency=100, bandwidth=1),
+        ).with_warps_threads(warps, threads)
+    # The BENCH_timing hit-friendly shape (see benchmarks/perf_smoke.py).
+    return VortexConfig(
+        dcache=CacheConfig(size=64 * 1024, num_banks=8, num_ports=8),
+        memory=MemoryConfig(latency=10, bandwidth=8),
+    ).with_warps_threads(warps, threads)
+
+
+def _run_once(driver: str, kernel: str, size: int, config: VortexConfig):
+    device = VortexDevice(config, driver=driver)
+    start = time.perf_counter()
+    run = KERNELS[kernel]().run(device, size=size)
+    wall = time.perf_counter() - start
+    if not run.passed:
+        raise AssertionError(f"{kernel} failed verification on {driver}")
+    return wall, run.report, device.driver
+
+
+def measure_scenario(
+    name: str, kernel: str, size: int, warps: int, threads: int,
+    port_limited: bool, reps: int,
+) -> dict[str, Any]:
+    """Best-of-N off vs traced, interleaved so machine noise hits both."""
+    config = _config(warps, threads, port_limited)
+    off_best = traced_best = float("inf")
+    off_report = traced_report = None
+    traced_driver = None
+    for _ in range(reps):
+        wall, off_report, _ = _run_once("simx", kernel, size, config)
+        off_best = min(off_best, wall)
+        wall, traced_report, traced_driver = _run_once(
+            "simx:trace=mem", kernel, size, config
+        )
+        traced_best = min(traced_best, wall)
+
+    mismatches = diff_execution_reports(off_report, traced_report)
+    events = list(traced_driver.trace_sink.events)
+    reconciliation = reconcile(events, traced_driver.processor)
+    return {
+        "scenario": name,
+        "kernel": kernel,
+        "size": size,
+        "warps": warps,
+        "threads": threads,
+        "cycles": off_report.cycles,
+        "events": len(events),
+        "off_seconds": round(off_best, 4),
+        "traced_seconds": round(traced_best, 4),
+        "off_cycles_per_second": round(off_report.cycles / off_best, 1),
+        "traced_cycles_per_second": round(traced_report.cycles / traced_best, 1),
+        "speedup": round(traced_best / off_best, 2),
+        "identical_counters": not mismatches and not reconciliation,
+        "mismatches": mismatches + reconciliation,
+    }
+
+
+def check_artifacts(kernel: str, size: int, config: VortexConfig) -> dict[str, Any]:
+    """The file sinks round-trip the deterministic traced stream."""
+    _, _, mem_driver = _run_once("simx:trace=mem", kernel, size, config)
+    events = list(mem_driver.trace_sink.events)
+    with tempfile.TemporaryDirectory() as tmp:
+        csv_path = Path(tmp) / "trace.csv"
+        vcd_path = Path(tmp) / "trace.vcd"
+        _run_once(f"simx:trace=csv,trace_file={csv_path}", kernel, size, config)
+        _run_once(f"simx:trace=vcd,trace_file={vcd_path}", kernel, size, config)
+        csv_ok = parse_csv(csv_path.read_text()) == events
+        vcd_ok = parse_vcd(vcd_path.read_text()) == vcd_changes(events)
+    return {
+        "scenario": ARTIFACT_SCENARIO,
+        "events": len(events),
+        "csv_round_trips": bool(csv_ok),
+        "vcd_round_trips": bool(vcd_ok),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    root = Path(__file__).resolve().parent.parent
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--reps", type=int, default=3)
+    parser.add_argument("--out", type=Path, default=root / "BENCH_trace.json")
+    args = parser.parse_args(argv)
+
+    results = []
+    artifacts = None
+    for name, kernel, size, warps, threads, port_limited in SCENARIOS:
+        row = measure_scenario(name, kernel, size, warps, threads, port_limited, args.reps)
+        results.append(row)
+        status = "identical" if row["identical_counters"] else "MISMATCH"
+        print(
+            f"  {name:20s} cycles={row['cycles']:7d} events={row['events']:7d} "
+            f"off={row['off_seconds']:.3f}s traced={row['traced_seconds']:.3f}s "
+            f"off-is-{row['speedup']:.2f}x-faster {status}"
+        )
+        for mismatch in row["mismatches"]:
+            print(f"    - {mismatch}")
+        if name == ARTIFACT_SCENARIO:
+            artifacts = check_artifacts(kernel, size, _config(warps, threads, port_limited))
+            print(
+                f"  {name:20s} csv_round_trips={artifacts['csv_round_trips']} "
+                f"vcd_round_trips={artifacts['vcd_round_trips']}"
+            )
+
+    payload = {
+        "benchmark": "trace bus: off-path overhead + sink round-trips + reconciliation",
+        "generated_by": "benchmarks/trace_smoke.py",
+        "identical_counters": all(row["identical_counters"] for row in results),
+        "results": results,
+        "artifacts": artifacts,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {args.out}")
+    if not payload["identical_counters"]:
+        print("trace smoke FAILED: tracing perturbed or mis-counted a run", file=sys.stderr)
+        return 1
+    if not (artifacts and artifacts["csv_round_trips"] and artifacts["vcd_round_trips"]):
+        print("trace smoke FAILED: file sinks did not round-trip", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

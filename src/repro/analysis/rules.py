@@ -1,4 +1,4 @@
-"""The seven vxlint rules encoding the repo's simulator invariants.
+"""The eight vxlint rules encoding the repo's simulator invariants.
 
 Each rule is the static generalization of a property the differential and
 Hypothesis tests enforce dynamically on specific code paths:
@@ -34,6 +34,10 @@ Hypothesis tests enforce dynamically on specific code paths:
   class attribute.  New state that the serializers silently miss is the
   checkpoint/restore analogue of a typo'd counter key: a restored run
   diverges from the straight-through one without any error.
+* **VX008 trace-emission guard** — ``TraceBus.emit`` calls inside
+  ``@hot_path`` functions must sit lexically inside an ``if`` that tests
+  the trace receiver, so the tracing-off hot path stays allocation-free
+  (the ``trace = self.trace`` / ``if trace is not None:`` idiom).
 """
 
 from __future__ import annotations
@@ -1082,3 +1086,81 @@ class SnapshotCoverageRule(Rule):
                 ):
                     return child
         return None
+
+
+# ---------------------------------------------------------------------------
+# VX008 — guarded trace emission
+
+
+@register_rule
+class TraceEmissionGuardRule(Rule):
+    """VX008: ``.emit()`` on a trace receiver inside ``@hot_path`` needs a guard.
+
+    The observability contract is that a tracing-off simulation pays one
+    prebound ``None`` comparison per emission site and nothing else.  That
+    only holds when every hot-path emission is lexically inside an ``if``
+    whose test mentions the receiver — ``trace = self.trace`` followed by
+    ``if trace is not None: trace.emit(...)`` — because the emit call's
+    argument tuple (and usually a payload dict) is otherwise built on every
+    attempt even when no bus is attached.
+    """
+
+    id = "VX008"
+    title = "trace-emission-guard"
+    scope = ("repro",)
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for qualname, func in iter_functions(module.tree):
+            if "hot_path" not in decorator_names(func):
+                continue
+            for stmt in func.body:
+                yield from self._scan(module, qualname, func, stmt, frozenset())
+
+    def _scan(
+        self,
+        module: ModuleInfo,
+        qualname: str,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        node: ast.AST,
+        guarded: frozenset[str],
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested defs get their own scan if (and only if) they are hot.
+            return
+        if isinstance(node, ast.If):
+            names = frozenset(
+                name
+                for sub in ast.walk(node.test)
+                if isinstance(sub, (ast.Name, ast.Attribute))
+                and (name := dotted_name(sub)) is not None
+            )
+            for child in ast.iter_child_nodes(node):
+                if child is node.test:
+                    yield from self._scan(module, qualname, func, child, guarded)
+                else:
+                    yield from self._scan(module, qualname, func, child, guarded | names)
+            return
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "emit"
+        ):
+            receiver = dotted_name(node.func.value)
+            if (
+                receiver is not None
+                and "trace" in receiver.rsplit(".", 1)[-1]
+                and receiver not in guarded
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    qualname,
+                    f"unguarded:{receiver}:{node.lineno - func.lineno}",
+                    f"`{receiver}.emit(...)` inside @hot_path `{qualname}` is not "
+                    f"lexically inside an `if` testing `{receiver}` — with tracing "
+                    "off this builds the argument tuple (and payload) per attempt; "
+                    "hoist the bus into a local and guard with `if <bus> is not "
+                    "None:`",
+                )
+        for child in ast.iter_child_nodes(node):
+            yield from self._scan(module, qualname, func, child, guarded)

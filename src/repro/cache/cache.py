@@ -23,6 +23,7 @@ from typing import Any
 from repro.cache.bank import BankRequest, CacheBank
 from repro.common.config import CacheConfig
 from repro.common.perf import PerfCounters, hot_path
+from repro.trace.events import NO_WARP
 
 
 @dataclass
@@ -108,7 +109,17 @@ class NonBlockingCache:
     #: derive from config and ``_counters`` aliases ``perf._counters``
     #: (serialized under the ``"perf"`` key).
     SNAPSHOT_EXCLUDED = frozenset(
-        {"config", "lower", "_line_size", "_num_banks", "_num_ports", "_counters"}
+        {
+            "config",
+            "lower",
+            "_line_size",
+            "_num_banks",
+            "_num_ports",
+            "_counters",
+            "trace",
+            "trace_channel",
+            "trace_core",
+        }
     )
 
     def __init__(self, name: str, config: CacheConfig, lower: LowerPort | None = None):
@@ -118,6 +129,12 @@ class NonBlockingCache:
         self.banks = [CacheBank(bank_id, config) for bank_id in range(config.num_banks)]
         self.perf = PerfCounters(name)
         self._cycle = 0
+        # Observability (attached by MemorySubsystem.attach_trace): one trace
+        # event per request *attempt*, mirroring the refusal/hit/miss counter
+        # charged for it, so reconciliation holds by construction.
+        self.trace: Any = None
+        self.trace_channel = ""
+        self.trace_core = -1
         # Per-cycle bank selector state: bank -> (first line address, accept count).
         self._accepts_this_cycle: dict[int, tuple[int, int]] = {}
         self._responses: list[CacheResponse] = []
@@ -208,6 +225,7 @@ class NonBlockingCache:
         """
         counters = self._counters
         counters["attempts"] += 1
+        trace = self.trace
         line = address // self._line_size
         bank_id = line % self._num_banks
         refusal = self._arbitration_refusal(bank_id, line, is_write)
@@ -216,6 +234,16 @@ class NonBlockingCache:
             # schema by construction ("bank_conflicts"/"mshr_stalls" literals
             # in _arbitration_refusal) — safe despite being non-literal here.
             counters[refusal] += 1  # vxlint: disable=VX003
+            if trace is not None:
+                kind = "conflict" if refusal == "bank_conflicts" else "mshr-stall"
+                trace.emit(
+                    self._cycle,
+                    self.trace_core,
+                    NO_WARP,
+                    self.trace_channel,
+                    kind,
+                    {"bank": bank_id, "line": line, "write": is_write},
+                )
             return False
         bank = self.banks[bank_id]
 
@@ -226,12 +254,30 @@ class NonBlockingCache:
             # level; a write hit also updates the cached line's LRU state.
             if self.lower is not None and not self.lower.request_write(self, address):
                 counters["memq_stalls"] += 1
+                if trace is not None:
+                    trace.emit(
+                        self._cycle,
+                        self.trace_core,
+                        NO_WARP,
+                        self.trace_channel,
+                        "refusal",
+                        {"bank": bank_id, "line": line, "write": True},
+                    )
                 return False
             if hit:
                 bank.touch(line)
                 counters["write_hits"] += 1
             else:
                 counters["write_misses"] += 1
+            if trace is not None:
+                trace.emit(
+                    self._cycle,
+                    self.trace_core,
+                    NO_WARP,
+                    self.trace_channel,
+                    "hit" if hit else "miss",
+                    {"bank": bank_id, "line": line, "write": True},
+                )
             bank.schedule_response(
                 BankRequest(address=address, is_write=True, tag=tag, accept_cycle=self._cycle),
                 self._cycle,
@@ -245,11 +291,29 @@ class NonBlockingCache:
                 True,
             )
             counters["read_hits"] += 1
+            if trace is not None:
+                trace.emit(
+                    self._cycle,
+                    self.trace_core,
+                    NO_WARP,
+                    self.trace_channel,
+                    "hit",
+                    {"bank": bank_id, "line": line, "write": False},
+                )
         else:
             existing = bank.mshr.lookup(line)
             if existing is None and self.lower is not None:
                 if not self.lower.request_fill(self, line):
                     counters["memq_stalls"] += 1
+                    if trace is not None:
+                        trace.emit(
+                            self._cycle,
+                            self.trace_core,
+                            NO_WARP,
+                            self.trace_channel,
+                            "refusal",
+                            {"bank": bank_id, "line": line, "write": False},
+                        )
                     return False
             entry = bank.mshr.allocate(
                 line,
@@ -257,8 +321,29 @@ class NonBlockingCache:
             )
             if entry is None:
                 counters["mshr_stalls"] += 1
+                if trace is not None:
+                    trace.emit(
+                        self._cycle,
+                        self.trace_core,
+                        NO_WARP,
+                        self.trace_channel,
+                        "mshr-stall",
+                        {"bank": bank_id, "line": line, "write": False},
+                    )
                 return False
             counters["read_misses"] += 1
+            if trace is not None:
+                payload = {"bank": bank_id, "line": line, "write": False}
+                if existing is not None:
+                    payload["merge"] = True
+                trace.emit(
+                    self._cycle,
+                    self.trace_core,
+                    NO_WARP,
+                    self.trace_channel,
+                    "miss",
+                    payload,
+                )
 
         accepted = self._accepts_this_cycle.get(bank_id)
         count = 0 if accepted is None else accepted[1]
@@ -296,6 +381,9 @@ class NonBlockingCache:
         num_banks = self._num_banks
         lower = self.lower
         cycle = self._cycle
+        trace = self.trace
+        trace_core = self.trace_core
+        trace_channel = self.trace_channel
         # Saturation fast path: once every bank has all its ports taken this
         # cycle, the port check (which precedes every other refusal reason)
         # rejects any further request as a bank conflict without touching any
@@ -311,6 +399,16 @@ class NonBlockingCache:
             total = len(requests)
             counters["attempts"] += total
             counters["bank_conflicts"] += total
+            if trace is not None:
+                for entry in requests:
+                    trace.emit(
+                        cycle,
+                        trace_core,
+                        NO_WARP,
+                        trace_channel,
+                        "conflict",
+                        {"bank": entry[2], "line": entry[1], "write": is_write},
+                    )
             return 0, requests, budget
         attempts = accepted_count = bank_conflicts = mshr_stalls = memq_stalls = 0
         read_hits = read_misses = write_hits = write_misses = 0
@@ -340,18 +438,45 @@ class NonBlockingCache:
                 if count >= num_ports or first_line != line:
                     bank_conflicts += 1
                     refused.append(entry)
+                    if trace is not None:
+                        trace.emit(
+                            cycle,
+                            trace_core,
+                            NO_WARP,
+                            trace_channel,
+                            "conflict",
+                            {"bank": bank_id, "line": line, "write": is_write},
+                        )
                     continue
             bank = banks[bank_id]
             mshr = bank.mshr
             if not is_write and mshr.almost_full:
                 mshr_stalls += 1
                 refused.append(entry)
+                if trace is not None:
+                    trace.emit(
+                        cycle,
+                        trace_core,
+                        NO_WARP,
+                        trace_channel,
+                        "mshr-stall",
+                        {"bank": bank_id, "line": line, "write": False},
+                    )
                 continue
 
             if is_write:
                 if lower is not None and not lower.request_write(self, address):
                     memq_stalls += 1
                     refused.append(entry)
+                    if trace is not None:
+                        trace.emit(
+                            cycle,
+                            trace_core,
+                            NO_WARP,
+                            trace_channel,
+                            "refusal",
+                            {"bank": bank_id, "line": line, "write": True},
+                        )
                     if lower_sticky:
                         # Sticky lower: no remaining write can be accepted
                         # (every write-through needs the shared lower queue)
@@ -371,8 +496,34 @@ class NonBlockingCache:
                                 accepted[1] >= num_ports or accepted[0] != tail_entry[1]
                             ):
                                 bank_conflicts += 1
+                                if trace is not None:
+                                    trace.emit(
+                                        cycle,
+                                        trace_core,
+                                        NO_WARP,
+                                        trace_channel,
+                                        "conflict",
+                                        {
+                                            "bank": tail_entry[2],
+                                            "line": tail_entry[1],
+                                            "write": True,
+                                        },
+                                    )
                             else:
                                 skipped += 1
+                                if trace is not None:
+                                    trace.emit(
+                                        cycle,
+                                        trace_core,
+                                        NO_WARP,
+                                        trace_channel,
+                                        "refusal",
+                                        {
+                                            "bank": tail_entry[2],
+                                            "line": tail_entry[1],
+                                            "write": True,
+                                        },
+                                    )
                         if skipped:
                             memq_stalls += skipped
                             lower.note_skipped_refusal(skipped)
@@ -385,6 +536,15 @@ class NonBlockingCache:
                     write_hits += 1
                 else:
                     write_misses += 1
+                if trace is not None:
+                    trace.emit(
+                        cycle,
+                        trace_core,
+                        NO_WARP,
+                        trace_channel,
+                        "hit" if hit else "miss",
+                        {"bank": bank_id, "line": line, "write": True},
+                    )
                 bank.schedule_response(
                     BankRequest(address=address, is_write=True, tag=tag, accept_cycle=cycle),
                     cycle,
@@ -398,17 +558,45 @@ class NonBlockingCache:
                     True,
                 )
                 read_hits += 1
+                if trace is not None:
+                    trace.emit(
+                        cycle,
+                        trace_core,
+                        NO_WARP,
+                        trace_channel,
+                        "hit",
+                        {"bank": bank_id, "line": line, "write": False},
+                    )
             else:
-                if mshr.lookup(line) is None and lower is not None:
+                merged = mshr.lookup(line) is not None
+                if not merged and lower is not None:
                     if lower_full:
                         lower.note_skipped_refusal()
                         memq_stalls += 1
                         refused.append(entry)
+                        if trace is not None:
+                            trace.emit(
+                                cycle,
+                                trace_core,
+                                NO_WARP,
+                                trace_channel,
+                                "refusal",
+                                {"bank": bank_id, "line": line, "write": False},
+                            )
                         continue
                     if not lower.request_fill(self, line):
                         lower_full = lower_sticky
                         memq_stalls += 1
                         refused.append(entry)
+                        if trace is not None:
+                            trace.emit(
+                                cycle,
+                                trace_core,
+                                NO_WARP,
+                                trace_channel,
+                                "refusal",
+                                {"bank": bank_id, "line": line, "write": False},
+                            )
                         continue
                 mshr_entry = mshr.allocate(
                     line,
@@ -417,8 +605,22 @@ class NonBlockingCache:
                 if mshr_entry is None:
                     mshr_stalls += 1
                     refused.append(entry)
+                    if trace is not None:
+                        trace.emit(
+                            cycle,
+                            trace_core,
+                            NO_WARP,
+                            trace_channel,
+                            "mshr-stall",
+                            {"bank": bank_id, "line": line, "write": False},
+                        )
                     continue
                 read_misses += 1
+                if trace is not None:
+                    payload = {"bank": bank_id, "line": line, "write": False}
+                    if merged:
+                        payload["merge"] = True
+                    trace.emit(cycle, trace_core, NO_WARP, trace_channel, "miss", payload)
 
             count = (0 if accepted is None else accepted[1]) + 1
             accepts[bank_id] = (line, count)
@@ -430,6 +632,20 @@ class NonBlockingCache:
                     remaining = total - index
                     attempts += remaining
                     bank_conflicts += remaining
+                    if trace is not None:
+                        for tail_entry in requests[index:]:
+                            trace.emit(
+                                cycle,
+                                trace_core,
+                                NO_WARP,
+                                trace_channel,
+                                "conflict",
+                                {
+                                    "bank": tail_entry[2],
+                                    "line": tail_entry[1],
+                                    "write": is_write,
+                                },
+                            )
                     refused.extend(requests[index:])
                     break
 
@@ -494,6 +710,15 @@ class NonBlockingCache:
         for request in replayed:
             bank.schedule_response(request, self._cycle, False)
         self.perf.incr("fills")
+        if self.trace is not None:
+            self.trace.emit(
+                self._cycle,
+                self.trace_core,
+                NO_WARP,
+                self.trace_channel,
+                "fill",
+                {"bank": line_address % self.config.num_banks, "line": line_address},
+            )
 
     def tick(self) -> list[CacheResponse]:
         """Advance one cycle; returns the responses completing this cycle."""

@@ -10,6 +10,7 @@ hands per-core responses to the timing cores every cycle.
 
 from __future__ import annotations
 
+from typing import Any
 
 from repro.cache.cache import CacheRequest, CacheResponse, LowerPort, NonBlockingCache
 from repro.common.config import VortexConfig
@@ -123,6 +124,32 @@ class MemorySubsystem:
         self._levels += [cache for cache in self.l2 if cache is not None]
         if self.l3 is not None:
             self._levels.append(self.l3)
+
+    # -- observability ---------------------------------------------------------------
+
+    def attach_trace(self, trace: Any) -> None:
+        """Wire a :class:`~repro.trace.bus.TraceBus` into every memory level.
+
+        Each component is only attached when its channel is enabled on the
+        bus, so a filtered bus keeps the unrelated hot paths on the
+        ``trace is None`` fast path.
+        """
+        self.dram.trace = trace if trace is not None and trace.wants("dram") else None
+        for core_id, cache in enumerate(self.icaches):
+            cache.trace_channel = "icache"
+            cache.trace_core = core_id
+            cache.trace = trace if trace is not None and trace.wants("icache") else None
+        for core_id, cache in enumerate(self.dcaches):
+            cache.trace_channel = "dcache"
+            cache.trace_core = core_id
+            cache.trace = trace if trace is not None and trace.wants("dcache") else None
+        for l2cache in self.l2:
+            if l2cache is not None:
+                l2cache.trace_channel = "l2"
+                l2cache.trace = trace if trace is not None and trace.wants("l2") else None
+        if self.l3 is not None:
+            self.l3.trace_channel = "l3"
+            self.l3.trace = trace if trace is not None and trace.wants("l3") else None
 
     # -- per-cycle operation ---------------------------------------------------------
 

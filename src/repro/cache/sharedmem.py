@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.common.perf import PerfCounters, hot_path
+from repro.trace.events import NO_WARP
 
 #: Base of the shared-memory window; core ``i`` owns one window of
 #: ``SHARED_MEM_STRIDE`` bytes starting at ``SHARED_MEM_BASE + i * stride``.
@@ -48,7 +49,7 @@ class SharedMemory:
     COUNTERS = frozenset({"attempts", "bank_conflicts", "reads", "writes"})
 
     #: Construction-time geometry (vxlint VX007).
-    SNAPSHOT_EXCLUDED = frozenset({"core_id", "size", "num_banks", "latency"})
+    SNAPSHOT_EXCLUDED = frozenset({"core_id", "size", "num_banks", "latency", "trace"})
 
     def __init__(self, core_id: int, size: int, num_banks: int = 4, latency: int = 1):
         self.core_id = core_id
@@ -57,6 +58,9 @@ class SharedMemory:
         self.latency = latency
         self.base, self.limit = shared_mem_window(core_id)
         self.perf = PerfCounters(f"smem{core_id}")
+        # Observability (attached by the owning TimingCore): one ``smem``
+        # event per access attempt (conflict / read / write).
+        self.trace: Any = None
         self._cycle = 0
         self._accepts_this_cycle: dict[int, int] = {}
         self._pending: list[tuple[int, SharedResponse]] = []
@@ -72,14 +76,26 @@ class SharedMemory:
     def send(self, address: int, is_write: bool, tag: Any) -> bool:
         """Present one access; False means a bank conflict (retry next cycle)."""
         self.perf.incr("attempts")
+        trace = self.trace
         bank = self.bank_index(address)
         if self._accepts_this_cycle.get(bank, 0) >= 1:
             self.perf.incr("bank_conflicts")
+            if trace is not None:
+                trace.emit(self._cycle, self.core_id, NO_WARP, "smem", "conflict", {"bank": bank})
             return False
         self._accepts_this_cycle[bank] = 1
         response = SharedResponse(address=address, is_write=is_write, tag=tag, cycle=0)
         self._pending.append((self._cycle + self.latency, response))
         self.perf.incr("writes" if is_write else "reads")
+        if trace is not None:
+            trace.emit(
+                self._cycle,
+                self.core_id,
+                NO_WARP,
+                "smem",
+                "write" if is_write else "read",
+                {"bank": bank},
+            )
         return True
 
     @hot_path
@@ -100,12 +116,26 @@ class SharedMemory:
         pending = self._pending
         num_banks = self.num_banks
         ready_cycle = self._cycle + self.latency
+        trace = self.trace
+        core_id = self.core_id
+        cycle = self._cycle
+        accept_kind = "write" if is_write else "read"
         # Saturation fast path: one accept per bank per cycle, so once every
         # bank has accepted, the rest of the batch refuses in bulk.
         if len(accepts) >= num_banks and budget > 0:
             total = len(requests)
             counters["attempts"] += total
             counters["bank_conflicts"] += total
+            if trace is not None:
+                for entry in requests:
+                    trace.emit(
+                        cycle,
+                        core_id,
+                        NO_WARP,
+                        "smem",
+                        "conflict",
+                        {"bank": (entry[0] // 4) % num_banks},
+                    )
             return 0, requests, budget
         attempts = accepted_count = bank_conflicts = 0
         refused: list[tuple[Any, ...]] = []
@@ -123,6 +153,8 @@ class SharedMemory:
             if accepts.get(bank, 0) >= 1:
                 bank_conflicts += 1
                 refused.append(entry)
+                if trace is not None:
+                    trace.emit(cycle, core_id, NO_WARP, "smem", "conflict", {"bank": bank})
                 continue
             accepts[bank] = 1
             pending.append(
@@ -130,10 +162,22 @@ class SharedMemory:
             )
             accepted_count += 1
             budget -= 1
+            if trace is not None:
+                trace.emit(cycle, core_id, NO_WARP, "smem", accept_kind, {"bank": bank})
             if len(accepts) >= num_banks and budget > 0 and index < total:
                 remaining = total - index
                 attempts += remaining
                 bank_conflicts += remaining
+                if trace is not None:
+                    for tail_entry in requests[index:]:
+                        trace.emit(
+                            cycle,
+                            core_id,
+                            NO_WARP,
+                            "smem",
+                            "conflict",
+                            {"bank": (tail_entry[0] // 4) % num_banks},
+                        )
                 refused.extend(requests[index:])
                 break
         if attempts:

@@ -76,8 +76,16 @@ class TextureConfig:
 #: Wavefront scheduler policies the cycle-level core can be configured with.
 #: ``"round-robin"`` is the paper's hierarchical two-level policy (and the
 #: counter-identical default); the alternatives are the classic design-space
-#: axis the timing model sweeps.
-SCHEDULER_POLICIES = ("round-robin", "greedy-then-oldest", "loose-round-robin")
+#: axis the timing model sweeps.  ``"cache-locality"`` came out of the trace
+#: forensics on the greedy-then-oldest pathology: prefer warps touching the
+#: current D$ line, but never re-select a warp whose last issue attempt hit a
+#: scoreboard hazard.
+SCHEDULER_POLICIES = (
+    "round-robin",
+    "greedy-then-oldest",
+    "loose-round-robin",
+    "cache-locality",
+)
 
 
 @dataclass(frozen=True)

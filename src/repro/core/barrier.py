@@ -57,7 +57,7 @@ class BarrierTable:
     """Barrier bookkeeping for one scope (a core, or the whole processor)."""
 
     #: Construction-time table size (vxlint VX007).
-    SNAPSHOT_EXCLUDED = frozenset({"num_barriers"})
+    SNAPSHOT_EXCLUDED = frozenset({"num_barriers", "on_event"})
 
     def __init__(self, num_barriers: int = 16):
         self.num_barriers = num_barriers
@@ -65,6 +65,10 @@ class BarrierTable:
         self.arrivals = 0
         self.releases = 0
         self.mismatches = 0
+        # Observability hook (attached by the owning timing core when tracing
+        # the ``barrier`` channel): called exactly once per successful arrival
+        # as ``on_event(index, expected, participant, released)``.
+        self.on_event: Callable[[int, int, Any, list[Any]], None] | None = None
 
     def arrive(self, barrier_id: int, expected: int, participant: Any) -> list[Any]:
         """Register ``participant`` at ``barrier_id`` expecting ``expected`` arrivals.
@@ -90,6 +94,8 @@ class BarrierTable:
             )
         if expected <= 1:
             self.releases += 1
+            if self.on_event is not None:
+                self.on_event(index, expected, participant, [participant])
             return [participant]
         if entry is None:
             entry = _BarrierEntry(expected=expected)
@@ -99,7 +105,11 @@ class BarrierTable:
             released = list(entry.waiting)
             del self._entries[index]
             self.releases += len(released)
+            if self.on_event is not None:
+                self.on_event(index, expected, participant, released)
             return released
+        if self.on_event is not None:
+            self.on_event(index, expected, participant, [])
         return []
 
     # -- checkpoint/restore --------------------------------------------------------

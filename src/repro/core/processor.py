@@ -181,6 +181,7 @@ class TimingProcessor(_GlobalBarrierMixin):
         engine: str = "vector",
         fast_forward: bool = True,
         batch_requests: bool = True,
+        trace: Any = None,
     ):
         self.config = config or VortexConfig()
         self.memory = memory or MainMemory()
@@ -189,6 +190,10 @@ class TimingProcessor(_GlobalBarrierMixin):
         #: Event-driven cycle fast-forward: jump over provably idle cycle
         #: runs instead of ticking through them (bit-identical results).
         self.fast_forward = fast_forward
+        #: Observability bus (:class:`~repro.trace.bus.TraceBus` or None):
+        #: threaded into every core and memory level at construction.
+        self.trace = trace
+        self.memsys.attach_trace(trace)
         self.cores: list[TimingCore] = [
             TimingCore(
                 core_id,
@@ -198,6 +203,7 @@ class TimingProcessor(_GlobalBarrierMixin):
                 processor=self,
                 engine=engine,
                 batch_requests=batch_requests,
+                trace=trace,
             )
             for core_id in range(self.config.num_cores)
         ]
@@ -229,7 +235,7 @@ class TimingProcessor(_GlobalBarrierMixin):
 
     #: Configuration identity and run-mode flags; fixed at construction
     #: (vxlint VX007).
-    SNAPSHOT_EXCLUDED = frozenset({"config", "engine", "fast_forward"})
+    SNAPSHOT_EXCLUDED = frozenset({"config", "engine", "fast_forward", "trace"})
 
     def snapshot(self) -> dict:
         """Serialize the whole cycle-level processor at a cycle boundary."""

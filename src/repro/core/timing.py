@@ -36,6 +36,7 @@ from repro.core.core import SimtCore
 from repro.core.scheduler import WavefrontScheduler
 from repro.core.scoreboard import Scoreboard
 from repro.isa.instructions import ExecUnit
+from repro.trace.events import NO_WARP
 
 #: Extra cycles a warp waits after a taken branch (front-end redirect).
 BRANCH_PENALTY = 2
@@ -102,6 +103,7 @@ class TimingCore:
         processor: Any = None,
         engine: str = "vector",
         batch_requests: bool = True,
+        trace: Any = None,
     ):
         if engine not in ("scalar", "vector"):
             raise ValueError(f"unknown timing engine {engine!r} (use 'scalar' or 'vector')")
@@ -129,6 +131,13 @@ class TimingCore:
         self.smem = SharedMemory(core_id, config.core.shared_mem_size)
         self.perf = PerfCounters(f"timing_core{core_id}")
         self.cycle = 0
+        #: The trace bus (``None`` when tracing is off — every emission site
+        #: guards on that, keeping the hot path allocation-free; vxlint VX008).
+        self.trace = trace
+        if trace is not None and trace.wants("smem"):
+            self.smem.trace = trace
+        if trace is not None and trace.wants("barrier"):
+            self.func.barriers.on_event = self._trace_barrier
 
         core_cfg = config.core
         self._unit_latency = {
@@ -194,6 +203,7 @@ class TimingCore:
             "batch_requests",
             "icache",
             "dcache",
+            "trace",
             "_unit_latency",
             "_registers_by_pc",
             "_dcache_line_size",
@@ -368,11 +378,49 @@ class TimingCore:
         warp_id = self.scheduler.select()
         if warp_id is None:
             self.perf.incr("idle_cycles")
+            trace = self.trace
+            if trace is not None:
+                trace.emit(
+                    self.cycle, self.core_id, NO_WARP, "scheduler", "idle",
+                    self._trace_mask_payload(),
+                )
             return
         warp = self.func.warps[warp_id]
         if not warp.schedulable:
+            trace = self.trace
+            if trace is not None:
+                trace.emit(self.cycle, self.core_id, warp_id, "scheduler", "masked")
             return
         self._issue(warp)
+
+    def _trace_mask_payload(self) -> dict[str, int]:
+        """Scheduler-mask payload of an ``idle`` event (tracing-on only)."""
+        scheduler = self.scheduler
+        ifetch_mask = 0
+        for warp_id in self._pending_ifetch:
+            ifetch_mask |= 1 << warp_id
+        return {
+            "active": scheduler.active_mask,
+            "stalled": scheduler.stalled_mask,
+            "barrier": scheduler.barrier_mask,
+            "ifetch": ifetch_mask,
+        }
+
+    def _trace_barrier(
+        self, barrier_id: int, expected: int, participant: Any, released: list[Any]
+    ) -> None:
+        """BarrierTable ``on_event`` hook (installed only when tracing)."""
+        trace = self.trace
+        if trace is None:  # pragma: no cover - hook installed only when tracing
+            return
+        trace.emit(
+            self.cycle,
+            self.core_id,
+            getattr(participant, "warp_id", NO_WARP),
+            "barrier",
+            "arrive",
+            {"barrier": barrier_id, "expected": expected, "released": len(released)},
+        )
 
     # -- completion paths --------------------------------------------------------------------
 
@@ -380,9 +428,15 @@ class TimingCore:
         if not self._writebacks:
             return
         remaining = []
+        trace = self.trace
         for ready_cycle, warp_id, rd, rd_float in self._writebacks:
             if ready_cycle <= self.cycle:
                 self.scoreboard.release(warp_id, rd, rd_float)
+                if trace is not None and (rd != 0 or rd_float):
+                    trace.emit(
+                        self.cycle, self.core_id, warp_id, "scoreboard", "release",
+                        {"register": rd, "float": rd_float},
+                    )
             else:
                 remaining.append((ready_cycle, warp_id, rd, rd_float))
         self._writebacks = remaining
@@ -427,6 +481,12 @@ class TimingCore:
             self._writebacks.append((ready, op.warp_id, op.rd, op.rd_float))
         del self._pending_ops[op.op_id]
         self.perf.incr("mem_ops_completed")
+        trace = self.trace
+        if trace is not None:
+            trace.emit(
+                self.cycle, self.core_id, op.warp_id, "core", "commit",
+                {"op": op.op_id, "kind": op.kind},
+            )
 
     # -- request draining ----------------------------------------------------------------------
 
@@ -595,18 +655,36 @@ class TimingCore:
         line_size = self.config.icache.line_size
         iline = warp.pc // line_size
         if iline not in self._warm_ilines:
+            trace = self.trace
             if warp.warp_id not in self._pending_ifetch:
                 self._pending_ifetch[warp.warp_id] = iline
                 self._ifetch_to_send.append((warp.warp_id, iline * line_size))
                 self.perf.incr("ifetch_misses")
+                if trace is not None:
+                    trace.emit(
+                        self.cycle, self.core_id, warp.warp_id, "scheduler", "stall",
+                        {"reason": "ibuffer"},
+                    )
+            elif trace is not None:
+                # Defensive: a warp with an ifetch in flight is mask-stalled
+                # and should not reach here; keep the channel cycle-complete.
+                trace.emit(self.cycle, self.core_id, warp.warp_id, "scheduler", "masked")
             return
 
         # Scoreboard hazard check on the registers the instruction touches.
         registers = self._instruction_registers(warp)
         if registers is not None and self.scoreboard.any_busy(warp.warp_id, registers):
             self.perf.incr("scoreboard_stalls")
+            self.scheduler.note_hazard(warp.warp_id)
+            trace = self.trace
+            if trace is not None:
+                trace.emit(
+                    self.cycle, self.core_id, warp.warp_id, "scheduler", "stall",
+                    {"reason": "scoreboard"},
+                )
             return
 
+        pc = warp.pc
         if self.engine == "vector":
             result = self.func.step_warp_timing(warp)
         else:
@@ -614,6 +692,12 @@ class TimingCore:
         self.perf.incr("instructions")
         self.perf.incr("thread_instructions", result.active_thread_count)
         self._warp_ready_cycle[warp.warp_id] = self.cycle + 1
+        self.scheduler.note_issued(warp.warp_id)
+        trace = self.trace
+        if trace is not None:
+            trace.emit(
+                self.cycle, self.core_id, warp.warp_id, "scheduler", "issue", {"pc": pc}
+            )
         self._charge_timing(warp, result)
 
     def _charge_timing(self, warp: Any, result: Any) -> None:
@@ -626,6 +710,12 @@ class TimingCore:
         if result.taken_branch:
             self._warp_ready_cycle[warp.warp_id] = self.cycle + 1 + BRANCH_PENALTY
             self.perf.incr("taken_branches")
+            trace = self.trace
+            if trace is not None:
+                trace.emit(
+                    self.cycle, self.core_id, warp.warp_id, "core", "redirect",
+                    {"pc": warp.pc},
+                )
 
         if unit in (ExecUnit.LSU, ExecUnit.TEX):
             self._charge_memory(warp, result)
@@ -634,6 +724,12 @@ class TimingCore:
         latency = self._unit_latency.get(unit, 1)
         if spec.writes_rd and latency > 1:
             self.scoreboard.reserve(warp.warp_id, result.instr.rd, spec.rd_float)
+            trace = self.trace
+            if trace is not None and (result.instr.rd != 0 or spec.rd_float):
+                trace.emit(
+                    self.cycle, self.core_id, warp.warp_id, "scoreboard", "acquire",
+                    {"register": result.instr.rd, "float": spec.rd_float},
+                )
             self._writebacks.append(
                 (self.cycle + latency, warp.warp_id, result.instr.rd, spec.rd_float)
             )
@@ -642,6 +738,10 @@ class TimingCore:
         spec = result.instr.spec
         is_store = spec.is_store
         addresses = result.request_addresses or []
+        if addresses:
+            self.scheduler.note_memory_issue(
+                warp.warp_id, int(addresses[0]) // self._dcache_line_size
+            )
         if self.batch_requests:
             to_send = self._request_entries(addresses)
         else:
@@ -673,6 +773,12 @@ class TimingCore:
             return
         if op.writes_rd:
             self.scoreboard.reserve(op.warp_id, op.rd, op.rd_float)
+            trace = self.trace
+            if trace is not None and (op.rd != 0 or op.rd_float):
+                trace.emit(
+                    self.cycle, self.core_id, op.warp_id, "scoreboard", "acquire",
+                    {"register": op.rd, "float": op.rd_float},
+                )
         self._pending_ops[op.op_id] = op
 
     # -- fast-forward -----------------------------------------------------------------------------
@@ -767,12 +873,21 @@ class TimingCore:
         one wavefront (mutating the policy's selection state exactly as a
         ticked run would) and charges one ``scoreboard_stalls``; otherwise
         every tick is a scheduler-idle cycle.
+
+        With tracing on, a synthesized ``core/skip`` marker stamps the
+        window and the per-cycle scheduler/refusal events are emitted
+        exactly as the ticked path would have — ``expand_skips`` on the
+        resulting stream reproduces the fastforward-off trace bit for bit.
         """
+        base = self.cycle
         self.cycle += cycles
         self.func.csr.tick(cycles)
         perf = self.perf
         perf.incr("cycles", cycles)
         self.smem.skip_idle(cycles)
+        trace = self.trace
+        if trace is not None:
+            trace.emit(base + 1, self.core_id, NO_WARP, "core", "skip", {"cycles": cycles})
         if self._store_queue:
             # Pending stores only survive into a skip as a pure refusal storm
             # (per :meth:`next_event_cycle`): every skipped tick re-attempts
@@ -784,16 +899,65 @@ class TimingCore:
             self.dcache.perf.incr("attempts", refusals)
             self.dcache.perf.incr("memq_stalls", refusals)
             self.dcache.lower.note_skipped_refusal(refusals)
+            if self.dcache.trace is not None:
+                self._trace_skip_refusals(base, cycles)
         self._sync_scheduler_masks()
         scheduler = self.scheduler
         if scheduler.active_mask & ~scheduler.stalled_mask & ~scheduler.barrier_mask:
             select = scheduler.select
-            for _ in range(cycles):
-                select()
+            note_hazard = scheduler.note_hazard
+            for offset in range(cycles):
+                warp_id = select()
+                if warp_id is None:  # pragma: no cover - mask was non-empty
+                    continue
+                note_hazard(warp_id)
+                if trace is not None:
+                    trace.emit(
+                        base + 1 + offset, self.core_id, warp_id, "scheduler", "stall",
+                        {"reason": "scoreboard"},
+                    )
             perf.incr("scoreboard_stalls", cycles)
         else:
             perf.incr("idle_cycles", cycles)
             scheduler.skip_idle(cycles)
+            if trace is not None:
+                payload = self._trace_mask_payload()
+                for offset in range(cycles):
+                    trace.emit(
+                        base + 1 + offset, self.core_id, NO_WARP, "scheduler", "idle",
+                        payload,
+                    )
+
+    def _trace_skip_refusals(self, base: int, cycles: int) -> None:
+        """Replay the per-attempt refusal events of a store-refusal storm.
+
+        The counter math above stays bulk; these events mirror what the
+        ticked drain would emit — every queue entry attempts once per cycle
+        and is refused by the full lower queue (never a bank conflict, per
+        the storm argument in :meth:`skip_idle`).
+        """
+        dcache = self.dcache
+        dtrace = dcache.trace
+        if dtrace is None:  # pragma: no cover - checked by the caller
+            return
+        channel = dcache.trace_channel
+        core = dcache.trace_core
+        line_size = self._dcache_line_size
+        num_banks = self._dcache_num_banks
+        entries = []
+        for entry in self._store_queue:
+            if len(entry) >= 4:  # batched entries carry (address, line, bank, to_smem)
+                entries.append((entry[2], entry[1]))
+            else:  # per-lane entries are (address, to_smem)
+                line = entry[0] // line_size
+                entries.append((line % num_banks, line))
+        for offset in range(cycles):
+            cycle = base + 1 + offset
+            for bank, line in entries:
+                dtrace.emit(
+                    cycle, core, NO_WARP, channel, "refusal",
+                    {"bank": bank, "line": line, "write": True},
+                )
 
     # -- metrics -----------------------------------------------------------------------------------
 

@@ -17,6 +17,7 @@ from typing import Any
 
 from repro.common.config import MemoryConfig
 from repro.common.perf import PerfCounters, hot_path
+from repro.trace.events import NO_WARP
 
 
 def _identity_tag(tag: Any) -> Any:
@@ -66,13 +67,18 @@ class DramModel:
     )
 
     #: Construction-time timing parameters (vxlint VX007).
-    SNAPSHOT_EXCLUDED = frozenset({"config"})
+    SNAPSHOT_EXCLUDED = frozenset({"config", "trace"})
 
     def __init__(self, config: MemoryConfig | None = None):
         self.config = config or MemoryConfig()
         self._queue: deque[_InFlight] = deque()
         self._cycle = 0
         self.perf = PerfCounters("dram")
+        # Observability (attached by MemorySubsystem.attach_trace): one
+        # ``dram`` event per completed response.  Rejections are deliberately
+        # *not* traced — the fast-forward skips provably-refused retry storms,
+        # and its replayed event stream must match the ticked one exactly.
+        self.trace: Any = None
 
     # -- request side -----------------------------------------------------------------
 
@@ -99,6 +105,7 @@ class DramModel:
         self._cycle += 1
         responses: list[MemResponse] = []
         budget = self.config.bandwidth
+        trace = self.trace
         while budget > 0 and self._queue and self._queue[0].ready_cycle <= self._cycle:
             in_flight = self._queue.popleft()
             responses.append(
@@ -112,6 +119,19 @@ class DramModel:
             latency = self._cycle - in_flight.request.issue_cycle
             self.perf.incr("total_latency", latency)
             self.perf.incr("responses")
+            if trace is not None:
+                trace.emit(
+                    self._cycle,
+                    -1,
+                    NO_WARP,
+                    "dram",
+                    "response",
+                    {
+                        "address": in_flight.request.address,
+                        "write": in_flight.request.is_write,
+                        "latency": latency,
+                    },
+                )
             budget -= 1
         if self._queue and self._queue[0].ready_cycle <= self._cycle and budget == 0:
             self.perf.incr("bandwidth_stalls")

@@ -24,7 +24,9 @@ from repro.common.config import VortexConfig
 
 #: Version of the envelope + payload layout.  Bump on any incompatible
 #: change to what ``snapshot()`` emits anywhere in the layer stack.
-SNAPSHOT_FORMAT = 1
+#: Format 2: the wavefront scheduler snapshot gained the cache-locality
+#: policy state (``last_lines``/``current_line``/``hazard_mask``).
+SNAPSHOT_FORMAT = 2
 
 
 @runtime_checkable

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, replace
-from collections.abc import Callable
+from collections.abc import Callable, Iterable
 from typing import Any
 
 from repro.common.config import VortexConfig
@@ -78,14 +78,40 @@ class DriverSpec:
         return self.driver_name
 
 
+class UnknownDriverOptionError(ValueError):
+    """A driver spec carried an option its simulator does not declare.
+
+    Raised while *parsing* the spec — long before a factory call could
+    silently swallow (or crash on) the stray keyword — so a typo like
+    ``"simx:trce=vcd"`` fails loudly, listing the valid options.
+    """
+
+    def __init__(self, simulator: str, option: str, valid: tuple[str, ...]):
+        self.simulator = simulator
+        self.option = option
+        self.valid = valid
+        super().__init__(
+            f"unknown option {option!r} for simulator {simulator!r}; "
+            f"valid options: {sorted(valid)}"
+        )
+
+
 @dataclass(frozen=True)
 class DriverEntry:
-    """One registered simulator: factory plus its engine axis."""
+    """One registered simulator: factory plus its engine and option axes.
+
+    ``options`` is the declared set of spec option keys (``engine`` is
+    always implicit); ``None`` is the third-party escape hatch — a driver
+    registered without a declaration accepts any option, preserving the
+    pass-through-verbatim contract for factories the registry cannot
+    introspect.
+    """
 
     simulator: str
     factory: Callable[..., object]
     engines: tuple[str, ...]
     default_engine: str
+    options: tuple[str, ...] | None = None
 
 
 _REGISTRY: dict[str, DriverEntry] = {}
@@ -99,13 +125,17 @@ def register_driver(
     factory: Callable[..., object],
     engines: tuple[str, ...] = ("vector", "scalar"),
     default_engine: str | None = None,
+    options: tuple[str, ...] | None = None,
 ) -> DriverEntry:
     """Register a simulator under ``simulator``.
 
     ``factory`` is called as ``factory(config, memory, engine=<engine>,
     **options)`` and must return a driver implementing the
-    :class:`~repro.engine.protocol.ExecutionEngine` protocol.  Returns the
-    registry entry (useful for introspection in tests).
+    :class:`~repro.engine.protocol.ExecutionEngine` protocol.  ``options``
+    declares the spec option keys the factory accepts — unknown keys then
+    raise :class:`UnknownDriverOptionError` at parse time; ``None`` (the
+    default) skips the check for factories the registry cannot introspect.
+    Returns the registry entry (useful for introspection in tests).
     """
     if not simulator or any(ch in simulator for ch in ":,=- "):
         raise ValueError(
@@ -118,7 +148,11 @@ def register_driver(
     if default not in engines:
         raise ValueError(f"default engine {default!r} is not in {engines}")
     entry = DriverEntry(
-        simulator=simulator, factory=factory, engines=engines, default_engine=default
+        simulator=simulator,
+        factory=factory,
+        engines=engines,
+        default_engine=default,
+        options=None if options is None else tuple(options),
     )
     _REGISTRY[simulator] = entry
     return entry
@@ -154,6 +188,14 @@ def _validate_engine(entry: DriverEntry, engine: str) -> None:
         )
 
 
+def _validate_options(entry: DriverEntry, keys: Iterable[str]) -> None:
+    if entry.options is None:
+        return
+    for key in keys:
+        if key not in entry.options:
+            raise UnknownDriverOptionError(entry.simulator, key, entry.options)
+
+
 def parse_driver_spec(spec: str | DriverSpec) -> DriverSpec:
     """Parse and validate a driver spec string (or pass a spec through).
 
@@ -166,6 +208,7 @@ def parse_driver_spec(spec: str | DriverSpec) -> DriverSpec:
         entry = _registry_entry(spec.simulator)
         if spec.engine is not None:
             _validate_engine(entry, spec.engine)
+        _validate_options(entry, spec.options_dict)
         return spec
     if not isinstance(spec, str):
         raise TypeError(f"driver spec must be a string or DriverSpec, got {type(spec).__name__}")
@@ -199,6 +242,7 @@ def parse_driver_spec(spec: str | DriverSpec) -> DriverSpec:
                 options[key] = value
     if engine is not None:
         _validate_engine(entry, engine)
+    _validate_options(entry, options)
     return DriverSpec(simulator=simulator, engine=engine, options=tuple(options.items()))
 
 
@@ -225,9 +269,19 @@ def _register_builtin_drivers() -> None:
     from repro.runtime.funcsim import FuncSimDriver
     from repro.runtime.simx import SimxDriver
 
-    register_driver("simx", SimxDriver, engines=("vector", "scalar"), default_engine="vector")
     register_driver(
-        "funcsim", FuncSimDriver, engines=("vector", "scalar"), default_engine="vector"
+        "simx",
+        SimxDriver,
+        engines=("vector", "scalar"),
+        default_engine="vector",
+        options=("fastforward", "requests", "trace", "trace_file", "trace_channels"),
+    )
+    register_driver(
+        "funcsim",
+        FuncSimDriver,
+        engines=("vector", "scalar"),
+        default_engine="vector",
+        options=(),
     )
     _LEGACY_ALIASES["simx-scalar"] = DriverSpec("simx", engine="scalar")
     _LEGACY_ALIASES["funcsim-scalar"] = DriverSpec("funcsim", engine="scalar")

@@ -16,9 +16,30 @@ from repro.mem.memory import MainMemory
 from repro.runtime.checkpoint import make_envelope, open_envelope
 from repro.runtime.launch import LaunchOptions, resolve_options
 from repro.runtime.report import ExecutionReport
+from repro.trace.bus import TraceBus, TraceSink
+from repro.trace.sinks import CsvSink, JsonlSink, MemorySink, VcdSink
 
 #: Default cycle budget when neither ``options`` nor the legacy keyword set one.
 DEFAULT_MAX_CYCLES = 20_000_000
+
+#: ``trace=`` spec-option values and the sinks they build (``"mem"`` keeps
+#: the events in ``driver.trace_sink.events`` for in-process analysis).
+TRACE_MODES = ("off", "vcd", "csv", "jsonl", "mem")
+
+
+def _build_trace_sink(mode: str, trace_file: str | None) -> TraceSink:
+    """Build the sink for a ``trace=`` mode (file formats need ``trace_file``)."""
+    if mode == "mem":
+        if trace_file is not None:
+            raise ValueError("trace=mem keeps events in memory; drop trace_file")
+        return MemorySink()
+    if trace_file is None:
+        raise ValueError(f"trace={mode} writes a file; add trace_file=<path> to the spec")
+    if mode == "vcd":
+        return VcdSink(trace_file)
+    if mode == "csv":
+        return CsvSink(trace_file)
+    return JsonlSink(trace_file)
 
 
 def _parse_toggle(name: str, value: object, on_word: str, off_word: str) -> bool:
@@ -54,6 +75,19 @@ class SimxDriver:
     * ``requests`` — ``"batched"`` (default) resolves warp memory traffic
       through the per-bank batch path; ``"perlane"`` issues one Python
       ``send`` per lane per retry.
+
+    Observability rides on three more spec options (see ``repro.trace``):
+
+    * ``trace`` — ``"off"`` (default), or a sink format: ``"vcd"``,
+      ``"csv"``, ``"jsonl"`` (all need ``trace_file``) or ``"mem"``
+      (events collected on ``driver.trace_sink.events``),
+    * ``trace_file`` — output path for the file formats,
+    * ``trace_channels`` — ``"+"``-separated channel filter
+      (``trace_channels=scheduler+dcache``); default is every channel.
+
+    Tracing composes with both host-speed knobs: the fast-forward emits
+    synthesized skip/replay events, so a traced ``fastforward=on`` run
+    produces the same expanded event stream as ``fastforward=off``.
     """
 
     name = "simx"
@@ -65,18 +99,32 @@ class SimxDriver:
         engine: str = "vector",
         fastforward: object = "on",
         requests: str = "batched",
+        trace: str = "off",
+        trace_file: str | None = None,
+        trace_channels: str | None = None,
     ):
         self.config = config or VortexConfig()
         self.memory = memory if memory is not None else MainMemory()
         self.engine = engine
         self.fastforward = _parse_toggle("fastforward", fastforward, "on", "off")
         self.batch_requests = _parse_toggle("requests", requests, "batched", "perlane")
+        if trace not in TRACE_MODES:
+            raise ValueError(f"unknown trace mode {trace!r} (use one of {TRACE_MODES})")
+        self.trace_sink: TraceSink | None = None
+        self.trace_bus: TraceBus | None = None
+        if trace != "off":
+            self.trace_sink = _build_trace_sink(trace, trace_file)
+            channels = tuple(trace_channels.split("+")) if trace_channels else None
+            self.trace_bus = TraceBus([self.trace_sink], channels=channels)
+        elif trace_file is not None or trace_channels is not None:
+            raise ValueError("trace_file/trace_channels require a trace= mode")
         self.processor = TimingProcessor(
             self.config,
             self.memory,
             engine=engine,
             fast_forward=self.fastforward,
             batch_requests=self.batch_requests,
+            trace=self.trace_bus,
         )
 
     def invalidate_decode_caches(self) -> None:
@@ -141,6 +189,10 @@ class SimxDriver:
             stop_cycle=stop_cycle,
         )
         wall_seconds = time.perf_counter() - start
+        if self.trace_bus is not None and self.processor.done:
+            # Flush file sinks once the launch has fully drained (VCD encodes
+            # on close); safe across chunked runs — close is idempotent.
+            self.trace_bus.close()
         return ExecutionReport(
             driver=self.name,
             cycles=cycles,

@@ -1,0 +1,91 @@
+"""The trace bus: one emission point fanning out to pluggable sinks.
+
+A :class:`TraceBus` is constructed by the driver (``"simx:trace=vcd"``)
+and handed to every instrumented component.  Components keep the
+tracing-off hot path allocation-free by holding ``trace = None`` when no
+bus is attached and guarding every emission::
+
+    trace = self.trace
+    if trace is not None:
+        trace.emit(self.cycle, self.core_id, warp, "scheduler", "issue", {...})
+
+vxlint rule VX008 statically enforces that guard inside ``@hot_path``
+functions.  Channel filtering (``trace_channels=scheduler+dcache``)
+happens inside :meth:`TraceBus.emit`, so it only costs anything when
+tracing is already on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol
+
+from repro.trace.events import CHANNELS, TraceEvent
+
+
+class TraceSink(Protocol):
+    """Anything that can receive a stream of events (see :mod:`.sinks`)."""
+
+    def write(self, event: TraceEvent) -> None: ...
+
+    def close(self) -> None: ...
+
+
+class TraceBus:
+    """Fan-out point for simulator trace events.
+
+    ``channels``, when given, restricts emission to that subset of
+    :data:`~repro.trace.events.CHANNELS`; ``None`` records everything.
+    """
+
+    def __init__(
+        self,
+        sinks: list[TraceSink],
+        channels: list[str] | tuple[str, ...] | None = None,
+    ):
+        if channels is not None:
+            unknown = sorted(set(channels) - set(CHANNELS))
+            if unknown:
+                raise ValueError(
+                    f"unknown trace channel(s) {unknown}; available: {sorted(CHANNELS)}"
+                )
+        self.sinks = list(sinks)
+        self.channels: frozenset[str] | None = (
+            frozenset(channels) if channels is not None else None
+        )
+        self.events_emitted = 0
+
+    def wants(self, channel: str) -> bool:
+        """True when ``channel`` passes the filter (used at attach time)."""
+        return self.channels is None or channel in self.channels
+
+    def emit(
+        self,
+        cycle: int,
+        core: int,
+        warp: int,
+        channel: str,
+        kind: str,
+        payload: dict[str, Any] | None = None,
+    ) -> None:
+        """Record one event on every sink (subject to the channel filter)."""
+        if self.channels is not None and channel not in self.channels:
+            return
+        event = TraceEvent(
+            cycle=cycle,
+            core=core,
+            warp=warp,
+            channel=channel,
+            kind=kind,
+            payload=payload if payload is not None else {},
+        )
+        self.events_emitted += 1
+        for sink in self.sinks:
+            sink.write(event)
+
+    def close(self) -> None:
+        """Flush and close every sink."""
+        for sink in self.sinks:
+            sink.close()
+
+
+__all__ = ["TraceBus", "TraceSink"]

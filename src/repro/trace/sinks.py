@@ -1,0 +1,356 @@
+"""Trace sinks and their parsers: VCD, CSV, JSONL, in-memory.
+
+Every textual format carries the trace format version in its header
+(:data:`~repro.trace.events.TRACE_VERSION`) and has a matching parser so
+the CLI and the round-trip property tests can read traces back:
+
+* **CSV** (``parse_csv``) — one row per event, payload JSON-encoded with
+  sorted keys; lossless.
+* **JSONL** (``parse_jsonl``) — one object per line after a header
+  record; lossless.
+* **VCD** (``parse_vcd``) — value-change dump for waveform viewers: one
+  32-bit wire per (core, channel) whose value encodes ``(kind, warp)``.
+  VCD is *change-based*, so coincident same-wire events collapse to the
+  last one per cycle; :func:`vcd_changes` is the pure reference for that
+  lossy projection and the round-trip property is
+  ``parse_vcd(encode(events)) == vcd_changes(events)``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Any, TextIO
+
+from repro.trace.events import TRACE_VERSION, TraceEvent
+
+# ---------------------------------------------------------------------------
+# In-memory
+
+
+class MemorySink:
+    """Collects events into a python list (``driver.trace_bus`` exposes it)."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def write(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# CSV
+
+_CSV_HEADER_COMMENT = f"# repro-trace v{TRACE_VERSION}"
+_CSV_COLUMNS = ("cycle", "core", "warp", "channel", "kind", "payload")
+
+
+class CsvSink:
+    """Streams events to a CSV file (header comment carries the version)."""
+
+    def __init__(self, target: str | Path | TextIO):
+        if isinstance(target, (str, Path)):
+            self._file: TextIO = open(target, "w", encoding="utf-8", newline="")
+            self._owns_file = True
+        else:
+            self._file = target
+            self._owns_file = False
+        self._file.write(_CSV_HEADER_COMMENT + "\n")
+        self._writer = csv.writer(self._file)
+        self._writer.writerow(_CSV_COLUMNS)
+
+    def write(self, event: TraceEvent) -> None:
+        payload = json.dumps(event.payload, sort_keys=True) if event.payload else ""
+        self._writer.writerow(
+            (event.cycle, event.core, event.warp, event.channel, event.kind, payload)
+        )
+
+    def close(self) -> None:
+        if self._owns_file:
+            self._file.close()
+        else:
+            self._file.flush()
+
+
+def parse_csv(text: str) -> list[TraceEvent]:
+    """Parse :class:`CsvSink` output back into events (lossless)."""
+    lines = text.splitlines()
+    if not lines or not lines[0].startswith("# repro-trace v"):
+        raise ValueError("not a repro-trace CSV: missing version header")
+    version = int(lines[0].rsplit("v", 1)[1])
+    if version != TRACE_VERSION:
+        raise ValueError(f"unsupported trace version {version} (expected {TRACE_VERSION})")
+    reader = csv.reader(io.StringIO("\n".join(lines[1:])))
+    header = next(reader, None)
+    if tuple(header or ()) != _CSV_COLUMNS:
+        raise ValueError(f"unexpected CSV columns: {header}")
+    events = []
+    for row in reader:
+        if not row:
+            continue
+        cycle, core, warp, channel, kind, payload = row
+        events.append(
+            TraceEvent(
+                cycle=int(cycle),
+                core=int(core),
+                warp=int(warp),
+                channel=channel,
+                kind=kind,
+                payload=json.loads(payload) if payload else {},
+            )
+        )
+    return events
+
+
+# ---------------------------------------------------------------------------
+# JSONL
+
+
+class JsonlSink:
+    """Streams events as one JSON object per line after a header record."""
+
+    def __init__(self, target: str | Path | TextIO):
+        if isinstance(target, (str, Path)):
+            self._file: TextIO = open(target, "w", encoding="utf-8")
+            self._owns_file = True
+        else:
+            self._file = target
+            self._owns_file = False
+        header = {"format": "repro-trace", "version": TRACE_VERSION}
+        self._file.write(json.dumps(header, sort_keys=True) + "\n")
+
+    def write(self, event: TraceEvent) -> None:
+        record = {
+            "cycle": event.cycle,
+            "core": event.core,
+            "warp": event.warp,
+            "channel": event.channel,
+            "kind": event.kind,
+        }
+        if event.payload:
+            record["payload"] = event.payload
+        self._file.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        if self._owns_file:
+            self._file.close()
+        else:
+            self._file.flush()
+
+
+def parse_jsonl(text: str) -> list[TraceEvent]:
+    """Parse :class:`JsonlSink` output back into events (lossless)."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ValueError("not a repro-trace JSONL: empty input")
+    header = json.loads(lines[0])
+    if header.get("format") != "repro-trace":
+        raise ValueError("not a repro-trace JSONL: missing format header")
+    if header.get("version") != TRACE_VERSION:
+        raise ValueError(
+            f"unsupported trace version {header.get('version')} (expected {TRACE_VERSION})"
+        )
+    events = []
+    for line in lines[1:]:
+        record = json.loads(line)
+        events.append(
+            TraceEvent(
+                cycle=record["cycle"],
+                core=record["core"],
+                warp=record["warp"],
+                channel=record["channel"],
+                kind=record["kind"],
+                payload=record.get("payload", {}),
+            )
+        )
+    return events
+
+
+# ---------------------------------------------------------------------------
+# VCD
+
+#: Change record: ``(cycle, core, channel, kind, warp)``.
+VcdChange = tuple[int, int, str, str, int]
+
+
+def vcd_changes(events: list[TraceEvent]) -> list[VcdChange]:
+    """The pure change-projection a VCD dump records.
+
+    VCD wires carry one value per time step: coincident events on the same
+    (core, channel) wire within one cycle collapse to the *last* one, and a
+    value identical to the wire's previous value emits no change.  Payloads
+    are not representable on a wire and are dropped (use CSV/JSONL for
+    lossless capture).  Within one cycle, changes are ordered by
+    ``(core, channel)`` — the writer's deterministic wire order.
+    """
+    changes: list[VcdChange] = []
+    last: dict[tuple[int, str], tuple[str, int]] = {}
+    pending: dict[tuple[int, str], tuple[str, int]] = {}
+    current_cycle: int | None = None
+
+    def flush() -> None:
+        if current_cycle is None:
+            return
+        for (core, channel) in sorted(pending):
+            value = pending[(core, channel)]
+            if last.get((core, channel)) != value:
+                changes.append((current_cycle, core, channel, value[0], value[1]))
+                last[(core, channel)] = value
+        pending.clear()
+
+    for event in events:
+        if event.cycle != current_cycle:
+            flush()
+            current_cycle = event.cycle
+        pending[(event.core, event.channel)] = (event.kind, event.warp)
+    flush()
+    return changes
+
+
+def _vcd_ident(index: int) -> str:
+    """Deterministic short VCD identifier for wire ``index`` (base-94)."""
+    chars = ""
+    index += 1
+    while index:
+        index, digit = divmod(index - 1, 94)
+        chars = chr(33 + digit) + chars
+    return chars
+
+
+class VcdSink:
+    """Buffers events and writes a value-change dump on :meth:`close`.
+
+    The kind→code mapping and the wire table are embedded as JSON in a
+    ``$comment`` section so :func:`parse_vcd` (and third-party tooling)
+    can decode values without out-of-band knowledge.  The ``$date`` field
+    is a fixed string — traces must be byte-deterministic.
+    """
+
+    def __init__(self, target: str | Path | TextIO):
+        self._target = target
+        self.events: list[TraceEvent] = []
+        self._closed = False
+
+    def write(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        text = encode_vcd(self.events)
+        if isinstance(self._target, (str, Path)):
+            Path(self._target).write_text(text, encoding="utf-8")
+        else:
+            self._target.write(text)
+            self._target.flush()
+
+
+def encode_vcd(events: list[TraceEvent]) -> str:
+    """Render ``events`` as a VCD document (pure; used by :class:`VcdSink`)."""
+    changes = vcd_changes(events)
+    kinds = sorted({event.kind for event in events})
+    kind_codes = {kind: code + 1 for code, kind in enumerate(kinds)}
+    wires = sorted({(event.core, event.channel) for event in events})
+    wire_ids = {wire: _vcd_ident(index) for index, wire in enumerate(wires)}
+    meta = {
+        "format": "repro-trace",
+        "version": TRACE_VERSION,
+        "kinds": kind_codes,
+        "wires": [[core, channel, wire_ids[(core, channel)]] for core, channel in wires],
+    }
+    out = io.StringIO()
+    out.write("$date repro-trace $end\n")
+    out.write(f"$version repro.trace v{TRACE_VERSION} $end\n")
+    out.write("$timescale 1ns $end\n")
+    out.write(f"$comment {json.dumps(meta, sort_keys=True)} $end\n")
+    out.write("$scope module repro $end\n")
+    for core, channel in wires:
+        out.write(f"$var wire 32 {wire_ids[(core, channel)]} core{core}_{channel} $end\n")
+    out.write("$upscope $end\n")
+    out.write("$enddefinitions $end\n")
+    current_cycle: int | None = None
+    for cycle, core, channel, kind, warp in changes:
+        if cycle != current_cycle:
+            out.write(f"#{cycle}\n")
+            current_cycle = cycle
+        value = (kind_codes[kind] << 8) | ((warp + 2) & 0xFF)
+        out.write(f"b{value:b} {wire_ids[(core, channel)]}\n")
+    return out.getvalue()
+
+
+def parse_vcd(text: str) -> list[VcdChange]:
+    """Parse :func:`encode_vcd` output back into change records."""
+    meta: dict[str, Any] | None = None
+    for line in text.splitlines():
+        line = line.strip()
+        if line.startswith("$comment "):
+            meta = json.loads(line[len("$comment ") : -len(" $end")])
+            break
+    if meta is None or meta.get("format") != "repro-trace":
+        raise ValueError("not a repro-trace VCD: missing $comment metadata")
+    if meta.get("version") != TRACE_VERSION:
+        raise ValueError(
+            f"unsupported trace version {meta.get('version')} (expected {TRACE_VERSION})"
+        )
+    code_kinds = {code: kind for kind, code in meta["kinds"].items()}
+    wires = {ident: (core, channel) for core, channel, ident in meta["wires"]}
+    changes: list[VcdChange] = []
+    cycle = 0
+    in_definitions = True
+    for line in text.splitlines():
+        line = line.strip()
+        if in_definitions:
+            if line == "$enddefinitions $end":
+                in_definitions = False
+            continue
+        if line.startswith("#"):
+            cycle = int(line[1:])
+        elif line.startswith("b"):
+            bits, ident = line[1:].split()
+            value = int(bits, 2)
+            kind = code_kinds[value >> 8]
+            warp = (value & 0xFF) - 2
+            core, channel = wires[ident]
+            changes.append((cycle, core, channel, kind, warp))
+    return changes
+
+
+# ---------------------------------------------------------------------------
+# Format sniffing (CLI entry point)
+
+
+def load_trace(path: str | Path) -> list[TraceEvent]:
+    """Load a CSV or JSONL trace, sniffing the format from the header.
+
+    VCD is intentionally excluded: its projection is lossy (no payloads),
+    so analyzers work from the lossless formats; use :func:`parse_vcd`
+    directly to inspect a waveform dump.
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    head = text.lstrip()[:1]
+    if head == "#":
+        return parse_csv(text)
+    if head == "{":
+        return parse_jsonl(text)
+    raise ValueError(f"{path}: unrecognized trace format (expected repro-trace CSV or JSONL)")
+
+
+__all__ = [
+    "MemorySink",
+    "CsvSink",
+    "JsonlSink",
+    "VcdSink",
+    "parse_csv",
+    "parse_jsonl",
+    "parse_vcd",
+    "encode_vcd",
+    "vcd_changes",
+    "load_trace",
+    "VcdChange",
+]

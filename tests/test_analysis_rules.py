@@ -30,6 +30,7 @@ from repro.analysis.rules import (
     PredicatePurityRule,
     SnapshotCoverageRule,
     StateInventoryRule,
+    TraceEmissionGuardRule,
     collect_state,
 )
 
@@ -477,6 +478,95 @@ class TestSnapshotCoverageRule:
             SnapshotCoverageRule(), STATEFUL_SOURCE, module="repro.kernels.fixture"
         )
         assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# VX008 trace-emission guard
+
+
+HOT_PREFIX = "from repro.common.perf import hot_path\n"
+
+
+class TestTraceEmissionGuardRule:
+    def test_unguarded_hot_path_emit_flagged(self):
+        source = HOT_PREFIX + (
+            "class Cache:\n"
+            "    @hot_path\n"
+            "    def send(self, request):\n"
+            "        self.trace.emit(self.cycle, 0, 0, 'dcache', 'hit', None)\n"
+            "        return True\n"
+        )
+        findings = run_one(TraceEmissionGuardRule(), source)
+        assert [f.detail for f in findings] == ["unguarded:self.trace:1"]
+
+    def test_guarded_local_idiom_clean(self):
+        # The canonical hoist-and-guard idiom the instrumented paths use.
+        source = HOT_PREFIX + (
+            "class Cache:\n"
+            "    @hot_path\n"
+            "    def send(self, request):\n"
+            "        trace = self.trace\n"
+            "        if trace is not None:\n"
+            "            trace.emit(self.cycle, 0, 0, 'dcache', 'hit', None)\n"
+            "        return True\n"
+        )
+        assert run_one(TraceEmissionGuardRule(), source) == []
+
+    def test_guarded_attribute_receiver_clean(self):
+        source = HOT_PREFIX + (
+            "class Cache:\n"
+            "    @hot_path\n"
+            "    def send(self, request):\n"
+            "        if self.trace is not None:\n"
+            "            self.trace.emit(self.cycle, 0, 0, 'dcache', 'hit', None)\n"
+            "        return True\n"
+        )
+        assert run_one(TraceEmissionGuardRule(), source) == []
+
+    def test_guard_on_other_name_does_not_count(self):
+        # An if that tests something unrelated must not launder the emit.
+        source = HOT_PREFIX + (
+            "class Cache:\n"
+            "    @hot_path\n"
+            "    def send(self, request, hit):\n"
+            "        if hit:\n"
+            "            self.trace.emit(self.cycle, 0, 0, 'dcache', 'hit', None)\n"
+            "        return True\n"
+        )
+        findings = run_one(TraceEmissionGuardRule(), source)
+        assert [f.detail for f in findings] == ["unguarded:self.trace:2"]
+
+    def test_cold_function_unconstrained(self):
+        # Off the hot path, an unconditional emit is fine (setup/teardown).
+        source = (
+            "class Cache:\n"
+            "    def flush(self):\n"
+            "        self.trace.emit(self.cycle, 0, 0, 'dcache', 'flush', None)\n"
+        )
+        assert run_one(TraceEmissionGuardRule(), source) == []
+
+    def test_non_trace_emit_ignored(self):
+        # `.emit()` on a non-trace receiver (e.g. an event queue) is not ours.
+        source = HOT_PREFIX + (
+            "class Core:\n"
+            "    @hot_path\n"
+            "    def tick(self):\n"
+            "        self.events.emit('tick')\n"
+        )
+        assert run_one(TraceEmissionGuardRule(), source) == []
+
+    def test_elif_guard_credits_its_own_branch(self):
+        source = HOT_PREFIX + (
+            "class Cache:\n"
+            "    @hot_path\n"
+            "    def send(self, request, trace):\n"
+            "        if request is None:\n"
+            "            return False\n"
+            "        elif trace is not None:\n"
+            "            trace.emit(self.cycle, 0, 0, 'dcache', 'hit', None)\n"
+            "        return True\n"
+        )
+        assert run_one(TraceEmissionGuardRule(), source) == []
 
 
 # ---------------------------------------------------------------------------

@@ -20,6 +20,7 @@ from repro.runtime.registry import (
     _LEGACY_ALIASES,
     _REGISTRY,
     DriverSpec,
+    UnknownDriverOptionError,
     available_simulators,
     create_driver,
     parse_driver_spec,
@@ -55,12 +56,40 @@ def test_parse_accepts_spec_instances():
     assert parse_driver_spec(spec) is spec
 
 
-def test_parse_extra_options_round_trip():
-    spec = parse_driver_spec("simx:engine=scalar,foo=bar")
+def test_parse_declared_options_round_trip():
+    spec = parse_driver_spec("simx:engine=scalar,fastforward=off")
     assert spec.engine == "scalar"
-    assert spec.options_dict == {"foo": "bar"}
-    assert spec.driver_name == "simx:engine=scalar,foo=bar"
+    assert spec.options_dict == {"fastforward": "off"}
+    assert spec.driver_name == "simx:engine=scalar,fastforward=off"
     assert parse_driver_spec(spec.driver_name) == spec
+
+
+def test_unknown_options_raise_typed_error_listing_valid():
+    """A typo'd option fails at parse time with the valid set listed."""
+    with pytest.raises(UnknownDriverOptionError, match=r"'trce'.*trace.*trace_file") as excinfo:
+        parse_driver_spec("simx:trce=vcd")
+    assert excinfo.value.simulator == "simx"
+    assert excinfo.value.option == "trce"
+    assert "trace" in excinfo.value.valid
+    # The spec-instance path validates too (e.g. specs built programmatically).
+    with pytest.raises(UnknownDriverOptionError):
+        parse_driver_spec(DriverSpec("simx", options=(("foo", "bar"),)))
+    # funcsim declares no options at all.
+    with pytest.raises(UnknownDriverOptionError, match=r"valid options: \[\]"):
+        parse_driver_spec("funcsim:fastforward=on")
+    # It is a ValueError subclass, so existing broad handlers still catch it.
+    assert issubclass(UnknownDriverOptionError, ValueError)
+
+
+def test_registered_options_are_introspectable():
+    assert _REGISTRY["simx"].options == (
+        "fastforward",
+        "requests",
+        "trace",
+        "trace_file",
+        "trace_channels",
+    )
+    assert _REGISTRY["funcsim"].options == ()
 
 
 def test_default_engine_is_not_spelled_out():

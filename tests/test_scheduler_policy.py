@@ -85,7 +85,9 @@ def test_explicit_round_robin_equals_default():
 # -- the alternatives are distinct but deterministic --------------------------------------
 
 
-@pytest.mark.parametrize("policy", ["greedy-then-oldest", "loose-round-robin"])
+@pytest.mark.parametrize(
+    "policy", ["greedy-then-oldest", "loose-round-robin", "cache-locality"]
+)
 def test_alternative_policies_are_deterministic(policy):
     first = _run("sgemm", 64, _config(policy=policy))
     second = _run("sgemm", 64, _config(policy=policy))
@@ -100,7 +102,9 @@ def test_policies_produce_distinct_schedules():
     assert len(set(cycles.values())) == len(cycles), cycles
 
 
-@pytest.mark.parametrize("policy", ["greedy-then-oldest", "loose-round-robin"])
+@pytest.mark.parametrize(
+    "policy", ["greedy-then-oldest", "loose-round-robin", "cache-locality"]
+)
 def test_alternative_policies_identical_across_engines(policy):
     """The policy axis composes with the engine axis: scalar and vector
     timing engines agree bit-for-bit under every policy."""
@@ -127,6 +131,31 @@ def test_greedy_then_oldest_sticks_with_ready_warp():
     assert scheduler.select() == 2
     # Three non-greedy picks: the cold start and the two stall-forced moves.
     assert scheduler.perf.get("switches") == 3
+
+
+def test_cache_locality_prefers_affine_warps_and_avoids_hazards():
+    scheduler = WavefrontScheduler(4, policy="cache-locality")
+    scheduler.set_masks(0b1111, 0, 0)
+    assert scheduler.select() == 0  # cold start: no line history, lowest id
+    # Warps 0 and 2 last touched line 7, which is also the current line.
+    scheduler.note_memory_issue(0, 7)
+    scheduler.note_memory_issue(2, 7)
+    assert scheduler.select() == 2  # affine pool {0, 2}: 2 is least recent
+    scheduler.note_hazard(0)
+    scheduler.note_hazard(2)
+    assert scheduler.select() == 1  # hazard hints exclude 0 and 2
+    scheduler.note_issued(0)
+    assert scheduler.select() == 0  # hazard cleared: line affinity wins again
+    assert scheduler.perf.get("switches") == 4
+
+
+def test_cache_locality_falls_back_when_all_ready_warps_have_hazards():
+    scheduler = WavefrontScheduler(2, policy="cache-locality")
+    scheduler.set_masks(0b11, 0, 0)
+    scheduler.note_hazard(0)
+    scheduler.note_hazard(1)
+    # Skipping every ready warp would deadlock; the pool falls back to ready.
+    assert scheduler.select() == 0
 
 
 def test_loose_round_robin_skips_unready_warps():

@@ -116,7 +116,9 @@ def test_divergent_kernel_bit_identical():
 # -- scheduler policies: identical across engines on every policy -------------------------
 
 
-@pytest.mark.parametrize("policy", ["greedy-then-oldest", "loose-round-robin"])
+@pytest.mark.parametrize(
+    "policy", ["greedy-then-oldest", "loose-round-robin", "cache-locality"]
+)
 def test_scheduler_policies_bit_identical_across_engines(policy):
     """The policy axis changes the schedule, not the engines' agreement."""
     config = _fig_config().with_scheduler_policy(policy)
